@@ -1,0 +1,97 @@
+//! Error type for the analytic routines.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by the analytic routines in this crate.
+#[derive(Clone, Debug, PartialEq)]
+pub enum AnalysisError {
+    /// An urn/sketch dimension (`k`, `s`) must be at least 1.
+    ZeroDimension {
+        /// Name of the offending parameter.
+        name: &'static str,
+    },
+    /// A probability parameter must lie in the open interval `(0, 1)`.
+    ProbabilityOutOfRange {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// A search exceeded its iteration budget without satisfying its
+    /// stopping condition.
+    SearchDidNotConverge {
+        /// What was being searched for.
+        what: &'static str,
+        /// The iteration budget that was exhausted.
+        budget: u64,
+    },
+    /// The Markov-chain population/ memory parameters are inconsistent
+    /// (requires `1 <= c < n` and matching vector lengths).
+    InvalidChainParameters {
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
+    /// Two distributions passed to a divergence have different lengths.
+    LengthMismatch {
+        /// Length of the first distribution.
+        left: usize,
+        /// Length of the second distribution.
+        right: usize,
+    },
+    /// A distribution is empty or sums to zero.
+    DegenerateDistribution,
+}
+
+impl fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalysisError::ZeroDimension { name } => {
+                write!(f, "parameter {name} must be at least 1")
+            }
+            AnalysisError::ProbabilityOutOfRange { name, value } => {
+                write!(f, "parameter {name} must be in (0, 1), got {value}")
+            }
+            AnalysisError::SearchDidNotConverge { what, budget } => {
+                write!(f, "search for {what} did not converge within {budget} iterations")
+            }
+            AnalysisError::InvalidChainParameters { reason } => {
+                write!(f, "invalid markov chain parameters: {reason}")
+            }
+            AnalysisError::LengthMismatch { left, right } => {
+                write!(f, "distribution lengths differ: {left} vs {right}")
+            }
+            AnalysisError::DegenerateDistribution => {
+                write!(f, "distribution is empty or sums to zero")
+            }
+        }
+    }
+}
+
+impl Error for AnalysisError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let errors: Vec<AnalysisError> = vec![
+            AnalysisError::ZeroDimension { name: "k" },
+            AnalysisError::ProbabilityOutOfRange { name: "eta", value: 2.0 },
+            AnalysisError::SearchDidNotConverge { what: "L_{k,s}", budget: 10 },
+            AnalysisError::InvalidChainParameters { reason: "c >= n".into() },
+            AnalysisError::LengthMismatch { left: 3, right: 4 },
+            AnalysisError::DegenerateDistribution,
+        ];
+        for err in errors {
+            assert!(!err.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync_static() {
+        fn assert_bounds<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_bounds::<AnalysisError>();
+    }
+}

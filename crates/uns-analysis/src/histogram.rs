@@ -1,0 +1,283 @@
+//! Frequency histograms of identifier streams over a fixed domain.
+//!
+//! The paper's experiments compare the frequency distribution of the
+//! sampler's *input* stream against its *output* stream (Figures 6, 7 and
+//! 12). [`Frequencies`] accumulates those counts and exposes the divergence
+//! metrics of [`crate::kl`] directly.
+
+use crate::error::AnalysisError;
+use crate::kl;
+
+/// Per-identifier occurrence counts over the domain `{0, …, domain−1}`.
+///
+/// # Example
+///
+/// ```
+/// use uns_analysis::Frequencies;
+///
+/// let mut freq = Frequencies::new(4);
+/// for id in [0u64, 0, 1, 2, 2, 2] {
+///     freq.record(id);
+/// }
+/// assert_eq!(freq.count(2), 3);
+/// assert_eq!(freq.total(), 6);
+/// assert_eq!(freq.max_frequency(), 3);
+/// assert_eq!(freq.support_size(), 3); // id 3 never appeared
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Frequencies {
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Frequencies {
+    /// Creates an all-zero histogram over `{0, …, domain−1}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `domain == 0`.
+    pub fn new(domain: usize) -> Self {
+        assert!(domain > 0, "histogram domain must be non-empty");
+        Self { counts: vec![0; domain], total: 0 }
+    }
+
+    /// Builds a histogram from a stream of identifiers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any identifier is outside the domain.
+    pub fn from_ids<I: IntoIterator<Item = u64>>(domain: usize, ids: I) -> Self {
+        let mut hist = Self::new(domain);
+        for id in ids {
+            hist.record(id);
+        }
+        hist
+    }
+
+    /// Records one occurrence of `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id >= domain` — streams must be generated over the
+    /// histogram's domain; use [`Frequencies::try_record`] to skip
+    /// out-of-domain identifiers instead.
+    pub fn record(&mut self, id: u64) {
+        self.counts[usize::try_from(id).expect("id out of domain")] += 1;
+        self.total += 1;
+    }
+
+    /// Records `id` if it lies in the domain; returns whether it was
+    /// counted.
+    pub fn try_record(&mut self, id: u64) -> bool {
+        match usize::try_from(id) {
+            Ok(idx) if idx < self.counts.len() => {
+                self.counts[idx] += 1;
+                self.total += 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Records `count` occurrences of `id` at once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id >= domain`.
+    pub fn record_many(&mut self, id: u64, count: u64) {
+        self.counts[usize::try_from(id).expect("id out of domain")] += count;
+        self.total += count;
+    }
+
+    /// The count of `id` (0 if never recorded or out of domain).
+    pub fn count(&self, id: u64) -> u64 {
+        usize::try_from(id).ok().and_then(|i| self.counts.get(i)).copied().unwrap_or(0)
+    }
+
+    /// The raw count vector, indexed by identifier.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total number of recorded occurrences (stream length `m`).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Domain size `n`.
+    pub fn domain(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Largest per-identifier count (0 for an empty histogram).
+    pub fn max_frequency(&self) -> u64 {
+        self.counts.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Smallest *non-zero* count, or `None` if nothing was recorded.
+    pub fn min_nonzero_frequency(&self) -> Option<u64> {
+        self.counts.iter().copied().filter(|&c| c > 0).min()
+    }
+
+    /// Number of identifiers with at least one occurrence.
+    pub fn support_size(&self) -> usize {
+        self.counts.iter().filter(|&&c| c > 0).count()
+    }
+
+    /// Empirical probability vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalysisError::DegenerateDistribution`] if empty.
+    pub fn to_probabilities(&self) -> Result<Vec<f64>, AnalysisError> {
+        kl::normalize(&self.counts)
+    }
+
+    /// `D(v̂‖U)`: KL divergence of this histogram against the uniform
+    /// distribution over its domain.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalysisError::DegenerateDistribution`] if empty.
+    pub fn kl_vs_uniform(&self) -> Result<f64, AnalysisError> {
+        kl::kl_vs_uniform(&self.counts)
+    }
+
+    /// p-value of a χ² uniformity test over the domain.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalysisError::DegenerateDistribution`] for degenerate
+    /// histograms.
+    pub fn chi_square_uniformity_pvalue(&self) -> Result<f64, AnalysisError> {
+        kl::chi_square_uniformity_pvalue(&self.counts)
+    }
+
+    /// The `k` most frequent identifiers as `(id, count)`, ties broken by
+    /// smaller id first.
+    pub fn top_k(&self, k: usize) -> Vec<(u64, u64)> {
+        let mut entries: Vec<(u64, u64)> =
+            self.counts.iter().enumerate().map(|(id, &c)| (id as u64, c)).collect();
+        entries.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        entries.truncate(k);
+        entries
+    }
+
+    /// Adds another histogram's counts into this one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalysisError::LengthMismatch`] when domains differ.
+    pub fn merge(&mut self, other: &Self) -> Result<(), AnalysisError> {
+        if self.domain() != other.domain() {
+            return Err(AnalysisError::LengthMismatch { left: self.domain(), right: other.domain() });
+        }
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += *b;
+        }
+        self.total += other.total;
+        Ok(())
+    }
+}
+
+impl Extend<u64> for Frequencies {
+    fn extend<I: IntoIterator<Item = u64>>(&mut self, iter: I) {
+        for id in iter {
+            self.record(id);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn zero_domain_panics() {
+        let _ = Frequencies::new(0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_domain_record_panics() {
+        let mut hist = Frequencies::new(3);
+        hist.record(3);
+    }
+
+    #[test]
+    fn try_record_skips_out_of_domain() {
+        let mut hist = Frequencies::new(3);
+        assert!(hist.try_record(2));
+        assert!(!hist.try_record(3));
+        assert!(!hist.try_record(u64::MAX));
+        assert_eq!(hist.total(), 1);
+    }
+
+    #[test]
+    fn record_many_and_count() {
+        let mut hist = Frequencies::new(5);
+        hist.record_many(4, 10);
+        assert_eq!(hist.count(4), 10);
+        assert_eq!(hist.count(0), 0);
+        assert_eq!(hist.count(100), 0);
+        assert_eq!(hist.total(), 10);
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let hist = Frequencies::from_ids(4, [0u64, 0, 0, 1, 2]);
+        assert_eq!(hist.max_frequency(), 3);
+        assert_eq!(hist.min_nonzero_frequency(), Some(1));
+        assert_eq!(hist.support_size(), 3);
+        assert_eq!(hist.domain(), 4);
+        let empty = Frequencies::new(4);
+        assert_eq!(empty.max_frequency(), 0);
+        assert_eq!(empty.min_nonzero_frequency(), None);
+        assert_eq!(empty.support_size(), 0);
+    }
+
+    #[test]
+    fn top_k_orders_by_count_then_id() {
+        let hist = Frequencies::from_ids(5, [3u64, 3, 3, 1, 1, 4, 4, 0]);
+        assert_eq!(hist.top_k(3), vec![(3, 3), (1, 2), (4, 2)]);
+        assert_eq!(hist.top_k(0), vec![]);
+        assert_eq!(hist.top_k(100).len(), 5);
+    }
+
+    #[test]
+    fn probabilities_and_divergence() {
+        let hist = Frequencies::from_ids(2, [0u64, 0, 0, 1]);
+        let p = hist.to_probabilities().unwrap();
+        assert_eq!(p, vec![0.75, 0.25]);
+        assert!(hist.kl_vs_uniform().unwrap() > 0.0);
+        let uniform = Frequencies::from_ids(2, [0u64, 1]);
+        assert_eq!(uniform.kl_vs_uniform().unwrap(), 0.0);
+        assert!(Frequencies::new(2).kl_vs_uniform().is_err());
+    }
+
+    #[test]
+    fn merge_adds_counts_and_validates_domain() {
+        let mut a = Frequencies::from_ids(3, [0u64, 1]);
+        let b = Frequencies::from_ids(3, [1u64, 2]);
+        a.merge(&b).unwrap();
+        assert_eq!(a.counts(), &[1, 2, 1]);
+        assert_eq!(a.total(), 4);
+        let wrong = Frequencies::new(4);
+        assert!(a.merge(&wrong).is_err());
+    }
+
+    #[test]
+    fn extend_records_stream() {
+        let mut hist = Frequencies::new(4);
+        hist.extend([0u64, 1, 1, 3]);
+        assert_eq!(hist.total(), 4);
+        assert_eq!(hist.count(1), 2);
+    }
+
+    #[test]
+    fn chi_square_pvalue_flags_bias() {
+        let biased = Frequencies::from_ids(4, std::iter::repeat(0u64).take(400).chain([1, 2, 3]));
+        assert!(biased.chi_square_uniformity_pvalue().unwrap() < 1e-10);
+    }
+}

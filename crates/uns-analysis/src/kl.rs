@@ -1,0 +1,327 @@
+//! Kullback–Leibler divergence and the paper's gain metric `G_KL`.
+//!
+//! The evaluation (§VI-A) measures how far a stream's empirical frequency
+//! distribution is from uniform with the KL divergence (paper's Equation 6)
+//!
+//! ```text
+//! D_KL(v‖w) = Σ_i v_i log(v_i / w_i) = H(v, w) − H(v)
+//! ```
+//!
+//! and summarizes a sampler's effect with the gain
+//!
+//! ```text
+//! G_KL = 1 − D(σ′‖U) / D(σ‖U)
+//! ```
+//!
+//! where `σ` is the (adversarially biased) input stream, `σ′` the sampler's
+//! output stream and `U` the uniform distribution. `G_KL = 1` means the
+//! output is perfectly uniform; `G_KL = 0` means the sampler did not unbias
+//! the stream at all.
+//!
+//! All logarithms are natural; KL values are in nats.
+
+use crate::error::AnalysisError;
+
+/// Normalizes a count vector into a probability distribution.
+///
+/// # Errors
+///
+/// Returns [`AnalysisError::DegenerateDistribution`] if the counts are empty
+/// or all zero.
+pub fn normalize(counts: &[u64]) -> Result<Vec<f64>, AnalysisError> {
+    let total: u64 = counts.iter().sum();
+    if counts.is_empty() || total == 0 {
+        return Err(AnalysisError::DegenerateDistribution);
+    }
+    Ok(counts.iter().map(|&c| c as f64 / total as f64).collect())
+}
+
+/// Kullback–Leibler divergence `D(v‖w)` in nats (paper's Equation 6).
+///
+/// Terms with `v_i = 0` contribute zero (standard convention). Returns
+/// `+∞` when `v` puts mass where `w` does not.
+///
+/// # Errors
+///
+/// Returns [`AnalysisError::LengthMismatch`] when the slices differ in
+/// length and [`AnalysisError::DegenerateDistribution`] when either is
+/// empty.
+///
+/// # Example
+///
+/// ```
+/// use uns_analysis::kl_divergence;
+///
+/// let v = [0.5, 0.5];
+/// let w = [0.9, 0.1];
+/// let d = kl_divergence(&v, &w).unwrap();
+/// assert!(d > 0.0);
+/// assert_eq!(kl_divergence(&v, &v).unwrap(), 0.0);
+/// ```
+pub fn kl_divergence(v: &[f64], w: &[f64]) -> Result<f64, AnalysisError> {
+    if v.len() != w.len() {
+        return Err(AnalysisError::LengthMismatch { left: v.len(), right: w.len() });
+    }
+    if v.is_empty() {
+        return Err(AnalysisError::DegenerateDistribution);
+    }
+    let mut d = 0.0f64;
+    for (&vi, &wi) in v.iter().zip(w) {
+        if vi == 0.0 {
+            continue;
+        }
+        if wi == 0.0 {
+            return Ok(f64::INFINITY);
+        }
+        d += vi * (vi / wi).ln();
+    }
+    // Floating-point rounding can produce a tiny negative value for (near-)
+    // identical distributions; KL is non-negative by Gibbs' inequality.
+    Ok(d.max(0.0))
+}
+
+/// Shannon entropy `H(v) = −Σ v_i ln v_i` in nats.
+pub fn entropy(v: &[f64]) -> f64 {
+    v.iter().filter(|&&p| p > 0.0).map(|&p| -p * p.ln()).sum()
+}
+
+/// Cross entropy `H(v, w) = −Σ v_i ln w_i` in nats (`+∞` if `v` puts mass
+/// where `w` does not).
+pub fn cross_entropy(v: &[f64], w: &[f64]) -> Result<f64, AnalysisError> {
+    if v.len() != w.len() {
+        return Err(AnalysisError::LengthMismatch { left: v.len(), right: w.len() });
+    }
+    let mut h = 0.0f64;
+    for (&vi, &wi) in v.iter().zip(w) {
+        if vi == 0.0 {
+            continue;
+        }
+        if wi == 0.0 {
+            return Ok(f64::INFINITY);
+        }
+        h -= vi * wi.ln();
+    }
+    Ok(h)
+}
+
+/// KL divergence of empirical counts against the uniform distribution over
+/// the same support: `D(v̂‖U) = ln n − H(v̂)`.
+///
+/// This is the quantity plotted in the paper's Figures 8 (inset) and 12.
+///
+/// # Errors
+///
+/// Returns [`AnalysisError::DegenerateDistribution`] for empty/all-zero
+/// counts.
+pub fn kl_vs_uniform(counts: &[u64]) -> Result<f64, AnalysisError> {
+    let v = normalize(counts)?;
+    let n = v.len() as f64;
+    Ok(((n.ln()) - entropy(&v)).max(0.0))
+}
+
+/// The paper's gain `G_KL = 1 − D(σ′‖U)/D(σ‖U)` (§VI-B, Figure 8).
+///
+/// Returns `None` when the input stream is itself (numerically) uniform
+/// (`D(σ‖U) ≈ 0`), where the gain is undefined.
+///
+/// # Errors
+///
+/// Propagates count-vector errors from [`kl_vs_uniform`].
+///
+/// # Example
+///
+/// ```
+/// use uns_analysis::kl_gain;
+///
+/// let input = [900u64, 50, 50];   // heavily biased stream
+/// let output = [34u64, 33, 33];   // nearly uniform output
+/// let gain = kl_gain(&input, &output).unwrap().unwrap();
+/// assert!(gain > 0.99);
+/// ```
+pub fn kl_gain(input_counts: &[u64], output_counts: &[u64]) -> Result<Option<f64>, AnalysisError> {
+    let d_in = kl_vs_uniform(input_counts)?;
+    let d_out = kl_vs_uniform(output_counts)?;
+    if d_in < 1e-12 {
+        return Ok(None);
+    }
+    Ok(Some(1.0 - d_out / d_in))
+}
+
+/// Total variation distance `½ Σ |v_i − w_i|`.
+///
+/// # Errors
+///
+/// Returns [`AnalysisError::LengthMismatch`] when lengths differ.
+pub fn total_variation(v: &[f64], w: &[f64]) -> Result<f64, AnalysisError> {
+    if v.len() != w.len() {
+        return Err(AnalysisError::LengthMismatch { left: v.len(), right: w.len() });
+    }
+    Ok(v.iter().zip(w).map(|(a, b)| (a - b).abs()).sum::<f64>() / 2.0)
+}
+
+/// χ² goodness-of-fit statistic of `counts` against the uniform
+/// distribution; returns `(statistic, degrees_of_freedom)`.
+///
+/// # Errors
+///
+/// Returns [`AnalysisError::DegenerateDistribution`] for empty or all-zero
+/// counts, or a support of size 1 (no degrees of freedom).
+pub fn chi_square_uniformity(counts: &[u64]) -> Result<(f64, usize), AnalysisError> {
+    let total: u64 = counts.iter().sum();
+    if counts.len() < 2 || total == 0 {
+        return Err(AnalysisError::DegenerateDistribution);
+    }
+    let expected = total as f64 / counts.len() as f64;
+    let statistic = counts
+        .iter()
+        .map(|&c| {
+            let diff = c as f64 - expected;
+            diff * diff / expected
+        })
+        .sum();
+    Ok((statistic, counts.len() - 1))
+}
+
+/// p-value of the χ² uniformity test on `counts` (survival function of the
+/// χ² distribution at the statistic).
+///
+/// # Errors
+///
+/// Same conditions as [`chi_square_uniformity`].
+pub fn chi_square_uniformity_pvalue(counts: &[u64]) -> Result<f64, AnalysisError> {
+    let (statistic, dof) = chi_square_uniformity(counts)?;
+    Ok(crate::special::chi_square_pvalue(statistic, dof))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalize_rejects_degenerate_inputs() {
+        assert!(normalize(&[]).is_err());
+        assert!(normalize(&[0, 0, 0]).is_err());
+        let p = normalize(&[1, 3]).unwrap();
+        assert_eq!(p, vec![0.25, 0.75]);
+    }
+
+    #[test]
+    fn kl_is_zero_iff_equal_and_positive_otherwise() {
+        let u = [0.25; 4];
+        assert_eq!(kl_divergence(&u, &u).unwrap(), 0.0);
+        let v = [0.7, 0.1, 0.1, 0.1];
+        assert!(kl_divergence(&v, &u).unwrap() > 0.0);
+        assert!(kl_divergence(&u, &v).unwrap() > 0.0);
+    }
+
+    #[test]
+    fn kl_is_asymmetric() {
+        let v = [0.9, 0.1];
+        let w = [0.5, 0.5];
+        let d_vw = kl_divergence(&v, &w).unwrap();
+        let d_wv = kl_divergence(&w, &v).unwrap();
+        assert!((d_vw - d_wv).abs() > 1e-3);
+    }
+
+    #[test]
+    fn kl_infinite_on_missing_support() {
+        let v = [0.5, 0.5];
+        let w = [1.0, 0.0];
+        assert_eq!(kl_divergence(&v, &w).unwrap(), f64::INFINITY);
+        // …but zero mass in v where w has mass is fine.
+        assert!(kl_divergence(&w, &v).unwrap().is_finite());
+    }
+
+    #[test]
+    fn kl_errors_on_shape_mismatch() {
+        assert!(matches!(
+            kl_divergence(&[1.0], &[0.5, 0.5]),
+            Err(AnalysisError::LengthMismatch { .. })
+        ));
+        assert!(kl_divergence(&[], &[]).is_err());
+        assert!(cross_entropy(&[1.0], &[0.5, 0.5]).is_err());
+        assert!(total_variation(&[1.0], &[0.5, 0.5]).is_err());
+    }
+
+    #[test]
+    fn kl_decomposes_as_cross_entropy_minus_entropy() {
+        let v = [0.5, 0.25, 0.125, 0.125];
+        let w = [0.25; 4];
+        let d = kl_divergence(&v, &w).unwrap();
+        let decomposed = cross_entropy(&v, &w).unwrap() - entropy(&v);
+        assert!((d - decomposed).abs() < 1e-12);
+    }
+
+    #[test]
+    fn entropy_known_values() {
+        assert_eq!(entropy(&[1.0]), 0.0);
+        assert!((entropy(&[0.5, 0.5]) - 2.0f64.ln()).abs() < 1e-12);
+        assert!((entropy(&[0.25; 4]) - 4.0f64.ln()).abs() < 1e-12);
+        // Zero entries are ignored.
+        assert!((entropy(&[0.5, 0.5, 0.0]) - 2.0f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kl_vs_uniform_is_log_n_minus_entropy() {
+        let counts = [10u64, 20, 30, 40];
+        let p = normalize(&counts).unwrap();
+        let expected = (4.0f64).ln() - entropy(&p);
+        assert!((kl_vs_uniform(&counts).unwrap() - expected).abs() < 1e-12);
+        // Uniform counts → divergence 0 (up to f64 rounding).
+        assert!(kl_vs_uniform(&[7, 7, 7]).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn gain_is_one_for_perfect_unbiasing_and_zero_for_identity() {
+        let input = [1000u64, 10, 10, 10];
+        let uniform_out = [25u64, 25, 25, 25];
+        assert!((kl_gain(&input, &uniform_out).unwrap().unwrap() - 1.0).abs() < 1e-12);
+        let unchanged = kl_gain(&input, &input).unwrap().unwrap();
+        assert!(unchanged.abs() < 1e-12);
+    }
+
+    #[test]
+    fn gain_undefined_for_uniform_input() {
+        assert_eq!(kl_gain(&[5, 5, 5], &[1, 2, 3]).unwrap(), None);
+    }
+
+    #[test]
+    fn gain_can_be_negative_when_output_is_worse() {
+        let input = [60u64, 40];
+        let output = [99u64, 1];
+        assert!(kl_gain(&input, &output).unwrap().unwrap() < 0.0);
+    }
+
+    #[test]
+    fn total_variation_bounds() {
+        let v = [1.0, 0.0];
+        let w = [0.0, 1.0];
+        assert_eq!(total_variation(&v, &w).unwrap(), 1.0);
+        assert_eq!(total_variation(&v, &v).unwrap(), 0.0);
+        // Pinsker's inequality: TV ≤ sqrt(KL/2).
+        let a = [0.6, 0.4];
+        let b = [0.3, 0.7];
+        let tv = total_variation(&a, &b).unwrap();
+        let kl = kl_divergence(&a, &b).unwrap();
+        assert!(tv <= (kl / 2.0).sqrt() + 1e-12);
+    }
+
+    #[test]
+    fn chi_square_detects_bias_and_accepts_uniform() {
+        // Perfectly uniform counts: statistic 0, p-value 1.
+        let (stat, dof) = chi_square_uniformity(&[100, 100, 100, 100]).unwrap();
+        assert_eq!(stat, 0.0);
+        assert_eq!(dof, 3);
+        assert_eq!(chi_square_uniformity_pvalue(&[100, 100, 100, 100]).unwrap(), 1.0);
+        // Heavy bias: tiny p-value.
+        let p = chi_square_uniformity_pvalue(&[1000, 10, 10, 10]).unwrap();
+        assert!(p < 1e-10);
+    }
+
+    #[test]
+    fn chi_square_rejects_degenerate() {
+        assert!(chi_square_uniformity(&[5]).is_err());
+        assert!(chi_square_uniformity(&[0, 0]).is_err());
+        assert!(chi_square_uniformity(&[]).is_err());
+    }
+}

@@ -1,0 +1,57 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+//! Analytic machinery for the uniform node sampling service of Anceaume,
+//! Busnel and Sericola (DSN 2013).
+//!
+//! The paper's correctness and robustness claims are analytic; this crate
+//! implements every piece of that analysis so the theory can be validated
+//! against the implementation and the paper's tables regenerated:
+//!
+//! * [`urns`] — the balls-into-urns occupancy process of §V: the
+//!   distribution of `N_ℓ` (occupied urns after `ℓ` balls, Theorem 6), the
+//!   coupon-collector time `U_k`, and the adversary efforts `L_{k,s}`
+//!   (targeted attack, Relation 2) and `E_k` (flooding attack, Relation 5)
+//!   behind Figures 3–4 and Table I;
+//! * [`stirling`] — Stirling numbers of the second kind used by the paper's
+//!   closed form for `P{N_ℓ = i}`;
+//! * [`markov`] — the exact Markov chain `X` over c-subsets of `N` (§IV-A):
+//!   transition matrix, stationary distribution, reversibility (Theorem 3)
+//!   and the inclusion probability `γ_ℓ = c/n` (Theorem 4);
+//! * [`mixing`] — spectral gap and mixing-time bounds for the chain (the
+//!   transient regime the paper defers to future work, §VII);
+//! * [`kl`] — Kullback–Leibler divergence, entropy and the gain `G_KL`
+//!   (Equation 6) used throughout the paper's evaluation (§VI);
+//! * [`special`] — supporting special functions (log-gamma, regularized
+//!   incomplete gamma) for χ² uniformity testing;
+//! * [`histogram`] — frequency histograms of identifier streams;
+//! * [`stats`] — summary statistics for repeated experiment trials.
+//!
+//! # Example: the paper's headline Table I values
+//!
+//! ```
+//! use uns_analysis::urns::{flooding_attack_effort, targeted_attack_effort};
+//!
+//! // k = 10, s = 5: 38 sybil identifiers suffice for a 90%-confidence
+//! // targeted attack, 44 for a flooding attack (Table I, first row).
+//! assert_eq!(targeted_attack_effort(10, 5, 0.1).unwrap(), 38);
+//! assert_eq!(flooding_attack_effort(10, 0.1).unwrap(), 44);
+//! ```
+
+pub mod error;
+pub mod histogram;
+pub mod kl;
+pub mod markov;
+pub mod mixing;
+pub mod special;
+pub mod stats;
+pub mod stirling;
+pub mod urns;
+
+pub use error::AnalysisError;
+pub use histogram::Frequencies;
+pub use kl::{entropy, kl_divergence, kl_gain, kl_vs_uniform, total_variation};
+pub use markov::SubsetChain;
+pub use mixing::{spectral_summary, SpectralSummary};
+pub use stats::Summary;
+pub use urns::{flooding_attack_effort, targeted_attack_effort, OccupancyProcess};

@@ -1,0 +1,480 @@
+//! The exact Markov chain `X` of §IV-A: evolution of the sampling memory
+//! `Γ` over the state space `S = {A ⊆ N : |A| = c}`.
+//!
+//! For small populations the chain can be built explicitly, which lets us
+//! machine-check the paper's three analytic results:
+//!
+//! * **Theorem 3** — `X` is reversible with stationary distribution
+//!   `π_A = (1/K)(Σ_{ℓ∈A} r_ℓ)(Π_{h∈A} p_h a_h / r_h)`;
+//! * **Theorem 4** — with the paper's parameters
+//!   (`a_j = min_i p_i / p_j`, `r_j = 1/n`) the stationary distribution is
+//!   uniform over c-subsets and `γ_ℓ = P{ℓ ∈ Γ} = c/n`;
+//! * **Corollary 5** — hence each identifier is output with probability
+//!   `1/n` (Uniformity), and with `p_j a_j > 0` every identifier keeps
+//!   entering `Γ` (Freshness).
+//!
+//! States are bitmasks over the population `{0, …, n−1}` with `n ≤ 20`
+//! (beyond that, `C(n, c)` explodes; the point of the paper is precisely
+//! that the *implementation* never materializes this chain).
+
+use crate::error::AnalysisError;
+
+/// Maximum population size for explicit chain construction.
+pub const MAX_POPULATION: usize = 20;
+
+/// Explicit finite Markov chain over the c-subsets of a population of `n`
+/// identifiers.
+///
+/// # Example
+///
+/// ```
+/// use uns_analysis::SubsetChain;
+///
+/// // A biased stream over n = 5 ids, sampler memory c = 2.
+/// let p = [0.4, 0.3, 0.1, 0.1, 0.1];
+/// let chain = SubsetChain::with_paper_parameters(&p, 2).unwrap();
+/// let pi = chain.stationary_distribution(1e-12, 100_000).unwrap();
+/// // Theorem 4: every id is resident with probability γ = c/n = 0.4.
+/// for id in 0..5 {
+///     let gamma = chain.inclusion_probability(&pi, id).unwrap();
+///     assert!((gamma - 0.4).abs() < 1e-9);
+/// }
+/// ```
+#[derive(Clone, Debug)]
+pub struct SubsetChain {
+    n: usize,
+    c: usize,
+    p: Vec<f64>,
+    a: Vec<f64>,
+    r: Vec<f64>,
+    /// All c-subsets as bitmasks, in increasing numeric order.
+    states: Vec<u32>,
+}
+
+impl SubsetChain {
+    /// Builds the chain for arbitrary per-identifier occurrence
+    /// probabilities `p`, insertion probabilities `a` and removal weights
+    /// `r`, with memory size `c`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalysisError::InvalidChainParameters`] unless
+    /// `1 ≤ c < n ≤ 20`, the three vectors have length `n`, `p` is a
+    /// probability vector with all entries positive, `a ∈ (0, 1]`, `r > 0`,
+    /// and `Σ_j p_j a_j ≤ 1` (so every row of the transition matrix is
+    /// stochastic).
+    pub fn new(p: &[f64], a: &[f64], r: &[f64], c: usize) -> Result<Self, AnalysisError> {
+        let n = p.len();
+        let invalid = |reason: String| AnalysisError::InvalidChainParameters { reason };
+        if n < 2 || n > MAX_POPULATION {
+            return Err(invalid(format!("population size must be in 2..={MAX_POPULATION}, got {n}")));
+        }
+        if c == 0 || c >= n {
+            return Err(invalid(format!("memory size c must satisfy 1 <= c < n, got c={c}, n={n}")));
+        }
+        if a.len() != n || r.len() != n {
+            return Err(invalid(format!(
+                "vector lengths differ: |p|={n}, |a|={}, |r|={}",
+                a.len(),
+                r.len()
+            )));
+        }
+        let total_p: f64 = p.iter().sum();
+        if (total_p - 1.0).abs() > 1e-9 {
+            return Err(invalid(format!("p must sum to 1, sums to {total_p}")));
+        }
+        if p.iter().any(|&x| x <= 0.0) {
+            return Err(invalid("all occurrence probabilities p_j must be positive".into()));
+        }
+        if a.iter().any(|&x| !(x > 0.0 && x <= 1.0)) {
+            return Err(invalid("all insertion probabilities a_j must lie in (0, 1]".into()));
+        }
+        if r.iter().any(|&x| x <= 0.0) {
+            return Err(invalid("all removal weights r_j must be positive".into()));
+        }
+        let insertion_mass: f64 = p.iter().zip(a).map(|(&pj, &aj)| pj * aj).sum();
+        if insertion_mass > 1.0 + 1e-9 {
+            return Err(invalid(format!("sum of p_j * a_j is {insertion_mass} > 1; rows would not be stochastic")));
+        }
+        let states = enumerate_subsets(n, c);
+        Ok(Self { n, c, p: p.to_vec(), a: a.to_vec(), r: r.to_vec(), states })
+    }
+
+    /// Builds the chain with the paper's Corollary 5 parameters:
+    /// `a_j = min_i(p_i)/p_j` and `r_j = 1/n`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`SubsetChain::new`].
+    pub fn with_paper_parameters(p: &[f64], c: usize) -> Result<Self, AnalysisError> {
+        if p.is_empty() || p.iter().any(|&x| x <= 0.0) {
+            return Err(AnalysisError::InvalidChainParameters {
+                reason: "occurrence probabilities must be positive".into(),
+            });
+        }
+        let p_min = p.iter().cloned().fold(f64::INFINITY, f64::min);
+        let a: Vec<f64> = p.iter().map(|&pj| p_min / pj).collect();
+        let r = vec![1.0 / p.len() as f64; p.len()];
+        Self::new(p, &a, &r, c)
+    }
+
+    /// Population size `n`.
+    pub fn population(&self) -> usize {
+        self.n
+    }
+
+    /// Memory size `c`.
+    pub fn memory(&self) -> usize {
+        self.c
+    }
+
+    /// Number of states `|S| = C(n, c)`.
+    pub fn state_count(&self) -> usize {
+        self.states.len()
+    }
+
+    /// The members of state `idx` as identifier indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= state_count()`.
+    pub fn state_members(&self, idx: usize) -> Vec<usize> {
+        let mask = self.states[idx];
+        (0..self.n).filter(|&i| mask & (1 << i) != 0).collect()
+    }
+
+    /// One-step transition probability `P_{A,B}` between state indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn transition_probability(&self, from: usize, to: usize) -> f64 {
+        let a_mask = self.states[from];
+        let b_mask = self.states[to];
+        if from == to {
+            // P_{A,A} = 1 − Σ_{j∉A} p_j a_j (paper, §IV-A).
+            let leak: f64 = (0..self.n)
+                .filter(|&j| a_mask & (1 << j) == 0)
+                .map(|j| self.p[j] * self.a[j])
+                .sum();
+            return 1.0 - leak;
+        }
+        let removed = a_mask & !b_mask;
+        let added = b_mask & !a_mask;
+        if removed.count_ones() != 1 || added.count_ones() != 1 {
+            return 0.0;
+        }
+        let i = removed.trailing_zeros() as usize;
+        let j = added.trailing_zeros() as usize;
+        let r_sum: f64 =
+            (0..self.n).filter(|&l| a_mask & (1 << l) != 0).map(|l| self.r[l]).sum();
+        (self.r[i] / r_sum) * self.p[j] * self.a[j]
+    }
+
+    /// Materializes the dense `|S| × |S|` transition matrix.
+    pub fn transition_matrix(&self) -> Vec<Vec<f64>> {
+        let s = self.state_count();
+        (0..s).map(|from| (0..s).map(|to| self.transition_probability(from, to)).collect()).collect()
+    }
+
+    /// Stationary distribution by power iteration from the uniform vector.
+    ///
+    /// Iterates `π ← πP` until the L1 change drops below `tol`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalysisError::SearchDidNotConverge`] if `max_iter` sweeps
+    /// do not reach the tolerance.
+    pub fn stationary_distribution(&self, tol: f64, max_iter: u64) -> Result<Vec<f64>, AnalysisError> {
+        let s = self.state_count();
+        let matrix = self.transition_matrix();
+        let mut pi = vec![1.0 / s as f64; s];
+        let mut next = vec![0.0f64; s];
+        for _ in 0..max_iter {
+            next.fill(0.0);
+            for (from, &mass) in pi.iter().enumerate() {
+                if mass == 0.0 {
+                    continue;
+                }
+                for (to, &prob) in matrix[from].iter().enumerate() {
+                    if prob > 0.0 {
+                        next[to] += mass * prob;
+                    }
+                }
+            }
+            let diff: f64 = pi.iter().zip(&next).map(|(x, y)| (x - y).abs()).sum();
+            std::mem::swap(&mut pi, &mut next);
+            if diff < tol {
+                // Renormalize to absorb floating point drift.
+                let total: f64 = pi.iter().sum();
+                for x in &mut pi {
+                    *x /= total;
+                }
+                return Ok(pi);
+            }
+        }
+        Err(AnalysisError::SearchDidNotConverge { what: "stationary distribution", budget: max_iter })
+    }
+
+    /// The closed-form stationary distribution of Theorem 3:
+    /// `π_A ∝ (Σ_{ℓ∈A} r_ℓ)(Π_{h∈A} p_h a_h / r_h)`.
+    pub fn theoretical_stationary(&self) -> Vec<f64> {
+        let mut pi: Vec<f64> = self
+            .states
+            .iter()
+            .map(|&mask| {
+                let members: Vec<usize> = (0..self.n).filter(|&i| mask & (1 << i) != 0).collect();
+                let r_sum: f64 = members.iter().map(|&l| self.r[l]).sum();
+                let product: f64 =
+                    members.iter().map(|&h| self.p[h] * self.a[h] / self.r[h]).product();
+                r_sum * product
+            })
+            .collect();
+        let total: f64 = pi.iter().sum();
+        for x in &mut pi {
+            *x /= total;
+        }
+        pi
+    }
+
+    /// Checks the detailed-balance conditions `π_A P_{A,B} = π_B P_{B,A}`
+    /// for all state pairs, within absolute tolerance `tol`.
+    pub fn is_reversible(&self, pi: &[f64], tol: f64) -> bool {
+        let s = self.state_count();
+        for a in 0..s {
+            for b in (a + 1)..s {
+                let forward = pi[a] * self.transition_probability(a, b);
+                let backward = pi[b] * self.transition_probability(b, a);
+                if (forward - backward).abs() > tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Inclusion probability `γ_id = Σ_{A ∋ id} π_A` (Theorem 4's quantity).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalysisError::LengthMismatch`] if `pi` is not indexed by
+    /// states, and [`AnalysisError::InvalidChainParameters`] if `id ≥ n`.
+    pub fn inclusion_probability(&self, pi: &[f64], id: usize) -> Result<f64, AnalysisError> {
+        if pi.len() != self.state_count() {
+            return Err(AnalysisError::LengthMismatch { left: pi.len(), right: self.state_count() });
+        }
+        if id >= self.n {
+            return Err(AnalysisError::InvalidChainParameters {
+                reason: format!("identifier {id} outside population of size {}", self.n),
+            });
+        }
+        Ok(self
+            .states
+            .iter()
+            .zip(pi)
+            .filter(|(&mask, _)| mask & (1 << id) != 0)
+            .map(|(_, &mass)| mass)
+            .sum())
+    }
+
+    /// The per-identifier *output* probability under stationarity: each
+    /// output is a uniform draw from `Γ`, so
+    /// `P{S(t) = id} = Σ_{A ∋ id} π_A / c` (Corollary 5's quantity).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`SubsetChain::inclusion_probability`].
+    pub fn output_probability(&self, pi: &[f64], id: usize) -> Result<f64, AnalysisError> {
+        Ok(self.inclusion_probability(pi, id)? / self.c as f64)
+    }
+}
+
+/// Enumerates all c-subsets of `{0, …, n−1}` as bitmasks in increasing
+/// order (Gosper's hack).
+fn enumerate_subsets(n: usize, c: usize) -> Vec<u32> {
+    let mut subsets = Vec::new();
+    let limit: u32 = 1 << n;
+    let mut mask: u32 = (1 << c) - 1;
+    while mask < limit {
+        subsets.push(mask);
+        // Gosper's hack: next bitmask with the same popcount.
+        let lowest = mask & mask.wrapping_neg();
+        let ripple = mask + lowest;
+        mask = (((mask ^ ripple) >> 2) / lowest) | ripple;
+        if lowest == 0 {
+            break;
+        }
+    }
+    subsets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn binomial(n: usize, c: usize) -> usize {
+        let mut result = 1usize;
+        for i in 0..c {
+            result = result * (n - i) / (i + 1);
+        }
+        result
+    }
+
+    #[test]
+    fn subset_enumeration_counts_and_popcounts() {
+        for (n, c) in [(4, 2), (6, 3), (8, 1), (8, 7), (10, 4)] {
+            let subsets = enumerate_subsets(n, c);
+            assert_eq!(subsets.len(), binomial(n, c), "C({n},{c})");
+            for &mask in &subsets {
+                assert_eq!(mask.count_ones() as usize, c);
+                assert!(mask < (1 << n));
+            }
+            // Strictly increasing → all distinct.
+            for w in subsets.windows(2) {
+                assert!(w[0] < w[1]);
+            }
+        }
+    }
+
+    #[test]
+    fn constructor_validates_parameters() {
+        let p = [0.25; 4];
+        let a = [1.0; 4];
+        let r = [0.25; 4];
+        assert!(SubsetChain::new(&p, &a, &r, 2).is_ok());
+        assert!(SubsetChain::new(&p, &a, &r, 0).is_err()); // c = 0
+        assert!(SubsetChain::new(&p, &a, &r, 4).is_err()); // c = n
+        assert!(SubsetChain::new(&[0.5, 0.5], &[1.0], &[0.5, 0.5], 1).is_err()); // |a| ≠ n
+        assert!(SubsetChain::new(&[0.9, 0.2], &[1.0, 1.0], &[0.5, 0.5], 1).is_err()); // Σp ≠ 1
+        assert!(SubsetChain::new(&[1.0, 0.0], &[1.0, 1.0], &[0.5, 0.5], 1).is_err()); // p_j = 0
+        let bad_a = [2.0, 1.0, 1.0, 1.0];
+        assert!(SubsetChain::new(&p, &bad_a, &r, 2).is_err()); // a_j > 1
+        let bad_r = [0.0, 1.0, 1.0, 1.0];
+        assert!(SubsetChain::new(&p, &a, &bad_r, 2).is_err()); // r_j = 0
+        let too_big = vec![1.0 / 21.0; 21];
+        assert!(SubsetChain::with_paper_parameters(&too_big, 2).is_err()); // n > 20
+    }
+
+    #[test]
+    fn rows_are_stochastic() {
+        let p = [0.5, 0.2, 0.2, 0.1];
+        let chain = SubsetChain::with_paper_parameters(&p, 2).unwrap();
+        let matrix = chain.transition_matrix();
+        for (i, row) in matrix.iter().enumerate() {
+            let sum: f64 = row.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-12, "row {i} sums to {sum}");
+            assert!(row.iter().all(|&x| (-1e-15..=1.0 + 1e-12).contains(&x)));
+        }
+    }
+
+    #[test]
+    fn theorem3_stationary_matches_power_iteration() {
+        // Arbitrary (valid) parameters, not just the paper's choice.
+        let p = [0.4, 0.3, 0.2, 0.1];
+        let a = [0.2, 0.5, 0.7, 1.0];
+        let r = [0.1, 0.2, 0.3, 0.4];
+        let chain = SubsetChain::new(&p, &a, &r, 2).unwrap();
+        let pi_iter = chain.stationary_distribution(1e-13, 200_000).unwrap();
+        let pi_closed = chain.theoretical_stationary();
+        for (i, (x, y)) in pi_iter.iter().zip(&pi_closed).enumerate() {
+            assert!((x - y).abs() < 1e-8, "state {i}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn theorem3_detailed_balance_holds() {
+        let p = [0.4, 0.3, 0.2, 0.1];
+        let a = [0.2, 0.5, 0.7, 1.0];
+        let r = [0.1, 0.2, 0.3, 0.4];
+        let chain = SubsetChain::new(&p, &a, &r, 2).unwrap();
+        let pi = chain.theoretical_stationary();
+        assert!(chain.is_reversible(&pi, 1e-12));
+        // A non-stationary vector must violate detailed balance.
+        let uniform = vec![1.0 / chain.state_count() as f64; chain.state_count()];
+        assert!(!chain.is_reversible(&uniform, 1e-12));
+    }
+
+    #[test]
+    fn theorem4_uniform_stationary_under_paper_parameters() {
+        // Strongly biased stream; paper parameters must still flatten it.
+        let p = [0.55, 0.2, 0.1, 0.05, 0.05, 0.05];
+        for c in 1..=4usize {
+            let chain = SubsetChain::with_paper_parameters(&p, c).unwrap();
+            let pi = chain.theoretical_stationary();
+            let expected = 1.0 / chain.state_count() as f64;
+            for (i, &mass) in pi.iter().enumerate() {
+                assert!((mass - expected).abs() < 1e-12, "c={c} state {i}: π = {mass}");
+            }
+            for id in 0..p.len() {
+                let gamma = chain.inclusion_probability(&pi, id).unwrap();
+                assert!(
+                    (gamma - c as f64 / p.len() as f64).abs() < 1e-10,
+                    "c={c} id={id}: γ = {gamma}"
+                );
+                let out = chain.output_probability(&pi, id).unwrap();
+                assert!((out - 1.0 / p.len() as f64).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn corollary5_fails_without_paper_parameters() {
+        // Sanity check that Theorem 4 is about the *parameters*, not an
+        // artifact of the chain: a = 1 (insert always) biases residency
+        // toward frequent identifiers.
+        let p = [0.7, 0.1, 0.1, 0.1];
+        let a = [1.0; 4];
+        let r = [0.25; 4];
+        let chain = SubsetChain::new(&p, &a, &r, 2).unwrap();
+        let pi = chain.stationary_distribution(1e-13, 200_000).unwrap();
+        let gamma_frequent = chain.inclusion_probability(&pi, 0).unwrap();
+        let gamma_rare = chain.inclusion_probability(&pi, 1).unwrap();
+        assert!(
+            gamma_frequent > gamma_rare + 0.05,
+            "naive insertion should over-represent the heavy hitter: {gamma_frequent} vs {gamma_rare}"
+        );
+    }
+
+    #[test]
+    fn gamma_sums_to_c() {
+        let p = [0.3, 0.3, 0.2, 0.1, 0.1];
+        let chain = SubsetChain::with_paper_parameters(&p, 3).unwrap();
+        let pi = chain.theoretical_stationary();
+        let total: f64 = (0..5).map(|id| chain.inclusion_probability(&pi, id).unwrap()).sum();
+        assert!((total - 3.0).abs() < 1e-10, "Σ γ_ℓ = {total}, expected c = 3");
+    }
+
+    #[test]
+    fn state_members_roundtrip() {
+        let p = [0.25; 4];
+        let chain = SubsetChain::with_paper_parameters(&p, 2).unwrap();
+        assert_eq!(chain.state_count(), 6);
+        assert_eq!(chain.population(), 4);
+        assert_eq!(chain.memory(), 2);
+        for idx in 0..chain.state_count() {
+            let members = chain.state_members(idx);
+            assert_eq!(members.len(), 2);
+            assert!(members.iter().all(|&m| m < 4));
+        }
+    }
+
+    #[test]
+    fn inclusion_probability_validates_arguments() {
+        let p = [0.25; 4];
+        let chain = SubsetChain::with_paper_parameters(&p, 2).unwrap();
+        let pi = chain.theoretical_stationary();
+        assert!(chain.inclusion_probability(&pi[..3], 0).is_err());
+        assert!(chain.inclusion_probability(&pi, 4).is_err());
+    }
+
+    #[test]
+    fn impossible_transitions_have_zero_probability() {
+        // Moving two identifiers at once is impossible in one step.
+        let p = [0.25; 4];
+        let chain = SubsetChain::with_paper_parameters(&p, 2).unwrap();
+        // Find two states differing in both members (e.g. {0,1} and {2,3}).
+        let from = chain.states.iter().position(|&m| m == 0b0011).unwrap();
+        let to = chain.states.iter().position(|&m| m == 0b1100).unwrap();
+        assert_eq!(chain.transition_probability(from, to), 0.0);
+    }
+}

@@ -1,0 +1,226 @@
+//! Transient behaviour of the sampling chain: spectral gap and mixing-time
+//! bounds.
+//!
+//! The paper proves *stationary* uniformity and defers the transient regime
+//! to future work (§VII). For populations small enough to build the chain
+//! explicitly, this module quantifies the transient: the second-largest
+//! eigenvalue modulus `λ₂` of the transition matrix, the spectral gap
+//! `1 − λ₂`, and the classic mixing-time bound for reversible chains
+//!
+//! ```text
+//! t_mix(ε) ≤ ln(1 / (ε · min_A π_A)) / (1 − λ₂).
+//! ```
+//!
+//! This makes precise the empirical observation (paper Fig. 9, our
+//! EXPERIMENTS.md) that convergence slows as the stream bias grows: with
+//! the paper's `a_j = min_i(p_i)/p_j`, every off-diagonal transition rate
+//! carries a factor `min_i p_i`, so the gap — and hence the convergence
+//! rate — shrinks linearly with the rarest identifier's probability.
+
+use crate::error::AnalysisError;
+use crate::markov::SubsetChain;
+
+/// Spectral summary of a [`SubsetChain`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SpectralSummary {
+    /// Second-largest eigenvalue modulus `λ₂` of the transition matrix.
+    pub lambda2: f64,
+    /// Spectral gap `1 − λ₂`.
+    pub gap: f64,
+    /// Smallest stationary mass `min_A π_A`.
+    pub pi_min: f64,
+}
+
+impl SpectralSummary {
+    /// Upper bound on the ε-mixing time (in stream elements) for the
+    /// reversible chain: `ln(1/(ε·π_min)) / gap`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < ε < 1`.
+    pub fn mixing_time_bound(&self, epsilon: f64) -> f64 {
+        assert!(epsilon > 0.0 && epsilon < 1.0, "epsilon must be in (0, 1)");
+        if self.gap <= 0.0 {
+            return f64::INFINITY;
+        }
+        (1.0 / (epsilon * self.pi_min)).ln() / self.gap
+    }
+}
+
+/// Estimates `λ₂` of the chain by power iteration on the deflated operator
+/// `B = P − 1·πᵀ` (whose spectral radius is exactly `λ₂` since `P`'s
+/// Perron eigenpair is `(1, π)`).
+///
+/// # Errors
+///
+/// Returns [`AnalysisError::SearchDidNotConverge`] if the growth-rate
+/// estimate has not stabilized within `max_iter` sweeps.
+pub fn spectral_summary(chain: &SubsetChain, max_iter: u64) -> Result<SpectralSummary, AnalysisError> {
+    let pi = chain.theoretical_stationary();
+    let matrix = chain.transition_matrix();
+    let states = chain.state_count();
+    // Deterministic pseudo-random start vector, deflated against π.
+    let mut x: Vec<f64> = (0..states)
+        .map(|i| {
+            let mut z = (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+            z ^= z >> 30;
+            z = z.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            (z >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        })
+        .collect();
+    deflate(&mut x, &pi);
+    normalize(&mut x);
+
+    let mut lambda = 0.0f64;
+    let mut last_lambda = f64::NAN;
+    for iter in 0..max_iter {
+        // x ← xP (row-vector iteration), then deflate drift toward π.
+        let mut next = vec![0.0f64; states];
+        for (from, &mass) in x.iter().enumerate() {
+            if mass == 0.0 {
+                continue;
+            }
+            for (to, &p) in matrix[from].iter().enumerate() {
+                if p > 0.0 {
+                    next[to] += mass * p;
+                }
+            }
+        }
+        deflate(&mut next, &pi);
+        let norm = next.iter().map(|v| v * v).sum::<f64>().sqrt();
+        lambda = norm; // ‖xB‖ / ‖x‖ with ‖x‖ = 1
+        if norm == 0.0 {
+            // x was (numerically) in the Perron eigenspace only: gap is 1.
+            return Ok(summary_from(chain, 0.0, &pi));
+        }
+        for v in &mut next {
+            *v /= norm;
+        }
+        x = next;
+        if iter > 10 && (lambda - last_lambda).abs() < 1e-12 {
+            return Ok(summary_from(chain, lambda, &pi));
+        }
+        last_lambda = lambda;
+    }
+    // Power iteration converges slowly when λ₂ ≈ λ₃; accept the estimate if
+    // it has stabilized to a looser tolerance, otherwise report failure.
+    if (lambda - last_lambda).abs() < 1e-6 {
+        return Ok(summary_from(chain, lambda, &pi));
+    }
+    Err(AnalysisError::SearchDidNotConverge { what: "second eigenvalue (power iteration)", budget: max_iter })
+}
+
+fn summary_from(chain: &SubsetChain, lambda2: f64, pi: &[f64]) -> SpectralSummary {
+    let _ = chain;
+    let pi_min = pi.iter().cloned().fold(f64::INFINITY, f64::min);
+    SpectralSummary { lambda2, gap: 1.0 - lambda2, pi_min }
+}
+
+/// Removes the component along the Perron pair: `x ← x − (Σ x_i)·π`
+/// (left-deflation; `x·1` is the coefficient on π for row vectors).
+fn deflate(x: &mut [f64], pi: &[f64]) {
+    let mass: f64 = x.iter().sum();
+    for (v, &p) in x.iter_mut().zip(pi) {
+        *v -= mass * p;
+    }
+}
+
+fn normalize(x: &mut [f64]) {
+    let norm = x.iter().map(|v| v * v).sum::<f64>().sqrt();
+    if norm > 0.0 {
+        for v in x.iter_mut() {
+            *v /= norm;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lambda2_is_strictly_inside_the_unit_disk() {
+        let p = [0.4, 0.3, 0.2, 0.1];
+        let chain = SubsetChain::with_paper_parameters(&p, 2).unwrap();
+        let s = spectral_summary(&chain, 100_000).unwrap();
+        assert!(s.lambda2 >= 0.0 && s.lambda2 < 1.0, "λ₂ = {}", s.lambda2);
+        assert!(s.gap > 0.0);
+        assert!((s.pi_min - 1.0 / chain.state_count() as f64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lambda2_matches_observed_convergence_rate() {
+        // Evolve a point mass and check that the distance to π decays at
+        // rate ≈ λ₂ per step (asymptotically).
+        let p = [0.5, 0.25, 0.15, 0.1];
+        let chain = SubsetChain::with_paper_parameters(&p, 2).unwrap();
+        let s = spectral_summary(&chain, 100_000).unwrap();
+        let matrix = chain.transition_matrix();
+        let pi = chain.theoretical_stationary();
+        let states = chain.state_count();
+        let mut dist = vec![0.0f64; states];
+        dist[0] = 1.0;
+        let mut previous_err = f64::NAN;
+        let mut last_ratio = f64::NAN;
+        for step in 0..400 {
+            let mut next = vec![0.0f64; states];
+            for (from, &mass) in dist.iter().enumerate() {
+                for (to, &prob) in matrix[from].iter().enumerate() {
+                    next[to] += mass * prob;
+                }
+            }
+            dist = next;
+            let err: f64 =
+                dist.iter().zip(&pi).map(|(a, b)| (a - b).abs()).sum::<f64>() / 2.0;
+            if step > 50 && previous_err > 1e-12 {
+                last_ratio = err / previous_err;
+            }
+            previous_err = err;
+        }
+        assert!(
+            (last_ratio - s.lambda2).abs() < 0.02,
+            "observed decay {last_ratio} vs λ₂ {}",
+            s.lambda2
+        );
+    }
+
+    #[test]
+    fn gap_shrinks_with_stream_bias() {
+        // The paper's a_j = min p / p_j slows the chain as the bias grows:
+        // compare a mild and a strong peak over the same population.
+        let mild = [0.3, 0.24, 0.24, 0.22];
+        let strong = [0.7, 0.1, 0.1, 0.1];
+        let gap_mild =
+            spectral_summary(&SubsetChain::with_paper_parameters(&mild, 2).unwrap(), 100_000)
+                .unwrap()
+                .gap;
+        let gap_strong =
+            spectral_summary(&SubsetChain::with_paper_parameters(&strong, 2).unwrap(), 100_000)
+                .unwrap()
+                .gap;
+        assert!(
+            gap_strong < gap_mild,
+            "stronger bias must mix slower: gap {gap_strong} vs {gap_mild}"
+        );
+    }
+
+    #[test]
+    fn mixing_time_bound_behaviour() {
+        let p = [0.4, 0.3, 0.2, 0.1];
+        let chain = SubsetChain::with_paper_parameters(&p, 2).unwrap();
+        let s = spectral_summary(&chain, 100_000).unwrap();
+        let t1 = s.mixing_time_bound(0.1);
+        let t2 = s.mixing_time_bound(0.01);
+        assert!(t2 > t1, "tighter ε must cost more steps");
+        assert!(t1.is_finite() && t1 > 0.0);
+        let degenerate = SpectralSummary { lambda2: 1.0, gap: 0.0, pi_min: 0.1 };
+        assert_eq!(degenerate.mixing_time_bound(0.1), f64::INFINITY);
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon")]
+    fn mixing_time_rejects_bad_epsilon() {
+        let s = SpectralSummary { lambda2: 0.5, gap: 0.5, pi_min: 0.1 };
+        let _ = s.mixing_time_bound(1.5);
+    }
+}

@@ -1,0 +1,146 @@
+//! Summary statistics for repeated experiment trials.
+//!
+//! The paper averages every experiment over 100 trials (§VI-A). [`Summary`]
+//! condenses a vector of per-trial measurements into the moments and
+//! confidence intervals reported by the benchmark harness.
+
+/// Summary statistics over a sample of `f64` measurements.
+///
+/// # Example
+///
+/// ```
+/// use uns_analysis::Summary;
+///
+/// let trials = [0.92, 0.95, 0.93, 0.96, 0.94];
+/// let summary = Summary::from_slice(&trials).unwrap();
+/// assert!((summary.mean - 0.94).abs() < 1e-12);
+/// assert_eq!(summary.count, 5);
+/// assert_eq!(summary.min, 0.92);
+/// assert_eq!(summary.max, 0.96);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Summary {
+    /// Number of measurements.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (Bessel-corrected; 0 for a single sample).
+    pub std_dev: f64,
+    /// Smallest measurement.
+    pub min: f64,
+    /// Largest measurement.
+    pub max: f64,
+    /// Median (midpoint average for even counts).
+    pub median: f64,
+}
+
+impl Summary {
+    /// Computes summary statistics; `None` for an empty slice or any
+    /// non-finite measurement.
+    pub fn from_slice(samples: &[f64]) -> Option<Self> {
+        if samples.is_empty() || samples.iter().any(|x| !x.is_finite()) {
+            return None;
+        }
+        let count = samples.len();
+        let mean = samples.iter().sum::<f64>() / count as f64;
+        let variance = if count > 1 {
+            samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (count - 1) as f64
+        } else {
+            0.0
+        };
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+        let median = if count % 2 == 1 {
+            sorted[count / 2]
+        } else {
+            (sorted[count / 2 - 1] + sorted[count / 2]) / 2.0
+        };
+        Some(Self {
+            count,
+            mean,
+            std_dev: variance.sqrt(),
+            min: sorted[0],
+            max: sorted[count - 1],
+            median,
+        })
+    }
+
+    /// Half-width of the 95% confidence interval for the mean under the
+    /// normal approximation (`1.96·σ/√n`).
+    pub fn ci95_half_width(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        1.96 * self.std_dev / (self.count as f64).sqrt()
+    }
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "mean {:.6} ± {:.6} (n = {}, min {:.6}, median {:.6}, max {:.6})",
+            self.mean,
+            self.ci95_half_width(),
+            self.count,
+            self.min,
+            self.median,
+            self.max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_nonfinite_are_rejected() {
+        assert!(Summary::from_slice(&[]).is_none());
+        assert!(Summary::from_slice(&[1.0, f64::NAN]).is_none());
+        assert!(Summary::from_slice(&[f64::INFINITY]).is_none());
+    }
+
+    #[test]
+    fn single_sample() {
+        let s = Summary::from_slice(&[3.5]).unwrap();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.mean, 3.5);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.median, 3.5);
+        assert_eq!(s.ci95_half_width(), 0.0);
+    }
+
+    #[test]
+    fn known_statistics() {
+        let s = Summary::from_slice(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        // Sample variance of this classic example is 32/7.
+        assert!((s.std_dev - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+        assert!((s.median - 4.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn median_odd_count() {
+        let s = Summary::from_slice(&[9.0, 1.0, 5.0]).unwrap();
+        assert_eq!(s.median, 5.0);
+    }
+
+    #[test]
+    fn ci_shrinks_with_sample_size() {
+        let small = Summary::from_slice(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        let many: Vec<f64> = (0..400).map(|i| 1.0 + (i % 4) as f64).collect();
+        let large = Summary::from_slice(&many).unwrap();
+        assert!(large.ci95_half_width() < small.ci95_half_width());
+    }
+
+    #[test]
+    fn display_contains_key_figures() {
+        let s = Summary::from_slice(&[1.0, 3.0]).unwrap();
+        let text = s.to_string();
+        assert!(text.contains("mean 2.0"));
+        assert!(text.contains("n = 2"));
+    }
+}

@@ -1,0 +1,272 @@
+//! Stirling numbers of the second kind `S(ℓ, i)`.
+//!
+//! Theorem 6 of the paper expresses the occupancy distribution as
+//! `P{N_ℓ = i} = S(ℓ, i)·k! / (k^ℓ (k−i)!)`, with the recursion (paper's
+//! Relation 3)
+//!
+//! ```text
+//! S(1, 1) = 1,
+//! S(ℓ, i) = S(ℓ−1, i−1)·1{i≠1} + i·S(ℓ−1, i)·1{i≠ℓ}
+//! ```
+//!
+//! and the explicit inclusion–exclusion formula (paper's Relation 4). Exact
+//! `u128` arithmetic covers the small range; a log-space table covers the
+//! large range needed to evaluate Theorem 6 for realistic sketch widths.
+
+use crate::error::AnalysisError;
+
+/// Exact Stirling numbers of the second kind up to `ℓ = max_ell`, by the
+/// paper's Relation (3).
+///
+/// Returns a triangular table `t` with `t[ℓ][i] = S(ℓ, i)` for
+/// `1 ≤ i ≤ ℓ ≤ max_ell` (index 0 rows/columns are zero-padded).
+///
+/// # Errors
+///
+/// Returns [`AnalysisError::SearchDidNotConverge`] if a value overflows
+/// `u128` (happens around `ℓ ≈ 40` for central `i`); use
+/// [`ln_stirling2_table`] beyond that.
+pub fn stirling2_table(max_ell: usize) -> Result<Vec<Vec<u128>>, AnalysisError> {
+    let mut table = vec![vec![0u128; max_ell + 1]; max_ell + 1];
+    if max_ell == 0 {
+        return Ok(table);
+    }
+    table[1][1] = 1;
+    for ell in 2..=max_ell {
+        for i in 1..=ell {
+            let from_smaller = if i != 1 { table[ell - 1][i - 1] } else { 0 };
+            let from_same = if i != ell {
+                (i as u128)
+                    .checked_mul(table[ell - 1][i])
+                    .ok_or(AnalysisError::SearchDidNotConverge {
+                        what: "exact stirling number (u128 overflow)",
+                        budget: max_ell as u64,
+                    })?
+            } else {
+                0
+            };
+            table[ell][i] = from_smaller.checked_add(from_same).ok_or(
+                AnalysisError::SearchDidNotConverge {
+                    what: "exact stirling number (u128 overflow)",
+                    budget: max_ell as u64,
+                },
+            )?;
+        }
+    }
+    Ok(table)
+}
+
+/// Natural-log Stirling-2 table: `t[ℓ][i] = ln S(ℓ, i)` (or `−∞` where
+/// `S(ℓ, i) = 0`), computed with the same recursion in log space via
+/// log-sum-exp, which is stable for arbitrary `ℓ`.
+pub fn ln_stirling2_table(max_ell: usize) -> Vec<Vec<f64>> {
+    let mut table = vec![vec![f64::NEG_INFINITY; max_ell + 1]; max_ell + 1];
+    if max_ell == 0 {
+        return table;
+    }
+    table[1][1] = 0.0; // ln 1
+    for ell in 2..=max_ell {
+        for i in 1..=ell {
+            let a = if i != 1 { table[ell - 1][i - 1] } else { f64::NEG_INFINITY };
+            let b = if i != ell {
+                table[ell - 1][i] + (i as f64).ln()
+            } else {
+                f64::NEG_INFINITY
+            };
+            table[ell][i] = log_sum_exp(a, b);
+        }
+    }
+    table
+}
+
+/// `ln(e^a + e^b)` computed without overflow.
+fn log_sum_exp(a: f64, b: f64) -> f64 {
+    if a == f64::NEG_INFINITY {
+        return b;
+    }
+    if b == f64::NEG_INFINITY {
+        return a;
+    }
+    let (hi, lo) = if a >= b { (a, b) } else { (b, a) };
+    hi + (lo - hi).exp().ln_1p()
+}
+
+/// Evaluates Theorem 6 directly:
+/// `P{N_ℓ = i} = S(ℓ, i)·k!/(k^ℓ (k−i)!)`, using the log-space table.
+///
+/// Intended for validation; the forward recurrence in
+/// [`crate::urns::OccupancyProcess`] is the production path.
+///
+/// # Errors
+///
+/// Returns [`AnalysisError::ZeroDimension`] if `k == 0` or `ell == 0`.
+pub fn occupancy_prob_via_stirling(k: usize, ell: usize, i: usize) -> Result<f64, AnalysisError> {
+    if k == 0 {
+        return Err(AnalysisError::ZeroDimension { name: "k" });
+    }
+    if ell == 0 {
+        return Err(AnalysisError::ZeroDimension { name: "ell" });
+    }
+    if i == 0 || i > k.min(ell) {
+        return Ok(0.0);
+    }
+    let table = ln_stirling2_table(ell);
+    let ln_s = table[ell][i];
+    if ln_s == f64::NEG_INFINITY {
+        return Ok(0.0);
+    }
+    // ln [ k! / (k-i)! ] = Σ_{j=k-i+1..k} ln j
+    let ln_falling: f64 = ((k - i + 1)..=k).map(|j| (j as f64).ln()).sum();
+    let ln_prob = ln_s + ln_falling - ell as f64 * (k as f64).ln();
+    Ok(ln_prob.exp())
+}
+
+/// The explicit formula (paper's Relation 4):
+/// `S(ℓ, i) = (1/i!) Σ_{h=0}^{i} (−1)^h C(i, h)(i−h)^ℓ`, in exact `i128`
+/// arithmetic for small arguments.
+///
+/// # Errors
+///
+/// Returns [`AnalysisError::SearchDidNotConverge`] on intermediate overflow.
+pub fn stirling2_explicit(ell: u32, i: u32) -> Result<u128, AnalysisError> {
+    if i == 0 || i > ell {
+        return Ok(0);
+    }
+    let overflow = AnalysisError::SearchDidNotConverge {
+        what: "explicit stirling formula (i128 overflow)",
+        budget: ell as u64,
+    };
+    let mut sum: i128 = 0;
+    let mut binom: i128 = 1; // C(i, h)
+    for h in 0..=i {
+        if h > 0 {
+            binom = binom
+                .checked_mul((i - h + 1) as i128)
+                .ok_or_else(|| overflow.clone())?
+                / h as i128;
+        }
+        let base = (i - h) as i128;
+        let mut power: i128 = 1;
+        for _ in 0..ell {
+            power = power.checked_mul(base).ok_or_else(|| overflow.clone())?;
+        }
+        let term = binom.checked_mul(power).ok_or_else(|| overflow.clone())?;
+        sum = if h % 2 == 0 {
+            sum.checked_add(term).ok_or_else(|| overflow.clone())?
+        } else {
+            sum.checked_sub(term).ok_or_else(|| overflow.clone())?
+        };
+    }
+    let mut factorial: i128 = 1;
+    for j in 2..=i as i128 {
+        factorial = factorial.checked_mul(j).ok_or_else(|| overflow.clone())?;
+    }
+    Ok((sum / factorial) as u128)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::urns::OccupancyProcess;
+
+    #[test]
+    fn known_small_values() {
+        let t = stirling2_table(6).unwrap();
+        // Classic triangle: S(4,2)=7, S(5,3)=25, S(6,3)=90, S(n,1)=1, S(n,n)=1.
+        assert_eq!(t[1][1], 1);
+        assert_eq!(t[4][2], 7);
+        assert_eq!(t[5][3], 25);
+        assert_eq!(t[6][3], 90);
+        for n in 1..=6 {
+            assert_eq!(t[n][1], 1);
+            assert_eq!(t[n][n], 1);
+        }
+    }
+
+    #[test]
+    fn explicit_formula_matches_recursion() {
+        let t = stirling2_table(12).unwrap();
+        for ell in 1..=12u32 {
+            for i in 1..=ell {
+                assert_eq!(
+                    stirling2_explicit(ell, i).unwrap(),
+                    t[ell as usize][i as usize],
+                    "S({ell},{i})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn explicit_formula_out_of_range_is_zero() {
+        assert_eq!(stirling2_explicit(3, 0).unwrap(), 0);
+        assert_eq!(stirling2_explicit(3, 4).unwrap(), 0);
+    }
+
+    #[test]
+    fn log_table_matches_exact_table() {
+        let exact = stirling2_table(20).unwrap();
+        let logs = ln_stirling2_table(20);
+        for ell in 1..=20 {
+            for i in 1..=ell {
+                let expected = (exact[ell][i] as f64).ln();
+                assert!(
+                    (logs[ell][i] - expected).abs() < 1e-9 * expected.abs().max(1.0),
+                    "ln S({ell},{i}): {} vs {expected}",
+                    logs[ell][i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn log_table_handles_zero_entries() {
+        let logs = ln_stirling2_table(5);
+        assert_eq!(logs[3][0], f64::NEG_INFINITY);
+        assert_eq!(logs[0][0], f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn theorem6_matches_occupancy_recurrence() {
+        // P{N_ℓ = i} via Stirling closed form vs the forward recurrence.
+        for k in [3usize, 7, 12] {
+            let mut process = OccupancyProcess::new(k).unwrap();
+            for ell in 1..=30usize {
+                process.step();
+                for i in 1..=k.min(ell) {
+                    let closed = occupancy_prob_via_stirling(k, ell, i).unwrap();
+                    assert!(
+                        (closed - process.prob(i)).abs() < 1e-9,
+                        "k={k} ell={ell} i={i}: {closed} vs {}",
+                        process.prob(i)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn theorem6_edge_cases() {
+        assert!(occupancy_prob_via_stirling(0, 1, 1).is_err());
+        assert!(occupancy_prob_via_stirling(5, 0, 1).is_err());
+        assert_eq!(occupancy_prob_via_stirling(5, 3, 0).unwrap(), 0.0);
+        assert_eq!(occupancy_prob_via_stirling(5, 3, 4).unwrap(), 0.0); // i > ℓ
+        assert_eq!(occupancy_prob_via_stirling(2, 5, 2).unwrap() + occupancy_prob_via_stirling(2, 5, 1).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn exact_table_overflow_is_reported() {
+        // Stirling numbers overflow u128 well before ℓ = 200.
+        assert!(stirling2_table(200).is_err());
+    }
+
+    #[test]
+    fn row_sums_are_bell_numbers() {
+        let t = stirling2_table(8).unwrap();
+        let bell = [1u128, 1, 2, 5, 15, 52, 203, 877, 4140];
+        for n in 1..=8usize {
+            let sum: u128 = (1..=n).map(|i| t[n][i]).sum();
+            assert_eq!(sum, bell[n], "Bell({n})");
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! Benchmarks of the §V analytic routines (the code behind Figures 3–4 and
+//! Table I) and of the full figure-regeneration path for the cheapest
+//! figure, as a regression guard on `repro` wall-clock time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use uns_analysis::urns::{flooding_attack_effort, targeted_attack_effort, OccupancyProcess};
+
+fn bench_efforts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("attack_effort");
+    for k in [10usize, 50, 250] {
+        group.bench_with_input(BenchmarkId::new("targeted", k), &k, |b, &k| {
+            b.iter(|| black_box(targeted_attack_effort(k, 10, 1e-4).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("flooding", k), &k, |b, &k| {
+            b.iter(|| black_box(flooding_attack_effort(k, 1e-4).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_occupancy_process(c: &mut Criterion) {
+    let mut group = c.benchmark_group("occupancy_process");
+    for k in [50usize, 250, 500] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| {
+                let mut process = OccupancyProcess::new(k).unwrap();
+                for _ in 0..1_000 {
+                    process.step();
+                }
+                black_box(process.expected())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_table1_regeneration(c: &mut Criterion) {
+    c.bench_function("repro_table1", |b| b.iter(|| black_box(uns_bench::figures::table1())));
+}
+
+criterion_group!(benches, bench_efforts, bench_occupancy_process, bench_table1_regeneration);
+criterion_main!(benches);

@@ -1,0 +1,105 @@
+//! Per-element throughput of every sampling strategy.
+//!
+//! The paper requires "the amount of computation per data element of the
+//! stream must be low to keep pace with the data stream" (§III-A); this
+//! bench quantifies it for each strategy at the paper's Fig. 7 parameters
+//! and across sketch sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use uns_core::{
+    KnowledgeFreeSampler, MinWiseSamplerArray, NodeId, NodeSampler, OmniscientSampler,
+    ReservoirSampler,
+};
+use uns_streams::adversary::peak_attack_distribution;
+use uns_streams::IdStream;
+
+const STREAM_LEN: usize = 10_000;
+
+fn stream(n: usize) -> Vec<NodeId> {
+    IdStream::new(peak_attack_distribution(n).unwrap(), 7).take(STREAM_LEN).collect()
+}
+
+fn feed_all(sampler: &mut dyn NodeSampler, stream: &[NodeId]) -> u64 {
+    let mut acc = 0u64;
+    for &id in stream {
+        acc = acc.wrapping_add(sampler.feed(id).as_u64());
+    }
+    acc
+}
+
+fn bench_strategies(c: &mut Criterion) {
+    let n = 1_000;
+    let ids = stream(n);
+    let probs = peak_attack_distribution(n).unwrap().probabilities().to_vec();
+    let mut group = c.benchmark_group("sampler_feed");
+    group.throughput(Throughput::Elements(STREAM_LEN as u64));
+
+    group.bench_function("omniscient(c=10)", |b| {
+        b.iter(|| {
+            let mut sampler = OmniscientSampler::new(10, &probs, 1).unwrap();
+            black_box(feed_all(&mut sampler, &ids))
+        })
+    });
+    group.bench_function("knowledge_free(c=10,k=10,s=5)", |b| {
+        b.iter(|| {
+            let mut sampler = KnowledgeFreeSampler::with_count_min(10, 10, 5, 1).unwrap();
+            black_box(feed_all(&mut sampler, &ids))
+        })
+    });
+    group.bench_function("adaptive_omniscient(c=10)", |b| {
+        b.iter(|| {
+            let mut sampler = KnowledgeFreeSampler::adaptive_omniscient(10, 1).unwrap();
+            black_box(feed_all(&mut sampler, &ids))
+        })
+    });
+    group.bench_function("reservoir(c=10)", |b| {
+        b.iter(|| {
+            let mut sampler = ReservoirSampler::new(10, 1).unwrap();
+            black_box(feed_all(&mut sampler, &ids))
+        })
+    });
+    group.bench_function("minwise_array(c=10)", |b| {
+        b.iter(|| {
+            let mut sampler = MinWiseSamplerArray::new(10, 1).unwrap();
+            black_box(feed_all(&mut sampler, &ids))
+        })
+    });
+    group.finish();
+}
+
+fn bench_sketch_scaling(c: &mut Criterion) {
+    // The knowledge-free per-element cost scales with the sketch depth s;
+    // this ablation backs the paper's "small number of operations" claim.
+    let ids = stream(1_000);
+    let mut group = c.benchmark_group("knowledge_free_sketch_scaling");
+    group.throughput(Throughput::Elements(STREAM_LEN as u64));
+    for (k, s) in [(10usize, 5usize), (50, 10), (250, 10), (50, 40)] {
+        group.bench_with_input(BenchmarkId::from_parameter(format!("k{k}_s{s}")), &(k, s), |b, &(k, s)| {
+            b.iter(|| {
+                let mut sampler = KnowledgeFreeSampler::with_count_min(10, k, s, 1).unwrap();
+                black_box(feed_all(&mut sampler, &ids))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_memory_scaling(c: &mut Criterion) {
+    // Fig. 10 sweeps c up to 1000: confirm feeding stays O(1) in c.
+    let ids = stream(1_000);
+    let mut group = c.benchmark_group("knowledge_free_memory_scaling");
+    group.throughput(Throughput::Elements(STREAM_LEN as u64));
+    for capacity in [10usize, 100, 300, 700] {
+        group.bench_with_input(BenchmarkId::from_parameter(capacity), &capacity, |b, &cap| {
+            b.iter(|| {
+                let mut sampler = KnowledgeFreeSampler::with_count_min(cap, 10, 5, 1).unwrap();
+                black_box(feed_all(&mut sampler, &ids))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_strategies, bench_sketch_scaling, bench_memory_scaling);
+criterion_main!(benches);

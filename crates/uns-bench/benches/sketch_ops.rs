@@ -1,0 +1,90 @@
+//! Micro-benchmarks of the frequency-estimation substrates (the paper's
+//! Algorithm 2 and its alternatives).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use uns_core::NodeId;
+use uns_sketch::{CountMinSketch, CountSketch, ExactFrequencyOracle, FrequencyEstimator};
+use uns_streams::adversary::peak_attack_distribution;
+use uns_streams::IdStream;
+
+const STREAM_LEN: usize = 10_000;
+
+fn ids() -> Vec<u64> {
+    IdStream::new(peak_attack_distribution(10_000).unwrap(), 3)
+        .take(STREAM_LEN)
+        .map(NodeId::as_u64)
+        .collect()
+}
+
+fn bench_record(c: &mut Criterion) {
+    let ids = ids();
+    let mut group = c.benchmark_group("estimator_record");
+    group.throughput(Throughput::Elements(STREAM_LEN as u64));
+    for (k, s) in [(10usize, 5usize), (50, 10), (250, 10)] {
+        group.bench_with_input(
+            BenchmarkId::new("count_min", format!("k{k}_s{s}")),
+            &(k, s),
+            |b, &(k, s)| {
+                b.iter(|| {
+                    let mut sketch = CountMinSketch::with_dimensions(k, s, 1).unwrap();
+                    for &id in &ids {
+                        sketch.record(id);
+                    }
+                    black_box(sketch.total())
+                })
+            },
+        );
+    }
+    group.bench_function("count_sketch_k50_s10", |b| {
+        b.iter(|| {
+            let mut sketch = CountSketch::with_dimensions(50, 10, 1).unwrap();
+            for &id in &ids {
+                sketch.record(id);
+            }
+            black_box(sketch.total())
+        })
+    });
+    group.bench_function("exact_oracle", |b| {
+        b.iter(|| {
+            let mut oracle = ExactFrequencyOracle::new();
+            for &id in &ids {
+                oracle.record(id);
+            }
+            black_box(oracle.total())
+        })
+    });
+    group.finish();
+}
+
+fn bench_query(c: &mut Criterion) {
+    let ids = ids();
+    let mut sketch = CountMinSketch::with_dimensions(50, 10, 1).unwrap();
+    for &id in &ids {
+        sketch.record(id);
+    }
+    let mut group = c.benchmark_group("estimator_query");
+    group.throughput(Throughput::Elements(STREAM_LEN as u64));
+    group.bench_function("count_min_estimate", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &id in &ids {
+                acc = acc.wrapping_add(sketch.estimate(id));
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("count_min_floor", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for _ in 0..STREAM_LEN {
+                acc = acc.wrapping_add(sketch.floor_estimate());
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_record, bench_query);
+criterion_main!(benches);

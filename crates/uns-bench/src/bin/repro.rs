@@ -1,0 +1,138 @@
+//! `repro` — regenerates every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! repro [TARGET] [--trials N] [--scale D] [--seed S] [--out DIR]
+//!
+//! TARGET: fig3 fig4 fig5 fig6 fig7a fig7b fig8 fig9 fig10a fig10b fig11
+//!         fig12 table1 table2 overlay ablation eviction transient all
+//!         (default: all)
+//! --trials N   trials per parameter setting     (default: 5; paper: 100)
+//! --scale D    trace size divisor               (default: 50; paper: 1)
+//! --seed S     base seed                        (default: 42)
+//! --out DIR    CSV output directory             (default: results)
+//! ```
+//!
+//! Each target prints an aligned table and writes `DIR/<name>.csv`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use uns_bench::figures::{self, Fig10Attack, Params};
+use uns_bench::Table;
+
+struct Cli {
+    target: String,
+    params: Params,
+    out_dir: PathBuf,
+}
+
+fn parse_args() -> Result<Cli, String> {
+    let mut target = "all".to_string();
+    let mut params = Params::default();
+    let mut out_dir = PathBuf::from("results");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--trials" => {
+                let value = args.next().ok_or("--trials needs a value")?;
+                params.trials = value.parse().map_err(|_| format!("bad trial count: {value}"))?;
+                if params.trials == 0 {
+                    return Err("--trials must be at least 1".into());
+                }
+            }
+            "--scale" => {
+                let value = args.next().ok_or("--scale needs a value")?;
+                params.trace_scale =
+                    value.parse().map_err(|_| format!("bad scale divisor: {value}"))?;
+                if params.trace_scale == 0 {
+                    return Err("--scale must be at least 1".into());
+                }
+            }
+            "--seed" => {
+                let value = args.next().ok_or("--seed needs a value")?;
+                params.seed = value.parse().map_err(|_| format!("bad seed: {value}"))?;
+            }
+            "--out" => {
+                out_dir = PathBuf::from(args.next().ok_or("--out needs a value")?);
+            }
+            "--help" | "-h" => {
+                return Err(USAGE.to_string());
+            }
+            other if !other.starts_with('-') => target = other.to_string(),
+            other => return Err(format!("unknown flag: {other}\n{USAGE}")),
+        }
+    }
+    Ok(Cli { target, params, out_dir })
+}
+
+const USAGE: &str = "usage: repro [TARGET] [--trials N] [--scale D] [--seed S] [--out DIR]\n\
+TARGETS: table1 table2 fig3 fig4 fig5 fig6 fig7a fig7b fig8 fig9 fig10a fig10b fig11 fig12\n         overlay ablation eviction transient all";
+
+fn tables_for(target: &str, params: Params) -> Result<Vec<Table>, String> {
+    Ok(match target {
+        "table1" => vec![figures::table1()],
+        "table2" => vec![figures::table2(params)],
+        "fig3" => vec![figures::fig3()],
+        "fig4" => vec![figures::fig4()],
+        "fig5" => vec![figures::fig5(params)],
+        "fig6" => vec![figures::fig6(params)],
+        "fig7a" => figures::fig7a(params),
+        "fig7b" => figures::fig7b(params),
+        "fig8" => vec![figures::fig8(params)],
+        "fig9" => vec![figures::fig9(params)],
+        "fig10a" => vec![figures::fig10(Fig10Attack::Peak, params)],
+        "fig10b" => vec![figures::fig10(Fig10Attack::TargetedFlooding, params)],
+        "fig11" => vec![figures::fig11(params)],
+        "fig12" => vec![figures::fig12(params)],
+        "overlay" => vec![figures::overlay(params)],
+        "ablation" => vec![figures::ablation(params)],
+        "eviction" => vec![figures::eviction_ablation(params)],
+        "transient" => vec![figures::transient(params)],
+        "all" => {
+            let mut all = Vec::new();
+            for t in [
+                "table1", "table2", "fig3", "fig4", "fig5", "fig6", "fig7a", "fig7b", "fig8",
+                "fig9", "fig10a", "fig10b", "fig11", "fig12", "overlay", "ablation",
+                "eviction", "transient",
+            ] {
+                eprintln!("[repro] running {t}…");
+                all.extend(tables_for(t, params)?);
+            }
+            all
+        }
+        other => return Err(format!("unknown target: {other}\n{USAGE}")),
+    })
+}
+
+fn main() -> ExitCode {
+    let cli = match parse_args() {
+        Ok(cli) => cli,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let tables = match tables_for(&cli.target, cli.params) {
+        Ok(tables) => tables,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for table in &tables {
+        // Frequency profiles are thousands of rows; print only a summary
+        // line for those and the full table otherwise.
+        if table.len() > 64 {
+            println!("== {} == ({} rows, see CSV)", table.name, table.len());
+        } else {
+            println!("{table}");
+        }
+        match table.write_csv(&cli.out_dir) {
+            Ok(path) => eprintln!("[repro] wrote {}", path.display()),
+            Err(err) => {
+                eprintln!("[repro] failed to write {}: {err}", table.name);
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

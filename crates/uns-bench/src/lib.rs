@@ -1,0 +1,37 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+//! Reproduction harness for the evaluation of Anceaume, Busnel and
+//! Sericola (DSN 2013).
+//!
+//! Every table and figure of the paper's §V–§VI maps to one function in
+//! [`figures`] and one subcommand of the `repro` binary:
+//!
+//! | Paper artifact | Function | `repro` subcommand |
+//! |---|---|---|
+//! | Fig. 3 (targeted effort `L_{k,s}`) | [`figures::fig3`] | `fig3` |
+//! | Fig. 4 (flooding effort `E_k`) | [`figures::fig4`] | `fig4` |
+//! | Table I (key effort values) | [`figures::table1`] | `table1` |
+//! | Table II (trace statistics) | [`figures::table2`] | `table2` |
+//! | Fig. 5 (trace distributions) | [`figures::fig5`] | `fig5` |
+//! | Fig. 6 (frequency over time) | [`figures::fig6`] | `fig6` |
+//! | Fig. 7a (peak attack) | [`figures::fig7a`] | `fig7a` |
+//! | Fig. 7b (targeted + flooding) | [`figures::fig7b`] | `fig7b` |
+//! | Fig. 8 (`G_KL` vs `n`) | [`figures::fig8`] | `fig8` |
+//! | Fig. 9 (`G_KL` vs `m`) | [`figures::fig9`] | `fig9` |
+//! | Fig. 10a/b (`G_KL` vs `c`) | [`figures::fig10`] | `fig10a` / `fig10b` |
+//! | Fig. 11 (`G_KL` vs #malicious) | [`figures::fig11`] | `fig11` |
+//! | Fig. 12 (real traces) | [`figures::fig12`] | `fig12` |
+//! | Overlay simulation (beyond the paper) | [`figures::overlay`] | `overlay` |
+//!
+//! Results are printed as aligned tables and written as CSV for plotting.
+//! Absolute numbers need not match the paper (different hardware, RNG and
+//! trace surrogates); the *shapes* — who wins, by what factor, where the
+//! crossovers sit — are asserted by the integration tests.
+
+pub mod figures;
+pub mod report;
+pub mod runner;
+
+pub use report::Table;
+pub use runner::GainExperiment;

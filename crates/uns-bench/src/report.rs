@@ -1,0 +1,198 @@
+//! Result tables: aligned console rendering and CSV emission.
+
+use std::fmt;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// A named result table (one per figure/table of the paper).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Table {
+    /// Artifact name, e.g. `"fig8"`; used as the CSV file stem.
+    pub name: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Data rows (already formatted).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `columns` is empty.
+    pub fn new(name: impl Into<String>, columns: &[&str]) -> Self {
+        assert!(!columns.is_empty(), "a table needs at least one column");
+        Self {
+            name: name.into(),
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(
+            row.len(),
+            self.columns.len(),
+            "row width {} does not match {} columns",
+            row.len(),
+            self.columns.len()
+        );
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table as RFC-4180-style CSV (quoting cells that contain
+    /// commas or quotes).
+    pub fn to_csv(&self) -> String {
+        fn escape(cell: &str) -> String {
+            if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&self.columns.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes `<dir>/<name>.csv` (creating `dir` if needed) and returns the
+    /// path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_csv(&self, dir: &Path) -> io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.csv", self.name));
+        std::fs::write(&path, self.to_csv())?;
+        Ok(path)
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        writeln!(f, "== {} ==", self.name)?;
+        let header: Vec<String> = self
+            .columns
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:>w$}", w = w))
+            .collect();
+        writeln!(f, "{}", header.join("  "))?;
+        writeln!(f, "{}", "-".repeat(header.join("  ").len()))?;
+        for row in &self.rows {
+            let cells: Vec<String> =
+                row.iter().zip(&widths).map(|(c, w)| format!("{c:>w$}", w = w)).collect();
+            writeln!(f, "{}", cells.join("  "))?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats an `f64` with 4 decimal places (the harness's standard cell
+/// format).
+pub fn fmt_f64(x: f64) -> String {
+    format!("{x:.4}")
+}
+
+/// Formats an optional gain, rendering `None` (undefined gain on uniform
+/// input) as `"n/a"`.
+pub fn fmt_gain(gain: Option<f64>) -> String {
+    gain.map(fmt_f64).unwrap_or_else(|| "n/a".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_table() -> Table {
+        let mut table = Table::new("demo", &["k", "value"]);
+        table.push_row(vec!["10".into(), "38".into()]);
+        table.push_row(vec!["50".into(), "227".into()]);
+        table
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one column")]
+    fn empty_columns_panic() {
+        let _ = Table::new("x", &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        let mut table = Table::new("x", &["a", "b"]);
+        table.push_row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn csv_round_trip_shape() {
+        let table = sample_table();
+        let csv = table.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines, vec!["k,value", "10,38", "50,227"]);
+        assert_eq!(table.len(), 2);
+        assert!(!table.is_empty());
+    }
+
+    #[test]
+    fn csv_escapes_special_cells() {
+        let mut table = Table::new("x", &["a"]);
+        table.push_row(vec!["hello, world".into()]);
+        table.push_row(vec!["say \"hi\"".into()]);
+        let csv = table.to_csv();
+        assert!(csv.contains("\"hello, world\""));
+        assert!(csv.contains("\"say \"\"hi\"\"\""));
+    }
+
+    #[test]
+    fn display_is_aligned() {
+        let text = sample_table().to_string();
+        assert!(text.contains("== demo =="));
+        assert!(text.contains("k"));
+        assert!(text.contains("227"));
+    }
+
+    #[test]
+    fn write_csv_creates_file() {
+        let dir = std::env::temp_dir().join("uns_bench_report_test");
+        let path = sample_table().write_csv(&dir).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.starts_with("k,value"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_f64(0.123456), "0.1235");
+        assert_eq!(fmt_gain(Some(1.0)), "1.0000");
+        assert_eq!(fmt_gain(None), "n/a");
+    }
+}

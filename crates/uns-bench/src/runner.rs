@@ -1,0 +1,206 @@
+//! Generic experiment runner: stream → sampler → gain, averaged over
+//! trials.
+//!
+//! The paper averages 100 trials per parameter setting (§VI-A). The runner
+//! reproduces that protocol with a configurable trial count: each trial
+//! draws a fresh stream (and fresh sampler coins) from a trial-specific
+//! seed, runs the one-pass strategy, and measures the KL gain `G_KL`
+//! (Equation 6) of the output stream over the input stream.
+
+use uns_analysis::{kl_gain, kl_vs_uniform, Frequencies, Summary};
+use uns_core::{NodeId, NodeSampler};
+use uns_streams::{IdDistribution, IdStream};
+
+/// Per-trial measurements of one sampler on one workload.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TrialOutcome {
+    /// KL divergence of the input stream from uniform (nats).
+    pub input_kl: f64,
+    /// KL divergence of the output stream from uniform (nats).
+    pub output_kl: f64,
+    /// The paper's gain `G_KL`, `None` when the input was uniform.
+    pub gain: Option<f64>,
+    /// Largest per-identifier frequency in the output stream.
+    pub output_max_frequency: u64,
+}
+
+/// Aggregated outcome over all trials.
+#[derive(Clone, Debug)]
+pub struct ExperimentOutcome {
+    /// Summary of per-trial gains (trials with undefined gain skipped).
+    pub gain: Option<Summary>,
+    /// Summary of per-trial output KL divergences.
+    pub output_kl: Summary,
+    /// Summary of per-trial input KL divergences.
+    pub input_kl: Summary,
+}
+
+/// A gain experiment: a workload distribution, a stream length and a trial
+/// count.
+///
+/// # Example
+///
+/// ```
+/// use uns_bench::GainExperiment;
+/// use uns_core::KnowledgeFreeSampler;
+/// use uns_streams::adversary::peak_attack_distribution;
+///
+/// let experiment = GainExperiment {
+///     dist: peak_attack_distribution(100).unwrap(),
+///     stream_len: 20_000,
+///     trials: 3,
+///     base_seed: 1,
+/// };
+/// let outcome = experiment
+///     .run(|seed| Box::new(KnowledgeFreeSampler::with_count_min(10, 10, 5, seed).unwrap()));
+/// assert!(outcome.gain.unwrap().mean > 0.5);
+/// ```
+#[derive(Clone, Debug)]
+pub struct GainExperiment {
+    /// Workload distribution (the adversarially biased input law).
+    pub dist: IdDistribution,
+    /// Stream length `m` per trial.
+    pub stream_len: usize,
+    /// Number of independent trials.
+    pub trials: usize,
+    /// Base seed; trial `t` uses `base_seed + t` for both stream and
+    /// sampler.
+    pub base_seed: u64,
+}
+
+impl GainExperiment {
+    /// Runs a single trial with the given sampler.
+    pub fn run_trial(&self, sampler: &mut dyn NodeSampler, seed: u64) -> TrialOutcome {
+        let n = self.dist.domain();
+        let mut input = Frequencies::new(n);
+        let mut output = Frequencies::new(n);
+        for id in IdStream::new(self.dist.clone(), seed).take(self.stream_len) {
+            input.record(id.as_u64());
+            let out = sampler.feed(id);
+            // Outputs outside the domain cannot occur here (streams are
+            // domain-restricted), but guard for custom samplers.
+            output.try_record(out.as_u64());
+        }
+        let input_kl = kl_vs_uniform(input.counts()).unwrap_or(f64::INFINITY);
+        let output_kl = kl_vs_uniform(output.counts()).unwrap_or(f64::INFINITY);
+        let gain = kl_gain(input.counts(), output.counts()).ok().flatten();
+        TrialOutcome { input_kl, output_kl, gain, output_max_frequency: output.max_frequency() }
+    }
+
+    /// Runs all trials, building a fresh sampler per trial from `factory`
+    /// (which receives the trial seed).
+    pub fn run<F>(&self, mut factory: F) -> ExperimentOutcome
+    where
+        F: FnMut(u64) -> Box<dyn NodeSampler>,
+    {
+        let mut gains = Vec::with_capacity(self.trials);
+        let mut output_kls = Vec::with_capacity(self.trials);
+        let mut input_kls = Vec::with_capacity(self.trials);
+        for trial in 0..self.trials {
+            let seed = self.base_seed.wrapping_add(trial as u64);
+            let mut sampler = factory(seed);
+            let outcome = self.run_trial(sampler.as_mut(), seed);
+            if let Some(g) = outcome.gain {
+                gains.push(g);
+            }
+            output_kls.push(outcome.output_kl);
+            input_kls.push(outcome.input_kl);
+        }
+        ExperimentOutcome {
+            gain: Summary::from_slice(&gains),
+            output_kl: Summary::from_slice(&output_kls)
+                .unwrap_or(Summary { count: 0, mean: 0.0, std_dev: 0.0, min: 0.0, max: 0.0, median: 0.0 }),
+            input_kl: Summary::from_slice(&input_kls)
+                .unwrap_or(Summary { count: 0, mean: 0.0, std_dev: 0.0, min: 0.0, max: 0.0, median: 0.0 }),
+        }
+    }
+
+    /// Runs all trials on a *fixed stream* (e.g. a trace) instead of a
+    /// distribution-generated one; only the sampler coins vary per trial.
+    pub fn run_on_stream<F>(stream: &[NodeId], domain: usize, trials: usize, base_seed: u64, mut factory: F) -> ExperimentOutcome
+    where
+        F: FnMut(u64) -> Box<dyn NodeSampler>,
+    {
+        let mut input = Frequencies::new(domain);
+        for id in stream {
+            input.record(id.as_u64());
+        }
+        let input_kl = kl_vs_uniform(input.counts()).unwrap_or(f64::INFINITY);
+        let mut gains = Vec::with_capacity(trials);
+        let mut output_kls = Vec::with_capacity(trials);
+        for trial in 0..trials {
+            let seed = base_seed.wrapping_add(trial as u64);
+            let mut sampler = factory(seed);
+            let mut output = Frequencies::new(domain);
+            for &id in stream {
+                output.try_record(sampler.feed(id).as_u64());
+            }
+            output_kls.push(kl_vs_uniform(output.counts()).unwrap_or(f64::INFINITY));
+            if let Some(g) = kl_gain(input.counts(), output.counts()).ok().flatten() {
+                gains.push(g);
+            }
+        }
+        ExperimentOutcome {
+            gain: Summary::from_slice(&gains),
+            output_kl: Summary::from_slice(&output_kls)
+                .unwrap_or(Summary { count: 0, mean: 0.0, std_dev: 0.0, min: 0.0, max: 0.0, median: 0.0 }),
+            input_kl: Summary::from_slice(&[input_kl])
+                .unwrap_or(Summary { count: 0, mean: 0.0, std_dev: 0.0, min: 0.0, max: 0.0, median: 0.0 }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uns_core::{KnowledgeFreeSampler, PassthroughSampler};
+    use uns_streams::adversary::peak_attack_distribution;
+
+    fn experiment(trials: usize) -> GainExperiment {
+        GainExperiment {
+            dist: peak_attack_distribution(50).unwrap(),
+            stream_len: 10_000,
+            trials,
+            base_seed: 3,
+        }
+    }
+
+    #[test]
+    fn passthrough_has_zero_gain() {
+        let outcome = experiment(3).run(|_| Box::new(PassthroughSampler::new()));
+        let gain = outcome.gain.unwrap();
+        assert!(gain.mean.abs() < 1e-9, "passthrough gain {}", gain.mean);
+        assert_eq!(gain.count, 3);
+        // Output divergence equals input divergence.
+        assert!((outcome.output_kl.mean - outcome.input_kl.mean).abs() < 1e-9);
+    }
+
+    #[test]
+    fn knowledge_free_gain_is_positive_and_reduces_kl() {
+        let outcome = experiment(3)
+            .run(|seed| Box::new(KnowledgeFreeSampler::with_count_min(10, 10, 5, seed).unwrap()));
+        let gain = outcome.gain.unwrap();
+        assert!(gain.mean > 0.5, "gain {}", gain.mean);
+        assert!(outcome.output_kl.mean < outcome.input_kl.mean);
+    }
+
+    #[test]
+    fn trials_are_independent_but_deterministic() {
+        let a = experiment(2)
+            .run(|seed| Box::new(KnowledgeFreeSampler::with_count_min(5, 10, 5, seed).unwrap()));
+        let b = experiment(2)
+            .run(|seed| Box::new(KnowledgeFreeSampler::with_count_min(5, 10, 5, seed).unwrap()));
+        assert_eq!(a.gain.unwrap(), b.gain.unwrap());
+    }
+
+    #[test]
+    fn fixed_stream_runner_matches_domain() {
+        let stream: Vec<NodeId> = (0..5_000u64).map(|i| NodeId::new(i % 20)).collect();
+        let outcome = GainExperiment::run_on_stream(&stream, 20, 2, 1, |seed| {
+            Box::new(KnowledgeFreeSampler::with_count_min(5, 8, 3, seed).unwrap())
+        });
+        // The input is already uniform (round-robin), so gain is undefined.
+        assert!(outcome.gain.is_none());
+        assert!(outcome.input_kl.mean < 1e-9);
+    }
+}

@@ -1,0 +1,266 @@
+//! Min-wise permutation sampling — the Brahms sampling component of
+//! Bortnikov et al. (the paper's reference \[6\]).
+//!
+//! Each sampler draws a random hash function `h` and remembers the
+//! identifier with the smallest image value ever read. By min-wise symmetry
+//! the retained identifier converges to a uniform sample over the distinct
+//! identifiers in the stream — *robust to frequency bias* — but once the
+//! globally minimal identifier has been read, the sample is stuck forever:
+//! the output no longer evolves with the system, which is exactly the
+//! staticity the DSN 2013 paper improves upon (its Freshness property).
+
+use crate::node_id::NodeId;
+use crate::sampler::NodeSampler;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A keyed bijective mixer over `u64` — an honest-to-goodness *permutation*
+/// of the identifier space, randomized by two xor keys around a splitmix64
+/// finalizer.
+///
+/// Min-wise sampling needs (approximately) min-wise independent
+/// permutations; a linear 2-universal hash `(a·x + b) mod p` is provably
+/// *not* min-wise independent (its arithmetic structure biases the argmin),
+/// so the Brahms baseline uses this permutation family instead.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct KeyedPermutation {
+    pre: u64,
+    post: u64,
+}
+
+impl KeyedPermutation {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        Self { pre: rng.gen(), post: rng.gen() }
+    }
+
+    /// Applies the permutation. Every step is bijective on `u64`, so two
+    /// distinct identifiers never collide.
+    fn permute(&self, x: u64) -> u64 {
+        let mut z = x ^ self.pre;
+        // splitmix64 finalizer (bijective).
+        z ^= z >> 30;
+        z = z.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z ^= z >> 27;
+        z = z.wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        z ^ self.post
+    }
+}
+
+/// A single min-wise permutation sampler (one Brahms sampler cell).
+///
+/// # Example
+///
+/// ```
+/// use uns_core::{MinWiseSampler, NodeId, NodeSampler};
+///
+/// let mut sampler = MinWiseSampler::new(7);
+/// sampler.feed(NodeId::new(10));
+/// sampler.feed(NodeId::new(20));
+/// // The retained sample is one of the ids read so far…
+/// let kept = sampler.sample().unwrap();
+/// assert!(kept == NodeId::new(10) || kept == NodeId::new(20));
+/// // …and repeating the stream never changes it (staticity).
+/// sampler.feed(NodeId::new(10));
+/// sampler.feed(NodeId::new(20));
+/// assert_eq!(sampler.sample(), Some(kept));
+/// ```
+#[derive(Clone, Debug)]
+pub struct MinWiseSampler {
+    hash: KeyedPermutation,
+    current: Option<(NodeId, u64)>,
+}
+
+impl MinWiseSampler {
+    /// Creates a sampler with a permutation drawn from `seed`.
+    pub fn new(seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Self { hash: KeyedPermutation::sample(&mut rng), current: None }
+    }
+
+    /// The current minimal hash value, if any identifier has been read.
+    pub fn current_image(&self) -> Option<u64> {
+        self.current.map(|(_, image)| image)
+    }
+}
+
+impl NodeSampler for MinWiseSampler {
+    fn feed(&mut self, id: NodeId) -> NodeId {
+        let image = self.hash.permute(id.as_u64());
+        match self.current {
+            Some((_, best)) if best <= image => {}
+            _ => self.current = Some((id, image)),
+        }
+        self.current.expect("just fed an identifier").0
+    }
+
+    fn sample(&mut self) -> Option<NodeId> {
+        self.current.map(|(id, _)| id)
+    }
+
+    fn memory_contents(&self) -> Vec<NodeId> {
+        self.current.map(|(id, _)| id).into_iter().collect()
+    }
+
+    fn capacity(&self) -> usize {
+        1
+    }
+
+    fn strategy_name(&self) -> &'static str {
+        "min-wise"
+    }
+}
+
+/// An array of `c` independent min-wise samplers whose output is a uniform
+/// pick among the retained identifiers — the full Brahms sampling layer.
+#[derive(Clone, Debug)]
+pub struct MinWiseSamplerArray {
+    cells: Vec<MinWiseSampler>,
+    rng: StdRng,
+}
+
+impl MinWiseSamplerArray {
+    /// Creates `capacity` independent min-wise samplers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::CoreError::ZeroCapacity`] if `capacity == 0`.
+    pub fn new(capacity: usize, seed: u64) -> Result<Self, crate::CoreError> {
+        if capacity == 0 {
+            return Err(crate::CoreError::ZeroCapacity);
+        }
+        let cells = (0..capacity)
+            .map(|i| MinWiseSampler::new(seed.wrapping_add(i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)))
+            .collect();
+        Ok(Self { cells, rng: StdRng::seed_from_u64(seed) })
+    }
+}
+
+impl NodeSampler for MinWiseSamplerArray {
+    fn feed(&mut self, id: NodeId) -> NodeId {
+        for cell in &mut self.cells {
+            cell.feed(id);
+        }
+        let pick = self.rng.gen_range(0..self.cells.len());
+        self.cells[pick].current.expect("cells fed at least once").0
+    }
+
+    fn sample(&mut self) -> Option<NodeId> {
+        let pick = self.rng.gen_range(0..self.cells.len());
+        self.cells[pick].current.map(|(id, _)| id)
+    }
+
+    fn memory_contents(&self) -> Vec<NodeId> {
+        self.cells.iter().filter_map(|c| c.current.map(|(id, _)| id)).collect()
+    }
+
+    fn capacity(&self) -> usize {
+        self.cells.len()
+    }
+
+    fn strategy_name(&self) -> &'static str {
+        "min-wise array (Brahms)"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn keeps_the_minimal_image() {
+        let mut sampler = MinWiseSampler::new(3);
+        assert_eq!(sampler.sample(), None);
+        assert_eq!(sampler.current_image(), None);
+        let ids: Vec<NodeId> = (0..50u64).map(NodeId::new).collect();
+        for &id in &ids {
+            sampler.feed(id);
+        }
+        let kept = sampler.sample().unwrap();
+        let image = sampler.current_image().unwrap();
+        // The kept id must be the argmin of the permutation over the stream.
+        let hash = sampler.hash;
+        let argmin = ids.iter().copied().min_by_key(|id| hash.permute(id.as_u64())).unwrap();
+        assert_eq!(kept, argmin);
+        assert_eq!(image, hash.permute(argmin.as_u64()));
+    }
+
+    #[test]
+    fn static_after_convergence_even_under_flooding() {
+        let mut sampler = MinWiseSampler::new(4);
+        for i in 0..100u64 {
+            sampler.feed(NodeId::new(i));
+        }
+        let converged = sampler.sample().unwrap();
+        // An adversary floods a single id forever: the sample never moves —
+        // robust, but also never fresh.
+        for _ in 0..10_000 {
+            let out = sampler.feed(NodeId::new(converged.as_u64() ^ 1));
+            assert_eq!(out, converged);
+        }
+    }
+
+    #[test]
+    fn converged_sample_is_uniform_across_seeds() {
+        // Across many independent permutations, the retained id is uniform
+        // over the distinct ids regardless of their frequencies.
+        let n = 10u64;
+        let mut counts: HashMap<u64, u64> = HashMap::new();
+        let trials = 20_000;
+        for seed in 0..trials {
+            let mut sampler = MinWiseSampler::new(seed);
+            // id 0 floods the stream; all ids appear at least once.
+            for i in 0..n {
+                sampler.feed(NodeId::new(i));
+            }
+            for _ in 0..5 {
+                sampler.feed(NodeId::new(0));
+            }
+            *counts.entry(sampler.sample().unwrap().as_u64()).or_insert(0) += 1;
+        }
+        let expected = trials as f64 / n as f64;
+        for id in 0..n {
+            let count = *counts.get(&id).unwrap_or(&0) as f64;
+            assert!(
+                (count - expected).abs() < expected * 0.15,
+                "id {id} retained {count} times, expected ~{expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn array_outputs_come_from_cells() {
+        let mut array = MinWiseSamplerArray::new(8, 5).unwrap();
+        assert_eq!(array.capacity(), 8);
+        assert_eq!(array.sample(), None);
+        for i in 0..200u64 {
+            array.feed(NodeId::new(i % 40));
+        }
+        let contents = array.memory_contents();
+        assert_eq!(contents.len(), 8);
+        for _ in 0..50 {
+            let out = array.sample().unwrap();
+            assert!(contents.contains(&out));
+        }
+        assert_eq!(array.strategy_name(), "min-wise array (Brahms)");
+        assert!(MinWiseSamplerArray::new(0, 1).is_err());
+    }
+
+    #[test]
+    fn keyed_permutation_is_injective() {
+        use std::collections::HashSet;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let perm = KeyedPermutation::sample(&mut rng);
+        let images: HashSet<u64> = (0..100_000u64).map(|x| perm.permute(x)).collect();
+        assert_eq!(images.len(), 100_000, "permutation collided");
+    }
+
+    #[test]
+    fn metadata() {
+        let sampler = MinWiseSampler::new(0);
+        assert_eq!(sampler.capacity(), 1);
+        assert_eq!(sampler.strategy_name(), "min-wise");
+        assert!(sampler.memory_contents().is_empty());
+    }
+}

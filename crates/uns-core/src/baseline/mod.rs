@@ -1,0 +1,15 @@
+//! Baseline sampling strategies the paper compares against (or that a
+//! practitioner would naively reach for).
+//!
+//! * [`minwise`] — the min-wise permutation sampler of Bortnikov et al.'s
+//!   Brahms (the paper's main related work, reference \[6\]): converges to a uniform
+//!   sample but is *static* — once converged it never changes, violating
+//!   Freshness.
+//! * [`reservoir`] — Vitter's Algorithm R: uniform over stream
+//!   *occurrences*, so a flooding adversary fully controls it.
+//! * [`passthrough`] — the identity sampler, the "do nothing" control whose
+//!   output bias equals the input bias (gain 0 by construction).
+
+pub mod minwise;
+pub mod passthrough;
+pub mod reservoir;

@@ -1,0 +1,71 @@
+//! The identity sampler: output stream = input stream.
+//!
+//! The "no sampler" control. Its output divergence equals the input
+//! divergence by construction, so its KL gain (paper's `G_KL`) is exactly
+//! 0 — the floor every real strategy must beat.
+
+use crate::node_id::NodeId;
+use crate::sampler::NodeSampler;
+
+/// Identity sampling strategy (gain-0 control).
+///
+/// # Example
+///
+/// ```
+/// use uns_core::{NodeId, NodeSampler, PassthroughSampler};
+///
+/// let mut sampler = PassthroughSampler::new();
+/// assert_eq!(sampler.feed(NodeId::new(9)), NodeId::new(9));
+/// ```
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PassthroughSampler {
+    last: Option<NodeId>,
+}
+
+impl PassthroughSampler {
+    /// Creates the identity sampler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl NodeSampler for PassthroughSampler {
+    fn feed(&mut self, id: NodeId) -> NodeId {
+        self.last = Some(id);
+        id
+    }
+
+    fn sample(&mut self) -> Option<NodeId> {
+        self.last
+    }
+
+    fn memory_contents(&self) -> Vec<NodeId> {
+        self.last.into_iter().collect()
+    }
+
+    fn capacity(&self) -> usize {
+        0
+    }
+
+    fn strategy_name(&self) -> &'static str {
+        "passthrough"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn echoes_its_input() {
+        let mut sampler = PassthroughSampler::new();
+        assert_eq!(sampler.sample(), None);
+        for i in [5u64, 1, 1, 9] {
+            assert_eq!(sampler.feed(NodeId::new(i)), NodeId::new(i));
+        }
+        assert_eq!(sampler.sample(), Some(NodeId::new(9)));
+        assert_eq!(sampler.memory_contents(), vec![NodeId::new(9)]);
+        assert_eq!(sampler.capacity(), 0);
+        assert_eq!(sampler.strategy_name(), "passthrough");
+    }
+}

@@ -1,0 +1,179 @@
+//! Reservoir sampling (Vitter's Algorithm R) — the classic stream sampler,
+//! included as the "what goes wrong without Byzantine tolerance" baseline.
+//!
+//! Algorithm R keeps a uniform sample of the stream's *occurrences*: after
+//! `t` elements, every position of the stream is in the reservoir with
+//! probability `c/t`. That is exactly the wrong guarantee under adversarial
+//! bias — an identifier injected in 90% of the stream owns ~90% of the
+//! reservoir — which is why the paper's strategies sample over *distinct
+//! identifiers* instead.
+
+use crate::error::CoreError;
+use crate::node_id::NodeId;
+use crate::sampler::NodeSampler;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Vitter's Algorithm R over the identifier stream.
+///
+/// Unlike [`crate::SamplingMemory`], the reservoir intentionally allows
+/// duplicates: it samples stream positions, not identifiers.
+///
+/// # Example
+///
+/// ```
+/// use uns_core::{NodeId, NodeSampler, ReservoirSampler};
+///
+/// # fn main() -> Result<(), uns_core::CoreError> {
+/// let mut sampler = ReservoirSampler::new(4, 3)?;
+/// for i in 0..100u64 {
+///     sampler.feed(NodeId::new(i));
+/// }
+/// assert_eq!(sampler.memory_contents().len(), 4);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct ReservoirSampler {
+    slots: Vec<NodeId>,
+    capacity: usize,
+    seen: u64,
+    rng: StdRng,
+}
+
+impl ReservoirSampler {
+    /// Creates a reservoir of `capacity` slots.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::ZeroCapacity`] if `capacity == 0`.
+    pub fn new(capacity: usize, seed: u64) -> Result<Self, CoreError> {
+        if capacity == 0 {
+            return Err(CoreError::ZeroCapacity);
+        }
+        Ok(Self {
+            slots: Vec::with_capacity(capacity),
+            capacity,
+            seen: 0,
+            rng: StdRng::seed_from_u64(seed),
+        })
+    }
+
+    /// Number of stream elements read so far.
+    pub fn elements_seen(&self) -> u64 {
+        self.seen
+    }
+}
+
+impl NodeSampler for ReservoirSampler {
+    fn feed(&mut self, id: NodeId) -> NodeId {
+        self.seen += 1;
+        if self.slots.len() < self.capacity {
+            self.slots.push(id);
+        } else {
+            // Element t replaces a random slot with probability c/t.
+            let position = self.rng.gen_range(0..self.seen);
+            if let Ok(slot) = usize::try_from(position) {
+                if slot < self.capacity {
+                    self.slots[slot] = id;
+                }
+            }
+        }
+        self.slots[self.rng.gen_range(0..self.slots.len())]
+    }
+
+    fn sample(&mut self) -> Option<NodeId> {
+        if self.slots.is_empty() {
+            None
+        } else {
+            Some(self.slots[self.rng.gen_range(0..self.slots.len())])
+        }
+    }
+
+    fn memory_contents(&self) -> Vec<NodeId> {
+        self.slots.clone()
+    }
+
+    fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn strategy_name(&self) -> &'static str {
+        "reservoir (Algorithm R)"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn zero_capacity_is_rejected() {
+        assert_eq!(ReservoirSampler::new(0, 1).unwrap_err(), CoreError::ZeroCapacity);
+    }
+
+    #[test]
+    fn fills_then_maintains_capacity() {
+        let mut sampler = ReservoirSampler::new(5, 2).unwrap();
+        assert_eq!(sampler.sample(), None);
+        for i in 0..3u64 {
+            sampler.feed(NodeId::new(i));
+        }
+        assert_eq!(sampler.memory_contents().len(), 3);
+        for i in 3..1_000u64 {
+            sampler.feed(NodeId::new(i));
+        }
+        assert_eq!(sampler.memory_contents().len(), 5);
+        assert_eq!(sampler.elements_seen(), 1_000);
+        assert_eq!(sampler.capacity(), 5);
+    }
+
+    #[test]
+    fn occupancy_is_uniform_over_positions() {
+        // After m elements, each position survives w.p. c/m: the count of
+        // "early" ids (first half) in the reservoir should be ~c/2.
+        let trials = 4_000;
+        let m = 200u64;
+        let c = 10usize;
+        let mut early_total = 0u64;
+        for seed in 0..trials {
+            let mut sampler = ReservoirSampler::new(c, seed).unwrap();
+            for i in 0..m {
+                sampler.feed(NodeId::new(i));
+            }
+            early_total +=
+                sampler.memory_contents().iter().filter(|id| id.as_u64() < m / 2).count() as u64;
+        }
+        let mean_early = early_total as f64 / trials as f64;
+        assert!(
+            (mean_early - c as f64 / 2.0).abs() < 0.2,
+            "mean early occupancy {mean_early}, expected ~{}",
+            c as f64 / 2.0
+        );
+    }
+
+    #[test]
+    fn flooding_adversary_owns_the_reservoir() {
+        // The baseline's documented weakness: an id occupying 90% of the
+        // stream owns ~90% of the output.
+        let mut sampler = ReservoirSampler::new(20, 7).unwrap();
+        let mut counts: HashMap<u64, u64> = HashMap::new();
+        for i in 0..50_000u64 {
+            let id = if i % 10 == 0 { 1 + i % 100 } else { 0 };
+            let out = sampler.feed(NodeId::new(id));
+            *counts.entry(out.as_u64()).or_insert(0) += 1;
+        }
+        let flood_share = *counts.get(&0).unwrap() as f64 / 50_000.0;
+        assert!(flood_share > 0.8, "flooded id only got {flood_share} of outputs");
+    }
+
+    #[test]
+    fn deterministic_under_fixed_seed() {
+        let stream: Vec<NodeId> = (0..500u64).map(|i| NodeId::new(i % 37)).collect();
+        let mut a = ReservoirSampler::new(8, 42).unwrap();
+        let mut b = ReservoirSampler::new(8, 42).unwrap();
+        assert_eq!(a.run(stream.clone()), b.run(stream));
+        assert_eq!(a.strategy_name(), "reservoir (Algorithm R)");
+    }
+}

@@ -1,0 +1,94 @@
+//! Error types for sampler construction.
+
+use std::error::Error;
+use std::fmt;
+use uns_sketch::SketchError;
+
+/// Errors returned when configuring a sampling strategy.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CoreError {
+    /// The sampling memory `Γ` must hold at least one identifier.
+    ZeroCapacity,
+    /// The omniscient sampler needs a non-empty occurrence distribution.
+    EmptyDistribution,
+    /// An occurrence probability was not a finite positive number.
+    InvalidProbability {
+        /// Index of the offending entry in the distribution vector.
+        index: usize,
+        /// The rejected value.
+        value: f64,
+    },
+    /// The occurrence distribution does not sum to 1.
+    DistributionNotNormalized {
+        /// The actual sum of the provided probabilities.
+        sum: f64,
+    },
+    /// A sketch substrate rejected its parameters.
+    Sketch(SketchError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::ZeroCapacity => {
+                write!(f, "sampling memory capacity c must be at least 1")
+            }
+            CoreError::EmptyDistribution => {
+                write!(f, "occurrence distribution must be non-empty")
+            }
+            CoreError::InvalidProbability { index, value } => {
+                write!(f, "occurrence probability at index {index} must be finite and positive, got {value}")
+            }
+            CoreError::DistributionNotNormalized { sum } => {
+                write!(f, "occurrence probabilities must sum to 1, sum to {sum}")
+            }
+            CoreError::Sketch(err) => write!(f, "sketch configuration rejected: {err}"),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Sketch(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<SketchError> for CoreError {
+    fn from(err: SketchError) -> Self {
+        CoreError::Sketch(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty() {
+        let errors = [
+            CoreError::ZeroCapacity,
+            CoreError::EmptyDistribution,
+            CoreError::InvalidProbability { index: 3, value: -0.5 },
+            CoreError::DistributionNotNormalized { sum: 0.9 },
+            CoreError::Sketch(SketchError::ZeroWidth),
+        ];
+        for err in errors {
+            assert!(!err.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn sketch_error_is_wrapped_with_source() {
+        let err = CoreError::from(SketchError::ZeroDepth);
+        assert!(err.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync_static() {
+        fn assert_bounds<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_bounds::<CoreError>();
+    }
+}

@@ -1,0 +1,279 @@
+//! The knowledge-free one-pass strategy — the paper's Algorithm 3.
+//!
+//! The knowledge-free strategy makes *no assumption* about the input
+//! stream: neither its length, nor the number of distinct identifiers, nor
+//! their frequency distribution. It runs the paper's Algorithm 2 (a
+//! Count-Min sketch, `uns_sketch::CountMinSketch`) in lock-step with the
+//! sampling loop (the paper's `cobegin`): every identifier `j` is first
+//! recorded in the sketch, then the insertion probability is computed from
+//! sketch state only:
+//!
+//! ```text
+//! a_j = min_σ / f̂_j
+//! ```
+//!
+//! where `f̂_j` is the sketch estimate for `j` and `min_σ` the global
+//! minimum over all `k × s` counters (Algorithm 3, line 6). Eviction is
+//! uniform over `Γ` (`r_k = 1/c`, line 11) and the output is a uniform
+//! resident (line 13).
+//!
+//! The strategy is generic over the [`FrequencyEstimator`]: plugging in the
+//! exact oracle instead of the sketch yields the *adaptive omniscient*
+//! sampler (the paper's Algorithm 1 with `p_j` learned exactly on the fly),
+//! and plugging in a Count sketch gives the estimator ablation measured by
+//! the benchmark harness.
+
+use crate::error::CoreError;
+use crate::memory::SamplingMemory;
+use crate::node_id::NodeId;
+use crate::sampler::NodeSampler;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use uns_sketch::{CountMinSketch, ExactFrequencyOracle, FrequencyEstimator};
+
+/// The paper's Algorithm 3: knowledge-free Byzantine-tolerant node
+/// sampling, generic over the frequency estimator `E`.
+///
+/// # Example
+///
+/// ```
+/// use uns_core::{KnowledgeFreeSampler, NodeId, NodeSampler};
+///
+/// # fn main() -> Result<(), uns_core::CoreError> {
+/// // The paper's Figure 7 settings: c = 10, k = 10, s = 5.
+/// let mut sampler = KnowledgeFreeSampler::with_count_min(10, 10, 5, 1)?;
+/// let out = sampler.feed(NodeId::new(42));
+/// assert_eq!(out, NodeId::new(42)); // sole resident so far
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct KnowledgeFreeSampler<E = CountMinSketch> {
+    memory: SamplingMemory,
+    estimator: E,
+    rng: StdRng,
+}
+
+impl KnowledgeFreeSampler<CountMinSketch> {
+    /// Creates the sampler with memory size `c = capacity` and a Count-Min
+    /// sketch of `k = width` columns and `s = depth` rows — the exact
+    /// configuration of the paper's experiments.
+    ///
+    /// The single `seed` deterministically derives both the sketch's hash
+    /// functions and the sampler's random coins.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::ZeroCapacity`] if `capacity == 0` and wraps
+    /// sketch dimension errors as [`CoreError::Sketch`].
+    pub fn with_count_min(
+        capacity: usize,
+        width: usize,
+        depth: usize,
+        seed: u64,
+    ) -> Result<Self, CoreError> {
+        let sketch_seed = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+        let sketch = CountMinSketch::with_dimensions(width, depth, sketch_seed)?;
+        Self::new(capacity, sketch, seed)
+    }
+
+    /// Creates the sampler sizing the sketch from accuracy targets
+    /// (`k = ⌈e/ε⌉`, `s = ⌈ln(1/δ)⌉`), the parametrization of the paper's
+    /// Algorithm 2.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::ZeroCapacity`] if `capacity == 0` and wraps
+    /// invalid `ε`/`δ` as [`CoreError::Sketch`].
+    pub fn with_error_bounds(
+        capacity: usize,
+        epsilon: f64,
+        delta: f64,
+        seed: u64,
+    ) -> Result<Self, CoreError> {
+        let sketch_seed = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+        let sketch = CountMinSketch::with_error_bounds(epsilon, delta, sketch_seed)?;
+        Self::new(capacity, sketch, seed)
+    }
+}
+
+impl KnowledgeFreeSampler<ExactFrequencyOracle> {
+    /// Creates the *adaptive omniscient* sampler: Algorithm 3 driven by
+    /// exact frequencies instead of sketched ones, i.e. Algorithm 1 with
+    /// `p_j` learned on the fly at full-space cost.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::ZeroCapacity`] if `capacity == 0`.
+    pub fn adaptive_omniscient(capacity: usize, seed: u64) -> Result<Self, CoreError> {
+        Self::new(capacity, ExactFrequencyOracle::new(), seed)
+    }
+}
+
+impl<E: FrequencyEstimator> KnowledgeFreeSampler<E> {
+    /// Creates the sampler from an explicit estimator instance.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::ZeroCapacity`] if `capacity == 0`.
+    pub fn new(capacity: usize, estimator: E, seed: u64) -> Result<Self, CoreError> {
+        Ok(Self {
+            memory: SamplingMemory::new(capacity)?,
+            estimator,
+            rng: StdRng::seed_from_u64(seed),
+        })
+    }
+
+    /// Read access to the underlying frequency estimator.
+    pub fn estimator(&self) -> &E {
+        &self.estimator
+    }
+
+    /// The insertion probability `a_j = min_σ/f̂_j` the sampler would use
+    /// for `id` *right now* (without recording anything).
+    ///
+    /// Returns 1 when the estimator has no information yet (`f̂_j = 0`).
+    pub fn insertion_probability_estimate(&self, id: NodeId) -> f64 {
+        let f_hat = self.estimator.estimate(id.as_u64());
+        if f_hat == 0 {
+            return 1.0;
+        }
+        (self.estimator.floor_estimate() as f64 / f_hat as f64).min(1.0)
+    }
+}
+
+impl<E: FrequencyEstimator> NodeSampler for KnowledgeFreeSampler<E> {
+    fn feed(&mut self, id: NodeId) -> NodeId {
+        // cobegin (Algorithm 3, lines 1–3): the estimator reads the element
+        // first, so f̂_j accounts for this occurrence.
+        self.estimator.record(id.as_u64());
+        if !self.memory.is_full() {
+            self.memory.insert(id); // no-op when already resident
+        } else if !self.memory.contains(id) {
+            let a_j = self.insertion_probability_estimate(id);
+            if self.rng.gen::<f64>() < a_j {
+                // r_k = 1/c: uniform eviction (Algorithm 3, line 11).
+                self.memory.replace_uniform(&mut self.rng, id);
+            }
+        }
+        self.memory
+            .sample_uniform(&mut self.rng)
+            .expect("memory is non-empty after feeding at least one identifier")
+    }
+
+    fn sample(&mut self) -> Option<NodeId> {
+        self.memory.sample_uniform(&mut self.rng)
+    }
+
+    fn memory_contents(&self) -> Vec<NodeId> {
+        self.memory.iter().copied().collect()
+    }
+
+    fn capacity(&self) -> usize {
+        self.memory.capacity()
+    }
+
+    fn strategy_name(&self) -> &'static str {
+        "knowledge-free"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use uns_sketch::CountSketch;
+
+    #[test]
+    fn constructor_validates_capacity_and_sketch() {
+        assert_eq!(
+            KnowledgeFreeSampler::with_count_min(0, 10, 5, 0).unwrap_err(),
+            CoreError::ZeroCapacity
+        );
+        assert!(matches!(
+            KnowledgeFreeSampler::with_count_min(5, 0, 5, 0),
+            Err(CoreError::Sketch(_))
+        ));
+        assert!(matches!(
+            KnowledgeFreeSampler::with_error_bounds(5, 0.0, 0.1, 0),
+            Err(CoreError::Sketch(_))
+        ));
+        assert!(KnowledgeFreeSampler::with_error_bounds(5, 0.3, 0.01, 0).is_ok());
+        assert!(KnowledgeFreeSampler::adaptive_omniscient(5, 0).is_ok());
+    }
+
+    #[test]
+    fn insertion_probability_reflects_sketch_state() {
+        let mut sampler = KnowledgeFreeSampler::with_count_min(2, 16, 4, 3).unwrap();
+        // No information yet.
+        assert_eq!(sampler.insertion_probability_estimate(NodeId::new(5)), 1.0);
+        // Flood one id among occasional rare ids: the flooded id's a_j must
+        // collapse while rare ids keep a_j = 1.
+        for i in 0..2_000u64 {
+            sampler.feed(NodeId::new(5));
+            if i % 50 == 0 {
+                sampler.feed(NodeId::new(100 + i));
+            }
+        }
+        let a_flooded = sampler.insertion_probability_estimate(NodeId::new(5));
+        assert!(a_flooded < 0.05, "flooded id keeps a_j = {a_flooded}");
+        let a_rare = sampler.insertion_probability_estimate(NodeId::new(2_100));
+        assert!(a_rare > 0.5, "rare id got a_j = {a_rare}");
+    }
+
+    #[test]
+    fn output_is_always_a_memory_resident() {
+        let mut sampler = KnowledgeFreeSampler::with_count_min(4, 8, 3, 9).unwrap();
+        for i in 0..2_000u64 {
+            let out = sampler.feed(NodeId::new(i % 32));
+            let residents: HashSet<NodeId> = sampler.memory_contents().into_iter().collect();
+            assert!(residents.contains(&out));
+            assert!(residents.len() <= 4);
+        }
+    }
+
+    #[test]
+    fn deterministic_under_fixed_seed() {
+        let stream: Vec<NodeId> = (0..800u64).map(|i| NodeId::new(i * 13 % 64)).collect();
+        let mut a = KnowledgeFreeSampler::with_count_min(6, 12, 4, 77).unwrap();
+        let mut b = KnowledgeFreeSampler::with_count_min(6, 12, 4, 77).unwrap();
+        assert_eq!(a.run(stream.clone()), b.run(stream.clone()));
+        let mut c = KnowledgeFreeSampler::with_count_min(6, 12, 4, 78).unwrap();
+        // Different seed: overwhelmingly likely to diverge somewhere.
+        assert_ne!(a.run(stream.clone()), c.run(stream));
+    }
+
+    #[test]
+    fn adaptive_omniscient_uses_exact_counts() {
+        let mut sampler = KnowledgeFreeSampler::adaptive_omniscient(3, 5).unwrap();
+        for _ in 0..10 {
+            sampler.feed(NodeId::new(1));
+        }
+        sampler.feed(NodeId::new(2));
+        assert_eq!(sampler.estimator().frequency(1), 10);
+        assert_eq!(sampler.estimator().frequency(2), 1);
+        // a_1 = min/f_1 = 1/10; a_2 = 1/1.
+        assert!((sampler.insertion_probability_estimate(NodeId::new(1)) - 0.1).abs() < 1e-12);
+        assert_eq!(sampler.insertion_probability_estimate(NodeId::new(2)), 1.0);
+    }
+
+    #[test]
+    fn works_with_count_sketch_estimator() {
+        let estimator = CountSketch::with_dimensions(32, 5, 11).unwrap();
+        let mut sampler = KnowledgeFreeSampler::new(4, estimator, 11).unwrap();
+        for i in 0..500u64 {
+            sampler.feed(NodeId::new(i % 20));
+        }
+        assert_eq!(sampler.memory_contents().len(), 4);
+        assert_eq!(sampler.strategy_name(), "knowledge-free");
+    }
+
+    #[test]
+    fn sample_before_and_after_first_feed() {
+        let mut sampler = KnowledgeFreeSampler::with_count_min(2, 4, 2, 1).unwrap();
+        assert_eq!(sampler.sample(), None);
+        sampler.feed(NodeId::new(9));
+        assert_eq!(sampler.sample(), Some(NodeId::new(9)));
+        assert_eq!(sampler.capacity(), 2);
+    }
+}

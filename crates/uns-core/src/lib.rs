@@ -1,0 +1,78 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+//! Byzantine-robust uniform node sampling from adversarial identifier
+//! streams — a full implementation of Anceaume, Busnel and Sericola,
+//! *"Uniform Node Sampling Service Robust against Collusions of Malicious
+//! Nodes"* (DSN 2013).
+//!
+//! # The problem
+//!
+//! Every node of a large-scale open system receives an unbounded stream of
+//! node identifiers (from gossip or random walks). Malicious nodes collude
+//! to bias this stream — flooding it with sybil identifiers — to keep
+//! correct nodes out of each other's samples. A *node sampling service*
+//! must read the stream on the fly, in small memory, and emit an output
+//! stream that is **uniform** (every node sampled with probability `1/n`)
+//! and **fresh** (every node keeps being sampled forever).
+//!
+//! # The strategies
+//!
+//! * [`OmniscientSampler`] — the paper's Algorithm 1. Assumes the
+//!   occurrence probability `p_j` of every identifier is known; inserts `j`
+//!   into the memory `Γ` with probability `a_j = min_i(p_i)/p_j`, evicting
+//!   a uniformly chosen resident. Provably uniform and fresh (Theorems 3–4,
+//!   Corollary 5) whatever the adversary injects.
+//! * [`KnowledgeFreeSampler`] — the paper's Algorithm 3. Replaces exact
+//!   knowledge with a Count-Min sketch estimate `f̂_j` and the global
+//!   minimum counter `min_σ`: `a_j = min_σ/f̂_j`. Needs only
+//!   `O(log(1/δ)/ε + c)` memory and approximates the omniscient output
+//!   within a tunable bound.
+//! * [`WeightedSampler`] — Algorithm 1 in full generality (arbitrary
+//!   insertion probabilities `a_j` and removal weights `r_j`), for
+//!   validating Theorem 3 beyond the paper's special case.
+//! * Baselines: [`MinWiseSampler`] (Bortnikov et al.'s Brahms sampling
+//!   component — converges to a uniform sample but then never changes) and
+//!   [`ReservoirSampler`] (Vitter's Algorithm R — uniform over stream
+//!   *occurrences*, hence arbitrarily biased by an adversary), plus the
+//!   identity [`PassthroughSampler`] control.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use uns_core::{KnowledgeFreeSampler, NodeId, NodeSampler};
+//!
+//! # fn main() -> Result<(), uns_core::CoreError> {
+//! // Memory of c = 10 ids, Count-Min sketch of k = 10 columns, s = 5 rows.
+//! let mut sampler = KnowledgeFreeSampler::with_count_min(10, 10, 5, 42)?;
+//!
+//! // An adversarially biased stream: id 0 floods the channel.
+//! let stream = (0..10_000u64).map(|i| NodeId::new(if i % 2 == 0 { 0 } else { i % 100 }));
+//! let mut last = None;
+//! for id in stream {
+//!     last = Some(sampler.feed(id)); // one output sample per input element
+//! }
+//! assert!(last.is_some());
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod baseline;
+pub mod error;
+pub mod knowledge_free;
+pub mod memory;
+pub mod node_id;
+pub mod omniscient;
+pub mod sampler;
+pub mod weighted;
+
+pub use baseline::minwise::{MinWiseSampler, MinWiseSamplerArray};
+pub use baseline::passthrough::PassthroughSampler;
+pub use baseline::reservoir::ReservoirSampler;
+pub use error::CoreError;
+pub use knowledge_free::KnowledgeFreeSampler;
+pub use memory::SamplingMemory;
+pub use node_id::NodeId;
+pub use omniscient::OmniscientSampler;
+pub use sampler::NodeSampler;
+pub use weighted::WeightedSampler;

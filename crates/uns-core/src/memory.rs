@@ -1,0 +1,340 @@
+//! The sampling memory `Γ` — a fixed-capacity set of node identifiers with
+//! O(1) membership, insertion, uniform eviction and uniform sampling.
+//!
+//! Both strategies of the paper maintain a set `Γ` of at most `c` node
+//! identifiers (`c ≪ n`). On every stream element the strategy may replace
+//! a uniformly chosen resident, and always outputs a uniformly chosen
+//! resident. This structure backs both operations with a slot vector plus a
+//! position index.
+
+use crate::node_id::NodeId;
+use rand::Rng;
+use std::collections::HashMap;
+
+/// Fixed-capacity set of node identifiers with O(1) uniform draws.
+///
+/// `Γ` has *set semantics*: inserting an identifier already present is a
+/// no-op, matching `Γ ← Γ ∪ {j}` in Algorithms 1 and 3, and matching the
+/// Markov-chain state space `S = {A ⊆ N : |A| = c}` of the analysis.
+///
+/// # Example
+///
+/// ```
+/// use rand::SeedableRng;
+/// use uns_core::{NodeId, SamplingMemory};
+///
+/// let mut gamma = SamplingMemory::new(2).unwrap();
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// assert!(gamma.insert(NodeId::new(7)));
+/// assert!(!gamma.insert(NodeId::new(7))); // set semantics
+/// assert!(gamma.insert(NodeId::new(9)));
+/// assert!(gamma.is_full());
+/// // Replace a uniformly chosen resident with a newcomer.
+/// let evicted = gamma.replace_uniform(&mut rng, NodeId::new(11)).unwrap();
+/// assert!(evicted == NodeId::new(7) || evicted == NodeId::new(9));
+/// assert!(gamma.contains(NodeId::new(11)));
+/// ```
+#[derive(Clone, Debug)]
+pub struct SamplingMemory {
+    capacity: usize,
+    slots: Vec<NodeId>,
+    positions: HashMap<NodeId, usize>,
+}
+
+impl SamplingMemory {
+    /// Creates an empty memory with room for `capacity` identifiers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::CoreError::ZeroCapacity`] if `capacity == 0`.
+    pub fn new(capacity: usize) -> Result<Self, crate::CoreError> {
+        if capacity == 0 {
+            return Err(crate::CoreError::ZeroCapacity);
+        }
+        Ok(Self {
+            capacity,
+            slots: Vec::with_capacity(capacity),
+            positions: HashMap::with_capacity(capacity),
+        })
+    }
+
+    /// Maximum number of identifiers (`c`).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of identifiers (`|Γ|`).
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// `true` when `Γ` holds no identifier.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// `true` when `|Γ| = c`.
+    pub fn is_full(&self) -> bool {
+        self.slots.len() == self.capacity
+    }
+
+    /// Membership test.
+    pub fn contains(&self, id: NodeId) -> bool {
+        self.positions.contains_key(&id)
+    }
+
+    /// Inserts `id` if the memory is not full and `id` is absent; returns
+    /// whether the set changed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on a full memory with an absent identifier — the
+    /// strategies only insert via [`SamplingMemory::replace_uniform`] once
+    /// `Γ` is full, so this indicates a logic error.
+    pub fn insert(&mut self, id: NodeId) -> bool {
+        if self.contains(id) {
+            return false;
+        }
+        assert!(
+            !self.is_full(),
+            "insert on full sampling memory; use replace_uniform instead"
+        );
+        self.positions.insert(id, self.slots.len());
+        self.slots.push(id);
+        true
+    }
+
+    /// Evicts a uniformly chosen resident and inserts `id` in its place
+    /// (`Γ ← (Γ \ {k}) ∪ {j}` with `k` drawn uniformly — the paper's
+    /// removal rule with equal weights `r`). Returns the evicted
+    /// identifier, or `None` (no change) if `id` is already present or the
+    /// memory is empty.
+    pub fn replace_uniform<R: Rng + ?Sized>(&mut self, rng: &mut R, id: NodeId) -> Option<NodeId> {
+        if self.slots.is_empty() || self.contains(id) {
+            return None;
+        }
+        let victim_slot = rng.gen_range(0..self.slots.len());
+        let evicted = self.slots[victim_slot];
+        self.positions.remove(&evicted);
+        self.slots[victim_slot] = id;
+        self.positions.insert(id, victim_slot);
+        Some(evicted)
+    }
+
+    /// Evicts a resident chosen with probability proportional to `weight`
+    /// (the paper's general rule `r_k / Σ_{ℓ∈Γ} r_ℓ`) and inserts `id`.
+    /// Returns the evicted identifier, or `None` if `id` is already present,
+    /// the memory is empty, or all weights are zero.
+    pub fn replace_weighted<R, W>(&mut self, rng: &mut R, id: NodeId, weight: W) -> Option<NodeId>
+    where
+        R: Rng + ?Sized,
+        W: Fn(NodeId) -> f64,
+    {
+        if self.slots.is_empty() || self.contains(id) {
+            return None;
+        }
+        let weights: Vec<f64> = self.slots.iter().map(|&s| weight(s).max(0.0)).collect();
+        let total: f64 = weights.iter().sum();
+        if total <= 0.0 {
+            return None;
+        }
+        let mut draw = rng.gen_range(0.0..total);
+        let mut victim_slot = weights.len() - 1;
+        for (slot, &w) in weights.iter().enumerate() {
+            if draw < w {
+                victim_slot = slot;
+                break;
+            }
+            draw -= w;
+        }
+        let evicted = self.slots[victim_slot];
+        self.positions.remove(&evicted);
+        self.slots[victim_slot] = id;
+        self.positions.insert(id, victim_slot);
+        Some(evicted)
+    }
+
+    /// Draws a uniformly random resident (the output step of both
+    /// algorithms); `None` when empty. The resident is *not* removed.
+    pub fn sample_uniform<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<NodeId> {
+        if self.slots.is_empty() {
+            None
+        } else {
+            Some(self.slots[rng.gen_range(0..self.slots.len())])
+        }
+    }
+
+    /// Iterates over the residents in slot order.
+    pub fn iter(&self) -> std::slice::Iter<'_, NodeId> {
+        self.slots.iter()
+    }
+
+    /// The residents as a slice in slot order.
+    pub fn as_slice(&self) -> &[NodeId] {
+        &self.slots
+    }
+}
+
+impl<'a> IntoIterator for &'a SamplingMemory {
+    type Item = &'a NodeId;
+    type IntoIter = std::slice::Iter<'a, NodeId>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.slots.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::collections::HashMap;
+
+    #[test]
+    fn zero_capacity_is_rejected() {
+        assert_eq!(SamplingMemory::new(0).unwrap_err(), crate::CoreError::ZeroCapacity);
+    }
+
+    #[test]
+    fn set_semantics_and_capacity() {
+        let mut gamma = SamplingMemory::new(3).unwrap();
+        assert!(gamma.is_empty());
+        assert!(gamma.insert(NodeId::new(1)));
+        assert!(!gamma.insert(NodeId::new(1)));
+        assert!(gamma.insert(NodeId::new(2)));
+        assert!(gamma.insert(NodeId::new(3)));
+        assert!(gamma.is_full());
+        assert_eq!(gamma.len(), 3);
+        assert_eq!(gamma.capacity(), 3);
+        assert!(gamma.contains(NodeId::new(2)));
+        assert!(!gamma.contains(NodeId::new(9)));
+    }
+
+    #[test]
+    #[should_panic(expected = "full sampling memory")]
+    fn insert_on_full_memory_panics() {
+        let mut gamma = SamplingMemory::new(1).unwrap();
+        gamma.insert(NodeId::new(1));
+        gamma.insert(NodeId::new(2));
+    }
+
+    #[test]
+    fn replace_uniform_swaps_exactly_one() {
+        let mut gamma = SamplingMemory::new(4).unwrap();
+        for i in 0..4u64 {
+            gamma.insert(NodeId::new(i));
+        }
+        let mut rng = StdRng::seed_from_u64(5);
+        let evicted = gamma.replace_uniform(&mut rng, NodeId::new(99)).unwrap();
+        assert!(evicted.as_u64() < 4);
+        assert!(gamma.contains(NodeId::new(99)));
+        assert!(!gamma.contains(evicted));
+        assert_eq!(gamma.len(), 4);
+    }
+
+    #[test]
+    fn replace_uniform_noop_for_resident_or_empty() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut empty = SamplingMemory::new(2).unwrap();
+        assert_eq!(empty.replace_uniform(&mut rng, NodeId::new(1)), None);
+        let mut gamma = SamplingMemory::new(2).unwrap();
+        gamma.insert(NodeId::new(1));
+        gamma.insert(NodeId::new(2));
+        assert_eq!(gamma.replace_uniform(&mut rng, NodeId::new(1)), None);
+        assert_eq!(gamma.len(), 2);
+    }
+
+    #[test]
+    fn eviction_is_statistically_uniform() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let trials = 40_000;
+        let mut evictions: HashMap<NodeId, u64> = HashMap::new();
+        for _ in 0..trials {
+            let mut gamma = SamplingMemory::new(4).unwrap();
+            for i in 0..4u64 {
+                gamma.insert(NodeId::new(i));
+            }
+            let evicted = gamma.replace_uniform(&mut rng, NodeId::new(100)).unwrap();
+            *evictions.entry(evicted).or_insert(0) += 1;
+        }
+        for i in 0..4u64 {
+            let count = evictions[&NodeId::new(i)];
+            let expected = trials as f64 / 4.0;
+            assert!(
+                (count as f64 - expected).abs() < expected * 0.1,
+                "slot {i} evicted {count} times, expected ~{expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn weighted_eviction_follows_weights() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let trials = 60_000;
+        let mut evictions: HashMap<NodeId, u64> = HashMap::new();
+        for _ in 0..trials {
+            let mut gamma = SamplingMemory::new(2).unwrap();
+            gamma.insert(NodeId::new(0));
+            gamma.insert(NodeId::new(1));
+            // id 1 is three times more likely to be evicted.
+            let evicted = gamma
+                .replace_weighted(&mut rng, NodeId::new(9), |id| if id.as_u64() == 1 { 3.0 } else { 1.0 })
+                .unwrap();
+            *evictions.entry(evicted).or_insert(0) += 1;
+        }
+        let heavy = evictions[&NodeId::new(1)] as f64 / trials as f64;
+        assert!((heavy - 0.75).abs() < 0.02, "weighted eviction rate {heavy}, expected 0.75");
+    }
+
+    #[test]
+    fn weighted_eviction_zero_weights_is_noop() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut gamma = SamplingMemory::new(2).unwrap();
+        gamma.insert(NodeId::new(0));
+        gamma.insert(NodeId::new(1));
+        assert_eq!(gamma.replace_weighted(&mut rng, NodeId::new(9), |_| 0.0), None);
+        assert!(gamma.contains(NodeId::new(0)));
+    }
+
+    #[test]
+    fn sampling_is_statistically_uniform() {
+        let mut gamma = SamplingMemory::new(5).unwrap();
+        for i in 0..5u64 {
+            gamma.insert(NodeId::new(i));
+        }
+        let mut rng = StdRng::seed_from_u64(10);
+        let trials = 50_000;
+        let mut counts: HashMap<NodeId, u64> = HashMap::new();
+        for _ in 0..trials {
+            *counts.entry(gamma.sample_uniform(&mut rng).unwrap()).or_insert(0) += 1;
+        }
+        for i in 0..5u64 {
+            let count = counts[&NodeId::new(i)];
+            let expected = trials as f64 / 5.0;
+            assert!(
+                (count as f64 - expected).abs() < expected * 0.1,
+                "id {i} sampled {count} times, expected ~{expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn sample_of_empty_memory_is_none() {
+        let gamma = SamplingMemory::new(2).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        assert_eq!(gamma.sample_uniform(&mut rng), None);
+    }
+
+    #[test]
+    fn iteration_matches_contents() {
+        let mut gamma = SamplingMemory::new(3).unwrap();
+        gamma.insert(NodeId::new(5));
+        gamma.insert(NodeId::new(6));
+        let ids: Vec<u64> = gamma.iter().map(|id| id.as_u64()).collect();
+        assert_eq!(ids, vec![5, 6]);
+        let ids: Vec<u64> = (&gamma).into_iter().map(|id| id.as_u64()).collect();
+        assert_eq!(ids, vec![5, 6]);
+        assert_eq!(gamma.as_slice().len(), 2);
+    }
+}

@@ -1,0 +1,103 @@
+//! Node identifiers.
+//!
+//! The paper draws identifiers from `Ω = {1, …, 2^r}` with `r = 160`
+//! (SHA-1). This implementation uses 64-bit identifiers: collision-freeness
+//! only matters up to the simulated population sizes (`≤ 2^20` nodes in the
+//! paper's experiments), and 64 bits keep identifiers `Copy` and hashable at
+//! full speed. The newtype keeps identifiers from being confused with
+//! counts, indices or sizes anywhere in the API.
+
+use std::fmt;
+
+/// A 64-bit node identifier.
+///
+/// # Example
+///
+/// ```
+/// use uns_core::NodeId;
+///
+/// let id = NodeId::new(42);
+/// assert_eq!(id.as_u64(), 42);
+/// assert_eq!(u64::from(id), 42);
+/// assert_eq!(NodeId::from(42u64), id);
+/// assert_eq!(id.to_string(), "42");
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(u64);
+
+impl NodeId {
+    /// Creates an identifier from its raw 64-bit value.
+    pub const fn new(raw: u64) -> Self {
+        Self(raw)
+    }
+
+    /// Returns the raw 64-bit value.
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+impl From<u64> for NodeId {
+    fn from(raw: u64) -> Self {
+        Self(raw)
+    }
+}
+
+impl From<NodeId> for u64 {
+    fn from(id: NodeId) -> Self {
+        id.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(&self.0, f)
+    }
+}
+
+impl fmt::LowerHex for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl fmt::UpperHex for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::UpperHex::fmt(&self.0, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn conversions_roundtrip() {
+        let id = NodeId::new(u64::MAX);
+        assert_eq!(NodeId::from(u64::from(id)), id);
+        assert_eq!(id.as_u64(), u64::MAX);
+    }
+
+    #[test]
+    fn ordering_follows_raw_value() {
+        assert!(NodeId::new(1) < NodeId::new(2));
+        assert_eq!(NodeId::default(), NodeId::new(0));
+    }
+
+    #[test]
+    fn formatting() {
+        let id = NodeId::new(255);
+        assert_eq!(format!("{id}"), "255");
+        assert_eq!(format!("{id:x}"), "ff");
+        assert_eq!(format!("{id:X}"), "FF");
+        assert_eq!(format!("{id:?}"), "NodeId(255)");
+    }
+
+    #[test]
+    fn usable_in_hash_sets() {
+        let set: HashSet<NodeId> = (0..10u64).map(NodeId::new).collect();
+        assert_eq!(set.len(), 10);
+        assert!(set.contains(&NodeId::new(5)));
+    }
+}

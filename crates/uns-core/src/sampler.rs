@@ -1,0 +1,99 @@
+//! The node sampling service interface.
+//!
+//! A sampling service is local to each correct node (paper §IV): it
+//! continuously reads the node's input stream of identifiers and, for every
+//! element read, emits one identifier on its output stream. The service is
+//! judged by two properties over its output stream:
+//!
+//! * **Uniformity** (Property 1): `P{S_i(t) = j} = 1/n` for every node `j`;
+//! * **Freshness** (Property 2): every node recurs in the output infinitely
+//!   often with probability 1.
+
+use crate::node_id::NodeId;
+
+/// A one-pass node sampling strategy.
+///
+/// Implementations read one identifier at a time ([`NodeSampler::feed`])
+/// and return the identifier written to the output stream for that step —
+/// the `k′` of Algorithms 1 and 3. All implementations in this crate are
+/// deterministic functions of their construction seed and input stream.
+pub trait NodeSampler {
+    /// Reads one identifier from the input stream and returns the
+    /// identifier emitted on the output stream for this step.
+    fn feed(&mut self, id: NodeId) -> NodeId;
+
+    /// Draws an output sample without consuming any input — `None` before
+    /// the first [`NodeSampler::feed`].
+    fn sample(&mut self) -> Option<NodeId>;
+
+    /// Snapshot of the identifiers currently held in local memory (`Γ` for
+    /// the paper's strategies, the reservoir/min-wise state for baselines).
+    fn memory_contents(&self) -> Vec<NodeId>;
+
+    /// Configured capacity of the local memory (`c`); 0 for memoryless
+    /// strategies.
+    fn capacity(&self) -> usize;
+
+    /// Human-readable strategy name for reports and plots.
+    fn strategy_name(&self) -> &'static str;
+
+    /// Feeds a whole stream and collects the output stream.
+    ///
+    /// Convenience for experiments; equivalent to mapping
+    /// [`NodeSampler::feed`] over `ids`.
+    fn run<I>(&mut self, ids: I) -> Vec<NodeId>
+    where
+        I: IntoIterator<Item = NodeId>,
+        Self: Sized,
+    {
+        ids.into_iter().map(|id| self.feed(id)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimal conforming implementation used to exercise the provided
+    /// method and object safety.
+    struct Echo {
+        last: Option<NodeId>,
+    }
+
+    impl NodeSampler for Echo {
+        fn feed(&mut self, id: NodeId) -> NodeId {
+            self.last = Some(id);
+            id
+        }
+        fn sample(&mut self) -> Option<NodeId> {
+            self.last
+        }
+        fn memory_contents(&self) -> Vec<NodeId> {
+            self.last.into_iter().collect()
+        }
+        fn capacity(&self) -> usize {
+            0
+        }
+        fn strategy_name(&self) -> &'static str {
+            "echo"
+        }
+    }
+
+    #[test]
+    fn run_maps_feed_over_stream() {
+        let mut echo = Echo { last: None };
+        let out = echo.run((0..5u64).map(NodeId::new));
+        assert_eq!(out, (0..5u64).map(NodeId::new).collect::<Vec<_>>());
+        assert_eq!(echo.sample(), Some(NodeId::new(4)));
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        let mut boxed: Box<dyn NodeSampler> = Box::new(Echo { last: None });
+        assert_eq!(boxed.sample(), None);
+        boxed.feed(NodeId::new(3));
+        assert_eq!(boxed.memory_contents(), vec![NodeId::new(3)]);
+        assert_eq!(boxed.capacity(), 0);
+        assert_eq!(boxed.strategy_name(), "echo");
+    }
+}

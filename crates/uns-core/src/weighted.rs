@@ -1,0 +1,266 @@
+//! Algorithm 1 in its full generality: arbitrary insertion probabilities
+//! `(a_j)` and removal weights `(r_j)`.
+//!
+//! Before specializing to `a_j = min_i(p_i)/p_j` and `r_j = 1/n`
+//! (Corollary 5), the paper analyses Algorithm 1 for *any* positive vectors
+//! `(a_j)` and `(r_j)`: the induced chain is reversible with stationary
+//! distribution `π_A ∝ (Σ_{ℓ∈A} r_ℓ)(Π_{h∈A} p_h a_h / r_h)` (Theorem 3).
+//! [`WeightedSampler`] realizes that general algorithm so the closed form
+//! can be validated against a *running* sampler, not just the transition
+//! matrix — and so downstream users can experiment with other policies
+//! (e.g. frequency-proportional eviction, see the `repro eviction`
+//! ablation).
+
+use crate::error::CoreError;
+use crate::memory::SamplingMemory;
+use crate::node_id::NodeId;
+use crate::sampler::NodeSampler;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The general Algorithm 1: explicit per-identifier insertion
+/// probabilities and removal weights over the domain `0..n`.
+///
+/// # Example
+///
+/// ```
+/// use uns_core::{NodeId, NodeSampler, WeightedSampler};
+///
+/// # fn main() -> Result<(), uns_core::CoreError> {
+/// // Insert id 0 rarely, evict id 1 preferentially.
+/// let a = vec![0.1, 1.0, 1.0, 1.0];
+/// let r = vec![1.0, 5.0, 1.0, 1.0];
+/// let mut sampler = WeightedSampler::new(2, a, r, 9)?;
+/// sampler.feed(NodeId::new(2));
+/// sampler.feed(NodeId::new(3));
+/// assert_eq!(sampler.capacity(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct WeightedSampler {
+    memory: SamplingMemory,
+    insertion: Vec<f64>,
+    removal: Vec<f64>,
+    rng: StdRng,
+}
+
+impl WeightedSampler {
+    /// Creates the sampler with memory size `capacity`, insertion
+    /// probabilities `insertion` (the `a_j`) and removal weights `removal`
+    /// (the `r_j`), both indexed by identifier value.
+    ///
+    /// Identifiers outside the vectors use `a = 1` and `r = 1` (maximally
+    /// insertable, uniformly evictable).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::ZeroCapacity`] if `capacity == 0`,
+    /// [`CoreError::EmptyDistribution`] if the vectors are empty or of
+    /// different lengths, and [`CoreError::InvalidProbability`] if any
+    /// `a_j ∉ (0, 1]` or any `r_j ≤ 0`.
+    pub fn new(
+        capacity: usize,
+        insertion: Vec<f64>,
+        removal: Vec<f64>,
+        seed: u64,
+    ) -> Result<Self, CoreError> {
+        if insertion.is_empty() || insertion.len() != removal.len() {
+            return Err(CoreError::EmptyDistribution);
+        }
+        for (index, &a) in insertion.iter().enumerate() {
+            if !(a.is_finite() && a > 0.0 && a <= 1.0) {
+                return Err(CoreError::InvalidProbability { index, value: a });
+            }
+        }
+        for (index, &r) in removal.iter().enumerate() {
+            if !(r.is_finite() && r > 0.0) {
+                return Err(CoreError::InvalidProbability { index, value: r });
+            }
+        }
+        Ok(Self {
+            memory: SamplingMemory::new(capacity)?,
+            insertion,
+            removal,
+            rng: StdRng::seed_from_u64(seed),
+        })
+    }
+
+    /// The insertion probability `a_id` in effect.
+    pub fn insertion_probability(&self, id: NodeId) -> f64 {
+        usize::try_from(id.as_u64())
+            .ok()
+            .and_then(|i| self.insertion.get(i))
+            .copied()
+            .unwrap_or(1.0)
+    }
+
+    /// The removal weight `r_id` in effect.
+    pub fn removal_weight(&self, id: NodeId) -> f64 {
+        usize::try_from(id.as_u64())
+            .ok()
+            .and_then(|i| self.removal.get(i))
+            .copied()
+            .unwrap_or(1.0)
+    }
+}
+
+impl NodeSampler for WeightedSampler {
+    fn feed(&mut self, id: NodeId) -> NodeId {
+        if !self.memory.is_full() {
+            self.memory.insert(id);
+        } else if !self.memory.contains(id) {
+            let a_j = self.insertion_probability(id);
+            if self.rng.gen::<f64>() < a_j {
+                // Eviction with probability r_k / Σ_{ℓ∈Γ} r_ℓ (Alg. 1, l. 6).
+                let removal = self.removal.clone();
+                self.memory.replace_weighted(&mut self.rng, id, |resident| {
+                    usize::try_from(resident.as_u64())
+                        .ok()
+                        .and_then(|i| removal.get(i))
+                        .copied()
+                        .unwrap_or(1.0)
+                });
+            }
+        }
+        self.memory
+            .sample_uniform(&mut self.rng)
+            .expect("memory is non-empty after feeding at least one identifier")
+    }
+
+    fn sample(&mut self) -> Option<NodeId> {
+        self.memory.sample_uniform(&mut self.rng)
+    }
+
+    fn memory_contents(&self) -> Vec<NodeId> {
+        self.memory.iter().copied().collect()
+    }
+
+    fn capacity(&self) -> usize {
+        self.memory.capacity()
+    }
+
+    fn strategy_name(&self) -> &'static str {
+        "weighted (general Algorithm 1)"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn constructor_validates_inputs() {
+        assert_eq!(
+            WeightedSampler::new(0, vec![1.0], vec![1.0], 0).unwrap_err(),
+            CoreError::ZeroCapacity
+        );
+        assert_eq!(
+            WeightedSampler::new(1, vec![], vec![], 0).unwrap_err(),
+            CoreError::EmptyDistribution
+        );
+        assert_eq!(
+            WeightedSampler::new(1, vec![1.0], vec![1.0, 1.0], 0).unwrap_err(),
+            CoreError::EmptyDistribution
+        );
+        assert!(matches!(
+            WeightedSampler::new(1, vec![0.0, 1.0], vec![1.0, 1.0], 0),
+            Err(CoreError::InvalidProbability { index: 0, .. })
+        ));
+        assert!(matches!(
+            WeightedSampler::new(1, vec![1.5, 1.0], vec![1.0, 1.0], 0),
+            Err(CoreError::InvalidProbability { .. })
+        ));
+        assert!(matches!(
+            WeightedSampler::new(1, vec![1.0, 1.0], vec![0.0, 1.0], 0),
+            Err(CoreError::InvalidProbability { .. })
+        ));
+    }
+
+    #[test]
+    fn out_of_range_ids_use_unit_weights() {
+        let sampler = WeightedSampler::new(1, vec![0.5], vec![2.0], 0).unwrap();
+        assert_eq!(sampler.insertion_probability(NodeId::new(0)), 0.5);
+        assert_eq!(sampler.removal_weight(NodeId::new(0)), 2.0);
+        assert_eq!(sampler.insertion_probability(NodeId::new(9)), 1.0);
+        assert_eq!(sampler.removal_weight(NodeId::new(9)), 1.0);
+        assert_eq!(sampler.strategy_name(), "weighted (general Algorithm 1)");
+    }
+
+    /// Theorem 3 against the *running* sampler: long-run residency rates
+    /// match the closed-form stationary distribution for arbitrary
+    /// (p, a, r) — not just the paper's uniform special case.
+    #[test]
+    fn theorem3_residency_matches_closed_form() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        use uns_analysis::SubsetChain;
+
+        let p = [0.4, 0.3, 0.2, 0.1];
+        let a = vec![0.25, 0.5, 0.75, 1.0];
+        let r = vec![0.1, 0.2, 0.3, 0.4];
+        let c = 2usize;
+
+        // Closed form γ_id = Σ_{A∋id} π_A from Theorem 3.
+        let chain = SubsetChain::new(&p, &a, &r, c).unwrap();
+        let pi = chain.theoretical_stationary();
+        let gamma: Vec<f64> =
+            (0..4).map(|id| chain.inclusion_probability(&pi, id).unwrap()).collect();
+
+        // Live sampler, long-run residency.
+        let mut sampler = WeightedSampler::new(c, a, r, 3).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let cdf = [0.4, 0.7, 0.9, 1.0];
+        let mut residency: HashMap<u64, u64> = HashMap::new();
+        let steps = 600_000;
+        let mut observations = 0u64;
+        for step in 0..steps {
+            let u: f64 = rand::Rng::gen(&mut rng);
+            let id = cdf.iter().position(|&x| u < x).unwrap() as u64;
+            sampler.feed(NodeId::new(id));
+            if step > 20_000 {
+                for resident in sampler.memory_contents() {
+                    *residency.entry(resident.as_u64()).or_insert(0) += 1;
+                }
+                observations += 1;
+            }
+        }
+        for id in 0..4u64 {
+            let rate = *residency.get(&id).unwrap_or(&0) as f64 / observations as f64;
+            assert!(
+                (rate - gamma[id as usize]).abs() < 0.02,
+                "id {id}: live residency {rate} vs Theorem 3 γ = {}",
+                gamma[id as usize]
+            );
+        }
+    }
+
+    #[test]
+    fn heavy_removal_weight_shortens_residency() {
+        // id 0 has 10× the removal weight: it should be resident far less
+        // often than id 1 under a uniform input stream.
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        let a = vec![1.0; 8];
+        let mut r = vec![1.0; 8];
+        r[0] = 10.0;
+        let mut sampler = WeightedSampler::new(3, a, r, 5).unwrap();
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut residency = [0u64; 8];
+        for step in 0..200_000 {
+            let id: u64 = rand::Rng::gen_range(&mut rng, 0..8);
+            sampler.feed(NodeId::new(id));
+            if step > 5_000 {
+                for resident in sampler.memory_contents() {
+                    residency[resident.as_u64() as usize] += 1;
+                }
+            }
+        }
+        assert!(
+            (residency[0] as f64) < residency[1] as f64 * 0.5,
+            "heavy removal weight should halve residency: {residency:?}"
+        );
+    }
+}

@@ -1,0 +1,116 @@
+//! Property-based tests for the sampling strategies.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use std::collections::HashSet;
+use uns_core::{
+    KnowledgeFreeSampler, NodeId, NodeSampler, OmniscientSampler, ReservoirSampler, SamplingMemory,
+};
+
+proptest! {
+    /// Γ never exceeds its capacity and keeps set semantics under any
+    /// insert/replace interleaving.
+    #[test]
+    fn memory_respects_capacity_and_set_semantics(
+        capacity in 1usize..16,
+        ids in vec(0u64..64, 0..400),
+        seed in any::<u64>(),
+    ) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut gamma = SamplingMemory::new(capacity).unwrap();
+        for id in ids {
+            let id = NodeId::new(id);
+            if gamma.is_full() {
+                gamma.replace_uniform(&mut rng, id);
+            } else {
+                gamma.insert(id);
+            }
+            prop_assert!(gamma.len() <= capacity);
+            let distinct: HashSet<NodeId> = gamma.iter().copied().collect();
+            prop_assert_eq!(distinct.len(), gamma.len(), "duplicate in memory");
+            prop_assert!(gamma.contains(id) || gamma.is_full());
+        }
+    }
+
+    /// Every output of the knowledge-free sampler is a memory resident, and
+    /// the memory never exceeds c distinct ids.
+    #[test]
+    fn knowledge_free_outputs_are_residents(
+        capacity in 1usize..12,
+        width in 1usize..24,
+        depth in 1usize..5,
+        ids in vec(0u64..128, 1..300),
+        seed in any::<u64>(),
+    ) {
+        let mut sampler =
+            KnowledgeFreeSampler::with_count_min(capacity, width, depth, seed).unwrap();
+        for id in ids {
+            let out = sampler.feed(NodeId::new(id));
+            let residents: HashSet<NodeId> = sampler.memory_contents().into_iter().collect();
+            prop_assert!(residents.contains(&out));
+            prop_assert!(residents.len() <= capacity);
+        }
+    }
+
+    /// Same seed + same stream ⇒ identical output stream (determinism), for
+    /// both paper strategies.
+    #[test]
+    fn samplers_are_deterministic(
+        ids in vec(0u64..32, 1..200),
+        seed in any::<u64>(),
+    ) {
+        let stream: Vec<NodeId> = ids.iter().copied().map(NodeId::new).collect();
+        let probs = vec![1.0 / 32.0; 32];
+        let mut o1 = OmniscientSampler::new(4, &probs, seed).unwrap();
+        let mut o2 = OmniscientSampler::new(4, &probs, seed).unwrap();
+        prop_assert_eq!(o1.run(stream.clone()), o2.run(stream.clone()));
+        let mut k1 = KnowledgeFreeSampler::with_count_min(4, 8, 3, seed).unwrap();
+        let mut k2 = KnowledgeFreeSampler::with_count_min(4, 8, 3, seed).unwrap();
+        prop_assert_eq!(k1.run(stream.clone()), k2.run(stream));
+    }
+
+    /// The omniscient insertion probabilities always lie in (0, 1] and are
+    /// inversely ordered with the occurrence probabilities.
+    #[test]
+    fn omniscient_insertion_probabilities_are_valid(
+        raw in vec(1u32..1000, 2..32),
+    ) {
+        let total: f64 = raw.iter().map(|&x| x as f64).sum();
+        let probs: Vec<f64> = raw.iter().map(|&x| x as f64 / total).collect();
+        let sampler = OmniscientSampler::new(1, &probs, 0).unwrap();
+        for i in 0..probs.len() {
+            let a = sampler.insertion_probability(NodeId::new(i as u64));
+            prop_assert!(a > 0.0 && a <= 1.0, "a_{} = {}", i, a);
+        }
+        // Inverse ordering: more frequent ⇒ lower insertion probability.
+        for i in 0..probs.len() {
+            for j in 0..probs.len() {
+                if probs[i] > probs[j] {
+                    let ai = sampler.insertion_probability(NodeId::new(i as u64));
+                    let aj = sampler.insertion_probability(NodeId::new(j as u64));
+                    prop_assert!(ai <= aj + 1e-12);
+                }
+            }
+        }
+    }
+
+    /// The reservoir never grows beyond its capacity and its contents are
+    /// always stream elements.
+    #[test]
+    fn reservoir_contents_come_from_stream(
+        capacity in 1usize..10,
+        ids in vec(0u64..64, 1..300),
+        seed in any::<u64>(),
+    ) {
+        let mut sampler = ReservoirSampler::new(capacity, seed).unwrap();
+        let stream_set: HashSet<u64> = ids.iter().copied().collect();
+        for &id in &ids {
+            sampler.feed(NodeId::new(id));
+            prop_assert!(sampler.memory_contents().len() <= capacity);
+        }
+        for id in sampler.memory_contents() {
+            prop_assert!(stream_set.contains(&id.as_u64()));
+        }
+    }
+}

@@ -1,0 +1,209 @@
+//! Statistical validation of the paper's Uniformity and Freshness
+//! properties on adversarially biased streams.
+//!
+//! These tests are seeded and deterministic; thresholds carry generous
+//! margins so they measure the algorithms, not the RNG.
+
+use rand::rngs::StdRng;
+use std::collections::HashSet;
+use rand::{Rng, SeedableRng};
+use uns_analysis::{kl_gain, Frequencies};
+use uns_core::{
+    KnowledgeFreeSampler, MinWiseSampler, NodeId, NodeSampler, OmniscientSampler,
+    PassthroughSampler, ReservoirSampler,
+};
+
+/// A peak-attack stream (paper Fig. 7a): one flooded id, the rest uniform.
+///
+/// Returns `(stream, occurrence_probabilities)` over domain `n`.
+fn peak_attack_stream(n: usize, m: usize, flood_share: f64, seed: u64) -> (Vec<NodeId>, Vec<f64>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut stream = Vec::with_capacity(m);
+    for _ in 0..m {
+        let id = if rng.gen::<f64>() < flood_share {
+            0
+        } else {
+            rng.gen_range(0..n as u64)
+        };
+        stream.push(NodeId::new(id));
+    }
+    let mut probs = vec![(1.0 - flood_share) / n as f64; n];
+    probs[0] += flood_share;
+    (stream, probs)
+}
+
+fn output_histogram(sampler: &mut dyn NodeSampler, stream: &[NodeId], domain: usize) -> Frequencies {
+    let mut hist = Frequencies::new(domain);
+    for &id in stream {
+        hist.record(sampler.feed(id).as_u64());
+    }
+    hist
+}
+
+#[test]
+fn omniscient_unbiases_a_peak_attack() {
+    let n = 100;
+    let (stream, probs) = peak_attack_stream(n, 150_000, 0.5, 1);
+    let input = Frequencies::from_ids(n, stream.iter().map(|id| id.as_u64()));
+    let mut sampler = OmniscientSampler::new(10, &probs, 2).unwrap();
+    let output = output_histogram(&mut sampler, &stream, n);
+
+    let gain = kl_gain(input.counts(), output.counts()).unwrap().unwrap();
+    assert!(gain > 0.95, "omniscient gain {gain} too low");
+    // The flooded id must no longer dominate: its output share should be
+    // within 3x of 1/n.
+    let flood_share = output.count(0) as f64 / output.total() as f64;
+    assert!(flood_share < 3.0 / n as f64, "flooded id keeps {flood_share} of output");
+}
+
+#[test]
+fn knowledge_free_unbiases_a_peak_attack() {
+    let n = 100;
+    let (stream, _) = peak_attack_stream(n, 150_000, 0.5, 3);
+    let input = Frequencies::from_ids(n, stream.iter().map(|id| id.as_u64()));
+    // Paper Fig. 7 settings scaled to n = 100: c = 10, k = 10, s = 5.
+    let mut sampler = KnowledgeFreeSampler::with_count_min(10, 10, 5, 4).unwrap();
+    let output = output_histogram(&mut sampler, &stream, n);
+
+    let gain = kl_gain(input.counts(), output.counts()).unwrap().unwrap();
+    assert!(gain > 0.8, "knowledge-free gain {gain} too low");
+    let flood_share = output.count(0) as f64 / output.total() as f64;
+    let input_share = input.count(0) as f64 / input.total() as f64;
+    assert!(
+        flood_share < input_share / 5.0,
+        "knowledge-free only reduced the peak from {input_share} to {flood_share}"
+    );
+}
+
+#[test]
+fn adaptive_omniscient_tracks_true_omniscient() {
+    let n = 80;
+    let (stream, probs) = peak_attack_stream(n, 120_000, 0.4, 5);
+    let input = Frequencies::from_ids(n, stream.iter().map(|id| id.as_u64()));
+
+    let mut exact = OmniscientSampler::new(10, &probs, 6).unwrap();
+    let gain_exact = kl_gain(input.counts(), output_histogram(&mut exact, &stream, n).counts())
+        .unwrap()
+        .unwrap();
+
+    let mut adaptive = KnowledgeFreeSampler::adaptive_omniscient(10, 7).unwrap();
+    let gain_adaptive =
+        kl_gain(input.counts(), output_histogram(&mut adaptive, &stream, n).counts())
+            .unwrap()
+            .unwrap();
+
+    assert!(gain_exact > 0.95);
+    assert!(
+        (gain_exact - gain_adaptive).abs() < 0.05,
+        "adaptive ({gain_adaptive}) diverges from exact omniscient ({gain_exact})"
+    );
+}
+
+#[test]
+fn omniscient_output_is_chi_square_uniform() {
+    // Under a *known* biased distribution the omniscient output stream must
+    // pass a uniformity test over the domain.
+    let n = 50;
+    let (stream, probs) = peak_attack_stream(n, 200_000, 0.3, 8);
+    let mut sampler = OmniscientSampler::new(15, &probs, 9).unwrap();
+    // Skip the transient: let the memory reach stationarity first.
+    let warmup = 30_000;
+    for &id in &stream[..warmup] {
+        sampler.feed(id);
+    }
+    let mut hist = Frequencies::new(n);
+    for &id in &stream[warmup..] {
+        hist.record(sampler.feed(id).as_u64());
+    }
+    // Successive outputs are correlated (the memory changes slowly), which
+    // inflates the χ² statistic relative to i.i.d. sampling — so use a very
+    // forgiving significance level and additionally check the max/min
+    // output share directly.
+    let p_value = hist.chi_square_uniformity_pvalue().unwrap();
+    let shares: Vec<f64> =
+        hist.counts().iter().map(|&c| c as f64 / hist.total() as f64).collect();
+    let max_share = shares.iter().cloned().fold(0.0, f64::max);
+    let min_share = shares.iter().cloned().fold(1.0, f64::min);
+    assert!(
+        p_value > 1e-6 || (max_share < 2.5 / n as f64 && min_share > 0.4 / n as f64),
+        "output not uniform: p = {p_value}, shares in [{min_share}, {max_share}]"
+    );
+}
+
+#[test]
+fn freshness_all_ids_recur_in_output() {
+    let n = 60;
+    let (stream, probs) = peak_attack_stream(n, 120_000, 0.5, 10);
+    let mut omniscient = OmniscientSampler::new(10, &probs, 11).unwrap();
+    let mut knowledge_free = KnowledgeFreeSampler::with_count_min(10, 10, 5, 12).unwrap();
+    let out_omni = Frequencies::from_ids(n, stream.iter().map(|&id| omniscient.feed(id).as_u64()));
+    let out_kf =
+        Frequencies::from_ids(n, stream.iter().map(|&id| knowledge_free.feed(id).as_u64()));
+    assert_eq!(out_omni.support_size(), n, "omniscient starved some ids");
+    assert_eq!(out_kf.support_size(), n, "knowledge-free starved some ids");
+}
+
+#[test]
+fn baselines_fail_where_the_paper_strategies_succeed() {
+    let n = 100;
+    let (stream, _) = peak_attack_stream(n, 100_000, 0.5, 13);
+    let input = Frequencies::from_ids(n, stream.iter().map(|id| id.as_u64()));
+
+    // Reservoir: output stays dominated by the flood (gain near 0).
+    let mut reservoir = ReservoirSampler::new(10, 14).unwrap();
+    let out_res = output_histogram(&mut reservoir, &stream, n);
+    let gain_res = kl_gain(input.counts(), out_res.counts()).unwrap().unwrap();
+    assert!(gain_res < 0.5, "reservoir unexpectedly robust: gain {gain_res}");
+
+    // Passthrough: gain exactly ~0.
+    let mut pass = PassthroughSampler::new();
+    let out_pass = output_histogram(&mut pass, &stream, n);
+    let gain_pass = kl_gain(input.counts(), out_pass.counts()).unwrap().unwrap();
+    assert!(gain_pass.abs() < 1e-9);
+
+    // Min-wise: converges then never changes (staticity = no freshness).
+    // A handful of ids may be emitted during convergence, but the second
+    // half of the output stream must be a single frozen id.
+    let mut minwise = MinWiseSampler::new(15);
+    let outputs: Vec<NodeId> = stream.iter().map(|&id| minwise.feed(id)).collect();
+    let tail: HashSet<NodeId> = outputs[outputs.len() / 2..].iter().copied().collect();
+    assert_eq!(tail.len(), 1, "min-wise tail should be frozen, got {tail:?}");
+
+    // The knowledge-free strategy beats the reservoir baseline.
+    let mut kf = KnowledgeFreeSampler::with_count_min(10, 10, 5, 16).unwrap();
+    let out_kf = output_histogram(&mut kf, &stream, n);
+    let gain_kf = kl_gain(input.counts(), out_kf.counts()).unwrap().unwrap();
+    assert!(
+        gain_kf > gain_res + 0.3,
+        "knowledge-free ({gain_kf}) should clearly beat reservoir ({gain_res})"
+    );
+}
+
+#[test]
+fn residency_probability_approaches_c_over_n() {
+    // Theorem 4: in stationarity every id is in Γ with probability c/n.
+    // Empirically: average residency of each id over time ≈ c/n.
+    let n = 20usize;
+    let c = 5usize;
+    let (stream, probs) = peak_attack_stream(n, 60_000, 0.4, 17);
+    let mut sampler = OmniscientSampler::new(c, &probs, 18).unwrap();
+    let mut residency = vec![0u64; n];
+    let mut observations = 0u64;
+    for (step, &id) in stream.iter().enumerate() {
+        sampler.feed(id);
+        if step > 5_000 {
+            for resident in sampler.memory_contents() {
+                residency[resident.as_u64() as usize] += 1;
+            }
+            observations += 1;
+        }
+    }
+    let expected = c as f64 / n as f64;
+    for (id, &count) in residency.iter().enumerate() {
+        let rate = count as f64 / observations as f64;
+        assert!(
+            (rate - expected).abs() < expected * 0.35,
+            "id {id}: residency {rate}, expected ~{expected}"
+        );
+    }
+}

@@ -1,0 +1,158 @@
+//! The Byzantine adversary (§III-B): colluding malicious nodes that inject
+//! identifiers into correct nodes' input streams.
+//!
+//! The adversary controls `ℓ` real malicious nodes but can mint many more
+//! *sybil identifiers* (each certified identifier has a creation cost —
+//! that cost is exactly the §V effort `L_{k,s}`/`E_k`). Every gossip round,
+//! each malicious node pushes a batch of identifiers to every correct node
+//! it can reach.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use uns_core::NodeId;
+
+/// Base value for sybil identifiers, far above any correct-node identifier
+/// so contamination is measurable.
+pub const SYBIL_ID_BASE: u64 = 1 << 32;
+
+/// What the adversary's nodes send each round.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MaliciousStrategy {
+    /// Flood: cycle through `distinct_sybils` identifiers, sending
+    /// `batch_per_round` of them to every reachable correct node per round.
+    /// `distinct_sybils` is the §V "effort"; compare it against
+    /// `E_k`/`L_{k,s}` to reproduce the effort analysis in vivo.
+    Flood {
+        /// Number of distinct sybil identifiers the adversary paid for.
+        distinct_sybils: usize,
+        /// Identifiers pushed to each correct node per round.
+        batch_per_round: usize,
+    },
+    /// Self-promotion: all malicious nodes push only their own `ℓ` real
+    /// identifiers (a hub/eclipse attempt as in Jesi et al.).
+    SelfPromotion {
+        /// Identifiers pushed to each correct node per round.
+        batch_per_round: usize,
+    },
+    /// The adversary stays silent (baseline overlay behaviour).
+    Silent,
+}
+
+impl Default for MaliciousStrategy {
+    /// A moderate flood: 100 distinct sybils, 10 pushes per node per round.
+    fn default() -> Self {
+        MaliciousStrategy::Flood { distinct_sybils: 100, batch_per_round: 10 }
+    }
+}
+
+/// A real malicious node (one of the `ℓ` the adversary controls).
+#[derive(Clone, Debug)]
+pub struct MaliciousNode {
+    id: NodeId,
+    strategy: MaliciousStrategy,
+    rng: StdRng,
+    /// Rotating cursor over the sybil pool so floods cycle through all
+    /// purchased identifiers.
+    cursor: usize,
+}
+
+impl MaliciousNode {
+    /// Creates malicious node `index` (of `ℓ`) with its own identifier and
+    /// deterministic coins.
+    pub fn new(index: usize, strategy: MaliciousStrategy, seed: u64) -> Self {
+        Self {
+            id: NodeId::new(SYBIL_ID_BASE + index as u64),
+            strategy,
+            rng: StdRng::seed_from_u64(seed ^ (index as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+            cursor: 0,
+        }
+    }
+
+    /// This node's own (certified) identifier.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The identifiers this node pushes to one correct target this round.
+    pub fn emit(&mut self, all_malicious_ids: &[NodeId]) -> Vec<NodeId> {
+        match self.strategy {
+            MaliciousStrategy::Silent => Vec::new(),
+            MaliciousStrategy::SelfPromotion { batch_per_round } => (0..batch_per_round)
+                .map(|_| all_malicious_ids[self.rng.gen_range(0..all_malicious_ids.len())])
+                .collect(),
+            MaliciousStrategy::Flood { distinct_sybils, batch_per_round } => {
+                let pool = distinct_sybils.max(1);
+                (0..batch_per_round)
+                    .map(|_| {
+                        let sybil = SYBIL_ID_BASE + 1_000_000 + (self.cursor % pool) as u64;
+                        self.cursor = self.cursor.wrapping_add(1);
+                        NodeId::new(sybil)
+                    })
+                    .collect()
+            }
+        }
+    }
+}
+
+/// `true` when an identifier belongs to the adversary (a real malicious
+/// node or one of its sybils).
+pub fn is_malicious_id(id: NodeId) -> bool {
+    id.as_u64() >= SYBIL_ID_BASE
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn silent_nodes_emit_nothing() {
+        let mut node = MaliciousNode::new(0, MaliciousStrategy::Silent, 1);
+        assert!(node.emit(&[node.id()]).is_empty());
+    }
+
+    #[test]
+    fn flood_cycles_through_exactly_the_purchased_sybils() {
+        let mut node = MaliciousNode::new(
+            0,
+            MaliciousStrategy::Flood { distinct_sybils: 5, batch_per_round: 3 },
+            2,
+        );
+        let mut seen: HashSet<u64> = HashSet::new();
+        for _ in 0..10 {
+            for id in node.emit(&[]) {
+                assert!(is_malicious_id(id));
+                seen.insert(id.as_u64());
+            }
+        }
+        assert_eq!(seen.len(), 5, "flood must use exactly the distinct sybils paid for");
+    }
+
+    #[test]
+    fn self_promotion_only_uses_real_malicious_ids() {
+        let ids: Vec<NodeId> = (0..4).map(|i| NodeId::new(SYBIL_ID_BASE + i)).collect();
+        let mut node =
+            MaliciousNode::new(1, MaliciousStrategy::SelfPromotion { batch_per_round: 8 }, 3);
+        for id in node.emit(&ids) {
+            assert!(ids.contains(&id));
+        }
+    }
+
+    #[test]
+    fn malicious_ids_are_disjoint_from_correct_ids() {
+        assert!(!is_malicious_id(NodeId::new(0)));
+        assert!(!is_malicious_id(NodeId::new(1_000_000)));
+        assert!(is_malicious_id(NodeId::new(SYBIL_ID_BASE)));
+        let node = MaliciousNode::new(7, MaliciousStrategy::Silent, 0);
+        assert!(is_malicious_id(node.id()));
+    }
+
+    #[test]
+    fn emissions_are_deterministic_per_seed() {
+        let ids: Vec<NodeId> = (0..4).map(|i| NodeId::new(SYBIL_ID_BASE + i)).collect();
+        let strategy = MaliciousStrategy::SelfPromotion { batch_per_round: 5 };
+        let mut a = MaliciousNode::new(0, strategy, 9);
+        let mut b = MaliciousNode::new(0, strategy, 9);
+        assert_eq!(a.emit(&ids), b.emit(&ids));
+    }
+}

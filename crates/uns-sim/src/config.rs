@@ -1,0 +1,292 @@
+//! Simulation configuration.
+
+use crate::byzantine::MaliciousStrategy;
+use crate::error::SimError;
+use uns_core::{
+    KnowledgeFreeSampler, MinWiseSamplerArray, NodeSampler, PassthroughSampler, ReservoirSampler,
+};
+
+/// Which sampling strategy every correct node runs on its input stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SamplerKind {
+    /// The paper's Algorithm 3 with a Count-Min sketch of the given shape.
+    KnowledgeFree {
+        /// Sketch columns `k`.
+        width: usize,
+        /// Sketch rows `s`.
+        depth: usize,
+    },
+    /// Algorithm 3 driven by exact frequencies (adaptive omniscient) —
+    /// full-space reference behaviour.
+    AdaptiveOmniscient,
+    /// Vitter's Algorithm R (the vulnerable baseline).
+    Reservoir,
+    /// Brahms-style min-wise sampler array (converges then freezes).
+    MinWiseArray,
+    /// No sampling at all: the view is just the last received identifier.
+    Passthrough,
+}
+
+impl SamplerKind {
+    /// Instantiates a sampler of this kind with memory size `capacity`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction failures as [`SimError::Sampler`].
+    pub fn build(&self, capacity: usize, seed: u64) -> Result<Box<dyn NodeSampler>, SimError> {
+        Ok(match *self {
+            SamplerKind::KnowledgeFree { width, depth } => {
+                Box::new(KnowledgeFreeSampler::with_count_min(capacity, width, depth, seed)?)
+            }
+            SamplerKind::AdaptiveOmniscient => {
+                Box::new(KnowledgeFreeSampler::adaptive_omniscient(capacity, seed)?)
+            }
+            SamplerKind::Reservoir => Box::new(ReservoirSampler::new(capacity, seed)?),
+            SamplerKind::MinWiseArray => Box::new(MinWiseSamplerArray::new(capacity, seed)?),
+            SamplerKind::Passthrough => Box::new(PassthroughSampler::new()),
+        })
+    }
+}
+
+/// Full configuration of a simulation run.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Number of correct nodes `n − ℓ`.
+    pub correct_nodes: usize,
+    /// Number of malicious (adversary-controlled) nodes `ℓ`.
+    pub malicious_nodes: usize,
+    /// View size = sampler memory size `c`.
+    pub view_size: usize,
+    /// Gossip partners contacted per round.
+    pub fanout: usize,
+    /// Rounds to simulate after churn stops (`t ≥ T₀`).
+    pub rounds: usize,
+    /// Warm-up rounds with churn (`t < T₀`).
+    pub churn_rounds: usize,
+    /// Fraction of correct nodes replaced per churn round.
+    pub churn_rate: f64,
+    /// Sampling strategy run by correct nodes.
+    pub sampler: SamplerKind,
+    /// What the malicious nodes send.
+    pub attack: MaliciousStrategy,
+    /// Master seed; the whole simulation is deterministic in it.
+    pub seed: u64,
+}
+
+impl SimConfig {
+    /// Starts building a configuration with the defaults documented on each
+    /// builder method.
+    pub fn builder() -> SimConfigBuilder {
+        SimConfigBuilder::default()
+    }
+
+    /// Total population `n` (correct + malicious).
+    pub fn population(&self) -> usize {
+        self.correct_nodes + self.malicious_nodes
+    }
+
+    fn validate(&self) -> Result<(), SimError> {
+        let fail = |reason: String| Err(SimError::InvalidConfig { reason });
+        if self.correct_nodes < 2 {
+            return fail(format!("need at least 2 correct nodes, got {}", self.correct_nodes));
+        }
+        if self.view_size == 0 {
+            return fail("view size must be at least 1".into());
+        }
+        if self.view_size >= self.correct_nodes {
+            return fail(format!(
+                "view size {} must be smaller than the correct population {}",
+                self.view_size, self.correct_nodes
+            ));
+        }
+        if self.fanout == 0 {
+            return fail("fanout must be at least 1".into());
+        }
+        if self.rounds == 0 {
+            return fail("must simulate at least one round".into());
+        }
+        if !(0.0..=1.0).contains(&self.churn_rate) {
+            return fail(format!("churn rate {} must be in [0, 1]", self.churn_rate));
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`SimConfig`].
+#[derive(Clone, Debug)]
+pub struct SimConfigBuilder {
+    correct_nodes: usize,
+    malicious_nodes: usize,
+    view_size: usize,
+    fanout: usize,
+    rounds: usize,
+    churn_rounds: usize,
+    churn_rate: f64,
+    sampler: SamplerKind,
+    attack: MaliciousStrategy,
+    seed: u64,
+}
+
+impl Default for SimConfigBuilder {
+    fn default() -> Self {
+        Self {
+            correct_nodes: 100,
+            malicious_nodes: 0,
+            view_size: 10,
+            fanout: 3,
+            rounds: 50,
+            churn_rounds: 0,
+            churn_rate: 0.0,
+            sampler: SamplerKind::KnowledgeFree { width: 10, depth: 5 },
+            attack: MaliciousStrategy::default(),
+            seed: 0,
+        }
+    }
+}
+
+impl SimConfigBuilder {
+    /// Number of correct nodes (default 100).
+    #[must_use]
+    pub fn correct_nodes(mut self, n: usize) -> Self {
+        self.correct_nodes = n;
+        self
+    }
+
+    /// Number of malicious nodes (default 0).
+    #[must_use]
+    pub fn malicious_nodes(mut self, l: usize) -> Self {
+        self.malicious_nodes = l;
+        self
+    }
+
+    /// View size = sampler memory `c` (default 10).
+    #[must_use]
+    pub fn view_size(mut self, c: usize) -> Self {
+        self.view_size = c;
+        self
+    }
+
+    /// Gossip fanout per round (default 3).
+    #[must_use]
+    pub fn fanout(mut self, f: usize) -> Self {
+        self.fanout = f;
+        self
+    }
+
+    /// Stable rounds to simulate (default 50).
+    #[must_use]
+    pub fn rounds(mut self, r: usize) -> Self {
+        self.rounds = r;
+        self
+    }
+
+    /// Churn warm-up rounds before `T₀` (default 0).
+    #[must_use]
+    pub fn churn_rounds(mut self, r: usize) -> Self {
+        self.churn_rounds = r;
+        self
+    }
+
+    /// Fraction of correct nodes replaced per churn round (default 0).
+    #[must_use]
+    pub fn churn_rate(mut self, rate: f64) -> Self {
+        self.churn_rate = rate;
+        self
+    }
+
+    /// Sampling strategy (default knowledge-free, k = 10, s = 5).
+    #[must_use]
+    pub fn sampler(mut self, kind: SamplerKind) -> Self {
+        self.sampler = kind;
+        self
+    }
+
+    /// Malicious strategy (default: flooding, see
+    /// [`MaliciousStrategy::default`]).
+    #[must_use]
+    pub fn attack(mut self, attack: MaliciousStrategy) -> Self {
+        self.attack = attack;
+        self
+    }
+
+    /// Master seed (default 0).
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Validates and produces the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] describing the first violated
+    /// constraint.
+    pub fn build(self) -> Result<SimConfig, SimError> {
+        let config = SimConfig {
+            correct_nodes: self.correct_nodes,
+            malicious_nodes: self.malicious_nodes,
+            view_size: self.view_size,
+            fanout: self.fanout,
+            rounds: self.rounds,
+            churn_rounds: self.churn_rounds,
+            churn_rate: self.churn_rate,
+            sampler: self.sampler,
+            attack: self.attack,
+            seed: self.seed,
+        };
+        config.validate()?;
+        Ok(config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_builder_is_valid() {
+        let config = SimConfig::builder().build().unwrap();
+        assert_eq!(config.correct_nodes, 100);
+        assert_eq!(config.population(), 100);
+    }
+
+    #[test]
+    fn builder_rejects_bad_configs() {
+        assert!(SimConfig::builder().correct_nodes(1).build().is_err());
+        assert!(SimConfig::builder().view_size(0).build().is_err());
+        assert!(SimConfig::builder().correct_nodes(10).view_size(10).build().is_err());
+        assert!(SimConfig::builder().fanout(0).build().is_err());
+        assert!(SimConfig::builder().rounds(0).build().is_err());
+        assert!(SimConfig::builder().churn_rate(1.5).build().is_err());
+        assert!(SimConfig::builder().churn_rate(-0.1).build().is_err());
+    }
+
+    #[test]
+    fn all_sampler_kinds_build() {
+        for kind in [
+            SamplerKind::KnowledgeFree { width: 8, depth: 3 },
+            SamplerKind::AdaptiveOmniscient,
+            SamplerKind::Reservoir,
+            SamplerKind::MinWiseArray,
+            SamplerKind::Passthrough,
+        ] {
+            let sampler = kind.build(5, 1).unwrap();
+            assert!(!sampler.strategy_name().is_empty());
+        }
+    }
+
+    #[test]
+    fn sampler_construction_failure_is_reported() {
+        let kind = SamplerKind::KnowledgeFree { width: 0, depth: 3 };
+        assert!(matches!(kind.build(5, 1), Err(SimError::Sampler(_))));
+        assert!(matches!(SamplerKind::Reservoir.build(0, 1), Err(SimError::Sampler(_))));
+    }
+
+    #[test]
+    fn population_counts_both_sides() {
+        let config =
+            SimConfig::builder().correct_nodes(40).malicious_nodes(10).build().unwrap();
+        assert_eq!(config.population(), 50);
+    }
+}

@@ -1,0 +1,58 @@
+//! Error type for simulation configuration.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned when building or running a simulation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SimError {
+    /// A configuration constraint was violated.
+    InvalidConfig {
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
+    /// A sampler could not be constructed from the configuration.
+    Sampler(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidConfig { reason } => {
+                write!(f, "invalid simulation configuration: {reason}")
+            }
+            SimError::Sampler(reason) => write!(f, "sampler construction failed: {reason}"),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+impl From<uns_core::CoreError> for SimError {
+    fn from(err: uns_core::CoreError) -> Self {
+        SimError::Sampler(err.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!SimError::InvalidConfig { reason: "x".into() }.to_string().is_empty());
+        assert!(!SimError::Sampler("y".into()).to_string().is_empty());
+    }
+
+    #[test]
+    fn converts_core_errors() {
+        let err: SimError = uns_core::CoreError::ZeroCapacity.into();
+        assert!(matches!(err, SimError::Sampler(_)));
+    }
+
+    #[test]
+    fn error_is_send_sync_static() {
+        fn assert_bounds<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_bounds::<SimError>();
+    }
+}

@@ -1,0 +1,79 @@
+//! Simulation metrics: uniformity, contamination, load balance and
+//! connectivity.
+
+use uns_analysis::kl;
+
+/// Aggregate metrics of a simulation run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SimMetrics {
+    /// Total rounds executed (churn + stable).
+    pub rounds_executed: usize,
+    /// Whether the correct-node view graph was weakly connected at the end
+    /// of the run (the paper's §III-C assumption / §I attack payoff).
+    pub correct_subgraph_connected: bool,
+    /// Per-stable-round connectivity of the correct view graph.
+    pub connectivity_history: Vec<bool>,
+    /// Mean over correct nodes of `D_KL(output ‖ uniform)` restricted to
+    /// correct identifiers (nats).
+    pub mean_output_kl: f64,
+    /// Mean share of sampler outputs that were sybil identifiers.
+    pub mean_sybil_output_share: f64,
+    /// Mean share of view slots pointing at sybil identifiers (eclipse
+    /// progress).
+    pub mean_sybil_view_share: f64,
+    /// Mean share of *input* stream elements that were adversarial (attack
+    /// pressure actually delivered).
+    pub mean_sybil_input_share: f64,
+    /// Mean in-degree of correct nodes in the final view graph.
+    pub in_degree_mean: f64,
+    /// Smallest in-degree (0 ⇒ some node is invisible to everyone).
+    pub in_degree_min: usize,
+    /// Largest in-degree (hub formation indicator).
+    pub in_degree_max: usize,
+    /// Number of point-to-point gossip messages sent.
+    pub total_messages: u64,
+}
+
+impl SimMetrics {
+    /// Computes the mean KL-vs-uniform over per-node output count vectors,
+    /// skipping nodes that emitted nothing.
+    pub(crate) fn mean_kl(outputs: &[&[u64]]) -> f64 {
+        let mut total = 0.0;
+        let mut counted = 0usize;
+        for counts in outputs {
+            if counts.iter().any(|&c| c > 0) {
+                if let Ok(d) = kl::kl_vs_uniform(counts) {
+                    total += d;
+                    counted += 1;
+                }
+            }
+        }
+        if counted == 0 {
+            0.0
+        } else {
+            total / counted as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_kl_skips_empty_outputs() {
+        let a = [10u64, 10, 10, 10];
+        let empty = [0u64, 0, 0, 0];
+        let outputs: Vec<&[u64]> = vec![&a, &empty];
+        assert!(SimMetrics::mean_kl(&outputs) < 1e-12);
+        let outputs: Vec<&[u64]> = vec![&empty];
+        assert_eq!(SimMetrics::mean_kl(&outputs), 0.0);
+    }
+
+    #[test]
+    fn mean_kl_detects_bias() {
+        let biased = [100u64, 1, 1, 1];
+        let outputs: Vec<&[u64]> = vec![&biased];
+        assert!(SimMetrics::mean_kl(&outputs) > 0.5);
+    }
+}

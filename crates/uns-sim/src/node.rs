@@ -1,0 +1,162 @@
+//! Correct nodes: the sampling service embedded in an overlay member.
+
+use crate::byzantine::is_malicious_id;
+use uns_core::{NodeId, NodeSampler};
+
+/// A correct overlay node: a sampling service plus the bookkeeping the
+/// simulator needs.
+///
+/// The node's *view* (its gossip neighbourhood) is the current content of
+/// its sampler memory — the architecture of the paper's §I, where the
+/// sampling service feeds epidemic protocols with peers.
+pub struct CorrectNode {
+    id: NodeId,
+    sampler: Box<dyn NodeSampler>,
+    /// Identifiers received this round, processed at the round boundary.
+    inbox: Vec<NodeId>,
+    /// Count of output-stream emissions per correct identifier; sybil
+    /// outputs are tallied separately.
+    output_correct: Vec<u64>,
+    output_sybil: u64,
+    /// Total identifiers read from the input stream.
+    received: u64,
+    /// How many received identifiers were adversarial.
+    received_sybil: u64,
+}
+
+impl CorrectNode {
+    /// Creates a node with the given identifier and sampling strategy;
+    /// `correct_population` sizes the per-identifier output tally.
+    pub fn new(id: NodeId, sampler: Box<dyn NodeSampler>, correct_population: usize) -> Self {
+        Self {
+            id,
+            sampler,
+            inbox: Vec::new(),
+            output_correct: vec![0; correct_population],
+            output_sybil: 0,
+            received: 0,
+            received_sybil: 0,
+        }
+    }
+
+    /// This node's identifier.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Queues an identifier for the next processing step (a gossip message
+    /// arriving on the input stream).
+    pub fn deliver(&mut self, id: NodeId) {
+        self.inbox.push(id);
+    }
+
+    /// Number of identifiers waiting in the inbox.
+    pub fn inbox_len(&self) -> usize {
+        self.inbox.len()
+    }
+
+    /// Processes the whole inbox through the sampling service, recording
+    /// output-stream statistics.
+    pub fn process_inbox(&mut self) {
+        let inbox = std::mem::take(&mut self.inbox);
+        for id in inbox {
+            self.received += 1;
+            if is_malicious_id(id) {
+                self.received_sybil += 1;
+            }
+            let out = self.sampler.feed(id);
+            if is_malicious_id(out) {
+                self.output_sybil += 1;
+            } else if let Some(slot) = self.output_correct.get_mut(out.as_u64() as usize) {
+                *slot += 1;
+            }
+        }
+    }
+
+    /// The node's current view: the sampler memory contents.
+    pub fn view(&self) -> Vec<NodeId> {
+        self.sampler.memory_contents()
+    }
+
+    /// Per-correct-identifier output counts (index = identifier value).
+    pub fn output_correct_counts(&self) -> &[u64] {
+        &self.output_correct
+    }
+
+    /// Number of sybil identifiers the sampler emitted.
+    pub fn output_sybil_count(&self) -> u64 {
+        self.output_sybil
+    }
+
+    /// Total identifiers read and how many of them were adversarial.
+    pub fn received_counts(&self) -> (u64, u64) {
+        (self.received, self.received_sybil)
+    }
+
+    /// Name of the sampling strategy this node runs.
+    pub fn strategy_name(&self) -> &'static str {
+        self.sampler.strategy_name()
+    }
+}
+
+impl std::fmt::Debug for CorrectNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CorrectNode")
+            .field("id", &self.id)
+            .field("strategy", &self.strategy_name())
+            .field("received", &self.received)
+            .field("inbox", &self.inbox.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::byzantine::SYBIL_ID_BASE;
+    use uns_core::PassthroughSampler;
+
+    fn test_node(population: usize) -> CorrectNode {
+        CorrectNode::new(NodeId::new(0), Box::new(PassthroughSampler::new()), population)
+    }
+
+    #[test]
+    fn inbox_is_processed_and_cleared() {
+        let mut node = test_node(4);
+        node.deliver(NodeId::new(1));
+        node.deliver(NodeId::new(2));
+        assert_eq!(node.inbox_len(), 2);
+        node.process_inbox();
+        assert_eq!(node.inbox_len(), 0);
+        assert_eq!(node.received_counts(), (2, 0));
+        assert_eq!(node.output_correct_counts(), &[0, 1, 1, 0]);
+    }
+
+    #[test]
+    fn sybil_traffic_is_tallied_separately() {
+        let mut node = test_node(4);
+        node.deliver(NodeId::new(SYBIL_ID_BASE + 5));
+        node.deliver(NodeId::new(3));
+        node.process_inbox();
+        assert_eq!(node.received_counts(), (2, 1));
+        assert_eq!(node.output_sybil_count(), 1);
+        assert_eq!(node.output_correct_counts()[3], 1);
+    }
+
+    #[test]
+    fn view_reflects_sampler_memory() {
+        let mut node = test_node(4);
+        assert!(node.view().is_empty());
+        node.deliver(NodeId::new(2));
+        node.process_inbox();
+        assert_eq!(node.view(), vec![NodeId::new(2)]);
+        assert_eq!(node.strategy_name(), "passthrough");
+        assert_eq!(node.id(), NodeId::new(0));
+    }
+
+    #[test]
+    fn debug_output_is_nonempty() {
+        let node = test_node(2);
+        assert!(format!("{node:?}").contains("CorrectNode"));
+    }
+}

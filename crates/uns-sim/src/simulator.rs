@@ -1,0 +1,376 @@
+//! The synchronous (cycle-based) overlay simulation loop.
+//!
+//! Every round:
+//!
+//! 1. each correct node pushes its own identifier plus its current view to
+//!    `fanout` partners drawn from its view (push gossip); messages
+//!    addressed to sybil identifiers are absorbed by the adversary;
+//! 2. each malicious node pushes its attack batch to every correct node
+//!    (the paper's strong adversary can tamper with any input stream);
+//! 3. every correct node runs its inbox through its sampling service —
+//!    the service's memory `Γ` *is* the node's next view;
+//! 4. during the first `churn_rounds` (before `T₀`), a fraction of correct
+//!    nodes is replaced (fresh sampler state, same slot), after which the
+//!    population is stable as the paper assumes (§III-C);
+//! 5. weak connectivity of the correct view graph is recorded.
+
+use crate::byzantine::{is_malicious_id, MaliciousNode};
+use crate::config::SimConfig;
+use crate::error::SimError;
+use crate::metrics::SimMetrics;
+use crate::node::CorrectNode;
+use crate::topology;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use uns_core::NodeId;
+
+/// A running overlay simulation (see the crate docs for an example).
+pub struct Simulation {
+    config: SimConfig,
+    nodes: Vec<CorrectNode>,
+    malicious: Vec<MaliciousNode>,
+    malicious_ids: Vec<NodeId>,
+    rng: StdRng,
+    round: usize,
+    connectivity_history: Vec<bool>,
+    total_messages: u64,
+}
+
+impl Simulation {
+    /// Builds the simulation: instantiates samplers, seeds bootstrap views.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration and sampler construction failures.
+    pub fn new(config: SimConfig) -> Result<Self, SimError> {
+        let mut nodes = Vec::with_capacity(config.correct_nodes);
+        for i in 0..config.correct_nodes {
+            let sampler_seed =
+                config.seed ^ (i as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            let sampler = config.sampler.build(config.view_size, sampler_seed)?;
+            nodes.push(CorrectNode::new(NodeId::new(i as u64), sampler, config.correct_nodes));
+        }
+        let malicious: Vec<MaliciousNode> = (0..config.malicious_nodes)
+            .map(|i| MaliciousNode::new(i, config.attack, config.seed))
+            .collect();
+        let malicious_ids: Vec<NodeId> = malicious.iter().map(|m| m.id()).collect();
+        let mut sim = Self {
+            config,
+            nodes,
+            malicious,
+            malicious_ids,
+            rng: StdRng::seed_from_u64(0),
+            round: 0,
+            connectivity_history: Vec::new(),
+            total_messages: 0,
+        };
+        sim.rng = StdRng::seed_from_u64(sim.config.seed.wrapping_add(0xb10c_5eed));
+        sim.bootstrap();
+        Ok(sim)
+    }
+
+    /// Seeds every correct node's sampler with a random bootstrap view.
+    fn bootstrap(&mut self) {
+        let views = topology::bootstrap_views(
+            self.config.correct_nodes,
+            self.config.view_size,
+            self.config.seed,
+        );
+        for (node, view) in self.nodes.iter_mut().zip(views) {
+            for peer in view {
+                node.deliver(peer);
+            }
+            node.process_inbox();
+        }
+    }
+
+    /// Executes one synchronous gossip round.
+    pub fn step(&mut self) {
+        // Phase 1: collect correct-node pushes (synchronous semantics:
+        // everyone sends based on the same round-start views).
+        let mut deliveries: Vec<(usize, NodeId)> = Vec::new();
+        for i in 0..self.nodes.len() {
+            let sender_id = self.nodes[i].id();
+            let view = self.nodes[i].view();
+            if view.is_empty() {
+                continue;
+            }
+            for _ in 0..self.config.fanout {
+                let target = view[self.rng.gen_range(0..view.len())];
+                self.total_messages += 1;
+                if is_malicious_id(target) {
+                    continue; // absorbed by the adversary
+                }
+                let Ok(target_idx) = usize::try_from(target.as_u64()) else { continue };
+                if target_idx >= self.nodes.len() || target_idx == i {
+                    continue;
+                }
+                // Push gossip: own id + current view contents.
+                deliveries.push((target_idx, sender_id));
+                for &peer in &view {
+                    deliveries.push((target_idx, peer));
+                }
+            }
+        }
+        // Phase 2: adversarial pushes to every correct node.
+        for m in &mut self.malicious {
+            for target_idx in 0..self.nodes.len() {
+                let batch = m.emit(&self.malicious_ids);
+                if !batch.is_empty() {
+                    self.total_messages += 1;
+                }
+                for id in batch {
+                    deliveries.push((target_idx, id));
+                }
+            }
+        }
+        // Phase 3: deliver and process.
+        for (target_idx, id) in deliveries {
+            self.nodes[target_idx].deliver(id);
+        }
+        for node in &mut self.nodes {
+            node.process_inbox();
+        }
+        // Phase 4: churn before T₀.
+        if self.round < self.config.churn_rounds {
+            self.apply_churn();
+        }
+        // Phase 5: record connectivity of the correct view graph.
+        let views: Vec<Vec<NodeId>> = self.nodes.iter().map(|n| n.view()).collect();
+        self.connectivity_history.push(topology::is_weakly_connected(&views));
+        self.round += 1;
+    }
+
+    /// Replaces a `churn_rate` fraction of correct nodes with fresh
+    /// instances (state lost, slot identifier reused so the population size
+    /// and metric domains stay fixed).
+    fn apply_churn(&mut self) {
+        let replacements = (self.config.correct_nodes as f64 * self.config.churn_rate) as usize;
+        for _ in 0..replacements {
+            let slot = self.rng.gen_range(0..self.nodes.len());
+            let sampler_seed = self
+                .config
+                .seed
+                .wrapping_add(self.round as u64)
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                .wrapping_add(slot as u64);
+            if let Ok(sampler) = self.config.sampler.build(self.config.view_size, sampler_seed) {
+                let id = self.nodes[slot].id();
+                self.nodes[slot] = CorrectNode::new(id, sampler, self.config.correct_nodes);
+                // A rejoining node bootstraps from one random live peer.
+                let peer = self.rng.gen_range(0..self.config.correct_nodes as u64);
+                if peer != id.as_u64() {
+                    self.nodes[slot].deliver(NodeId::new(peer));
+                    self.nodes[slot].process_inbox();
+                }
+            }
+        }
+    }
+
+    /// Runs churn warm-up plus the configured stable rounds and returns the
+    /// final metrics.
+    pub fn run(&mut self) -> SimMetrics {
+        let total = self.config.churn_rounds + self.config.rounds;
+        while self.round < total {
+            self.step();
+        }
+        self.metrics()
+    }
+
+    /// Current round number.
+    pub fn round(&self) -> usize {
+        self.round
+    }
+
+    /// Read access to the correct nodes (for custom metrics).
+    pub fn nodes(&self) -> &[CorrectNode] {
+        &self.nodes
+    }
+
+    /// Current views of all correct nodes.
+    pub fn views(&self) -> Vec<Vec<NodeId>> {
+        self.nodes.iter().map(|n| n.view()).collect()
+    }
+
+    /// Computes the aggregate metrics at the current round.
+    pub fn metrics(&self) -> SimMetrics {
+        let views = self.views();
+        let outputs: Vec<&[u64]> =
+            self.nodes.iter().map(|n| n.output_correct_counts()).collect();
+        let mean_output_kl = SimMetrics::mean_kl(&outputs);
+
+        let (mut sybil_out, mut total_out) = (0.0f64, 0.0f64);
+        let (mut sybil_in, mut total_in) = (0.0f64, 0.0f64);
+        for node in &self.nodes {
+            let correct_out: u64 = node.output_correct_counts().iter().sum();
+            sybil_out += node.output_sybil_count() as f64;
+            total_out += (correct_out + node.output_sybil_count()) as f64;
+            let (received, received_sybil) = node.received_counts();
+            sybil_in += received_sybil as f64;
+            total_in += received as f64;
+        }
+
+        let (mut sybil_slots, mut total_slots) = (0usize, 0usize);
+        for view in &views {
+            total_slots += view.len();
+            sybil_slots += view.iter().filter(|&&id| is_malicious_id(id)).count();
+        }
+
+        let degrees = topology::in_degrees(&views);
+        let in_degree_mean = if degrees.is_empty() {
+            0.0
+        } else {
+            degrees.iter().sum::<usize>() as f64 / degrees.len() as f64
+        };
+
+        SimMetrics {
+            rounds_executed: self.round,
+            correct_subgraph_connected: self
+                .connectivity_history
+                .last()
+                .copied()
+                .unwrap_or_else(|| topology::is_weakly_connected(&views)),
+            connectivity_history: self.connectivity_history.clone(),
+            mean_output_kl,
+            mean_sybil_output_share: if total_out > 0.0 { sybil_out / total_out } else { 0.0 },
+            mean_sybil_view_share: if total_slots > 0 {
+                sybil_slots as f64 / total_slots as f64
+            } else {
+                0.0
+            },
+            mean_sybil_input_share: if total_in > 0.0 { sybil_in / total_in } else { 0.0 },
+            in_degree_mean,
+            in_degree_min: degrees.iter().copied().min().unwrap_or(0),
+            in_degree_max: degrees.iter().copied().max().unwrap_or(0),
+            total_messages: self.total_messages,
+        }
+    }
+}
+
+impl std::fmt::Debug for Simulation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulation")
+            .field("round", &self.round)
+            .field("correct_nodes", &self.nodes.len())
+            .field("malicious_nodes", &self.malicious.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::byzantine::MaliciousStrategy;
+    use crate::config::SamplerKind;
+
+    fn base_config() -> crate::config::SimConfigBuilder {
+        SimConfig::builder()
+            .correct_nodes(50)
+            .view_size(8)
+            .fanout(3)
+            .rounds(25)
+            .sampler(SamplerKind::KnowledgeFree { width: 10, depth: 4 })
+            .seed(11)
+    }
+
+    #[test]
+    fn benign_overlay_stays_connected_and_balanced() {
+        let mut sim = Simulation::new(base_config().build().unwrap()).unwrap();
+        let metrics = sim.run();
+        assert_eq!(metrics.rounds_executed, 25);
+        assert!(metrics.correct_subgraph_connected);
+        assert_eq!(metrics.mean_sybil_input_share, 0.0);
+        assert_eq!(metrics.mean_sybil_view_share, 0.0);
+        assert!(metrics.in_degree_mean > 0.0);
+        assert!(metrics.total_messages > 0);
+        // Every round should have been connected, not just the last.
+        assert!(metrics.connectivity_history.iter().all(|&c| c));
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let config = base_config().malicious_nodes(5).build().unwrap();
+        let m1 = Simulation::new(config.clone()).unwrap().run();
+        let m2 = Simulation::new(config).unwrap().run();
+        assert_eq!(m1, m2);
+    }
+
+    #[test]
+    fn flooding_contaminates_reservoir_views_more_than_knowledge_free() {
+        // Volume flood: few certified sybils pushed hard. (Splitting the
+        // flood across many distinct sybils instead makes each sybil *rare*,
+        // and uniformity over identifiers then legitimately admits them —
+        // the defense against identity-splitting is the §V certification
+        // cost, not the sampler.)
+        let attack = MaliciousStrategy::Flood { distinct_sybils: 10, batch_per_round: 10 };
+        let kf_config = base_config().malicious_nodes(5).attack(attack).build().unwrap();
+        let kf_metrics = Simulation::new(kf_config).unwrap().run();
+
+        let res_config = base_config()
+            .malicious_nodes(5)
+            .attack(attack)
+            .sampler(SamplerKind::Reservoir)
+            .build()
+            .unwrap();
+        let res_metrics = Simulation::new(res_config).unwrap().run();
+
+        // Both receive the same adversarial pressure…
+        assert!(kf_metrics.mean_sybil_input_share > 0.3);
+        assert!(res_metrics.mean_sybil_input_share > 0.3);
+        // …but the knowledge-free views resist contamination clearly better.
+        // (The gossip feedback loop — contaminated views re-advertising
+        // sybils — keeps absolute contamination above the single-stream
+        // fair share for every strategy, so we assert the ordering with a
+        // margin rather than an absolute level.)
+        assert!(
+            kf_metrics.mean_sybil_view_share + 0.05 < res_metrics.mean_sybil_view_share,
+            "knowledge-free {} vs reservoir {}",
+            kf_metrics.mean_sybil_view_share,
+            res_metrics.mean_sybil_view_share
+        );
+    }
+
+    #[test]
+    fn churn_phase_runs_and_recovers() {
+        let config = base_config().churn_rounds(10).churn_rate(0.1).rounds(20).build().unwrap();
+        let mut sim = Simulation::new(config).unwrap();
+        let metrics = sim.run();
+        assert_eq!(metrics.rounds_executed, 30);
+        // After T₀ the overlay must have re-stabilized into connectivity.
+        assert!(metrics.correct_subgraph_connected);
+    }
+
+    #[test]
+    fn step_advances_round_and_views_shape() {
+        let mut sim = Simulation::new(base_config().build().unwrap()).unwrap();
+        assert_eq!(sim.round(), 0);
+        sim.step();
+        assert_eq!(sim.round(), 1);
+        let views = sim.views();
+        assert_eq!(views.len(), 50);
+        assert!(views.iter().all(|v| v.len() <= 8));
+        assert!(format!("{sim:?}").contains("Simulation"));
+        assert_eq!(sim.nodes().len(), 50);
+    }
+
+    #[test]
+    fn self_promotion_attack_with_minwise_freezes_views() {
+        // Brahms cells converge; under self-promotion the adversary cannot
+        // push its ids into converged min-wise cells unless they hash lower
+        // — so contamination should stay bounded.
+        let attack = MaliciousStrategy::SelfPromotion { batch_per_round: 10 };
+        let config = base_config()
+            .malicious_nodes(5)
+            .attack(attack)
+            .sampler(SamplerKind::MinWiseArray)
+            .build()
+            .unwrap();
+        let metrics = Simulation::new(config).unwrap().run();
+        // ℓ = 5 malicious of 55 total: unbiased share would be ~9%.
+        assert!(
+            metrics.mean_sybil_view_share < 0.35,
+            "min-wise contamination {}",
+            metrics.mean_sybil_view_share
+        );
+    }
+}

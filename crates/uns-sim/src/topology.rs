@@ -1,0 +1,175 @@
+//! Overlay topology utilities: bootstrap views and connectivity analysis.
+//!
+//! The paper assumes (§III-C) that at every time `t ≥ T₀` the correct nodes
+//! are *weakly connected*: ignoring edge directions, a path exists between
+//! every pair of correct nodes in the view graph. A successful eclipse /
+//! partitioning attack breaks exactly this property, so the simulator
+//! checks it every round.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use uns_core::NodeId;
+
+/// Draws bootstrap views: every node starts knowing `view_size` uniformly
+/// random *other* correct nodes (a bootstrap service, as deployed systems
+/// use).
+///
+/// Deterministic in `seed`.
+///
+/// # Panics
+///
+/// Panics if `view_size >= n` (validated by the simulation config).
+pub fn bootstrap_views(n: usize, view_size: usize, seed: u64) -> Vec<Vec<NodeId>> {
+    assert!(view_size < n, "view size must leave room for distinct peers");
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|me| {
+            let mut view = Vec::with_capacity(view_size);
+            while view.len() < view_size {
+                let peer = rng.gen_range(0..n as u64);
+                if peer != me as u64 && !view.contains(&NodeId::new(peer)) {
+                    view.push(NodeId::new(peer));
+                }
+            }
+            view
+        })
+        .collect()
+}
+
+/// Checks weak connectivity of the correct-node view graph.
+///
+/// `views[i]` lists the identifiers node `i` currently points to;
+/// identifiers outside `0..views.len()` (sybils, departed nodes) are
+/// ignored. Uses union–find over the undirected edge set.
+pub fn is_weakly_connected(views: &[Vec<NodeId>]) -> bool {
+    let n = views.len();
+    if n <= 1 {
+        return true;
+    }
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]]; // path halving
+            x = parent[x];
+        }
+        x
+    }
+    for (i, view) in views.iter().enumerate() {
+        for peer in view {
+            if let Ok(j) = usize::try_from(peer.as_u64()) {
+                if j < n {
+                    let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
+                    if ri != rj {
+                        parent[ri] = rj;
+                    }
+                }
+            }
+        }
+    }
+    let root = find(&mut parent, 0);
+    (1..n).all(|i| find(&mut parent, i) == root)
+}
+
+/// In-degree of every correct node in the view graph (how many correct
+/// nodes point at it) — the load-balance metric of the paper's §I
+/// motivation.
+pub fn in_degrees(views: &[Vec<NodeId>]) -> Vec<usize> {
+    let n = views.len();
+    let mut degrees = vec![0usize; n];
+    for view in views {
+        for peer in view {
+            if let Ok(j) = usize::try_from(peer.as_u64()) {
+                if j < n {
+                    degrees[j] += 1;
+                }
+            }
+        }
+    }
+    degrees
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bootstrap_views_have_right_shape() {
+        let views = bootstrap_views(20, 4, 1);
+        assert_eq!(views.len(), 20);
+        for (me, view) in views.iter().enumerate() {
+            assert_eq!(view.len(), 4);
+            // No self-loops, no duplicates, all in range.
+            assert!(view.iter().all(|id| id.as_u64() != me as u64));
+            assert!(view.iter().all(|id| id.as_u64() < 20));
+            let mut sorted = view.clone();
+            sorted.sort();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 4);
+        }
+        // Deterministic.
+        assert_eq!(views, bootstrap_views(20, 4, 1));
+        assert_ne!(views, bootstrap_views(20, 4, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "view size")]
+    fn bootstrap_rejects_oversized_views() {
+        let _ = bootstrap_views(4, 4, 0);
+    }
+
+    #[test]
+    fn connectivity_detects_partitions() {
+        // 0 → 1, 2 → 3: two components.
+        let views = vec![
+            vec![NodeId::new(1)],
+            vec![NodeId::new(0)],
+            vec![NodeId::new(3)],
+            vec![NodeId::new(2)],
+        ];
+        assert!(!is_weakly_connected(&views));
+        // Bridge the components: 1 → 2.
+        let views = vec![
+            vec![NodeId::new(1)],
+            vec![NodeId::new(2)],
+            vec![NodeId::new(3)],
+            vec![NodeId::new(2)],
+        ];
+        assert!(is_weakly_connected(&views));
+    }
+
+    #[test]
+    fn connectivity_is_weak_not_strong() {
+        // A directed chain 0 → 1 → 2 is weakly connected even though 2
+        // cannot reach anyone.
+        let views = vec![vec![NodeId::new(1)], vec![NodeId::new(2)], vec![]];
+        assert!(is_weakly_connected(&views));
+    }
+
+    #[test]
+    fn sybil_edges_do_not_connect() {
+        // Both nodes point at a sybil only: not connected to each other.
+        let sybil = NodeId::new(crate::byzantine::SYBIL_ID_BASE);
+        let views = vec![vec![sybil], vec![sybil]];
+        assert!(!is_weakly_connected(&views));
+    }
+
+    #[test]
+    fn trivial_graphs_are_connected() {
+        assert!(is_weakly_connected(&[]));
+        assert!(is_weakly_connected(&[vec![]]));
+    }
+
+    #[test]
+    fn in_degrees_count_correct_edges_only() {
+        let sybil = NodeId::new(crate::byzantine::SYBIL_ID_BASE);
+        let views = vec![vec![NodeId::new(1), sybil], vec![NodeId::new(0)], vec![NodeId::new(0)]];
+        assert_eq!(in_degrees(&views), vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn bootstrap_graph_is_connected_for_reasonable_sizes() {
+        // With view size ≥ 2 ln n, a random digraph is connected w.h.p.
+        let views = bootstrap_views(100, 10, 3);
+        assert!(is_weakly_connected(&views));
+    }
+}

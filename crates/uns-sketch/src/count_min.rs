@@ -1,0 +1,625 @@
+//! The Count-Min sketch of Cormode and Muthukrishnan — the paper's
+//! Algorithm 2.
+//!
+//! A Count-Min sketch summarizes an unbounded stream of identifiers in a
+//! `s × k` matrix `F̂` of counters (`s = ⌈ln(1/δ)⌉` rows, `k = ⌈e/ε⌉`
+//! columns). Each row `v` owns an independent 2-universal hash function
+//! `h_v`; recording identifier `j` increments `F̂[v][h_v(j)]` in every row.
+//! The point-query estimate is `f̂_j = min_v F̂[v][h_v(j)]`, which satisfies
+//!
+//! * `f̂_j ≥ f_j` always (one-sided error), and
+//! * `f̂_j ≤ f_j + ε·m` with probability at least `1 − δ`,
+//!
+//! where `m` is the stream length. The sampling service additionally queries
+//! the floor `min_σ` (Algorithm 3, line 6) — the minimum over the touched
+//! counters of `F̂` — which this implementation tracks in amortized O(1).
+
+use crate::error::SketchError;
+use crate::hash::{HashFamily, UniversalHash};
+use crate::FrequencyEstimator;
+
+/// How counters are incremented on [`CountMinSketch::record`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum UpdatePolicy {
+    /// The textbook rule used by the paper: every row's counter is
+    /// incremented (Algorithm 2, line 7).
+    #[default]
+    Standard,
+    /// Conservative update (Estan–Varghese): counters are only raised up to
+    /// `estimate + count`, never beyond. Strictly reduces over-estimation for
+    /// point queries while preserving the one-sided error guarantee. Provided
+    /// as an ablation; not what the paper analyses.
+    Conservative,
+}
+
+/// Count-Min sketch over a stream of 64-bit identifiers (paper's
+/// Algorithm 2).
+///
+/// # Example
+///
+/// ```
+/// use uns_sketch::{CountMinSketch, FrequencyEstimator};
+///
+/// # fn main() -> Result<(), uns_sketch::SketchError> {
+/// let mut sketch = CountMinSketch::with_dimensions(50, 10, 7)?;
+/// for _ in 0..500 {
+///     sketch.record(42);
+/// }
+/// sketch.record(1);
+/// assert!(sketch.estimate(42) >= 500);
+/// // min_σ: some counter still holds a small value.
+/// assert!(sketch.floor_estimate() <= 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct CountMinSketch {
+    width: usize,
+    depth: usize,
+    /// Row-major `depth × width` counter matrix.
+    cells: Vec<u64>,
+    hashes: Vec<UniversalHash>,
+    total: u64,
+    seed: u64,
+    policy: UpdatePolicy,
+    /// Incrementally tracked `(value, multiplicity)` of the minimum over
+    /// the *touched* (non-zero) cells, plus the count of still-zero cells.
+    nonzero_min: u64,
+    nonzero_min_multiplicity: usize,
+    zero_cells: usize,
+}
+
+impl CountMinSketch {
+    /// Builds a sketch from accuracy targets, sizing the matrix as in the
+    /// paper: `k = ⌈e/ε⌉` columns and `s = ⌈ln(1/δ)⌉` rows.
+    ///
+    /// `seed` determines the hash functions; sketches sharing a seed are
+    /// mergeable. Estimates are then within `ε·m` of the true frequency with
+    /// probability at least `1 − δ`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SketchError::InvalidEpsilon`] unless `0 < ε ≤ 1` and
+    /// [`SketchError::InvalidDelta`] unless `0 < δ < 1`.
+    pub fn with_error_bounds(epsilon: f64, delta: f64, seed: u64) -> Result<Self, SketchError> {
+        if !(epsilon > 0.0 && epsilon <= 1.0) {
+            return Err(SketchError::InvalidEpsilon(epsilon));
+        }
+        if !(delta > 0.0 && delta < 1.0) {
+            return Err(SketchError::InvalidDelta(delta));
+        }
+        let width = (std::f64::consts::E / epsilon).ceil() as usize;
+        let depth = (1.0 / delta).ln().ceil().max(1.0) as usize;
+        Self::with_dimensions(width, depth, seed)
+    }
+
+    /// Builds a sketch with an explicit `width` (`k` columns) and `depth`
+    /// (`s` rows), the parametrization used throughout the paper's
+    /// evaluation (e.g. `k = 10, s = 5` in Fig. 7).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SketchError::ZeroWidth`] or [`SketchError::ZeroDepth`] when
+    /// the corresponding dimension is zero.
+    pub fn with_dimensions(width: usize, depth: usize, seed: u64) -> Result<Self, SketchError> {
+        if width == 0 {
+            return Err(SketchError::ZeroWidth);
+        }
+        if depth == 0 {
+            return Err(SketchError::ZeroDepth);
+        }
+        let hashes = HashFamily::new(seed).functions(depth, width as u64)?;
+        Ok(Self {
+            width,
+            depth,
+            cells: vec![0; width * depth],
+            hashes,
+            total: 0,
+            seed,
+            policy: UpdatePolicy::Standard,
+            nonzero_min: 0,
+            nonzero_min_multiplicity: 0,
+            zero_cells: width * depth,
+        })
+    }
+
+    /// Switches the update policy (builder-style). See [`UpdatePolicy`].
+    #[must_use]
+    pub fn with_policy(mut self, policy: UpdatePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Records `count` occurrences of `id` at once.
+    ///
+    /// Equivalent to calling [`FrequencyEstimator::record`] `count` times
+    /// under [`UpdatePolicy::Standard`]; under conservative update it applies
+    /// the batched rule `F̂[v][h_v(j)] ← max(F̂[v][h_v(j)], f̂_j + count)`.
+    pub fn record_many(&mut self, id: u64, count: u64) {
+        if count == 0 {
+            return;
+        }
+        let mut stale = false;
+        match self.policy {
+            UpdatePolicy::Standard => {
+                for row in 0..self.depth {
+                    let idx = self.cell_index(row, id);
+                    let old = self.cells[idx];
+                    let new = old.saturating_add(count);
+                    self.cells[idx] = new;
+                    stale |= self.track_increase(old, new);
+                }
+            }
+            UpdatePolicy::Conservative => {
+                let target = self.point_query(id).saturating_add(count);
+                for row in 0..self.depth {
+                    let idx = self.cell_index(row, id);
+                    let old = self.cells[idx];
+                    let new = old.max(target);
+                    self.cells[idx] = new;
+                    stale |= self.track_increase(old, new);
+                }
+            }
+        }
+        self.total = self.total.saturating_add(count);
+        if stale {
+            self.recompute_nonzero_min();
+        }
+    }
+
+    /// Updates the non-zero minimum tracker for a cell that moved from
+    /// `old` to `new`; returns `true` when a full rescan is required.
+    fn track_increase(&mut self, old: u64, new: u64) -> bool {
+        if new == old {
+            return false;
+        }
+        if old == 0 {
+            // A fresh cell joins the non-zero set; it may set a new minimum.
+            self.zero_cells -= 1;
+            if self.nonzero_min_multiplicity == 0 || new < self.nonzero_min {
+                self.nonzero_min = new;
+                self.nonzero_min_multiplicity = 1;
+            } else if new == self.nonzero_min {
+                self.nonzero_min_multiplicity += 1;
+            }
+            false
+        } else if old == self.nonzero_min {
+            // A minimal cell grew; the minimum is stale once none remain.
+            self.nonzero_min_multiplicity -= 1;
+            self.nonzero_min_multiplicity == 0
+        } else {
+            false
+        }
+    }
+
+    fn recompute_nonzero_min(&mut self) {
+        let mut min = u64::MAX;
+        let mut multiplicity = 0usize;
+        for &cell in self.cells.iter().filter(|&&c| c > 0) {
+            use std::cmp::Ordering;
+            match cell.cmp(&min) {
+                Ordering::Less => {
+                    min = cell;
+                    multiplicity = 1;
+                }
+                Ordering::Equal => multiplicity += 1,
+                Ordering::Greater => {}
+            }
+        }
+        self.nonzero_min = if multiplicity == 0 { 0 } else { min };
+        self.nonzero_min_multiplicity = multiplicity;
+    }
+
+    /// Returns the estimate `f̂_id = min_v F̂[v][h_v(id)]` without recording
+    /// anything.
+    #[inline]
+    pub fn point_query(&self, id: u64) -> u64 {
+        let mut est = u64::MAX;
+        for row in 0..self.depth {
+            est = est.min(self.cells[self.cell_index(row, id)]);
+        }
+        est
+    }
+
+    /// Number of columns `k` per row.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of rows `s` (independent hash functions).
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Hash-family seed; two sketches are mergeable iff their seeds and
+    /// dimensions match.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The update policy in effect.
+    pub fn policy(&self) -> UpdatePolicy {
+        self.policy
+    }
+
+    /// The additive error factor `ε ≈ e/k` implied by the current width.
+    pub fn epsilon(&self) -> f64 {
+        std::f64::consts::E / self.width as f64
+    }
+
+    /// The failure probability `δ = e^{−s}` implied by the current depth.
+    pub fn delta(&self) -> f64 {
+        (-(self.depth as f64)).exp()
+    }
+
+    /// Read-only view of row `row` of the counter matrix `F̂`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= depth`.
+    pub fn row(&self, row: usize) -> &[u64] {
+        assert!(row < self.depth, "row {row} out of range ({} rows)", self.depth);
+        &self.cells[row * self.width..(row + 1) * self.width]
+    }
+
+    /// Returns the smallest counter *strictly greater than zero* (the
+    /// tracked value behind [`FrequencyEstimator::floor_estimate`]), or
+    /// `None` if the matrix is all-zero.
+    pub fn min_nonzero_cell(&self) -> Option<u64> {
+        if self.nonzero_min_multiplicity == 0 {
+            None
+        } else {
+            Some(self.nonzero_min)
+        }
+    }
+
+    /// The *literal* `min_{v,r} F̂[v][r]` of the paper's Algorithm 3,
+    /// including untouched cells — 0 whenever any cell is still zero. See
+    /// [`FrequencyEstimator::floor_estimate`] for why the sampling floor
+    /// uses the non-zero minimum instead.
+    pub fn min_cell_including_zeros(&self) -> u64 {
+        if self.zero_cells > 0 {
+            0
+        } else {
+            self.nonzero_min
+        }
+    }
+
+    /// Resets every counter to zero, keeping the hash functions.
+    pub fn clear(&mut self) {
+        self.cells.fill(0);
+        self.total = 0;
+        self.nonzero_min = 0;
+        self.nonzero_min_multiplicity = 0;
+        self.zero_cells = self.cells.len();
+    }
+
+    /// Returns `true` if `other` has the same shape, seed and policy, i.e.
+    /// the sketches use identical hash functions and may be merged.
+    pub fn is_compatible(&self, other: &Self) -> bool {
+        self.width == other.width
+            && self.depth == other.depth
+            && self.seed == other.seed
+            && self.policy == other.policy
+    }
+
+    /// Adds `other`'s counters into `self` (stream concatenation).
+    ///
+    /// Exact for [`UpdatePolicy::Standard`]; for conservative sketches the
+    /// merged sketch still never under-estimates but may over-estimate more
+    /// than a sketch built from the concatenated stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SketchError::IncompatibleSketches`] when shapes, seeds or
+    /// policies differ.
+    pub fn merge(&mut self, other: &Self) -> Result<(), SketchError> {
+        if !self.is_compatible(other) {
+            return Err(SketchError::IncompatibleSketches {
+                left: (self.width, self.depth, self.seed),
+                right: (other.width, other.depth, other.seed),
+            });
+        }
+        for (a, b) in self.cells.iter_mut().zip(&other.cells) {
+            *a = a.saturating_add(*b);
+        }
+        self.total = self.total.saturating_add(other.total);
+        self.zero_cells = self.cells.iter().filter(|&&c| c == 0).count();
+        self.recompute_nonzero_min();
+        Ok(())
+    }
+
+    #[inline]
+    fn cell_index(&self, row: usize, id: u64) -> usize {
+        row * self.width + self.hashes[row].hash(id) as usize
+    }
+}
+
+impl FrequencyEstimator for CountMinSketch {
+    fn record(&mut self, id: u64) {
+        self.record_many(id, 1);
+    }
+
+    fn estimate(&self, id: u64) -> u64 {
+        self.point_query(id)
+    }
+
+    /// The sampling floor `min_σ` (Algorithm 3, line 6): the minimum over
+    /// the **touched** counters of `F̂`, or 0 when nothing was recorded.
+    ///
+    /// The paper's text writes `min_σ = min_{v,r} F̂[v][r]` over all cells;
+    /// taken literally that is 0 whenever the matrix has more cells than
+    /// distinct identifiers seen (`k·s > n`), which would freeze `Γ`
+    /// forever and contradicts the paper's own Figure 8 (high gain at
+    /// `n = 10` with a `10 × 17` sketch). We therefore take the minimum
+    /// over non-zero cells — equivalently, the tightest lower bound over
+    /// identifiers that actually occurred, matching the semantics of
+    /// [`crate::ExactFrequencyOracle::min_frequency`]. The literal
+    /// all-cells minimum remains available as
+    /// [`CountMinSketch::min_cell_including_zeros`].
+    fn floor_estimate(&self) -> u64 {
+        self.nonzero_min
+    }
+
+    fn total(&self) -> u64 {
+        self.total
+    }
+
+    fn memory_cells(&self) -> usize {
+        self.cells.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use std::collections::HashMap;
+
+    #[test]
+    fn dimension_sizing_follows_the_paper() {
+        // ε = 0.3, δ = 10⁻² → k = ⌈e/0.3⌉ = 10, s = ⌈ln 100⌉ = 5 (Table I row 1).
+        let sketch = CountMinSketch::with_error_bounds(0.3, 0.01, 0).unwrap();
+        assert_eq!(sketch.width(), 10);
+        assert_eq!(sketch.depth(), 5);
+        // ε ≈ 0.05 → k = ⌈e/0.05⌉ = 55; paper rounds to 50 but uses explicit k.
+        let sketch = CountMinSketch::with_error_bounds(0.05, 1e-3, 0).unwrap();
+        assert_eq!(sketch.width(), 55);
+        assert_eq!(sketch.depth(), 7);
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        assert!(matches!(
+            CountMinSketch::with_error_bounds(0.0, 0.1, 0),
+            Err(SketchError::InvalidEpsilon(_))
+        ));
+        assert!(matches!(
+            CountMinSketch::with_error_bounds(1.5, 0.1, 0),
+            Err(SketchError::InvalidEpsilon(_))
+        ));
+        assert!(matches!(
+            CountMinSketch::with_error_bounds(0.1, 0.0, 0),
+            Err(SketchError::InvalidDelta(_))
+        ));
+        assert!(matches!(
+            CountMinSketch::with_error_bounds(0.1, 1.0, 0),
+            Err(SketchError::InvalidDelta(_))
+        ));
+        assert_eq!(CountMinSketch::with_dimensions(0, 3, 0).unwrap_err(), SketchError::ZeroWidth);
+        assert_eq!(CountMinSketch::with_dimensions(3, 0, 0).unwrap_err(), SketchError::ZeroDepth);
+    }
+
+    #[test]
+    fn never_underestimates() {
+        let mut sketch = CountMinSketch::with_dimensions(8, 3, 11).unwrap();
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let id = rng.gen_range(0..200u64);
+            sketch.record(id);
+            *truth.entry(id).or_insert(0) += 1;
+        }
+        for (&id, &f) in &truth {
+            assert!(sketch.estimate(id) >= f, "under-estimated id {id}");
+        }
+    }
+
+    #[test]
+    fn estimate_error_is_within_epsilon_m_for_most_ids() {
+        let epsilon = 0.05;
+        let delta = 0.01;
+        let mut sketch = CountMinSketch::with_error_bounds(epsilon, delta, 5).unwrap();
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        let mut rng = StdRng::seed_from_u64(2);
+        let m = 50_000u64;
+        for _ in 0..m {
+            // Zipf-ish skew: low ids much more frequent.
+            let id = (rng.gen_range(0.0f64..1.0).powi(3) * 500.0) as u64;
+            sketch.record(id);
+            *truth.entry(id).or_insert(0) += 1;
+        }
+        let bound = (epsilon * m as f64).ceil() as u64;
+        let violations = truth
+            .iter()
+            .filter(|(&id, &f)| sketch.estimate(id) > f + bound)
+            .count();
+        // Guarantee holds per-query with prob 1-δ; allow generous slack.
+        assert!(
+            (violations as f64) < 0.05 * truth.len() as f64,
+            "{violations}/{} estimates outside the ε·m bound",
+            truth.len()
+        );
+    }
+
+    #[test]
+    fn floor_estimate_tracks_nonzero_min() {
+        let mut sketch = CountMinSketch::with_dimensions(4, 2, 3).unwrap();
+        assert_eq!(sketch.floor_estimate(), 0);
+        // Hammer a single id: 8 cells, only 2 touched. The literal
+        // all-cells minimum stays 0, but the sampling floor follows the
+        // touched cells (here: the hammered id's own counters).
+        for _ in 0..100 {
+            sketch.record(7);
+        }
+        assert_eq!(sketch.min_cell_including_zeros(), 0);
+        assert_eq!(sketch.floor_estimate(), 100);
+        // Touch every cell by spreading many distinct ids: the two minima
+        // coincide once no cell is zero.
+        for id in 0..1000u64 {
+            sketch.record(id);
+        }
+        let naive = (0..sketch.depth()).flat_map(|r| sketch.row(r).to_vec()).min().unwrap();
+        assert!(naive > 0);
+        assert_eq!(sketch.floor_estimate(), naive);
+        assert_eq!(sketch.min_cell_including_zeros(), naive);
+    }
+
+    #[test]
+    fn floor_matches_naive_scan_under_random_workload() {
+        let mut sketch = CountMinSketch::with_dimensions(6, 3, 9).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        for step in 0..3_000 {
+            sketch.record(rng.gen_range(0..64u64));
+            if step % 97 == 0 {
+                let naive = (0..sketch.depth())
+                    .flat_map(|r| sketch.row(r).to_vec())
+                    .filter(|&c| c > 0)
+                    .min()
+                    .unwrap();
+                assert_eq!(sketch.floor_estimate(), naive, "at step {step}");
+                let naive_all =
+                    (0..sketch.depth()).flat_map(|r| sketch.row(r).to_vec()).min().unwrap();
+                assert_eq!(sketch.min_cell_including_zeros(), naive_all, "at step {step}");
+            }
+        }
+    }
+
+    #[test]
+    fn record_many_equals_repeated_record() {
+        let mut a = CountMinSketch::with_dimensions(16, 4, 21).unwrap();
+        let mut b = a.clone();
+        a.record_many(99, 57);
+        for _ in 0..57 {
+            b.record(99);
+        }
+        assert_eq!(a.estimate(99), b.estimate(99));
+        assert_eq!(a.total(), b.total());
+        assert_eq!(a.floor_estimate(), b.floor_estimate());
+        // Zero-count record is a no-op.
+        let before = a.total();
+        a.record_many(99, 0);
+        assert_eq!(a.total(), before);
+    }
+
+    #[test]
+    fn merge_equals_concatenated_stream() {
+        let mut left = CountMinSketch::with_dimensions(12, 3, 33).unwrap();
+        let mut right = CountMinSketch::with_dimensions(12, 3, 33).unwrap();
+        let mut whole = CountMinSketch::with_dimensions(12, 3, 33).unwrap();
+        let mut rng = StdRng::seed_from_u64(6);
+        for _ in 0..2_000 {
+            let id = rng.gen_range(0..100u64);
+            left.record(id);
+            whole.record(id);
+        }
+        for _ in 0..2_000 {
+            let id = rng.gen_range(0..100u64);
+            right.record(id);
+            whole.record(id);
+        }
+        left.merge(&right).unwrap();
+        for id in 0..100u64 {
+            assert_eq!(left.estimate(id), whole.estimate(id));
+        }
+        assert_eq!(left.total(), whole.total());
+        assert_eq!(left.floor_estimate(), whole.floor_estimate());
+    }
+
+    #[test]
+    fn merge_rejects_incompatible_sketches() {
+        let mut a = CountMinSketch::with_dimensions(8, 2, 1).unwrap();
+        let b = CountMinSketch::with_dimensions(8, 2, 2).unwrap(); // different seed
+        let c = CountMinSketch::with_dimensions(9, 2, 1).unwrap(); // different width
+        assert!(matches!(a.merge(&b), Err(SketchError::IncompatibleSketches { .. })));
+        assert!(matches!(a.merge(&c), Err(SketchError::IncompatibleSketches { .. })));
+    }
+
+    #[test]
+    fn clear_resets_state() {
+        let mut sketch = CountMinSketch::with_dimensions(4, 2, 8).unwrap();
+        for id in 0..50u64 {
+            sketch.record(id);
+        }
+        sketch.clear();
+        assert_eq!(sketch.total(), 0);
+        assert_eq!(sketch.floor_estimate(), 0);
+        assert_eq!(sketch.estimate(3), 0);
+    }
+
+    #[test]
+    fn conservative_update_never_underestimates_and_tightens() {
+        let mut standard = CountMinSketch::with_dimensions(8, 2, 13).unwrap();
+        let mut conservative =
+            CountMinSketch::with_dimensions(8, 2, 13).unwrap().with_policy(UpdatePolicy::Conservative);
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        let mut rng = StdRng::seed_from_u64(14);
+        for _ in 0..20_000 {
+            let id = rng.gen_range(0..300u64);
+            standard.record(id);
+            conservative.record(id);
+            *truth.entry(id).or_insert(0) += 1;
+        }
+        let mut cons_total_err = 0u64;
+        let mut std_total_err = 0u64;
+        for (&id, &f) in &truth {
+            assert!(conservative.estimate(id) >= f, "conservative under-estimated {id}");
+            cons_total_err += conservative.estimate(id) - f;
+            std_total_err += standard.estimate(id) - f;
+        }
+        assert!(
+            cons_total_err <= std_total_err,
+            "conservative ({cons_total_err}) should not be worse than standard ({std_total_err})"
+        );
+    }
+
+    #[test]
+    fn min_nonzero_cell_ignores_untouched_cells() {
+        let mut sketch = CountMinSketch::with_dimensions(64, 4, 2).unwrap();
+        assert_eq!(sketch.min_nonzero_cell(), None);
+        assert_eq!(sketch.min_cell_including_zeros(), 0);
+        for _ in 0..10 {
+            sketch.record(5);
+        }
+        assert_eq!(sketch.min_nonzero_cell(), Some(10));
+        assert_eq!(sketch.floor_estimate(), 10);
+        assert_eq!(sketch.min_cell_including_zeros(), 0); // literal min_σ
+    }
+
+    #[test]
+    fn accessors_report_configuration() {
+        let sketch = CountMinSketch::with_dimensions(50, 10, 77).unwrap();
+        assert_eq!(sketch.seed(), 77);
+        assert_eq!(sketch.policy(), UpdatePolicy::Standard);
+        assert!((sketch.epsilon() - std::f64::consts::E / 50.0).abs() < 1e-12);
+        assert!((sketch.delta() - (-10.0f64).exp()).abs() < 1e-15);
+        assert_eq!(sketch.memory_cells(), 500);
+        assert_eq!(sketch.row(0).len(), 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn row_out_of_range_panics() {
+        let sketch = CountMinSketch::with_dimensions(4, 2, 0).unwrap();
+        let _ = sketch.row(2);
+    }
+
+    #[test]
+    fn saturating_behaviour_near_u64_max() {
+        let mut sketch = CountMinSketch::with_dimensions(2, 1, 0).unwrap();
+        sketch.record_many(1, u64::MAX - 1);
+        sketch.record_many(1, 10); // would overflow; must saturate
+        assert_eq!(sketch.estimate(1), u64::MAX);
+    }
+}

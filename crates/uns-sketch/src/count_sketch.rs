@@ -1,0 +1,287 @@
+//! The Count sketch of Charikar, Chen and Farach-Colton (cited as \[8\] in the
+//! paper), provided as an estimator ablation.
+//!
+//! Unlike Count-Min, the Count sketch is *unbiased*: each row hashes the
+//! identifier to a bucket **and** to a random sign, and the estimate is the
+//! median of the signed per-row readings. Its error scales with the L2 norm
+//! of the frequency vector rather than the L1 norm, which can be much tighter
+//! on heavy-tailed (Zipfian) streams — exactly the workloads of the paper's
+//! evaluation. The trade-off is that estimates can *under*-estimate, so the
+//! insertion probability `a_j = min_σ/f̂_j` loses its one-sided guarantee.
+//! The benchmark harness compares both estimators inside the knowledge-free
+//! strategy.
+
+use crate::error::SketchError;
+use crate::hash::{HashFamily, UniversalHash};
+use crate::FrequencyEstimator;
+
+/// Count sketch (signed median estimator) over 64-bit identifiers.
+///
+/// # Example
+///
+/// ```
+/// use uns_sketch::{CountSketch, FrequencyEstimator};
+///
+/// # fn main() -> Result<(), uns_sketch::SketchError> {
+/// let mut sketch = CountSketch::with_dimensions(64, 5, 3)?;
+/// for _ in 0..100 {
+///     sketch.record(17);
+/// }
+/// let est = sketch.estimate(17);
+/// assert!(est >= 90 && est <= 110, "estimate {est} should be near 100");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct CountSketch {
+    width: usize,
+    depth: usize,
+    /// Row-major `depth × width` signed counters.
+    cells: Vec<i64>,
+    buckets: Vec<UniversalHash>,
+    signs: Vec<UniversalHash>,
+    total: u64,
+    seed: u64,
+}
+
+impl CountSketch {
+    /// Builds a Count sketch with `width` buckets per row and `depth` rows.
+    ///
+    /// An odd `depth` is recommended so the median is a single reading.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SketchError::ZeroWidth`] or [`SketchError::ZeroDepth`] when
+    /// the corresponding dimension is zero.
+    pub fn with_dimensions(width: usize, depth: usize, seed: u64) -> Result<Self, SketchError> {
+        if width == 0 {
+            return Err(SketchError::ZeroWidth);
+        }
+        if depth == 0 {
+            return Err(SketchError::ZeroDepth);
+        }
+        let (buckets, signs) = HashFamily::new(seed).function_pairs(depth, width as u64)?;
+        Ok(Self {
+            width,
+            depth,
+            cells: vec![0; width * depth],
+            buckets,
+            signs,
+            total: 0,
+            seed,
+        })
+    }
+
+    /// Records `count` occurrences of `id` at once.
+    pub fn record_many(&mut self, id: u64, count: u64) {
+        let count = count as i64;
+        for row in 0..self.depth {
+            let idx = row * self.width + self.buckets[row].hash(id) as usize;
+            let sign = if self.signs[row].hash(id) == 1 { 1 } else { -1 };
+            self.cells[idx] += sign * count;
+        }
+        self.total = self.total.saturating_add(count as u64);
+    }
+
+    /// Returns the signed median estimate for `id`, clamped at zero
+    /// (frequencies are non-negative).
+    pub fn point_query(&self, id: u64) -> u64 {
+        let mut readings: Vec<i64> = (0..self.depth)
+            .map(|row| {
+                let idx = row * self.width + self.buckets[row].hash(id) as usize;
+                let sign = if self.signs[row].hash(id) == 1 { 1 } else { -1 };
+                sign * self.cells[idx]
+            })
+            .collect();
+        readings.sort_unstable();
+        let mid = self.depth / 2;
+        let median = if self.depth % 2 == 1 {
+            readings[mid]
+        } else {
+            // Round the midpoint average toward zero.
+            (readings[mid - 1] + readings[mid]) / 2
+        };
+        median.max(0) as u64
+    }
+
+    /// Number of buckets per row.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of rows.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Hash-family seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Adds `other`'s counters into `self` (stream concatenation).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SketchError::IncompatibleSketches`] when shapes or seeds
+    /// differ.
+    pub fn merge(&mut self, other: &Self) -> Result<(), SketchError> {
+        if self.width != other.width || self.depth != other.depth || self.seed != other.seed {
+            return Err(SketchError::IncompatibleSketches {
+                left: (self.width, self.depth, self.seed),
+                right: (other.width, other.depth, other.seed),
+            });
+        }
+        for (a, b) in self.cells.iter_mut().zip(&other.cells) {
+            *a += *b;
+        }
+        self.total = self.total.saturating_add(other.total);
+        Ok(())
+    }
+
+    /// Resets every counter to zero, keeping the hash functions.
+    pub fn clear(&mut self) {
+        self.cells.fill(0);
+        self.total = 0;
+    }
+}
+
+impl FrequencyEstimator for CountSketch {
+    fn record(&mut self, id: u64) {
+        self.record_many(id, 1);
+    }
+
+    fn estimate(&self, id: u64) -> u64 {
+        self.point_query(id)
+    }
+
+    /// Analog of the paper's `min_σ` for signed counters: the minimum
+    /// absolute counter value over the matrix. Heuristic — the Count sketch
+    /// has no exact equivalent of Count-Min's global minimum.
+    fn floor_estimate(&self) -> u64 {
+        self.cells.iter().map(|c| c.unsigned_abs()).min().unwrap_or(0)
+    }
+
+    fn total(&self) -> u64 {
+        self.total
+    }
+
+    fn memory_cells(&self) -> usize {
+        self.cells.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use std::collections::HashMap;
+
+    #[test]
+    fn invalid_dimensions_are_rejected() {
+        assert_eq!(CountSketch::with_dimensions(0, 3, 0).unwrap_err(), SketchError::ZeroWidth);
+        assert_eq!(CountSketch::with_dimensions(3, 0, 0).unwrap_err(), SketchError::ZeroDepth);
+    }
+
+    #[test]
+    fn heavy_hitter_estimate_is_accurate() {
+        let mut sketch = CountSketch::with_dimensions(128, 5, 10).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..5_000 {
+            sketch.record(42);
+        }
+        for _ in 0..5_000 {
+            sketch.record(rng.gen_range(100..10_000u64));
+        }
+        let est = sketch.estimate(42) as f64;
+        assert!((est - 5_000.0).abs() < 500.0, "estimate {est} too far from 5000");
+    }
+
+    #[test]
+    fn estimates_are_roughly_unbiased_on_skewed_stream() {
+        let mut sketch = CountSketch::with_dimensions(64, 7, 4).unwrap();
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        let mut rng = StdRng::seed_from_u64(8);
+        for _ in 0..30_000 {
+            let id = (rng.gen_range(0.0f64..1.0).powi(2) * 400.0) as u64;
+            sketch.record(id);
+            *truth.entry(id).or_insert(0) += 1;
+        }
+        let (mut signed_err, mut count) = (0i64, 0i64);
+        for (&id, &f) in truth.iter().filter(|(_, &f)| f >= 50) {
+            signed_err += sketch.estimate(id) as i64 - f as i64;
+            count += 1;
+        }
+        let mean_err = signed_err as f64 / count as f64;
+        assert!(mean_err.abs() < 40.0, "mean signed error {mean_err} suggests bias");
+    }
+
+    #[test]
+    fn record_many_equals_repeated_record() {
+        let mut a = CountSketch::with_dimensions(32, 3, 6).unwrap();
+        let mut b = a.clone();
+        a.record_many(5, 40);
+        for _ in 0..40 {
+            b.record(5);
+        }
+        assert_eq!(a.estimate(5), b.estimate(5));
+        assert_eq!(a.total(), b.total());
+    }
+
+    #[test]
+    fn merge_matches_concatenation() {
+        let mut left = CountSketch::with_dimensions(32, 5, 9).unwrap();
+        let mut right = CountSketch::with_dimensions(32, 5, 9).unwrap();
+        let mut whole = CountSketch::with_dimensions(32, 5, 9).unwrap();
+        let mut rng = StdRng::seed_from_u64(10);
+        for _ in 0..1_000 {
+            let id = rng.gen_range(0..50u64);
+            left.record(id);
+            whole.record(id);
+        }
+        for _ in 0..1_000 {
+            let id = rng.gen_range(0..50u64);
+            right.record(id);
+            whole.record(id);
+        }
+        left.merge(&right).unwrap();
+        for id in 0..50u64 {
+            assert_eq!(left.estimate(id), whole.estimate(id));
+        }
+    }
+
+    #[test]
+    fn merge_rejects_mismatched_seed() {
+        let mut a = CountSketch::with_dimensions(16, 3, 1).unwrap();
+        let b = CountSketch::with_dimensions(16, 3, 2).unwrap();
+        assert!(matches!(a.merge(&b), Err(SketchError::IncompatibleSketches { .. })));
+    }
+
+    #[test]
+    fn even_depth_median_is_supported() {
+        let mut sketch = CountSketch::with_dimensions(64, 4, 12).unwrap();
+        for _ in 0..200 {
+            sketch.record(7);
+        }
+        let est = sketch.estimate(7);
+        assert!((150..=250).contains(&est), "even-depth estimate {est} unexpected");
+    }
+
+    #[test]
+    fn estimate_never_negative_and_clear_resets() {
+        let mut sketch = CountSketch::with_dimensions(8, 3, 2).unwrap();
+        for id in 0..100u64 {
+            sketch.record(id);
+        }
+        // Even for ids never recorded, the clamp keeps estimates >= 0 (u64).
+        let _ = sketch.estimate(123_456);
+        sketch.clear();
+        assert_eq!(sketch.total(), 0);
+        assert_eq!(sketch.estimate(0), 0);
+        assert_eq!(sketch.floor_estimate(), 0);
+        assert_eq!(sketch.width(), 8);
+        assert_eq!(sketch.depth(), 3);
+        assert_eq!(sketch.seed(), 2);
+    }
+}

@@ -1,0 +1,93 @@
+//! Error types for sketch construction and combination.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by the estimators in this crate.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SketchError {
+    /// The accuracy parameter ε must lie in `(0, 1]`.
+    InvalidEpsilon(f64),
+    /// The failure-probability parameter δ must lie in `(0, 1)`.
+    InvalidDelta(f64),
+    /// Sketch width (number of columns `k`) must be at least 1.
+    ZeroWidth,
+    /// Sketch depth (number of rows `s`) must be at least 1.
+    ZeroDepth,
+    /// Attempted to merge two sketches with different shapes or hash seeds.
+    IncompatibleSketches {
+        /// `(width, depth, seed)` of the left-hand sketch.
+        left: (usize, usize, u64),
+        /// `(width, depth, seed)` of the right-hand sketch.
+        right: (usize, usize, u64),
+    },
+    /// A Carter–Wegman coefficient was outside its admissible range.
+    InvalidHashCoefficient {
+        /// The offending coefficient value.
+        value: u64,
+        /// Human-readable description of the constraint that was violated.
+        constraint: &'static str,
+    },
+    /// The hash output range must be at least 1.
+    ZeroHashRange,
+}
+
+impl fmt::Display for SketchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SketchError::InvalidEpsilon(eps) => {
+                write!(f, "epsilon must be in (0, 1], got {eps}")
+            }
+            SketchError::InvalidDelta(delta) => {
+                write!(f, "delta must be in (0, 1), got {delta}")
+            }
+            SketchError::ZeroWidth => write!(f, "sketch width must be at least 1"),
+            SketchError::ZeroDepth => write!(f, "sketch depth must be at least 1"),
+            SketchError::IncompatibleSketches { left, right } => write!(
+                f,
+                "cannot merge sketches with shape/seed {left:?} and {right:?}"
+            ),
+            SketchError::InvalidHashCoefficient { value, constraint } => {
+                write!(f, "invalid hash coefficient {value}: {constraint}")
+            }
+            SketchError::ZeroHashRange => write!(f, "hash output range must be at least 1"),
+        }
+    }
+}
+
+impl Error for SketchError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errors = [
+            SketchError::InvalidEpsilon(0.0),
+            SketchError::InvalidDelta(1.0),
+            SketchError::ZeroWidth,
+            SketchError::ZeroDepth,
+            SketchError::IncompatibleSketches {
+                left: (1, 2, 3),
+                right: (4, 5, 6),
+            },
+            SketchError::InvalidHashCoefficient {
+                value: 0,
+                constraint: "must be non-zero",
+            },
+            SketchError::ZeroHashRange,
+        ];
+        for err in errors {
+            let msg = err.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync_static() {
+        fn assert_bounds<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_bounds::<SketchError>();
+    }
+}

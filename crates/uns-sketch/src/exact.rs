@@ -1,0 +1,264 @@
+//! Exact, full-space frequency oracle.
+//!
+//! The paper's *omniscient* strategy (Algorithm 1) assumes knowledge of the
+//! occurrence probability `p_j` of every identifier in the stream. When that
+//! knowledge is built on the fly (the paper: "this knowledge is built on the
+//! fly when reading σ"), it amounts to maintaining exact counts for every
+//! distinct identifier seen so far — linear space, which is precisely the
+//! cost the knowledge-free strategy avoids. This oracle provides those exact
+//! counts and doubles as the `FrequencyEstimator` that turns the generic
+//! knowledge-free sampler into the adaptive omniscient sampler.
+
+use crate::min_tracker::MinTracker;
+use crate::FrequencyEstimator;
+use std::collections::HashMap;
+
+/// Exact per-identifier frequency counts with O(1) minimum tracking.
+///
+/// # Example
+///
+/// ```
+/// use uns_sketch::{ExactFrequencyOracle, FrequencyEstimator};
+///
+/// let mut oracle = ExactFrequencyOracle::new();
+/// for id in [4u64, 4, 4, 9] {
+///     oracle.record(id);
+/// }
+/// assert_eq!(oracle.estimate(4), 3);
+/// assert_eq!(oracle.estimate(9), 1);
+/// assert_eq!(oracle.estimate(1000), 0); // never seen
+/// assert_eq!(oracle.distinct_count(), 2);
+/// assert!((oracle.probability(4) - 0.75).abs() < 1e-12);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct ExactFrequencyOracle {
+    counts: HashMap<u64, u64>,
+    total: u64,
+    min_tracker: MinTracker,
+}
+
+impl ExactFrequencyOracle {
+    /// Creates an empty oracle.
+    pub fn new() -> Self {
+        Self {
+            counts: HashMap::new(),
+            total: 0,
+            // No ids seen yet: multiplicity 0 so the first insert recomputes.
+            min_tracker: MinTracker::new(0),
+        }
+    }
+
+    /// Creates an empty oracle with capacity for `n` distinct identifiers.
+    pub fn with_capacity(n: usize) -> Self {
+        Self {
+            counts: HashMap::with_capacity(n),
+            total: 0,
+            min_tracker: MinTracker::new(0),
+        }
+    }
+
+    /// Records `count` occurrences of `id` at once.
+    pub fn record_many(&mut self, id: u64, count: u64) {
+        if count == 0 {
+            return;
+        }
+        let entry = self.counts.entry(id).or_insert(0);
+        let old = *entry;
+        *entry += count;
+        let new = *entry;
+        self.total = self.total.saturating_add(count);
+        let stale = if old == 0 {
+            // A brand-new id with count `new`: it may become the new minimum.
+            new <= self.min_tracker.value() || self.counts.len() == 1
+        } else {
+            self.min_tracker.on_increase(old, new)
+        };
+        if stale {
+            self.min_tracker.recompute(self.counts.values().copied());
+        }
+    }
+
+    /// Exact number of occurrences of `id` (0 if never seen).
+    pub fn frequency(&self, id: u64) -> u64 {
+        self.counts.get(&id).copied().unwrap_or(0)
+    }
+
+    /// Empirical occurrence probability `p̂_id = f_id / m` (0 before any
+    /// element has been recorded).
+    pub fn probability(&self, id: u64) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.frequency(id) as f64 / self.total as f64
+        }
+    }
+
+    /// Number of distinct identifiers seen so far.
+    pub fn distinct_count(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// The smallest count among identifiers seen so far (`min_i f_i`), or 0
+    /// when nothing was recorded. This instantiates `min_{i∈N}(p_i)` of
+    /// Corollary 5 empirically.
+    pub fn min_frequency(&self) -> u64 {
+        if self.counts.is_empty() {
+            0
+        } else {
+            self.min_tracker.value()
+        }
+    }
+
+    /// Iterates over `(id, count)` pairs in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.counts.iter().map(|(&id, &c)| (id, c))
+    }
+
+    /// Merges the counts of `other` into `self`.
+    pub fn merge(&mut self, other: &Self) {
+        for (&id, &c) in &other.counts {
+            let entry = self.counts.entry(id).or_insert(0);
+            *entry = entry.saturating_add(c);
+        }
+        self.total = self.total.saturating_add(other.total);
+        self.min_tracker.recompute(self.counts.values().copied());
+    }
+
+    /// Removes all counts.
+    pub fn clear(&mut self) {
+        self.counts.clear();
+        self.total = 0;
+        self.min_tracker = MinTracker::new(0);
+    }
+}
+
+impl FrequencyEstimator for ExactFrequencyOracle {
+    fn record(&mut self, id: u64) {
+        self.record_many(id, 1);
+    }
+
+    fn estimate(&self, id: u64) -> u64 {
+        self.frequency(id)
+    }
+
+    fn floor_estimate(&self) -> u64 {
+        self.min_frequency()
+    }
+
+    fn total(&self) -> u64 {
+        self.total
+    }
+
+    fn memory_cells(&self) -> usize {
+        // Two words (key + count) per distinct id; report logical cells.
+        self.counts.len() * 2
+    }
+}
+
+impl FromIterator<u64> for ExactFrequencyOracle {
+    fn from_iter<I: IntoIterator<Item = u64>>(iter: I) -> Self {
+        let mut oracle = Self::new();
+        for id in iter {
+            oracle.record(id);
+        }
+        oracle
+    }
+}
+
+impl Extend<u64> for ExactFrequencyOracle {
+    fn extend<I: IntoIterator<Item = u64>>(&mut self, iter: I) {
+        for id in iter {
+            self.record(id);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn empty_oracle_reports_zeroes() {
+        let oracle = ExactFrequencyOracle::new();
+        assert_eq!(oracle.frequency(1), 0);
+        assert_eq!(oracle.probability(1), 0.0);
+        assert_eq!(oracle.min_frequency(), 0);
+        assert_eq!(oracle.distinct_count(), 0);
+        assert_eq!(oracle.total(), 0);
+        assert_eq!(oracle.floor_estimate(), 0);
+    }
+
+    #[test]
+    fn min_frequency_follows_rarest_id() {
+        let mut oracle = ExactFrequencyOracle::new();
+        oracle.record_many(1, 10);
+        assert_eq!(oracle.min_frequency(), 10);
+        oracle.record(2); // new rarest id
+        assert_eq!(oracle.min_frequency(), 1);
+        oracle.record_many(2, 20); // id 2 now at 21; id 1 rarest again
+        assert_eq!(oracle.min_frequency(), 10);
+    }
+
+    #[test]
+    fn min_matches_naive_under_random_workload() {
+        let mut oracle = ExactFrequencyOracle::new();
+        let mut rng = StdRng::seed_from_u64(11);
+        for step in 0..5_000 {
+            oracle.record(rng.gen_range(0..40u64));
+            if step % 53 == 0 {
+                let naive = oracle.iter().map(|(_, c)| c).min().unwrap();
+                assert_eq!(oracle.min_frequency(), naive, "at step {step}");
+            }
+        }
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let mut oracle = ExactFrequencyOracle::new();
+        let mut rng = StdRng::seed_from_u64(12);
+        for _ in 0..1_000 {
+            oracle.record(rng.gen_range(0..25u64));
+        }
+        let sum: f64 = (0..25u64).map(|id| oracle.probability(id)).sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a: ExactFrequencyOracle = [1u64, 1, 2].into_iter().collect();
+        let b: ExactFrequencyOracle = [2u64, 3].into_iter().collect();
+        a.merge(&b);
+        assert_eq!(a.frequency(1), 2);
+        assert_eq!(a.frequency(2), 2);
+        assert_eq!(a.frequency(3), 1);
+        assert_eq!(a.total(), 5);
+        assert_eq!(a.min_frequency(), 1);
+    }
+
+    #[test]
+    fn extend_and_clear() {
+        let mut oracle = ExactFrequencyOracle::with_capacity(8);
+        oracle.extend([5u64, 5, 6]);
+        assert_eq!(oracle.distinct_count(), 2);
+        oracle.clear();
+        assert_eq!(oracle.distinct_count(), 0);
+        assert_eq!(oracle.total(), 0);
+        assert_eq!(oracle.min_frequency(), 0);
+    }
+
+    #[test]
+    fn record_many_zero_is_noop() {
+        let mut oracle = ExactFrequencyOracle::new();
+        oracle.record_many(9, 0);
+        assert_eq!(oracle.total(), 0);
+        assert_eq!(oracle.distinct_count(), 0);
+    }
+
+    #[test]
+    fn memory_cells_scales_with_distinct_ids() {
+        let oracle: ExactFrequencyOracle = (0..100u64).collect();
+        assert_eq!(oracle.memory_cells(), 200);
+    }
+}

@@ -1,0 +1,310 @@
+//! 2-universal (Carter–Wegman) hash functions over the Mersenne prime
+//! `p = 2^61 − 1`.
+//!
+//! The paper (§III-D) requires a family `H` of hash functions
+//! `h : [M] → [M']` such that for every pair of distinct items `x ≠ y`,
+//! `P{h(x) = h(y)} ≤ 1/M'`. The classic construction is
+//!
+//! ```text
+//! h_{a,b}(x) = ((a·x + b) mod p) mod M'
+//! ```
+//!
+//! with `p` prime, `a ∈ [1, p−1]` and `b ∈ [0, p−1]` drawn uniformly at
+//! random. Working modulo the Mersenne prime `2^61 − 1` lets the reduction be
+//! done with shifts and masks instead of divisions.
+//!
+//! The random coefficients are the *local random coins* the paper's adversary
+//! is denied access to (§III-B): an adversary who knows the algorithm but not
+//! `(a, b)` cannot predict which sketch column an identifier lands in.
+
+use crate::error::SketchError;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The Mersenne prime `2^61 − 1` used as the field modulus.
+pub const MERSENNE_PRIME_61: u64 = (1 << 61) - 1;
+
+/// Reduces `x` modulo the Mersenne prime `2^61 − 1` using shift/mask folding.
+///
+/// Folding `x = hi·2^61 + lo` into `hi + lo` preserves the residue because
+/// `2^61 ≡ 1 (mod p)`. Two folds bring any 128-bit value below `2^62`, after
+/// which at most two conditional subtractions remain.
+#[inline]
+fn reduce_mersenne(mut x: u128) -> u64 {
+    const P: u128 = MERSENNE_PRIME_61 as u128;
+    // Each fold removes ~61 bits; 128-bit input needs at most two folds to
+    // drop below 2^62.
+    x = (x & P) + (x >> 61);
+    x = (x & P) + (x >> 61);
+    let mut r = x as u64;
+    while r >= MERSENNE_PRIME_61 {
+        r -= MERSENNE_PRIME_61;
+    }
+    r
+}
+
+/// A single 2-universal hash function `h_{a,b}(x) = ((a·x + b) mod p) mod range`.
+///
+/// Instances are cheap to copy (three words). Functions drawn from the same
+/// seed are identical, which is what makes two sketches mergeable.
+///
+/// # Example
+///
+/// ```
+/// use rand::SeedableRng;
+/// use uns_sketch::UniversalHash;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let h = UniversalHash::sample(&mut rng, 64).unwrap();
+/// let bucket = h.hash(123456789);
+/// assert!(bucket < 64);
+/// // Deterministic: hashing the same input twice gives the same bucket.
+/// assert_eq!(bucket, h.hash(123456789));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct UniversalHash {
+    a: u64,
+    b: u64,
+    range: u64,
+}
+
+impl UniversalHash {
+    /// Draws a hash function uniformly from the family, mapping into
+    /// `[0, range)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SketchError::ZeroHashRange`] if `range == 0`.
+    pub fn sample<R: Rng + ?Sized>(rng: &mut R, range: u64) -> Result<Self, SketchError> {
+        if range == 0 {
+            return Err(SketchError::ZeroHashRange);
+        }
+        let a = rng.gen_range(1..MERSENNE_PRIME_61);
+        let b = rng.gen_range(0..MERSENNE_PRIME_61);
+        Ok(Self { a, b, range })
+    }
+
+    /// Builds a hash function from explicit coefficients.
+    ///
+    /// Mostly useful in tests and for reproducing a specific configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SketchError::InvalidHashCoefficient`] unless
+    /// `1 ≤ a < p` and `b < p`, and [`SketchError::ZeroHashRange`] if
+    /// `range == 0`.
+    pub fn from_coefficients(a: u64, b: u64, range: u64) -> Result<Self, SketchError> {
+        if a == 0 || a >= MERSENNE_PRIME_61 {
+            return Err(SketchError::InvalidHashCoefficient {
+                value: a,
+                constraint: "multiplier a must satisfy 1 <= a < 2^61 - 1",
+            });
+        }
+        if b >= MERSENNE_PRIME_61 {
+            return Err(SketchError::InvalidHashCoefficient {
+                value: b,
+                constraint: "offset b must satisfy b < 2^61 - 1",
+            });
+        }
+        if range == 0 {
+            return Err(SketchError::ZeroHashRange);
+        }
+        Ok(Self { a, b, range })
+    }
+
+    /// Hashes `x` into `[0, range)`.
+    #[inline]
+    pub fn hash(&self, x: u64) -> u64 {
+        let x = reduce_mersenne(x as u128);
+        let v = reduce_mersenne(self.a as u128 * x as u128 + self.b as u128);
+        v % self.range
+    }
+
+    /// Returns the size of the output range `M'`.
+    #[inline]
+    pub fn range(&self) -> u64 {
+        self.range
+    }
+}
+
+/// A reproducible family of independent 2-universal hash functions.
+///
+/// All functions are derived from a single 64-bit seed, so two sketches built
+/// from the same seed share identical hash functions and can be merged
+/// (counter-wise added) exactly — the property used to combine sketches from
+/// sub-streams.
+///
+/// # Example
+///
+/// ```
+/// use uns_sketch::HashFamily;
+///
+/// let family = HashFamily::new(99);
+/// let row_hashes = family.functions(4, 32).unwrap();
+/// assert_eq!(row_hashes.len(), 4);
+/// // Same seed, same functions:
+/// assert_eq!(row_hashes, HashFamily::new(99).functions(4, 32).unwrap());
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HashFamily {
+    seed: u64,
+}
+
+impl HashFamily {
+    /// Creates a family deterministically derived from `seed`.
+    pub fn new(seed: u64) -> Self {
+        Self { seed }
+    }
+
+    /// Returns the seed this family was built from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Draws `count` independent functions mapping into `[0, range)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SketchError::ZeroHashRange`] if `range == 0`.
+    pub fn functions(&self, count: usize, range: u64) -> Result<Vec<UniversalHash>, SketchError> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        (0..count).map(|_| UniversalHash::sample(&mut rng, range)).collect()
+    }
+
+    /// Draws a pair of function vectors (bucket functions and sign functions)
+    /// as required by the Count sketch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SketchError::ZeroHashRange`] if `range == 0`.
+    pub fn function_pairs(
+        &self,
+        count: usize,
+        range: u64,
+    ) -> Result<(Vec<UniversalHash>, Vec<UniversalHash>), SketchError> {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x9e37_79b9_7f4a_7c15);
+        let buckets: Vec<UniversalHash> = (0..count)
+            .map(|_| UniversalHash::sample(&mut rng, range))
+            .collect::<Result<_, _>>()?;
+        let signs: Vec<UniversalHash> = (0..count)
+            .map(|_| UniversalHash::sample(&mut rng, 2))
+            .collect::<Result<_, _>>()?;
+        Ok((buckets, signs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn reduce_handles_boundaries() {
+        assert_eq!(reduce_mersenne(0), 0);
+        assert_eq!(reduce_mersenne(MERSENNE_PRIME_61 as u128), 0);
+        assert_eq!(reduce_mersenne(MERSENNE_PRIME_61 as u128 + 1), 1);
+        assert_eq!(reduce_mersenne(u128::MAX), (u128::MAX % MERSENNE_PRIME_61 as u128) as u64);
+        // Cross-check folding against the naive remainder on a spread of values.
+        for x in [1u128, 2, 1 << 60, 1 << 61, 1 << 62, (1 << 61) - 2, u64::MAX as u128] {
+            assert_eq!(reduce_mersenne(x), (x % MERSENNE_PRIME_61 as u128) as u64, "x = {x}");
+        }
+    }
+
+    #[test]
+    fn hash_stays_in_range() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for range in [1u64, 2, 7, 64, 1000] {
+            let h = UniversalHash::sample(&mut rng, range).unwrap();
+            for x in 0..2000u64 {
+                assert!(h.hash(x) < range);
+            }
+            assert!(h.hash(u64::MAX) < range);
+        }
+    }
+
+    #[test]
+    fn range_one_maps_everything_to_zero() {
+        let h = UniversalHash::from_coefficients(17, 5, 1).unwrap();
+        assert_eq!(h.hash(0), 0);
+        assert_eq!(h.hash(u64::MAX), 0);
+    }
+
+    #[test]
+    fn invalid_coefficients_are_rejected() {
+        assert!(matches!(
+            UniversalHash::from_coefficients(0, 0, 8),
+            Err(SketchError::InvalidHashCoefficient { .. })
+        ));
+        assert!(matches!(
+            UniversalHash::from_coefficients(MERSENNE_PRIME_61, 0, 8),
+            Err(SketchError::InvalidHashCoefficient { .. })
+        ));
+        assert!(matches!(
+            UniversalHash::from_coefficients(1, MERSENNE_PRIME_61, 8),
+            Err(SketchError::InvalidHashCoefficient { .. })
+        ));
+        assert_eq!(UniversalHash::from_coefficients(1, 0, 0), Err(SketchError::ZeroHashRange));
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(
+            UniversalHash::sample(&mut rng, 0).unwrap_err(),
+            SketchError::ZeroHashRange
+        );
+    }
+
+    #[test]
+    fn family_is_deterministic_per_seed_and_distinct_across_seeds() {
+        let f1 = HashFamily::new(10).functions(8, 128).unwrap();
+        let f2 = HashFamily::new(10).functions(8, 128).unwrap();
+        let f3 = HashFamily::new(11).functions(8, 128).unwrap();
+        assert_eq!(f1, f2);
+        assert_ne!(f1, f3);
+        assert_eq!(HashFamily::new(10).seed(), 10);
+    }
+
+    #[test]
+    fn empirical_collision_probability_is_near_two_universal_bound() {
+        // Estimate P{h(x) = h(y)} over random function draws for a fixed pair
+        // (x, y); 2-universality demands it be at most ~1/range.
+        let range = 32u64;
+        let trials = 20_000u64;
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut collisions = 0u64;
+        for _ in 0..trials {
+            let h = UniversalHash::sample(&mut rng, range).unwrap();
+            if h.hash(123_456) == h.hash(987_654_321) {
+                collisions += 1;
+            }
+        }
+        let p = collisions as f64 / trials as f64;
+        // Allow 40% slack over 1/range for sampling noise and the mod-range
+        // non-uniformity of the Carter–Wegman construction.
+        assert!(p < 1.4 / range as f64, "collision probability {p} too high");
+    }
+
+    #[test]
+    fn buckets_are_roughly_balanced() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let range = 16u64;
+        let h = UniversalHash::sample(&mut rng, range).unwrap();
+        let mut buckets: HashMap<u64, u64> = HashMap::new();
+        let items = 16_000u64;
+        for x in 0..items {
+            *buckets.entry(h.hash(x)).or_insert(0) += 1;
+        }
+        let expected = items / range;
+        for (bucket, count) in buckets {
+            assert!(
+                (count as f64 - expected as f64).abs() < expected as f64 * 0.5,
+                "bucket {bucket} holds {count}, expected about {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn sign_functions_are_roughly_balanced() {
+        let (_, signs) = HashFamily::new(77).function_pairs(1, 64).unwrap();
+        let sign = signs[0];
+        let plus = (0..10_000u64).filter(|&x| sign.hash(x) == 1).count();
+        assert!((4_000..6_000).contains(&plus), "unbalanced signs: {plus}/10000");
+    }
+}

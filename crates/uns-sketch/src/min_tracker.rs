@@ -1,0 +1,131 @@
+//! Incremental tracking of the minimum over a set of monotonically
+//! non-decreasing counters.
+//!
+//! The knowledge-free sampling strategy queries the global minimum counter
+//! `min_σ` once per stream element (Algorithm 3, line 6). Recomputing a
+//! minimum over `k × s` cells on every element would dominate the per-element
+//! cost, so we exploit monotonicity: the minimum can only change when the
+//! *last* cell holding the current minimum value is incremented. Tracking the
+//! multiplicity of the minimum makes the amortized cost O(1) with occasional
+//! O(k·s) rescans.
+
+/// Tracks `(value, multiplicity)` of the minimum over monotonically
+/// non-decreasing counters.
+///
+/// `Default` is the tracker of an empty cell set (multiplicity 0), matching
+/// [`ExactFrequencyOracle::new`](crate::ExactFrequencyOracle::new).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub(crate) struct MinTracker {
+    value: u64,
+    multiplicity: usize,
+}
+
+impl MinTracker {
+    /// Creates a tracker for `cells` counters, all initially zero.
+    pub(crate) fn new(cells: usize) -> Self {
+        Self { value: 0, multiplicity: cells }
+    }
+
+    /// Current minimum value.
+    pub(crate) fn value(&self) -> u64 {
+        self.value
+    }
+
+    /// Notifies the tracker that a counter moved from `old` to `new`
+    /// (`new >= old`). Returns `true` if the minimum is now stale and must be
+    /// recomputed via [`MinTracker::recompute`].
+    #[must_use]
+    pub(crate) fn on_increase(&mut self, old: u64, new: u64) -> bool {
+        debug_assert!(new >= old, "counters must be monotone ({old} -> {new})");
+        if old == self.value && new > old {
+            self.multiplicity -= 1;
+            self.multiplicity == 0
+        } else {
+            false
+        }
+    }
+
+    /// Rescans all counters and resets `(value, multiplicity)`.
+    pub(crate) fn recompute<I: IntoIterator<Item = u64>>(&mut self, cells: I) {
+        let mut min = u64::MAX;
+        let mut count = 0usize;
+        for cell in cells {
+            use std::cmp::Ordering;
+            match cell.cmp(&min) {
+                Ordering::Less => {
+                    min = cell;
+                    count = 1;
+                }
+                Ordering::Equal => count += 1,
+                Ordering::Greater => {}
+            }
+        }
+        self.value = if count == 0 { 0 } else { min };
+        self.multiplicity = count;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn starts_at_zero_with_full_multiplicity() {
+        let t = MinTracker::new(12);
+        assert_eq!(t.value(), 0);
+        assert_eq!(t.multiplicity, 12);
+    }
+
+    #[test]
+    fn increase_above_min_does_not_invalidate() {
+        let mut t = MinTracker::new(3);
+        t.recompute([2, 5, 9]);
+        assert_eq!(t.value(), 2);
+        assert!(!t.on_increase(5, 6));
+        assert_eq!(t.value(), 2);
+    }
+
+    #[test]
+    fn exhausting_minimum_requests_recompute() {
+        let mut t = MinTracker::new(3);
+        t.recompute([2, 2, 9]);
+        assert!(!t.on_increase(2, 3)); // one cell at min remains
+        assert!(t.on_increase(2, 3)); // last cell at min leaves
+        t.recompute([3, 3, 9]);
+        assert_eq!(t.value(), 3);
+    }
+
+    #[test]
+    fn no_op_increase_keeps_multiplicity() {
+        let mut t = MinTracker::new(2);
+        t.recompute([4, 7]);
+        assert!(!t.on_increase(4, 4)); // conservative update may leave a cell unchanged
+        assert_eq!(t.value(), 4);
+    }
+
+    #[test]
+    fn recompute_on_empty_is_zero() {
+        let mut t = MinTracker::new(0);
+        t.recompute(std::iter::empty());
+        assert_eq!(t.value(), 0);
+    }
+
+    #[test]
+    fn tracker_agrees_with_naive_min_under_random_workload() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut cells = vec![0u64; 16];
+        let mut t = MinTracker::new(cells.len());
+        for _ in 0..5_000 {
+            let i = rng.gen_range(0..cells.len());
+            let add = rng.gen_range(1..4u64);
+            let old = cells[i];
+            cells[i] += add;
+            if t.on_increase(old, cells[i]) {
+                t.recompute(cells.iter().copied());
+            }
+            assert_eq!(t.value(), *cells.iter().min().unwrap());
+        }
+    }
+}

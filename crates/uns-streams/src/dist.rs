@@ -1,0 +1,395 @@
+//! Finite discrete distributions over identifier domains `{0, …, n−1}`,
+//! sampled in O(1) with Walker–Vose alias tables.
+//!
+//! Every workload of the paper's evaluation is a fixed categorical
+//! distribution over the population: Zipfian peak attacks (Fig. 7a, α = 4),
+//! truncated-Poisson targeted+flooding attacks (Fig. 7b, λ = n/2), uniform
+//! honest traffic, and mixtures thereof. This module precomputes the
+//! probability vector once and samples identifiers with a single uniform
+//! draw plus one comparison, so streams of millions of elements (the
+//! paper's `m = 10⁶`) generate in milliseconds.
+
+use crate::error::StreamError;
+use rand::Rng;
+
+/// A finite discrete distribution over identifiers `0..domain`, with O(1)
+/// sampling.
+///
+/// # Example
+///
+/// ```
+/// use rand::SeedableRng;
+/// use uns_streams::IdDistribution;
+///
+/// # fn main() -> Result<(), uns_streams::StreamError> {
+/// let zipf = IdDistribution::zipf(100, 1.2)?;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+/// let id = zipf.sample(&mut rng);
+/// assert!(id < 100);
+/// // The probability vector is exposed for analytic use (e.g. the
+/// // omniscient sampler's oracle).
+/// assert!((zipf.probabilities().iter().sum::<f64>() - 1.0).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct IdDistribution {
+    probs: Vec<f64>,
+    /// Alias-table acceptance thresholds, scaled to [0, 1].
+    accept: Vec<f64>,
+    /// Alias-table fallback identifiers.
+    alias: Vec<u32>,
+}
+
+impl IdDistribution {
+    /// The uniform distribution over `n` identifiers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StreamError::EmptyDomain`] if `n == 0`.
+    pub fn uniform(n: usize) -> Result<Self, StreamError> {
+        if n == 0 {
+            return Err(StreamError::EmptyDomain);
+        }
+        Self::from_weights(&vec![1.0; n])
+    }
+
+    /// Zipf distribution with exponent `alpha`: `p_i ∝ (i + 1)^{−α}`.
+    ///
+    /// `alpha = 0` degenerates to uniform; the paper's peak attack uses
+    /// `alpha = 4` (Fig. 7a).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StreamError::EmptyDomain`] if `n == 0` and
+    /// [`StreamError::InvalidAlpha`] unless `alpha` is finite and
+    /// non-negative.
+    pub fn zipf(n: usize, alpha: f64) -> Result<Self, StreamError> {
+        if n == 0 {
+            return Err(StreamError::EmptyDomain);
+        }
+        if !alpha.is_finite() || alpha < 0.0 {
+            return Err(StreamError::InvalidAlpha(alpha));
+        }
+        let weights: Vec<f64> = (0..n).map(|i| ((i + 1) as f64).powf(-alpha)).collect();
+        Self::from_weights(&weights)
+    }
+
+    /// Poisson(λ) truncated to `{0, …, n−1}` and renormalized — the paper's
+    /// targeted+flooding attack shape (Fig. 7b uses `λ = n/2`).
+    ///
+    /// Computed in log space so rates as large as `λ = 500` stay exact.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StreamError::EmptyDomain`] if `n == 0` and
+    /// [`StreamError::InvalidLambda`] unless `lambda` is finite and
+    /// positive.
+    pub fn truncated_poisson(n: usize, lambda: f64) -> Result<Self, StreamError> {
+        if n == 0 {
+            return Err(StreamError::EmptyDomain);
+        }
+        if !lambda.is_finite() || lambda <= 0.0 {
+            return Err(StreamError::InvalidLambda(lambda));
+        }
+        // ln pmf(i) = −λ + i·ln λ − ln i!, built incrementally.
+        let mut log_pmf = Vec::with_capacity(n);
+        let mut current = -lambda; // ln pmf(0)
+        log_pmf.push(current);
+        for i in 1..n {
+            current += lambda.ln() - (i as f64).ln();
+            log_pmf.push(current);
+        }
+        let max = log_pmf.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let weights: Vec<f64> = log_pmf.iter().map(|&lp| (lp - max).exp()).collect();
+        Self::from_weights(&weights)
+    }
+
+    /// A distribution proportional to arbitrary non-negative `weights`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StreamError::EmptyDomain`] for empty weights and
+    /// [`StreamError::InvalidWeights`] if any weight is negative or
+    /// non-finite, or all weights are zero.
+    pub fn from_weights(weights: &[f64]) -> Result<Self, StreamError> {
+        if weights.is_empty() {
+            return Err(StreamError::EmptyDomain);
+        }
+        if weights.iter().any(|w| !w.is_finite() || *w < 0.0) {
+            return Err(StreamError::InvalidWeights);
+        }
+        let total: f64 = weights.iter().sum();
+        if total <= 0.0 {
+            return Err(StreamError::InvalidWeights);
+        }
+        let probs: Vec<f64> = weights.iter().map(|&w| w / total).collect();
+        let (accept, alias) = build_alias_table(&probs);
+        Ok(Self { probs, accept, alias })
+    }
+
+    /// A convex mixture of distributions over the same domain.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StreamError::EmptyDomain`] for an empty component list,
+    /// [`StreamError::InvalidWeights`] for bad mixture weights, and
+    /// [`StreamError::MixtureDomainMismatch`] when components disagree on
+    /// the domain.
+    pub fn mixture(components: &[(f64, &IdDistribution)]) -> Result<Self, StreamError> {
+        if components.is_empty() {
+            return Err(StreamError::EmptyDomain);
+        }
+        if components.iter().any(|(w, _)| !w.is_finite() || *w < 0.0) {
+            return Err(StreamError::InvalidWeights);
+        }
+        let total: f64 = components.iter().map(|(w, _)| w).sum();
+        if total <= 0.0 {
+            return Err(StreamError::InvalidWeights);
+        }
+        let domain = components[0].1.domain();
+        let mut probs = vec![0.0f64; domain];
+        for (weight, dist) in components {
+            if dist.domain() != domain {
+                return Err(StreamError::MixtureDomainMismatch {
+                    expected: domain,
+                    found: dist.domain(),
+                });
+            }
+            for (p, &q) in probs.iter_mut().zip(dist.probabilities()) {
+                *p += weight / total * q;
+            }
+        }
+        Self::from_weights(&probs)
+    }
+
+    /// Number of identifiers in the domain.
+    pub fn domain(&self) -> usize {
+        self.probs.len()
+    }
+
+    /// The exact probability vector, indexed by identifier.
+    pub fn probabilities(&self) -> &[f64] {
+        &self.probs
+    }
+
+    /// The probability of identifier `id` (0 outside the domain).
+    pub fn probability(&self, id: u64) -> f64 {
+        usize::try_from(id).ok().and_then(|i| self.probs.get(i)).copied().unwrap_or(0.0)
+    }
+
+    /// Draws one identifier in O(1) (one bucket pick + one comparison).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let bucket = rng.gen_range(0..self.probs.len());
+        if rng.gen::<f64>() < self.accept[bucket] {
+            bucket as u64
+        } else {
+            self.alias[bucket] as u64
+        }
+    }
+}
+
+/// Builds a Walker–Vose alias table for the probability vector `probs`.
+///
+/// Returns per-bucket acceptance probabilities (already divided by `1/n`)
+/// and alias targets.
+fn build_alias_table(probs: &[f64]) -> (Vec<f64>, Vec<u32>) {
+    let n = probs.len();
+    let mut accept = vec![0.0f64; n];
+    let mut alias = vec![0u32; n];
+    // Scale so that the average bucket holds exactly 1.
+    let mut scaled: Vec<f64> = probs.iter().map(|&p| p * n as f64).collect();
+    let mut small: Vec<usize> = Vec::with_capacity(n);
+    let mut large: Vec<usize> = Vec::with_capacity(n);
+    for (i, &s) in scaled.iter().enumerate() {
+        if s < 1.0 {
+            small.push(i);
+        } else {
+            large.push(i);
+        }
+    }
+    while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+        small.pop();
+        large.pop();
+        accept[s] = scaled[s];
+        alias[s] = l as u32;
+        scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+        if scaled[l] < 1.0 {
+            small.push(l);
+        } else {
+            large.push(l);
+        }
+    }
+    // Leftovers are numerically 1.
+    for &i in small.iter().chain(large.iter()) {
+        accept[i] = 1.0;
+        alias[i] = i as u32;
+    }
+    (accept, alias)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn empirical(dist: &IdDistribution, samples: usize, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut counts = vec![0u64; dist.domain()];
+        for _ in 0..samples {
+            counts[dist.sample(&mut rng) as usize] += 1;
+        }
+        counts.iter().map(|&c| c as f64 / samples as f64).collect()
+    }
+
+    #[test]
+    fn constructors_validate_inputs() {
+        assert_eq!(IdDistribution::uniform(0).unwrap_err(), StreamError::EmptyDomain);
+        assert_eq!(IdDistribution::zipf(0, 1.0).unwrap_err(), StreamError::EmptyDomain);
+        assert!(matches!(IdDistribution::zipf(5, -1.0), Err(StreamError::InvalidAlpha(_))));
+        assert!(matches!(IdDistribution::zipf(5, f64::NAN), Err(StreamError::InvalidAlpha(_))));
+        assert!(matches!(
+            IdDistribution::truncated_poisson(5, 0.0),
+            Err(StreamError::InvalidLambda(_))
+        ));
+        assert_eq!(IdDistribution::from_weights(&[]).unwrap_err(), StreamError::EmptyDomain);
+        assert_eq!(
+            IdDistribution::from_weights(&[0.0, 0.0]).unwrap_err(),
+            StreamError::InvalidWeights
+        );
+        assert_eq!(
+            IdDistribution::from_weights(&[1.0, -0.5]).unwrap_err(),
+            StreamError::InvalidWeights
+        );
+    }
+
+    #[test]
+    fn probabilities_always_normalized() {
+        for dist in [
+            IdDistribution::uniform(17).unwrap(),
+            IdDistribution::zipf(64, 4.0).unwrap(),
+            IdDistribution::truncated_poisson(100, 50.0).unwrap(),
+            IdDistribution::from_weights(&[3.0, 1.0, 0.0, 6.0]).unwrap(),
+        ] {
+            let sum: f64 = dist.probabilities().iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9, "sum = {sum}");
+        }
+    }
+
+    #[test]
+    fn zipf_head_dominates_with_large_alpha() {
+        // α = 4 over 1000 ids: the top id holds ~1/ζ(4) ≈ 92.4% of the mass
+        // — the paper's peak attack.
+        let dist = IdDistribution::zipf(1000, 4.0).unwrap();
+        assert!((dist.probability(0) - 0.924).abs() < 0.005);
+        assert!(dist.probability(1) < 0.06);
+        // Monotone decreasing.
+        for i in 1..1000u64 {
+            assert!(dist.probability(i) <= dist.probability(i - 1) + 1e-15);
+        }
+    }
+
+    #[test]
+    fn zipf_alpha_zero_is_uniform() {
+        let dist = IdDistribution::zipf(10, 0.0).unwrap();
+        for i in 0..10u64 {
+            assert!((dist.probability(i) - 0.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn truncated_poisson_peaks_at_lambda() {
+        let n = 1000;
+        let lambda = 500.0;
+        let dist = IdDistribution::truncated_poisson(n, lambda).unwrap();
+        let argmax = (0..n as u64)
+            .max_by(|&a, &b| dist.probability(a).partial_cmp(&dist.probability(b)).unwrap())
+            .unwrap();
+        assert!((argmax as f64 - lambda).abs() <= 1.0, "poisson mode at {argmax}");
+        // Mass far from the mode is negligible.
+        assert!(dist.probability(0) < 1e-30);
+        assert!(dist.probability(999) < 1e-30);
+    }
+
+    #[test]
+    fn truncated_poisson_small_lambda_is_monotone_decreasing() {
+        let dist = IdDistribution::truncated_poisson(50, 0.8).unwrap();
+        for i in 1..50u64 {
+            assert!(dist.probability(i) <= dist.probability(i - 1) + 1e-15);
+        }
+    }
+
+    #[test]
+    fn alias_sampling_matches_probabilities() {
+        let dist = IdDistribution::from_weights(&[5.0, 1.0, 3.0, 1.0]).unwrap();
+        let emp = empirical(&dist, 200_000, 9);
+        for (i, (&e, &p)) in emp.iter().zip(dist.probabilities()).enumerate() {
+            assert!((e - p).abs() < 0.01, "id {i}: empirical {e} vs {p}");
+        }
+    }
+
+    #[test]
+    fn alias_sampling_matches_skewed_zipf() {
+        let dist = IdDistribution::zipf(50, 2.0).unwrap();
+        let emp = empirical(&dist, 300_000, 10);
+        for (i, (&e, &p)) in emp.iter().zip(dist.probabilities()).enumerate() {
+            assert!((e - p).abs() < 0.01, "id {i}: empirical {e} vs {p}");
+        }
+    }
+
+    #[test]
+    fn mixture_combines_components() {
+        let uniform = IdDistribution::uniform(4).unwrap();
+        let point = IdDistribution::from_weights(&[1.0, 0.0, 0.0, 0.0]).unwrap();
+        let mix = IdDistribution::mixture(&[(0.5, &uniform), (0.5, &point)]).unwrap();
+        assert!((mix.probability(0) - (0.5 * 0.25 + 0.5)).abs() < 1e-12);
+        assert!((mix.probability(1) - 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mixture_validates_components() {
+        let a = IdDistribution::uniform(4).unwrap();
+        let b = IdDistribution::uniform(5).unwrap();
+        assert!(matches!(
+            IdDistribution::mixture(&[(0.5, &a), (0.5, &b)]),
+            Err(StreamError::MixtureDomainMismatch { .. })
+        ));
+        assert_eq!(IdDistribution::mixture(&[]).unwrap_err(), StreamError::EmptyDomain);
+        assert_eq!(
+            IdDistribution::mixture(&[(0.0, &a)]).unwrap_err(),
+            StreamError::InvalidWeights
+        );
+        assert_eq!(
+            IdDistribution::mixture(&[(-1.0, &a)]).unwrap_err(),
+            StreamError::InvalidWeights
+        );
+    }
+
+    #[test]
+    fn probability_out_of_domain_is_zero() {
+        let dist = IdDistribution::uniform(3).unwrap();
+        assert_eq!(dist.probability(3), 0.0);
+        assert_eq!(dist.probability(u64::MAX), 0.0);
+    }
+
+    #[test]
+    fn single_id_domain_always_samples_zero() {
+        let dist = IdDistribution::uniform(1).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..100 {
+            assert_eq!(dist.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn alias_table_handles_extreme_skew() {
+        // One id with ~all the mass plus many near-zero ids.
+        let mut weights = vec![1e-12; 100];
+        weights[42] = 1.0;
+        let dist = IdDistribution::from_weights(&weights).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let hits = (0..10_000).filter(|_| dist.sample(&mut rng) == 42).count();
+        assert!(hits > 9_900, "extreme-skew sampling broke: {hits}/10000");
+    }
+}

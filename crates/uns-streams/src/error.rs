@@ -1,0 +1,80 @@
+//! Error type for stream generation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned when building distributions or streams.
+#[derive(Clone, Debug, PartialEq)]
+pub enum StreamError {
+    /// Identifier domains must hold at least one identifier.
+    EmptyDomain,
+    /// The Zipf exponent must be finite and non-negative.
+    InvalidAlpha(f64),
+    /// The Poisson rate must be finite and positive.
+    InvalidLambda(f64),
+    /// Weights must be finite, non-negative, and not all zero.
+    InvalidWeights,
+    /// Mixture components must share one identifier domain.
+    MixtureDomainMismatch {
+        /// Domain of the first component.
+        expected: usize,
+        /// The mismatching domain encountered.
+        found: usize,
+    },
+    /// A trace specification is internally inconsistent.
+    InvalidTraceSpec {
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
+}
+
+impl fmt::Display for StreamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StreamError::EmptyDomain => write!(f, "identifier domain must be non-empty"),
+            StreamError::InvalidAlpha(a) => {
+                write!(f, "zipf exponent must be finite and non-negative, got {a}")
+            }
+            StreamError::InvalidLambda(l) => {
+                write!(f, "poisson rate must be finite and positive, got {l}")
+            }
+            StreamError::InvalidWeights => {
+                write!(f, "weights must be finite, non-negative and not all zero")
+            }
+            StreamError::MixtureDomainMismatch { expected, found } => {
+                write!(f, "mixture components must share a domain: {expected} vs {found}")
+            }
+            StreamError::InvalidTraceSpec { reason } => {
+                write!(f, "invalid trace specification: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for StreamError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty() {
+        let errors = [
+            StreamError::EmptyDomain,
+            StreamError::InvalidAlpha(f64::NAN),
+            StreamError::InvalidLambda(-1.0),
+            StreamError::InvalidWeights,
+            StreamError::MixtureDomainMismatch { expected: 10, found: 20 },
+            StreamError::InvalidTraceSpec { reason: "m < n".into() },
+        ];
+        for err in errors {
+            assert!(!err.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync_static() {
+        fn assert_bounds<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_bounds::<StreamError>();
+    }
+}

@@ -1,0 +1,98 @@
+//! Seeded identifier streams.
+//!
+//! The paper's model (§III-A) is an unbounded stream of identifiers
+//! arriving quickly and sequentially; [`IdStream`] is exactly that — an
+//! infinite, deterministic iterator of [`NodeId`]s drawn from a fixed
+//! [`IdDistribution`].
+
+use crate::dist::IdDistribution;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use uns_core::NodeId;
+
+/// An infinite, seeded stream of identifiers drawn i.i.d. from a
+/// distribution.
+///
+/// # Example
+///
+/// ```
+/// use uns_streams::{IdDistribution, IdStream};
+///
+/// # fn main() -> Result<(), uns_streams::StreamError> {
+/// let dist = IdDistribution::uniform(10)?;
+/// let first: Vec<_> = IdStream::new(dist.clone(), 7).take(5).collect();
+/// let again: Vec<_> = IdStream::new(dist, 7).take(5).collect();
+/// assert_eq!(first, again); // same seed, same stream
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct IdStream {
+    dist: IdDistribution,
+    rng: StdRng,
+}
+
+impl IdStream {
+    /// Creates the stream; identical `(distribution, seed)` pairs generate
+    /// identical streams.
+    pub fn new(dist: IdDistribution, seed: u64) -> Self {
+        Self { dist, rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// The distribution this stream draws from.
+    pub fn distribution(&self) -> &IdDistribution {
+        &self.dist
+    }
+
+    /// Collects the next `m` identifiers into a vector (the finite prefix
+    /// `σ[1..m]` used by experiments).
+    pub fn take_vec(&mut self, m: usize) -> Vec<NodeId> {
+        (0..m).map(|_| self.next().expect("stream is infinite")).collect()
+    }
+}
+
+impl Iterator for IdStream {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        Some(NodeId::new(self.dist.sample(&mut self.rng)))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (usize::MAX, None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_is_deterministic_and_in_domain() {
+        let dist = IdDistribution::zipf(32, 1.0).unwrap();
+        let a: Vec<NodeId> = IdStream::new(dist.clone(), 11).take(200).collect();
+        let b: Vec<NodeId> = IdStream::new(dist.clone(), 11).take(200).collect();
+        let c: Vec<NodeId> = IdStream::new(dist, 12).take(200).collect();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(a.iter().all(|id| id.as_u64() < 32));
+    }
+
+    #[test]
+    fn take_vec_advances_the_stream() {
+        let dist = IdDistribution::uniform(1000).unwrap();
+        let mut stream = IdStream::new(dist, 3);
+        let first = stream.take_vec(50);
+        let second = stream.take_vec(50);
+        assert_eq!(first.len(), 50);
+        assert_ne!(first, second, "take_vec must not rewind");
+    }
+
+    #[test]
+    fn stream_reports_unbounded_size() {
+        let dist = IdDistribution::uniform(2).unwrap();
+        let stream = IdStream::new(dist, 0);
+        assert_eq!(stream.size_hint(), (usize::MAX, None));
+        assert_eq!(stream.distribution().domain(), 2);
+    }
+}

@@ -1,0 +1,50 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+//! Adversarial identifier-stream generation for the uniform node sampling
+//! service of Anceaume, Busnel and Sericola (DSN 2013).
+//!
+//! The paper's evaluation (§VI) feeds the sampling strategies with synthetic
+//! streams (Zipfian peak attacks, truncated-Poisson targeted+flooding
+//! attacks) and with real HTTP-trace workloads. This crate builds all of
+//! them:
+//!
+//! * [`dist`] — finite discrete distributions over identifier domains
+//!   (uniform, Zipf(α), truncated Poisson(λ), arbitrary weights, mixtures)
+//!   sampled in O(1) via Walker–Vose alias tables;
+//! * [`generator`] — seeded infinite identifier streams drawn from a
+//!   distribution;
+//! * [`adversary`] — the paper's attack models: the *peak attack*
+//!   (Fig. 7a), the combined *targeted + flooding attack* (Fig. 7b), the
+//!   malicious-overrepresentation sweep (Fig. 11), and an explicit sybil
+//!   injector for validating the §V effort bounds;
+//! * [`traces`] — loaders for real traces plus seeded surrogates calibrated
+//!   to the published statistics of the NASA / ClarkNet / Saskatchewan
+//!   traces (Table II).
+//!
+//! # Example
+//!
+//! ```
+//! use uns_streams::adversary::peak_attack_distribution;
+//! use uns_streams::generator::IdStream;
+//!
+//! # fn main() -> Result<(), uns_streams::StreamError> {
+//! // The paper's Fig. 7a workload: Zipf α = 4 over 1000 ids.
+//! let dist = peak_attack_distribution(1000)?;
+//! let stream: Vec<_> = IdStream::new(dist, 42).take(100).collect();
+//! assert_eq!(stream.len(), 100);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod adversary;
+pub mod dist;
+pub mod error;
+pub mod generator;
+pub mod traces;
+
+pub use adversary::SybilInjector;
+pub use dist::IdDistribution;
+pub use error::StreamError;
+pub use generator::IdStream;
+pub use traces::TraceSpec;

@@ -1,0 +1,371 @@
+//! Real-world trace workloads (Table II) and their seeded surrogates.
+//!
+//! The paper's real-data experiments use three HTTP request logs from the
+//! Internet Traffic Archive: one month of NASA Kennedy Space Center
+//! requests, two weeks of ClarkNet requests and seven months of University
+//! of Saskatchewan requests. The logs themselves are not redistributable
+//! with this repository, so this module provides both:
+//!
+//! * [`load_trace`] — a loader for the real logs when present on disk (one
+//!   token per line: numeric identifiers are used as-is, anything else is
+//!   hashed into the identifier space); and
+//! * [`TraceSpec::generate`] — seeded *surrogate* traces calibrated to the
+//!   published statistics of Table II (stream length `m`, number of
+//!   distinct identifiers `n`, maximum frequency) with the Zipfian shape
+//!   shown in the paper's Fig. 5. The calibration fits the Zipf exponent
+//!   `α` so the expected top-identifier count matches the published maximum
+//!   frequency, then guarantees the support size exactly by seeding one
+//!   occurrence of every identifier.
+//!
+//! The sampling service only observes the frequency skew of its input, so
+//! surrogates matching (m, n, max-frequency, tail shape) preserve the
+//! behaviour the paper measures (see DESIGN.md §5).
+
+use crate::dist::IdDistribution;
+use crate::error::StreamError;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader};
+use std::path::Path;
+use uns_core::NodeId;
+
+/// Published statistics of a trace (the paper's Table II).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceSpec {
+    /// Trace name as used in the paper.
+    pub name: &'static str,
+    /// Stream length `m` ("# ids").
+    pub ids: usize,
+    /// Number of distinct identifiers `n`.
+    pub distinct: usize,
+    /// Number of occurrences of the most frequent identifier.
+    pub max_frequency: usize,
+}
+
+/// NASA Kennedy Space Center WWW server, one month of HTTP requests.
+pub const NASA: TraceSpec =
+    TraceSpec { name: "NASA", ids: 1_891_715, distinct: 81_983, max_frequency: 17_572 };
+
+/// ClarkNet WWW server (Metro Baltimore–Washington DC ISP), two weeks.
+pub const CLARKNET: TraceSpec =
+    TraceSpec { name: "ClarkNet", ids: 1_673_794, distinct: 94_787, max_frequency: 7_239 };
+
+/// University of Saskatchewan WWW server, seven months.
+pub const SASKATCHEWAN: TraceSpec =
+    TraceSpec { name: "Saskatchewan", ids: 2_408_625, distinct: 162_523, max_frequency: 52_695 };
+
+/// The three traces of Table II in paper order.
+pub const PAPER_TRACES: [TraceSpec; 3] = [NASA, CLARKNET, SASKATCHEWAN];
+
+/// Measured statistics of a concrete identifier stream (for regenerating
+/// Table II).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceStats {
+    /// Stream length.
+    pub ids: usize,
+    /// Number of distinct identifiers observed.
+    pub distinct: usize,
+    /// Count of the most frequent identifier.
+    pub max_frequency: usize,
+}
+
+/// Computes [`TraceStats`] for a stream.
+pub fn stats_of(stream: &[NodeId]) -> TraceStats {
+    let mut counts: HashMap<u64, usize> = HashMap::new();
+    for id in stream {
+        *counts.entry(id.as_u64()).or_insert(0) += 1;
+    }
+    TraceStats {
+        ids: stream.len(),
+        distinct: counts.len(),
+        max_frequency: counts.values().copied().max().unwrap_or(0),
+    }
+}
+
+impl TraceSpec {
+    /// Scales the trace down by `divisor` (for fast CI experiments),
+    /// preserving the `m/n` and `max/m` ratios.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `divisor == 0`.
+    #[must_use]
+    pub fn scaled(&self, divisor: usize) -> TraceSpec {
+        assert!(divisor > 0, "divisor must be positive");
+        TraceSpec {
+            name: self.name,
+            ids: (self.ids / divisor).max(16),
+            distinct: (self.distinct / divisor).max(8),
+            max_frequency: (self.max_frequency / divisor).max(2),
+        }
+    }
+
+    /// Fits the Zipf exponent `α` such that the expected count of the top
+    /// identifier over `m − n` draws matches `max_frequency − 1`
+    /// (one occurrence of every identifier is seeded separately to pin the
+    /// support size).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StreamError::InvalidTraceSpec`] for inconsistent
+    /// statistics.
+    pub fn calibrate_alpha(&self) -> Result<f64, StreamError> {
+        self.validate()?;
+        let target = (self.max_frequency as f64 - 1.0) / (self.ids as f64 - self.distinct as f64);
+        // p_top(α) = 1 / H(n, α) is strictly increasing in α.
+        let p_top = |alpha: f64| {
+            let h: f64 = (1..=self.distinct).map(|i| (i as f64).powf(-alpha)).sum();
+            1.0 / h
+        };
+        let (mut lo, mut hi) = (0.0f64, 8.0f64);
+        if p_top(hi) < target {
+            return Ok(hi); // max frequency beyond what Zipf can express
+        }
+        for _ in 0..60 {
+            let mid = (lo + hi) / 2.0;
+            if p_top(mid) < target {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        Ok((lo + hi) / 2.0)
+    }
+
+    /// Generates a seeded surrogate trace matching this specification:
+    /// exactly `ids` elements, exactly `distinct` distinct identifiers, and
+    /// a maximum frequency near `max_frequency`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StreamError::InvalidTraceSpec`] for inconsistent
+    /// statistics.
+    pub fn generate(&self, seed: u64) -> Result<Vec<NodeId>, StreamError> {
+        let alpha = self.calibrate_alpha()?;
+        let dist = IdDistribution::zipf(self.distinct, alpha)?;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut stream: Vec<NodeId> = Vec::with_capacity(self.ids);
+        // One occurrence of every identifier pins the support size at n.
+        stream.extend((0..self.distinct as u64).map(NodeId::new));
+        for _ in 0..self.ids - self.distinct {
+            stream.push(NodeId::new(dist.sample(&mut rng)));
+        }
+        // Fisher–Yates so the seeded occurrences are not clustered.
+        for i in (1..stream.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            stream.swap(i, j);
+        }
+        Ok(stream)
+    }
+
+    fn validate(&self) -> Result<(), StreamError> {
+        if self.distinct == 0 || self.ids == 0 {
+            return Err(StreamError::InvalidTraceSpec {
+                reason: format!("{}: empty trace", self.name),
+            });
+        }
+        if self.ids <= self.distinct {
+            return Err(StreamError::InvalidTraceSpec {
+                reason: format!(
+                    "{}: stream length {} must exceed distinct count {}",
+                    self.name, self.ids, self.distinct
+                ),
+            });
+        }
+        if self.max_frequency < 1 || self.max_frequency > self.ids - self.distinct + 1 {
+            return Err(StreamError::InvalidTraceSpec {
+                reason: format!(
+                    "{}: max frequency {} inconsistent with m = {}, n = {}",
+                    self.name, self.max_frequency, self.ids, self.distinct
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Loads a real trace: one token per line; numeric tokens become
+/// identifiers directly, anything else (e.g. client host names from the
+/// original HTTP logs) is hashed into the 64-bit identifier space with a
+/// fixed (seedless) mixer so repeated loads agree.
+///
+/// Empty lines are skipped.
+///
+/// # Errors
+///
+/// Propagates I/O errors from opening or reading the file.
+pub fn load_trace(path: &Path) -> std::io::Result<Vec<NodeId>> {
+    let file = std::fs::File::open(path)?;
+    let reader = BufReader::new(file);
+    let mut stream = Vec::new();
+    for line in reader.lines() {
+        let line = line?;
+        let token = line.trim();
+        if token.is_empty() {
+            continue;
+        }
+        let id = match token.parse::<u64>() {
+            Ok(number) => number,
+            Err(_) => hash_token(token),
+        };
+        stream.push(NodeId::new(id));
+    }
+    Ok(stream)
+}
+
+/// FNV-1a over the token bytes followed by a splitmix64 finalizer.
+fn hash_token(token: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in token.bytes() {
+        h ^= byte as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    // splitmix64 finalizer for avalanche.
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94d0_49bb_1331_11eb);
+    h ^ (h >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    #[test]
+    fn paper_specs_are_the_published_table2() {
+        assert_eq!(NASA.ids, 1_891_715);
+        assert_eq!(NASA.distinct, 81_983);
+        assert_eq!(NASA.max_frequency, 17_572);
+        assert_eq!(CLARKNET.ids, 1_673_794);
+        assert_eq!(CLARKNET.distinct, 94_787);
+        assert_eq!(CLARKNET.max_frequency, 7_239);
+        assert_eq!(SASKATCHEWAN.ids, 2_408_625);
+        assert_eq!(SASKATCHEWAN.distinct, 162_523);
+        assert_eq!(SASKATCHEWAN.max_frequency, 52_695);
+        assert_eq!(PAPER_TRACES.len(), 3);
+    }
+
+    #[test]
+    fn calibration_hits_the_target_top_probability() {
+        for spec in [NASA.scaled(100), CLARKNET.scaled(100), SASKATCHEWAN.scaled(100)] {
+            let alpha = spec.calibrate_alpha().unwrap();
+            assert!(alpha > 0.0 && alpha < 8.0, "{}: alpha = {alpha}", spec.name);
+            let h: f64 = (1..=spec.distinct).map(|i| (i as f64).powf(-alpha)).sum();
+            let target =
+                (spec.max_frequency as f64 - 1.0) / (spec.ids as f64 - spec.distinct as f64);
+            assert!(
+                (1.0 / h - target).abs() < target * 0.01,
+                "{}: p_top {} vs target {target}",
+                spec.name,
+                1.0 / h
+            );
+        }
+    }
+
+    #[test]
+    fn surrogate_matches_spec_statistics() {
+        let spec = NASA.scaled(200); // m ≈ 9.4k, n ≈ 409, max ≈ 87
+        let stream = spec.generate(11).unwrap();
+        let stats = stats_of(&stream);
+        assert_eq!(stats.ids, spec.ids);
+        assert_eq!(stats.distinct, spec.distinct, "support size must be exact");
+        // Max frequency within sampling noise of the target.
+        let ratio = stats.max_frequency as f64 / spec.max_frequency as f64;
+        assert!((0.5..2.0).contains(&ratio), "max frequency {} vs spec {}", stats.max_frequency, spec.max_frequency);
+    }
+
+    #[test]
+    fn surrogate_is_deterministic_and_seed_sensitive() {
+        let spec = CLARKNET.scaled(500);
+        assert_eq!(spec.generate(3).unwrap(), spec.generate(3).unwrap());
+        assert_ne!(spec.generate(3).unwrap(), spec.generate(4).unwrap());
+    }
+
+    #[test]
+    fn surrogate_is_zipf_shaped() {
+        // Fig. 5: log-log rank/frequency is near-linear. Check the heavy
+        // head: the top 1% of ids should hold far more than 1% of mass.
+        let spec = SASKATCHEWAN.scaled(200);
+        let stream = spec.generate(7).unwrap();
+        let mut counts: HashMap<u64, usize> = HashMap::new();
+        for id in &stream {
+            *counts.entry(id.as_u64()).or_insert(0) += 1;
+        }
+        let mut freqs: Vec<usize> = counts.values().copied().collect();
+        freqs.sort_unstable_by(|a, b| b.cmp(a));
+        // Saskatchewan is the flattest of the three traces (lowest α per
+        // Fig. 5), so its top-1% head holds a modest but still
+        // disproportionate share: ≫ 1% of the mass.
+        let head = freqs.len().div_ceil(100);
+        let head_mass: usize = freqs[..head].iter().sum();
+        assert!(
+            head_mass as f64 > 0.05 * stream.len() as f64,
+            "head mass {head_mass} of {} not heavy-tailed",
+            stream.len()
+        );
+        // The single most frequent id lands near the spec's target.
+        let ratio = freqs[0] as f64 / spec.max_frequency as f64;
+        assert!((0.5..2.0).contains(&ratio), "top frequency {} vs spec {}", freqs[0], spec.max_frequency);
+    }
+
+    #[test]
+    fn invalid_specs_are_rejected() {
+        let bad = TraceSpec { name: "bad", ids: 10, distinct: 10, max_frequency: 1 };
+        assert!(bad.generate(0).is_err());
+        let bad = TraceSpec { name: "bad", ids: 0, distinct: 0, max_frequency: 0 };
+        assert!(bad.calibrate_alpha().is_err());
+        let bad = TraceSpec { name: "bad", ids: 100, distinct: 10, max_frequency: 95 };
+        assert!(bad.generate(0).is_err(), "max frequency exceeds m - n + 1");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn scaled_zero_divisor_panics() {
+        let _ = NASA.scaled(0);
+    }
+
+    #[test]
+    fn stats_of_empty_stream() {
+        let stats = stats_of(&[]);
+        assert_eq!(stats, TraceStats { ids: 0, distinct: 0, max_frequency: 0 });
+    }
+
+    #[test]
+    fn load_trace_parses_numbers_and_hashes_tokens() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("uns_streams_trace_test.txt");
+        {
+            let mut file = std::fs::File::create(&path).unwrap();
+            writeln!(file, "42").unwrap();
+            writeln!(file).unwrap();
+            writeln!(file, "host-a.example.org").unwrap();
+            writeln!(file, "host-a.example.org").unwrap();
+            writeln!(file, "  7  ").unwrap();
+        }
+        let stream = load_trace(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(stream.len(), 4);
+        assert_eq!(stream[0], NodeId::new(42));
+        assert_eq!(stream[1], stream[2], "same token must hash identically");
+        assert_ne!(stream[1], NodeId::new(42));
+        assert_eq!(stream[3], NodeId::new(7));
+    }
+
+    #[test]
+    fn load_trace_missing_file_errors() {
+        assert!(load_trace(Path::new("/definitely/not/here.txt")).is_err());
+    }
+
+    #[test]
+    fn hash_token_spreads_values() {
+        let a = hash_token("alpha");
+        let b = hash_token("beta");
+        let c = hash_token("alpha ");
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, hash_token("alpha"));
+    }
+}

@@ -1,0 +1,77 @@
+//! Attack resilience: every sampling strategy against the paper's three
+//! attacks.
+//!
+//! ```text
+//! cargo run --release --example attack_resilience
+//! ```
+//!
+//! Reproduces the qualitative content of the paper's §VI on a small scale:
+//! the omniscient strategy fully tolerates every attack, the knowledge-free
+//! strategy comes close in constant memory, and the classic baselines
+//! (reservoir sampling, min-wise sampling) fail in their characteristic
+//! ways.
+
+use uniform_node_sampling::{
+    kl_gain, Frequencies, FrequencyEstimator, KnowledgeFreeSampler, MinWiseSamplerArray, NodeId, NodeSampler,
+    OmniscientSampler, ReservoirSampler,
+};
+use uns_streams::adversary::{
+    overrepresentation_attack, peak_attack_distribution, targeted_flooding_distribution,
+};
+use uns_streams::IdStream;
+
+fn gain_of(
+    sampler: &mut dyn NodeSampler,
+    stream: &[NodeId],
+    n: usize,
+) -> Option<f64> {
+    let mut input = Frequencies::new(n);
+    let mut output = Frequencies::new(n);
+    for &id in stream {
+        input.record(id.as_u64());
+        output.record(sampler.feed(id).as_u64());
+    }
+    kl_gain(input.counts(), output.counts()).ok().flatten()
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 500usize;
+    let m = 100_000usize;
+    let attacks = [
+        ("peak attack (Zipf alpha=4)", peak_attack_distribution(n)?),
+        ("targeted+flooding (Poisson lambda=n/2)", targeted_flooding_distribution(n)?),
+        ("50 overrepresented sybils", overrepresentation_attack(n, 50, 0.5)?),
+    ];
+
+    println!("{:<42} {:>12} {:>8}", "attack / strategy", "gain G_KL", "memory");
+    println!("{}", "-".repeat(66));
+    for (name, dist) in attacks {
+        println!("{name}:");
+        let stream: Vec<NodeId> = IdStream::new(dist.clone(), 7).take(m).collect();
+        let probs = dist.probabilities().to_vec();
+
+        let mut omni = OmniscientSampler::new(10, &probs, 1)?;
+        let mut kf = KnowledgeFreeSampler::with_count_min(10, 10, 5, 2)?;
+        let mut reservoir = ReservoirSampler::new(10, 3)?;
+        let mut minwise = MinWiseSamplerArray::new(10, 4)?;
+
+        let rows: Vec<(&str, Option<f64>, String)> = vec![
+            ("omniscient", gain_of(&mut omni, &stream, n), format!("{} + oracle", omni.capacity())),
+            (
+                "knowledge-free",
+                gain_of(&mut kf, &stream, n),
+                format!("{} + {} cells", kf.capacity(), kf.estimator().memory_cells()),
+            ),
+            ("reservoir (Algorithm R)", gain_of(&mut reservoir, &stream, n), "10 slots".into()),
+            ("min-wise array (Brahms)", gain_of(&mut minwise, &stream, n), "10 cells".into()),
+        ];
+        for (label, gain, memory) in rows {
+            let gain = gain.map(|g| format!("{g:.4}")).unwrap_or_else(|| "n/a".into());
+            println!("  {label:<40} {gain:>12} {memory:>12}");
+        }
+    }
+    println!();
+    println!("reading the table: 1.0 = output perfectly uniform, 0.0 = no improvement.");
+    println!("the paper's strategies stay near 1.0; the baselines do not.");
+    Ok(())
+}

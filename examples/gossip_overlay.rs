@@ -1,0 +1,65 @@
+//! Gossip overlay under a sybil flood: the sampling service as the
+//! membership layer of an epidemic protocol.
+//!
+//! ```text
+//! cargo run --release --example gossip_overlay
+//! ```
+//!
+//! Simulates the system the paper motivates (§I): every correct node's view
+//! is built by its local sampling service; Byzantine nodes flood sybil
+//! identifiers trying to eclipse correct nodes and partition the overlay.
+//! Watch the sybil contamination of views and the overlay's connectivity,
+//! round by round, for the knowledge-free strategy and for the vulnerable
+//! reservoir baseline.
+
+use uniform_node_sampling::{MaliciousStrategy, SamplerKind, SimConfig, Simulation};
+
+fn run(label: &str, sampler: SamplerKind) -> Result<(), Box<dyn std::error::Error>> {
+    let config = SimConfig::builder()
+        .correct_nodes(100)
+        .malicious_nodes(8)
+        .attack(MaliciousStrategy::Flood { distinct_sybils: 12, batch_per_round: 10 })
+        .view_size(12)
+        .fanout(3)
+        .rounds(40)
+        .churn_rounds(5)
+        .churn_rate(0.05)
+        .sampler(sampler)
+        .seed(11)
+        .build()?;
+    let mut sim = Simulation::new(config)?;
+
+    println!("--- {label} ---");
+    println!("{:>5} {:>14} {:>12} {:>10}", "round", "sybil in views", "sybil input", "connected");
+    let total_rounds = 45;
+    for round in 1..=total_rounds {
+        sim.step();
+        if round % 5 == 0 || round == total_rounds {
+            let m = sim.metrics();
+            println!(
+                "{round:>5} {:>13.1}% {:>11.1}% {:>10}",
+                m.mean_sybil_view_share * 100.0,
+                m.mean_sybil_input_share * 100.0,
+                m.correct_subgraph_connected
+            );
+        }
+    }
+    let m = sim.metrics();
+    println!(
+        "final: in-degree mean {:.1} (min {}, max {}), {} gossip messages\n",
+        m.in_degree_mean, m.in_degree_min, m.in_degree_max, m.total_messages
+    );
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("8 Byzantine nodes flood 12 sybil ids at high volume into a 100-node overlay.\n");
+    run("knowledge-free sampling service (paper, Algorithm 3)", SamplerKind::KnowledgeFree {
+        width: 10,
+        depth: 5,
+    })?;
+    run("reservoir sampling baseline (Vitter's Algorithm R)", SamplerKind::Reservoir)?;
+    println!("the sampling service caps sybil residency near the fair share;");
+    println!("the reservoir hands the adversary the overlay.");
+    Ok(())
+}

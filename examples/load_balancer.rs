@@ -1,0 +1,75 @@
+//! Load balancing over sampled hosts — the paper's opening motivation.
+//!
+//! ```text
+//! cargo run --release --example load_balancer
+//! ```
+//!
+//! "Choosing a host at random among those that are available is often a
+//! choice that provides performance close to that offered by more complex
+//! selection criteria" (§I) — *provided the random choice is uniform*. This
+//! example dispatches 60 000 jobs to hosts picked from a membership stream
+//! that a colluding clique floods with its own identifiers. Dispatching
+//! straight from the stream funnels most jobs to the clique; dispatching
+//! from the sampling service's output keeps the load flat.
+
+use uniform_node_sampling::{Frequencies, KnowledgeFreeSampler, NodeId, NodeSampler};
+use uns_streams::adversary::overrepresentation_attack;
+use uns_streams::IdStream;
+
+fn gini(counts: &[u64]) -> f64 {
+    // Gini coefficient of the load distribution (0 = perfectly even).
+    let mut sorted: Vec<u64> = counts.to_vec();
+    sorted.sort_unstable();
+    let n = sorted.len() as f64;
+    let total: u64 = sorted.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let weighted: f64 =
+        sorted.iter().enumerate().map(|(i, &x)| (i as f64 + 1.0) * x as f64).sum();
+    (2.0 * weighted) / (n * total as f64) - (n + 1.0) / n
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let hosts = 100usize;
+    let jobs = 60_000usize;
+    // A clique of 5 hosts floods the membership stream with its own ids,
+    // aiming to attract the traffic (e.g. to bias a cache or censor).
+    let dist = overrepresentation_attack(hosts, 5, 0.6)?;
+    let mut membership = IdStream::new(dist, 3);
+
+    let mut sampler = KnowledgeFreeSampler::with_count_min(16, 16, 5, 4)?;
+    let mut naive_load = Frequencies::new(hosts);
+    let mut sampled_load = Frequencies::new(hosts);
+
+    for _ in 0..jobs {
+        let advertised: NodeId = membership.next().expect("stream is infinite");
+        // Naive dispatcher: send the job to whoever advertised last.
+        naive_load.record(advertised.as_u64());
+        // Robust dispatcher: send the job to the sampling service's pick.
+        sampled_load.record(sampler.feed(advertised).as_u64());
+    }
+
+    let clique_naive: u64 = (0..5).map(|id| naive_load.count(id)).sum();
+    let clique_sampled: u64 = (0..5).map(|id| sampled_load.count(id)).sum();
+
+    println!("{jobs} jobs over {hosts} hosts; 5 colluding hosts flood the membership stream\n");
+    println!("{:<26} {:>14} {:>16} {:>8}", "dispatcher", "clique load", "hottest host", "gini");
+    println!("{}", "-".repeat(68));
+    println!(
+        "{:<26} {:>12.1}% {:>15.1}% {:>8.3}",
+        "naive (raw stream)",
+        clique_naive as f64 * 100.0 / jobs as f64,
+        naive_load.max_frequency() as f64 * 100.0 / jobs as f64,
+        gini(naive_load.counts()),
+    );
+    println!(
+        "{:<26} {:>12.1}% {:>15.1}% {:>8.3}",
+        "uniform sampling service",
+        clique_sampled as f64 * 100.0 / jobs as f64,
+        sampled_load.max_frequency() as f64 * 100.0 / jobs as f64,
+        gini(sampled_load.counts()),
+    );
+    println!("\nfair clique share would be 5.0%.");
+    Ok(())
+}

@@ -1,0 +1,68 @@
+//! Trace analysis: Table II statistics and sampling on real-world-shaped
+//! workloads.
+//!
+//! ```text
+//! cargo run --release --example trace_analysis [path/to/trace.txt]
+//! ```
+//!
+//! Without arguments, generates the three seeded surrogates calibrated to
+//! the paper's Table II (NASA, ClarkNet, Saskatchewan HTTP logs) at 1/50
+//! scale, prints their statistics, and runs the knowledge-free sampling
+//! service over each. With a path argument, analyses your own trace file
+//! instead (one identifier or token per line).
+
+use std::path::Path;
+use uniform_node_sampling::{Frequencies, KnowledgeFreeSampler, NodeId, NodeSampler};
+use uns_streams::traces::{load_trace, stats_of, PAPER_TRACES};
+
+fn analyse(name: &str, stream: &[NodeId]) {
+    let stats = stats_of(stream);
+    println!("{name}: m = {}, distinct = {}, max frequency = {}", stats.ids, stats.distinct, stats.max_frequency);
+
+    // Remap arbitrary 64-bit ids onto 0..n for histogramming.
+    let mut ids: Vec<u64> = stream.iter().map(|id| id.as_u64()).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    let index = |id: u64| ids.binary_search(&id).expect("id present") as u64;
+    let n = ids.len();
+
+    let mut input = Frequencies::new(n);
+    let mut output = Frequencies::new(n);
+    // Paper's Fig. 12 sizing: c = k = ⌈log₂ n⌉.
+    let c = (n as f64).log2().ceil() as usize;
+    let mut sampler =
+        KnowledgeFreeSampler::with_count_min(c.max(2), c.max(2), 5, 1).expect("valid parameters");
+    for &id in stream {
+        input.record(index(id.as_u64()));
+        output.record(index(sampler.feed(id).as_u64()));
+    }
+    println!(
+        "  input:  KL vs uniform = {:.4}, top id holds {:.2}% of the stream",
+        input.kl_vs_uniform().unwrap_or(f64::NAN),
+        input.max_frequency() as f64 * 100.0 / input.total() as f64,
+    );
+    println!(
+        "  output: KL vs uniform = {:.4}, top id holds {:.2}% (c = k = {c}, s = 5)",
+        output.kl_vs_uniform().unwrap_or(f64::NAN),
+        output.max_frequency() as f64 * 100.0 / output.total() as f64,
+    );
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    if let Some(path) = std::env::args().nth(1) {
+        let stream = load_trace(Path::new(&path))?;
+        if stream.is_empty() {
+            return Err(format!("trace {path} is empty").into());
+        }
+        analyse(&path, &stream);
+        return Ok(());
+    }
+    println!("no trace given; using 1/50-scale surrogates of the paper's Table II traces.\n");
+    for spec in PAPER_TRACES {
+        let scaled = spec.scaled(50);
+        let stream = scaled.generate(7)?;
+        analyse(spec.name, &stream);
+        println!();
+    }
+    Ok(())
+}
