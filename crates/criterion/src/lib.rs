@@ -1,0 +1,302 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+//! Offline stand-in for the `criterion` crate (API-compatible subset).
+//!
+//! Implements the benchmarking surface this workspace uses — groups,
+//! throughput annotation, `bench_function` / `bench_with_input`,
+//! `criterion_group!` / `criterion_main!` — on a simple median-of-samples
+//! wall-clock harness:
+//!
+//! * each benchmark is warmed up, then timed over several samples and the
+//!   **median ns/iter** is reported (robust to scheduler noise);
+//! * `UNS_BENCH_FAST=1` switches to a single short sample per benchmark so
+//!   CI can smoke-test every bench cheaply;
+//! * `UNS_BENCH_JSON=<path>` appends one JSON object per benchmark
+//!   (`{"id", "ns_per_iter", "elements_per_iter", "elems_per_sec"}`), which
+//!   is how the repo's `BENCH_*.json` trajectory files are produced;
+//! * a single positional CLI argument filters benchmarks by substring
+//!   (other arguments are ignored for `cargo bench` compatibility).
+
+use std::fmt::Display;
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// Throughput annotation for a benchmark group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: function name plus optional parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Identifier with a function name and a parameter rendering.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        Self { id: format!("{function}/{parameter}") }
+    }
+
+    /// Identifier from a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self { id: parameter.to_string() }
+    }
+}
+
+/// Something usable as a benchmark name.
+pub trait IntoBenchmarkId {
+    /// Renders the final benchmark id string.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// The measurement engine handed to benchmark closures.
+pub struct Bencher {
+    /// Median nanoseconds per iteration, filled in by [`Bencher::iter`].
+    ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Measures `routine`: warm-up, then several timed samples; records the
+    /// median time per iteration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let fast = std::env::var("UNS_BENCH_FAST").is_ok_and(|v| v == "1");
+        // One untimed call to page everything in, and to estimate scale.
+        let start = Instant::now();
+        std::hint::black_box(routine());
+        let estimate = start.elapsed().max(Duration::from_nanos(50));
+
+        let (samples, target) = if fast {
+            (1usize, Duration::from_millis(2))
+        } else {
+            (7usize, Duration::from_millis(60))
+        };
+        let iters_per_sample =
+            (target.as_nanos() / estimate.as_nanos().max(1)).clamp(1, 1_000_000) as u64;
+
+        let mut times = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                std::hint::black_box(routine());
+            }
+            times.push(start.elapsed().as_nanos() as f64 / iters_per_sample as f64);
+        }
+        times.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+        self.ns_per_iter = times[times.len() / 2];
+    }
+}
+
+/// Top-level benchmark driver (stand-in for `criterion::Criterion`).
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // First non-flag CLI argument = substring filter (cargo bench may
+        // also pass `--bench`, which is skipped along with other flags).
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Self { filter }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), throughput: None }
+    }
+
+    /// Runs a stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_benchmark(self, None, id, None, f);
+        self
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration throughput used for rate reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<I: IntoBenchmarkId, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        f: F,
+    ) -> &mut Self {
+        let group = self.name.clone();
+        let throughput = self.throughput;
+        run_benchmark(self.criterion, Some(&group), &id.into_id(), throughput, f);
+        self
+    }
+
+    /// Runs one parameterized benchmark in the group.
+    pub fn bench_with_input<I, P, F>(&mut self, id: I, input: &P, mut f: F) -> &mut Self
+    where
+        I: IntoBenchmarkId,
+        F: FnMut(&mut Bencher, &P),
+        P: ?Sized,
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (kept for API compatibility; nothing to flush).
+    pub fn finish(&mut self) {}
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    criterion: &Criterion,
+    group: Option<&str>,
+    id: &str,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let full_id = match group {
+        Some(group) => format!("{group}/{id}"),
+        None => id.to_string(),
+    };
+    if let Some(filter) = &criterion.filter {
+        if !full_id.contains(filter.as_str()) {
+            return;
+        }
+    }
+    let mut bencher = Bencher { ns_per_iter: 0.0 };
+    f(&mut bencher);
+    let ns = bencher.ns_per_iter;
+
+    let mut line = format!("{full_id:<60} time: [{ns:>12.1} ns/iter]");
+    let mut rate = None;
+    if let Some(Throughput::Elements(elements) | Throughput::Bytes(elements)) = throughput {
+        if ns > 0.0 {
+            let per_sec = elements as f64 * 1e9 / ns;
+            rate = Some((elements, per_sec));
+            let unit = match throughput {
+                Some(Throughput::Bytes(_)) => "B/s",
+                _ => "elem/s",
+            };
+            let _ = write!(line, "  thrpt: [{:>10.3} M{unit}]", per_sec / 1e6);
+        }
+    }
+    println!("{line}");
+
+    if let Ok(path) = std::env::var("UNS_BENCH_JSON") {
+        let (elements, per_sec) = rate.unwrap_or((0, 0.0));
+        let json = format!(
+            "{{\"id\":\"{}\",\"ns_per_iter\":{:.1},\"elements_per_iter\":{},\"elems_per_sec\":{:.1}}}\n",
+            full_id.replace('"', "'"),
+            ns,
+            elements,
+            per_sec
+        );
+        if let Ok(mut file) = std::fs::OpenOptions::new().create(true).append(true).open(&path) {
+            let _ = file.write_all(json.as_bytes());
+        }
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn no_filter() -> Criterion {
+        Criterion { filter: None }
+    }
+
+    #[test]
+    fn bencher_measures_something_positive() {
+        let mut bencher = Bencher { ns_per_iter: 0.0 };
+        bencher.iter(|| std::hint::black_box(42u64).wrapping_mul(3));
+        assert!(bencher.ns_per_iter > 0.0);
+    }
+
+    #[test]
+    fn groups_and_functions_run() {
+        let mut criterion = no_filter();
+        let mut runs = 0;
+        {
+            let mut group = criterion.benchmark_group("g");
+            group.throughput(Throughput::Elements(10));
+            group.bench_function("a", |b| {
+                runs += 1;
+                b.iter(|| 1 + 1)
+            });
+            group.bench_with_input(BenchmarkId::new("b", 3), &3u64, |b, &x| b.iter(move || x * 2));
+            group.finish();
+        }
+        criterion.bench_function("standalone", |b| b.iter(|| ()));
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut criterion = Criterion { filter: Some("nomatch".into()) };
+        let mut ran = false;
+        criterion.bench_function("other", |b| {
+            ran = true;
+            b.iter(|| ())
+        });
+        assert!(!ran);
+    }
+
+    #[test]
+    fn benchmark_ids_render() {
+        assert_eq!(BenchmarkId::new("f", 10).into_id(), "f/10");
+        assert_eq!(BenchmarkId::from_parameter("k10_s5").into_id(), "k10_s5");
+        assert_eq!("plain".into_id(), "plain");
+    }
+}

@@ -1,0 +1,305 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+//! Offline stand-in for the `proptest` crate (API-compatible subset).
+//!
+//! Supports the surface this workspace's property tests use:
+//!
+//! * the [`proptest!`] macro wrapping `#[test] fn name(x in strategy, …)`;
+//! * [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`];
+//! * strategies: integer ranges, [`any`], [`collection::vec`];
+//! * deterministic, seeded case generation (no shrinking — a failing case
+//!   reports its case index and the values' `Debug` rendering instead).
+//!
+//! Case count defaults to 64 and can be overridden with the
+//! `PROPTEST_CASES` environment variable.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+
+/// The RNG handed to strategies while generating a case.
+pub struct TestRng(SmallRng);
+
+impl TestRng {
+    /// Draws 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        use rand::RngCore;
+        self.0.next_u64()
+    }
+
+    /// Draws uniformly from `[0, span)`.
+    pub fn below(&mut self, span: u64) -> u64 {
+        use rand::Rng;
+        self.0.gen_range(0..span.max(1))
+    }
+}
+
+/// A generator of values for one test parameter.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value: Debug;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                self.start.wrapping_add(rng.below(span) as $t)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start() <= self.end(), "empty strategy range");
+                let span = (*self.end() as i128 - *self.start() as i128) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                self.start().wrapping_add(rng.below(span + 1) as $t)
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Strategy for "any value of `T`" — see [`any`].
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// The `proptest::prelude::any::<T>()` strategy: uniform over all of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// Types with a canonical "whole domain" strategy.
+pub trait Arbitrary: Debug + Sized {
+    /// Generates one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy producing `Vec`s with lengths drawn from `size` and
+    /// elements drawn from `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// `proptest::collection::vec`: vectors of `element` values with a
+    /// length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty vec size range");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.end - self.size.start) as u64;
+            let len = self.size.start + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Runs `cases` deterministic cases of `body`, panicking on the first
+/// failure with the case index and seed. Used by the generated test fns;
+/// not part of the public proptest API.
+pub fn run_cases<F>(test_name: &str, mut body: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), String>,
+{
+    let cases: u64 =
+        std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(64);
+    // Stable per-test seed: FNV-1a over the test name.
+    let mut seed = 0xcbf2_9ce4_8422_2325u64;
+    for byte in test_name.bytes() {
+        seed ^= byte as u64;
+        seed = seed.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    for case in 0..cases {
+        let mut rng = TestRng(SmallRng::seed_from_u64(seed.wrapping_add(case)));
+        if let Err(message) = body(&mut rng) {
+            panic!("proptest case {case}/{cases} of `{test_name}` failed (seed {seed}): {message}");
+        }
+    }
+}
+
+/// Everything the tests import with `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::collection::vec as prop_vec;
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Strategy};
+}
+
+/// Declares property tests: `proptest! { #[test] fn name(x in strategy) { … } }`.
+///
+/// Each parameter is drawn from its strategy per case; the body may use
+/// [`prop_assert!`]-family macros, which abort only the current case with a
+/// message (reported through a panic, as there is no shrinking).
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident( $($p:pat_param in $s:expr),+ $(,)? ) $body:block
+    )+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::run_cases(stringify!($name), |proptest_case_rng| {
+                    $(let $p = $crate::Strategy::generate(&($s), proptest_case_rng);)+
+                    #[allow(unused_mut)]
+                    let mut proptest_case_body =
+                        || -> ::std::result::Result<(), ::std::string::String> {
+                            $body
+                            Ok(())
+                        };
+                    proptest_case_body()
+                });
+            }
+        )+
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body, failing the case (not
+/// the process) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return Err(format!("assertion failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left == right) {
+            return Err(format!(
+                "assertion failed: `{:?}` != `{:?}` ({} vs {})",
+                left,
+                right,
+                stringify!($left),
+                stringify!($right)
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left == right) {
+            return Err(format!($($fmt)+));
+        }
+    }};
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if left == right {
+            return Err(format!(
+                "assertion failed: `{:?}` == `{:?}` ({} vs {})",
+                left,
+                right,
+                stringify!($left),
+                stringify!($right)
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if left == right {
+            return Err(format!($($fmt)+));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::collection::vec;
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u64..17, y in 0usize..5, z in any::<u64>()) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!(y < 5);
+            let _ = z;
+        }
+
+        #[test]
+        fn vectors_respect_size_and_element_ranges(
+            items in vec(1u32..100, 2..40),
+            mut tail in vec(0u64..8, 0..3),
+        ) {
+            prop_assert!((2..40).contains(&items.len()));
+            prop_assert!(items.iter().all(|&v| (1..100).contains(&v)));
+            tail.push(0);
+            prop_assert!(tail.len() <= 3);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case")]
+    fn failing_case_reports_index() {
+        crate::run_cases("always_fails", |_| Err("boom".into()));
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let mut first = Vec::new();
+        crate::run_cases("det", |rng| {
+            first.push(rng.next_u64());
+            Ok(())
+        });
+        let mut second = Vec::new();
+        crate::run_cases("det", |rng| {
+            second.push(rng.next_u64());
+            Ok(())
+        });
+        assert_eq!(first, second);
+    }
+}

@@ -1,0 +1,491 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+//! Offline stand-in for the `rand` crate (API-compatible subset).
+//!
+//! This workspace builds in containers with no registry access, so the
+//! pieces of `rand` 0.8 it actually uses are vendored here:
+//!
+//! * [`RngCore`] / [`Rng`] with `gen`, `gen_range` and `gen_bool`;
+//! * [`SeedableRng`] with `seed_from_u64`;
+//! * [`rngs::StdRng`] — a ChaCha12 generator, like upstream `StdRng`:
+//!   cryptographically strong, deliberately not the cheapest option;
+//! * [`rngs::SmallRng`] — xoshiro256++, a small fast non-crypto PRNG for
+//!   per-element sampling coins on the hot path.
+//!
+//! Integer `gen_range` uses Lemire's unbiased multiply-shift rejection, so
+//! statistical tests downstream see genuinely uniform draws. Streams are
+//! deterministic per seed but are **not** bit-compatible with upstream
+//! `rand`; all reproducibility claims in this workspace are relative to
+//! these implementations.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Low-level source of random 64-bit words.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 random bits (upper half of [`RngCore::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// High-level sampling helpers, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value of `T` from its standard distribution (uniform over
+    /// the whole type for integers, uniform in `[0, 1)` for floats).
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample_standard(&mut RngDyn(self))
+    }
+
+    /// Samples uniformly from `range` (half-open or inclusive). Integer
+    /// ranges are unbiased (Lemire rejection).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T: SampleUniform, R2: SampleRange<T>>(&mut self, range: R2) -> T {
+        range.sample_from(&mut RngDyn(self))
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ p ≤ 1`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool probability {p} outside [0, 1]");
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Object-safe view of an [`RngCore`] used internally by the distribution
+/// traits (keeps them object-safe and monomorphization small).
+struct RngDyn<'a, R: RngCore + ?Sized>(&'a mut R);
+
+impl<R: RngCore + ?Sized> RngCore for RngDyn<'_, R> {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+/// A generator that can be constructed from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Creates a generator deterministically from `seed` (distinct seeds
+    /// give statistically independent streams).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types samplable from their "standard" distribution via [`Rng::gen`].
+pub trait Standard: Sized {
+    /// Draws one value.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for u128 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+
+impl Standard for i128 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        u128::sample_standard(rng) as i128
+    }
+}
+
+impl Standard for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    /// Uniform in `[0, 1)` with 24 bits of precision.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Types with a uniform range sampler via [`Rng::gen_range`].
+pub trait SampleUniform: Sized + PartialOrd {
+    /// Draws uniformly from `[low, high)`.
+    fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+
+    /// Draws uniformly from `[low, high]`.
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+}
+
+/// Draws an unbiased value in `[0, span)` via Lemire's multiply-shift
+/// rejection (`span > 0`).
+fn lemire_below<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    // 2^64 mod span: values of `lo` below this threshold are the ones with
+    // an uneven number of preimages and must be rejected.
+    let threshold = span.wrapping_neg() % span;
+    loop {
+        let m = (rng.next_u64() as u128) * (span as u128);
+        if (m as u64) >= threshold {
+            return (m >> 64) as u64;
+        }
+    }
+}
+
+macro_rules! impl_uniform_uint {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low < high, "empty range in gen_range");
+                low + lemire_below(rng, (high - low) as u64) as $t
+            }
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low <= high, "empty range in gen_range");
+                let span = (high - low) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                low + lemire_below(rng, span + 1) as $t
+            }
+        }
+    )*};
+}
+impl_uniform_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_uniform_int {
+    ($($t:ty => $u:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low < high, "empty range in gen_range");
+                let span = (high as $u).wrapping_sub(low as $u) as u64;
+                low.wrapping_add(lemire_below(rng, span) as $t)
+            }
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low <= high, "empty range in gen_range");
+                let span = (high as $u).wrapping_sub(low as $u) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                low.wrapping_add(lemire_below(rng, span + 1) as $t)
+            }
+        }
+    )*};
+}
+impl_uniform_int!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize);
+
+impl SampleUniform for f64 {
+    fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+        assert!(low < high, "empty range in gen_range");
+        let u = f64::sample_standard(rng);
+        // Clamp guards against rounding up to `high` when the span is huge.
+        (low + u * (high - low)).min(f64::from_bits(high.to_bits() - 1))
+    }
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+        assert!(low <= high, "empty range in gen_range");
+        low + f64::sample_standard(rng) * (high - low)
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+        assert!(low < high, "empty range in gen_range");
+        let u = f32::sample_standard(rng);
+        (low + u * (high - low)).min(f32::from_bits(high.to_bits() - 1))
+    }
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+        assert!(low <= high, "empty range in gen_range");
+        low + f32::sample_standard(rng) * (high - low)
+    }
+}
+
+/// Range arguments accepted by [`Rng::gen_range`].
+pub trait SampleRange<T: SampleUniform> {
+    /// Draws one value uniformly from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (low, high) = self.into_inner();
+        T::sample_inclusive(rng, low, high)
+    }
+}
+
+/// SplitMix64 step — the standard seed expander for both generators.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The concrete generators.
+pub mod rngs {
+    use super::{splitmix64, RngCore, SeedableRng};
+
+    /// The workspace's standard generator: ChaCha with 12 rounds, matching
+    /// upstream `rand::rngs::StdRng`'s algorithm choice. Strong statistical
+    /// quality; roughly an order of magnitude slower per draw than
+    /// [`SmallRng`].
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        /// ChaCha state template: constants, key, counter, nonce.
+        state: [u32; 16],
+        /// Decoded output of the current block.
+        buffer: [u64; 8],
+        /// Next unread word in `buffer`; 8 means "generate a new block".
+        index: usize,
+    }
+
+    impl StdRng {
+        const CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+        fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+            state[a] = state[a].wrapping_add(state[b]);
+            state[d] = (state[d] ^ state[a]).rotate_left(16);
+            state[c] = state[c].wrapping_add(state[d]);
+            state[b] = (state[b] ^ state[c]).rotate_left(12);
+            state[a] = state[a].wrapping_add(state[b]);
+            state[d] = (state[d] ^ state[a]).rotate_left(8);
+            state[c] = state[c].wrapping_add(state[d]);
+            state[b] = (state[b] ^ state[c]).rotate_left(7);
+        }
+
+        fn refill(&mut self) {
+            let mut working = self.state;
+            // 12 rounds = 6 double rounds (column + diagonal).
+            for _ in 0..6 {
+                Self::quarter_round(&mut working, 0, 4, 8, 12);
+                Self::quarter_round(&mut working, 1, 5, 9, 13);
+                Self::quarter_round(&mut working, 2, 6, 10, 14);
+                Self::quarter_round(&mut working, 3, 7, 11, 15);
+                Self::quarter_round(&mut working, 0, 5, 10, 15);
+                Self::quarter_round(&mut working, 1, 6, 11, 12);
+                Self::quarter_round(&mut working, 2, 7, 8, 13);
+                Self::quarter_round(&mut working, 3, 4, 9, 14);
+            }
+            for (w, s) in working.iter_mut().zip(self.state.iter()) {
+                *w = w.wrapping_add(*s);
+            }
+            for (i, pair) in working.chunks_exact(2).enumerate() {
+                self.buffer[i] = pair[0] as u64 | ((pair[1] as u64) << 32);
+            }
+            // 64-bit block counter in words 12–13.
+            let counter = (self.state[12] as u64 | ((self.state[13] as u64) << 32)).wrapping_add(1);
+            self.state[12] = counter as u32;
+            self.state[13] = (counter >> 32) as u32;
+            self.index = 0;
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let mut state = [0u32; 16];
+            state[..4].copy_from_slice(&Self::CONSTANTS);
+            for i in 0..4 {
+                let word = splitmix64(&mut sm);
+                state[4 + 2 * i] = word as u32;
+                state[5 + 2 * i] = (word >> 32) as u32;
+            }
+            // Counter and nonce start at zero.
+            Self { state, buffer: [0; 8], index: 8 }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            if self.index == 8 {
+                self.refill();
+            }
+            let word = self.buffer[self.index];
+            self.index += 1;
+            word
+        }
+    }
+
+    /// A small fast generator: xoshiro256++. Passes BigCrush; a handful of
+    /// arithmetic ops per draw, which is why the samplers use it for their
+    /// per-element coins.
+    #[derive(Clone, Debug)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let mut s = [0u64; 4];
+            for slot in &mut s {
+                *slot = splitmix64(&mut sm);
+            }
+            // The all-zero state is a fixed point; splitmix64 cannot emit
+            // four consecutive zeros, but guard anyway.
+            if s == [0, 0, 0, 0] {
+                s[0] = 0x9e37_79b9_7f4a_7c15;
+            }
+            Self { s }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::{SmallRng, StdRng};
+    use super::{Rng, SeedableRng};
+
+    fn mean_and_chi2<R: Rng>(rng: &mut R, buckets: usize, draws: usize) -> (f64, f64) {
+        let mut counts = vec![0u64; buckets];
+        let mut sum = 0.0f64;
+        for _ in 0..draws {
+            let u: f64 = rng.gen();
+            sum += u;
+            counts[(u * buckets as f64) as usize] += 1;
+        }
+        let expected = draws as f64 / buckets as f64;
+        let chi2 = counts
+            .iter()
+            .map(|&c| {
+                let d = c as f64 - expected;
+                d * d / expected
+            })
+            .sum();
+        (sum / draws as f64, chi2)
+    }
+
+    #[test]
+    fn both_generators_are_deterministic_and_seed_sensitive() {
+        let draw = |seed| StdRng::seed_from_u64(seed).next5();
+        assert_eq!(draw(1), draw(1));
+        assert_ne!(draw(1), draw(2));
+        let draw = |seed| {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            [rng.gen::<u64>(), rng.gen::<u64>()]
+        };
+        assert_eq!(draw(7), draw(7));
+        assert_ne!(draw(7), draw(8));
+    }
+
+    trait Next5 {
+        fn next5(self) -> [u64; 5];
+    }
+    impl<R: Rng> Next5 for R {
+        fn next5(mut self) -> [u64; 5] {
+            [self.gen(), self.gen(), self.gen(), self.gen(), self.gen()]
+        }
+    }
+
+    #[test]
+    fn f64_draws_are_uniform() {
+        for seed in 0..3 {
+            let (mean, chi2) = mean_and_chi2(&mut StdRng::seed_from_u64(seed), 64, 100_000);
+            assert!((mean - 0.5).abs() < 0.01, "StdRng mean {mean}");
+            assert!(chi2 < 120.0, "StdRng chi2 {chi2}"); // 63 dof, p ~ 1e-5 cut
+            let (mean, chi2) = mean_and_chi2(&mut SmallRng::seed_from_u64(seed), 64, 100_000);
+            assert!((mean - 0.5).abs() < 0.01, "SmallRng mean {mean}");
+            assert!(chi2 < 120.0, "SmallRng chi2 {chi2}");
+        }
+    }
+
+    #[test]
+    fn gen_range_is_unbiased_and_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut counts = [0u64; 7];
+        for _ in 0..70_000 {
+            counts[rng.gen_range(0..7usize)] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            assert!((c as f64 - 10_000.0).abs() < 500.0, "bucket {i}: {c}");
+        }
+        for _ in 0..1000 {
+            let x = rng.gen_range(5u64..6);
+            assert_eq!(x, 5);
+            let y = rng.gen_range(-3i64..=3);
+            assert!((-3..=3).contains(&y));
+            let f = rng.gen_range(2.0f64..4.0);
+            assert!((2.0..4.0).contains(&f));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let _ = rng.gen_range(5u64..5);
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let hits = (0..50_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((hits as f64 / 50_000.0 - 0.3).abs() < 0.01);
+    }
+
+    #[test]
+    fn works_through_unsized_refs() {
+        fn takes_unsized<R: Rng + ?Sized>(rng: &mut R) -> u64 {
+            rng.gen_range(0..100u64)
+        }
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(takes_unsized(&mut rng) < 100);
+    }
+
+    #[test]
+    fn chacha_matches_reference_block_structure() {
+        // Sanity: two consecutive blocks differ and the stream has no
+        // trivial short cycle.
+        let mut rng = StdRng::seed_from_u64(0);
+        let first: Vec<u64> = (0..16).map(|_| rng.gen()).collect();
+        let second: Vec<u64> = (0..16).map(|_| rng.gen()).collect();
+        assert_ne!(first, second);
+        assert_ne!(first[..8], first[8..]);
+    }
+}

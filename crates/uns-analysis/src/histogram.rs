@@ -170,7 +170,10 @@ impl Frequencies {
     /// Returns [`AnalysisError::LengthMismatch`] when domains differ.
     pub fn merge(&mut self, other: &Self) -> Result<(), AnalysisError> {
         if self.domain() != other.domain() {
-            return Err(AnalysisError::LengthMismatch { left: self.domain(), right: other.domain() });
+            return Err(AnalysisError::LengthMismatch {
+                left: self.domain(),
+                right: other.domain(),
+            });
         }
         for (a, b) in self.counts.iter_mut().zip(&other.counts) {
             *a += *b;
@@ -277,7 +280,7 @@ mod tests {
 
     #[test]
     fn chi_square_pvalue_flags_bias() {
-        let biased = Frequencies::from_ids(4, std::iter::repeat(0u64).take(400).chain([1, 2, 3]));
+        let biased = Frequencies::from_ids(4, std::iter::repeat_n(0u64, 400).chain([1, 2, 3]));
         assert!(biased.chi_square_uniformity_pvalue().unwrap() < 1e-10);
     }
 }

@@ -66,11 +66,15 @@ impl SubsetChain {
     pub fn new(p: &[f64], a: &[f64], r: &[f64], c: usize) -> Result<Self, AnalysisError> {
         let n = p.len();
         let invalid = |reason: String| AnalysisError::InvalidChainParameters { reason };
-        if n < 2 || n > MAX_POPULATION {
-            return Err(invalid(format!("population size must be in 2..={MAX_POPULATION}, got {n}")));
+        if !(2..=MAX_POPULATION).contains(&n) {
+            return Err(invalid(format!(
+                "population size must be in 2..={MAX_POPULATION}, got {n}"
+            )));
         }
         if c == 0 || c >= n {
-            return Err(invalid(format!("memory size c must satisfy 1 <= c < n, got c={c}, n={n}")));
+            return Err(invalid(format!(
+                "memory size c must satisfy 1 <= c < n, got c={c}, n={n}"
+            )));
         }
         if a.len() != n || r.len() != n {
             return Err(invalid(format!(
@@ -94,7 +98,9 @@ impl SubsetChain {
         }
         let insertion_mass: f64 = p.iter().zip(a).map(|(&pj, &aj)| pj * aj).sum();
         if insertion_mass > 1.0 + 1e-9 {
-            return Err(invalid(format!("sum of p_j * a_j is {insertion_mass} > 1; rows would not be stochastic")));
+            return Err(invalid(format!(
+                "sum of p_j * a_j is {insertion_mass} > 1; rows would not be stochastic"
+            )));
         }
         let states = enumerate_subsets(n, c);
         Ok(Self { n, c, p: p.to_vec(), a: a.to_vec(), r: r.to_vec(), states })
@@ -166,15 +172,16 @@ impl SubsetChain {
         }
         let i = removed.trailing_zeros() as usize;
         let j = added.trailing_zeros() as usize;
-        let r_sum: f64 =
-            (0..self.n).filter(|&l| a_mask & (1 << l) != 0).map(|l| self.r[l]).sum();
+        let r_sum: f64 = (0..self.n).filter(|&l| a_mask & (1 << l) != 0).map(|l| self.r[l]).sum();
         (self.r[i] / r_sum) * self.p[j] * self.a[j]
     }
 
     /// Materializes the dense `|S| × |S|` transition matrix.
     pub fn transition_matrix(&self) -> Vec<Vec<f64>> {
         let s = self.state_count();
-        (0..s).map(|from| (0..s).map(|to| self.transition_probability(from, to)).collect()).collect()
+        (0..s)
+            .map(|from| (0..s).map(|to| self.transition_probability(from, to)).collect())
+            .collect()
     }
 
     /// Stationary distribution by power iteration from the uniform vector.
@@ -185,7 +192,11 @@ impl SubsetChain {
     ///
     /// Returns [`AnalysisError::SearchDidNotConverge`] if `max_iter` sweeps
     /// do not reach the tolerance.
-    pub fn stationary_distribution(&self, tol: f64, max_iter: u64) -> Result<Vec<f64>, AnalysisError> {
+    pub fn stationary_distribution(
+        &self,
+        tol: f64,
+        max_iter: u64,
+    ) -> Result<Vec<f64>, AnalysisError> {
         let s = self.state_count();
         let matrix = self.transition_matrix();
         let mut pi = vec![1.0 / s as f64; s];
@@ -213,7 +224,10 @@ impl SubsetChain {
                 return Ok(pi);
             }
         }
-        Err(AnalysisError::SearchDidNotConverge { what: "stationary distribution", budget: max_iter })
+        Err(AnalysisError::SearchDidNotConverge {
+            what: "stationary distribution",
+            budget: max_iter,
+        })
     }
 
     /// The closed-form stationary distribution of Theorem 3:
@@ -261,7 +275,10 @@ impl SubsetChain {
     /// states, and [`AnalysisError::InvalidChainParameters`] if `id ≥ n`.
     pub fn inclusion_probability(&self, pi: &[f64], id: usize) -> Result<f64, AnalysisError> {
         if pi.len() != self.state_count() {
-            return Err(AnalysisError::LengthMismatch { left: pi.len(), right: self.state_count() });
+            return Err(AnalysisError::LengthMismatch {
+                left: pi.len(),
+                right: self.state_count(),
+            });
         }
         if id >= self.n {
             return Err(AnalysisError::InvalidChainParameters {

@@ -55,7 +55,10 @@ impl SpectralSummary {
 ///
 /// Returns [`AnalysisError::SearchDidNotConverge`] if the growth-rate
 /// estimate has not stabilized within `max_iter` sweeps.
-pub fn spectral_summary(chain: &SubsetChain, max_iter: u64) -> Result<SpectralSummary, AnalysisError> {
+pub fn spectral_summary(
+    chain: &SubsetChain,
+    max_iter: u64,
+) -> Result<SpectralSummary, AnalysisError> {
     let pi = chain.theoretical_stationary();
     let matrix = chain.transition_matrix();
     let states = chain.state_count();
@@ -107,7 +110,10 @@ pub fn spectral_summary(chain: &SubsetChain, max_iter: u64) -> Result<SpectralSu
     if (lambda - last_lambda).abs() < 1e-6 {
         return Ok(summary_from(chain, lambda, &pi));
     }
-    Err(AnalysisError::SearchDidNotConverge { what: "second eigenvalue (power iteration)", budget: max_iter })
+    Err(AnalysisError::SearchDidNotConverge {
+        what: "second eigenvalue (power iteration)",
+        budget: max_iter,
+    })
 }
 
 fn summary_from(chain: &SubsetChain, lambda2: f64, pi: &[f64]) -> SpectralSummary {
@@ -170,8 +176,7 @@ mod tests {
                 }
             }
             dist = next;
-            let err: f64 =
-                dist.iter().zip(&pi).map(|(a, b)| (a - b).abs()).sum::<f64>() / 2.0;
+            let err: f64 = dist.iter().zip(&pi).map(|(a, b)| (a - b).abs()).sum::<f64>() / 2.0;
             if step > 50 && previous_err > 1e-12 {
                 last_ratio = err / previous_err;
             }

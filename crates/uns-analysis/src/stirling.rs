@@ -36,21 +36,20 @@ pub fn stirling2_table(max_ell: usize) -> Result<Vec<Vec<u128>>, AnalysisError> 
         for i in 1..=ell {
             let from_smaller = if i != 1 { table[ell - 1][i - 1] } else { 0 };
             let from_same = if i != ell {
-                (i as u128)
-                    .checked_mul(table[ell - 1][i])
-                    .ok_or(AnalysisError::SearchDidNotConverge {
+                (i as u128).checked_mul(table[ell - 1][i]).ok_or(
+                    AnalysisError::SearchDidNotConverge {
                         what: "exact stirling number (u128 overflow)",
                         budget: max_ell as u64,
-                    })?
+                    },
+                )?
             } else {
                 0
             };
-            table[ell][i] = from_smaller.checked_add(from_same).ok_or(
-                AnalysisError::SearchDidNotConverge {
+            table[ell][i] =
+                from_smaller.checked_add(from_same).ok_or(AnalysisError::SearchDidNotConverge {
                     what: "exact stirling number (u128 overflow)",
                     budget: max_ell as u64,
-                },
-            )?;
+                })?;
         }
     }
     Ok(table)
@@ -68,11 +67,7 @@ pub fn ln_stirling2_table(max_ell: usize) -> Vec<Vec<f64>> {
     for ell in 2..=max_ell {
         for i in 1..=ell {
             let a = if i != 1 { table[ell - 1][i - 1] } else { f64::NEG_INFINITY };
-            let b = if i != ell {
-                table[ell - 1][i] + (i as f64).ln()
-            } else {
-                f64::NEG_INFINITY
-            };
+            let b = if i != ell { table[ell - 1][i] + (i as f64).ln() } else { f64::NEG_INFINITY };
             table[ell][i] = log_sum_exp(a, b);
         }
     }
@@ -140,10 +135,8 @@ pub fn stirling2_explicit(ell: u32, i: u32) -> Result<u128, AnalysisError> {
     let mut binom: i128 = 1; // C(i, h)
     for h in 0..=i {
         if h > 0 {
-            binom = binom
-                .checked_mul((i - h + 1) as i128)
-                .ok_or_else(|| overflow.clone())?
-                / h as i128;
+            binom =
+                binom.checked_mul((i - h + 1) as i128).ok_or_else(|| overflow.clone())? / h as i128;
         }
         let base = (i - h) as i128;
         let mut power: i128 = 1;
@@ -177,9 +170,9 @@ mod tests {
         assert_eq!(t[4][2], 7);
         assert_eq!(t[5][3], 25);
         assert_eq!(t[6][3], 90);
-        for n in 1..=6 {
-            assert_eq!(t[n][1], 1);
-            assert_eq!(t[n][n], 1);
+        for (n, row) in t.iter().enumerate().take(7).skip(1) {
+            assert_eq!(row[1], 1);
+            assert_eq!(row[n], 1);
         }
     }
 
@@ -251,7 +244,11 @@ mod tests {
         assert!(occupancy_prob_via_stirling(5, 0, 1).is_err());
         assert_eq!(occupancy_prob_via_stirling(5, 3, 0).unwrap(), 0.0);
         assert_eq!(occupancy_prob_via_stirling(5, 3, 4).unwrap(), 0.0); // i > ℓ
-        assert_eq!(occupancy_prob_via_stirling(2, 5, 2).unwrap() + occupancy_prob_via_stirling(2, 5, 1).unwrap(), 1.0);
+        assert_eq!(
+            occupancy_prob_via_stirling(2, 5, 2).unwrap()
+                + occupancy_prob_via_stirling(2, 5, 1).unwrap(),
+            1.0
+        );
     }
 
     #[test]

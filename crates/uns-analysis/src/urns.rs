@@ -191,7 +191,10 @@ pub fn targeted_attack_effort(k: usize, s: usize, eta: f64) -> Result<u64, Analy
             return Ok(ell);
         }
     }
-    Err(AnalysisError::SearchDidNotConverge { what: "targeted attack effort L_{k,s}", budget: SEARCH_BUDGET })
+    Err(AnalysisError::SearchDidNotConverge {
+        what: "targeted attack effort L_{k,s}",
+        budget: SEARCH_BUDGET,
+    })
 }
 
 /// Like [`targeted_attack_effort`] but evaluates `E[N_{ℓ−1}]` through the
@@ -223,7 +226,10 @@ pub fn targeted_attack_effort_exact(k: usize, s: usize, eta: f64) -> Result<u64,
         }
         process.step();
     }
-    Err(AnalysisError::SearchDidNotConverge { what: "targeted attack effort L_{k,s}", budget: SEARCH_BUDGET })
+    Err(AnalysisError::SearchDidNotConverge {
+        what: "targeted attack effort L_{k,s}",
+        budget: SEARCH_BUDGET,
+    })
 }
 
 /// `E_k` (Relation 5): minimum number of distinct identifiers the adversary
@@ -265,7 +271,10 @@ pub fn flooding_attack_effort(k: usize, eta: f64) -> Result<u64, AnalysisError> 
             return Ok(process.balls());
         }
     }
-    Err(AnalysisError::SearchDidNotConverge { what: "flooding attack effort E_k", budget: SEARCH_BUDGET })
+    Err(AnalysisError::SearchDidNotConverge {
+        what: "flooding attack effort E_k",
+        budget: SEARCH_BUDGET,
+    })
 }
 
 /// `P{U_k = ℓ}`: probability that the `ℓ`-th ball is the one that fills the
@@ -335,7 +344,11 @@ pub fn coupon_collector_cdf_inclusion_exclusion(k: usize, ell: u64) -> Result<f6
 /// # Errors
 ///
 /// Propagates errors from [`targeted_attack_effort`].
-pub fn figure3_series(ks: &[usize], s: usize, eta: f64) -> Result<Vec<(usize, u64)>, AnalysisError> {
+pub fn figure3_series(
+    ks: &[usize],
+    s: usize,
+    eta: f64,
+) -> Result<Vec<(usize, u64)>, AnalysisError> {
     ks.iter().map(|&k| targeted_attack_effort(k, s, eta).map(|l| (k, l))).collect()
 }
 
@@ -428,8 +441,8 @@ mod tests {
             }
             counts[occupied.iter().filter(|&&o| o).count()] += 1;
         }
-        for i in 0..=k {
-            let empirical = counts[i] as f64 / trials as f64;
+        for (i, &count) in counts.iter().enumerate().take(k + 1) {
+            let empirical = count as f64 / trials as f64;
             assert!(
                 (empirical - process.prob(i)).abs() < 0.01,
                 "i={i}: empirical {empirical} vs exact {}",
@@ -497,17 +510,24 @@ mod tests {
     fn efforts_are_monotone() {
         // L grows with k, with s, and as η shrinks.
         assert!(
-            targeted_attack_effort(20, 5, 0.1).unwrap() < targeted_attack_effort(40, 5, 0.1).unwrap()
+            targeted_attack_effort(20, 5, 0.1).unwrap()
+                < targeted_attack_effort(40, 5, 0.1).unwrap()
         );
         assert!(
-            targeted_attack_effort(20, 5, 0.1).unwrap() <= targeted_attack_effort(20, 10, 0.1).unwrap()
+            targeted_attack_effort(20, 5, 0.1).unwrap()
+                <= targeted_attack_effort(20, 10, 0.1).unwrap()
         );
         assert!(
-            targeted_attack_effort(20, 5, 0.1).unwrap() < targeted_attack_effort(20, 5, 0.001).unwrap()
+            targeted_attack_effort(20, 5, 0.1).unwrap()
+                < targeted_attack_effort(20, 5, 0.001).unwrap()
         );
         // E grows with k and as η shrinks.
-        assert!(flooding_attack_effort(20, 0.1).unwrap() < flooding_attack_effort(40, 0.1).unwrap());
-        assert!(flooding_attack_effort(20, 0.1).unwrap() < flooding_attack_effort(20, 0.001).unwrap());
+        assert!(
+            flooding_attack_effort(20, 0.1).unwrap() < flooding_attack_effort(40, 0.1).unwrap()
+        );
+        assert!(
+            flooding_attack_effort(20, 0.1).unwrap() < flooding_attack_effort(20, 0.001).unwrap()
+        );
         // For small s, flooding costs at least as much as targeting one id;
         // for large s (many rows to collide at once) L_{k,s} can exceed E_k
         // slightly — e.g. L_{10,10}(0.1) = 45 > E_10(0.1) = 44 — so no
@@ -526,8 +546,7 @@ mod tests {
         // the sketch dimensions, never on n — witnessed by the API itself
         // (no n parameter). This test pins the k-linearity of Figure 3.
         let series = figure3_series(&[50, 100, 200, 400], 10, 0.1).unwrap();
-        let ratios: Vec<f64> =
-            series.windows(2).map(|w| w[1].1 as f64 / w[0].1 as f64).collect();
+        let ratios: Vec<f64> = series.windows(2).map(|w| w[1].1 as f64 / w[0].1 as f64).collect();
         for r in ratios {
             assert!((r - 2.0).abs() < 0.05, "L_{{k,s}} should be ~linear in k, ratio {r}");
         }

@@ -11,6 +11,7 @@ use uns_core::{
     KnowledgeFreeSampler, MinWiseSamplerArray, NodeId, NodeSampler, OmniscientSampler,
     ReservoirSampler,
 };
+use uns_sketch::FrequencyEstimator;
 use uns_streams::adversary::peak_attack_distribution;
 use uns_streams::IdStream;
 
@@ -75,11 +76,66 @@ fn bench_sketch_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("knowledge_free_sketch_scaling");
     group.throughput(Throughput::Elements(STREAM_LEN as u64));
     for (k, s) in [(10usize, 5usize), (50, 10), (250, 10), (50, 40)] {
-        group.bench_with_input(BenchmarkId::from_parameter(format!("k{k}_s{s}")), &(k, s), |b, &(k, s)| {
-            b.iter(|| {
-                let mut sampler = KnowledgeFreeSampler::with_count_min(10, k, s, 1).unwrap();
-                black_box(feed_all(&mut sampler, &ids))
-            })
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("k{k}_s{s}")),
+            &(k, s),
+            |b, &(k, s)| {
+                b.iter(|| {
+                    let mut sampler = KnowledgeFreeSampler::with_count_min(10, k, s, 1).unwrap();
+                    black_box(feed_all(&mut sampler, &ids))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_batch_and_ingest(c: &mut Criterion) {
+    // The input-only and batched entry points added for backlog ingestion:
+    // same per-element state evolution as feed, minus wasted output draws
+    // and per-call dispatch.
+    let ids = stream(1_000);
+    let mut group = c.benchmark_group("knowledge_free_entry_points");
+    group.throughput(Throughput::Elements(STREAM_LEN as u64));
+    group.bench_function("feed", |b| {
+        b.iter(|| {
+            let mut sampler = KnowledgeFreeSampler::with_count_min(10, 10, 5, 1).unwrap();
+            black_box(feed_all(&mut sampler, &ids))
+        })
+    });
+    group.bench_function("feed_batch", |b| {
+        let mut out = Vec::with_capacity(STREAM_LEN);
+        b.iter(|| {
+            let mut sampler = KnowledgeFreeSampler::with_count_min(10, 10, 5, 1).unwrap();
+            out.clear();
+            sampler.feed_batch(&ids, &mut out);
+            black_box(out.last().copied())
+        })
+    });
+    group.bench_function("ingest", |b| {
+        b.iter(|| {
+            let mut sampler = KnowledgeFreeSampler::with_count_min(10, 10, 5, 1).unwrap();
+            for &id in &ids {
+                sampler.ingest(id);
+            }
+            black_box(sampler.sample())
+        })
+    });
+    group.finish();
+}
+
+fn bench_sharded_ingestion(c: &mut Criterion) {
+    // The multi-million-element scenario: sketching a 4M-element backlog
+    // across worker threads (exact counter-wise merge).
+    use uns_sim::ShardedIngestion;
+    let ids: Vec<NodeId> =
+        IdStream::new(peak_attack_distribution(100_000).unwrap(), 9).take(4_000_000).collect();
+    let mut group = c.benchmark_group("sharded_ingestion_4m");
+    group.throughput(Throughput::Elements(ids.len() as u64));
+    for shards in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(shards), &shards, |b, &shards| {
+            let ingestion = ShardedIngestion::new(10, 5, 42, shards).unwrap();
+            b.iter(|| black_box(ingestion.sketch_stream(&ids).unwrap().total()))
         });
     }
     group.finish();
@@ -101,5 +157,12 @@ fn bench_memory_scaling(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_strategies, bench_sketch_scaling, bench_memory_scaling);
+criterion_group!(
+    benches,
+    bench_strategies,
+    bench_batch_and_ingest,
+    bench_sharded_ingestion,
+    bench_sketch_scaling,
+    bench_memory_scaling
+);
 criterion_main!(benches);

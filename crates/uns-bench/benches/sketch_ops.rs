@@ -1,10 +1,17 @@
 //! Micro-benchmarks of the frequency-estimation substrates (the paper's
-//! Algorithm 2 and its alternatives).
+//! Algorithm 2 and its alternatives), plus the two primitives underneath
+//! every per-element step: the 2-universal hash and the sampling memory's
+//! uniform replacement.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
 use std::hint::black_box;
-use uns_core::NodeId;
-use uns_sketch::{CountMinSketch, CountSketch, ExactFrequencyOracle, FrequencyEstimator};
+use uns_core::{NodeId, SamplingMemory};
+use uns_sketch::{
+    CountMinSketch, CountSketch, ExactFrequencyOracle, FrequencyEstimator, HashFamily,
+    UniversalHash,
+};
 use uns_streams::adversary::peak_attack_distribution;
 use uns_streams::IdStream;
 
@@ -57,6 +64,115 @@ fn bench_record(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_hash(c: &mut Criterion) {
+    // The innermost primitive: one Carter–Wegman evaluation. The fast-range
+    // rewrite targets exactly this number.
+    let functions = HashFamily::new(3).functions(5, 10).unwrap();
+    let ids = ids();
+    let mut group = c.benchmark_group("universal_hash");
+    group.throughput(Throughput::Elements(STREAM_LEN as u64));
+    group.bench_function("hash", |b| {
+        let h = functions[0];
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &id in &ids {
+                acc = acc.wrapping_add(h.hash(id));
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("hash_rows_s5", |b| {
+        let mut out = Vec::with_capacity(functions.len());
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &id in &ids {
+                out.clear();
+                UniversalHash::hash_rows(&functions, id, &mut out);
+                acc = acc.wrapping_add(out.iter().sum::<u64>());
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+fn bench_memory(c: &mut Criterion) {
+    // Γ's hot operations: membership + uniform replacement, and the output
+    // draw. Dominated by the position-map probe the FxHashMap swap targets.
+    let ids = ids();
+    let mut group = c.benchmark_group("sampling_memory");
+    group.throughput(Throughput::Elements(STREAM_LEN as u64));
+    for capacity in [10usize, 100] {
+        group.bench_with_input(
+            BenchmarkId::new("replace_uniform", capacity),
+            &capacity,
+            |b, &capacity| {
+                b.iter(|| {
+                    let mut rng = SmallRng::seed_from_u64(1);
+                    let mut gamma = SamplingMemory::new(capacity).unwrap();
+                    for &id in &ids {
+                        if gamma.is_full() {
+                            gamma.replace_uniform(&mut rng, NodeId::new(id));
+                        } else {
+                            gamma.insert(NodeId::new(id));
+                        }
+                    }
+                    black_box(gamma.len())
+                })
+            },
+        );
+    }
+    group.bench_function("contains_plus_sample", |b| {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut gamma = SamplingMemory::new(10).unwrap();
+        for id in 0..10u64 {
+            gamma.insert(NodeId::new(id));
+        }
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &id in &ids {
+                if gamma.contains(NodeId::new(id)) {
+                    acc = acc.wrapping_add(1);
+                }
+                acc = acc.wrapping_add(gamma.sample_uniform(&mut rng).unwrap().as_u64());
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+fn bench_fused(c: &mut Criterion) {
+    // The lock-step cobegin pattern: fused record+estimate vs the split
+    // record → estimate → floor sequence it replaces.
+    let ids = ids();
+    let mut group = c.benchmark_group("estimator_fused");
+    group.throughput(Throughput::Elements(STREAM_LEN as u64));
+    group.bench_function("count_min_record_and_estimate", |b| {
+        b.iter(|| {
+            let mut sketch = CountMinSketch::with_dimensions(10, 5, 1).unwrap();
+            let mut acc = 0u64;
+            for &id in &ids {
+                let (estimate, floor) = sketch.record_and_estimate(id);
+                acc = acc.wrapping_add(estimate).wrapping_add(floor);
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("count_min_split_record_then_estimate", |b| {
+        b.iter(|| {
+            let mut sketch = CountMinSketch::with_dimensions(10, 5, 1).unwrap();
+            let mut acc = 0u64;
+            for &id in &ids {
+                sketch.record(id);
+                acc = acc.wrapping_add(sketch.estimate(id)).wrapping_add(sketch.floor_estimate());
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
 fn bench_query(c: &mut Criterion) {
     let ids = ids();
     let mut sketch = CountMinSketch::with_dimensions(50, 10, 1).unwrap();
@@ -86,5 +202,5 @@ fn bench_query(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_record, bench_query);
+criterion_group!(benches, bench_hash, bench_memory, bench_fused, bench_record, bench_query);
 criterion_main!(benches);

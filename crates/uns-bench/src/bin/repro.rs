@@ -90,9 +90,24 @@ fn tables_for(target: &str, params: Params) -> Result<Vec<Table>, String> {
         "all" => {
             let mut all = Vec::new();
             for t in [
-                "table1", "table2", "fig3", "fig4", "fig5", "fig6", "fig7a", "fig7b", "fig8",
-                "fig9", "fig10a", "fig10b", "fig11", "fig12", "overlay", "ablation",
-                "eviction", "transient",
+                "table1",
+                "table2",
+                "fig3",
+                "fig4",
+                "fig5",
+                "fig6",
+                "fig7a",
+                "fig7b",
+                "fig8",
+                "fig9",
+                "fig10a",
+                "fig10b",
+                "fig11",
+                "fig12",
+                "overlay",
+                "ablation",
+                "eviction",
+                "transient",
             ] {
                 eprintln!("[repro] running {t}…");
                 all.extend(tables_for(t, params)?);

@@ -7,7 +7,9 @@
 
 use crate::report::{fmt_f64, fmt_gain, Table};
 use crate::runner::GainExperiment;
-use uns_analysis::urns::{figure3_series, figure4_series, flooding_attack_effort, targeted_attack_effort};
+use uns_analysis::urns::{
+    figure3_series, figure4_series, flooding_attack_effort, targeted_attack_effort,
+};
 use uns_analysis::Frequencies;
 use uns_core::{KnowledgeFreeSampler, NodeSampler, OmniscientSampler};
 use uns_sim::{MaliciousStrategy, SamplerKind, SimConfig, Simulation};
@@ -15,6 +17,9 @@ use uns_streams::adversary::{peak_attack_distribution, targeted_flooding_distrib
 use uns_streams::generator::IdStream;
 use uns_streams::traces::{stats_of, PAPER_TRACES};
 use uns_streams::{IdDistribution, SybilInjector};
+
+/// A seed-to-sampler factory, as used by the estimator/eviction ablations.
+type SamplerFactory<'a> = Box<dyn Fn(u64) -> Box<dyn NodeSampler> + 'a>;
 
 /// Harness-wide experiment parameters.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -50,11 +55,15 @@ impl Params {
 }
 
 fn kf_factory(c: usize, k: usize, s: usize) -> impl FnMut(u64) -> Box<dyn NodeSampler> {
-    move |seed| Box::new(KnowledgeFreeSampler::with_count_min(c, k, s, seed).expect("valid KF parameters"))
+    move |seed| {
+        Box::new(KnowledgeFreeSampler::with_count_min(c, k, s, seed).expect("valid KF parameters"))
+    }
 }
 
 fn omniscient_factory(c: usize, probs: Vec<f64>) -> impl FnMut(u64) -> Box<dyn NodeSampler> {
-    move |seed| Box::new(OmniscientSampler::new(c, &probs, seed).expect("valid omniscient parameters"))
+    move |seed| {
+        Box::new(OmniscientSampler::new(c, &probs, seed).expect("valid omniscient parameters"))
+    }
 }
 
 /// Figure 3: targeted-attack effort `L_{k,s}` as a function of `k`
@@ -101,10 +110,8 @@ pub fn table1() -> Table {
         (250, 10, 1e-1, 1_138, Some(1_617)),
         (250, 10, 1e-4, 2_871, Some(3_363)),
     ];
-    let mut table = Table::new(
-        "table1",
-        &["k", "s", "eta", "L_ours", "L_paper", "E_ours", "E_paper"],
-    );
+    let mut table =
+        Table::new("table1", &["k", "s", "eta", "L_ours", "L_paper", "E_ours", "E_paper"]);
     for &(k, s, eta, paper_l, paper_e) in rows {
         let ours_l = targeted_attack_effort(k, s, eta).expect("valid table 1 parameters");
         let ours_e = flooding_attack_effort(k, eta).expect("valid table 1 parameters");
@@ -199,7 +206,15 @@ pub fn fig6(params: Params) -> Table {
     let mut out_omni = Frequencies::new(n);
     let mut table = Table::new(
         "fig6",
-        &["elements", "input_maxfreq", "kf_maxfreq", "omni_maxfreq", "input_kl", "kf_kl", "omni_kl"],
+        &[
+            "elements",
+            "input_maxfreq",
+            "kf_maxfreq",
+            "omni_maxfreq",
+            "input_kl",
+            "kf_kl",
+            "omni_kl",
+        ],
     );
     for b in 0..buckets {
         for &id in &stream[b * bucket_len..(b + 1) * bucket_len] {
@@ -286,10 +301,8 @@ pub fn fig8(params: Params) -> Table {
     let (c, k, s) = (10usize, 10usize, 17usize);
     let m = params.scaled_m(100_000);
     let ns = [20usize, 50, 100, 200, 500, 1_000];
-    let mut table = Table::new(
-        "fig8",
-        &["n", "gain_kf", "gain_omni", "kl_input", "kl_kf", "kl_omni"],
-    );
+    let mut table =
+        Table::new("fig8", &["n", "gain_kf", "gain_omni", "kl_input", "kl_kf", "kl_omni"]);
     for &n in &ns {
         let dist = peak_attack_distribution(n).expect("n > 0");
         let experiment = GainExperiment {
@@ -527,7 +540,6 @@ pub fn overlay(params: Params) -> Table {
     table
 }
 
-
 /// Estimator ablation (beyond the paper; DESIGN.md §8): the knowledge-free
 /// strategy instantiated with different frequency estimators, on both
 /// attack workloads of Fig. 7.
@@ -548,7 +560,7 @@ pub fn ablation(params: Params) -> Table {
     ];
     for (attack_name, dist) in attacks {
         let stream: Vec<NodeId> = IdStream::new(dist, params.seed).take(m).collect();
-        let estimators: Vec<(&str, Box<dyn Fn(u64) -> Box<dyn NodeSampler>>)> = vec![
+        let estimators: Vec<(&str, SamplerFactory)> = vec![
             (
                 "count-min (paper)",
                 Box::new(move |seed| {
@@ -579,7 +591,10 @@ pub fn ablation(params: Params) -> Table {
             ),
         ];
         for (label, factory) in estimators {
-            let outcome = GainExperiment::run_on_stream(&stream, n, params.trials, params.seed, |seed| factory(seed));
+            let outcome =
+                GainExperiment::run_on_stream(&stream, n, params.trials, params.seed, |seed| {
+                    factory(seed)
+                });
             table.push_row(vec![
                 attack_name.to_string(),
                 label.to_string(),
@@ -614,7 +629,8 @@ pub fn eviction_ablation(params: Params) -> Table {
     for rule in ["uniform (paper)", "frequency-proportional"] {
         let mut input = Frequencies::new(n);
         let mut output = Frequencies::new(n);
-        let mut sketch = CountMinSketch::with_dimensions(k, s, params.seed ^ 0xfeed).expect("valid");
+        let mut sketch =
+            CountMinSketch::with_dimensions(k, s, params.seed ^ 0xfeed).expect("valid");
         let mut memory = SamplingMemory::new(c).expect("valid");
         let mut rng = StdRng::seed_from_u64(params.seed);
         for &id in &stream {
@@ -639,8 +655,8 @@ pub fn eviction_ablation(params: Params) -> Table {
                 output.record(out.as_u64());
             }
         }
-        let gain = uns_analysis::kl_gain(input.counts(), output.counts())
-            .expect("valid histograms");
+        let gain =
+            uns_analysis::kl_gain(input.counts(), output.counts()).expect("valid histograms");
         table.push_row(vec![
             rule.to_string(),
             fmt_gain(gain),
@@ -661,8 +677,7 @@ pub fn transient(params: Params) -> Table {
     let dist = peak_attack_distribution(n).expect("n > 0");
     let stream: Vec<NodeId> = IdStream::new(dist.clone(), params.seed).take(m).collect();
     let mut kf = KnowledgeFreeSampler::with_count_min(c, k, s, params.seed).expect("valid");
-    let mut omni =
-        OmniscientSampler::new(c, dist.probabilities(), params.seed + 1).expect("valid");
+    let mut omni = OmniscientSampler::new(c, dist.probabilities(), params.seed + 1).expect("valid");
     let mut out_kf = Frequencies::new(n);
     let mut out_omni = Frequencies::new(n);
     let mut table = Table::new("transient", &["elements", "kf_kl", "omni_kl"]);

@@ -99,12 +99,8 @@ impl fmt::Display for Table {
             }
         }
         writeln!(f, "== {} ==", self.name)?;
-        let header: Vec<String> = self
-            .columns
-            .iter()
-            .zip(&widths)
-            .map(|(c, w)| format!("{c:>w$}", w = w))
-            .collect();
+        let header: Vec<String> =
+            self.columns.iter().zip(&widths).map(|(c, w)| format!("{c:>w$}", w = w)).collect();
         writeln!(f, "{}", header.join("  "))?;
         writeln!(f, "{}", "-".repeat(header.join("  ").len()))?;
         for row in &self.rows {

@@ -108,16 +108,34 @@ impl GainExperiment {
         }
         ExperimentOutcome {
             gain: Summary::from_slice(&gains),
-            output_kl: Summary::from_slice(&output_kls)
-                .unwrap_or(Summary { count: 0, mean: 0.0, std_dev: 0.0, min: 0.0, max: 0.0, median: 0.0 }),
-            input_kl: Summary::from_slice(&input_kls)
-                .unwrap_or(Summary { count: 0, mean: 0.0, std_dev: 0.0, min: 0.0, max: 0.0, median: 0.0 }),
+            output_kl: Summary::from_slice(&output_kls).unwrap_or(Summary {
+                count: 0,
+                mean: 0.0,
+                std_dev: 0.0,
+                min: 0.0,
+                max: 0.0,
+                median: 0.0,
+            }),
+            input_kl: Summary::from_slice(&input_kls).unwrap_or(Summary {
+                count: 0,
+                mean: 0.0,
+                std_dev: 0.0,
+                min: 0.0,
+                max: 0.0,
+                median: 0.0,
+            }),
         }
     }
 
     /// Runs all trials on a *fixed stream* (e.g. a trace) instead of a
     /// distribution-generated one; only the sampler coins vary per trial.
-    pub fn run_on_stream<F>(stream: &[NodeId], domain: usize, trials: usize, base_seed: u64, mut factory: F) -> ExperimentOutcome
+    pub fn run_on_stream<F>(
+        stream: &[NodeId],
+        domain: usize,
+        trials: usize,
+        base_seed: u64,
+        mut factory: F,
+    ) -> ExperimentOutcome
     where
         F: FnMut(u64) -> Box<dyn NodeSampler>,
     {
@@ -142,10 +160,22 @@ impl GainExperiment {
         }
         ExperimentOutcome {
             gain: Summary::from_slice(&gains),
-            output_kl: Summary::from_slice(&output_kls)
-                .unwrap_or(Summary { count: 0, mean: 0.0, std_dev: 0.0, min: 0.0, max: 0.0, median: 0.0 }),
-            input_kl: Summary::from_slice(&[input_kl])
-                .unwrap_or(Summary { count: 0, mean: 0.0, std_dev: 0.0, min: 0.0, max: 0.0, median: 0.0 }),
+            output_kl: Summary::from_slice(&output_kls).unwrap_or(Summary {
+                count: 0,
+                mean: 0.0,
+                std_dev: 0.0,
+                min: 0.0,
+                max: 0.0,
+                median: 0.0,
+            }),
+            input_kl: Summary::from_slice(&[input_kl]).unwrap_or(Summary {
+                count: 0,
+                mean: 0.0,
+                std_dev: 0.0,
+                min: 0.0,
+                max: 0.0,
+                median: 0.0,
+            }),
         }
     }
 }

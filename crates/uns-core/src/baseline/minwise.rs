@@ -130,7 +130,9 @@ impl MinWiseSamplerArray {
             return Err(crate::CoreError::ZeroCapacity);
         }
         let cells = (0..capacity)
-            .map(|i| MinWiseSampler::new(seed.wrapping_add(i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)))
+            .map(|i| {
+                MinWiseSampler::new(seed.wrapping_add(i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+            })
             .collect();
         Ok(Self { cells, rng: StdRng::seed_from_u64(seed) })
     }
@@ -138,11 +140,17 @@ impl MinWiseSamplerArray {
 
 impl NodeSampler for MinWiseSamplerArray {
     fn feed(&mut self, id: NodeId) -> NodeId {
+        self.ingest(id);
+        let pick = self.rng.gen_range(0..self.cells.len());
+        self.cells[pick].current.expect("cells fed at least once").0
+    }
+
+    /// Input-only path (see the [`NodeSampler`] contract): updates every
+    /// min-wise cell without drawing the uniform cell pick.
+    fn ingest(&mut self, id: NodeId) {
         for cell in &mut self.cells {
             cell.feed(id);
         }
-        let pick = self.rng.gen_range(0..self.cells.len());
-        self.cells[pick].current.expect("cells fed at least once").0
     }
 
     fn sample(&mut self) -> Option<NodeId> {

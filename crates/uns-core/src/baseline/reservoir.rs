@@ -65,8 +65,10 @@ impl ReservoirSampler {
     }
 }
 
-impl NodeSampler for ReservoirSampler {
-    fn feed(&mut self, id: NodeId) -> NodeId {
+impl ReservoirSampler {
+    /// The input half of `feed`: Algorithm R's slot update, no output draw.
+    #[inline]
+    fn absorb(&mut self, id: NodeId) {
         self.seen += 1;
         if self.slots.len() < self.capacity {
             self.slots.push(id);
@@ -79,7 +81,18 @@ impl NodeSampler for ReservoirSampler {
                 }
             }
         }
+    }
+}
+
+impl NodeSampler for ReservoirSampler {
+    fn feed(&mut self, id: NodeId) -> NodeId {
+        self.absorb(id);
         self.slots[self.rng.gen_range(0..self.slots.len())]
+    }
+
+    /// Input-only path (see the [`NodeSampler`] contract): no output draw.
+    fn ingest(&mut self, id: NodeId) {
+        self.absorb(id);
     }
 
     fn sample(&mut self) -> Option<NodeId> {

@@ -17,6 +17,27 @@
 //! uniform over `Γ` (`r_k = 1/c`, line 11) and the output is a uniform
 //! resident (line 13).
 //!
+//! # Hot-path layout
+//!
+//! The per-element cost is dominated by three things, all addressed here:
+//!
+//! * the sketch is driven through the **fused**
+//!   [`FrequencyEstimator::record_and_estimate`] operation, so each row of
+//!   the sketch is hashed once per element (the lock-step `cobegin` needs
+//!   both `f̂_j` and `min_σ` anyway — recording and estimating separately
+//!   would hash everything twice);
+//! * the sampler's per-element coins (one insertion coin, one output draw)
+//!   come from a pluggable RNG `R`, defaulting to the cheap
+//!   [`rand::rngs::SmallRng`] (xoshiro256++). The coins only decide
+//!   admission/eviction among *already-sketch-filtered* candidates, so a
+//!   fast non-cryptographic generator is statistically sufficient; pass
+//!   [`rand::rngs::StdRng`] (ChaCha12) via
+//!   [`KnowledgeFreeSampler::with_count_min_rng`] to reproduce runs made
+//!   with the hardened generator;
+//! * input-only consumers use [`NodeSampler::ingest`] /
+//!   [`NodeSampler::feed_batch`] (see the trait docs for the contract), so
+//!   no uniform output sample is computed when nobody reads it.
+//!
 //! The strategy is generic over the [`FrequencyEstimator`]: plugging in the
 //! exact oracle instead of the sketch yields the *adaptive omniscient*
 //! sampler (the paper's Algorithm 1 with `p_j` learned exactly on the fly),
@@ -27,12 +48,13 @@ use crate::error::CoreError;
 use crate::memory::SamplingMemory;
 use crate::node_id::NodeId;
 use crate::sampler::NodeSampler;
-use rand::rngs::StdRng;
+use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use uns_sketch::{CountMinSketch, ExactFrequencyOracle, FrequencyEstimator};
 
 /// The paper's Algorithm 3: knowledge-free Byzantine-tolerant node
-/// sampling, generic over the frequency estimator `E`.
+/// sampling, generic over the frequency estimator `E` and the coin
+/// generator `R`.
 ///
 /// # Example
 ///
@@ -48,10 +70,10 @@ use uns_sketch::{CountMinSketch, ExactFrequencyOracle, FrequencyEstimator};
 /// # }
 /// ```
 #[derive(Clone, Debug)]
-pub struct KnowledgeFreeSampler<E = CountMinSketch> {
+pub struct KnowledgeFreeSampler<E = CountMinSketch, R = SmallRng> {
     memory: SamplingMemory,
     estimator: E,
-    rng: StdRng,
+    rng: R,
 }
 
 impl KnowledgeFreeSampler<CountMinSketch> {
@@ -60,7 +82,9 @@ impl KnowledgeFreeSampler<CountMinSketch> {
     /// configuration of the paper's experiments.
     ///
     /// The single `seed` deterministically derives both the sketch's hash
-    /// functions and the sampler's random coins.
+    /// functions and the sampler's random coins (drawn from the default
+    /// fast [`SmallRng`]; use
+    /// [`KnowledgeFreeSampler::with_count_min_rng`] to pick the generator).
     ///
     /// # Errors
     ///
@@ -72,9 +96,7 @@ impl KnowledgeFreeSampler<CountMinSketch> {
         depth: usize,
         seed: u64,
     ) -> Result<Self, CoreError> {
-        let sketch_seed = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
-        let sketch = CountMinSketch::with_dimensions(width, depth, sketch_seed)?;
-        Self::new(capacity, sketch, seed)
+        Self::with_count_min_rng(capacity, width, depth, seed)
     }
 
     /// Creates the sampler sizing the sketch from accuracy targets
@@ -97,6 +119,38 @@ impl KnowledgeFreeSampler<CountMinSketch> {
     }
 }
 
+impl<R: Rng + SeedableRng> KnowledgeFreeSampler<CountMinSketch, R> {
+    /// [`KnowledgeFreeSampler::with_count_min`] with an explicit coin
+    /// generator, e.g. `StdRng` (ChaCha12) to reproduce traces recorded
+    /// with the hardened generator:
+    ///
+    /// ```
+    /// use rand::rngs::StdRng;
+    /// use uns_core::{KnowledgeFreeSampler, NodeSampler, NodeId};
+    /// use uns_sketch::CountMinSketch;
+    ///
+    /// let mut sampler =
+    ///     KnowledgeFreeSampler::<CountMinSketch, StdRng>::with_count_min_rng(10, 10, 5, 1)
+    ///         .unwrap();
+    /// sampler.feed(NodeId::new(3));
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::ZeroCapacity`] if `capacity == 0` and wraps
+    /// sketch dimension errors as [`CoreError::Sketch`].
+    pub fn with_count_min_rng(
+        capacity: usize,
+        width: usize,
+        depth: usize,
+        seed: u64,
+    ) -> Result<Self, CoreError> {
+        let sketch_seed = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+        let sketch = CountMinSketch::with_dimensions(width, depth, sketch_seed)?;
+        Self::with_estimator_and_rng(capacity, sketch, seed)
+    }
+}
+
 impl KnowledgeFreeSampler<ExactFrequencyOracle> {
     /// Creates the *adaptive omniscient* sampler: Algorithm 3 driven by
     /// exact frequencies instead of sketched ones, i.e. Algorithm 1 with
@@ -111,19 +165,34 @@ impl KnowledgeFreeSampler<ExactFrequencyOracle> {
 }
 
 impl<E: FrequencyEstimator> KnowledgeFreeSampler<E> {
-    /// Creates the sampler from an explicit estimator instance.
+    /// Creates the sampler from an explicit estimator instance, using the
+    /// default fast coin generator.
     ///
     /// # Errors
     ///
     /// Returns [`CoreError::ZeroCapacity`] if `capacity == 0`.
     pub fn new(capacity: usize, estimator: E, seed: u64) -> Result<Self, CoreError> {
-        Ok(Self {
-            memory: SamplingMemory::new(capacity)?,
-            estimator,
-            rng: StdRng::seed_from_u64(seed),
-        })
+        Self::with_estimator_and_rng(capacity, estimator, seed)
     }
+}
 
+impl<E: FrequencyEstimator, R: Rng + SeedableRng> KnowledgeFreeSampler<E, R> {
+    /// Creates the sampler from an explicit estimator and coin generator
+    /// type — the fully general constructor behind every other one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::ZeroCapacity`] if `capacity == 0`.
+    pub fn with_estimator_and_rng(
+        capacity: usize,
+        estimator: E,
+        seed: u64,
+    ) -> Result<Self, CoreError> {
+        Ok(Self { memory: SamplingMemory::new(capacity)?, estimator, rng: R::seed_from_u64(seed) })
+    }
+}
+
+impl<E: FrequencyEstimator, R: Rng> KnowledgeFreeSampler<E, R> {
     /// Read access to the underlying frequency estimator.
     pub fn estimator(&self) -> &E {
         &self.estimator
@@ -134,31 +203,66 @@ impl<E: FrequencyEstimator> KnowledgeFreeSampler<E> {
     ///
     /// Returns 1 when the estimator has no information yet (`f̂_j = 0`).
     pub fn insertion_probability_estimate(&self, id: NodeId) -> f64 {
-        let f_hat = self.estimator.estimate(id.as_u64());
+        Self::admission_probability(
+            self.estimator.estimate(id.as_u64()),
+            self.estimator.floor_estimate(),
+        )
+    }
+
+    /// The admission rule `a_j = min(min_σ/f̂_j, 1)`, with `f̂_j = 0`
+    /// treated as "no information ⇒ admit" — the single definition used by
+    /// both the public probe above and the feed path.
+    fn admission_probability(f_hat: u64, min_sigma: u64) -> f64 {
         if f_hat == 0 {
             return 1.0;
         }
-        (self.estimator.floor_estimate() as f64 / f_hat as f64).min(1.0)
+        (min_sigma as f64 / f_hat as f64).min(1.0)
     }
-}
 
-impl<E: FrequencyEstimator> NodeSampler for KnowledgeFreeSampler<E> {
-    fn feed(&mut self, id: NodeId) -> NodeId {
+    /// The input half of [`NodeSampler::feed`]: record in the sketch, then
+    /// apply the admission/eviction rule. No output draw.
+    #[inline]
+    fn absorb(&mut self, id: NodeId) {
         // cobegin (Algorithm 3, lines 1–3): the estimator reads the element
-        // first, so f̂_j accounts for this occurrence.
-        self.estimator.record(id.as_u64());
+        // first, so f̂_j accounts for this occurrence. The fused operation
+        // also hands back min_σ, saving the second hashing pass.
+        let (f_hat, min_sigma) = self.estimator.record_and_estimate(id.as_u64());
         if !self.memory.is_full() {
             self.memory.insert(id); // no-op when already resident
         } else if !self.memory.contains(id) {
-            let a_j = self.insertion_probability_estimate(id);
+            let a_j = Self::admission_probability(f_hat, min_sigma);
             if self.rng.gen::<f64>() < a_j {
                 // r_k = 1/c: uniform eviction (Algorithm 3, line 11).
                 self.memory.replace_uniform(&mut self.rng, id);
             }
         }
+    }
+}
+
+impl<E: FrequencyEstimator, R: Rng> NodeSampler for KnowledgeFreeSampler<E, R> {
+    fn feed(&mut self, id: NodeId) -> NodeId {
+        self.absorb(id);
         self.memory
             .sample_uniform(&mut self.rng)
             .expect("memory is non-empty after feeding at least one identifier")
+    }
+
+    /// Input-only path: identical state evolution to [`NodeSampler::feed`],
+    /// minus the output draw (see the trait-level contract).
+    fn ingest(&mut self, id: NodeId) {
+        self.absorb(id);
+    }
+
+    fn feed_batch(&mut self, ids: &[NodeId], out: &mut Vec<NodeId>) {
+        out.reserve(ids.len());
+        for &id in ids {
+            self.absorb(id);
+            out.push(
+                self.memory
+                    .sample_uniform(&mut self.rng)
+                    .expect("memory is non-empty after feeding at least one identifier"),
+            );
+        }
     }
 
     fn sample(&mut self) -> Option<NodeId> {
@@ -181,6 +285,7 @@ impl<E: FrequencyEstimator> NodeSampler for KnowledgeFreeSampler<E> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::rngs::StdRng;
     use std::collections::HashSet;
     use uns_sketch::CountSketch;
 
@@ -204,7 +309,7 @@ mod tests {
 
     #[test]
     fn insertion_probability_reflects_sketch_state() {
-        let mut sampler = KnowledgeFreeSampler::with_count_min(2, 16, 4, 3).unwrap();
+        let mut sampler = KnowledgeFreeSampler::with_count_min(2, 32, 4, 3).unwrap();
         // No information yet.
         assert_eq!(sampler.insertion_probability_estimate(NodeId::new(5)), 1.0);
         // Flood one id among occasional rare ids: the flooded id's a_j must
@@ -241,6 +346,52 @@ mod tests {
         let mut c = KnowledgeFreeSampler::with_count_min(6, 12, 4, 78).unwrap();
         // Different seed: overwhelmingly likely to diverge somewhere.
         assert_ne!(a.run(stream.clone()), c.run(stream));
+    }
+
+    #[test]
+    fn explicit_rng_choice_is_deterministic_per_generator() {
+        let stream: Vec<NodeId> = (0..500u64).map(|i| NodeId::new(i * 7 % 40)).collect();
+        let mut fast_a =
+            KnowledgeFreeSampler::<CountMinSketch, SmallRng>::with_count_min_rng(6, 10, 4, 3)
+                .unwrap();
+        let mut fast_b = KnowledgeFreeSampler::with_count_min(6, 10, 4, 3).unwrap();
+        // The default generator IS SmallRng: identical streams.
+        assert_eq!(fast_a.run(stream.clone()), fast_b.run(stream.clone()));
+        // The hardened generator is a distinct, equally deterministic track.
+        let mut hard_a =
+            KnowledgeFreeSampler::<CountMinSketch, StdRng>::with_count_min_rng(6, 10, 4, 3)
+                .unwrap();
+        let mut hard_b =
+            KnowledgeFreeSampler::<CountMinSketch, StdRng>::with_count_min_rng(6, 10, 4, 3)
+                .unwrap();
+        assert_eq!(hard_a.run(stream.clone()), hard_b.run(stream));
+    }
+
+    #[test]
+    fn ingest_skips_the_output_draw_but_matches_feed_with_sample() {
+        // ingest(id); sample() must replay feed(id) exactly: same coins in
+        // the same order, so memory, RNG state and output all agree.
+        let stream: Vec<NodeId> = (0..1_200u64).map(|i| NodeId::new(i * 31 % 48)).collect();
+        let mut fed = KnowledgeFreeSampler::with_count_min(5, 10, 4, 11).unwrap();
+        let mut ingested = KnowledgeFreeSampler::with_count_min(5, 10, 4, 11).unwrap();
+        for &id in &stream {
+            let out = fed.feed(id);
+            ingested.ingest(id);
+            assert_eq!(ingested.sample(), Some(out));
+            assert_eq!(ingested.memory_contents(), fed.memory_contents());
+        }
+    }
+
+    #[test]
+    fn feed_batch_matches_elementwise_feed() {
+        let stream: Vec<NodeId> = (0..900u64).map(|i| NodeId::new(i * 17 % 96)).collect();
+        let mut single = KnowledgeFreeSampler::with_count_min(8, 12, 5, 21).unwrap();
+        let expected: Vec<NodeId> = stream.iter().map(|&id| single.feed(id)).collect();
+        let mut batched = KnowledgeFreeSampler::with_count_min(8, 12, 5, 21).unwrap();
+        let mut out = Vec::new();
+        batched.feed_batch(&stream, &mut out);
+        assert_eq!(out, expected);
+        assert_eq!(batched.memory_contents(), single.memory_contents());
     }
 
     #[test]

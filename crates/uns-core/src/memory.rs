@@ -9,7 +9,7 @@
 
 use crate::node_id::NodeId;
 use rand::Rng;
-use std::collections::HashMap;
+use uns_sketch::fx::FxHashMap;
 
 /// Fixed-capacity set of node identifiers with O(1) uniform draws.
 ///
@@ -38,7 +38,9 @@ use std::collections::HashMap;
 pub struct SamplingMemory {
     capacity: usize,
     slots: Vec<NodeId>,
-    positions: HashMap<NodeId, usize>,
+    /// Fx-hashed position index: the membership probe on the per-element
+    /// path costs a multiply-rotate, not a SipHash evaluation.
+    positions: FxHashMap<NodeId, usize>,
 }
 
 impl SamplingMemory {
@@ -54,7 +56,7 @@ impl SamplingMemory {
         Ok(Self {
             capacity,
             slots: Vec::with_capacity(capacity),
-            positions: HashMap::with_capacity(capacity),
+            positions: FxHashMap::with_capacity_and_hasher(capacity, Default::default()),
         })
     }
 
@@ -95,10 +97,7 @@ impl SamplingMemory {
         if self.contains(id) {
             return false;
         }
-        assert!(
-            !self.is_full(),
-            "insert on full sampling memory; use replace_uniform instead"
-        );
+        assert!(!self.is_full(), "insert on full sampling memory; use replace_uniform instead");
         self.positions.insert(id, self.slots.len());
         self.slots.push(id);
         true
@@ -279,7 +278,13 @@ mod tests {
             gamma.insert(NodeId::new(1));
             // id 1 is three times more likely to be evicted.
             let evicted = gamma
-                .replace_weighted(&mut rng, NodeId::new(9), |id| if id.as_u64() == 1 { 3.0 } else { 1.0 })
+                .replace_weighted(&mut rng, NodeId::new(9), |id| {
+                    if id.as_u64() == 1 {
+                        3.0
+                    } else {
+                        1.0
+                    }
+                })
                 .unwrap();
             *evictions.entry(evicted).or_insert(0) += 1;
         }

@@ -105,8 +105,10 @@ impl OmniscientSampler {
     }
 }
 
-impl NodeSampler for OmniscientSampler {
-    fn feed(&mut self, id: NodeId) -> NodeId {
+impl OmniscientSampler {
+    /// The input half of `feed`: admission/eviction without an output draw.
+    #[inline]
+    fn absorb(&mut self, id: NodeId) {
         if !self.memory.is_full() {
             self.memory.insert(id); // no-op when already resident
         } else if !self.memory.contains(id) {
@@ -116,9 +118,20 @@ impl NodeSampler for OmniscientSampler {
                 self.memory.replace_uniform(&mut self.rng, id);
             }
         }
+    }
+}
+
+impl NodeSampler for OmniscientSampler {
+    fn feed(&mut self, id: NodeId) -> NodeId {
+        self.absorb(id);
         self.memory
             .sample_uniform(&mut self.rng)
             .expect("memory is non-empty after feeding at least one identifier")
+    }
+
+    /// Input-only path (see the [`NodeSampler`] contract): no output draw.
+    fn ingest(&mut self, id: NodeId) {
+        self.absorb(id);
     }
 
     fn sample(&mut self) -> Option<NodeId> {

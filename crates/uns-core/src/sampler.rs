@@ -17,10 +17,64 @@ use crate::node_id::NodeId;
 /// and return the identifier written to the output stream for that step —
 /// the `k′` of Algorithms 1 and 3. All implementations in this crate are
 /// deterministic functions of their construction seed and input stream.
+///
+/// # The ingest / feed / feed_batch contract
+///
+/// [`feed`] decomposes into two halves: updating internal state from the
+/// input element, then drawing the output sample. Callers that only need
+/// the service's *state* — warming a sampler from a backlog, sharded
+/// ingestion, overlay nodes that read views but not per-element outputs —
+/// pay for an output draw they discard. The contract relating the three
+/// entry points, which every implementation must uphold:
+///
+/// * `feed(id)` ≡ `ingest(id)` followed by one output draw ([`sample`]):
+///   both paths consume the strategy's random coins in the same order, so
+///   `ingest(id); sample()` leaves the sampler (memory **and** RNG) in
+///   exactly the state `feed(id)` would, and returns the same output.
+/// * `feed_batch(ids, out)` appends exactly `ids.len()` outputs to `out`
+///   and is element-wise identical to `for id in ids { out.push(feed(id)) }`
+///   under the same seed. Implementations override it to amortize
+///   per-call overhead (reservation, monomorphic inner loops), never to
+///   change results.
+/// * [`ingest`] alone (without a balancing `sample`) is the *input-only*
+///   path: memory state still evolves exactly as specified by the paper's
+///   insertion/eviction rules, but no uniform output draw is made, so
+///   subsequent coin-consuming draws differ from a `feed` history. That is
+///   the intended trade — skipping the draw is what makes backlog
+///   ingestion cheaper — not a divergence in the sampling policy.
+///
+/// [`feed`]: NodeSampler::feed
+/// [`ingest`]: NodeSampler::ingest
+/// [`sample`]: NodeSampler::sample
 pub trait NodeSampler {
     /// Reads one identifier from the input stream and returns the
     /// identifier emitted on the output stream for this step.
     fn feed(&mut self, id: NodeId) -> NodeId;
+
+    /// Reads one identifier from the input stream *without* drawing an
+    /// output sample.
+    ///
+    /// The default discards [`NodeSampler::feed`]'s output, which is
+    /// correct but pays for the draw; strategies whose output step costs
+    /// RNG work override it. See the trait docs for the exact contract.
+    fn ingest(&mut self, id: NodeId) {
+        let _ = self.feed(id);
+    }
+
+    /// Feeds a slice of identifiers, appending one output per element to
+    /// `out`.
+    ///
+    /// Element-wise identical to repeated [`NodeSampler::feed`]; see the
+    /// trait docs. Overrides exist purely for throughput: the provided
+    /// method already reserves the output space, and concrete samplers
+    /// replace the dynamically-dispatched per-element call with a
+    /// monomorphic loop.
+    fn feed_batch(&mut self, ids: &[NodeId], out: &mut Vec<NodeId>) {
+        out.reserve(ids.len());
+        for &id in ids {
+            out.push(self.feed(id));
+        }
+    }
 
     /// Draws an output sample without consuming any input — `None` before
     /// the first [`NodeSampler::feed`].
@@ -88,11 +142,29 @@ mod tests {
     }
 
     #[test]
+    fn default_ingest_and_feed_batch_delegate_to_feed() {
+        let mut echo = Echo { last: None };
+        echo.ingest(NodeId::new(7));
+        assert_eq!(echo.sample(), Some(NodeId::new(7)));
+        let ids: Vec<NodeId> = (0..6u64).map(NodeId::new).collect();
+        let mut out = Vec::new();
+        echo.feed_batch(&ids, &mut out);
+        assert_eq!(out, ids);
+        // feed_batch appends, never clears.
+        echo.feed_batch(&ids[..2], &mut out);
+        assert_eq!(out.len(), 8);
+    }
+
+    #[test]
     fn trait_is_object_safe() {
         let mut boxed: Box<dyn NodeSampler> = Box::new(Echo { last: None });
         assert_eq!(boxed.sample(), None);
         boxed.feed(NodeId::new(3));
-        assert_eq!(boxed.memory_contents(), vec![NodeId::new(3)]);
+        boxed.ingest(NodeId::new(4));
+        let mut out = Vec::new();
+        boxed.feed_batch(&[NodeId::new(5)], &mut out);
+        assert_eq!(out, vec![NodeId::new(5)]);
+        assert_eq!(boxed.memory_contents(), vec![NodeId::new(5)]);
         assert_eq!(boxed.capacity(), 0);
         assert_eq!(boxed.strategy_name(), "echo");
     }

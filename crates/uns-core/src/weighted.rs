@@ -97,23 +97,20 @@ impl WeightedSampler {
 
     /// The removal weight `r_id` in effect.
     pub fn removal_weight(&self, id: NodeId) -> f64 {
-        usize::try_from(id.as_u64())
-            .ok()
-            .and_then(|i| self.removal.get(i))
-            .copied()
-            .unwrap_or(1.0)
+        usize::try_from(id.as_u64()).ok().and_then(|i| self.removal.get(i)).copied().unwrap_or(1.0)
     }
 }
 
-impl NodeSampler for WeightedSampler {
-    fn feed(&mut self, id: NodeId) -> NodeId {
+impl WeightedSampler {
+    /// The input half of `feed`: admission/eviction without an output draw.
+    fn absorb(&mut self, id: NodeId) {
         if !self.memory.is_full() {
             self.memory.insert(id);
         } else if !self.memory.contains(id) {
             let a_j = self.insertion_probability(id);
             if self.rng.gen::<f64>() < a_j {
                 // Eviction with probability r_k / Σ_{ℓ∈Γ} r_ℓ (Alg. 1, l. 6).
-                let removal = self.removal.clone();
+                let removal = std::mem::take(&mut self.removal);
                 self.memory.replace_weighted(&mut self.rng, id, |resident| {
                     usize::try_from(resident.as_u64())
                         .ok()
@@ -121,11 +118,23 @@ impl NodeSampler for WeightedSampler {
                         .copied()
                         .unwrap_or(1.0)
                 });
+                self.removal = removal;
             }
         }
+    }
+}
+
+impl NodeSampler for WeightedSampler {
+    fn feed(&mut self, id: NodeId) -> NodeId {
+        self.absorb(id);
         self.memory
             .sample_uniform(&mut self.rng)
             .expect("memory is non-empty after feeding at least one identifier")
+    }
+
+    /// Input-only path (see the [`NodeSampler`] contract): no output draw.
+    fn ingest(&mut self, id: NodeId) {
+        self.absorb(id);
     }
 
     fn sample(&mut self) -> Option<NodeId> {

@@ -95,6 +95,56 @@ proptest! {
         }
     }
 
+    /// `feed_batch` is element-wise identical to repeated `feed` under the
+    /// same seed, for any stream and sampler shape (the batched entry point
+    /// may amortize overhead, never change results).
+    #[test]
+    fn feed_batch_equals_elementwise_feed(
+        capacity in 1usize..10,
+        width in 1usize..20,
+        depth in 1usize..5,
+        ids in vec(0u64..96, 1..250),
+        seed in any::<u64>(),
+    ) {
+        let stream: Vec<NodeId> = ids.iter().copied().map(NodeId::new).collect();
+        let mut single =
+            KnowledgeFreeSampler::with_count_min(capacity, width, depth, seed).unwrap();
+        let expected: Vec<NodeId> = stream.iter().map(|&id| single.feed(id)).collect();
+        let mut batched =
+            KnowledgeFreeSampler::with_count_min(capacity, width, depth, seed).unwrap();
+        let mut out = Vec::new();
+        batched.feed_batch(&stream, &mut out);
+        prop_assert_eq!(&out, &expected);
+        prop_assert_eq!(batched.memory_contents(), single.memory_contents());
+        // Splitting the stream into two batches is also equivalent.
+        let mut split =
+            KnowledgeFreeSampler::with_count_min(capacity, width, depth, seed).unwrap();
+        let mut out2 = Vec::new();
+        let mid = stream.len() / 2;
+        split.feed_batch(&stream[..mid], &mut out2);
+        split.feed_batch(&stream[mid..], &mut out2);
+        prop_assert_eq!(out2, expected);
+    }
+
+    /// `ingest(id)` followed by `sample()` replays `feed(id)` exactly:
+    /// same output and same memory state at every step (the trait-level
+    /// ingest/feed contract).
+    #[test]
+    fn ingest_plus_sample_matches_feed(
+        capacity in 1usize..10,
+        ids in vec(0u64..64, 1..250),
+        seed in any::<u64>(),
+    ) {
+        let mut fed = KnowledgeFreeSampler::with_count_min(capacity, 8, 3, seed).unwrap();
+        let mut ingested = KnowledgeFreeSampler::with_count_min(capacity, 8, 3, seed).unwrap();
+        for &id in &ids {
+            let out = fed.feed(NodeId::new(id));
+            ingested.ingest(NodeId::new(id));
+            prop_assert_eq!(ingested.sample(), Some(out));
+            prop_assert_eq!(ingested.memory_contents(), fed.memory_contents());
+        }
+    }
+
     /// The reservoir never grows beyond its capacity and its contents are
     /// always stream elements.
     #[test]

@@ -5,8 +5,8 @@
 //! margins so they measure the algorithms, not the RNG.
 
 use rand::rngs::StdRng;
-use std::collections::HashSet;
 use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
 use uns_analysis::{kl_gain, Frequencies};
 use uns_core::{
     KnowledgeFreeSampler, MinWiseSampler, NodeId, NodeSampler, OmniscientSampler,
@@ -20,11 +20,7 @@ fn peak_attack_stream(n: usize, m: usize, flood_share: f64, seed: u64) -> (Vec<N
     let mut rng = StdRng::seed_from_u64(seed);
     let mut stream = Vec::with_capacity(m);
     for _ in 0..m {
-        let id = if rng.gen::<f64>() < flood_share {
-            0
-        } else {
-            rng.gen_range(0..n as u64)
-        };
+        let id = if rng.gen::<f64>() < flood_share { 0 } else { rng.gen_range(0..n as u64) };
         stream.push(NodeId::new(id));
     }
     let mut probs = vec![(1.0 - flood_share) / n as f64; n];
@@ -32,7 +28,11 @@ fn peak_attack_stream(n: usize, m: usize, flood_share: f64, seed: u64) -> (Vec<N
     (stream, probs)
 }
 
-fn output_histogram(sampler: &mut dyn NodeSampler, stream: &[NodeId], domain: usize) -> Frequencies {
+fn output_histogram(
+    sampler: &mut dyn NodeSampler,
+    stream: &[NodeId],
+    domain: usize,
+) -> Frequencies {
     let mut hist = Frequencies::new(domain);
     for &id in stream {
         hist.record(sampler.feed(id).as_u64());
@@ -120,8 +120,7 @@ fn omniscient_output_is_chi_square_uniform() {
     // forgiving significance level and additionally check the max/min
     // output share directly.
     let p_value = hist.chi_square_uniformity_pvalue().unwrap();
-    let shares: Vec<f64> =
-        hist.counts().iter().map(|&c| c as f64 / hist.total() as f64).collect();
+    let shares: Vec<f64> = hist.counts().iter().map(|&c| c as f64 / hist.total() as f64).collect();
     let max_share = shares.iter().cloned().fold(0.0, f64::max);
     let min_share = shares.iter().cloned().fold(1.0, f64::min);
     assert!(

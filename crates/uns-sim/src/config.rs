@@ -285,8 +285,7 @@ mod tests {
 
     #[test]
     fn population_counts_both_sides() {
-        let config =
-            SimConfig::builder().correct_nodes(40).malicious_nodes(10).build().unwrap();
+        let config = SimConfig::builder().correct_nodes(40).malicious_nodes(10).build().unwrap();
         assert_eq!(config.population(), 50);
     }
 }

@@ -26,7 +26,11 @@
 //! * **metrics**: per-node output divergence from uniform, sybil
 //!   contamination of views, in-degree statistics and weak connectivity of
 //!   the correct-node subgraph (the paper's §I motivation — a partitioned
-//!   overlay is the attack's payoff).
+//!   overlay is the attack's payoff);
+//! * **sharded ingestion** ([`ShardedIngestion`]): multi-million-element
+//!   backlogs split across worker threads into same-seed Count-Min
+//!   sketches, merged exactly, and used to pre-warm a sampler's frequency
+//!   knowledge — the scale the sequential simulator cannot reach.
 //!
 //! # Example
 //!
@@ -60,6 +64,7 @@ pub mod config;
 pub mod error;
 pub mod metrics;
 pub mod node;
+pub mod sharded;
 pub mod simulator;
 pub mod topology;
 
@@ -67,4 +72,5 @@ pub use byzantine::MaliciousStrategy;
 pub use config::{SamplerKind, SimConfig, SimConfigBuilder};
 pub use error::SimError;
 pub use metrics::SimMetrics;
+pub use sharded::ShardedIngestion;
 pub use simulator::Simulation;

@@ -45,8 +45,7 @@ impl Simulation {
     pub fn new(config: SimConfig) -> Result<Self, SimError> {
         let mut nodes = Vec::with_capacity(config.correct_nodes);
         for i in 0..config.correct_nodes {
-            let sampler_seed =
-                config.seed ^ (i as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            let sampler_seed = config.seed ^ (i as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15);
             let sampler = config.sampler.build(config.view_size, sampler_seed)?;
             nodes.push(CorrectNode::new(NodeId::new(i as u64), sampler, config.correct_nodes));
         }
@@ -195,8 +194,7 @@ impl Simulation {
     /// Computes the aggregate metrics at the current round.
     pub fn metrics(&self) -> SimMetrics {
         let views = self.views();
-        let outputs: Vec<&[u64]> =
-            self.nodes.iter().map(|n| n.output_correct_counts()).collect();
+        let outputs: Vec<&[u64]> = self.nodes.iter().map(|n| n.output_correct_counts()).collect();
         let mean_output_kl = SimMetrics::mean_kl(&outputs);
 
         let (mut sybil_out, mut total_out) = (0.0f64, 0.0f64);

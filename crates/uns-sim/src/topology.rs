@@ -47,7 +47,7 @@ pub fn is_weakly_connected(views: &[Vec<NodeId>]) -> bool {
         return true;
     }
     let mut parent: Vec<usize> = (0..n).collect();
-    fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
         while parent[x] != x {
             parent[x] = parent[parent[x]]; // path halving
             x = parent[x];

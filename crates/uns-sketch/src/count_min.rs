@@ -139,11 +139,17 @@ impl CountMinSketch {
         if count == 0 {
             return;
         }
+        self.record_many_folded(UniversalHash::fold61(id), count);
+    }
+
+    /// [`CountMinSketch::record_many`] on a pre-folded identifier (shared
+    /// fold across rows and across the record/estimate pair).
+    fn record_many_folded(&mut self, folded: u64, count: u64) {
         let mut stale = false;
         match self.policy {
             UpdatePolicy::Standard => {
                 for row in 0..self.depth {
-                    let idx = self.cell_index(row, id);
+                    let idx = self.cell_index_folded(row, folded);
                     let old = self.cells[idx];
                     let new = old.saturating_add(count);
                     self.cells[idx] = new;
@@ -151,9 +157,9 @@ impl CountMinSketch {
                 }
             }
             UpdatePolicy::Conservative => {
-                let target = self.point_query(id).saturating_add(count);
+                let target = self.point_query_folded(folded).saturating_add(count);
                 for row in 0..self.depth {
-                    let idx = self.cell_index(row, id);
+                    let idx = self.cell_index_folded(row, folded);
                     let old = self.cells[idx];
                     let new = old.max(target);
                     self.cells[idx] = new;
@@ -164,6 +170,48 @@ impl CountMinSketch {
         self.total = self.total.saturating_add(count);
         if stale {
             self.recompute_nonzero_min();
+        }
+    }
+
+    /// Records one occurrence of `id` and returns `(f̂_id, min_σ)` — the
+    /// post-record estimate and sampling floor — in a single pass.
+    ///
+    /// This is the fused operation behind Algorithm 3's lock-step `cobegin`:
+    /// the knowledge-free sampler needs exactly these two values per stream
+    /// element, and computing them during the record loop halves the hashing
+    /// work versus `record` followed by `estimate` (each row index is
+    /// computed once instead of twice, and the identifier is folded into the
+    /// field once instead of `2s` times).
+    ///
+    /// Equivalent to `record(id)` then `(estimate(id), floor_estimate())`
+    /// under both update policies.
+    pub fn record_and_estimate(&mut self, id: u64) -> (u64, u64) {
+        let folded = UniversalHash::fold61(id);
+        match self.policy {
+            UpdatePolicy::Standard => {
+                let mut estimate = u64::MAX;
+                let mut stale = false;
+                for row in 0..self.depth {
+                    let idx = self.cell_index_folded(row, folded);
+                    let old = self.cells[idx];
+                    let new = old.saturating_add(1);
+                    self.cells[idx] = new;
+                    estimate = estimate.min(new);
+                    stale |= self.track_increase(old, new);
+                }
+                self.total = self.total.saturating_add(1);
+                if stale {
+                    self.recompute_nonzero_min();
+                }
+                (estimate, self.nonzero_min)
+            }
+            UpdatePolicy::Conservative => {
+                // Conservative update already needs the pre-record estimate;
+                // after the update every touched cell is ≥ target, and the
+                // post-record estimate is exactly the target.
+                self.record_many_folded(folded, 1);
+                (self.point_query_folded(folded), self.nonzero_min)
+            }
         }
     }
 
@@ -214,9 +262,14 @@ impl CountMinSketch {
     /// anything.
     #[inline]
     pub fn point_query(&self, id: u64) -> u64 {
+        self.point_query_folded(UniversalHash::fold61(id))
+    }
+
+    #[inline]
+    fn point_query_folded(&self, folded: u64) -> u64 {
         let mut est = u64::MAX;
         for row in 0..self.depth {
-            est = est.min(self.cells[self.cell_index(row, id)]);
+            est = est.min(self.cells[self.cell_index_folded(row, folded)]);
         }
         est
     }
@@ -330,8 +383,8 @@ impl CountMinSketch {
     }
 
     #[inline]
-    fn cell_index(&self, row: usize, id: u64) -> usize {
-        row * self.width + self.hashes[row].hash(id) as usize
+    fn cell_index_folded(&self, row: usize, folded: u64) -> usize {
+        row * self.width + self.hashes[row].hash_folded(folded) as usize
     }
 }
 
@@ -342,6 +395,10 @@ impl FrequencyEstimator for CountMinSketch {
 
     fn estimate(&self, id: u64) -> u64 {
         self.point_query(id)
+    }
+
+    fn record_and_estimate(&mut self, id: u64) -> (u64, u64) {
+        CountMinSketch::record_and_estimate(self, id)
     }
 
     /// The sampling floor `min_σ` (Algorithm 3, line 6): the minimum over
@@ -441,10 +498,7 @@ mod tests {
             *truth.entry(id).or_insert(0) += 1;
         }
         let bound = (epsilon * m as f64).ceil() as u64;
-        let violations = truth
-            .iter()
-            .filter(|(&id, &f)| sketch.estimate(id) > f + bound)
-            .count();
+        let violations = truth.iter().filter(|(&id, &f)| sketch.estimate(id) > f + bound).count();
         // Guarantee holds per-query with prob 1-δ; allow generous slack.
         assert!(
             (violations as f64) < 0.05 * truth.len() as f64,
@@ -514,6 +568,26 @@ mod tests {
     }
 
     #[test]
+    fn record_and_estimate_equals_record_then_queries() {
+        for policy in [UpdatePolicy::Standard, UpdatePolicy::Conservative] {
+            let mut fused = CountMinSketch::with_dimensions(10, 5, 17).unwrap().with_policy(policy);
+            let mut split = fused.clone();
+            let mut rng = StdRng::seed_from_u64(7);
+            for step in 0..5_000 {
+                let id = rng.gen_range(0..64u64);
+                let (est, floor) = fused.record_and_estimate(id);
+                split.record(id);
+                assert_eq!(est, split.estimate(id), "estimate at step {step} ({policy:?})");
+                assert_eq!(floor, split.floor_estimate(), "floor at step {step} ({policy:?})");
+            }
+            assert_eq!(fused.total(), split.total());
+            for id in 0..64u64 {
+                assert_eq!(fused.estimate(id), split.estimate(id));
+            }
+        }
+    }
+
+    #[test]
     fn merge_equals_concatenated_stream() {
         let mut left = CountMinSketch::with_dimensions(12, 3, 33).unwrap();
         let mut right = CountMinSketch::with_dimensions(12, 3, 33).unwrap();
@@ -561,8 +635,9 @@ mod tests {
     #[test]
     fn conservative_update_never_underestimates_and_tightens() {
         let mut standard = CountMinSketch::with_dimensions(8, 2, 13).unwrap();
-        let mut conservative =
-            CountMinSketch::with_dimensions(8, 2, 13).unwrap().with_policy(UpdatePolicy::Conservative);
+        let mut conservative = CountMinSketch::with_dimensions(8, 2, 13)
+            .unwrap()
+            .with_policy(UpdatePolicy::Conservative);
         let mut truth: HashMap<u64, u64> = HashMap::new();
         let mut rng = StdRng::seed_from_u64(14);
         for _ in 0..20_000 {

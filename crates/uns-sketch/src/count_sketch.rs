@@ -42,6 +42,9 @@ pub struct CountSketch {
     signs: Vec<UniversalHash>,
     total: u64,
     seed: u64,
+    /// Reusable per-row readings buffer for the fused record+estimate path,
+    /// keeping steady-state ingestion allocation-free.
+    scratch: Vec<i64>,
 }
 
 impl CountSketch {
@@ -69,33 +72,66 @@ impl CountSketch {
             signs,
             total: 0,
             seed,
+            scratch: Vec::with_capacity(depth),
         })
     }
 
     /// Records `count` occurrences of `id` at once.
     pub fn record_many(&mut self, id: u64, count: u64) {
+        let folded = UniversalHash::fold61(id);
         let count = count as i64;
         for row in 0..self.depth {
-            let idx = row * self.width + self.buckets[row].hash(id) as usize;
-            let sign = if self.signs[row].hash(id) == 1 { 1 } else { -1 };
+            let idx = row * self.width + self.buckets[row].hash_folded(folded) as usize;
+            let sign = if self.signs[row].hash_folded(folded) == 1 { 1 } else { -1 };
             self.cells[idx] += sign * count;
         }
         self.total = self.total.saturating_add(count as u64);
     }
 
+    /// Records one occurrence of `id` and returns `(f̂_id, floor)` in a
+    /// single hashing pass — the Count-sketch counterpart of
+    /// [`crate::CountMinSketch::record_and_estimate`], so the estimator
+    /// ablation compares identical per-element query patterns.
+    ///
+    /// Equivalent to `record(id)` then `(estimate(id), floor_estimate())`.
+    /// The bucket and sign indices of each row are computed once and reused
+    /// for both the update and the signed reading; the floor (min |cell|,
+    /// the Count sketch's `min_σ` analog) is a scan, as in
+    /// [`FrequencyEstimator::floor_estimate`].
+    pub fn record_and_estimate(&mut self, id: u64) -> (u64, u64) {
+        let folded = UniversalHash::fold61(id);
+        self.scratch.clear();
+        for row in 0..self.depth {
+            let idx = row * self.width + self.buckets[row].hash_folded(folded) as usize;
+            let sign = if self.signs[row].hash_folded(folded) == 1 { 1i64 } else { -1i64 };
+            self.cells[idx] += sign;
+            self.scratch.push(sign * self.cells[idx]);
+        }
+        self.total = self.total.saturating_add(1);
+        let estimate = Self::median_estimate(&mut self.scratch, self.depth);
+        let floor = self.cells.iter().map(|c| c.unsigned_abs()).min().unwrap_or(0);
+        (estimate, floor)
+    }
+
     /// Returns the signed median estimate for `id`, clamped at zero
     /// (frequencies are non-negative).
     pub fn point_query(&self, id: u64) -> u64 {
+        let folded = UniversalHash::fold61(id);
         let mut readings: Vec<i64> = (0..self.depth)
             .map(|row| {
-                let idx = row * self.width + self.buckets[row].hash(id) as usize;
-                let sign = if self.signs[row].hash(id) == 1 { 1 } else { -1 };
+                let idx = row * self.width + self.buckets[row].hash_folded(folded) as usize;
+                let sign = if self.signs[row].hash_folded(folded) == 1 { 1 } else { -1 };
                 sign * self.cells[idx]
             })
             .collect();
+        Self::median_estimate(&mut readings, self.depth)
+    }
+
+    /// Sorts the per-row signed readings and returns the clamped median.
+    fn median_estimate(readings: &mut [i64], depth: usize) -> u64 {
         readings.sort_unstable();
-        let mid = self.depth / 2;
-        let median = if self.depth % 2 == 1 {
+        let mid = depth / 2;
+        let median = if depth % 2 == 1 {
             readings[mid]
         } else {
             // Round the midpoint average toward zero.
@@ -155,6 +191,10 @@ impl FrequencyEstimator for CountSketch {
         self.point_query(id)
     }
 
+    fn record_and_estimate(&mut self, id: u64) -> (u64, u64) {
+        CountSketch::record_and_estimate(self, id)
+    }
+
     /// Analog of the paper's `min_σ` for signed counters: the minimum
     /// absolute counter value over the matrix. Heuristic — the Count sketch
     /// has no exact equivalent of Count-Min's global minimum.
@@ -200,18 +240,26 @@ mod tests {
 
     #[test]
     fn estimates_are_roughly_unbiased_on_skewed_stream() {
-        let mut sketch = CountSketch::with_dimensions(64, 7, 4).unwrap();
+        // Unbiasedness is a property over the hash-function draw, so the
+        // signed error is averaged over several sketch seeds (a single seed
+        // sees the noise of its particular collision pattern).
         let mut truth: HashMap<u64, u64> = HashMap::new();
         let mut rng = StdRng::seed_from_u64(8);
-        for _ in 0..30_000 {
-            let id = (rng.gen_range(0.0f64..1.0).powi(2) * 400.0) as u64;
-            sketch.record(id);
+        let stream: Vec<u64> =
+            (0..30_000).map(|_| (rng.gen_range(0.0f64..1.0).powi(2) * 400.0) as u64).collect();
+        for &id in &stream {
             *truth.entry(id).or_insert(0) += 1;
         }
         let (mut signed_err, mut count) = (0i64, 0i64);
-        for (&id, &f) in truth.iter().filter(|(_, &f)| f >= 50) {
-            signed_err += sketch.estimate(id) as i64 - f as i64;
-            count += 1;
+        for sketch_seed in 0..5u64 {
+            let mut sketch = CountSketch::with_dimensions(64, 7, sketch_seed).unwrap();
+            for &id in &stream {
+                sketch.record(id);
+            }
+            for (&id, &f) in truth.iter().filter(|(_, &f)| f >= 50) {
+                signed_err += sketch.estimate(id) as i64 - f as i64;
+                count += 1;
+            }
         }
         let mean_err = signed_err as f64 / count as f64;
         assert!(mean_err.abs() < 40.0, "mean signed error {mean_err} suggests bias");
@@ -227,6 +275,21 @@ mod tests {
         }
         assert_eq!(a.estimate(5), b.estimate(5));
         assert_eq!(a.total(), b.total());
+    }
+
+    #[test]
+    fn record_and_estimate_equals_record_then_queries() {
+        let mut fused = CountSketch::with_dimensions(16, 5, 23).unwrap();
+        let mut split = fused.clone();
+        let mut rng = StdRng::seed_from_u64(5);
+        for step in 0..3_000 {
+            let id = rng.gen_range(0..80u64);
+            let (est, floor) = fused.record_and_estimate(id);
+            split.record(id);
+            assert_eq!(est, split.estimate(id), "estimate at step {step}");
+            assert_eq!(floor, split.floor_estimate(), "floor at step {step}");
+        }
+        assert_eq!(fused.total(), split.total());
     }
 
     #[test]

@@ -43,10 +43,9 @@ impl fmt::Display for SketchError {
             }
             SketchError::ZeroWidth => write!(f, "sketch width must be at least 1"),
             SketchError::ZeroDepth => write!(f, "sketch depth must be at least 1"),
-            SketchError::IncompatibleSketches { left, right } => write!(
-                f,
-                "cannot merge sketches with shape/seed {left:?} and {right:?}"
-            ),
+            SketchError::IncompatibleSketches { left, right } => {
+                write!(f, "cannot merge sketches with shape/seed {left:?} and {right:?}")
+            }
             SketchError::InvalidHashCoefficient { value, constraint } => {
                 write!(f, "invalid hash coefficient {value}: {constraint}")
             }
@@ -68,14 +67,8 @@ mod tests {
             SketchError::InvalidDelta(1.0),
             SketchError::ZeroWidth,
             SketchError::ZeroDepth,
-            SketchError::IncompatibleSketches {
-                left: (1, 2, 3),
-                right: (4, 5, 6),
-            },
-            SketchError::InvalidHashCoefficient {
-                value: 0,
-                constraint: "must be non-zero",
-            },
+            SketchError::IncompatibleSketches { left: (1, 2, 3), right: (4, 5, 6) },
+            SketchError::InvalidHashCoefficient { value: 0, constraint: "must be non-zero" },
             SketchError::ZeroHashRange,
         ];
         for err in errors {

@@ -9,9 +9,9 @@
 //! counts and doubles as the `FrequencyEstimator` that turns the generic
 //! knowledge-free sampler into the adaptive omniscient sampler.
 
+use crate::fx::FxHashMap;
 use crate::min_tracker::MinTracker;
 use crate::FrequencyEstimator;
-use std::collections::HashMap;
 
 /// Exact per-identifier frequency counts with O(1) minimum tracking.
 ///
@@ -32,7 +32,8 @@ use std::collections::HashMap;
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct ExactFrequencyOracle {
-    counts: HashMap<u64, u64>,
+    /// Fx-hashed map: the counter update is one cheap probe per element.
+    counts: FxHashMap<u64, u64>,
     total: u64,
     min_tracker: MinTracker,
 }
@@ -41,7 +42,7 @@ impl ExactFrequencyOracle {
     /// Creates an empty oracle.
     pub fn new() -> Self {
         Self {
-            counts: HashMap::new(),
+            counts: FxHashMap::default(),
             total: 0,
             // No ids seen yet: multiplicity 0 so the first insert recomputes.
             min_tracker: MinTracker::new(0),
@@ -51,7 +52,7 @@ impl ExactFrequencyOracle {
     /// Creates an empty oracle with capacity for `n` distinct identifiers.
     pub fn with_capacity(n: usize) -> Self {
         Self {
-            counts: HashMap::with_capacity(n),
+            counts: FxHashMap::with_capacity_and_hasher(n, Default::default()),
             total: 0,
             min_tracker: MinTracker::new(0),
         }
@@ -62,6 +63,14 @@ impl ExactFrequencyOracle {
         if count == 0 {
             return;
         }
+        self.bump(id, count);
+    }
+
+    /// Adds `count > 0` to `id`'s counter, maintaining the total and the
+    /// min tracker; returns the new count. The single home of the
+    /// staleness rule shared by `record_many` and the fused
+    /// `record_and_estimate`.
+    fn bump(&mut self, id: u64, count: u64) -> u64 {
         let entry = self.counts.entry(id).or_insert(0);
         let old = *entry;
         *entry += count;
@@ -76,6 +85,7 @@ impl ExactFrequencyOracle {
         if stale {
             self.min_tracker.recompute(self.counts.values().copied());
         }
+        new
     }
 
     /// Exact number of occurrences of `id` (0 if never seen).
@@ -139,6 +149,13 @@ impl FrequencyEstimator for ExactFrequencyOracle {
 
     fn estimate(&self, id: u64) -> u64 {
         self.frequency(id)
+    }
+
+    fn record_and_estimate(&mut self, id: u64) -> (u64, u64) {
+        // One map probe for record + estimate combined (the provided trait
+        // method would probe twice).
+        let new = self.bump(id, 1);
+        (new, self.min_tracker.value())
     }
 
     fn floor_estimate(&self) -> u64 {
@@ -212,6 +229,22 @@ mod tests {
                 assert_eq!(oracle.min_frequency(), naive, "at step {step}");
             }
         }
+    }
+
+    #[test]
+    fn record_and_estimate_equals_record_then_queries() {
+        let mut fused = ExactFrequencyOracle::new();
+        let mut split = ExactFrequencyOracle::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        for step in 0..4_000 {
+            let id = rng.gen_range(0..50u64);
+            let (est, floor) = fused.record_and_estimate(id);
+            split.record(id);
+            assert_eq!(est, split.estimate(id), "estimate at step {step}");
+            assert_eq!(floor, split.floor_estimate(), "floor at step {step}");
+        }
+        assert_eq!(fused.total(), split.total());
+        assert_eq!(fused.distinct_count(), split.distinct_count());
     }
 
     #[test]

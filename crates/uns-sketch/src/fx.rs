@@ -1,0 +1,123 @@
+//! A fast, non-cryptographic hasher for small fixed-width keys (the
+//! `rustc-hash`/`FxHashMap` algorithm), vendored because this workspace
+//! builds offline.
+//!
+//! `std`'s default `HashMap` hasher (SipHash-1-3) is keyed and
+//! HashDoS-resistant but costs tens of nanoseconds per probe — visible on
+//! per-stream-element paths like the sampling memory's membership test and
+//! the exact oracle's counter update. Identifier keys here are already
+//! adversary-unpredictable *as map keys go* (the structures are bounded:
+//! `Γ` holds at most `c` entries), so the multiply-rotate Fx mix is the
+//! right trade.
+//!
+//! Use [`FxHashMap`] wherever a `u64`-keyed map sits on the ingest path.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// The Firefox/rustc "Fx" hasher: one multiply and one rotate per word.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(Self::SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let remainder = chunks.remainder();
+        if !remainder.is_empty() {
+            let mut word = [0u8; 8];
+            word[..remainder.len()].copy_from_slice(remainder);
+            self.add_to_hash(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, value: u64) {
+        self.add_to_hash(value);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, value: u32) {
+        self.add_to_hash(value as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, value: usize) {
+        self.add_to_hash(value as u64);
+    }
+
+    #[inline]
+    fn write_u8(&mut self, value: u8) {
+        self.add_to_hash(value as u64);
+    }
+}
+
+/// `BuildHasher` producing [`FxHasher`]s.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed by the Fx hash — drop-in for `std::collections::HashMap`
+/// on hot paths.
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` using the Fx hash.
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_behaves_like_std() {
+        let mut map: FxHashMap<u64, u64> = FxHashMap::default();
+        for i in 0..1000u64 {
+            map.insert(i, i * 2);
+        }
+        assert_eq!(map.len(), 1000);
+        for i in 0..1000u64 {
+            assert_eq!(map.get(&i), Some(&(i * 2)));
+        }
+        map.remove(&500);
+        assert!(!map.contains_key(&500));
+        assert_eq!(map.len(), 999);
+    }
+
+    #[test]
+    fn hash_spreads_sequential_keys() {
+        // Sequential u64 keys must not collapse into few buckets.
+        let mut low_bits = FxHashSet::default();
+        for i in 0..4096u64 {
+            let mut hasher = FxHasher::default();
+            hasher.write_u64(i);
+            low_bits.insert(hasher.finish() & 0xfff);
+        }
+        assert!(low_bits.len() > 2500, "only {} distinct low-12-bit values", low_bits.len());
+    }
+
+    #[test]
+    fn byte_writes_cover_remainders() {
+        let mut a = FxHasher::default();
+        a.write(&[1, 2, 3]);
+        let mut b = FxHasher::default();
+        b.write(&[1, 2, 4]);
+        assert_ne!(a.finish(), b.finish());
+    }
+}

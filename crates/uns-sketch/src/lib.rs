@@ -42,6 +42,7 @@ pub mod count_min;
 pub mod count_sketch;
 pub mod error;
 pub mod exact;
+pub mod fx;
 pub mod hash;
 mod min_tracker;
 
@@ -91,6 +92,20 @@ pub trait FrequencyEstimator {
     ///
     /// [`record`]: FrequencyEstimator::record
     fn estimate(&self, id: u64) -> u64;
+
+    /// Records one occurrence of `id` and returns `(f̂_id, min_σ)` — the
+    /// post-record estimate and floor — as a single fused operation.
+    ///
+    /// This is the exact per-element query pattern of the knowledge-free
+    /// strategy's lock-step `cobegin` (Algorithm 3): every implementation
+    /// must make this equivalent to `record(id)` followed by
+    /// `(estimate(id), floor_estimate())`. The provided method does just
+    /// that; sketch implementations override it to hash each row once
+    /// instead of twice.
+    fn record_and_estimate(&mut self, id: u64) -> (u64, u64) {
+        self.record(id);
+        (self.estimate(id), self.floor_estimate())
+    }
 
     /// Returns the smallest frequency any identifier could have accumulated
     /// so far — the paper's `min_σ` (Algorithm 3, line 6).

@@ -115,7 +115,7 @@ mod tests {
     #[test]
     fn tracker_agrees_with_naive_min_under_random_workload() {
         let mut rng = StdRng::seed_from_u64(17);
-        let mut cells = vec![0u64; 16];
+        let mut cells = [0u64; 16];
         let mut t = MinTracker::new(cells.len());
         for _ in 0..5_000 {
             let i = rng.gen_range(0..cells.len());

@@ -3,7 +3,9 @@
 use proptest::collection::vec;
 use proptest::prelude::*;
 use std::collections::HashMap;
-use uns_sketch::{CountMinSketch, CountSketch, ExactFrequencyOracle, FrequencyEstimator, UniversalHash};
+use uns_sketch::{
+    CountMinSketch, CountSketch, ExactFrequencyOracle, FrequencyEstimator, UniversalHash,
+};
 
 fn exact_counts(stream: &[u64]) -> HashMap<u64, u64> {
     let mut counts = HashMap::new();

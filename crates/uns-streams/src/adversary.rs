@@ -96,9 +96,8 @@ pub fn overrepresentation_attack(
     }
     let honest_mass = (1.0 - malicious_share) / n as f64;
     let boost = malicious_share / malicious as f64;
-    let weights: Vec<f64> = (0..n)
-        .map(|i| if i < malicious { honest_mass + boost } else { honest_mass })
-        .collect();
+    let weights: Vec<f64> =
+        (0..n).map(|i| if i < malicious { honest_mass + boost } else { honest_mass }).collect();
     IdDistribution::from_weights(&weights)
 }
 
@@ -277,11 +276,9 @@ mod tests {
         let honest: Vec<NodeId> = (0..500u64).map(|i| NodeId::new(i % 50)).collect();
         let injector = SybilInjector::new(1_000, 7, 3);
         assert_eq!(injector.distinct(), 7);
-        for schedule in [
-            InjectionSchedule::Uniform,
-            InjectionSchedule::Front,
-            InjectionSchedule::Periodic(25),
-        ] {
+        for schedule in
+            [InjectionSchedule::Uniform, InjectionSchedule::Front, InjectionSchedule::Periodic(25)]
+        {
             let injector = injector.clone().with_schedule(schedule);
             let out = injector.inject(&honest, 5);
             assert_eq!(out.len(), 500 + 21, "{schedule:?}");

@@ -356,10 +356,7 @@ mod tests {
             Err(StreamError::MixtureDomainMismatch { .. })
         ));
         assert_eq!(IdDistribution::mixture(&[]).unwrap_err(), StreamError::EmptyDomain);
-        assert_eq!(
-            IdDistribution::mixture(&[(0.0, &a)]).unwrap_err(),
-            StreamError::InvalidWeights
-        );
+        assert_eq!(IdDistribution::mixture(&[(0.0, &a)]).unwrap_err(), StreamError::InvalidWeights);
         assert_eq!(
             IdDistribution::mixture(&[(-1.0, &a)]).unwrap_err(),
             StreamError::InvalidWeights

@@ -274,7 +274,12 @@ mod tests {
         assert_eq!(stats.distinct, spec.distinct, "support size must be exact");
         // Max frequency within sampling noise of the target.
         let ratio = stats.max_frequency as f64 / spec.max_frequency as f64;
-        assert!((0.5..2.0).contains(&ratio), "max frequency {} vs spec {}", stats.max_frequency, spec.max_frequency);
+        assert!(
+            (0.5..2.0).contains(&ratio),
+            "max frequency {} vs spec {}",
+            stats.max_frequency,
+            spec.max_frequency
+        );
     }
 
     #[test]
@@ -308,7 +313,12 @@ mod tests {
         );
         // The single most frequent id lands near the spec's target.
         let ratio = freqs[0] as f64 / spec.max_frequency as f64;
-        assert!((0.5..2.0).contains(&ratio), "top frequency {} vs spec {}", freqs[0], spec.max_frequency);
+        assert!(
+            (0.5..2.0).contains(&ratio),
+            "top frequency {} vs spec {}",
+            freqs[0],
+            spec.max_frequency
+        );
     }
 
     #[test]

@@ -12,19 +12,15 @@
 //! ways.
 
 use uniform_node_sampling::{
-    kl_gain, Frequencies, FrequencyEstimator, KnowledgeFreeSampler, MinWiseSamplerArray, NodeId, NodeSampler,
-    OmniscientSampler, ReservoirSampler,
+    kl_gain, Frequencies, FrequencyEstimator, KnowledgeFreeSampler, MinWiseSamplerArray, NodeId,
+    NodeSampler, OmniscientSampler, ReservoirSampler,
 };
 use uns_streams::adversary::{
     overrepresentation_attack, peak_attack_distribution, targeted_flooding_distribution,
 };
 use uns_streams::IdStream;
 
-fn gain_of(
-    sampler: &mut dyn NodeSampler,
-    stream: &[NodeId],
-    n: usize,
-) -> Option<f64> {
+fn gain_of(sampler: &mut dyn NodeSampler, stream: &[NodeId], n: usize) -> Option<f64> {
     let mut input = Frequencies::new(n);
     let mut output = Frequencies::new(n);
     for &id in stream {

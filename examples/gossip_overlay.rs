@@ -54,10 +54,10 @@ fn run(label: &str, sampler: SamplerKind) -> Result<(), Box<dyn std::error::Erro
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("8 Byzantine nodes flood 12 sybil ids at high volume into a 100-node overlay.\n");
-    run("knowledge-free sampling service (paper, Algorithm 3)", SamplerKind::KnowledgeFree {
-        width: 10,
-        depth: 5,
-    })?;
+    run(
+        "knowledge-free sampling service (paper, Algorithm 3)",
+        SamplerKind::KnowledgeFree { width: 10, depth: 5 },
+    )?;
     run("reservoir sampling baseline (Vitter's Algorithm R)", SamplerKind::Reservoir)?;
     println!("the sampling service caps sybil residency near the fair share;");
     println!("the reservoir hands the adversary the overlay.");

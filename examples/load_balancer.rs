@@ -25,8 +25,7 @@ fn gini(counts: &[u64]) -> f64 {
     if total == 0 {
         return 0.0;
     }
-    let weighted: f64 =
-        sorted.iter().enumerate().map(|(i, &x)| (i as f64 + 1.0) * x as f64).sum();
+    let weighted: f64 = sorted.iter().enumerate().map(|(i, &x)| (i as f64 + 1.0) * x as f64).sum();
     (2.0 * weighted) / (n * total as f64) - (n + 1.0) / n
 }
 

@@ -10,7 +10,9 @@
 //! output stream in which the flooded identifier is reduced to its fair
 //! share.
 
-use uniform_node_sampling::{kl_gain, Frequencies, FrequencyEstimator, KnowledgeFreeSampler, NodeId, NodeSampler};
+use uniform_node_sampling::{
+    kl_gain, Frequencies, FrequencyEstimator, KnowledgeFreeSampler, NodeId, NodeSampler,
+};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let n = 200u64; // population size
@@ -36,9 +38,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let gain = kl_gain(input.counts(), output.counts())?.expect("input is biased");
 
     println!("population n = {n}, stream m = {m}");
-    println!("sampler memory: {} ids + {} sketch cells", sampler.capacity(), sampler.estimator().memory_cells());
-    println!("flooded id share:   input {:.1}%  ->  output {:.2}%  (fair share {:.2}%)",
-        input_share * 100.0, output_share * 100.0, 100.0 / n as f64);
+    println!(
+        "sampler memory: {} ids + {} sketch cells",
+        sampler.capacity(),
+        sampler.estimator().memory_cells()
+    );
+    println!(
+        "flooded id share:   input {:.1}%  ->  output {:.2}%  (fair share {:.2}%)",
+        input_share * 100.0,
+        output_share * 100.0,
+        100.0 / n as f64
+    );
     println!("KL gain G_KL = {gain:.4}  (1.0 = perfectly unbiased)");
 
     assert!(gain > 0.8, "sampling service failed to unbias the stream");

@@ -17,7 +17,10 @@ use uns_streams::traces::{load_trace, stats_of, PAPER_TRACES};
 
 fn analyse(name: &str, stream: &[NodeId]) {
     let stats = stats_of(stream);
-    println!("{name}: m = {}, distinct = {}, max frequency = {}", stats.ids, stats.distinct, stats.max_frequency);
+    println!(
+        "{name}: m = {}, distinct = {}, max frequency = {}",
+        stats.ids, stats.distinct, stats.max_frequency
+    );
 
     // Remap arbitrary 64-bit ids onto 0..n for histogramming.
     let mut ids: Vec<u64> = stream.iter().map(|id| id.as_u64()).collect();

@@ -52,6 +52,8 @@ pub use uns_core::{
     CoreError, KnowledgeFreeSampler, MinWiseSampler, MinWiseSamplerArray, NodeId, NodeSampler,
     OmniscientSampler, PassthroughSampler, ReservoirSampler, SamplingMemory, WeightedSampler,
 };
-pub use uns_sim::{MaliciousStrategy, SamplerKind, SimConfig, SimMetrics, Simulation};
+pub use uns_sim::{
+    MaliciousStrategy, SamplerKind, ShardedIngestion, SimConfig, SimMetrics, Simulation,
+};
 pub use uns_sketch::{CountMinSketch, CountSketch, ExactFrequencyOracle, FrequencyEstimator};
 pub use uns_streams::{IdDistribution, IdStream, StreamError, SybilInjector, TraceSpec};

@@ -19,9 +19,7 @@ fn gain_for(sampler: &mut dyn NodeSampler, stream: &[NodeId], n: usize) -> f64 {
         input.record(id.as_u64());
         output.record(sampler.feed(id).as_u64());
     }
-    kl_gain(input.counts(), output.counts())
-        .expect("valid histograms")
-        .expect("input is biased")
+    kl_gain(input.counts(), output.counts()).expect("valid histograms").expect("input is biased")
 }
 
 /// Figure 7a's shape: under the peak attack the paper's strategies achieve
