@@ -5,14 +5,17 @@
 //!
 //! Supports the surface this workspace's property tests use:
 //!
-//! * the [`proptest!`] macro wrapping `#[test] fn name(x in strategy, …)`;
+//! * the [`proptest!`] macro wrapping `#[test] fn name(x in strategy, …)`,
+//!   with an optional leading `#![proptest_config(…)]` item;
 //! * [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`];
-//! * strategies: integer ranges, [`any`], [`collection::vec`];
+//! * strategies: integer ranges, [`any`], [`collection::vec`], and tuples
+//!   of strategies (up to arity 4);
 //! * deterministic, seeded case generation (no shrinking — a failing case
 //!   reports its case index and the values' `Debug` rendering instead).
 //!
 //! Case count defaults to 64 and can be overridden with the
-//! `PROPTEST_CASES` environment variable.
+//! `PROPTEST_CASES` environment variable; an explicit
+//! [`ProptestConfig::with_cases`] wins over both.
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -108,6 +111,20 @@ impl<T: Arbitrary> Strategy for Any<T> {
     }
 }
 
+macro_rules! impl_tuple_strategy {
+    ($($s:ident . $idx:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A.0, B.1);
+impl_tuple_strategy!(A.0, B.1, C.2);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3);
+
 /// Collection strategies.
 pub mod collection {
     use super::{Strategy, TestRng};
@@ -137,15 +154,45 @@ pub mod collection {
     }
 }
 
-/// Runs `cases` deterministic cases of `body`, panicking on the first
-/// failure with the case index and seed. Used by the generated test fns;
-/// not part of the public proptest API.
-pub fn run_cases<F>(test_name: &str, mut body: F)
+/// Subset of proptest's run configuration: the per-test case count.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of cases generated per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per test (overrides both the
+    /// default of 64 and the `PROPTEST_CASES` environment variable).
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self {
+            cases: std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(64),
+        }
+    }
+}
+
+/// Runs the default number of deterministic cases of `body`, panicking on
+/// the first failure with the case index and seed. Used by the generated
+/// test fns; not part of the public proptest API.
+pub fn run_cases<F>(test_name: &str, body: F)
 where
     F: FnMut(&mut TestRng) -> Result<(), String>,
 {
-    let cases: u64 =
-        std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(64);
+    run_cases_with(ProptestConfig::default(), test_name, body);
+}
+
+/// [`run_cases`] with an explicit configuration.
+pub fn run_cases_with<F>(config: ProptestConfig, test_name: &str, mut body: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), String>,
+{
+    let cases = u64::from(config.cases);
     // Stable per-test seed: FNV-1a over the test name.
     let mut seed = 0xcbf2_9ce4_8422_2325u64;
     for byte in test_name.bytes() {
@@ -163,16 +210,43 @@ where
 /// Everything the tests import with `use proptest::prelude::*;`.
 pub mod prelude {
     pub use crate::collection::vec as prop_vec;
-    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Strategy};
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig, Strategy,
+    };
 }
 
 /// Declares property tests: `proptest! { #[test] fn name(x in strategy) { … } }`.
 ///
-/// Each parameter is drawn from its strategy per case; the body may use
-/// [`prop_assert!`]-family macros, which abort only the current case with a
-/// message (reported through a panic, as there is no shrinking).
+/// An optional leading `#![proptest_config(expr)]` item applies the given
+/// [`ProptestConfig`] to every test in the block. Each parameter is drawn
+/// from its strategy per case; the body may use [`prop_assert!`]-family
+/// macros, which abort only the current case with a message (reported
+/// through a panic, as there is no shrinking).
 #[macro_export]
 macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($p:pat_param in $s:expr),+ $(,)? ) $body:block
+        )+
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::run_cases_with($config, stringify!($name), |proptest_case_rng| {
+                    $(let $p = $crate::Strategy::generate(&($s), proptest_case_rng);)+
+                    #[allow(unused_mut)]
+                    let mut proptest_case_body =
+                        || -> ::std::result::Result<(), ::std::string::String> {
+                            $body
+                            Ok(())
+                        };
+                    proptest_case_body()
+                });
+            }
+        )+
+    };
     ($(
         $(#[$meta:meta])*
         fn $name:ident( $($p:pat_param in $s:expr),+ $(,)? ) $body:block
@@ -279,6 +353,26 @@ mod tests {
             prop_assert!(items.iter().all(|&v| (1..100).contains(&v)));
             tail.push(0);
             prop_assert!(tail.len() <= 3);
+        }
+
+        #[test]
+        fn tuple_strategies_compose(
+            pairs in vec((0u64..10, 1u8..4), 1..20),
+            (x, y, z) in (0u32..5, 10i64..20, any::<bool>()),
+        ) {
+            prop_assert!(pairs.iter().all(|&(a, b)| a < 10 && (1..4).contains(&b)));
+            prop_assert!(x < 5 && (10..20).contains(&y));
+            let _ = z;
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(3))]
+
+        #[test]
+        fn config_limits_case_count(x in 0u64..1000) {
+            // Runs exactly 3 cases; the assertion itself is trivial.
+            prop_assert!(x < 1000);
         }
     }
 

@@ -12,9 +12,13 @@
 //! a_j = min_σ / f̂_j
 //! ```
 //!
-//! where `f̂_j` is the sketch estimate for `j` and `min_σ` the global
-//! minimum over all `k × s` counters (Algorithm 3, line 6). Eviction is
-//! uniform over `Γ` (`r_k = 1/c`, line 11) and the output is a uniform
+//! where `f̂_j` is the sketch estimate for `j` and `min_σ` the sampling
+//! floor — the minimum over the *touched* counters, maintained
+//! incrementally by the estimator's floor-estimate engine
+//! (`uns_sketch::min_tracker`; see
+//! [`FrequencyEstimator::floor_estimate`] for the exact per-estimator
+//! semantics, including the Count-sketch signed-counter caveat). Eviction
+//! is uniform over `Γ` (`r_k = 1/c`, line 11) and the output is a uniform
 //! resident (line 13).
 //!
 //! # Hot-path layout
@@ -25,7 +29,8 @@
 //!   [`FrequencyEstimator::record_and_estimate`] operation, so each row of
 //!   the sketch is hashed once per element (the lock-step `cobegin` needs
 //!   both `f̂_j` and `min_σ` anyway — recording and estimating separately
-//!   would hash everything twice);
+//!   would hash everything twice), and `min_σ` is an O(1) read off the
+//!   estimator's floor engine rather than a counter scan;
 //! * the sampler's per-element coins (one insertion coin, one output draw)
 //!   come from a pluggable RNG `R`, defaulting to the cheap
 //!   [`rand::rngs::SmallRng`] (xoshiro256++). The coins only decide
@@ -227,15 +232,65 @@ impl<E: FrequencyEstimator, R: Rng> KnowledgeFreeSampler<E, R> {
         // first, so f̂_j accounts for this occurrence. The fused operation
         // also hands back min_σ, saving the second hashing pass.
         let (f_hat, min_sigma) = self.estimator.record_and_estimate(id.as_u64());
+        self.absorb_precomputed(id, f_hat, min_sigma);
+    }
+
+    /// The memory-and-coins half of [`NodeSampler::ingest`], taking the
+    /// fused `(f̂_j, min_σ)` pair from the caller instead of recording `id`
+    /// in this sampler's own estimator. Returns `true` if `id` entered `Γ`.
+    ///
+    /// This is the replay half of a **parallel sampling pipeline**
+    /// (`uns_sim::ShardedIngestion`): shard workers compute, for every
+    /// stream element, exactly the `(f̂_j, min_σ)` the sequential sampler
+    /// would have seen at that position (Count-Min prefix states are
+    /// reconstructible by merging earlier chunks), and a single replay
+    /// thread calls this method in stream order. Because the method
+    /// consumes random coins in exactly the order `ingest` does — one
+    /// admission coin per full-memory non-resident element, one eviction
+    /// draw per admission — the resulting memory **and** RNG state are
+    /// bit-equal to sequential ingestion.
+    ///
+    /// The estimator is deliberately *not* touched: a caller that replays
+    /// precomputed admissions must install the matching final estimator
+    /// state afterwards via [`KnowledgeFreeSampler::install_estimator`],
+    /// or subsequent feeds will estimate from a stale (typically empty)
+    /// sketch.
+    pub fn absorb_precomputed(&mut self, id: NodeId, f_hat: u64, min_sigma: u64) -> bool {
         if !self.memory.is_full() {
-            self.memory.insert(id); // no-op when already resident
+            self.memory.insert(id) // no-op when already resident
         } else if !self.memory.contains(id) {
             let a_j = Self::admission_probability(f_hat, min_sigma);
             if self.rng.gen::<f64>() < a_j {
                 // r_k = 1/c: uniform eviction (Algorithm 3, line 11).
-                self.memory.replace_uniform(&mut self.rng, id);
+                self.memory.replace_uniform(&mut self.rng, id).is_some()
+            } else {
+                false
             }
+        } else {
+            false
         }
+    }
+
+    /// [`KnowledgeFreeSampler::absorb_precomputed`] plus the uniform output
+    /// draw — the precomputed counterpart of [`NodeSampler::feed`], with
+    /// the identical coin order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before anything was absorbed (empty `Γ`), exactly
+    /// like `feed` never can be observed empty after its own absorb.
+    pub fn feed_precomputed(&mut self, id: NodeId, f_hat: u64, min_sigma: u64) -> NodeId {
+        self.absorb_precomputed(id, f_hat, min_sigma);
+        self.memory
+            .sample_uniform(&mut self.rng)
+            .expect("memory is non-empty after absorbing at least one identifier")
+    }
+
+    /// Replaces the sampler's estimator, e.g. with the merged sketch of a
+    /// sharded ingestion after a precomputed replay. The memory `Γ` and the
+    /// coin generator are left untouched.
+    pub fn install_estimator(&mut self, estimator: E) {
+        self.estimator = estimator;
     }
 }
 
@@ -392,6 +447,46 @@ mod tests {
         batched.feed_batch(&stream, &mut out);
         assert_eq!(out, expected);
         assert_eq!(batched.memory_contents(), single.memory_contents());
+    }
+
+    #[test]
+    fn precomputed_replay_is_bit_equal_to_ingest() {
+        // Replaying externally computed (f̂, min_σ) pairs must leave memory
+        // and RNG in exactly the state ingest() produces — the property the
+        // parallel pipeline in uns-sim is built on.
+        let stream: Vec<NodeId> = (0..2_000u64).map(|i| NodeId::new(i * 23 % 128)).collect();
+        let mut sequential = KnowledgeFreeSampler::with_count_min(6, 10, 4, 31).unwrap();
+        let mut replayed = KnowledgeFreeSampler::with_count_min(6, 10, 4, 31).unwrap();
+        // A shadow estimator computes the fused pairs the shards would.
+        let mut shadow = sequential.estimator().clone();
+        for &id in &stream {
+            sequential.ingest(id);
+            let (f_hat, min_sigma) = shadow.record_and_estimate(id.as_u64());
+            replayed.absorb_precomputed(id, f_hat, min_sigma);
+        }
+        replayed.install_estimator(shadow);
+        assert_eq!(replayed.memory_contents(), sequential.memory_contents());
+        // Same RNG state: the next draws coincide.
+        for _ in 0..32 {
+            assert_eq!(replayed.sample(), sequential.sample());
+        }
+        // Same estimator state: identical fused reads afterwards.
+        for id in 0..128u64 {
+            assert_eq!(replayed.estimator().estimate(id), sequential.estimator().estimate(id));
+        }
+    }
+
+    #[test]
+    fn feed_precomputed_matches_feed() {
+        let stream: Vec<NodeId> = (0..1_500u64).map(|i| NodeId::new(i * 11 % 64)).collect();
+        let mut fed = KnowledgeFreeSampler::with_count_min(5, 8, 3, 13).unwrap();
+        let mut replayed = KnowledgeFreeSampler::with_count_min(5, 8, 3, 13).unwrap();
+        let mut shadow = fed.estimator().clone();
+        for &id in &stream {
+            let expected = fed.feed(id);
+            let (f_hat, min_sigma) = shadow.record_and_estimate(id.as_u64());
+            assert_eq!(replayed.feed_precomputed(id, f_hat, min_sigma), expected);
+        }
     }
 
     #[test]

@@ -88,6 +88,10 @@ impl SamplingMemory {
     /// Inserts `id` if the memory is not full and `id` is absent; returns
     /// whether the set changed.
     ///
+    /// Consumes **no** random coins — part of the coin-order contract that
+    /// makes sampler histories replayable (see the [`crate::NodeSampler`]
+    /// trait docs).
+    ///
     /// # Panics
     ///
     /// Panics if called on a full memory with an absent identifier — the
@@ -108,6 +112,11 @@ impl SamplingMemory {
     /// removal rule with equal weights `r`). Returns the evicted
     /// identifier, or `None` (no change) if `id` is already present or the
     /// memory is empty.
+    ///
+    /// Consumes exactly **one** `gen_range` draw when it evicts and
+    /// **none** on the early no-change returns. Replay paths
+    /// (`KnowledgeFreeSampler::absorb_precomputed`) depend on this exact
+    /// coin count to reproduce sequential RNG states bit for bit.
     pub fn replace_uniform<R: Rng + ?Sized>(&mut self, rng: &mut R, id: NodeId) -> Option<NodeId> {
         if self.slots.is_empty() || self.contains(id) {
             return None;

@@ -134,6 +134,24 @@ impl NodeSampler for OmniscientSampler {
         self.absorb(id);
     }
 
+    /// Monomorphic batch loop (same results as element-wise [`feed`], per
+    /// the trait contract) — mirrors the knowledge-free sampler's override
+    /// so the two strategies pay comparable per-batch overhead in the
+    /// estimator ablations.
+    ///
+    /// [`feed`]: NodeSampler::feed
+    fn feed_batch(&mut self, ids: &[NodeId], out: &mut Vec<NodeId>) {
+        out.reserve(ids.len());
+        for &id in ids {
+            self.absorb(id);
+            out.push(
+                self.memory
+                    .sample_uniform(&mut self.rng)
+                    .expect("memory is non-empty after feeding at least one identifier"),
+            );
+        }
+    }
+
     fn sample(&mut self) -> Option<NodeId> {
         self.memory.sample_uniform(&mut self.rng)
     }

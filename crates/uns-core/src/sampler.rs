@@ -43,6 +43,16 @@ use crate::node_id::NodeId;
 ///   the intended trade — skipping the draw is what makes backlog
 ///   ingestion cheaper — not a divergence in the sampling policy.
 ///
+/// Because every entry point pins an exact *coin order* (one admission
+/// coin per full-memory non-resident element, one eviction draw per
+/// admission, one output draw per `feed`), the estimator half and the
+/// memory/coin half of an element can be computed by different parties:
+/// `KnowledgeFreeSampler::absorb_precomputed` /
+/// `KnowledgeFreeSampler::feed_precomputed` (in this crate's
+/// `knowledge_free` module) replay externally computed `(f̂_j, min_σ)`
+/// pairs with bit-equal results — the contract the parallel sampling
+/// pipeline in `uns-sim` relies on.
+///
 /// [`feed`]: NodeSampler::feed
 /// [`ingest`]: NodeSampler::ingest
 /// [`sample`]: NodeSampler::sample

@@ -30,10 +30,18 @@ pub enum SamplerKind {
 impl SamplerKind {
     /// Instantiates a sampler of this kind with memory size `capacity`.
     ///
+    /// The sampler is `Send` so correct nodes can process their input
+    /// streams on worker threads (see
+    /// [`SimConfigBuilder::ingest_threads`]).
+    ///
     /// # Errors
     ///
     /// Propagates construction failures as [`SimError::Sampler`].
-    pub fn build(&self, capacity: usize, seed: u64) -> Result<Box<dyn NodeSampler>, SimError> {
+    pub fn build(
+        &self,
+        capacity: usize,
+        seed: u64,
+    ) -> Result<Box<dyn NodeSampler + Send>, SimError> {
         Ok(match *self {
             SamplerKind::KnowledgeFree { width, depth } => {
                 Box::new(KnowledgeFreeSampler::with_count_min(capacity, width, depth, seed)?)
@@ -71,6 +79,12 @@ pub struct SimConfig {
     pub attack: MaliciousStrategy,
     /// Master seed; the whole simulation is deterministic in it.
     pub seed: u64,
+    /// Worker threads for the per-round sampling pass (processing every
+    /// correct node's inbox through its sampling service). Each node owns
+    /// its sampler and coin generator, so the result is bit-identical for
+    /// any thread count; 1 (the default) keeps the pass on the round loop's
+    /// thread.
+    pub ingest_threads: usize,
 }
 
 impl SimConfig {
@@ -108,6 +122,9 @@ impl SimConfig {
         if !(0.0..=1.0).contains(&self.churn_rate) {
             return fail(format!("churn rate {} must be in [0, 1]", self.churn_rate));
         }
+        if self.ingest_threads == 0 {
+            return fail("ingest threads must be at least 1".into());
+        }
         Ok(())
     }
 }
@@ -125,6 +142,7 @@ pub struct SimConfigBuilder {
     sampler: SamplerKind,
     attack: MaliciousStrategy,
     seed: u64,
+    ingest_threads: usize,
 }
 
 impl Default for SimConfigBuilder {
@@ -140,6 +158,7 @@ impl Default for SimConfigBuilder {
             sampler: SamplerKind::KnowledgeFree { width: 10, depth: 5 },
             attack: MaliciousStrategy::default(),
             seed: 0,
+            ingest_threads: 1,
         }
     }
 }
@@ -216,6 +235,15 @@ impl SimConfigBuilder {
         self
     }
 
+    /// Worker threads for the per-round sampling pass (default 1). Metrics
+    /// are bit-identical for any value — each node's sampler owns its coin
+    /// generator — so this is purely a wall-clock knob for large overlays.
+    #[must_use]
+    pub fn ingest_threads(mut self, threads: usize) -> Self {
+        self.ingest_threads = threads;
+        self
+    }
+
     /// Validates and produces the configuration.
     ///
     /// # Errors
@@ -234,6 +262,7 @@ impl SimConfigBuilder {
             sampler: self.sampler,
             attack: self.attack,
             seed: self.seed,
+            ingest_threads: self.ingest_threads,
         };
         config.validate()?;
         Ok(config)
@@ -260,6 +289,7 @@ mod tests {
         assert!(SimConfig::builder().rounds(0).build().is_err());
         assert!(SimConfig::builder().churn_rate(1.5).build().is_err());
         assert!(SimConfig::builder().churn_rate(-0.1).build().is_err());
+        assert!(SimConfig::builder().ingest_threads(0).build().is_err());
     }
 
     #[test]

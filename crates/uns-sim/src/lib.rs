@@ -30,7 +30,15 @@
 //! * **sharded ingestion** ([`ShardedIngestion`]): multi-million-element
 //!   backlogs split across worker threads into same-seed Count-Min
 //!   sketches, merged exactly, and used to pre-warm a sampler's frequency
-//!   knowledge — the scale the sequential simulator cannot reach.
+//!   knowledge — the scale the sequential simulator cannot reach;
+//! * the **parallel sampling pipeline**
+//!   ([`ShardedIngestion::pipeline_ingest`] /
+//!   [`pipeline_feed`](ShardedIngestion::pipeline_feed)): the whole of
+//!   Algorithm 3 — sketch *and* coin history over `Γ` — run across worker
+//!   threads with output bit-equal to the sequential sampler, plus
+//!   [`PipelineStats`] accounting; the simulator's own per-round sampling
+//!   pass parallelizes the same way via
+//!   [`SimConfigBuilder::ingest_threads`](config::SimConfigBuilder::ingest_threads).
 //!
 //! # Example
 //!
@@ -71,6 +79,6 @@ pub mod topology;
 pub use byzantine::MaliciousStrategy;
 pub use config::{SamplerKind, SimConfig, SimConfigBuilder};
 pub use error::SimError;
-pub use metrics::SimMetrics;
+pub use metrics::{PipelineStats, SimMetrics};
 pub use sharded::ShardedIngestion;
 pub use simulator::Simulation;

@@ -1,7 +1,40 @@
 //! Simulation metrics: uniformity, contamination, load balance and
-//! connectivity.
+//! connectivity — plus throughput accounting for the parallel sampling
+//! pipeline.
 
 use uns_analysis::kl;
+
+/// Accounting of one parallel sampling pipeline run
+/// ([`crate::ShardedIngestion::pipeline_ingest`] /
+/// [`pipeline_feed`](crate::ShardedIngestion::pipeline_feed)).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PipelineStats {
+    /// Stream elements processed (one admission candidate each).
+    pub elements: u64,
+    /// Worker threads configured for the chunk and candidate passes.
+    pub shards: usize,
+    /// Chunks the stream was cut into (pipelining granularity).
+    pub chunks: usize,
+    /// Elements that entered the memory `Γ` — free-slot inserts plus won
+    /// admission coins (Algorithm 3's insertions).
+    pub admitted: u64,
+    /// Output samples drawn (equals `elements` for `pipeline_feed`, 0 for
+    /// the input-only `pipeline_ingest`).
+    pub outputs: u64,
+}
+
+impl PipelineStats {
+    /// Fraction of stream elements that entered `Γ` — on adversarial
+    /// streams the interesting number: a flooding identifier contributes
+    /// many elements but few admissions.
+    pub fn admission_rate(&self) -> f64 {
+        if self.elements == 0 {
+            0.0
+        } else {
+            self.admitted as f64 / self.elements as f64
+        }
+    }
+}
 
 /// Aggregate metrics of a simulation run.
 #[derive(Clone, Debug, PartialEq)]
@@ -75,5 +108,13 @@ mod tests {
         let biased = [100u64, 1, 1, 1];
         let outputs: Vec<&[u64]> = vec![&biased];
         assert!(SimMetrics::mean_kl(&outputs) > 0.5);
+    }
+
+    #[test]
+    fn pipeline_stats_admission_rate() {
+        let empty = PipelineStats::default();
+        assert_eq!(empty.admission_rate(), 0.0);
+        let stats = PipelineStats { elements: 200, admitted: 50, ..PipelineStats::default() };
+        assert!((stats.admission_rate() - 0.25).abs() < 1e-12);
     }
 }

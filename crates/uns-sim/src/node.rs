@@ -11,7 +11,9 @@ use uns_core::{NodeId, NodeSampler};
 /// sampling service feeds epidemic protocols with peers.
 pub struct CorrectNode {
     id: NodeId,
-    sampler: Box<dyn NodeSampler>,
+    /// `Send` so the simulator's sampling pass can run nodes on worker
+    /// threads (each node owns its sampler and coin generator).
+    sampler: Box<dyn NodeSampler + Send>,
     /// Identifiers received this round, processed at the round boundary.
     inbox: Vec<NodeId>,
     /// Count of output-stream emissions per correct identifier; sybil
@@ -27,7 +29,11 @@ pub struct CorrectNode {
 impl CorrectNode {
     /// Creates a node with the given identifier and sampling strategy;
     /// `correct_population` sizes the per-identifier output tally.
-    pub fn new(id: NodeId, sampler: Box<dyn NodeSampler>, correct_population: usize) -> Self {
+    pub fn new(
+        id: NodeId,
+        sampler: Box<dyn NodeSampler + Send>,
+        correct_population: usize,
+    ) -> Self {
         Self {
             id,
             sampler,

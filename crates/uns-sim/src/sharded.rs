@@ -22,6 +22,38 @@
 //!   starts from fully warmed frequency estimates, so a flooding
 //!   identifier in the backlog is rejected from the very first element.
 //!
+//! # The full parallel sampling pipeline
+//!
+//! [`ShardedIngestion::pipeline_ingest`] / [`pipeline_feed`] go further:
+//! they parallelize the *entire* Algorithm 3 run, not just the sketch, and
+//! still produce output **bit-equal** to the sequential sampler. The key
+//! observation is that the fused per-element query `(f̂_j, min_σ)` at
+//! stream position `t` depends only on the sketch of the prefix `σ[..t]`
+//! — and Count-Min prefix states are reconstructible in parallel:
+//!
+//! 1. **chunk pass (parallel)**: the stream is cut into chunks; each shard
+//!    worker builds the same-seed sketch of its chunks (exactly the
+//!    existing [`ShardedIngestion::sketch_stream`] work);
+//! 2. **prefix merge (cheap)**: the coordinator prefix-merges the chunk
+//!    sketches, giving every chunk the exact sketch state at its start;
+//! 3. **candidate pass (parallel)**: each shard replays its chunks from
+//!    the prefix state, annotating every element with the exact
+//!    `(f̂_j, min_σ)` the sequential sampler would have seen — the
+//!    admission-candidate queue;
+//! 4. **replay (sequential, cheap)**: a single thread consumes the
+//!    candidate queue in stream order and runs only the memory/coin half
+//!    (`KnowledgeFreeSampler::absorb_precomputed`), drawing coins exactly
+//!    as the sequential sampler would.
+//!
+//! The sketch work (hashing, counter updates, floor maintenance — the
+//! dominant per-element cost) is done twice but spread over all shards;
+//! the sequential residue is a membership probe and the coin flips. The
+//! price is exactness-preserving: memory `Γ`, RNG state and the installed
+//! estimator all end bit-equal to a sequential run (pinned by tests at
+//! 10 M elements / 4 threads in release).
+//!
+//! [`pipeline_feed`]: ShardedIngestion::pipeline_feed
+//!
 //! # Example
 //!
 //! ```
@@ -43,8 +75,14 @@
 //! ```
 
 use crate::error::SimError;
-use uns_core::{KnowledgeFreeSampler, NodeId};
+use crate::metrics::PipelineStats;
+use std::sync::mpsc;
+use uns_core::{KnowledgeFreeSampler, NodeId, NodeSampler};
 use uns_sketch::{CountMinSketch, FrequencyEstimator, SketchError};
+
+/// One annotated admission candidate: the identifier plus the exact fused
+/// `(f̂_j, min_σ)` the sequential sampler would compute at its position.
+type Candidate = (NodeId, u64, u64);
 
 /// Splits identifier streams across threads into same-seed Count-Min
 /// sketches and merges the shards exactly.
@@ -156,6 +194,198 @@ impl ShardedIngestion {
         let sketch = self.sketch_stream(stream)?;
         Ok(KnowledgeFreeSampler::new(capacity, sketch, sampler_seed)?)
     }
+
+    /// Chunks per shard in the pipeline passes. Finer than one chunk per
+    /// shard so the candidate pass and the replay thread overlap (a worker
+    /// can annotate chunk `c + shards` while the replay consumes chunk
+    /// `c`), at the price of `chunks` extra sketch clones.
+    const CHUNKS_PER_SHARD: usize = 4;
+
+    /// Runs the full parallel sampling pipeline over `stream` (see the
+    /// module docs) and returns the warmed sampler plus throughput
+    /// accounting. Input-only: no output samples are drawn.
+    ///
+    /// The result is **bit-equal** — memory `Γ` (including slot order),
+    /// coin-generator state and estimator — to
+    ///
+    /// ```
+    /// # use uns_core::{KnowledgeFreeSampler, NodeId, NodeSampler};
+    /// # use uns_sketch::CountMinSketch;
+    /// # let (width, depth, seed, capacity, sampler_seed) = (10, 5, 1, 4, 2);
+    /// # let stream: Vec<NodeId> = (0..100u64).map(NodeId::new).collect();
+    /// let estimator = CountMinSketch::with_dimensions(width, depth, seed).unwrap();
+    /// let mut sampler = KnowledgeFreeSampler::new(capacity, estimator, sampler_seed).unwrap();
+    /// for &id in &stream {
+    ///     sampler.ingest(id);
+    /// }
+    /// ```
+    ///
+    /// run on one thread. Only the default [`uns_sketch::UpdatePolicy`]
+    /// (Standard) is produced — conservative update makes per-row targets
+    /// depend on the point query, which merges only approximately.
+    ///
+    /// # Errors
+    ///
+    /// Propagates sketch construction failures as [`SimError::Sampler`]
+    /// and a zero `capacity` as [`SimError::Sampler`] (via
+    /// `uns_core::CoreError`).
+    pub fn pipeline_ingest(
+        &self,
+        stream: &[NodeId],
+        capacity: usize,
+        sampler_seed: u64,
+    ) -> Result<(KnowledgeFreeSampler, PipelineStats), SimError> {
+        self.pipeline_run(stream, capacity, sampler_seed, None)
+    }
+
+    /// [`ShardedIngestion::pipeline_ingest`] plus the per-element uniform
+    /// output draws of [`uns_core::NodeSampler::feed`]: appends one output
+    /// identifier per stream element to `out`, bit-equal to feeding the
+    /// stream sequentially.
+    ///
+    /// # Errors
+    ///
+    /// As [`ShardedIngestion::pipeline_ingest`].
+    pub fn pipeline_feed(
+        &self,
+        stream: &[NodeId],
+        capacity: usize,
+        sampler_seed: u64,
+        out: &mut Vec<NodeId>,
+    ) -> Result<(KnowledgeFreeSampler, PipelineStats), SimError> {
+        self.pipeline_run(stream, capacity, sampler_seed, Some(out))
+    }
+
+    fn pipeline_run(
+        &self,
+        stream: &[NodeId],
+        capacity: usize,
+        sampler_seed: u64,
+        mut out: Option<&mut Vec<NodeId>>,
+    ) -> Result<(KnowledgeFreeSampler, PipelineStats), SimError> {
+        let estimator = CountMinSketch::with_dimensions(self.width, self.depth, self.seed)?;
+        let mut sampler = KnowledgeFreeSampler::new(capacity, estimator, sampler_seed)?;
+        let mut stats = PipelineStats {
+            elements: stream.len() as u64,
+            shards: self.shards,
+            ..PipelineStats::default()
+        };
+        if stream.is_empty() {
+            return Ok((sampler, stats));
+        }
+        if let Some(out) = out.as_deref_mut() {
+            out.reserve(stream.len());
+        }
+
+        // Chunk pass: per-chunk sketches in parallel (same-seed, mergeable).
+        let chunk_len = stream.len().div_ceil(self.shards * Self::CHUNKS_PER_SHARD).max(1);
+        let chunks: Vec<&[NodeId]> = stream.chunks(chunk_len).collect();
+        stats.chunks = chunks.len();
+        let workers = self.shards.min(chunks.len());
+        let chunk_sketches = self.build_chunk_sketches(&chunks, workers)?;
+
+        // Prefix merge: prefixes[c] is the exact sketch of stream[..start
+        // of chunk c]; `running` ends as the full-stream sketch.
+        let mut running = CountMinSketch::with_dimensions(self.width, self.depth, self.seed)?;
+        let mut prefixes = Vec::with_capacity(chunks.len());
+        for chunk_sketch in &chunk_sketches {
+            prefixes.push(running.clone());
+            running.merge(chunk_sketch)?;
+        }
+
+        // Candidate pass + replay: workers annotate their chunks with the
+        // exact fused (f̂_j, min_σ) per element; this thread consumes the
+        // candidate queue in stream order, drawing coins exactly as the
+        // sequential sampler would. One bounded channel *per worker*:
+        // worker w owns chunks w, w+W, … and sends them in that order, so
+        // chunk `next` is simply the next message on channel `next % W` —
+        // no reorder buffer, and a stalled worker backpressures everyone
+        // to at most ~2 chunks in flight each instead of letting the
+        // whole annotated stream pile up on the replay side.
+        std::thread::scope(|scope| {
+            let mut receivers = Vec::with_capacity(workers);
+            for w in 0..workers {
+                let (tx, rx) = mpsc::sync_channel::<Vec<Candidate>>(1);
+                receivers.push(rx);
+                let chunks = &chunks;
+                let prefixes = &prefixes;
+                scope.spawn(move || {
+                    for c in (w..chunks.len()).step_by(workers) {
+                        let mut sketch = prefixes[c].clone();
+                        let mut candidates = Vec::with_capacity(chunks[c].len());
+                        for &id in chunks[c] {
+                            let (f_hat, min_sigma) = sketch.record_and_estimate(id.as_u64());
+                            candidates.push((id, f_hat, min_sigma));
+                        }
+                        if tx.send(candidates).is_err() {
+                            return; // replay side gone: abandon quietly
+                        }
+                    }
+                });
+            }
+
+            for next in 0..chunks.len() {
+                // Workers cannot fail; a closed channel means one panicked,
+                // and the scope will re-raise its panic when joining.
+                let Ok(candidates) = receivers[next % workers].recv() else {
+                    break;
+                };
+                for (id, f_hat, min_sigma) in candidates {
+                    stats.admitted += u64::from(sampler.absorb_precomputed(id, f_hat, min_sigma));
+                    if let Some(out) = out.as_deref_mut() {
+                        let sample = sampler.sample().expect("memory is non-empty after an absorb");
+                        out.push(sample);
+                        stats.outputs += 1;
+                    }
+                }
+            }
+        });
+
+        // The replayed sampler never touched its own estimator; install the
+        // full-stream sketch (exactly what sequential ingestion builds).
+        sampler.install_estimator(running);
+        Ok((sampler, stats))
+    }
+
+    /// Builds the per-chunk sketches of the chunk pass, `workers` threads
+    /// striding over the chunk list.
+    fn build_chunk_sketches(
+        &self,
+        chunks: &[&[NodeId]],
+        workers: usize,
+    ) -> Result<Vec<CountMinSketch>, SimError> {
+        let built: Vec<Result<Vec<(usize, CountMinSketch)>, SketchError>> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|w| {
+                        scope.spawn(move || {
+                            let mut built = Vec::new();
+                            for c in (w..chunks.len()).step_by(workers) {
+                                let mut sketch = CountMinSketch::with_dimensions(
+                                    self.width, self.depth, self.seed,
+                                )?;
+                                for id in chunks[c] {
+                                    sketch.record(id.as_u64());
+                                }
+                                built.push((c, sketch));
+                            }
+                            Ok(built)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|handle| handle.join().expect("chunk worker panicked"))
+                    .collect()
+            });
+        let mut ordered: Vec<Option<CountMinSketch>> = vec![None; chunks.len()];
+        for worker_built in built {
+            for (c, sketch) in worker_built? {
+                ordered[c] = Some(sketch);
+            }
+        }
+        Ok(ordered.into_iter().map(|s| s.expect("every chunk was sketched")).collect())
+    }
 }
 
 #[cfg(test)]
@@ -241,6 +471,107 @@ mod tests {
         let stream: Vec<NodeId> = (0..5u64).map(NodeId::new).collect();
         let sketch = ShardedIngestion::new(4, 2, 1, 16).unwrap().sketch_stream(&stream).unwrap();
         assert_eq!(sketch.total(), 5);
+    }
+
+    /// Sequential reference for the pipeline contract: the exact sampler
+    /// `pipeline_run` promises to reproduce bit for bit.
+    fn sequential_sampler(
+        (width, depth, sketch_seed): (usize, usize, u64),
+        capacity: usize,
+        sampler_seed: u64,
+    ) -> KnowledgeFreeSampler {
+        let estimator = CountMinSketch::with_dimensions(width, depth, sketch_seed).unwrap();
+        KnowledgeFreeSampler::new(capacity, estimator, sampler_seed).unwrap()
+    }
+
+    /// The acceptance-criterion property: the full parallel pipeline at
+    /// 10 M elements / 4 threads leaves the sampler — memory `Γ` including
+    /// slot order, coin-generator state, and estimator — bit-equal to
+    /// sequential ingestion. Debug builds use a smaller stream so
+    /// `cargo test` stays fast; release runs the full 10 M.
+    #[test]
+    fn pipeline_ingest_is_bit_equal_to_sequential_at_scale() {
+        let len = if cfg!(debug_assertions) { 300_000 } else { 10_000_000 };
+        let domain = 10_000u64;
+        let stream = skewed_stream(len, domain, 99);
+
+        let ingestion = ShardedIngestion::new(10, 5, 42, 4).unwrap();
+        let (pipelined, stats) = ingestion.pipeline_ingest(&stream, 10, 7).unwrap();
+        assert_eq!(stats.elements, len as u64);
+        assert_eq!(stats.shards, 4);
+        assert!(stats.chunks >= 4);
+        assert!(stats.admitted >= 10); // at least the free-slot fills
+        assert_eq!(stats.outputs, 0);
+
+        let mut sequential = sequential_sampler((10, 5, 42), 10, 7);
+        for &id in &stream {
+            sequential.ingest(id);
+        }
+
+        // Γ bit-equal, including slot order.
+        let mut pipelined = pipelined;
+        assert_eq!(pipelined.memory_contents(), sequential.memory_contents());
+        // RNG state bit-equal: subsequent draws coincide.
+        for _ in 0..64 {
+            assert_eq!(pipelined.sample(), sequential.sample());
+        }
+        // Estimator bit-equal: every counter row and the floor.
+        let (pe, se) = (pipelined.estimator(), sequential.estimator());
+        assert_eq!(pe.total(), se.total());
+        assert_eq!(pe.floor_estimate(), se.floor_estimate());
+        for row in 0..se.depth() {
+            assert_eq!(pe.row(row), se.row(row), "row {row} differs");
+        }
+        // And the two keep evolving identically when fed further.
+        for id in 0..1_000u64 {
+            assert_eq!(pipelined.feed(NodeId::new(id)), sequential.feed(NodeId::new(id)));
+        }
+    }
+
+    #[test]
+    fn pipeline_feed_outputs_match_sequential_feed() {
+        let stream = skewed_stream(120_000, 2_000, 5);
+        let ingestion = ShardedIngestion::new(10, 5, 42, 4).unwrap();
+        let mut outputs = Vec::new();
+        let (_, stats) = ingestion.pipeline_feed(&stream, 8, 3, &mut outputs).unwrap();
+        assert_eq!(stats.outputs, stream.len() as u64);
+        assert!(stats.admission_rate() > 0.0 && stats.admission_rate() <= 1.0);
+
+        let mut sequential = sequential_sampler((10, 5, 42), 8, 3);
+        let expected: Vec<NodeId> = stream.iter().map(|&id| sequential.feed(id)).collect();
+        assert_eq!(outputs, expected);
+    }
+
+    #[test]
+    fn pipeline_shard_count_does_not_change_the_result() {
+        let stream = skewed_stream(40_000, 500, 21);
+        let reference_outputs = {
+            let ingestion = ShardedIngestion::new(12, 4, 7, 1).unwrap();
+            let mut out = Vec::new();
+            ingestion.pipeline_feed(&stream, 6, 9, &mut out).unwrap();
+            out
+        };
+        for shards in [2usize, 3, 8] {
+            let ingestion = ShardedIngestion::new(12, 4, 7, shards).unwrap();
+            let mut out = Vec::new();
+            ingestion.pipeline_feed(&stream, 6, 9, &mut out).unwrap();
+            assert_eq!(out, reference_outputs, "{shards} shards diverged");
+        }
+    }
+
+    #[test]
+    fn pipeline_handles_empty_and_tiny_streams() {
+        let ingestion = ShardedIngestion::new(8, 3, 1, 4).unwrap();
+        let (mut sampler, stats) = ingestion.pipeline_ingest(&[], 5, 1).unwrap();
+        assert_eq!(stats.elements, 0);
+        assert_eq!(stats.admission_rate(), 0.0);
+        assert_eq!(sampler.sample(), None);
+
+        let tiny: Vec<NodeId> = (0..3u64).map(NodeId::new).collect();
+        let (mut sampler, stats) = ingestion.pipeline_ingest(&tiny, 5, 1).unwrap();
+        assert_eq!(stats.elements, 3);
+        assert_eq!(stats.admitted, 3); // free slots
+        assert!(sampler.sample().is_some());
     }
 
     #[test]

@@ -123,12 +123,28 @@ impl Simulation {
                 }
             }
         }
-        // Phase 3: deliver and process.
+        // Phase 3: deliver and process. Every node owns its sampler and
+        // coin generator, so the sampling pass is embarrassingly parallel
+        // and bit-identical for any thread count.
         for (target_idx, id) in deliveries {
             self.nodes[target_idx].deliver(id);
         }
-        for node in &mut self.nodes {
-            node.process_inbox();
+        let threads = self.config.ingest_threads.min(self.nodes.len()).max(1);
+        if threads == 1 {
+            for node in &mut self.nodes {
+                node.process_inbox();
+            }
+        } else {
+            let per_thread = self.nodes.len().div_ceil(threads);
+            std::thread::scope(|scope| {
+                for nodes in self.nodes.chunks_mut(per_thread) {
+                    scope.spawn(move || {
+                        for node in nodes {
+                            node.process_inbox();
+                        }
+                    });
+                }
+            });
         }
         // Phase 4: churn before T₀.
         if self.round < self.config.churn_rounds {
@@ -291,6 +307,19 @@ mod tests {
         let m1 = Simulation::new(config.clone()).unwrap().run();
         let m2 = Simulation::new(config).unwrap().run();
         assert_eq!(m1, m2);
+    }
+
+    #[test]
+    fn parallel_sampling_pass_is_bit_identical() {
+        // The ingest-thread count is purely a wall-clock knob: every node
+        // owns its sampler RNG, so the metrics must match exactly.
+        let sequential =
+            Simulation::new(base_config().malicious_nodes(5).build().unwrap()).unwrap().run();
+        for threads in [2usize, 4, 64] {
+            let config = base_config().malicious_nodes(5).ingest_threads(threads).build().unwrap();
+            let parallel = Simulation::new(config).unwrap().run();
+            assert_eq!(parallel, sequential, "{threads} ingest threads diverged");
+        }
     }
 
     #[test]

@@ -16,6 +16,7 @@
 
 use crate::error::SketchError;
 use crate::hash::{HashFamily, UniversalHash};
+use crate::min_tracker::{FloorTracker, MonotoneFloorTracker};
 use crate::FrequencyEstimator;
 
 /// How counters are incremented on [`CountMinSketch::record`].
@@ -62,11 +63,13 @@ pub struct CountMinSketch {
     total: u64,
     seed: u64,
     policy: UpdatePolicy,
-    /// Incrementally tracked `(value, multiplicity)` of the minimum over
-    /// the *touched* (non-zero) cells, plus the count of still-zero cells.
-    nonzero_min: u64,
-    nonzero_min_multiplicity: usize,
-    zero_cells: usize,
+    /// Floor-estimate engine: incrementally tracked minimum over the
+    /// *touched* (non-zero) cells, plus the count of still-zero cells.
+    /// Count-Min cells are monotone, so the monotone tracker applies.
+    floor: MonotoneFloorTracker,
+    /// Debug-build cross-check schedule (see `debug_cross_check`).
+    #[cfg(debug_assertions)]
+    debug_ticks: u64,
 }
 
 impl CountMinSketch {
@@ -117,9 +120,9 @@ impl CountMinSketch {
             total: 0,
             seed,
             policy: UpdatePolicy::Standard,
-            nonzero_min: 0,
-            nonzero_min_multiplicity: 0,
-            zero_cells: width * depth,
+            floor: MonotoneFloorTracker::new(width * depth),
+            #[cfg(debug_assertions)]
+            debug_ticks: 0,
         })
     }
 
@@ -153,7 +156,7 @@ impl CountMinSketch {
                     let old = self.cells[idx];
                     let new = old.saturating_add(count);
                     self.cells[idx] = new;
-                    stale |= self.track_increase(old, new);
+                    stale |= self.floor.on_increase(old, new);
                 }
             }
             UpdatePolicy::Conservative => {
@@ -163,14 +166,16 @@ impl CountMinSketch {
                     let old = self.cells[idx];
                     let new = old.max(target);
                     self.cells[idx] = new;
-                    stale |= self.track_increase(old, new);
+                    stale |= self.floor.on_increase(old, new);
                 }
             }
         }
         self.total = self.total.saturating_add(count);
         if stale {
-            self.recompute_nonzero_min();
+            self.floor.rebuild(self.cells.iter().copied());
         }
+        #[cfg(debug_assertions)]
+        self.debug_cross_check();
     }
 
     /// Records one occurrence of `id` and returns `(f̂_id, min_σ)` — the
@@ -197,65 +202,40 @@ impl CountMinSketch {
                     let new = old.saturating_add(1);
                     self.cells[idx] = new;
                     estimate = estimate.min(new);
-                    stale |= self.track_increase(old, new);
+                    stale |= self.floor.on_increase(old, new);
                 }
                 self.total = self.total.saturating_add(1);
                 if stale {
-                    self.recompute_nonzero_min();
+                    self.floor.rebuild(self.cells.iter().copied());
                 }
-                (estimate, self.nonzero_min)
+                #[cfg(debug_assertions)]
+                self.debug_cross_check();
+                (estimate, self.floor.floor())
             }
             UpdatePolicy::Conservative => {
                 // Conservative update already needs the pre-record estimate;
                 // after the update every touched cell is ≥ target, and the
                 // post-record estimate is exactly the target.
                 self.record_many_folded(folded, 1);
-                (self.point_query_folded(folded), self.nonzero_min)
+                (self.point_query_folded(folded), self.floor.floor())
             }
         }
     }
 
-    /// Updates the non-zero minimum tracker for a cell that moved from
-    /// `old` to `new`; returns `true` when a full rescan is required.
-    fn track_increase(&mut self, old: u64, new: u64) -> bool {
-        if new == old {
-            return false;
+    /// Debug-build cross-check of the floor engine against a naive full
+    /// scan, run on a sampled schedule so debug tests stay fast while any
+    /// divergence between the incremental tracker and the cells still trips
+    /// deterministically under sustained traffic.
+    #[cfg(debug_assertions)]
+    fn debug_cross_check(&mut self) {
+        self.debug_ticks += 1;
+        if !self.debug_ticks.is_multiple_of(512) {
+            return;
         }
-        if old == 0 {
-            // A fresh cell joins the non-zero set; it may set a new minimum.
-            self.zero_cells -= 1;
-            if self.nonzero_min_multiplicity == 0 || new < self.nonzero_min {
-                self.nonzero_min = new;
-                self.nonzero_min_multiplicity = 1;
-            } else if new == self.nonzero_min {
-                self.nonzero_min_multiplicity += 1;
-            }
-            false
-        } else if old == self.nonzero_min {
-            // A minimal cell grew; the minimum is stale once none remain.
-            self.nonzero_min_multiplicity -= 1;
-            self.nonzero_min_multiplicity == 0
-        } else {
-            false
-        }
-    }
-
-    fn recompute_nonzero_min(&mut self) {
-        let mut min = u64::MAX;
-        let mut multiplicity = 0usize;
-        for &cell in self.cells.iter().filter(|&&c| c > 0) {
-            use std::cmp::Ordering;
-            match cell.cmp(&min) {
-                Ordering::Less => {
-                    min = cell;
-                    multiplicity = 1;
-                }
-                Ordering::Equal => multiplicity += 1,
-                Ordering::Greater => {}
-            }
-        }
-        self.nonzero_min = if multiplicity == 0 { 0 } else { min };
-        self.nonzero_min_multiplicity = multiplicity;
+        let naive = self.cells.iter().copied().filter(|&c| c > 0).min().unwrap_or(0);
+        debug_assert_eq!(self.floor.floor(), naive, "floor engine diverged from naive scan");
+        let zeros = self.cells.iter().filter(|&&c| c == 0).count();
+        debug_assert_eq!(self.floor.zero_cells(), zeros, "zero-cell tracking diverged");
     }
 
     /// Returns the estimate `f̂_id = min_v F̂[v][h_v(id)]` without recording
@@ -319,10 +299,10 @@ impl CountMinSketch {
     /// tracked value behind [`FrequencyEstimator::floor_estimate`]), or
     /// `None` if the matrix is all-zero.
     pub fn min_nonzero_cell(&self) -> Option<u64> {
-        if self.nonzero_min_multiplicity == 0 {
-            None
-        } else {
-            Some(self.nonzero_min)
+        // Non-zero cells hold values ≥ 1, so a zero floor means none exist.
+        match self.floor.floor() {
+            0 => None,
+            min => Some(min),
         }
     }
 
@@ -331,10 +311,10 @@ impl CountMinSketch {
     /// [`FrequencyEstimator::floor_estimate`] for why the sampling floor
     /// uses the non-zero minimum instead.
     pub fn min_cell_including_zeros(&self) -> u64 {
-        if self.zero_cells > 0 {
+        if self.floor.zero_cells() > 0 {
             0
         } else {
-            self.nonzero_min
+            self.floor.floor()
         }
     }
 
@@ -342,9 +322,7 @@ impl CountMinSketch {
     pub fn clear(&mut self) {
         self.cells.fill(0);
         self.total = 0;
-        self.nonzero_min = 0;
-        self.nonzero_min_multiplicity = 0;
-        self.zero_cells = self.cells.len();
+        self.floor.reset();
     }
 
     /// Returns `true` if `other` has the same shape, seed and policy, i.e.
@@ -377,8 +355,7 @@ impl CountMinSketch {
             *a = a.saturating_add(*b);
         }
         self.total = self.total.saturating_add(other.total);
-        self.zero_cells = self.cells.iter().filter(|&&c| c == 0).count();
-        self.recompute_nonzero_min();
+        self.floor.rebuild(self.cells.iter().copied());
         Ok(())
     }
 
@@ -414,8 +391,12 @@ impl FrequencyEstimator for CountMinSketch {
     /// [`crate::ExactFrequencyOracle::min_frequency`]. The literal
     /// all-cells minimum remains available as
     /// [`CountMinSketch::min_cell_including_zeros`].
+    ///
+    /// Maintained by the floor-estimate engine
+    /// ([`crate::min_tracker::MonotoneFloorTracker`]): this read is O(1),
+    /// and the per-record maintenance is amortized O(1).
     fn floor_estimate(&self) -> u64 {
-        self.nonzero_min
+        self.floor.floor()
     }
 
     fn total(&self) -> u64 {

@@ -13,6 +13,7 @@
 
 use crate::error::SketchError;
 use crate::hash::{HashFamily, UniversalHash};
+use crate::min_tracker::{FloorTracker, TournamentFloorTracker};
 use crate::FrequencyEstimator;
 
 /// Count sketch (signed median estimator) over 64-bit identifiers.
@@ -38,19 +39,35 @@ pub struct CountSketch {
     depth: usize,
     /// Row-major `depth × width` signed counters.
     cells: Vec<i64>,
-    buckets: Vec<UniversalHash>,
-    signs: Vec<UniversalHash>,
+    /// One 2-universal function per row over the doubled range `2k`: the
+    /// low bit of the evaluation is the row's random sign, the high bits
+    /// the bucket. Packing both into one evaluation halves the hashing
+    /// work of every record/query relative to separate bucket and sign
+    /// families.
+    rows: Vec<UniversalHash>,
     total: u64,
     seed: u64,
     /// Reusable per-row readings buffer for the fused record+estimate path,
     /// keeping steady-state ingestion allocation-free.
     scratch: Vec<i64>,
+    /// Floor-estimate engine over `|cell|`. Signed counters move both ways
+    /// (a `-1` row update can *shrink* a magnitude), so neither monotone
+    /// tracking nor a histogram applies; the tournament tree keeps the
+    /// floor exact at O(log(k·s)) per touched cell and O(1) per read.
+    floor: TournamentFloorTracker,
+    /// Debug-build cross-check schedule (see `debug_cross_check`).
+    #[cfg(debug_assertions)]
+    debug_ticks: u64,
 }
 
 impl CountSketch {
     /// Builds a Count sketch with `width` buckets per row and `depth` rows.
     ///
     /// An odd `depth` is recommended so the median is a single reading.
+    /// Each row draws a single 2-universal function over the doubled range
+    /// `2·width`; its low bit supplies the row's ±1 sign and its high bits
+    /// the bucket, so one evaluation per row serves both (the pair keeps
+    /// the 2-universal collision bound on buckets and a balanced sign).
     ///
     /// # Errors
     ///
@@ -63,17 +80,28 @@ impl CountSketch {
         if depth == 0 {
             return Err(SketchError::ZeroDepth);
         }
-        let (buckets, signs) = HashFamily::new(seed).function_pairs(depth, width as u64)?;
+        let rows = HashFamily::new(seed).functions(depth, 2 * width as u64)?;
         Ok(Self {
             width,
             depth,
             cells: vec![0; width * depth],
-            buckets,
-            signs,
+            rows,
             total: 0,
             seed,
             scratch: Vec::with_capacity(depth),
+            floor: TournamentFloorTracker::new(width * depth),
+            #[cfg(debug_assertions)]
+            debug_ticks: 0,
         })
+    }
+
+    /// Splits one packed row evaluation into `(cell index, sign)`.
+    #[inline]
+    fn cell_and_sign(&self, row: usize, folded: u64) -> (usize, i64) {
+        let packed = self.rows[row].hash_folded(folded);
+        let idx = row * self.width + (packed >> 1) as usize;
+        let sign = if packed & 1 == 1 { 1 } else { -1 };
+        (idx, sign)
     }
 
     /// Records `count` occurrences of `id` at once.
@@ -81,11 +109,13 @@ impl CountSketch {
         let folded = UniversalHash::fold61(id);
         let count = count as i64;
         for row in 0..self.depth {
-            let idx = row * self.width + self.buckets[row].hash_folded(folded) as usize;
-            let sign = if self.signs[row].hash_folded(folded) == 1 { 1 } else { -1 };
+            let (idx, sign) = self.cell_and_sign(row, folded);
             self.cells[idx] += sign * count;
+            self.floor.update(idx, self.cells[idx].unsigned_abs());
         }
         self.total = self.total.saturating_add(count as u64);
+        #[cfg(debug_assertions)]
+        self.debug_cross_check();
     }
 
     /// Records one occurrence of `id` and returns `(f̂_id, floor)` in a
@@ -96,21 +126,35 @@ impl CountSketch {
     /// Equivalent to `record(id)` then `(estimate(id), floor_estimate())`.
     /// The bucket and sign indices of each row are computed once and reused
     /// for both the update and the signed reading; the floor (min |cell|,
-    /// the Count sketch's `min_σ` analog) is a scan, as in
-    /// [`FrequencyEstimator::floor_estimate`].
+    /// the Count sketch's `min_σ` analog) is an O(1) read off the
+    /// tournament tree maintained by the floor-estimate engine — the
+    /// per-element O(k·s) scan this method used to pay is gone.
     pub fn record_and_estimate(&mut self, id: u64) -> (u64, u64) {
         let folded = UniversalHash::fold61(id);
         self.scratch.clear();
         for row in 0..self.depth {
-            let idx = row * self.width + self.buckets[row].hash_folded(folded) as usize;
-            let sign = if self.signs[row].hash_folded(folded) == 1 { 1i64 } else { -1i64 };
+            let (idx, sign) = self.cell_and_sign(row, folded);
             self.cells[idx] += sign;
+            self.floor.update(idx, self.cells[idx].unsigned_abs());
             self.scratch.push(sign * self.cells[idx]);
         }
         self.total = self.total.saturating_add(1);
         let estimate = Self::median_estimate(&mut self.scratch, self.depth);
-        let floor = self.cells.iter().map(|c| c.unsigned_abs()).min().unwrap_or(0);
-        (estimate, floor)
+        #[cfg(debug_assertions)]
+        self.debug_cross_check();
+        (estimate, self.floor.floor())
+    }
+
+    /// Debug-build cross-check of the tournament tree against a naive
+    /// full scan over `|cell|`, run on a sampled schedule.
+    #[cfg(debug_assertions)]
+    fn debug_cross_check(&mut self) {
+        self.debug_ticks += 1;
+        if !self.debug_ticks.is_multiple_of(512) {
+            return;
+        }
+        let naive = self.cells.iter().map(|c| c.unsigned_abs()).min().unwrap_or(0);
+        debug_assert_eq!(self.floor.floor(), naive, "floor engine diverged from naive scan");
     }
 
     /// Returns the signed median estimate for `id`, clamped at zero
@@ -119,8 +163,7 @@ impl CountSketch {
         let folded = UniversalHash::fold61(id);
         let mut readings: Vec<i64> = (0..self.depth)
             .map(|row| {
-                let idx = row * self.width + self.buckets[row].hash_folded(folded) as usize;
-                let sign = if self.signs[row].hash_folded(folded) == 1 { 1 } else { -1 };
+                let (idx, sign) = self.cell_and_sign(row, folded);
                 sign * self.cells[idx]
             })
             .collect();
@@ -155,6 +198,16 @@ impl CountSketch {
         self.seed
     }
 
+    /// Read-only view of row `row` of the signed counter matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= depth`.
+    pub fn row(&self, row: usize) -> &[i64] {
+        assert!(row < self.depth, "row {row} out of range ({} rows)", self.depth);
+        &self.cells[row * self.width..(row + 1) * self.width]
+    }
+
     /// Adds `other`'s counters into `self` (stream concatenation).
     ///
     /// # Errors
@@ -172,6 +225,7 @@ impl CountSketch {
             *a += *b;
         }
         self.total = self.total.saturating_add(other.total);
+        self.floor.rebuild(self.cells.iter().map(|c| c.unsigned_abs()));
         Ok(())
     }
 
@@ -179,6 +233,7 @@ impl CountSketch {
     pub fn clear(&mut self) {
         self.cells.fill(0);
         self.total = 0;
+        self.floor.reset();
     }
 }
 
@@ -197,9 +252,16 @@ impl FrequencyEstimator for CountSketch {
 
     /// Analog of the paper's `min_σ` for signed counters: the minimum
     /// absolute counter value over the matrix. Heuristic — the Count sketch
-    /// has no exact equivalent of Count-Min's global minimum.
+    /// has no exact equivalent of Count-Min's global minimum. Two caveats
+    /// follow from the signed counters: the floor stays 0 until *every*
+    /// cell has been touched (there is no meaningful "non-zero cells only"
+    /// reading, because sign cancellation can legitimately return a touched
+    /// cell to 0), and the floor can *decrease* over time for the same
+    /// reason. Maintained by the floor-estimate engine
+    /// ([`crate::min_tracker::TournamentFloorTracker`]); this read is O(1)
+    /// instead of an O(k·s) scan.
     fn floor_estimate(&self) -> u64 {
-        self.cells.iter().map(|c| c.unsigned_abs()).min().unwrap_or(0)
+        self.floor.floor()
     }
 
     fn total(&self) -> u64 {
@@ -207,7 +269,10 @@ impl FrequencyEstimator for CountSketch {
     }
 
     fn memory_cells(&self) -> usize {
-        self.cells.len()
+        // The counter matrix plus the floor engine's tournament tree
+        // (2·k·s words) — equal-memory ablations against Count-Min must
+        // see the engine's overhead, not just the counters.
+        self.cells.len() + self.floor.memory_cells()
     }
 }
 

@@ -10,10 +10,17 @@
 //! knowledge-free sampler into the adaptive omniscient sampler.
 
 use crate::fx::FxHashMap;
-use crate::min_tracker::MinTracker;
+use crate::min_tracker::{CountOfCountsTracker, FloorTracker};
 use crate::FrequencyEstimator;
 
 /// Exact per-identifier frequency counts with O(1) minimum tracking.
+///
+/// The minimum count (`min_i f_i`, the sampling floor) is maintained by a
+/// count-of-counts histogram ([`CountOfCountsTracker`]): both the arrival
+/// of a brand-new rare identifier and a unit increment of the current
+/// rarest identifier are O(1), where the previous `(value, multiplicity)`
+/// tracker rescanned all distinct identifiers whenever the minimum was
+/// displaced — O(distinct) per element on rare-id-heavy streams.
 ///
 /// # Example
 ///
@@ -35,7 +42,10 @@ pub struct ExactFrequencyOracle {
     /// Fx-hashed map: the counter update is one cheap probe per element.
     counts: FxHashMap<u64, u64>,
     total: u64,
-    min_tracker: MinTracker,
+    floor: CountOfCountsTracker,
+    /// Debug-build cross-check schedule (see `debug_cross_check`).
+    #[cfg(debug_assertions)]
+    debug_ticks: u64,
 }
 
 impl ExactFrequencyOracle {
@@ -44,8 +54,9 @@ impl ExactFrequencyOracle {
         Self {
             counts: FxHashMap::default(),
             total: 0,
-            // No ids seen yet: multiplicity 0 so the first insert recomputes.
-            min_tracker: MinTracker::new(0),
+            floor: CountOfCountsTracker::default(),
+            #[cfg(debug_assertions)]
+            debug_ticks: 0,
         }
     }
 
@@ -54,7 +65,9 @@ impl ExactFrequencyOracle {
         Self {
             counts: FxHashMap::with_capacity_and_hasher(n, Default::default()),
             total: 0,
-            min_tracker: MinTracker::new(0),
+            floor: CountOfCountsTracker::default(),
+            #[cfg(debug_assertions)]
+            debug_ticks: 0,
         }
     }
 
@@ -67,25 +80,34 @@ impl ExactFrequencyOracle {
     }
 
     /// Adds `count > 0` to `id`'s counter, maintaining the total and the
-    /// min tracker; returns the new count. The single home of the
-    /// staleness rule shared by `record_many` and the fused
-    /// `record_and_estimate`.
+    /// floor engine; returns the new count. The single home of the count
+    /// transition shared by `record_many` and the fused
+    /// `record_and_estimate` — O(1), no rescans.
     fn bump(&mut self, id: u64, count: u64) -> u64 {
         let entry = self.counts.entry(id).or_insert(0);
         let old = *entry;
         *entry += count;
         let new = *entry;
         self.total = self.total.saturating_add(count);
-        let stale = if old == 0 {
-            // A brand-new id with count `new`: it may become the new minimum.
-            new <= self.min_tracker.value() || self.counts.len() == 1
-        } else {
-            self.min_tracker.on_increase(old, new)
-        };
-        if stale {
-            self.min_tracker.recompute(self.counts.values().copied());
-        }
+        self.floor.on_transition(old, new);
+        #[cfg(debug_assertions)]
+        self.debug_cross_check();
         new
+    }
+
+    /// Debug-build cross-check of the floor engine against a naive scan of
+    /// all per-identifier counts, on a sampled schedule (a scan per record
+    /// would make debug runs quadratic on rare-id-heavy streams — the very
+    /// cost the engine removes).
+    #[cfg(debug_assertions)]
+    fn debug_cross_check(&mut self) {
+        self.debug_ticks += 1;
+        if !self.debug_ticks.is_multiple_of(512) {
+            return;
+        }
+        let naive = self.counts.values().copied().min().unwrap_or(0);
+        debug_assert_eq!(self.floor.floor(), naive, "floor engine diverged from naive scan");
+        debug_assert_eq!(self.floor.tracked(), self.counts.len(), "id population diverged");
     }
 
     /// Exact number of occurrences of `id` (0 if never seen).
@@ -112,11 +134,7 @@ impl ExactFrequencyOracle {
     /// when nothing was recorded. This instantiates `min_{i∈N}(p_i)` of
     /// Corollary 5 empirically.
     pub fn min_frequency(&self) -> u64 {
-        if self.counts.is_empty() {
-            0
-        } else {
-            self.min_tracker.value()
-        }
+        self.floor.floor()
     }
 
     /// Iterates over `(id, count)` pairs in arbitrary order.
@@ -131,14 +149,14 @@ impl ExactFrequencyOracle {
             *entry = entry.saturating_add(c);
         }
         self.total = self.total.saturating_add(other.total);
-        self.min_tracker.recompute(self.counts.values().copied());
+        self.floor.rebuild(self.counts.values().copied());
     }
 
     /// Removes all counts.
     pub fn clear(&mut self) {
         self.counts.clear();
         self.total = 0;
-        self.min_tracker = MinTracker::new(0);
+        self.floor.reset();
     }
 }
 
@@ -153,9 +171,9 @@ impl FrequencyEstimator for ExactFrequencyOracle {
 
     fn record_and_estimate(&mut self, id: u64) -> (u64, u64) {
         // One map probe for record + estimate combined (the provided trait
-        // method would probe twice).
+        // method would probe twice); the floor read is O(1) off the engine.
         let new = self.bump(id, 1);
-        (new, self.min_tracker.value())
+        (new, self.floor.floor())
     }
 
     fn floor_estimate(&self) -> u64 {
@@ -167,8 +185,9 @@ impl FrequencyEstimator for ExactFrequencyOracle {
     }
 
     fn memory_cells(&self) -> usize {
-        // Two words (key + count) per distinct id; report logical cells.
-        self.counts.len() * 2
+        // Two words (key + count) per distinct id, plus the floor engine's
+        // count-of-counts histogram (two words per distinct count value).
+        self.counts.len() * 2 + self.floor.buckets() * 2
     }
 }
 
@@ -291,7 +310,8 @@ mod tests {
 
     #[test]
     fn memory_cells_scales_with_distinct_ids() {
+        // 100 distinct ids, all at count 1: one histogram bucket.
         let oracle: ExactFrequencyOracle = (0..100u64).collect();
-        assert_eq!(oracle.memory_cells(), 200);
+        assert_eq!(oracle.memory_cells(), 202);
     }
 }

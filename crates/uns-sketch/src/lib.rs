@@ -16,10 +16,16 @@
 //! * [`count_sketch`] — the Count sketch of Charikar, Chen and Farach-Colton,
 //!   provided as an ablation alternative to Count-Min;
 //! * [`exact`] — an exact, full-space frequency oracle backing the paper's
-//!   *omniscient* strategy (Algorithm 1) in its adaptive form.
+//!   *omniscient* strategy (Algorithm 1) in its adaptive form;
+//! * [`min_tracker`] — the incremental **floor-estimate engine**: three
+//!   [`FloorTracker`] implementations (monotone, count-of-counts,
+//!   tournament tree) that keep each estimator's `min_σ` current in
+//!   (amortized) O(1) per record instead of rescanning counters per query.
 //!
 //! All estimators implement the common [`FrequencyEstimator`] trait so the
-//! sampling strategies in `uns-core` can be instantiated with any of them.
+//! sampling strategies in `uns-core` can be instantiated with any of them,
+//! and all of them answer [`FrequencyEstimator::floor_estimate`] through
+//! the engine.
 //!
 //! # Example
 //!
@@ -44,13 +50,16 @@ pub mod error;
 pub mod exact;
 pub mod fx;
 pub mod hash;
-mod min_tracker;
+pub mod min_tracker;
 
 pub use count_min::{CountMinSketch, UpdatePolicy};
 pub use count_sketch::CountSketch;
 pub use error::SketchError;
 pub use exact::ExactFrequencyOracle;
 pub use hash::{HashFamily, UniversalHash, MERSENNE_PRIME_61};
+pub use min_tracker::{
+    CountOfCountsTracker, FloorTracker, MonotoneFloorTracker, TournamentFloorTracker,
+};
 
 /// A streaming frequency estimator over a stream of 64-bit identifiers.
 ///
@@ -100,8 +109,15 @@ pub trait FrequencyEstimator {
     /// strategy's lock-step `cobegin` (Algorithm 3): every implementation
     /// must make this equivalent to `record(id)` followed by
     /// `(estimate(id), floor_estimate())`. The provided method does just
-    /// that; sketch implementations override it to hash each row once
-    /// instead of twice.
+    /// that; the concrete estimators override it to hash each row once
+    /// instead of twice **and** to read the floor straight off the
+    /// floor-estimate engine ([`min_tracker`]), so the returned `min_σ`
+    /// costs O(1) rather than a counter scan. Implementations also feed
+    /// the engine during plain [`record`]s — the fused path and the split
+    /// path always agree, bit for bit (cross-checked against a naive scan
+    /// in debug builds).
+    ///
+    /// [`record`]: FrequencyEstimator::record
     fn record_and_estimate(&mut self, id: u64) -> (u64, u64) {
         self.record(id);
         (self.estimate(id), self.floor_estimate())
@@ -110,11 +126,24 @@ pub trait FrequencyEstimator {
     /// Returns the smallest frequency any identifier could have accumulated
     /// so far — the paper's `min_σ` (Algorithm 3, line 6).
     ///
-    /// For the Count-Min sketch this is the minimum over the *touched*
-    /// counters of `F̂` (see [`CountMinSketch`]'s documentation for why the
-    /// literal all-cells minimum is not used); for the exact oracle it is
-    /// the minimum count over the identifiers seen so far. Both return 0
-    /// when nothing has been recorded.
+    /// All implementations answer through the incremental floor-estimate
+    /// engine ([`min_tracker`]), so this read is O(1); the maintenance cost
+    /// is paid (amortized O(1) to O(log k·s)) inside [`record`]:
+    ///
+    /// * [`CountMinSketch`] — minimum over the *touched* counters of `F̂`
+    ///   (see its documentation for why the literal all-cells minimum is
+    ///   not used), via [`MonotoneFloorTracker`];
+    /// * [`ExactFrequencyOracle`] — minimum count over the identifiers seen
+    ///   so far, via [`CountOfCountsTracker`];
+    /// * [`CountSketch`] — minimum `|cell|` over **all** cells, via
+    ///   [`TournamentFloorTracker`]. Signed-counter caveat: the floor stays
+    ///   0 until every cell has been touched and may later *decrease* when
+    ///   sign cancellation shrinks a magnitude — there is no one-sided
+    ///   guarantee like Count-Min's.
+    ///
+    /// All return 0 when nothing has been recorded.
+    ///
+    /// [`record`]: FrequencyEstimator::record
     fn floor_estimate(&self) -> u64;
 
     /// Returns the total number of occurrences recorded (the stream length

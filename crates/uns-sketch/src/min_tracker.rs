@@ -1,43 +1,119 @@
-//! Incremental tracking of the minimum over a set of monotonically
-//! non-decreasing counters.
+//! The incremental floor-estimate engine.
 //!
 //! The knowledge-free sampling strategy queries the global minimum counter
-//! `min_σ` once per stream element (Algorithm 3, line 6). Recomputing a
-//! minimum over `k × s` cells on every element would dominate the per-element
-//! cost, so we exploit monotonicity: the minimum can only change when the
-//! *last* cell holding the current minimum value is incremented. Tracking the
-//! multiplicity of the minimum makes the amortized cost O(1) with occasional
-//! O(k·s) rescans.
+//! `min_σ` once per stream element (Algorithm 3, line 6). Recomputing that
+//! minimum with a full scan on every element would dominate the per-element
+//! cost — `O(k·s)` for the sketches, `O(distinct)` for the exact oracle —
+//! so every estimator in this crate maintains its floor *incrementally*
+//! through one of the trackers in this module. The common query surface is
+//! the [`FloorTracker`] trait; the update surface is deliberately
+//! per-tracker, because the three counter populations move differently:
+//!
+//! * [`MonotoneFloorTracker`] — counters only grow (Count-Min cells).
+//!   Tracks `(value, multiplicity)` of the minimum over the *non-zero*
+//!   cells plus the number of still-zero cells; amortized O(1) with
+//!   occasional caller-driven rescans.
+//! * [`CountOfCountsTracker`] — a dynamic population of per-identifier
+//!   counts (the exact oracle). Keeps a count-of-counts histogram
+//!   (`count → how many ids hold it`), making both "a brand-new rare id
+//!   arrives" and "the rarest id got rarer-than-everyone-else" O(1) for
+//!   unit increments — the operation that used to cost `O(distinct)`.
+//! * [`TournamentFloorTracker`] — signed counters that move both ways
+//!   (Count-sketch cells). A tournament (segment) tree over `|cell|` gives
+//!   `O(log(k·s))` per touched cell and an O(1) floor read, replacing the
+//!   O(k·s) full scan per query.
+//!
+//! Estimators cross-check the engine against a naive full scan on a
+//! sampled schedule in debug builds (see `record` paths in
+//! [`crate::CountMinSketch`], [`crate::CountSketch`] and
+//! [`crate::ExactFrequencyOracle`]), so any divergence trips long before a
+//! release measurement would silently drift.
 
-/// Tracks `(value, multiplicity)` of the minimum over monotonically
-/// non-decreasing counters.
+/// Common query surface of the incremental floor-estimate engine.
 ///
-/// `Default` is the tracker of an empty cell set (multiplicity 0), matching
-/// [`ExactFrequencyOracle::new`](crate::ExactFrequencyOracle::new).
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
-pub(crate) struct MinTracker {
-    value: u64,
-    multiplicity: usize,
+/// A floor tracker answers, in O(1), "what is the smallest value any
+/// tracked counter currently holds?" — the quantity the paper's Algorithm 3
+/// reads as `min_σ` on every stream element. Update entry points are
+/// tracker-specific (monotone increase, count transition, indexed signed
+/// update) because each counter population moves differently; see the
+/// module docs for which estimator pairs with which tracker.
+pub trait FloorTracker {
+    /// The current floor — 0 when nothing is tracked yet.
+    fn floor(&self) -> u64;
+
+    /// Number of counters (cells or distinct identifiers) whose minimum is
+    /// being tracked.
+    fn tracked(&self) -> usize;
+
+    /// Returns the tracker to its freshly-constructed state.
+    fn reset(&mut self);
 }
 
-impl MinTracker {
-    /// Creates a tracker for `cells` counters, all initially zero.
-    pub(crate) fn new(cells: usize) -> Self {
-        Self { value: 0, multiplicity: cells }
-    }
+/// Floor over monotonically non-decreasing counters, ignoring the ones
+/// still at zero.
+///
+/// This is the Count-Min case: cells only grow, and the sampling floor is
+/// the minimum over the *touched* cells (see
+/// [`CountMinSketch::floor_estimate`](crate::CountMinSketch) for why
+/// untouched cells are excluded). The tracker exploits monotonicity: the
+/// minimum can only change when the last cell holding it grows, so keeping
+/// the multiplicity of the minimum makes the amortized cost O(1) with
+/// occasional O(cells) rescans driven by the owner (the tracker does not
+/// own the cell storage).
+///
+/// # Example
+///
+/// ```
+/// use uns_sketch::min_tracker::{FloorTracker, MonotoneFloorTracker};
+///
+/// let mut tracker = MonotoneFloorTracker::new(3);
+/// assert_eq!(tracker.floor(), 0); // all cells still zero
+/// assert!(!tracker.on_increase(0, 2)); // first touched cell
+/// assert_eq!(tracker.floor(), 2);
+/// assert!(tracker.on_increase(2, 5)); // last minimal cell left: stale
+/// tracker.rebuild([5u64, 0, 0]);
+/// assert_eq!(tracker.floor(), 5);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MonotoneFloorTracker {
+    min: u64,
+    multiplicity: usize,
+    zeros: usize,
+    cells: usize,
+}
 
-    /// Current minimum value.
-    pub(crate) fn value(&self) -> u64 {
-        self.value
+impl MonotoneFloorTracker {
+    /// Creates a tracker for `cells` counters, all initially zero.
+    pub fn new(cells: usize) -> Self {
+        Self { min: 0, multiplicity: 0, zeros: cells, cells }
     }
 
     /// Notifies the tracker that a counter moved from `old` to `new`
-    /// (`new >= old`). Returns `true` if the minimum is now stale and must be
-    /// recomputed via [`MinTracker::recompute`].
+    /// (`new >= old`). Returns `true` if the floor is now stale and must be
+    /// refreshed via [`MonotoneFloorTracker::rebuild`].
     #[must_use]
-    pub(crate) fn on_increase(&mut self, old: u64, new: u64) -> bool {
+    pub fn on_increase(&mut self, old: u64, new: u64) -> bool {
         debug_assert!(new >= old, "counters must be monotone ({old} -> {new})");
-        if old == self.value && new > old {
+        if new == old {
+            // Conservative update may leave a cell unchanged.
+            return false;
+        }
+        if old == 0 {
+            // A fresh cell joins the non-zero set; it may set a new minimum.
+            self.zeros -= 1;
+            if self.multiplicity == 0 || new < self.min {
+                self.min = new;
+                self.multiplicity = 1;
+            } else if new == self.min {
+                self.multiplicity += 1;
+            }
+            false
+        } else if old == self.min {
+            // A minimal cell grew; the floor is stale once none remain.
+            debug_assert!(
+                self.multiplicity > 0,
+                "update after a stale report: rebuild() must run before further on_increase calls"
+            );
             self.multiplicity -= 1;
             self.multiplicity == 0
         } else {
@@ -45,23 +121,277 @@ impl MinTracker {
         }
     }
 
-    /// Rescans all counters and resets `(value, multiplicity)`.
-    pub(crate) fn recompute<I: IntoIterator<Item = u64>>(&mut self, cells: I) {
+    /// Rescans all counters and resets the tracked state. The owner calls
+    /// this when [`MonotoneFloorTracker::on_increase`] reported staleness,
+    /// or after a bulk operation (merge) that moved many cells at once.
+    pub fn rebuild<I: IntoIterator<Item = u64>>(&mut self, cells: I) {
         let mut min = u64::MAX;
-        let mut count = 0usize;
+        let mut multiplicity = 0usize;
+        let mut zeros = 0usize;
+        let mut total = 0usize;
         for cell in cells {
+            total += 1;
+            if cell == 0 {
+                zeros += 1;
+                continue;
+            }
             use std::cmp::Ordering;
             match cell.cmp(&min) {
                 Ordering::Less => {
                     min = cell;
-                    count = 1;
+                    multiplicity = 1;
                 }
-                Ordering::Equal => count += 1,
+                Ordering::Equal => multiplicity += 1,
                 Ordering::Greater => {}
             }
         }
-        self.value = if count == 0 { 0 } else { min };
-        self.multiplicity = count;
+        self.min = if multiplicity == 0 { 0 } else { min };
+        self.multiplicity = multiplicity;
+        self.zeros = zeros;
+        self.cells = total;
+    }
+
+    /// Number of cells still at zero (the gap between the tracked floor and
+    /// the literal all-cells minimum of the paper's text).
+    pub fn zero_cells(&self) -> usize {
+        self.zeros
+    }
+}
+
+impl FloorTracker for MonotoneFloorTracker {
+    fn floor(&self) -> u64 {
+        if self.multiplicity == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    fn tracked(&self) -> usize {
+        self.cells
+    }
+
+    fn reset(&mut self) {
+        *self = Self::new(self.cells);
+    }
+}
+
+/// Floor over a dynamic population of per-identifier counts, via a
+/// count-of-counts histogram.
+///
+/// This is the exact-oracle case: identifiers appear at arbitrary times
+/// with count 1 (or a batched jump) and only ever grow. The tracker keeps
+/// `hist: count → number of ids holding that count`. Two facts make the
+/// hot path O(1) without any rescans:
+///
+/// * a brand-new id enters with the *smallest possible* count of its
+///   arrival, so the floor update is a single comparison;
+/// * when the last id holding the minimum `m` is incremented by 1, every
+///   other id holds a count `> m`, i.e. `>= m + 1` — and the moved id now
+///   holds exactly `m + 1`, so the new floor is `m + 1` with no search.
+///
+/// Only a batched jump (`record_many` with `count > 1`) off the minimum
+/// needs a scan, and that scan is over *distinct count values* (typically
+/// ≪ distinct ids), not over identifiers.
+///
+/// # Example
+///
+/// ```
+/// use uns_sketch::min_tracker::{CountOfCountsTracker, FloorTracker};
+///
+/// let mut tracker = CountOfCountsTracker::default();
+/// tracker.on_transition(0, 10); // id A jumps in at 10
+/// tracker.on_transition(0, 1); // id B arrives: new floor
+/// assert_eq!(tracker.floor(), 1);
+/// tracker.on_transition(1, 2); // B increments: floor follows in O(1)
+/// assert_eq!(tracker.floor(), 2);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct CountOfCountsTracker {
+    /// `count → number of ids currently holding exactly that count`.
+    /// Holds only non-zero counts.
+    hist: crate::fx::FxHashMap<u64, usize>,
+    min: u64,
+    ids: usize,
+}
+
+impl CountOfCountsTracker {
+    /// Notifies the tracker that one identifier's count moved from `old`
+    /// to `new` (`new > old`; `old == 0` means a brand-new identifier).
+    pub fn on_transition(&mut self, old: u64, new: u64) {
+        debug_assert!(new > old, "counts only grow ({old} -> {new})");
+        if old == 0 {
+            self.ids += 1;
+            if self.ids == 1 || new < self.min {
+                self.min = new;
+            }
+        } else {
+            let slot = self.hist.get_mut(&old).expect("transition from an untracked count");
+            *slot -= 1;
+            let emptied = *slot == 0;
+            if emptied {
+                self.hist.remove(&old);
+            }
+            if emptied && old == self.min {
+                if new == old + 1 {
+                    // Unit step off the minimum: everyone else is >= old + 1
+                    // and the moved id sits exactly there.
+                    self.min = new;
+                } else {
+                    // Batched jump: scan the distinct count values.
+                    self.min = self.hist.keys().copied().min().map_or(new, |m| m.min(new));
+                }
+            }
+        }
+        *self.hist.entry(new).or_insert(0) += 1;
+    }
+
+    /// Rebuilds the histogram from scratch (after a merge).
+    pub fn rebuild<I: IntoIterator<Item = u64>>(&mut self, counts: I) {
+        self.hist.clear();
+        self.min = 0;
+        self.ids = 0;
+        let mut min = u64::MAX;
+        for count in counts {
+            debug_assert!(count > 0, "tracked counts are positive");
+            self.ids += 1;
+            min = min.min(count);
+            *self.hist.entry(count).or_insert(0) += 1;
+        }
+        if self.ids > 0 {
+            self.min = min;
+        }
+    }
+
+    /// Number of histogram buckets (distinct count values) currently held —
+    /// the tracker's own memory footprint in logical entries.
+    pub fn buckets(&self) -> usize {
+        self.hist.len()
+    }
+}
+
+impl FloorTracker for CountOfCountsTracker {
+    fn floor(&self) -> u64 {
+        if self.ids == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    fn tracked(&self) -> usize {
+        self.ids
+    }
+
+    fn reset(&mut self) {
+        self.hist.clear();
+        self.min = 0;
+        self.ids = 0;
+    }
+}
+
+/// Floor over signed counters that move both ways, via a tournament tree
+/// over `|cell|`.
+///
+/// This is the Count-sketch case: every row update adds `±1`, so a cell's
+/// magnitude can *shrink* and neither monotone tracking nor a histogram
+/// applies. A complete binary tournament (segment) tree over the cell
+/// magnitudes gives `O(log cells)` per touched cell — with an early exit
+/// once an ancestor's minimum is unaffected — and an O(1) floor read at
+/// the root, replacing the O(k·s) full scan per query.
+///
+/// # Example
+///
+/// ```
+/// use uns_sketch::min_tracker::{FloorTracker, TournamentFloorTracker};
+///
+/// let mut tracker = TournamentFloorTracker::new(4);
+/// tracker.update(0, 3);
+/// tracker.update(1, 7);
+/// assert_eq!(tracker.floor(), 0); // cells 2 and 3 still at 0
+/// tracker.update(2, 5);
+/// tracker.update(3, 2);
+/// assert_eq!(tracker.floor(), 2);
+/// tracker.update(3, 9);
+/// assert_eq!(tracker.floor(), 3);
+/// ```
+#[derive(Clone, Debug)]
+pub struct TournamentFloorTracker {
+    /// Implicit binary tree: leaves at `cells..2·cells`, internal node `i`
+    /// holds `min(tree[2i], tree[2i+1])`, root at 1.
+    tree: Vec<u64>,
+    cells: usize,
+}
+
+impl TournamentFloorTracker {
+    /// Creates a tracker over `cells` counters, all initially zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cells == 0` (a sketch always has at least one cell).
+    pub fn new(cells: usize) -> Self {
+        assert!(cells > 0, "tournament tracker needs at least one cell");
+        Self { tree: vec![0; 2 * cells], cells }
+    }
+
+    /// Sets the magnitude of cell `index` to `value` and repairs the path
+    /// to the root, stopping early once an ancestor is unchanged.
+    pub fn update(&mut self, index: usize, value: u64) {
+        debug_assert!(index < self.cells, "cell {index} out of range ({} cells)", self.cells);
+        let mut i = index + self.cells;
+        if self.tree[i] == value {
+            return;
+        }
+        self.tree[i] = value;
+        while i > 1 {
+            i /= 2;
+            let refreshed = self.tree[2 * i].min(self.tree[2 * i + 1]);
+            if self.tree[i] == refreshed {
+                break;
+            }
+            self.tree[i] = refreshed;
+        }
+    }
+
+    /// Number of 64-bit words the tree itself occupies (`2 × cells`) — the
+    /// tracker's contribution to its owner's
+    /// [`FrequencyEstimator::memory_cells`](crate::FrequencyEstimator::memory_cells).
+    pub fn memory_cells(&self) -> usize {
+        self.tree.len()
+    }
+
+    /// Rebuilds the whole tree from a magnitude iterator (after a merge).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` yields fewer magnitudes than the tracked cell
+    /// count (the tree would be left inconsistent).
+    pub fn rebuild<I: IntoIterator<Item = u64>>(&mut self, values: I) {
+        let mut filled = 0usize;
+        for (leaf, value) in self.tree[self.cells..].iter_mut().zip(values) {
+            *leaf = value;
+            filled += 1;
+        }
+        assert_eq!(filled, self.cells, "rebuild must cover every cell");
+        for i in (1..self.cells).rev() {
+            self.tree[i] = self.tree[2 * i].min(self.tree[2 * i + 1]);
+        }
+    }
+}
+
+impl FloorTracker for TournamentFloorTracker {
+    fn floor(&self) -> u64 {
+        // For a single cell the leaf *is* the root (index 1); otherwise the
+        // internal root at index 1 holds the min over all leaves.
+        self.tree[1]
+    }
+
+    fn tracked(&self) -> usize {
+        self.cells
+    }
+
+    fn reset(&mut self) {
+        self.tree.fill(0);
     }
 }
 
@@ -72,60 +402,153 @@ mod tests {
     use rand::{Rng, SeedableRng};
 
     #[test]
-    fn starts_at_zero_with_full_multiplicity() {
-        let t = MinTracker::new(12);
-        assert_eq!(t.value(), 0);
-        assert_eq!(t.multiplicity, 12);
+    fn monotone_starts_at_zero_floor() {
+        let t = MonotoneFloorTracker::new(12);
+        assert_eq!(t.floor(), 0);
+        assert_eq!(t.tracked(), 12);
+        assert_eq!(t.zero_cells(), 12);
     }
 
     #[test]
-    fn increase_above_min_does_not_invalidate() {
-        let mut t = MinTracker::new(3);
-        t.recompute([2, 5, 9]);
-        assert_eq!(t.value(), 2);
+    fn monotone_increase_above_min_does_not_invalidate() {
+        let mut t = MonotoneFloorTracker::new(3);
+        t.rebuild([2, 5, 9]);
+        assert_eq!(t.floor(), 2);
         assert!(!t.on_increase(5, 6));
-        assert_eq!(t.value(), 2);
+        assert_eq!(t.floor(), 2);
+        assert_eq!(t.zero_cells(), 0);
     }
 
     #[test]
-    fn exhausting_minimum_requests_recompute() {
-        let mut t = MinTracker::new(3);
-        t.recompute([2, 2, 9]);
+    fn monotone_exhausting_minimum_requests_rebuild() {
+        let mut t = MonotoneFloorTracker::new(3);
+        t.rebuild([2, 2, 9]);
         assert!(!t.on_increase(2, 3)); // one cell at min remains
         assert!(t.on_increase(2, 3)); // last cell at min leaves
-        t.recompute([3, 3, 9]);
-        assert_eq!(t.value(), 3);
+        t.rebuild([3, 3, 9]);
+        assert_eq!(t.floor(), 3);
     }
 
     #[test]
-    fn no_op_increase_keeps_multiplicity() {
-        let mut t = MinTracker::new(2);
-        t.recompute([4, 7]);
-        assert!(!t.on_increase(4, 4)); // conservative update may leave a cell unchanged
-        assert_eq!(t.value(), 4);
+    fn monotone_noop_increase_keeps_multiplicity() {
+        let mut t = MonotoneFloorTracker::new(2);
+        t.rebuild([4, 7]);
+        assert!(!t.on_increase(4, 4)); // conservative update may not move a cell
+        assert_eq!(t.floor(), 4);
     }
 
     #[test]
-    fn recompute_on_empty_is_zero() {
-        let mut t = MinTracker::new(0);
-        t.recompute(std::iter::empty());
-        assert_eq!(t.value(), 0);
+    fn monotone_reset_restores_fresh_state() {
+        let mut t = MonotoneFloorTracker::new(4);
+        t.rebuild([1, 2, 3, 4]);
+        t.reset();
+        assert_eq!(t.floor(), 0);
+        assert_eq!(t.zero_cells(), 4);
+        assert_eq!(t.tracked(), 4);
     }
 
     #[test]
-    fn tracker_agrees_with_naive_min_under_random_workload() {
+    fn monotone_agrees_with_naive_min_under_random_workload() {
         let mut rng = StdRng::seed_from_u64(17);
         let mut cells = [0u64; 16];
-        let mut t = MinTracker::new(cells.len());
+        let mut t = MonotoneFloorTracker::new(cells.len());
         for _ in 0..5_000 {
             let i = rng.gen_range(0..cells.len());
             let add = rng.gen_range(1..4u64);
             let old = cells[i];
             cells[i] += add;
             if t.on_increase(old, cells[i]) {
-                t.recompute(cells.iter().copied());
+                t.rebuild(cells.iter().copied());
             }
-            assert_eq!(t.value(), *cells.iter().min().unwrap());
+            let naive = cells.iter().copied().filter(|&c| c > 0).min().unwrap_or(0);
+            assert_eq!(t.floor(), naive);
+            assert_eq!(t.zero_cells(), cells.iter().filter(|&&c| c == 0).count());
         }
+    }
+
+    #[test]
+    fn count_of_counts_tracks_new_and_departing_minima() {
+        let mut t = CountOfCountsTracker::default();
+        assert_eq!(t.floor(), 0);
+        t.on_transition(0, 10);
+        assert_eq!(t.floor(), 10);
+        t.on_transition(0, 1); // new rarest id
+        assert_eq!(t.floor(), 1);
+        t.on_transition(1, 21); // jump: id 10 is rarest again
+        assert_eq!(t.floor(), 10);
+        assert_eq!(t.tracked(), 2);
+        assert!(t.buckets() <= 2);
+    }
+
+    #[test]
+    fn count_of_counts_agrees_with_naive_under_random_workload() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let mut counts = std::collections::HashMap::<u64, u64>::new();
+        let mut t = CountOfCountsTracker::default();
+        for _ in 0..5_000 {
+            let id = rng.gen_range(0..64u64);
+            let add = if rng.gen_bool(0.9) { 1 } else { rng.gen_range(2..20u64) };
+            let entry = counts.entry(id).or_insert(0);
+            let old = *entry;
+            *entry += add;
+            t.on_transition(old, *entry);
+            assert_eq!(t.floor(), counts.values().copied().min().unwrap());
+            assert_eq!(t.tracked(), counts.len());
+        }
+        t.reset();
+        assert_eq!(t.floor(), 0);
+        t.rebuild(counts.values().copied());
+        assert_eq!(t.floor(), counts.values().copied().min().unwrap());
+    }
+
+    #[test]
+    fn tournament_agrees_with_naive_under_signed_workload() {
+        let mut rng = StdRng::seed_from_u64(29);
+        for cells in [1usize, 2, 3, 7, 16, 33] {
+            let mut values = vec![0i64; cells];
+            let mut t = TournamentFloorTracker::new(cells);
+            assert_eq!(t.tracked(), cells);
+            for _ in 0..2_000 {
+                let i = rng.gen_range(0..cells);
+                values[i] += if rng.gen::<bool>() { 1 } else { -1 };
+                t.update(i, values[i].unsigned_abs());
+                let naive = values.iter().map(|v| v.unsigned_abs()).min().unwrap();
+                assert_eq!(t.floor(), naive, "{cells} cells");
+            }
+            t.reset();
+            assert_eq!(t.floor(), 0);
+            t.rebuild(values.iter().map(|v| v.unsigned_abs()));
+            let naive = values.iter().map(|v| v.unsigned_abs()).min().unwrap();
+            assert_eq!(t.floor(), naive);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cell")]
+    fn tournament_rejects_zero_cells() {
+        let _ = TournamentFloorTracker::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cover every cell")]
+    fn tournament_rebuild_rejects_short_input() {
+        let mut t = TournamentFloorTracker::new(4);
+        t.rebuild([1u64, 2]);
+    }
+
+    #[test]
+    fn trackers_are_usable_through_the_trait() {
+        fn floor_of(t: &dyn FloorTracker) -> u64 {
+            t.floor()
+        }
+        let mut m = MonotoneFloorTracker::new(2);
+        let _ = m.on_increase(0, 4);
+        let mut c = CountOfCountsTracker::default();
+        c.on_transition(0, 4);
+        let mut t = TournamentFloorTracker::new(1);
+        t.update(0, 4);
+        assert_eq!(floor_of(&m), 4);
+        assert_eq!(floor_of(&c), 4);
+        assert_eq!(floor_of(&t), 4);
     }
 }

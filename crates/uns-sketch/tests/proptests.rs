@@ -159,4 +159,109 @@ proptest! {
             prop_assert!(sketch.estimate(id) <= stream.len() as u64);
         }
     }
+
+    /// The floor-estimate engine ≡ a naive full scan for Count-Min, under
+    /// interleaved record / record_many / record_and_estimate /
+    /// floor_estimate sequences (`op` selects the entry point per element).
+    #[test]
+    fn count_min_engine_floor_equals_naive_interleaved(
+        stream in vec((0u64..96, 0u8..4), 1..800),
+        width in 1usize..24,
+        depth in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        let mut sketch = CountMinSketch::with_dimensions(width, depth, seed).unwrap();
+        for &(id, op) in &stream {
+            let reported = match op {
+                0 => {
+                    sketch.record(id);
+                    None
+                }
+                1 => Some(sketch.record_and_estimate(id).1),
+                2 => {
+                    sketch.record_many(id, 3);
+                    None
+                }
+                _ => {
+                    sketch.record(id);
+                    Some(sketch.floor_estimate())
+                }
+            };
+            let naive = (0..sketch.depth())
+                .flat_map(|r| sketch.row(r).iter().copied())
+                .filter(|&c| c > 0)
+                .min()
+                .unwrap_or(0);
+            prop_assert_eq!(sketch.floor_estimate(), naive);
+            if let Some(floor) = reported {
+                prop_assert_eq!(floor, naive);
+            }
+        }
+    }
+
+    /// The floor-estimate engine ≡ a naive full scan over |cell| for the
+    /// Count sketch (signed counters: magnitudes shrink under sign
+    /// cancellation, the case monotone tracking cannot handle).
+    #[test]
+    fn count_sketch_engine_floor_equals_naive_interleaved(
+        stream in vec((0u64..96, 0u8..3), 1..800),
+        width in 1usize..24,
+        depth in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        let mut sketch = CountSketch::with_dimensions(width, depth, seed).unwrap();
+        for &(id, op) in &stream {
+            let reported = match op {
+                0 => {
+                    sketch.record(id);
+                    None
+                }
+                1 => Some(sketch.record_and_estimate(id).1),
+                _ => {
+                    sketch.record_many(id, 2);
+                    None
+                }
+            };
+            let naive = (0..sketch.depth())
+                .flat_map(|r| sketch.row(r).iter().map(|c| c.unsigned_abs()))
+                .min()
+                .unwrap_or(0);
+            prop_assert_eq!(sketch.floor_estimate(), naive);
+            if let Some(floor) = reported {
+                prop_assert_eq!(floor, naive);
+            }
+        }
+    }
+
+    /// The count-of-counts engine ≡ a naive scan over all per-id counts
+    /// for the exact oracle, including batched jumps off the minimum.
+    #[test]
+    fn exact_oracle_engine_floor_equals_naive_interleaved(
+        stream in vec((0u64..96, 0u8..4, 1u64..20), 1..800),
+    ) {
+        let mut oracle = ExactFrequencyOracle::new();
+        for &(id, op, batch) in &stream {
+            let reported = match op {
+                0 => {
+                    oracle.record(id);
+                    None
+                }
+                1 => Some(oracle.record_and_estimate(id).1),
+                2 => {
+                    oracle.record_many(id, batch);
+                    None
+                }
+                _ => {
+                    oracle.record(id);
+                    Some(oracle.floor_estimate())
+                }
+            };
+            let naive = oracle.iter().map(|(_, count)| count).min().unwrap_or(0);
+            prop_assert_eq!(oracle.floor_estimate(), naive);
+            prop_assert_eq!(oracle.min_frequency(), naive);
+            if let Some(floor) = reported {
+                prop_assert_eq!(floor, naive);
+            }
+        }
+    }
 }
