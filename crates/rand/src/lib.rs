@@ -285,6 +285,25 @@ pub mod rngs {
             state[b] = (state[b] ^ state[c]).rotate_left(7);
         }
 
+        /// The generator's full internal state: the ChaCha input block, the
+        /// decoded output of the current block, and the next unread word
+        /// index. Together with [`StdRng::from_state`] this is the
+        /// snapshot/restore seam — a generator rebuilt from this state
+        /// continues the stream exactly where the original stood.
+        pub fn state(&self) -> ([u32; 16], [u64; 8], usize) {
+            (self.state, self.buffer, self.index)
+        }
+
+        /// Rebuilds a generator from a state captured by [`StdRng::state`].
+        ///
+        /// # Panics
+        ///
+        /// Panics if `index > 8` (at most 8 words fit in a decoded block).
+        pub fn from_state(state: [u32; 16], buffer: [u64; 8], index: usize) -> Self {
+            assert!(index <= 8, "buffer index {index} out of range");
+            Self { state, buffer, index }
+        }
+
         fn refill(&mut self) {
             let mut working = self.state;
             // 12 rounds = 6 double rounds (column + diagonal).
@@ -344,6 +363,28 @@ pub mod rngs {
     #[derive(Clone, Debug)]
     pub struct SmallRng {
         s: [u64; 4],
+    }
+
+    impl SmallRng {
+        /// The generator's full internal state — four 64-bit words. Together
+        /// with [`SmallRng::from_state`] this is the snapshot/restore seam:
+        /// a generator rebuilt from this state produces exactly the same
+        /// stream of draws the original would have produced from this point.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from a state captured by
+        /// [`SmallRng::state`].
+        ///
+        /// # Panics
+        ///
+        /// Panics on the all-zero state, which is a fixed point of
+        /// xoshiro256++ and can never be captured from a live generator.
+        pub fn from_state(state: [u64; 4]) -> Self {
+            assert!(state != [0, 0, 0, 0], "the all-zero xoshiro256++ state is invalid");
+            Self { s: state }
+        }
     }
 
     impl SeedableRng for SmallRng {
@@ -476,6 +517,39 @@ mod tests {
         }
         let mut rng = StdRng::seed_from_u64(1);
         assert!(takes_unsized(&mut rng) < 100);
+    }
+
+    #[test]
+    fn state_round_trip_resumes_both_generators_exactly() {
+        let mut small = SmallRng::seed_from_u64(5);
+        for _ in 0..5 {
+            let _ = small.gen::<u64>(); // advance off the seed state
+        }
+        let mut resumed = SmallRng::from_state(small.state());
+        for _ in 0..64 {
+            assert_eq!(resumed.gen::<u64>(), small.gen::<u64>());
+        }
+        let mut std = StdRng::seed_from_u64(5);
+        for _ in 0..3 {
+            let _ = std.gen::<u64>(); // land mid-block: index matters
+        }
+        let (state, buffer, index) = std.state();
+        let mut resumed = StdRng::from_state(state, buffer, index);
+        for _ in 0..64 {
+            assert_eq!(resumed.gen::<u64>(), std.gen::<u64>());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "all-zero")]
+    fn all_zero_small_rng_state_is_rejected() {
+        let _ = SmallRng::from_state([0; 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn std_rng_index_out_of_range_is_rejected() {
+        let _ = StdRng::from_state([0; 16], [0; 8], 9);
     }
 
     #[test]

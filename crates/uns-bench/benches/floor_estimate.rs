@@ -104,6 +104,28 @@ fn bench_floor_estimate(c: &mut Criterion) {
                 black_box(acc)
             })
         });
+        // Per-record tree maintenance but the floor never read: the cost
+        // the floor-less ingestion path (record_unfloored) removes.
+        group.bench_with_input(BenchmarkId::new("count_sketch_record", name), ids, |b, ids| {
+            b.iter(|| {
+                let mut sketch = CountSketch::with_dimensions(50, 10, 1).unwrap();
+                for &id in ids {
+                    sketch.record(id);
+                }
+                black_box(sketch.floor_estimate())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("count_sketch_unfloored", name), ids, |b, ids| {
+            b.iter(|| {
+                let mut sketch = CountSketch::with_dimensions(50, 10, 1).unwrap();
+                // One tree rebuild per 4096-element batch instead of
+                // O(log k·s) maintenance per touched cell.
+                for batch in ids.chunks(4096) {
+                    sketch.record_unfloored(batch);
+                }
+                black_box(sketch.floor_estimate())
+            })
+        });
         group.bench_with_input(
             BenchmarkId::new("exact_oracle_incremental", name),
             ids,

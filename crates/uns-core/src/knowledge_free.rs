@@ -55,7 +55,7 @@ use crate::node_id::NodeId;
 use crate::sampler::NodeSampler;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use uns_sketch::{CountMinSketch, ExactFrequencyOracle, FrequencyEstimator};
+use uns_sketch::{CountMinSketch, CountSketch, ExactFrequencyOracle, FrequencyEstimator};
 
 /// The paper's Algorithm 3: knowledge-free Byzantine-tolerant node
 /// sampling, generic over the frequency estimator `E` and the coin
@@ -79,6 +79,13 @@ pub struct KnowledgeFreeSampler<E = CountMinSketch, R = SmallRng> {
     memory: SamplingMemory,
     estimator: E,
     rng: R,
+}
+
+/// Derives the estimator's hash-family seed from the sampler's stream
+/// seed — the single definition shared by every sketch-backed constructor
+/// (and relied on by `uns-service` stream reproducibility).
+fn derive_sketch_seed(seed: u64) -> u64 {
+    seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1)
 }
 
 impl KnowledgeFreeSampler<CountMinSketch> {
@@ -118,8 +125,7 @@ impl KnowledgeFreeSampler<CountMinSketch> {
         delta: f64,
         seed: u64,
     ) -> Result<Self, CoreError> {
-        let sketch_seed = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
-        let sketch = CountMinSketch::with_error_bounds(epsilon, delta, sketch_seed)?;
+        let sketch = CountMinSketch::with_error_bounds(epsilon, delta, derive_sketch_seed(seed))?;
         Self::new(capacity, sketch, seed)
     }
 }
@@ -150,9 +156,30 @@ impl<R: Rng + SeedableRng> KnowledgeFreeSampler<CountMinSketch, R> {
         depth: usize,
         seed: u64,
     ) -> Result<Self, CoreError> {
-        let sketch_seed = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
-        let sketch = CountMinSketch::with_dimensions(width, depth, sketch_seed)?;
+        let sketch = CountMinSketch::with_dimensions(width, depth, derive_sketch_seed(seed))?;
         Self::with_estimator_and_rng(capacity, sketch, seed)
+    }
+}
+
+impl KnowledgeFreeSampler<CountSketch> {
+    /// Creates the sampler over a Count sketch of `k = width` buckets and
+    /// `s = depth` rows — the estimator-ablation counterpart of
+    /// [`KnowledgeFreeSampler::with_count_min`], with the identical
+    /// seed-derivation plumbing (one stream seed derives both the packed
+    /// bucket/sign hash functions and the sampler coins).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::ZeroCapacity`] if `capacity == 0` and wraps
+    /// sketch dimension errors as [`CoreError::Sketch`].
+    pub fn with_count_sketch(
+        capacity: usize,
+        width: usize,
+        depth: usize,
+        seed: u64,
+    ) -> Result<Self, CoreError> {
+        let sketch = CountSketch::with_dimensions(width, depth, derive_sketch_seed(seed))?;
+        Self::new(capacity, sketch, seed)
     }
 }
 
@@ -197,6 +224,30 @@ impl<E: FrequencyEstimator, R: Rng + SeedableRng> KnowledgeFreeSampler<E, R> {
     }
 }
 
+impl<E, R> KnowledgeFreeSampler<E, R> {
+    /// Reassembles a sampler from its three state components — the
+    /// snapshot/restore seam (`uns-service`). The caller is responsible for
+    /// the components belonging together (a memory, estimator and coin
+    /// generator captured from the *same* sampler at the *same* point):
+    /// given that, the reassembled sampler is bit-equal going forward to
+    /// the one the components were captured from.
+    pub fn from_parts(memory: SamplingMemory, estimator: E, rng: R) -> Self {
+        Self { memory, estimator, rng }
+    }
+
+    /// Read access to the sampling memory `Γ` (slot order included) — the
+    /// counterpart of [`KnowledgeFreeSampler::estimator`] for snapshots.
+    pub fn memory(&self) -> &SamplingMemory {
+        &self.memory
+    }
+
+    /// Read access to the coin generator, e.g. to capture its state for a
+    /// snapshot (`rand::rngs::SmallRng::state`).
+    pub fn rng(&self) -> &R {
+        &self.rng
+    }
+}
+
 impl<E: FrequencyEstimator, R: Rng> KnowledgeFreeSampler<E, R> {
     /// Read access to the underlying frequency estimator.
     pub fn estimator(&self) -> &E {
@@ -228,11 +279,24 @@ impl<E: FrequencyEstimator, R: Rng> KnowledgeFreeSampler<E, R> {
     /// apply the admission/eviction rule. No output draw.
     #[inline]
     fn absorb(&mut self, id: NodeId) {
+        self.ingest_admitted(id);
+    }
+
+    /// [`NodeSampler::ingest`] plus an admission report: reads one
+    /// identifier (estimator recorded, admission/eviction rule applied, no
+    /// output draw) and returns `true` if `id` entered `Γ` at this step —
+    /// the seam the service layer (`uns-service`) uses to maintain its
+    /// admission counters without a second pass over the memory.
+    ///
+    /// State evolution (memory, estimator, coin order) is identical to
+    /// [`NodeSampler::ingest`]; only the admission outcome is surfaced.
+    #[inline]
+    pub fn ingest_admitted(&mut self, id: NodeId) -> bool {
         // cobegin (Algorithm 3, lines 1–3): the estimator reads the element
         // first, so f̂_j accounts for this occurrence. The fused operation
         // also hands back min_σ, saving the second hashing pass.
         let (f_hat, min_sigma) = self.estimator.record_and_estimate(id.as_u64());
-        self.absorb_precomputed(id, f_hat, min_sigma);
+        self.absorb_precomputed(id, f_hat, min_sigma)
     }
 
     /// The memory-and-coins half of [`NodeSampler::ingest`], taking the
@@ -259,8 +323,20 @@ impl<E: FrequencyEstimator, R: Rng> KnowledgeFreeSampler<E, R> {
         if !self.memory.is_full() {
             self.memory.insert(id) // no-op when already resident
         } else if !self.memory.contains(id) {
-            let a_j = Self::admission_probability(f_hat, min_sigma);
-            if self.rng.gen::<f64>() < a_j {
+            // Branchless admission. The decision "coin < min(min_σ/f̂, 1)
+            // (admit on f̂ = 0)" is evaluated as a non-short-circuiting OR
+            // of two comparisons so the a_j = 1 fast path — every element
+            // whose estimate has not outgrown the floor, i.e. the bulk of
+            // honest traffic — costs no data-dependent branch. The OR is
+            // decision-identical to the clamped form: f̂ ≤ min_σ covers
+            // exactly the cases where the (f64-rounded) quotient is ≥ 1 and
+            // the clamp fired (including f̂ = 0, where the quotient is NaN
+            // or +∞), and otherwise the same rounded quotient is compared.
+            // Exactly one admission coin is drawn either way — the coin
+            // order replay paths depend on (see the NodeSampler docs).
+            let coin = self.rng.gen::<f64>();
+            let admitted = (f_hat <= min_sigma) | (coin < min_sigma as f64 / f_hat as f64);
+            if admitted {
                 // r_k = 1/c: uniform eviction (Algorithm 3, line 11).
                 self.memory.replace_uniform(&mut self.rng, id).is_some()
             } else {
@@ -438,6 +514,96 @@ mod tests {
     }
 
     #[test]
+    fn branchless_admission_matches_clamped_reference() {
+        // The non-short-circuit OR in absorb_precomputed must decide
+        // exactly like the clamped textbook form coin < min(min_σ/f̂, 1)
+        // with f̂ = 0 treated as admit — for every (f̂, min_σ, coin),
+        // including the rounding edge where min_σ/f̂ rounds up to 1.0.
+        let reference = |f_hat: u64, min_sigma: u64, coin: f64| {
+            if f_hat == 0 {
+                true
+            } else {
+                coin < (min_sigma as f64 / f_hat as f64).min(1.0)
+            }
+        };
+        let branchless = |f_hat: u64, min_sigma: u64, coin: f64| {
+            (f_hat <= min_sigma) | (coin < min_sigma as f64 / f_hat as f64)
+        };
+        let mut rng = SmallRng::seed_from_u64(19);
+        let edge = [0u64, 1, 2, 3, u64::MAX - 1, u64::MAX];
+        let mut cases: Vec<(u64, u64)> = edge
+            .iter()
+            .flat_map(|&f| edge.iter().map(move |&m| (f, m)))
+            .chain([(u64::MAX, u64::MAX - 1), ((1 << 60) + 1, 1 << 60)])
+            .collect();
+        for _ in 0..5_000 {
+            let f = rng.gen_range(0..1_000u64);
+            let m = rng.gen_range(0..1_000u64);
+            cases.push((f, m));
+            // Near-1 quotients: f and m within one of each other, huge.
+            let big = rng.gen_range(u64::MAX / 2..u64::MAX - 1);
+            cases.push((big + 1, big));
+        }
+        for (f, m) in cases {
+            for coin in [0.0, 0.5, 1.0 - f64::EPSILON / 2.0, f64::from_bits((1.0f64).to_bits() - 1)]
+            {
+                assert_eq!(
+                    branchless(f, m, coin),
+                    reference(f, m, coin),
+                    "divergence at f̂={f}, min_σ={m}, coin={coin}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ingest_admitted_matches_ingest_and_reports_truthfully() {
+        let stream: Vec<NodeId> = (0..2_500u64).map(|i| NodeId::new(i * 37 % 96)).collect();
+        let mut plain = KnowledgeFreeSampler::with_count_min(5, 10, 4, 23).unwrap();
+        let mut reporting = KnowledgeFreeSampler::with_count_min(5, 10, 4, 23).unwrap();
+        let mut admissions = 0u64;
+        for &id in &stream {
+            plain.ingest(id);
+            let before = reporting.memory_contents();
+            let admitted = reporting.ingest_admitted(id);
+            let after = reporting.memory_contents();
+            assert_eq!(admitted, before != after, "report disagrees with Γ change");
+            admissions += u64::from(admitted);
+            assert_eq!(after, plain.memory_contents());
+        }
+        assert!(admissions >= 5, "at least the free-slot fills are admissions");
+        // Coin streams stayed aligned: the next draws coincide.
+        for _ in 0..32 {
+            assert_eq!(plain.sample(), reporting.sample());
+        }
+    }
+
+    #[test]
+    fn from_parts_reassembles_a_bit_equal_sampler() {
+        let mut original = KnowledgeFreeSampler::with_count_min(6, 10, 4, 51).unwrap();
+        for i in 0..5_000u64 {
+            original.feed(NodeId::new(i * 29 % 80));
+        }
+        // Capture the three components the way a snapshot would.
+        let memory = {
+            let mut rebuilt = crate::SamplingMemory::new(original.memory().capacity()).unwrap();
+            for &id in original.memory().iter() {
+                rebuilt.insert(id);
+            }
+            rebuilt
+        };
+        let estimator = original.estimator().clone();
+        let rng = SmallRng::from_state(original.rng().state());
+        let mut restored = KnowledgeFreeSampler::from_parts(memory, estimator, rng);
+        assert_eq!(restored.memory_contents(), original.memory_contents());
+        // Bit-equal going forward under further traffic.
+        for i in 0..3_000u64 {
+            let id = NodeId::new(i * 13 % 200);
+            assert_eq!(restored.feed(id), original.feed(id), "diverged at step {i}");
+        }
+    }
+
+    #[test]
     fn feed_batch_matches_elementwise_feed() {
         let stream: Vec<NodeId> = (0..900u64).map(|i| NodeId::new(i * 17 % 96)).collect();
         let mut single = KnowledgeFreeSampler::with_count_min(8, 12, 5, 21).unwrap();
@@ -512,6 +678,27 @@ mod tests {
         }
         assert_eq!(sampler.memory_contents().len(), 4);
         assert_eq!(sampler.strategy_name(), "knowledge-free");
+    }
+
+    #[test]
+    fn with_count_sketch_mirrors_count_min_seed_plumbing() {
+        assert_eq!(
+            KnowledgeFreeSampler::with_count_sketch(0, 10, 5, 1).unwrap_err(),
+            CoreError::ZeroCapacity
+        );
+        assert!(matches!(
+            KnowledgeFreeSampler::with_count_sketch(5, 0, 5, 1),
+            Err(CoreError::Sketch(_))
+        ));
+        // One stream seed derives the sketch hashes exactly as the
+        // Count-Min constructor would, so runs are reproducible from
+        // (c, k, s, seed) alone — for both estimators identically.
+        let mut a = KnowledgeFreeSampler::with_count_sketch(6, 16, 5, 42).unwrap();
+        let mut b = KnowledgeFreeSampler::with_count_sketch(6, 16, 5, 42).unwrap();
+        let cm = KnowledgeFreeSampler::with_count_min(6, 16, 5, 42).unwrap();
+        assert_eq!(a.estimator().seed(), cm.estimator().seed());
+        let stream: Vec<NodeId> = (0..600u64).map(|i| NodeId::new(i * 7 % 48)).collect();
+        assert_eq!(a.run(stream.clone()), b.run(stream));
     }
 
     #[test]

@@ -1,0 +1,173 @@
+//! Blocking request/reply client for the sampling service.
+
+use crate::error::ServiceError;
+use crate::protocol::{Request, Response, StreamConfig, StreamStats};
+use crate::transport::Transport;
+use crate::wire::{read_frame, write_frame};
+use uns_core::NodeId;
+
+/// Acknowledgement of an input-only batch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IngestAck {
+    /// Stream length after this batch — the batch covered stream positions
+    /// `position - len .. position`, which reconstructs the exact
+    /// interleaving across concurrent connections.
+    pub position: u64,
+    /// Elements of this batch that entered the memory `Γ`.
+    pub admitted: u64,
+}
+
+/// Result of a feed batch: the acknowledgement plus one output sample per
+/// input element.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FeedAck {
+    /// Stream length after this batch (see [`IngestAck::position`]).
+    pub position: u64,
+    /// Elements of this batch that entered the memory `Γ`.
+    pub admitted: u64,
+    /// Output samples in batch order.
+    pub outputs: Vec<NodeId>,
+}
+
+/// A blocking client: one in-flight request at a time over one transport.
+///
+/// [`ServiceError::Busy`] replies surface as errors so callers own the
+/// retry policy (the load generator backs off and retries; see
+/// [`crate::loadgen`]).
+pub struct ServiceClient<T: Transport> {
+    reader: T,
+    writer: Box<dyn Transport>,
+    send_buf: Vec<u8>,
+    recv_buf: Vec<u8>,
+}
+
+impl<T: Transport> ServiceClient<T> {
+    /// Wraps a connected transport.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the transport's handle-duplication failure.
+    pub fn new(transport: T) -> Result<Self, ServiceError> {
+        let writer = transport.try_clone_transport()?;
+        Ok(Self { reader: transport, writer, send_buf: Vec::new(), recv_buf: Vec::new() })
+    }
+
+    fn round_trip(&mut self) -> Result<Response, ServiceError> {
+        write_frame(&mut self.writer, &self.send_buf)?;
+        if !read_frame(&mut self.reader, &mut self.recv_buf)? {
+            return Err(ServiceError::Protocol("server hung up mid-request".into()));
+        }
+        Response::decode(&self.recv_buf)?.into_result()
+    }
+
+    fn expect_ok(&mut self) -> Result<(), ServiceError> {
+        match self.round_trip()? {
+            Response::Ok => Ok(()),
+            other => Err(ServiceError::Protocol(format!("unexpected response {other:?}"))),
+        }
+    }
+
+    /// Creates a named stream.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::StreamExists`], [`ServiceError::InvalidConfig`],
+    /// [`ServiceError::Busy`], or transport/protocol failures.
+    pub fn create_stream(&mut self, name: &str, config: &StreamConfig) -> Result<(), ServiceError> {
+        Request::CreateStream { name, config: *config }.encode(&mut self.send_buf);
+        self.expect_ok()
+    }
+
+    /// Input-only batch: evolves the stream's sampler, no output samples.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::UnknownStream`], [`ServiceError::Busy`], or
+    /// transport/protocol failures.
+    pub fn ingest(&mut self, name: &str, ids: &[NodeId]) -> Result<IngestAck, ServiceError> {
+        Request::encode_batch(&mut self.send_buf, false, name, ids);
+        match self.round_trip()? {
+            Response::Ingested { position, admitted } => Ok(IngestAck { position, admitted }),
+            other => Err(ServiceError::Protocol(format!("unexpected response {other:?}"))),
+        }
+    }
+
+    /// Feeds a batch; returns one output sample per element.
+    ///
+    /// # Errors
+    ///
+    /// As [`ServiceClient::ingest`].
+    pub fn feed_batch(&mut self, name: &str, ids: &[NodeId]) -> Result<FeedAck, ServiceError> {
+        Request::encode_batch(&mut self.send_buf, true, name, ids);
+        match self.round_trip()? {
+            Response::Fed { position, admitted, outputs } => {
+                Ok(FeedAck { position, admitted, outputs })
+            }
+            other => Err(ServiceError::Protocol(format!("unexpected response {other:?}"))),
+        }
+    }
+
+    /// Draws one output sample without consuming input.
+    ///
+    /// # Errors
+    ///
+    /// As [`ServiceClient::ingest`].
+    pub fn sample(&mut self, name: &str) -> Result<Option<NodeId>, ServiceError> {
+        Request::Sample { name }.encode(&mut self.send_buf);
+        match self.round_trip()? {
+            Response::Sampled(sample) => Ok(sample),
+            other => Err(ServiceError::Protocol(format!("unexpected response {other:?}"))),
+        }
+    }
+
+    /// Reads the stream estimator's sampling floor `min_σ`.
+    ///
+    /// # Errors
+    ///
+    /// As [`ServiceClient::ingest`].
+    pub fn floor_estimate(&mut self, name: &str) -> Result<u64, ServiceError> {
+        Request::FloorEstimate { name }.encode(&mut self.send_buf);
+        match self.round_trip()? {
+            Response::Value(value) => Ok(value),
+            other => Err(ServiceError::Protocol(format!("unexpected response {other:?}"))),
+        }
+    }
+
+    /// Serializes the stream's complete sampler state.
+    ///
+    /// # Errors
+    ///
+    /// As [`ServiceClient::ingest`].
+    pub fn snapshot(&mut self, name: &str) -> Result<Vec<u8>, ServiceError> {
+        Request::Snapshot { name }.encode(&mut self.send_buf);
+        match self.round_trip()? {
+            Response::Snapshot(blob) => Ok(blob),
+            other => Err(ServiceError::Protocol(format!("unexpected response {other:?}"))),
+        }
+    }
+
+    /// Creates-or-replaces a stream from a snapshot blob; the stream
+    /// resumes bit-equal to the snapshotted sampler.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Snapshot`] on a rejected blob; otherwise as
+    /// [`ServiceClient::ingest`].
+    pub fn restore(&mut self, name: &str, snapshot: &[u8]) -> Result<(), ServiceError> {
+        Request::Restore { name, snapshot }.encode(&mut self.send_buf);
+        self.expect_ok()
+    }
+
+    /// Reads the stream's traffic counters.
+    ///
+    /// # Errors
+    ///
+    /// As [`ServiceClient::ingest`].
+    pub fn stats(&mut self, name: &str) -> Result<StreamStats, ServiceError> {
+        Request::Stats { name }.encode(&mut self.send_buf);
+        match self.round_trip()? {
+            Response::Stats(stats) => Ok(stats),
+            other => Err(ServiceError::Protocol(format!("unexpected response {other:?}"))),
+        }
+    }
+}

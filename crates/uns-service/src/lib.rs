@@ -1,0 +1,75 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+//! The networked uniform-node-sampling service.
+//!
+//! The paper's sampling component runs *inside every node of a large-scale
+//! open system*, continuously fed by node-id streams arriving over the
+//! network. This crate is that service boundary for the reproduction:
+//! sockets in, samples out, state that survives restarts — turning the
+//! in-process kernels of `uns-core`/`uns-sketch` into something a
+//! deployment can talk to.
+//!
+//! Std-only by design: the build containers have no registry access, so
+//! networking is thread-per-connection over [`std::net::TcpStream`], with
+//! an in-process pipe [`transport`] for tests and benchmarks.
+//!
+//! # Pieces
+//!
+//! * [`wire`] + [`protocol`] — a framed, versioned binary protocol
+//!   (length-prefixed frames, op codes for `CreateStream`, `Ingest`,
+//!   `FeedBatch`, `Sample`, `FloorEstimate`, `Snapshot`, `Restore`,
+//!   `Stats`) with zero-copy batch decode;
+//! * [`server`] — the multi-tenant server: named streams, each owning a
+//!   knowledge-free sampler (estimator kind and `c`/`k`/`s` chosen at
+//!   stream creation), a worker pool that serializes every stream through
+//!   its owning shard, bounded queues with explicit `Busy` backpressure;
+//! * [`snapshot`] + [`sampler`] — deterministic byte-level snapshot and
+//!   restore of the complete sampler state (memory `Γ` in slot order,
+//!   estimator cells, floor-engine inputs, RNG state) such that a restored
+//!   service is **bit-equal going forward** to one that never stopped;
+//! * [`client`] + [`loadgen`] — a blocking client and a load generator
+//!   that replays Zipf/uniform/adversarial workloads over N concurrent
+//!   connections and reports Melem/s.
+//!
+//! # Example
+//!
+//! ```
+//! use uns_service::protocol::{EstimatorKind, StreamConfig};
+//! use uns_service::server::{Server, ServerConfig};
+//! use uns_service::client::ServiceClient;
+//! use uns_core::NodeId;
+//!
+//! # fn main() -> Result<(), uns_service::ServiceError> {
+//! let server = Server::start(ServerConfig::default());
+//! let mut client = ServiceClient::new(server.connect_in_process())?;
+//! client.create_stream(
+//!     "overlay-0",
+//!     &StreamConfig { kind: EstimatorKind::CountMin, capacity: 10, width: 10, depth: 5, seed: 1 },
+//! )?;
+//! let ids: Vec<NodeId> = (0..100u64).map(NodeId::new).collect();
+//! let ack = client.feed_batch("overlay-0", &ids)?;
+//! assert_eq!(ack.outputs.len(), 100); // one uniform sample per element
+//! let blob = client.snapshot("overlay-0")?; // survives restarts
+//! client.restore("overlay-0-copy", &blob)?;
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod client;
+pub mod error;
+pub mod loadgen;
+pub mod protocol;
+pub mod sampler;
+pub mod server;
+pub mod snapshot;
+pub mod transport;
+pub mod wire;
+
+pub use client::{FeedAck, IngestAck, ServiceClient};
+pub use error::ServiceError;
+pub use loadgen::{LoadgenConfig, LoadgenReport, Workload};
+pub use protocol::{EstimatorKind, StreamConfig, StreamStats};
+pub use sampler::ServiceSampler;
+pub use server::{Server, ServerConfig};
+pub use transport::{duplex, PipeTransport, Transport};

@@ -1,0 +1,328 @@
+//! Load generator: replays adversarial workloads over N concurrent
+//! connections and reports service-path throughput.
+//!
+//! Each connection thread generates its own deterministic slice of the
+//! workload (per-connection seed), cuts it into batches, and drives the
+//! service with `FeedBatch` (or input-only `Ingest`) requests, retrying
+//! with backoff on [`crate::protocol::Response::Busy`]. The report carries
+//! elements/s so `BENCH_*.json` can record service-path throughput next to
+//! the library-path numbers.
+
+use crate::client::ServiceClient;
+use crate::error::ServiceError;
+use crate::protocol::{StreamConfig, StreamStats};
+use crate::transport::Transport;
+use std::time::{Duration, Instant};
+use uns_core::NodeId;
+use uns_streams::adversary::{peak_attack_distribution, targeted_flooding_distribution};
+use uns_streams::{IdDistribution, IdStream, SybilInjector};
+
+/// The stream shape a load-generator connection replays.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Workload {
+    /// Uniform honest traffic over `domain` identifiers.
+    Uniform {
+        /// Population size `n`.
+        domain: usize,
+    },
+    /// Zipf(α) skew over `domain` identifiers.
+    Zipf {
+        /// Population size `n`.
+        domain: usize,
+        /// Skew exponent α (0 = uniform).
+        alpha: f64,
+    },
+    /// The paper's Fig. 7a peak attack: one identifier holds half the
+    /// stream.
+    PeakAttack {
+        /// Population size `n`.
+        domain: usize,
+    },
+    /// The paper's Fig. 7b targeted + flooding attack.
+    TargetedFlooding {
+        /// Population size `n`.
+        domain: usize,
+    },
+    /// Uniform honest traffic with explicit sybil injection
+    /// ([`SybilInjector`], uniform schedule): `distinct` sybil identifiers
+    /// are each repeated until they hold roughly half of every
+    /// connection's slice.
+    Sybil {
+        /// Honest population size `n` (sybil ids start at `domain`).
+        domain: usize,
+        /// Number of distinct sybil identifiers (the §V effort).
+        distinct: usize,
+    },
+}
+
+impl Workload {
+    /// Generates one connection's deterministic slice of `len` elements.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::InvalidConfig`] on an empty domain or invalid skew.
+    pub fn generate(&self, len: usize, seed: u64) -> Result<Vec<NodeId>, ServiceError> {
+        let invalid = |err: &dyn std::fmt::Display| ServiceError::InvalidConfig(err.to_string());
+        let from_dist = |dist: IdDistribution| IdStream::new(dist, seed).take_vec(len);
+        Ok(match *self {
+            Workload::Uniform { domain } => {
+                from_dist(IdDistribution::uniform(domain).map_err(|e| invalid(&e))?)
+            }
+            Workload::Zipf { domain, alpha } => {
+                from_dist(IdDistribution::zipf(domain, alpha).map_err(|e| invalid(&e))?)
+            }
+            Workload::PeakAttack { domain } => {
+                from_dist(peak_attack_distribution(domain).map_err(|e| invalid(&e))?)
+            }
+            Workload::TargetedFlooding { domain } => {
+                from_dist(targeted_flooding_distribution(domain).map_err(|e| invalid(&e))?)
+            }
+            Workload::Sybil { domain, distinct } => {
+                if domain == 0 || distinct == 0 {
+                    return Err(ServiceError::InvalidConfig(
+                        "sybil workload needs a non-empty domain and at least one sybil".into(),
+                    ));
+                }
+                // Honest half + sybil half, merged uniformly.
+                let honest_len = len / 2;
+                let honest =
+                    IdStream::new(IdDistribution::uniform(domain).map_err(|e| invalid(&e))?, seed)
+                        .take_vec(honest_len);
+                let repetitions = (len - honest_len).div_ceil(distinct).max(1);
+                let injector = SybilInjector::new(domain as u64, distinct, repetitions);
+                let mut merged = injector.inject(&honest, seed ^ 0x5bd1_e995);
+                merged.truncate(len);
+                merged
+            }
+        })
+    }
+}
+
+/// Load-generator run parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct LoadgenConfig {
+    /// Concurrent connections.
+    pub connections: usize,
+    /// Elements each connection sends in total.
+    pub elements_per_connection: usize,
+    /// Elements per `FeedBatch`/`Ingest` request.
+    pub batch_len: usize,
+    /// Workload shape each connection replays.
+    pub workload: Workload,
+    /// Base seed; connection `i` generates from `seed + i`.
+    pub seed: u64,
+    /// `true` → `FeedBatch` (outputs drawn and shipped back);
+    /// `false` → input-only `Ingest`.
+    pub feed: bool,
+}
+
+/// Outcome of a load-generator run.
+#[derive(Clone, Debug)]
+pub struct LoadgenReport {
+    /// Total elements the service absorbed.
+    pub elements: u64,
+    /// Wall-clock duration of the whole run.
+    pub elapsed: Duration,
+    /// Requests that bounced with Busy and were retried.
+    pub busy_retries: u64,
+    /// Final server-side stream counters.
+    pub stats: StreamStats,
+    /// XOR digest of all output samples (feed mode) — a cheap whole-run
+    /// checksum two runs can be compared by.
+    pub output_digest: u64,
+}
+
+impl LoadgenReport {
+    /// Throughput in millions of elements per second.
+    pub fn melem_per_s(&self) -> f64 {
+        if self.elapsed.is_zero() {
+            return 0.0;
+        }
+        self.elements as f64 / self.elapsed.as_secs_f64() / 1e6
+    }
+}
+
+/// Drives `stream_name` on a server through `connections` concurrent
+/// clients. `connect` opens one transport per connection (TCP dial,
+/// [`crate::server::Server::connect_in_process`], …). The stream must
+/// already exist — create it with [`ServiceClient::create_stream`] first.
+///
+/// # Errors
+///
+/// Propagates workload-generation and transport errors; the first failed
+/// connection aborts the run.
+pub fn run_loadgen<T, F>(
+    connect: F,
+    stream_name: &str,
+    config: &LoadgenConfig,
+) -> Result<LoadgenReport, ServiceError>
+where
+    T: Transport,
+    F: Fn() -> Result<T, ServiceError> + Sync,
+{
+    let connections = config.connections.max(1);
+    let batch_len = config.batch_len.max(1);
+    // Workload synthesis happens OUTSIDE the timed window: the report
+    // measures the service path (framing, transport, sampler), not how
+    // long Zipf/sybil stream generation takes.
+    let slices: Vec<Vec<NodeId>> = (0..connections)
+        .map(|index| {
+            config.workload.generate(config.elements_per_connection, config.seed + index as u64)
+        })
+        .collect::<Result<_, _>>()?;
+    let started = Instant::now();
+    let results: Vec<Result<(u64, u64, u64), ServiceError>> = std::thread::scope(|scope| {
+        let connect = &connect;
+        let handles: Vec<_> = slices
+            .iter()
+            .map(|slice| {
+                scope.spawn(move || {
+                    let mut client = ServiceClient::new(connect()?)?;
+                    let mut sent = 0u64;
+                    let mut busy = 0u64;
+                    let mut digest = 0u64;
+                    for batch in slice.chunks(batch_len) {
+                        loop {
+                            let result = if config.feed {
+                                client.feed_batch(stream_name, batch).map(|ack| {
+                                    for id in &ack.outputs {
+                                        digest ^= id.as_u64().wrapping_mul(0x9e37_79b9_7f4a_7c15);
+                                    }
+                                })
+                            } else {
+                                client.ingest(stream_name, batch).map(|_| ())
+                            };
+                            match result {
+                                Ok(()) => break,
+                                Err(ServiceError::Busy) => {
+                                    busy += 1;
+                                    std::thread::sleep(Duration::from_micros(50));
+                                }
+                                Err(err) => return Err(err),
+                            }
+                        }
+                        sent += batch.len() as u64;
+                    }
+                    Ok((sent, busy, digest))
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("loadgen connection panicked")).collect()
+    });
+    let mut elements = 0u64;
+    let mut busy_retries = 0u64;
+    let mut output_digest = 0u64;
+    for result in results {
+        let (sent, busy, digest) = result?;
+        elements += sent;
+        busy_retries += busy;
+        output_digest ^= digest;
+    }
+    let elapsed = started.elapsed();
+    let mut client = ServiceClient::new(connect()?)?;
+    let stats = client.stats(stream_name)?;
+    Ok(LoadgenReport { elements, elapsed, busy_retries, stats, output_digest })
+}
+
+/// Convenience: create the stream, run the load, return the report.
+///
+/// # Errors
+///
+/// As [`run_loadgen`], plus stream-creation failures.
+pub fn create_and_run<T, F>(
+    connect: F,
+    stream_name: &str,
+    stream_config: &StreamConfig,
+    config: &LoadgenConfig,
+) -> Result<LoadgenReport, ServiceError>
+where
+    T: Transport,
+    F: Fn() -> Result<T, ServiceError> + Sync,
+{
+    let mut client = ServiceClient::new(connect()?)?;
+    client.create_stream(stream_name, stream_config)?;
+    run_loadgen(connect, stream_name, config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::EstimatorKind;
+    use crate::server::{Server, ServerConfig};
+
+    #[test]
+    fn workloads_generate_deterministic_slices() {
+        for workload in [
+            Workload::Uniform { domain: 50 },
+            Workload::Zipf { domain: 50, alpha: 1.2 },
+            Workload::PeakAttack { domain: 50 },
+            Workload::TargetedFlooding { domain: 50 },
+            Workload::Sybil { domain: 50, distinct: 7 },
+        ] {
+            let a = workload.generate(1_000, 3).unwrap();
+            let b = workload.generate(1_000, 3).unwrap();
+            let c = workload.generate(1_000, 4).unwrap();
+            assert_eq!(a.len(), 1_000);
+            assert_eq!(a, b, "{workload:?} not deterministic");
+            assert_ne!(a, c, "{workload:?} ignores the seed");
+        }
+        assert!(matches!(
+            Workload::Uniform { domain: 0 }.generate(10, 1),
+            Err(ServiceError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            Workload::Sybil { domain: 0, distinct: 1 }.generate(10, 1),
+            Err(ServiceError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn sybil_workload_actually_contains_sybils() {
+        let slice = Workload::Sybil { domain: 100, distinct: 5 }.generate(2_000, 9).unwrap();
+        let sybils = slice.iter().filter(|id| id.as_u64() >= 100).count();
+        assert!(sybils > 500, "only {sybils} sybil occurrences in 2000 elements");
+    }
+
+    #[test]
+    fn loadgen_drives_a_server_end_to_end() {
+        let server = Server::start(ServerConfig { workers: 2, queue_depth: 16 });
+        let stream_config = StreamConfig {
+            kind: EstimatorKind::CountMin,
+            capacity: 10,
+            width: 10,
+            depth: 5,
+            seed: 7,
+        };
+        let loadgen_config = LoadgenConfig {
+            connections: 3,
+            elements_per_connection: 5_000,
+            batch_len: 512,
+            workload: Workload::PeakAttack { domain: 1_000 },
+            seed: 11,
+            feed: true,
+        };
+        let report = create_and_run(
+            || Ok(server.connect_in_process()),
+            "bench",
+            &stream_config,
+            &loadgen_config,
+        )
+        .unwrap();
+        assert_eq!(report.elements, 15_000);
+        assert_eq!(report.stats.pipeline.elements, 15_000);
+        assert_eq!(report.stats.pipeline.outputs, 15_000);
+        assert!(report.stats.pipeline.admitted >= 10);
+        assert!(report.melem_per_s() > 0.0);
+        // Ingest mode: no outputs drawn.
+        let mut client = ServiceClient::new(server.connect_in_process()).unwrap();
+        client.create_stream("ingest-only", &stream_config).unwrap();
+        let report = run_loadgen(
+            || Ok(server.connect_in_process()),
+            "ingest-only",
+            &LoadgenConfig { feed: false, ..loadgen_config },
+        )
+        .unwrap();
+        assert_eq!(report.stats.pipeline.outputs, 0);
+        assert_eq!(report.output_digest, 0);
+    }
+}

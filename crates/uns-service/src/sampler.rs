@@ -1,0 +1,309 @@
+//! The per-stream sampler: a knowledge-free sampler over any of the three
+//! estimator substrates, with batch entry points and snapshot/restore.
+
+use crate::error::ServiceError;
+use crate::protocol::{EstimatorKind, StreamConfig};
+use crate::snapshot::{
+    decode_estimator_tagged, decode_header, decode_memory, decode_rng, encode_estimator_tagged,
+    encode_header, encode_memory, encode_rng, finish, TaggedEstimator, TaggedEstimatorRef,
+};
+use crate::wire::Cursor;
+use uns_core::{KnowledgeFreeSampler, NodeId, NodeSampler};
+use uns_sketch::{CountMinSketch, CountSketch, ExactFrequencyOracle, FrequencyEstimator};
+
+/// A stream's sampling service instance: the paper's Algorithm 3 over the
+/// estimator chosen at stream creation ([`EstimatorKind`]).
+///
+/// This is a thin monomorphizing shell over
+/// [`uns_core::KnowledgeFreeSampler`] — each arm runs the library's own
+/// batched entry points, so the service path adds dispatch **per batch**,
+/// not per element, and the end-to-end exactness tests can compare the
+/// service against plain in-process `feed` of the same stream.
+#[derive(Clone, Debug)]
+pub enum ServiceSampler {
+    /// Knowledge-free sampling over a Count-Min sketch (the default).
+    CountMin(KnowledgeFreeSampler<CountMinSketch>),
+    /// Knowledge-free sampling over a Count sketch (the ablation).
+    CountSketch(KnowledgeFreeSampler<CountSketch>),
+    /// Adaptive omniscient sampling (exact frequency oracle).
+    Exact(KnowledgeFreeSampler<ExactFrequencyOracle>),
+}
+
+macro_rules! with_sampler {
+    ($self:expr, $s:ident => $body:expr) => {
+        match $self {
+            ServiceSampler::CountMin($s) => $body,
+            ServiceSampler::CountSketch($s) => $body,
+            ServiceSampler::Exact($s) => $body,
+        }
+    };
+}
+
+impl ServiceSampler {
+    /// Builds the sampler a freshly created stream starts with.
+    ///
+    /// The seed plumbing matches
+    /// [`KnowledgeFreeSampler::with_count_min`]: the single stream seed
+    /// derives the sketch hash functions and the sampler coins, so a
+    /// service stream is reproducible from its [`StreamConfig`] alone.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::InvalidConfig`] on zero capacity or, for the sketch
+    /// estimators, zero width/depth.
+    pub fn create(config: &StreamConfig) -> Result<Self, ServiceError> {
+        let invalid = |err: &dyn std::fmt::Display| ServiceError::InvalidConfig(err.to_string());
+        match config.kind {
+            EstimatorKind::CountMin => KnowledgeFreeSampler::with_count_min(
+                config.capacity,
+                config.width,
+                config.depth,
+                config.seed,
+            )
+            .map(ServiceSampler::CountMin)
+            .map_err(|err| invalid(&err)),
+            EstimatorKind::CountSketch => KnowledgeFreeSampler::with_count_sketch(
+                config.capacity,
+                config.width,
+                config.depth,
+                config.seed,
+            )
+            .map(ServiceSampler::CountSketch)
+            .map_err(|err| invalid(&err)),
+            EstimatorKind::Exact => {
+                KnowledgeFreeSampler::new(config.capacity, ExactFrequencyOracle::new(), config.seed)
+                    .map(ServiceSampler::Exact)
+                    .map_err(|err| invalid(&err))
+            }
+        }
+    }
+
+    /// Which estimator substrate this sampler runs on.
+    pub fn kind(&self) -> EstimatorKind {
+        match self {
+            ServiceSampler::CountMin(_) => EstimatorKind::CountMin,
+            ServiceSampler::CountSketch(_) => EstimatorKind::CountSketch,
+            ServiceSampler::Exact(_) => EstimatorKind::Exact,
+        }
+    }
+
+    /// Input-only batch ([`NodeSampler::ingest`] per element); returns how
+    /// many elements entered `Γ`.
+    pub fn ingest_batch(&mut self, ids: &[NodeId]) -> u64 {
+        with_sampler!(self, s => {
+            let mut admitted = 0u64;
+            for &id in ids {
+                admitted += u64::from(s.ingest_admitted(id));
+            }
+            admitted
+        })
+    }
+
+    /// Feed batch: per element, the full [`NodeSampler::feed`] step — state
+    /// evolution plus one uniform output draw appended to `out`. Returns
+    /// how many elements entered `Γ`.
+    ///
+    /// Identical, coin for coin, to [`NodeSampler::feed_batch`] (the
+    /// admission report rides along for the stream's stats counters; the
+    /// release-mode end-to-end tests pin the equivalence against plain
+    /// sequential `feed`).
+    pub fn feed_batch(&mut self, ids: &[NodeId], out: &mut Vec<NodeId>) -> u64 {
+        with_sampler!(self, s => {
+            out.reserve(ids.len());
+            let mut admitted = 0u64;
+            for &id in ids {
+                admitted += u64::from(s.ingest_admitted(id));
+                out.push(s.sample().expect("memory is non-empty after an ingest"));
+            }
+            admitted
+        })
+    }
+
+    /// Draws one output sample without consuming input.
+    pub fn sample(&mut self) -> Option<NodeId> {
+        with_sampler!(self, s => s.sample())
+    }
+
+    /// The estimator's current sampling floor `min_σ`.
+    pub fn floor_estimate(&self) -> u64 {
+        with_sampler!(self, s => s.estimator().floor_estimate())
+    }
+
+    /// The residents of `Γ` in slot order.
+    pub fn memory_contents(&self) -> Vec<NodeId> {
+        with_sampler!(self, s => s.memory_contents())
+    }
+
+    /// Serializes the complete sampler state (see [`crate::snapshot`]).
+    pub fn snapshot(&self, out: &mut Vec<u8>) {
+        out.clear();
+        encode_header(out);
+        with_sampler!(self, s => {
+            encode_memory(out, s.memory());
+            encode_rng(out, s.rng());
+        });
+        let estimator = match self {
+            ServiceSampler::CountMin(s) => TaggedEstimatorRef::CountMin(s.estimator()),
+            ServiceSampler::CountSketch(s) => TaggedEstimatorRef::CountSketch(s.estimator()),
+            ServiceSampler::Exact(s) => TaggedEstimatorRef::Exact(s.estimator()),
+        };
+        encode_estimator_tagged(out, &estimator);
+    }
+
+    /// Rebuilds a sampler from a [`ServiceSampler::snapshot`] blob. The
+    /// result is bit-equal going forward to the snapshotted sampler.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Snapshot`] on any malformed blob.
+    pub fn restore(bytes: &[u8]) -> Result<Self, ServiceError> {
+        let mut cur = Cursor::new(bytes);
+        decode_header(&mut cur)?;
+        let memory = decode_memory(&mut cur)?;
+        let rng = decode_rng(&mut cur)?;
+        let estimator = decode_estimator_tagged(&mut cur)?;
+        finish(cur)?;
+        Ok(match estimator {
+            TaggedEstimator::CountMin(e) => {
+                ServiceSampler::CountMin(KnowledgeFreeSampler::from_parts(memory, e, rng))
+            }
+            TaggedEstimator::CountSketch(e) => {
+                ServiceSampler::CountSketch(KnowledgeFreeSampler::from_parts(memory, e, rng))
+            }
+            TaggedEstimator::Exact(e) => {
+                ServiceSampler::Exact(KnowledgeFreeSampler::from_parts(memory, e, rng))
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config(kind: EstimatorKind) -> StreamConfig {
+        StreamConfig { kind, capacity: 8, width: 12, depth: 4, seed: 77 }
+    }
+
+    #[test]
+    fn create_validates_configuration() {
+        for kind in [EstimatorKind::CountMin, EstimatorKind::CountSketch, EstimatorKind::Exact] {
+            let mut bad = config(kind);
+            bad.capacity = 0;
+            assert!(matches!(ServiceSampler::create(&bad), Err(ServiceError::InvalidConfig(_))));
+            let sampler = ServiceSampler::create(&config(kind)).unwrap();
+            assert_eq!(sampler.kind(), kind);
+        }
+        for kind in [EstimatorKind::CountMin, EstimatorKind::CountSketch] {
+            let mut bad = config(kind);
+            bad.width = 0;
+            assert!(matches!(ServiceSampler::create(&bad), Err(ServiceError::InvalidConfig(_))));
+        }
+        // The exact oracle has no dimensions: zero width is fine there.
+        let mut exact = config(EstimatorKind::Exact);
+        exact.width = 0;
+        exact.depth = 0;
+        assert!(ServiceSampler::create(&exact).is_ok());
+    }
+
+    #[test]
+    fn feed_batch_is_bit_equal_to_library_feed_batch() {
+        let stream: Vec<NodeId> = (0..4_000u64).map(|i| NodeId::new(i * 19 % 128)).collect();
+        for kind in [EstimatorKind::CountMin, EstimatorKind::CountSketch, EstimatorKind::Exact] {
+            let mut service = ServiceSampler::create(&config(kind)).unwrap();
+            let mut service_out = Vec::new();
+            let admitted = service.feed_batch(&stream, &mut service_out);
+            assert!(admitted >= 8, "{kind:?}: at least the free-slot fills");
+
+            let mut library = ServiceSampler::create(&config(kind)).unwrap();
+            let mut library_out = Vec::new();
+            with_sampler!(&mut library, s => s.feed_batch(&stream, &mut library_out));
+            assert_eq!(service_out, library_out, "{kind:?} outputs diverged");
+            assert_eq!(
+                service.memory_contents(),
+                library.memory_contents(),
+                "{kind:?} memories diverged"
+            );
+            // Coin streams aligned: further draws coincide.
+            for _ in 0..16 {
+                assert_eq!(service.sample(), library.sample(), "{kind:?} RNG diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn ingest_batch_matches_feed_state_without_outputs() {
+        let stream: Vec<NodeId> = (0..2_000u64).map(|i| NodeId::new(i * 7 % 64)).collect();
+        let mut ingested = ServiceSampler::create(&config(EstimatorKind::CountMin)).unwrap();
+        let admitted = ingested.ingest_batch(&stream);
+        assert!(admitted >= 8);
+        assert!(ingested.floor_estimate() > 0);
+        let mut library = ServiceSampler::create(&config(EstimatorKind::CountMin)).unwrap();
+        with_sampler!(&mut library, s => for &id in &stream { s.ingest(id); });
+        assert_eq!(ingested.memory_contents(), library.memory_contents());
+        for _ in 0..16 {
+            assert_eq!(ingested.sample(), library.sample());
+        }
+    }
+
+    #[test]
+    fn service_streams_match_library_constructors_seed_for_seed() {
+        // The reproducibility contract: a service stream is fully
+        // determined by its StreamConfig, through the library's own
+        // constructors (shared seed derivation, no copy-pasted constants).
+        let cfg = config(EstimatorKind::CountSketch);
+        let mut service = ServiceSampler::create(&cfg).unwrap();
+        let mut library =
+            KnowledgeFreeSampler::with_count_sketch(cfg.capacity, cfg.width, cfg.depth, cfg.seed)
+                .unwrap();
+        let stream: Vec<NodeId> = (0..1_500u64).map(|i| NodeId::new(i * 3 % 90)).collect();
+        let mut service_out = Vec::new();
+        service.feed_batch(&stream, &mut service_out);
+        let mut library_out = Vec::new();
+        library.feed_batch(&stream, &mut library_out);
+        assert_eq!(service_out, library_out);
+    }
+
+    #[test]
+    fn snapshot_restore_is_bit_equal_going_forward() {
+        let warmup: Vec<NodeId> = (0..3_000u64).map(|i| NodeId::new(i * 11 % 96)).collect();
+        let live_tail: Vec<NodeId> = (0..2_000u64).map(|i| NodeId::new(i * 5 % 96)).collect();
+        for kind in [EstimatorKind::CountMin, EstimatorKind::CountSketch, EstimatorKind::Exact] {
+            let mut live = ServiceSampler::create(&config(kind)).unwrap();
+            let mut sink = Vec::new();
+            live.feed_batch(&warmup, &mut sink);
+
+            let mut blob = Vec::new();
+            live.snapshot(&mut blob);
+            let mut restored = ServiceSampler::restore(&blob).unwrap();
+            assert_eq!(restored.kind(), kind);
+
+            let mut live_out = Vec::new();
+            let mut restored_out = Vec::new();
+            let live_admitted = live.feed_batch(&live_tail, &mut live_out);
+            let restored_admitted = restored.feed_batch(&live_tail, &mut restored_out);
+            assert_eq!(live_out, restored_out, "{kind:?} outputs diverged after restore");
+            assert_eq!(live_admitted, restored_admitted);
+            assert_eq!(live.memory_contents(), restored.memory_contents());
+            assert_eq!(live.floor_estimate(), restored.floor_estimate());
+        }
+    }
+
+    #[test]
+    fn restore_rejects_garbage() {
+        assert!(matches!(ServiceSampler::restore(b""), Err(ServiceError::Snapshot(_))));
+        assert!(matches!(
+            ServiceSampler::restore(b"UNSSxxxxxxxxxxxxxxxx"),
+            Err(ServiceError::Snapshot(_))
+        ));
+        // Trailing bytes after a valid snapshot are rejected.
+        let mut sampler = ServiceSampler::create(&config(EstimatorKind::Exact)).unwrap();
+        let mut sink = Vec::new();
+        sampler.feed_batch(&[NodeId::new(1)], &mut sink);
+        let mut blob = Vec::new();
+        sampler.snapshot(&mut blob);
+        assert!(ServiceSampler::restore(&blob).is_ok());
+        blob.push(0);
+        assert!(matches!(ServiceSampler::restore(&blob), Err(ServiceError::Snapshot(_))));
+    }
+}

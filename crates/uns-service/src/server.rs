@@ -1,0 +1,688 @@
+//! The multi-tenant sampling server.
+//!
+//! # Architecture
+//!
+//! ```text
+//! connection threads (1 per Transport)      worker pool (stream shards)
+//! ┌─────────────────────────────┐   try_send   ┌──────────────────────┐
+//! │ read frame → decode request │ ───────────► │ worker 0: streams    │
+//! │ route by stream name        │   bounded    │   {a, d, …} samplers │
+//! │ wait reply → write frame    │ ◄─────────── │ worker 1: streams    │
+//! └─────────────────────────────┘    reply     │   {b, c, …} samplers │
+//!                                              └──────────────────────┘
+//! ```
+//!
+//! Every named stream is owned by exactly **one** worker (assigned
+//! round-robin at creation), so all operations on a stream are serialized
+//! through that worker's queue — which is what makes the service path
+//! *exact*: the order in which batches leave the queue **is** the stream
+//! order, and each reply carries the stream position so clients can
+//! reconstruct the interleaving after the fact (the release-mode tests
+//! replay it in-process and compare bit for bit).
+//!
+//! Queues are **bounded**: when a shard's queue is full the connection
+//! thread replies [`Response::Busy`] immediately instead of buffering —
+//! memory is bounded by `workers × queue_depth` jobs no matter how many
+//! connections push. Clients retry (the load generator counts these).
+
+use crate::error::ServiceError;
+use crate::protocol::{
+    ErrorCode, Request, Response, StreamConfig, StreamStats, MAX_STREAM_NAME_LEN,
+};
+use crate::sampler::ServiceSampler;
+use crate::transport::Transport;
+use crate::wire::{read_frame, write_frame};
+use std::collections::HashMap;
+use std::net::TcpListener;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use uns_core::NodeId;
+use uns_sim::PipelineStats;
+
+/// Server tuning knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct ServerConfig {
+    /// Worker-pool size: how many stream shards run in parallel.
+    pub workers: usize,
+    /// Bounded job-queue depth per worker — the backpressure horizon.
+    pub queue_depth: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        Self { workers, queue_depth: 64 }
+    }
+}
+
+/// A stream operation after routing, executed by the owning worker.
+enum StreamOp {
+    Create(StreamConfig),
+    Restore(Vec<u8>),
+    Ingest(Vec<NodeId>),
+    Feed(Vec<NodeId>),
+    Sample,
+    Floor,
+    Snapshot,
+    Stats,
+}
+
+struct Job {
+    stream: u64,
+    op: StreamOp,
+    reply: SyncSender<Response>,
+}
+
+/// Routing entry of one named stream.
+#[derive(Clone)]
+struct StreamEntry {
+    worker: usize,
+    id: u64,
+    /// Requests bounced with Busy for this stream (incremented by
+    /// connection threads, folded into Stats replies).
+    busy: Arc<AtomicU64>,
+    /// `false` while the creating connection's Create/Restore round-trip
+    /// is still in flight. Other connections seeing a pending entry reply
+    /// Busy instead of racing the creation — and the creator does its
+    /// round-trip **without** holding the registry lock, so one slow
+    /// create/restore cannot stall unrelated streams.
+    ready: Arc<AtomicBool>,
+}
+
+struct Registry {
+    streams: Mutex<HashMap<String, StreamEntry>>,
+    next_id: AtomicU64,
+    next_worker: AtomicU64,
+}
+
+/// The sampling server: owns the worker pool and accepts connections on
+/// any [`Transport`].
+///
+/// Dropping the server stops the workers (connections still open get
+/// "shutting down" errors on their next request).
+pub struct Server {
+    config: ServerConfig,
+    registry: Arc<Registry>,
+    senders: Vec<SyncSender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Starts the worker pool. No connections are accepted yet — pass
+    /// transports to [`Server::handle`], in-process pipes from
+    /// [`Server::connect_in_process`], or a listener to [`Server::serve`].
+    pub fn start(config: ServerConfig) -> Self {
+        let workers_n = config.workers.max(1);
+        let queue_depth = config.queue_depth.max(1);
+        let registry = Arc::new(Registry {
+            streams: Mutex::new(HashMap::new()),
+            next_id: AtomicU64::new(0),
+            next_worker: AtomicU64::new(0),
+        });
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let mut senders = Vec::with_capacity(workers_n);
+        let mut workers = Vec::with_capacity(workers_n);
+        for index in 0..workers_n {
+            let (tx, rx) = mpsc::sync_channel::<Job>(queue_depth);
+            senders.push(tx);
+            let shutdown = Arc::clone(&shutdown);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("uns-worker-{index}"))
+                    .spawn(move || worker_main(rx, workers_n, &shutdown))
+                    .expect("spawning a worker thread"),
+            );
+        }
+        Self {
+            config: ServerConfig { workers: workers_n, queue_depth },
+            registry,
+            senders,
+            workers,
+            shutdown,
+        }
+    }
+
+    /// The effective configuration (after clamping).
+    pub fn config(&self) -> ServerConfig {
+        self.config
+    }
+
+    /// Spawns a connection thread serving `transport` until the peer hangs
+    /// up or violates the protocol.
+    pub fn handle<T: Transport + 'static>(&self, transport: T) {
+        let registry = Arc::clone(&self.registry);
+        let senders = self.senders.clone();
+        std::thread::Builder::new()
+            .name("uns-conn".into())
+            .spawn(move || {
+                let _ = handle_connection(transport, &registry, &senders);
+            })
+            .expect("spawning a connection thread");
+    }
+
+    /// Opens an in-process connection: the returned transport speaks the
+    /// full wire protocol to this server without any socket.
+    pub fn connect_in_process(&self) -> crate::transport::PipeTransport {
+        let (client, server) = crate::transport::duplex(1 << 16);
+        self.handle(server);
+        client
+    }
+
+    /// Accepts TCP connections until [`Server::stop`] is called. Runs on
+    /// the calling thread; spawn it if you need to keep going.
+    ///
+    /// # Errors
+    ///
+    /// Propagates listener failures other than `WouldBlock`.
+    pub fn serve(&self, listener: TcpListener) -> std::io::Result<()> {
+        listener.set_nonblocking(true)?;
+        while !self.shutdown.load(Ordering::Relaxed) {
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    stream.set_nodelay(true).ok();
+                    stream.set_nonblocking(false).ok();
+                    self.handle(stream);
+                }
+                Err(err) if err.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                }
+                Err(err) => return Err(err),
+            }
+        }
+        Ok(())
+    }
+
+    /// Makes [`Server::serve`] return after its next accept poll.
+    pub fn stop(&self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop();
+        self.senders.clear(); // workers exit once their queue drains
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// Per-stream state owned by a worker.
+struct StreamState {
+    sampler: ServiceSampler,
+    stats: PipelineStats,
+}
+
+fn worker_main(rx: Receiver<Job>, pool_size: usize, shutdown: &AtomicBool) {
+    let mut streams: HashMap<u64, StreamState> = HashMap::new();
+    let mut outputs: Vec<NodeId> = Vec::new();
+    loop {
+        // Bounded-wait receive: connection threads hold clones of the job
+        // senders, so the channel does not disconnect while connections
+        // are open — the shutdown flag is what makes Drop terminate
+        // promptly even with idle connections attached.
+        let job = match rx.recv_timeout(std::time::Duration::from_millis(25)) {
+            Ok(job) => job,
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                if shutdown.load(Ordering::Relaxed) {
+                    return;
+                }
+                continue;
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => return,
+        };
+        let response = match job.op {
+            StreamOp::Create(config) => match ServiceSampler::create(&config) {
+                Ok(sampler) => {
+                    let stats = PipelineStats { shards: pool_size, ..PipelineStats::default() };
+                    streams.insert(job.stream, StreamState { sampler, stats });
+                    Response::Ok
+                }
+                Err(err) => error_response(&err),
+            },
+            StreamOp::Restore(blob) => match ServiceSampler::restore(&blob) {
+                Ok(sampler) => {
+                    let stats = PipelineStats { shards: pool_size, ..PipelineStats::default() };
+                    streams.insert(job.stream, StreamState { sampler, stats });
+                    Response::Ok
+                }
+                Err(err) => error_response(&err),
+            },
+            StreamOp::Ingest(ids) => match streams.get_mut(&job.stream) {
+                Some(state) => {
+                    let admitted = state.sampler.ingest_batch(&ids);
+                    state.stats.elements += ids.len() as u64;
+                    state.stats.admitted += admitted;
+                    state.stats.chunks += 1;
+                    Response::Ingested { position: state.stats.elements, admitted }
+                }
+                None => unknown_stream(),
+            },
+            StreamOp::Feed(ids) => match streams.get_mut(&job.stream) {
+                Some(state) => {
+                    outputs.clear();
+                    let admitted = state.sampler.feed_batch(&ids, &mut outputs);
+                    state.stats.elements += ids.len() as u64;
+                    state.stats.admitted += admitted;
+                    state.stats.outputs += ids.len() as u64;
+                    state.stats.chunks += 1;
+                    Response::Fed {
+                        position: state.stats.elements,
+                        admitted,
+                        outputs: outputs.clone(),
+                    }
+                }
+                None => unknown_stream(),
+            },
+            StreamOp::Sample => match streams.get_mut(&job.stream) {
+                Some(state) => Response::Sampled(state.sampler.sample()),
+                None => unknown_stream(),
+            },
+            StreamOp::Floor => match streams.get(&job.stream) {
+                Some(state) => Response::Value(state.sampler.floor_estimate()),
+                None => unknown_stream(),
+            },
+            StreamOp::Snapshot => match streams.get(&job.stream) {
+                Some(state) => {
+                    let mut blob = Vec::new();
+                    state.sampler.snapshot(&mut blob);
+                    Response::Snapshot(blob)
+                }
+                None => unknown_stream(),
+            },
+            StreamOp::Stats => match streams.get(&job.stream) {
+                Some(state) => Response::Stats(StreamStats {
+                    pipeline: state.stats,
+                    busy_rejections: 0, // folded in by the connection thread
+                }),
+                None => unknown_stream(),
+            },
+        };
+        let _ = job.reply.send(response); // peer gone: drop the reply
+    }
+}
+
+fn unknown_stream() -> Response {
+    Response::Error {
+        code: ErrorCode::UnknownStream,
+        message: "stream was dropped while the request was queued".into(),
+    }
+}
+
+fn error_response(err: &ServiceError) -> Response {
+    let code = match err {
+        ServiceError::UnknownStream(_) => ErrorCode::UnknownStream,
+        ServiceError::StreamExists(_) => ErrorCode::StreamExists,
+        ServiceError::InvalidConfig(_) => ErrorCode::InvalidConfig,
+        ServiceError::Snapshot(_) => ErrorCode::BadSnapshot,
+        _ => ErrorCode::Other,
+    };
+    Response::Error { code, message: err.to_string() }
+}
+
+/// Serves one connection: frame loop, routing, backpressure.
+fn handle_connection<T: Transport>(
+    mut transport: T,
+    registry: &Registry,
+    senders: &[SyncSender<Job>],
+) -> Result<(), ServiceError> {
+    let mut writer = transport.try_clone_transport()?;
+    let mut frame = Vec::new();
+    let mut body = Vec::new();
+    loop {
+        match read_frame(&mut transport, &mut frame) {
+            Ok(true) => {}
+            Ok(false) => return Ok(()), // clean hang-up
+            Err(err) => return Err(err),
+        }
+        let response = match Request::decode(&frame) {
+            Ok(request) => route_request(&request, registry, senders),
+            Err(err) => {
+                // A malformed frame poisons stream framing: answer, close.
+                let response = Response::Error { code: ErrorCode::Other, message: err.to_string() };
+                response.encode(&mut body);
+                let _ = write_frame(&mut writer, &body);
+                return Err(err);
+            }
+        };
+        response.encode(&mut body);
+        write_frame(&mut writer, &body)?;
+    }
+}
+
+fn route_request(
+    request: &Request<'_>,
+    registry: &Registry,
+    senders: &[SyncSender<Job>],
+) -> Response {
+    let name = request.stream_name();
+    if name.is_empty() || name.len() > MAX_STREAM_NAME_LEN {
+        return Response::Error {
+            code: ErrorCode::InvalidConfig,
+            message: format!("stream name must be 1..={MAX_STREAM_NAME_LEN} bytes"),
+        };
+    }
+    match request {
+        Request::CreateStream { config, .. } => {
+            create_or_restore(registry, senders, name, false, || StreamOp::Create(*config))
+        }
+        Request::Restore { snapshot, .. } => {
+            create_or_restore(registry, senders, name, true, || {
+                StreamOp::Restore(snapshot.to_vec())
+            })
+        }
+        // Batch ops: resolve the route BEFORE copying the ids off the
+        // frame, so unknown/pending streams cost no copy. (A Busy bounce
+        // still pays one copy-and-drop - knowing the queue is full takes
+        // the built job.)
+        Request::Ingest { ids, .. } => match lookup_ready(registry, name) {
+            Ok(entry) => {
+                let mut batch = Vec::new();
+                ids.copy_into(&mut batch);
+                enqueue(senders, &entry, StreamOp::Ingest(batch))
+            }
+            Err(response) => response,
+        },
+        Request::FeedBatch { ids, .. } => match lookup_ready(registry, name) {
+            Ok(entry) => {
+                let mut batch = Vec::new();
+                ids.copy_into(&mut batch);
+                enqueue(senders, &entry, StreamOp::Feed(batch))
+            }
+            Err(response) => response,
+        },
+        Request::Sample { .. } => dispatch(registry, senders, name, StreamOp::Sample),
+        Request::FloorEstimate { .. } => dispatch(registry, senders, name, StreamOp::Floor),
+        Request::Snapshot { .. } => dispatch(registry, senders, name, StreamOp::Snapshot),
+        Request::Stats { .. } => {
+            let entry = match lookup_ready(registry, name) {
+                Ok(entry) => entry,
+                Err(response) => return response,
+            };
+            let response = enqueue(senders, &entry, StreamOp::Stats);
+            match response {
+                Response::Stats(mut stats) => {
+                    stats.busy_rejections = entry.busy.load(Ordering::Relaxed);
+                    Response::Stats(stats)
+                }
+                other => other,
+            }
+        }
+    }
+}
+
+/// Routes create/restore. The registry lock is held only long enough to
+/// resolve or reserve the entry — the blocking round-trip to the owning
+/// worker runs **unlocked**, so a slow create/restore (big snapshot blob,
+/// deep queue) cannot stall requests to other streams. A freshly reserved
+/// entry stays `ready = false` until the worker confirms; concurrent
+/// requests on the name bounce with Busy in the meantime and a failed
+/// creation rolls the reservation back.
+fn create_or_restore(
+    registry: &Registry,
+    senders: &[SyncSender<Job>],
+    name: &str,
+    replace_existing: bool,
+    make_op: impl FnOnce() -> StreamOp,
+) -> Response {
+    // Phase 1 (locked): resolve the existing entry or reserve a pending one.
+    let (entry, reserved) = {
+        let mut streams = registry.streams.lock().expect("registry lock poisoned");
+        match streams.get(name) {
+            Some(entry) if !entry.ready.load(Ordering::Acquire) => return Response::Busy,
+            Some(entry) if replace_existing => (entry.clone(), false),
+            Some(_) => {
+                return Response::Error {
+                    code: ErrorCode::StreamExists,
+                    message: format!("stream {name:?} already exists"),
+                }
+            }
+            None => {
+                let worker =
+                    (registry.next_worker.fetch_add(1, Ordering::Relaxed) as usize) % senders.len();
+                let id = registry.next_id.fetch_add(1, Ordering::Relaxed);
+                let entry = StreamEntry {
+                    worker,
+                    id,
+                    busy: Arc::new(AtomicU64::new(0)),
+                    ready: Arc::new(AtomicBool::new(false)),
+                };
+                streams.insert(name.to_string(), entry.clone());
+                (entry, true)
+            }
+        }
+    };
+    // Phase 2 (unlocked): the blocking round-trip to the owning worker.
+    let response = enqueue(senders, &entry, make_op());
+    if reserved {
+        if matches!(response, Response::Ok) {
+            entry.ready.store(true, Ordering::Release);
+        } else {
+            // Roll back our own reservation (matched by id, in case the
+            // name was re-created in the meantime — it cannot be while we
+            // hold the pending entry, but stay defensive).
+            let mut streams = registry.streams.lock().expect("registry lock poisoned");
+            if streams.get(name).is_some_and(|e| e.id == entry.id) {
+                streams.remove(name);
+            }
+        }
+    }
+    response
+}
+
+/// Looks a stream up for a non-create operation: unknown names error,
+/// entries still being created bounce with Busy.
+fn lookup_ready(registry: &Registry, name: &str) -> Result<StreamEntry, Response> {
+    let streams = registry.streams.lock().expect("registry lock poisoned");
+    match streams.get(name) {
+        Some(entry) if entry.ready.load(Ordering::Acquire) => Ok(entry.clone()),
+        Some(_) => Err(Response::Busy),
+        None => Err(Response::Error {
+            code: ErrorCode::UnknownStream,
+            message: format!("unknown stream {name:?}"),
+        }),
+    }
+}
+
+fn dispatch(
+    registry: &Registry,
+    senders: &[SyncSender<Job>],
+    name: &str,
+    op: StreamOp,
+) -> Response {
+    match lookup_ready(registry, name) {
+        Ok(entry) => enqueue(senders, &entry, op),
+        Err(response) => response,
+    }
+}
+
+/// Non-blocking enqueue on the owning worker: a full queue is an immediate
+/// [`Response::Busy`] — the backpressure contract.
+///
+/// The reply channel is created per request and its **only** sender moves
+/// into the job: if the job is dropped unanswered anywhere (worker exits
+/// on shutdown with the queue non-empty, channel torn down), the sender
+/// drops with it and `recv()` returns `Err` — so a connection thread can
+/// never be stranded waiting on a reply that will not come.
+fn enqueue(senders: &[SyncSender<Job>], entry: &StreamEntry, op: StreamOp) -> Response {
+    let (reply_tx, reply_rx) = mpsc::sync_channel::<Response>(1);
+    let job = Job { stream: entry.id, op, reply: reply_tx };
+    match senders[entry.worker].try_send(job) {
+        Ok(()) => reply_rx.recv().unwrap_or_else(|_| Response::Error {
+            code: ErrorCode::Other,
+            message: "server shutting down".into(),
+        }),
+        Err(TrySendError::Full(_)) => {
+            entry.busy.fetch_add(1, Ordering::Relaxed);
+            Response::Busy
+        }
+        Err(TrySendError::Disconnected(_)) => {
+            Response::Error { code: ErrorCode::Other, message: "server shutting down".into() }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::ServiceClient;
+    use crate::protocol::EstimatorKind;
+
+    fn test_config() -> StreamConfig {
+        StreamConfig { kind: EstimatorKind::CountMin, capacity: 8, width: 10, depth: 5, seed: 42 }
+    }
+
+    #[test]
+    fn create_feed_sample_floor_stats_over_in_process_transport() {
+        let server = Server::start(ServerConfig { workers: 2, queue_depth: 8 });
+        let mut client = ServiceClient::new(server.connect_in_process()).unwrap();
+        client.create_stream("s", &test_config()).unwrap();
+        let ids: Vec<NodeId> = (0..500u64).map(|i| NodeId::new(i % 40)).collect();
+        let fed = client.feed_batch("s", &ids).unwrap();
+        assert_eq!(fed.outputs.len(), 500);
+        assert_eq!(fed.position, 500);
+        assert!(fed.admitted >= 8);
+        let ack = client.ingest("s", &ids).unwrap();
+        assert_eq!(ack.position, 1000);
+        assert!(client.sample("s").unwrap().is_some());
+        assert!(client.floor_estimate("s").unwrap() > 0);
+        let stats = client.stats("s").unwrap();
+        assert_eq!(stats.pipeline.elements, 1000);
+        assert_eq!(stats.pipeline.outputs, 500);
+        assert_eq!(stats.pipeline.chunks, 2);
+        assert_eq!(stats.pipeline.shards, 2);
+        assert_eq!(stats.busy_rejections, 0);
+    }
+
+    #[test]
+    fn duplicate_create_and_unknown_stream_are_rejected() {
+        let server = Server::start(ServerConfig { workers: 1, queue_depth: 8 });
+        let mut client = ServiceClient::new(server.connect_in_process()).unwrap();
+        client.create_stream("dup", &test_config()).unwrap();
+        assert!(matches!(
+            client.create_stream("dup", &test_config()),
+            Err(ServiceError::StreamExists(_))
+        ));
+        assert!(matches!(client.sample("nope"), Err(ServiceError::UnknownStream(_))));
+        assert!(matches!(
+            client.create_stream("", &test_config()),
+            Err(ServiceError::InvalidConfig(_))
+        ));
+        let mut bad = test_config();
+        bad.capacity = 0;
+        assert!(matches!(client.create_stream("zero2", &bad), Err(ServiceError::InvalidConfig(_))));
+        // A failed create leaves the name free.
+        assert!(client.create_stream("zero2", &test_config()).is_ok());
+    }
+
+    #[test]
+    fn service_feed_matches_in_process_feed_bit_for_bit() {
+        let server = Server::start(ServerConfig::default());
+        let mut client = ServiceClient::new(server.connect_in_process()).unwrap();
+        let config = test_config();
+        client.create_stream("exact", &config).unwrap();
+        let ids: Vec<NodeId> = (0..3_000u64).map(|i| NodeId::new(i * 13 % 100)).collect();
+        let mut service_outputs = Vec::new();
+        for batch in ids.chunks(257) {
+            service_outputs.extend(client.feed_batch("exact", batch).unwrap().outputs);
+        }
+        let mut reference = ServiceSampler::create(&config).unwrap();
+        let mut expected = Vec::new();
+        reference.feed_batch(&ids, &mut expected);
+        assert_eq!(service_outputs, expected);
+        // Snapshot over the wire equals the reference's snapshot bytes.
+        let mut reference_blob = Vec::new();
+        reference.snapshot(&mut reference_blob);
+        assert_eq!(client.snapshot("exact").unwrap(), reference_blob);
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips_over_the_wire() {
+        let server = Server::start(ServerConfig::default());
+        let mut client = ServiceClient::new(server.connect_in_process()).unwrap();
+        client.create_stream("a", &test_config()).unwrap();
+        let ids: Vec<NodeId> = (0..2_000u64).map(|i| NodeId::new(i * 7 % 80)).collect();
+        client.feed_batch("a", &ids).unwrap();
+        let blob = client.snapshot("a").unwrap();
+        // Restore under a new name: both streams now evolve identically.
+        client.restore("b", &blob).unwrap();
+        let tail: Vec<NodeId> = (0..500u64).map(|i| NodeId::new(i * 3 % 80)).collect();
+        let out_a = client.feed_batch("a", &tail).unwrap().outputs;
+        let out_b = client.feed_batch("b", &tail).unwrap().outputs;
+        assert_eq!(out_a, out_b);
+        // Restore also replaces an existing stream (rewind semantics).
+        client.restore("a", &blob).unwrap();
+        let rewound = client.feed_batch("a", &tail).unwrap();
+        assert_eq!(rewound.outputs, out_a);
+        assert_eq!(rewound.position, tail.len() as u64, "stats reset on restore");
+        // Garbage blobs are rejected without creating the stream.
+        assert!(matches!(client.restore("c", b"garbage"), Err(ServiceError::Snapshot(_))));
+        assert!(matches!(client.sample("c"), Err(ServiceError::UnknownStream(_))));
+    }
+
+    #[test]
+    fn full_queue_returns_busy_not_buffering() {
+        // One worker, queue depth 1, several connections hammering it:
+        // whenever one request occupies the worker and another the single
+        // queue slot, every further arrival must bounce with Busy — the
+        // no-unbounded-buffering contract. Clients absorb the Busy replies
+        // by retrying; the server-side counter records that they happened.
+        let server = Server::start(ServerConfig { workers: 1, queue_depth: 1 });
+        let mut client = ServiceClient::new(server.connect_in_process()).unwrap();
+        client.create_stream("s", &test_config()).unwrap();
+        let batch: Vec<NodeId> = (0..20_000u64).map(NodeId::new).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let mut hammer = ServiceClient::new(server.connect_in_process()).unwrap();
+                let batch = &batch;
+                scope.spawn(move || {
+                    let mut sent = 0u32;
+                    while sent < 30 {
+                        match hammer.ingest("s", batch) {
+                            Ok(_) => sent += 1,
+                            Err(ServiceError::Busy) => {} // retry: backpressure, not loss
+                            Err(err) => panic!("unexpected error: {err}"),
+                        }
+                    }
+                });
+            }
+        });
+        let stats = client.stats("s").unwrap();
+        assert_eq!(stats.pipeline.elements, 4 * 30 * 20_000, "every retried batch landed once");
+        assert!(stats.busy_rejections >= 1, "4 connections against a depth-1 queue never saw Busy");
+    }
+
+    #[test]
+    fn drop_with_idle_connection_does_not_hang() {
+        let server = Server::start(ServerConfig { workers: 2, queue_depth: 4 });
+        let mut client = ServiceClient::new(server.connect_in_process()).unwrap();
+        client.create_stream("s", &test_config()).unwrap();
+        // The connection stays open and idle across the drop: workers must
+        // still terminate (shutdown flag), or this test never finishes.
+        drop(server);
+        // The surviving client gets shutdown errors, not hangs.
+        assert!(client.sample("s").is_err());
+    }
+
+    #[test]
+    fn serve_accepts_tcp_connections() {
+        let server = Server::start(ServerConfig { workers: 2, queue_depth: 16 });
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        std::thread::scope(|scope| {
+            scope.spawn(|| server.serve(listener).unwrap());
+            let stream = std::net::TcpStream::connect(addr).unwrap();
+            stream.set_nodelay(true).unwrap();
+            let mut client = ServiceClient::new(stream).unwrap();
+            client.create_stream("tcp", &test_config()).unwrap();
+            let ids: Vec<NodeId> = (0..100u64).map(NodeId::new).collect();
+            let fed = client.feed_batch("tcp", &ids).unwrap();
+            assert_eq!(fed.outputs.len(), 100);
+            server.stop();
+        });
+    }
+}

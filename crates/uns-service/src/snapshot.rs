@@ -1,0 +1,541 @@
+//! Deterministic byte-level snapshot/restore of sampler state.
+//!
+//! A snapshot captures **everything** that determines a sampler's future
+//! behaviour — the sampling memory `Γ` *in slot order*, the estimator's
+//! counters and configuration, and the coin generator's internal state —
+//! so a sampler restored from a snapshot is **bit-equal going forward** to
+//! one that never stopped: same outputs, same admissions, same evictions,
+//! coin for coin. Pieces that are pure functions of the captured state
+//! (hash functions from the seed, floor-engine state from the counters,
+//! `Γ`'s position index from the slot vector) are re-derived on restore
+//! rather than serialized.
+//!
+//! The encoding itself is **canonical**: a given sampler state encodes to
+//! exactly one byte string (the exact oracle's pairs are sorted by
+//! identifier; everything else has a fixed field order), so
+//! `encode(decode(encode(x))) == encode(x)` byte for byte — the property
+//! the round-trip proptests pin. All integers are little-endian. The blob
+//! starts with a magic/version pair so stale snapshots fail loudly, never
+//! silently misparse:
+//!
+//! ```text
+//! [ magic "UNSS" ][ version: u16 ]
+//! [ capacity: u64 ][ |Γ|: u64 ][ Γ slots: u64 × |Γ| ]
+//! [ rng tag: u8 = 0 ][ xoshiro256++ state: u64 × 4 ]
+//! [ estimator tag: u8 ][ estimator payload ]
+//! ```
+
+use crate::error::ServiceError;
+use crate::wire::{put_i64, put_u16, put_u64, Cursor};
+use rand::rngs::SmallRng;
+use uns_core::{NodeId, SamplingMemory};
+use uns_sketch::{
+    CountMinSketch, CountSketch, ExactFrequencyOracle, FrequencyEstimator, UpdatePolicy,
+};
+
+/// Leading magic of every snapshot blob.
+pub const SNAPSHOT_MAGIC: &[u8; 4] = b"UNSS";
+
+/// Snapshot format version written by this build.
+pub const SNAPSHOT_VERSION: u16 = 1;
+
+/// Upper bound on a snapshotted memory capacity. `Γ`'s capacity is a
+/// configuration value not backed by snapshot bytes, so it must be
+/// bounded explicitly — restore pre-allocates `capacity` slots, and an
+/// attacker-supplied blob (`Restore` is reachable over the wire) must not
+/// be able to demand an arbitrary allocation. The paper's `c` is tens of
+/// identifiers; 2²⁴ leaves orders of magnitude of headroom.
+pub const MAX_SNAPSHOT_CAPACITY: usize = 1 << 24;
+
+fn snap_err(msg: impl Into<String>) -> ServiceError {
+    ServiceError::Snapshot(msg.into())
+}
+
+/// Remaps wire-level cursor errors to snapshot errors.
+fn ctx<T>(result: Result<T, ServiceError>) -> Result<T, ServiceError> {
+    result.map_err(|err| snap_err(format!("truncated or malformed snapshot: {err}")))
+}
+
+/// Validates an element count claimed by an untrusted blob against the
+/// bytes actually present (`element_size` bytes each) **before** anything
+/// is allocated from it.
+fn checked_count(
+    cur: &Cursor<'_>,
+    claimed: u64,
+    element_size: usize,
+) -> Result<usize, ServiceError> {
+    let count = usize::try_from(claimed).map_err(|_| snap_err("element count overflows usize"))?;
+    let bytes = count
+        .checked_mul(element_size)
+        .ok_or_else(|| snap_err("element count overflows the address space"))?;
+    if bytes > cur.remaining() {
+        return Err(snap_err(format!(
+            "blob claims {count} elements ({bytes} bytes) but only {} bytes remain",
+            cur.remaining()
+        )));
+    }
+    Ok(count)
+}
+
+/// Writes the magic/version header.
+pub fn encode_header(out: &mut Vec<u8>) {
+    out.extend_from_slice(SNAPSHOT_MAGIC);
+    put_u16(out, SNAPSHOT_VERSION);
+}
+
+/// Checks the magic/version header.
+///
+/// # Errors
+///
+/// [`ServiceError::Snapshot`] on a wrong magic or unsupported version.
+pub fn decode_header(cur: &mut Cursor<'_>) -> Result<(), ServiceError> {
+    let magic = ctx(cur.take(4))?;
+    if magic != SNAPSHOT_MAGIC {
+        return Err(snap_err("not a sampler snapshot (bad magic)"));
+    }
+    let version = ctx(cur.u16())?;
+    if version != SNAPSHOT_VERSION {
+        return Err(snap_err(format!(
+            "snapshot version {version} unsupported (this build reads {SNAPSHOT_VERSION})"
+        )));
+    }
+    Ok(())
+}
+
+/// Encodes the sampling memory `Γ`: capacity, then the residents in slot
+/// order (the order is part of the state — uniform draws index into it).
+pub fn encode_memory(out: &mut Vec<u8>, memory: &SamplingMemory) {
+    put_u64(out, memory.capacity() as u64);
+    put_u64(out, memory.len() as u64);
+    for id in memory.iter() {
+        put_u64(out, id.as_u64());
+    }
+}
+
+/// Decodes a sampling memory, rebuilding the position index from the slot
+/// vector.
+///
+/// # Errors
+///
+/// [`ServiceError::Snapshot`] on truncation, zero capacity, more residents
+/// than capacity, or duplicate residents.
+pub fn decode_memory(cur: &mut Cursor<'_>) -> Result<SamplingMemory, ServiceError> {
+    let capacity = ctx(cur.u64())?;
+    if capacity > MAX_SNAPSHOT_CAPACITY as u64 {
+        return Err(snap_err(format!(
+            "memory capacity {capacity} exceeds the {MAX_SNAPSHOT_CAPACITY} restore cap"
+        )));
+    }
+    let capacity = capacity as usize;
+    let claimed_len = ctx(cur.u64())?;
+    let len = checked_count(cur, claimed_len, 8)?;
+    if len > capacity {
+        return Err(snap_err(format!("memory holds {len} residents but capacity is {capacity}")));
+    }
+    let mut memory =
+        SamplingMemory::new(capacity).map_err(|err| snap_err(format!("invalid memory: {err}")))?;
+    for slot in 0..len {
+        let id = NodeId::new(ctx(cur.u64())?);
+        if !memory.insert(id) {
+            return Err(snap_err(format!("duplicate resident {id} at slot {slot}")));
+        }
+    }
+    Ok(memory)
+}
+
+const RNG_TAG_SMALL: u8 = 0;
+
+/// Encodes the coin generator's full state.
+pub fn encode_rng(out: &mut Vec<u8>, rng: &SmallRng) {
+    out.push(RNG_TAG_SMALL);
+    for word in rng.state() {
+        put_u64(out, word);
+    }
+}
+
+/// Decodes a coin generator.
+///
+/// # Errors
+///
+/// [`ServiceError::Snapshot`] on an unknown generator tag or the invalid
+/// all-zero state.
+pub fn decode_rng(cur: &mut Cursor<'_>) -> Result<SmallRng, ServiceError> {
+    let tag = ctx(cur.u8())?;
+    if tag != RNG_TAG_SMALL {
+        return Err(snap_err(format!("unknown coin generator tag {tag}")));
+    }
+    let mut state = [0u64; 4];
+    for word in &mut state {
+        *word = ctx(cur.u64())?;
+    }
+    if state == [0; 4] {
+        return Err(snap_err("all-zero xoshiro256++ state cannot come from a live generator"));
+    }
+    Ok(SmallRng::from_state(state))
+}
+
+/// Estimator tag written before the estimator payload.
+pub const EST_TAG_COUNT_MIN: u8 = 0;
+/// See [`EST_TAG_COUNT_MIN`].
+pub const EST_TAG_COUNT_SKETCH: u8 = 1;
+/// See [`EST_TAG_COUNT_MIN`].
+pub const EST_TAG_EXACT: u8 = 2;
+
+/// Encodes a Count-Min sketch: configuration, stream total, row-major
+/// counters. Hash functions and floor engine are re-derived on restore.
+pub fn encode_count_min(out: &mut Vec<u8>, sketch: &CountMinSketch) {
+    put_u64(out, sketch.width() as u64);
+    put_u64(out, sketch.depth() as u64);
+    put_u64(out, sketch.seed());
+    out.push(match sketch.policy() {
+        UpdatePolicy::Standard => 0,
+        UpdatePolicy::Conservative => 1,
+    });
+    put_u64(out, sketch.total());
+    for &cell in sketch.cells() {
+        put_u64(out, cell);
+    }
+}
+
+/// Decodes a Count-Min sketch.
+///
+/// # Errors
+///
+/// [`ServiceError::Snapshot`] on truncation or inconsistent dimensions.
+pub fn decode_count_min(cur: &mut Cursor<'_>) -> Result<CountMinSketch, ServiceError> {
+    let width = ctx(cur.u64())? as usize;
+    let depth = ctx(cur.u64())? as usize;
+    let seed = ctx(cur.u64())?;
+    let policy = match ctx(cur.u8())? {
+        0 => UpdatePolicy::Standard,
+        1 => UpdatePolicy::Conservative,
+        other => return Err(snap_err(format!("unknown update policy {other}"))),
+    };
+    let total = ctx(cur.u64())?;
+    let cell_count =
+        width.checked_mul(depth).ok_or_else(|| snap_err("sketch dimensions overflow"))?;
+    let cell_count = checked_count(cur, cell_count as u64, 8)?;
+    let mut cells = Vec::with_capacity(cell_count);
+    for _ in 0..cell_count {
+        cells.push(ctx(cur.u64())?);
+    }
+    CountMinSketch::from_parts(width, depth, seed, policy, total, cells)
+        .map_err(|err| snap_err(format!("invalid count-min state: {err}")))
+}
+
+/// Encodes a Count sketch: configuration, stream total, row-major signed
+/// counters.
+pub fn encode_count_sketch(out: &mut Vec<u8>, sketch: &CountSketch) {
+    put_u64(out, sketch.width() as u64);
+    put_u64(out, sketch.depth() as u64);
+    put_u64(out, sketch.seed());
+    put_u64(out, sketch.total());
+    for &cell in sketch.cells() {
+        put_i64(out, cell);
+    }
+}
+
+/// Decodes a Count sketch.
+///
+/// # Errors
+///
+/// [`ServiceError::Snapshot`] on truncation or inconsistent dimensions.
+pub fn decode_count_sketch(cur: &mut Cursor<'_>) -> Result<CountSketch, ServiceError> {
+    let width = ctx(cur.u64())? as usize;
+    let depth = ctx(cur.u64())? as usize;
+    let seed = ctx(cur.u64())?;
+    let total = ctx(cur.u64())?;
+    let cell_count =
+        width.checked_mul(depth).ok_or_else(|| snap_err("sketch dimensions overflow"))?;
+    let cell_count = checked_count(cur, cell_count as u64, 8)?;
+    let mut cells = Vec::with_capacity(cell_count);
+    for _ in 0..cell_count {
+        cells.push(ctx(cur.i64())?);
+    }
+    CountSketch::from_parts(width, depth, seed, total, cells)
+        .map_err(|err| snap_err(format!("invalid count-sketch state: {err}")))
+}
+
+/// Encodes the exact oracle canonically: stream total, then `(id, count)`
+/// pairs **sorted by identifier** (hash-map iteration order must not leak
+/// into the bytes).
+pub fn encode_exact(out: &mut Vec<u8>, oracle: &ExactFrequencyOracle) {
+    put_u64(out, oracle.total());
+    let mut pairs: Vec<(u64, u64)> = oracle.iter().collect();
+    pairs.sort_unstable_by_key(|&(id, _)| id);
+    put_u64(out, pairs.len() as u64);
+    for (id, count) in pairs {
+        put_u64(out, id);
+        put_u64(out, count);
+    }
+}
+
+/// Decodes an exact oracle.
+///
+/// # Errors
+///
+/// [`ServiceError::Snapshot`] on truncation, unsorted/duplicate pairs, or
+/// zero counts.
+pub fn decode_exact(cur: &mut Cursor<'_>) -> Result<ExactFrequencyOracle, ServiceError> {
+    let total = ctx(cur.u64())?;
+    let claimed_len = ctx(cur.u64())?;
+    let len = checked_count(cur, claimed_len, 16)?;
+    let mut pairs = Vec::with_capacity(len);
+    let mut last: Option<u64> = None;
+    for _ in 0..len {
+        let id = ctx(cur.u64())?;
+        let count = ctx(cur.u64())?;
+        if count == 0 {
+            return Err(snap_err(format!("zero count for id {id}")));
+        }
+        if last.is_some_and(|prev| prev >= id) {
+            return Err(snap_err("oracle pairs not strictly sorted by id"));
+        }
+        last = Some(id);
+        pairs.push((id, count));
+    }
+    Ok(ExactFrequencyOracle::from_parts(pairs, total))
+}
+
+/// Encodes an estimator behind its tag.
+pub fn encode_estimator_tagged(out: &mut Vec<u8>, estimator: &TaggedEstimatorRef<'_>) {
+    match estimator {
+        TaggedEstimatorRef::CountMin(sketch) => {
+            out.push(EST_TAG_COUNT_MIN);
+            encode_count_min(out, sketch);
+        }
+        TaggedEstimatorRef::CountSketch(sketch) => {
+            out.push(EST_TAG_COUNT_SKETCH);
+            encode_count_sketch(out, sketch);
+        }
+        TaggedEstimatorRef::Exact(oracle) => {
+            out.push(EST_TAG_EXACT);
+            encode_exact(out, oracle);
+        }
+    }
+}
+
+/// Borrowed view of any snapshot-able estimator, for tagged encoding.
+#[derive(Clone, Copy, Debug)]
+pub enum TaggedEstimatorRef<'a> {
+    /// A Count-Min sketch.
+    CountMin(&'a CountMinSketch),
+    /// A Count sketch.
+    CountSketch(&'a CountSketch),
+    /// The exact frequency oracle.
+    Exact(&'a ExactFrequencyOracle),
+}
+
+/// Owned counterpart of [`TaggedEstimatorRef`], produced by decoding.
+#[derive(Clone, Debug)]
+pub enum TaggedEstimator {
+    /// A Count-Min sketch.
+    CountMin(CountMinSketch),
+    /// A Count sketch.
+    CountSketch(CountSketch),
+    /// The exact frequency oracle.
+    Exact(ExactFrequencyOracle),
+}
+
+/// Decodes a tagged estimator.
+///
+/// # Errors
+///
+/// [`ServiceError::Snapshot`] on an unknown tag or a malformed payload.
+pub fn decode_estimator_tagged(cur: &mut Cursor<'_>) -> Result<TaggedEstimator, ServiceError> {
+    match ctx(cur.u8())? {
+        EST_TAG_COUNT_MIN => Ok(TaggedEstimator::CountMin(decode_count_min(cur)?)),
+        EST_TAG_COUNT_SKETCH => Ok(TaggedEstimator::CountSketch(decode_count_sketch(cur)?)),
+        EST_TAG_EXACT => Ok(TaggedEstimator::Exact(decode_exact(cur)?)),
+        other => Err(snap_err(format!("unknown estimator tag {other}"))),
+    }
+}
+
+/// Asserts a fully consumed snapshot blob.
+///
+/// # Errors
+///
+/// [`ServiceError::Snapshot`] when trailing bytes remain.
+pub fn finish(cur: Cursor<'_>) -> Result<(), ServiceError> {
+    ctx(cur.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn header_round_trips_and_rejects_garbage() {
+        let mut out = Vec::new();
+        encode_header(&mut out);
+        let mut cur = Cursor::new(&out);
+        decode_header(&mut cur).unwrap();
+        finish(cur).unwrap();
+
+        let mut cur = Cursor::new(b"NOPE\x01\x00");
+        assert!(matches!(decode_header(&mut cur), Err(ServiceError::Snapshot(_))));
+        let mut bad_version = Vec::new();
+        bad_version.extend_from_slice(SNAPSHOT_MAGIC);
+        put_u16(&mut bad_version, 999);
+        let mut cur = Cursor::new(&bad_version);
+        assert!(matches!(decode_header(&mut cur), Err(ServiceError::Snapshot(_))));
+    }
+
+    #[test]
+    fn memory_round_trips_in_slot_order() {
+        let mut memory = SamplingMemory::new(5).unwrap();
+        for id in [9u64, 2, 7] {
+            memory.insert(NodeId::new(id));
+        }
+        let mut out = Vec::new();
+        encode_memory(&mut out, &memory);
+        let mut cur = Cursor::new(&out);
+        let decoded = decode_memory(&mut cur).unwrap();
+        finish(cur).unwrap();
+        assert_eq!(decoded.capacity(), 5);
+        assert_eq!(decoded.as_slice(), memory.as_slice()); // slot order kept
+        assert!(decoded.contains(NodeId::new(7)));
+    }
+
+    #[test]
+    fn memory_decode_rejects_inconsistencies() {
+        // More residents than capacity.
+        let mut out = Vec::new();
+        put_u64(&mut out, 1);
+        put_u64(&mut out, 2);
+        put_u64(&mut out, 10);
+        put_u64(&mut out, 11);
+        assert!(matches!(decode_memory(&mut Cursor::new(&out)), Err(ServiceError::Snapshot(_))));
+        // Duplicate resident.
+        let mut out = Vec::new();
+        put_u64(&mut out, 4);
+        put_u64(&mut out, 2);
+        put_u64(&mut out, 10);
+        put_u64(&mut out, 10);
+        assert!(matches!(decode_memory(&mut Cursor::new(&out)), Err(ServiceError::Snapshot(_))));
+        // Zero capacity.
+        let mut out = Vec::new();
+        put_u64(&mut out, 0);
+        put_u64(&mut out, 0);
+        assert!(matches!(decode_memory(&mut Cursor::new(&out)), Err(ServiceError::Snapshot(_))));
+    }
+
+    #[test]
+    fn rng_round_trips_and_resumes_exactly() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..10 {
+            let _ = rng.gen::<u64>();
+        }
+        let mut out = Vec::new();
+        encode_rng(&mut out, &rng);
+        let mut cur = Cursor::new(&out);
+        let mut decoded = decode_rng(&mut cur).unwrap();
+        finish(cur).unwrap();
+        for _ in 0..32 {
+            assert_eq!(decoded.gen::<u64>(), rng.gen::<u64>());
+        }
+        // All-zero state and unknown tag are rejected.
+        let mut zeros = vec![RNG_TAG_SMALL];
+        zeros.extend_from_slice(&[0u8; 32]);
+        assert!(matches!(decode_rng(&mut Cursor::new(&zeros)), Err(ServiceError::Snapshot(_))));
+        let bad_tag = [9u8; 33];
+        assert!(matches!(decode_rng(&mut Cursor::new(&bad_tag)), Err(ServiceError::Snapshot(_))));
+    }
+
+    #[test]
+    fn estimators_round_trip_behind_tags() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut count_min = CountMinSketch::with_dimensions(10, 5, 1).unwrap();
+        let mut count_sketch = CountSketch::with_dimensions(10, 5, 2).unwrap();
+        let mut exact = ExactFrequencyOracle::new();
+        for _ in 0..2_000 {
+            let id = rng.gen_range(0..300u64);
+            count_min.record(id);
+            count_sketch.record(id);
+            exact.record(id);
+        }
+        for estimator in [
+            TaggedEstimatorRef::CountMin(&count_min),
+            TaggedEstimatorRef::CountSketch(&count_sketch),
+            TaggedEstimatorRef::Exact(&exact),
+        ] {
+            let mut out = Vec::new();
+            encode_estimator_tagged(&mut out, &estimator);
+            let mut cur = Cursor::new(&out);
+            let decoded = decode_estimator_tagged(&mut cur).unwrap();
+            finish(cur).unwrap();
+            // Canonical: re-encoding the decoded estimator is byte-equal.
+            let mut again = Vec::new();
+            let as_ref = match &decoded {
+                TaggedEstimator::CountMin(s) => TaggedEstimatorRef::CountMin(s),
+                TaggedEstimator::CountSketch(s) => TaggedEstimatorRef::CountSketch(s),
+                TaggedEstimator::Exact(o) => TaggedEstimatorRef::Exact(o),
+            };
+            encode_estimator_tagged(&mut again, &as_ref);
+            assert_eq!(again, out);
+        }
+        let mut cur = Cursor::new(&[42u8]);
+        assert!(matches!(decode_estimator_tagged(&mut cur), Err(ServiceError::Snapshot(_))));
+    }
+
+    #[test]
+    fn hostile_length_claims_are_rejected_before_allocating() {
+        // Restore is reachable over the wire: a tiny blob claiming huge
+        // element counts must fail cleanly, not allocate terabytes.
+        // Memory claiming capacity 2^60.
+        let mut blob = Vec::new();
+        put_u64(&mut blob, 1 << 60);
+        put_u64(&mut blob, 0);
+        assert!(matches!(decode_memory(&mut Cursor::new(&blob)), Err(ServiceError::Snapshot(_))));
+        // Memory claiming 2^40 residents backed by zero bytes.
+        let mut blob = Vec::new();
+        put_u64(&mut blob, 100);
+        put_u64(&mut blob, 1 << 40);
+        assert!(matches!(decode_memory(&mut Cursor::new(&blob)), Err(ServiceError::Snapshot(_))));
+        // Count-Min claiming a 2^30 × 2^30 matrix with an empty payload.
+        let mut blob = Vec::new();
+        put_u64(&mut blob, 1 << 30);
+        put_u64(&mut blob, 1 << 30);
+        put_u64(&mut blob, 7); // seed
+        blob.push(0); // policy
+        put_u64(&mut blob, 0); // total
+        assert!(matches!(
+            decode_count_min(&mut Cursor::new(&blob)),
+            Err(ServiceError::Snapshot(_))
+        ));
+        // Count sketch: same shape of lie.
+        let mut blob = Vec::new();
+        put_u64(&mut blob, 1 << 30);
+        put_u64(&mut blob, 1 << 30);
+        put_u64(&mut blob, 7);
+        put_u64(&mut blob, 0);
+        assert!(matches!(
+            decode_count_sketch(&mut Cursor::new(&blob)),
+            Err(ServiceError::Snapshot(_))
+        ));
+        // Exact oracle claiming 2^40 pairs.
+        let mut blob = Vec::new();
+        put_u64(&mut blob, 0);
+        put_u64(&mut blob, 1 << 40);
+        assert!(matches!(decode_exact(&mut Cursor::new(&blob)), Err(ServiceError::Snapshot(_))));
+    }
+
+    #[test]
+    fn exact_decode_rejects_unsorted_and_zero_counts() {
+        let mut out = Vec::new();
+        put_u64(&mut out, 3);
+        put_u64(&mut out, 2);
+        put_u64(&mut out, 5);
+        put_u64(&mut out, 1);
+        put_u64(&mut out, 4); // id 4 after id 5: unsorted
+        put_u64(&mut out, 2);
+        assert!(matches!(decode_exact(&mut Cursor::new(&out)), Err(ServiceError::Snapshot(_))));
+        let mut out = Vec::new();
+        put_u64(&mut out, 3);
+        put_u64(&mut out, 1);
+        put_u64(&mut out, 5);
+        put_u64(&mut out, 0); // zero count
+        assert!(matches!(decode_exact(&mut Cursor::new(&out)), Err(ServiceError::Snapshot(_))));
+    }
+}

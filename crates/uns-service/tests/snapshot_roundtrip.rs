@@ -1,0 +1,198 @@
+//! Property tests of the snapshot codec: for every snapshot-able component
+//! (memory `Γ`, coin generator, all three estimators, the assembled
+//! sampler) the encoding is **canonical** — `encode(decode(encode(x)))` is
+//! byte-identical to `encode(x)` — and restoring yields a component that
+//! behaves bit-equally going forward.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use uns_core::{NodeId, SamplingMemory};
+use uns_service::protocol::{EstimatorKind, StreamConfig};
+use uns_service::snapshot::{
+    decode_count_min, decode_count_sketch, decode_exact, decode_memory, decode_rng,
+    encode_count_min, encode_count_sketch, encode_exact, encode_memory, encode_rng,
+};
+use uns_service::wire::Cursor;
+use uns_service::ServiceSampler;
+use uns_sketch::{
+    CountMinSketch, CountSketch, ExactFrequencyOracle, FrequencyEstimator, UpdatePolicy,
+};
+
+fn kind_from(index: u8) -> EstimatorKind {
+    match index % 3 {
+        0 => EstimatorKind::CountMin,
+        1 => EstimatorKind::CountSketch,
+        _ => EstimatorKind::Exact,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Memory: canonical bytes, slot order preserved.
+    #[test]
+    fn memory_round_trip_is_canonical(
+        capacity in 1usize..40,
+        fill in 0usize..40,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut memory = SamplingMemory::new(capacity).unwrap();
+        for _ in 0..fill.min(capacity) {
+            while !memory.is_full() {
+                if memory.insert(NodeId::new(rng.gen_range(0..1_000u64))) {
+                    break;
+                }
+            }
+        }
+        let mut first = Vec::new();
+        encode_memory(&mut first, &memory);
+        let mut cur = Cursor::new(&first);
+        let decoded = decode_memory(&mut cur).unwrap();
+        prop_assert_eq!(cur.remaining(), 0);
+        let mut second = Vec::new();
+        encode_memory(&mut second, &decoded);
+        prop_assert_eq!(&first, &second, "encode-decode-encode not byte-identical");
+        prop_assert_eq!(decoded.as_slice(), memory.as_slice());
+    }
+
+    /// Coin generator: canonical bytes, identical continuation stream.
+    #[test]
+    fn rng_round_trip_is_canonical(seed in any::<u64>(), skip in 0usize..50) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for _ in 0..skip {
+            let _ = rng.gen::<u64>();
+        }
+        let mut first = Vec::new();
+        encode_rng(&mut first, &rng);
+        let mut cur = Cursor::new(&first);
+        let mut decoded = decode_rng(&mut cur).unwrap();
+        let mut second = Vec::new();
+        encode_rng(&mut second, &decoded);
+        prop_assert_eq!(&first, &second);
+        for _ in 0..16 {
+            prop_assert_eq!(decoded.gen::<u64>(), rng.gen::<u64>());
+        }
+    }
+
+    /// Count-Min sketch: canonical bytes under both update policies.
+    #[test]
+    fn count_min_round_trip_is_canonical(
+        width in 1usize..40,
+        depth in 1usize..8,
+        len in 0usize..600,
+        conservative in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let policy = if conservative { UpdatePolicy::Conservative } else { UpdatePolicy::Standard };
+        let mut sketch =
+            CountMinSketch::with_dimensions(width, depth, seed).unwrap().with_policy(policy);
+        let mut rng = SmallRng::seed_from_u64(seed ^ 1);
+        for _ in 0..len {
+            sketch.record(rng.gen_range(0..200u64));
+        }
+        let mut first = Vec::new();
+        encode_count_min(&mut first, &sketch);
+        let mut cur = Cursor::new(&first);
+        let mut decoded = decode_count_min(&mut cur).unwrap();
+        let mut second = Vec::new();
+        encode_count_min(&mut second, &decoded);
+        prop_assert_eq!(&first, &second);
+        // Bit-equal forward: fused queries agree on fresh traffic.
+        for id in 0..50u64 {
+            prop_assert_eq!(decoded.record_and_estimate(id), sketch.record_and_estimate(id));
+        }
+    }
+
+    /// Count sketch: canonical bytes, signed counters included.
+    #[test]
+    fn count_sketch_round_trip_is_canonical(
+        width in 1usize..40,
+        depth in 1usize..8,
+        len in 0usize..600,
+        seed in any::<u64>(),
+    ) {
+        let mut sketch = CountSketch::with_dimensions(width, depth, seed).unwrap();
+        let mut rng = SmallRng::seed_from_u64(seed ^ 2);
+        for _ in 0..len {
+            sketch.record(rng.gen_range(0..200u64));
+        }
+        let mut first = Vec::new();
+        encode_count_sketch(&mut first, &sketch);
+        let mut cur = Cursor::new(&first);
+        let mut decoded = decode_count_sketch(&mut cur).unwrap();
+        let mut second = Vec::new();
+        encode_count_sketch(&mut second, &decoded);
+        prop_assert_eq!(&first, &second);
+        for id in 0..50u64 {
+            prop_assert_eq!(decoded.record_and_estimate(id), sketch.record_and_estimate(id));
+        }
+    }
+
+    /// Exact oracle: canonical bytes regardless of hash-map iteration
+    /// order (pairs are sorted on encode).
+    #[test]
+    fn exact_oracle_round_trip_is_canonical(len in 0usize..600, seed in any::<u64>()) {
+        let mut oracle = ExactFrequencyOracle::new();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for _ in 0..len {
+            oracle.record(rng.gen_range(0..300u64));
+        }
+        let mut first = Vec::new();
+        encode_exact(&mut first, &oracle);
+        let mut cur = Cursor::new(&first);
+        let mut decoded = decode_exact(&mut cur).unwrap();
+        let mut second = Vec::new();
+        encode_exact(&mut second, &decoded);
+        prop_assert_eq!(&first, &second);
+        for id in 0..50u64 {
+            prop_assert_eq!(decoded.record_and_estimate(id), oracle.record_and_estimate(id));
+        }
+    }
+
+    /// The assembled sampler blob: canonical bytes for every estimator
+    /// kind, and the restored sampler replays the original's future.
+    #[test]
+    fn full_sampler_snapshot_is_canonical_and_resumes(
+        kind_index in 0u8..3,
+        capacity in 1usize..20,
+        len in 0usize..800,
+        seed in any::<u64>(),
+    ) {
+        let config = StreamConfig {
+            kind: kind_from(kind_index),
+            capacity,
+            width: 12,
+            depth: 4,
+            seed,
+        };
+        let mut sampler = ServiceSampler::create(&config).unwrap();
+        let mut rng = SmallRng::seed_from_u64(seed ^ 3);
+        let stream: Vec<NodeId> =
+            (0..len).map(|_| NodeId::new(rng.gen_range(0..150u64))).collect();
+        let mut sink = Vec::new();
+        sampler.feed_batch(&stream, &mut sink);
+
+        let mut first = Vec::new();
+        sampler.snapshot(&mut first);
+        let mut restored = ServiceSampler::restore(&first).unwrap();
+        let mut second = Vec::new();
+        restored.snapshot(&mut second);
+        prop_assert_eq!(&first, &second, "snapshot not canonical");
+
+        // Same future: outputs and state agree on a fresh tail.
+        let tail: Vec<NodeId> =
+            (0..200).map(|_| NodeId::new(rng.gen_range(0..150u64))).collect();
+        let mut out_live = Vec::new();
+        let mut out_restored = Vec::new();
+        sampler.feed_batch(&tail, &mut out_live);
+        restored.feed_batch(&tail, &mut out_restored);
+        prop_assert_eq!(out_live, out_restored);
+        let mut after_live = Vec::new();
+        let mut after_restored = Vec::new();
+        sampler.snapshot(&mut after_live);
+        restored.snapshot(&mut after_restored);
+        prop_assert_eq!(after_live, after_restored, "states diverged after the tail");
+    }
+}

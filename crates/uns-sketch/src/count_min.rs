@@ -295,6 +295,48 @@ impl CountMinSketch {
         &self.cells[row * self.width..(row + 1) * self.width]
     }
 
+    /// Read-only view of the whole counter matrix in row-major order — the
+    /// serialization seam used by snapshot/restore (`uns-service`).
+    pub fn cells(&self) -> &[u64] {
+        &self.cells
+    }
+
+    /// Rebuilds a sketch from serialized state: configuration plus the
+    /// row-major counter matrix captured by [`CountMinSketch::cells`] and
+    /// the stream length captured by [`FrequencyEstimator::total`].
+    ///
+    /// The hash functions are re-derived from `seed` and the floor-estimate
+    /// engine is rebuilt from the counters, both of which are pure functions
+    /// of the given state — so the restored sketch is **bit-equal going
+    /// forward** to the one that was serialized: identical estimates,
+    /// floors, and merge compatibility.
+    ///
+    /// # Errors
+    ///
+    /// Returns the dimension errors of [`CountMinSketch::with_dimensions`],
+    /// or [`SketchError::CellCountMismatch`] when `cells.len()` is not
+    /// `width * depth`.
+    pub fn from_parts(
+        width: usize,
+        depth: usize,
+        seed: u64,
+        policy: UpdatePolicy,
+        total: u64,
+        cells: Vec<u64>,
+    ) -> Result<Self, SketchError> {
+        let mut sketch = Self::with_dimensions(width, depth, seed)?.with_policy(policy);
+        if cells.len() != width * depth {
+            return Err(SketchError::CellCountMismatch {
+                expected: width * depth,
+                got: cells.len(),
+            });
+        }
+        sketch.floor.rebuild(cells.iter().copied());
+        sketch.cells = cells;
+        sketch.total = total;
+        Ok(sketch)
+    }
+
     /// Returns the smallest counter *strictly greater than zero* (the
     /// tracked value behind [`FrequencyEstimator::floor_estimate`]), or
     /// `None` if the matrix is all-zero.
@@ -566,6 +608,52 @@ mod tests {
                 assert_eq!(fused.estimate(id), split.estimate(id));
             }
         }
+    }
+
+    #[test]
+    fn from_parts_round_trips_and_stays_bit_equal() {
+        for policy in [UpdatePolicy::Standard, UpdatePolicy::Conservative] {
+            let mut original =
+                CountMinSketch::with_dimensions(12, 4, 9).unwrap().with_policy(policy);
+            let mut rng = StdRng::seed_from_u64(33);
+            for _ in 0..4_000 {
+                original.record(rng.gen_range(0..300u64));
+            }
+            let mut restored = CountMinSketch::from_parts(
+                original.width(),
+                original.depth(),
+                original.seed(),
+                original.policy(),
+                original.total(),
+                original.cells().to_vec(),
+            )
+            .unwrap();
+            assert_eq!(restored.cells(), original.cells());
+            assert_eq!(restored.total(), original.total());
+            assert_eq!(restored.floor_estimate(), original.floor_estimate());
+            assert_eq!(restored.min_cell_including_zeros(), original.min_cell_including_zeros());
+            assert!(restored.is_compatible(&original));
+            // Bit-equal going forward: fused queries agree on further traffic.
+            for id in 0..500u64 {
+                assert_eq!(
+                    restored.record_and_estimate(id),
+                    original.record_and_estimate(id),
+                    "{policy:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn from_parts_rejects_wrong_cell_count() {
+        assert!(matches!(
+            CountMinSketch::from_parts(4, 2, 1, UpdatePolicy::Standard, 0, vec![0; 9]),
+            Err(SketchError::CellCountMismatch { expected: 8, got: 9 })
+        ));
+        assert!(matches!(
+            CountMinSketch::from_parts(4, 0, 1, UpdatePolicy::Standard, 0, vec![]),
+            Err(SketchError::ZeroDepth)
+        ));
     }
 
     #[test]

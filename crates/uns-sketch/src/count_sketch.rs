@@ -118,6 +118,36 @@ impl CountSketch {
         self.debug_cross_check();
     }
 
+    /// Records a whole batch of identifiers on the **floor-less** path:
+    /// counters are updated without any per-update tournament-tree
+    /// maintenance, and the tree is rebuilt once at the end of the batch.
+    ///
+    /// End state (counters, total, floor engine) is identical to calling
+    /// [`FrequencyEstimator::record`] per element; what changes is the cost
+    /// profile. Per-record tree maintenance is `O(log k·s)` per touched
+    /// cell — pure overhead on ingestion paths that never query the floor
+    /// mid-batch (backlog replay, shard workers building chunk sketches,
+    /// merge preparation). This entry point pays a single `O(k·s)` rebuild
+    /// per batch instead, which wins whenever the batch is longer than
+    /// roughly `k·s / (s·log k·s)` elements — a few dozen for the paper's
+    /// sketch sizes.
+    ///
+    /// Floor reads *during* the batch are what the per-record maintenance
+    /// buys; this method is only for callers that do not interleave them.
+    pub fn record_unfloored(&mut self, ids: &[u64]) {
+        for &id in ids {
+            let folded = UniversalHash::fold61(id);
+            for row in 0..self.depth {
+                let (idx, sign) = self.cell_and_sign(row, folded);
+                self.cells[idx] += sign;
+            }
+        }
+        self.total = self.total.saturating_add(ids.len() as u64);
+        self.floor.rebuild(self.cells.iter().map(|c| c.unsigned_abs()));
+        #[cfg(debug_assertions)]
+        self.debug_cross_check();
+    }
+
     /// Records one occurrence of `id` and returns `(f̂_id, floor)` in a
     /// single hashing pass — the Count-sketch counterpart of
     /// [`crate::CountMinSketch::record_and_estimate`], so the estimator
@@ -206,6 +236,47 @@ impl CountSketch {
     pub fn row(&self, row: usize) -> &[i64] {
         assert!(row < self.depth, "row {row} out of range ({} rows)", self.depth);
         &self.cells[row * self.width..(row + 1) * self.width]
+    }
+
+    /// Read-only view of the whole signed counter matrix in row-major
+    /// order — the serialization seam used by snapshot/restore
+    /// (`uns-service`).
+    pub fn cells(&self) -> &[i64] {
+        &self.cells
+    }
+
+    /// Rebuilds a sketch from serialized state: configuration plus the
+    /// row-major signed counter matrix captured by [`CountSketch::cells`]
+    /// and the stream length captured by [`FrequencyEstimator::total`].
+    ///
+    /// The packed bucket/sign hash functions are re-derived from `seed` and
+    /// the tournament tree is rebuilt from `|cell|`, both pure functions of
+    /// the given state — the restored sketch is bit-equal going forward to
+    /// the serialized one.
+    ///
+    /// # Errors
+    ///
+    /// Returns the dimension errors of [`CountSketch::with_dimensions`], or
+    /// [`SketchError::CellCountMismatch`] when `cells.len()` is not
+    /// `width * depth`.
+    pub fn from_parts(
+        width: usize,
+        depth: usize,
+        seed: u64,
+        total: u64,
+        cells: Vec<i64>,
+    ) -> Result<Self, SketchError> {
+        let mut sketch = Self::with_dimensions(width, depth, seed)?;
+        if cells.len() != width * depth {
+            return Err(SketchError::CellCountMismatch {
+                expected: width * depth,
+                got: cells.len(),
+            });
+        }
+        sketch.floor.rebuild(cells.iter().map(|c| c.unsigned_abs()));
+        sketch.cells = cells;
+        sketch.total = total;
+        Ok(sketch)
     }
 
     /// Adds `other`'s counters into `self` (stream concatenation).
@@ -355,6 +426,63 @@ mod tests {
             assert_eq!(floor, split.floor_estimate(), "floor at step {step}");
         }
         assert_eq!(fused.total(), split.total());
+    }
+
+    #[test]
+    fn record_unfloored_matches_elementwise_record() {
+        let mut batched = CountSketch::with_dimensions(16, 5, 31).unwrap();
+        let mut elementwise = batched.clone();
+        let mut rng = StdRng::seed_from_u64(13);
+        for batch_len in [0usize, 1, 7, 100, 1000] {
+            let ids: Vec<u64> = (0..batch_len).map(|_| rng.gen_range(0..64u64)).collect();
+            batched.record_unfloored(&ids);
+            for &id in &ids {
+                elementwise.record(id);
+            }
+            assert_eq!(batched.total(), elementwise.total());
+            assert_eq!(batched.floor_estimate(), elementwise.floor_estimate());
+            for row in 0..elementwise.depth() {
+                assert_eq!(batched.row(row), elementwise.row(row), "row {row}");
+            }
+        }
+        // Floor queries after an unfloored batch keep working incrementally.
+        let (est, floor) = batched.record_and_estimate(3);
+        let (est2, floor2) = elementwise.record_and_estimate(3);
+        assert_eq!((est, floor), (est2, floor2));
+    }
+
+    #[test]
+    fn from_parts_round_trips_and_stays_bit_equal() {
+        let mut original = CountSketch::with_dimensions(24, 5, 17).unwrap();
+        let mut rng = StdRng::seed_from_u64(27);
+        for _ in 0..3_000 {
+            original.record(rng.gen_range(0..200u64));
+        }
+        let restored = CountSketch::from_parts(
+            original.width(),
+            original.depth(),
+            original.seed(),
+            original.total(),
+            original.cells().to_vec(),
+        )
+        .unwrap();
+        assert_eq!(restored.cells(), original.cells());
+        assert_eq!(restored.total(), original.total());
+        assert_eq!(restored.floor_estimate(), original.floor_estimate());
+        // Bit-equal going forward: fused queries agree on further traffic.
+        let mut restored = restored;
+        for id in 0..500u64 {
+            assert_eq!(restored.record_and_estimate(id), original.record_and_estimate(id));
+        }
+    }
+
+    #[test]
+    fn from_parts_rejects_wrong_cell_count() {
+        assert!(matches!(
+            CountSketch::from_parts(4, 2, 1, 0, vec![0; 7]),
+            Err(SketchError::CellCountMismatch { expected: 8, got: 7 })
+        ));
+        assert!(matches!(CountSketch::from_parts(0, 2, 1, 0, vec![]), Err(SketchError::ZeroWidth)));
     }
 
     #[test]

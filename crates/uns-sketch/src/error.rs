@@ -30,6 +30,15 @@ pub enum SketchError {
     },
     /// The hash output range must be at least 1.
     ZeroHashRange,
+    /// A serialized counter matrix does not match the declared dimensions
+    /// (restore path, see `CountMinSketch::from_parts` /
+    /// `CountSketch::from_parts`).
+    CellCountMismatch {
+        /// `width * depth` implied by the declared dimensions.
+        expected: usize,
+        /// Number of counters actually supplied.
+        got: usize,
+    },
 }
 
 impl fmt::Display for SketchError {
@@ -50,6 +59,9 @@ impl fmt::Display for SketchError {
                 write!(f, "invalid hash coefficient {value}: {constraint}")
             }
             SketchError::ZeroHashRange => write!(f, "hash output range must be at least 1"),
+            SketchError::CellCountMismatch { expected, got } => {
+                write!(f, "serialized cell count {got} does not match dimensions ({expected})")
+            }
         }
     }
 }
@@ -70,6 +82,7 @@ mod tests {
             SketchError::IncompatibleSketches { left: (1, 2, 3), right: (4, 5, 6) },
             SketchError::InvalidHashCoefficient { value: 0, constraint: "must be non-zero" },
             SketchError::ZeroHashRange,
+            SketchError::CellCountMismatch { expected: 50, got: 49 },
         ];
         for err in errors {
             let msg = err.to_string();

@@ -142,6 +142,29 @@ impl ExactFrequencyOracle {
         self.counts.iter().map(|(&id, &c)| (id, c))
     }
 
+    /// Rebuilds an oracle from serialized state: `(id, count)` pairs (as
+    /// yielded by [`ExactFrequencyOracle::iter`]) plus the recorded stream
+    /// length.
+    ///
+    /// `total` is stored verbatim rather than recomputed from the pairs so
+    /// a saturated total ([`FrequencyEstimator::total`] saturates at
+    /// `u64::MAX`) restores exactly. The floor engine is rebuilt from the
+    /// counts — a pure function of them — so the restored oracle is
+    /// bit-equal going forward to the serialized one.
+    ///
+    /// Zero counts are skipped (the oracle never stores them).
+    pub fn from_parts<I: IntoIterator<Item = (u64, u64)>>(pairs: I, total: u64) -> Self {
+        let mut oracle = Self::new();
+        for (id, count) in pairs {
+            if count > 0 {
+                oracle.counts.insert(id, count);
+            }
+        }
+        oracle.total = total;
+        oracle.floor.rebuild(oracle.counts.values().copied());
+        oracle
+    }
+
     /// Merges the counts of `other` into `self`.
     pub fn merge(&mut self, other: &Self) {
         for (&id, &c) in &other.counts {
@@ -306,6 +329,30 @@ mod tests {
         oracle.record_many(9, 0);
         assert_eq!(oracle.total(), 0);
         assert_eq!(oracle.distinct_count(), 0);
+    }
+
+    #[test]
+    fn from_parts_round_trips_and_stays_bit_equal() {
+        let mut original = ExactFrequencyOracle::new();
+        let mut rng = StdRng::seed_from_u64(41);
+        for _ in 0..3_000 {
+            original.record(rng.gen_range(0..150u64));
+        }
+        let mut restored = ExactFrequencyOracle::from_parts(original.iter(), original.total());
+        assert_eq!(restored.total(), original.total());
+        assert_eq!(restored.distinct_count(), original.distinct_count());
+        assert_eq!(restored.min_frequency(), original.min_frequency());
+        for id in 0..150u64 {
+            assert_eq!(restored.frequency(id), original.frequency(id));
+        }
+        // Bit-equal going forward: fused queries agree on further traffic.
+        for id in 0..300u64 {
+            assert_eq!(restored.record_and_estimate(id), original.record_and_estimate(id));
+        }
+        // Zero counts are dropped; an explicit (saturated) total survives.
+        let odd = ExactFrequencyOracle::from_parts([(1, 0), (2, 5)], u64::MAX);
+        assert_eq!(odd.distinct_count(), 1);
+        assert_eq!(odd.total(), u64::MAX);
     }
 
     #[test]

@@ -1,0 +1,99 @@
+//! Load-generate the networked sampling service and report Melem/s.
+//!
+//! ```text
+//! cargo run --release --example service_loadgen [connections] [elements_per_connection]
+//! ```
+//!
+//! Starts the multi-tenant server on an ephemeral localhost TCP port,
+//! creates one stream per workload shape (uniform honest traffic, the
+//! paper's Fig. 7a peak attack, explicit sybil injection), replays each
+//! over N concurrent connections, and prints service-path throughput —
+//! the number BENCH_*.json records next to the library-path numbers. Ends
+//! with a snapshot → restore round trip over the wire to show state
+//! surviving a "restart".
+//!
+//! `UNS_BENCH_FAST=1` shrinks the run to a smoke test (CI uses this).
+
+use std::net::{TcpListener, TcpStream};
+use uns_service::loadgen::{create_and_run, LoadgenConfig, Workload};
+use uns_service::protocol::{EstimatorKind, StreamConfig};
+use uns_service::server::{Server, ServerConfig};
+use uns_service::ServiceClient;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let fast = std::env::var("UNS_BENCH_FAST").is_ok_and(|v| v == "1");
+    let connections: usize =
+        std::env::args().nth(1).and_then(|v| v.parse().ok()).unwrap_or(if fast { 2 } else { 4 });
+    let elements: usize = std::env::args().nth(2).and_then(|v| v.parse().ok()).unwrap_or(if fast {
+        20_000
+    } else {
+        1_000_000
+    });
+
+    let server = Server::start(ServerConfig::default());
+    let listener = TcpListener::bind("127.0.0.1:0")?;
+    let addr = listener.local_addr()?;
+    std::thread::scope(|scope| -> Result<(), Box<dyn std::error::Error>> {
+        scope.spawn(|| server.serve(listener));
+        let connect = || {
+            let stream = TcpStream::connect(addr).map_err(uns_service::ServiceError::from)?;
+            stream.set_nodelay(true).map_err(uns_service::ServiceError::from)?;
+            Ok(stream)
+        };
+
+        println!(
+            "server on {addr} ({} workers); {connections} connections × {elements} elements\n",
+            server.config().workers
+        );
+        let stream_config = StreamConfig {
+            kind: EstimatorKind::CountMin,
+            capacity: 10,
+            width: 10,
+            depth: 5,
+            seed: 42,
+        };
+        let workloads: [(&str, Workload); 3] = [
+            ("uniform", Workload::Uniform { domain: 100_000 }),
+            ("peak-attack", Workload::PeakAttack { domain: 100_000 }),
+            ("sybil-injection", Workload::Sybil { domain: 100_000, distinct: 38 }),
+        ];
+        for (name, workload) in workloads {
+            let config = LoadgenConfig {
+                connections,
+                elements_per_connection: elements / connections,
+                batch_len: 4096,
+                workload,
+                seed: 7,
+                feed: true,
+            };
+            let report = create_and_run(connect, name, &stream_config, &config)?;
+            println!(
+                "{name:>16}: {:>8.2} Melem/s  ({} elements in {:.3}s, {} busy retries, \
+                 admission rate {:.2}%)",
+                report.melem_per_s(),
+                report.elements,
+                report.elapsed.as_secs_f64(),
+                report.busy_retries,
+                report.stats.pipeline.admission_rate() * 100.0,
+            );
+        }
+
+        // Snapshot → restore over the wire: the restored stream's future
+        // equals the original's.
+        let mut client = ServiceClient::new(connect()?)?;
+        let blob = client.snapshot("peak-attack")?;
+        client.restore("peak-attack-restored", &blob)?;
+        let probe: Vec<_> = (0..1_000u64).map(uniform_node_sampling::NodeId::new).collect();
+        let out_a = client.feed_batch("peak-attack", &probe)?.outputs;
+        let out_b = client.feed_batch("peak-attack-restored", &probe)?.outputs;
+        assert_eq!(out_a, out_b, "restored stream diverged");
+        println!(
+            "\nsnapshot/restore: {} bytes captured, restored stream bit-equal over {} probe \
+             elements. ok.",
+            blob.len(),
+            probe.len()
+        );
+        server.stop();
+        Ok(())
+    })
+}

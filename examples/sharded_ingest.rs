@@ -25,8 +25,11 @@ use uns_streams::adversary::peak_attack_distribution;
 use uns_streams::IdStream;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let backlog_len = 10_000_000usize;
-    let population = 100_000usize;
+    // UNS_EXAMPLE_FAST=1 (CI) shrinks the backlog so the example still
+    // exercises the full pipeline without the multi-second generation.
+    let fast = std::env::var("UNS_EXAMPLE_FAST").is_ok_and(|v| v == "1");
+    let backlog_len = if fast { 200_000 } else { 10_000_000usize };
+    let population = if fast { 10_000 } else { 100_000usize };
     let shards = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
 
     println!("generating a {backlog_len}-element peak-attack backlog over {population} ids…");

@@ -19,7 +19,9 @@
 //! * [`analysis`] — attack-effort bounds, Markov chain validation and KL
 //!   metrics;
 //! * [`streams`] — attack distributions and trace surrogates;
-//! * [`sim`] — the gossip overlay simulator.
+//! * [`sim`] — the gossip overlay simulator;
+//! * [`service`] — the networked sampling service (framed wire protocol,
+//!   multi-tenant server, snapshot/restore, load generator).
 //!
 //! # Quickstart
 //!
@@ -40,6 +42,7 @@
 
 pub use uns_analysis as analysis;
 pub use uns_core as core;
+pub use uns_service as service;
 pub use uns_sim as sim;
 pub use uns_sketch as sketch;
 pub use uns_streams as streams;
@@ -52,6 +55,7 @@ pub use uns_core::{
     CoreError, KnowledgeFreeSampler, MinWiseSampler, MinWiseSamplerArray, NodeId, NodeSampler,
     OmniscientSampler, PassthroughSampler, ReservoirSampler, SamplingMemory, WeightedSampler,
 };
+pub use uns_service::{ServiceClient, ServiceError, ServiceSampler};
 pub use uns_sim::{
     MaliciousStrategy, SamplerKind, ShardedIngestion, SimConfig, SimMetrics, Simulation,
 };
