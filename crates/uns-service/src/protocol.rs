@@ -12,12 +12,26 @@
 //! requests cost none).
 
 use crate::error::ServiceError;
-use crate::wire::{put_str, put_u32, put_u64, Cursor, PROTOCOL_VERSION};
+use crate::wire::{put_str, put_u32, put_u64, Cursor, MAX_FRAME_LEN, PROTOCOL_VERSION};
 use uns_core::NodeId;
 use uns_sim::PipelineStats;
 
 /// Longest accepted stream name, in bytes.
 pub const MAX_STREAM_NAME_LEN: usize = 255;
+
+/// Byte overhead of a [`Response::Fed`] body over its raw identifiers:
+/// version, opcode, position, admitted, count.
+const FED_OVERHEAD: usize = 1 + 1 + 8 + 8 + 4;
+
+/// Largest identifier batch the server accepts in one Ingest/FeedBatch.
+///
+/// Bounding the *request* by [`MAX_FRAME_LEN`] alone is not enough: a
+/// `Fed` reply echoes one output per input plus `FED_OVERHEAD` bytes of
+/// header, so a maximum-size request with a short stream name would yield
+/// a reply slightly *over* the frame cap — the connection would then die
+/// on the reply instead of carrying an application error. This cap makes
+/// the echoed response provably frameable.
+pub const MAX_BATCH_IDS: usize = (MAX_FRAME_LEN - FED_OVERHEAD) / 8;
 
 /// Which frequency estimator a stream's knowledge-free sampler runs on.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -676,6 +690,12 @@ mod tests {
         Response::Ok.encode(&mut body);
         body[1] = 0x10;
         assert!(matches!(Response::decode(&body), Err(ServiceError::Protocol(_))));
+    }
+
+    #[test]
+    fn max_batch_fed_response_fits_a_frame_and_one_more_does_not() {
+        const { assert!(FED_OVERHEAD + 8 * MAX_BATCH_IDS <= MAX_FRAME_LEN) }
+        const { assert!(FED_OVERHEAD + 8 * (MAX_BATCH_IDS + 1) > MAX_FRAME_LEN) }
     }
 
     #[test]

@@ -6,10 +6,19 @@ use crate::protocol::{EstimatorKind, StreamConfig};
 use crate::snapshot::{
     decode_estimator_tagged, decode_header, decode_memory, decode_rng, encode_estimator_tagged,
     encode_header, encode_memory, encode_rng, finish, TaggedEstimator, TaggedEstimatorRef,
+    MAX_SNAPSHOT_CAPACITY,
 };
 use crate::wire::Cursor;
 use uns_core::{KnowledgeFreeSampler, NodeId, NodeSampler};
 use uns_sketch::{CountMinSketch, CountSketch, ExactFrequencyOracle, FrequencyEstimator};
+
+/// Upper bound on `width * depth` sketch cells of a stream created over
+/// the wire. `CreateStream` carries raw u64 dimensions, so without an
+/// explicit cap a single request could demand an arbitrary allocation
+/// (the same class of attack [`MAX_SNAPSHOT_CAPACITY`] blocks on the
+/// restore path). 2²³ cells (64 MiB of counters) is orders of magnitude
+/// above the paper's `k = 10, s = 5` parametrization.
+pub const MAX_SKETCH_CELLS: usize = 1 << 23;
 
 /// A stream's sampling service instance: the paper's Algorithm 3 over the
 /// estimator chosen at stream creation ([`EstimatorKind`]).
@@ -49,10 +58,27 @@ impl ServiceSampler {
     ///
     /// # Errors
     ///
-    /// [`ServiceError::InvalidConfig`] on zero capacity or, for the sketch
-    /// estimators, zero width/depth.
+    /// [`ServiceError::InvalidConfig`] on zero capacity; on a capacity
+    /// above [`MAX_SNAPSHOT_CAPACITY`]; or, for the sketch estimators, on
+    /// zero width/depth or more than [`MAX_SKETCH_CELLS`] cells. The caps
+    /// matter because `CreateStream` is wire-reachable: dimensions are
+    /// bounded *before* anything is allocated from them.
     pub fn create(config: &StreamConfig) -> Result<Self, ServiceError> {
         let invalid = |err: &dyn std::fmt::Display| ServiceError::InvalidConfig(err.to_string());
+        if config.capacity > MAX_SNAPSHOT_CAPACITY {
+            return Err(ServiceError::InvalidConfig(format!(
+                "capacity {} exceeds the {MAX_SNAPSHOT_CAPACITY}-slot cap",
+                config.capacity
+            )));
+        }
+        if matches!(config.kind, EstimatorKind::CountMin | EstimatorKind::CountSketch)
+            && config.width.checked_mul(config.depth).is_none_or(|cells| cells > MAX_SKETCH_CELLS)
+        {
+            return Err(ServiceError::InvalidConfig(format!(
+                "sketch dimensions {} x {} exceed the {MAX_SKETCH_CELLS}-cell cap",
+                config.width, config.depth
+            )));
+        }
         match config.kind {
             EstimatorKind::CountMin => KnowledgeFreeSampler::with_count_min(
                 config.capacity,
@@ -204,6 +230,38 @@ mod tests {
         exact.width = 0;
         exact.depth = 0;
         assert!(ServiceSampler::create(&exact).is_ok());
+    }
+
+    #[test]
+    fn create_rejects_hostile_dimensions_before_allocating() {
+        // CreateStream is wire-reachable: a request demanding a huge
+        // memory or sketch must be rejected, not attempted.
+        let mut huge_capacity = config(EstimatorKind::CountMin);
+        huge_capacity.capacity = MAX_SNAPSHOT_CAPACITY + 1;
+        assert!(matches!(
+            ServiceSampler::create(&huge_capacity),
+            Err(ServiceError::InvalidConfig(_))
+        ));
+        for kind in [EstimatorKind::CountMin, EstimatorKind::CountSketch] {
+            // width * depth wraps to 0 without overflow checks: 2^32 x 2^32.
+            let mut wrapping = config(kind);
+            wrapping.width = 1 << 32;
+            wrapping.depth = 1 << 32;
+            assert!(matches!(
+                ServiceSampler::create(&wrapping),
+                Err(ServiceError::InvalidConfig(_))
+            ));
+            // A non-wrapping but enormous matrix is rejected by the cap.
+            let mut huge = config(kind);
+            huge.width = MAX_SKETCH_CELLS;
+            huge.depth = 2;
+            assert!(matches!(ServiceSampler::create(&huge), Err(ServiceError::InvalidConfig(_))));
+        }
+        // At the cap itself, creation succeeds.
+        let mut at_cap = config(EstimatorKind::CountMin);
+        at_cap.width = MAX_SKETCH_CELLS / 4;
+        at_cap.depth = 4;
+        assert!(ServiceSampler::create(&at_cap).is_ok());
     }
 
     #[test]

@@ -27,11 +27,11 @@
 
 use crate::error::ServiceError;
 use crate::protocol::{
-    ErrorCode, Request, Response, StreamConfig, StreamStats, MAX_STREAM_NAME_LEN,
+    ErrorCode, Request, Response, StreamConfig, StreamStats, MAX_BATCH_IDS, MAX_STREAM_NAME_LEN,
 };
 use crate::sampler::ServiceSampler;
 use crate::transport::Transport;
-use crate::wire::{read_frame, write_frame};
+use crate::wire::{read_frame, write_frame, MAX_FRAME_LEN};
 use std::collections::HashMap;
 use std::net::TcpListener;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -67,6 +67,9 @@ enum StreamOp {
     Floor,
     Snapshot,
     Stats,
+    /// Test hook: panics inside the worker, exercising panic isolation.
+    #[cfg(test)]
+    Panic,
 }
 
 struct Job {
@@ -129,10 +132,11 @@ impl Server {
             let (tx, rx) = mpsc::sync_channel::<Job>(queue_depth);
             senders.push(tx);
             let shutdown = Arc::clone(&shutdown);
+            let registry = Arc::clone(&registry);
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("uns-worker-{index}"))
-                    .spawn(move || worker_main(rx, workers_n, &shutdown))
+                    .spawn(move || worker_main(rx, workers_n, &registry, &shutdown))
                     .expect("spawning a worker thread"),
             );
         }
@@ -217,92 +221,152 @@ struct StreamState {
     stats: PipelineStats,
 }
 
-fn worker_main(rx: Receiver<Job>, pool_size: usize, shutdown: &AtomicBool) {
+fn worker_main(rx: Receiver<Job>, pool_size: usize, registry: &Registry, shutdown: &AtomicBool) {
     let mut streams: HashMap<u64, StreamState> = HashMap::new();
     let mut outputs: Vec<NodeId> = Vec::new();
     loop {
+        // The shutdown check runs every iteration, not only when the
+        // bounded-wait receive times out: a connected client keeping jobs
+        // flowing would otherwise starve the timeout arm forever and
+        // `Drop` (which joins the workers) would hang under active load.
+        if shutdown.load(Ordering::Relaxed) {
+            return;
+        }
         // Bounded-wait receive: connection threads hold clones of the job
         // senders, so the channel does not disconnect while connections
         // are open — the shutdown flag is what makes Drop terminate
         // promptly even with idle connections attached.
         let job = match rx.recv_timeout(std::time::Duration::from_millis(25)) {
             Ok(job) => job,
-            Err(mpsc::RecvTimeoutError::Timeout) => {
-                if shutdown.load(Ordering::Relaxed) {
-                    return;
-                }
-                continue;
-            }
+            Err(mpsc::RecvTimeoutError::Timeout) => continue,
             Err(mpsc::RecvTimeoutError::Disconnected) => return,
         };
-        let response = match job.op {
-            StreamOp::Create(config) => match ServiceSampler::create(&config) {
-                Ok(sampler) => {
-                    let stats = PipelineStats { shards: pool_size, ..PipelineStats::default() };
-                    streams.insert(job.stream, StreamState { sampler, stats });
-                    Response::Ok
-                }
-                Err(err) => error_response(&err),
-            },
-            StreamOp::Restore(blob) => match ServiceSampler::restore(&blob) {
-                Ok(sampler) => {
-                    let stats = PipelineStats { shards: pool_size, ..PipelineStats::default() };
-                    streams.insert(job.stream, StreamState { sampler, stats });
-                    Response::Ok
-                }
-                Err(err) => error_response(&err),
-            },
-            StreamOp::Ingest(ids) => match streams.get_mut(&job.stream) {
-                Some(state) => {
-                    let admitted = state.sampler.ingest_batch(&ids);
-                    state.stats.elements += ids.len() as u64;
-                    state.stats.admitted += admitted;
-                    state.stats.chunks += 1;
-                    Response::Ingested { position: state.stats.elements, admitted }
-                }
-                None => unknown_stream(),
-            },
-            StreamOp::Feed(ids) => match streams.get_mut(&job.stream) {
-                Some(state) => {
-                    outputs.clear();
-                    let admitted = state.sampler.feed_batch(&ids, &mut outputs);
-                    state.stats.elements += ids.len() as u64;
-                    state.stats.admitted += admitted;
-                    state.stats.outputs += ids.len() as u64;
-                    state.stats.chunks += 1;
-                    Response::Fed {
-                        position: state.stats.elements,
-                        admitted,
-                        outputs: outputs.clone(),
-                    }
-                }
-                None => unknown_stream(),
-            },
-            StreamOp::Sample => match streams.get_mut(&job.stream) {
-                Some(state) => Response::Sampled(state.sampler.sample()),
-                None => unknown_stream(),
-            },
-            StreamOp::Floor => match streams.get(&job.stream) {
-                Some(state) => Response::Value(state.sampler.floor_estimate()),
-                None => unknown_stream(),
-            },
-            StreamOp::Snapshot => match streams.get(&job.stream) {
-                Some(state) => {
-                    let mut blob = Vec::new();
-                    state.sampler.snapshot(&mut blob);
-                    Response::Snapshot(blob)
-                }
-                None => unknown_stream(),
-            },
-            StreamOp::Stats => match streams.get(&job.stream) {
-                Some(state) => Response::Stats(StreamStats {
-                    pipeline: state.stats,
-                    busy_rejections: 0, // folded in by the connection thread
-                }),
-                None => unknown_stream(),
-            },
-        };
+        // Panic isolation: a bug in one stream's sampler must cost that
+        // job an error reply, not the worker thread — a dead worker would
+        // leave every stream of this shard permanently unreachable. The
+        // sampler is plain data; a panic can at worst leave the *stream it
+        // hit* mid-mutation, so a panicking *mutating* op drops that
+        // stream — from this worker AND from the name registry, so the
+        // name errors as unknown (not wedged behind a ready entry that
+        // can neither answer nor be re-created) and create works again.
+        // Read-only ops (floor/snapshot/stats) cannot corrupt state, so
+        // their stream survives a panic intact.
+        let stream = job.stream;
+        let mutates = op_mutates(&job.op);
+        let response = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            execute_job(&mut streams, &mut outputs, pool_size, stream, job.op)
+        }))
+        .unwrap_or_else(|panic| {
+            if mutates {
+                streams.remove(&stream);
+                let mut names = registry.streams.lock().expect("registry lock poisoned");
+                names.retain(|_, entry| entry.id != stream);
+            }
+            Response::Error {
+                code: ErrorCode::Other,
+                message: format!("stream operation panicked: {}", panic_message(panic.as_ref())),
+            }
+        });
         let _ = job.reply.send(response); // peer gone: drop the reply
+    }
+}
+
+/// Whether a panicking `op` may have left its stream's state mid-mutation
+/// (in which case the stream is torn down rather than trusted).
+fn op_mutates(op: &StreamOp) -> bool {
+    match op {
+        StreamOp::Create(_)
+        | StreamOp::Restore(_)
+        | StreamOp::Ingest(_)
+        | StreamOp::Feed(_)
+        | StreamOp::Sample => true,
+        StreamOp::Floor | StreamOp::Snapshot | StreamOp::Stats => false,
+        #[cfg(test)]
+        StreamOp::Panic => true,
+    }
+}
+
+/// Best-effort human-readable payload of a caught panic.
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> &str {
+    panic
+        .downcast_ref::<&str>()
+        .copied()
+        .or_else(|| panic.downcast_ref::<String>().map(String::as_str))
+        .unwrap_or("non-string panic payload")
+}
+
+/// Runs one routed job against the worker's stream table.
+fn execute_job(
+    streams: &mut HashMap<u64, StreamState>,
+    outputs: &mut Vec<NodeId>,
+    pool_size: usize,
+    stream: u64,
+    op: StreamOp,
+) -> Response {
+    match op {
+        StreamOp::Create(config) => match ServiceSampler::create(&config) {
+            Ok(sampler) => {
+                let stats = PipelineStats { shards: pool_size, ..PipelineStats::default() };
+                streams.insert(stream, StreamState { sampler, stats });
+                Response::Ok
+            }
+            Err(err) => error_response(&err),
+        },
+        StreamOp::Restore(blob) => match ServiceSampler::restore(&blob) {
+            Ok(sampler) => {
+                let stats = PipelineStats { shards: pool_size, ..PipelineStats::default() };
+                streams.insert(stream, StreamState { sampler, stats });
+                Response::Ok
+            }
+            Err(err) => error_response(&err),
+        },
+        StreamOp::Ingest(ids) => match streams.get_mut(&stream) {
+            Some(state) => {
+                let admitted = state.sampler.ingest_batch(&ids);
+                state.stats.elements += ids.len() as u64;
+                state.stats.admitted += admitted;
+                state.stats.chunks += 1;
+                Response::Ingested { position: state.stats.elements, admitted }
+            }
+            None => unknown_stream(),
+        },
+        StreamOp::Feed(ids) => match streams.get_mut(&stream) {
+            Some(state) => {
+                outputs.clear();
+                let admitted = state.sampler.feed_batch(&ids, outputs);
+                state.stats.elements += ids.len() as u64;
+                state.stats.admitted += admitted;
+                state.stats.outputs += ids.len() as u64;
+                state.stats.chunks += 1;
+                Response::Fed { position: state.stats.elements, admitted, outputs: outputs.clone() }
+            }
+            None => unknown_stream(),
+        },
+        StreamOp::Sample => match streams.get_mut(&stream) {
+            Some(state) => Response::Sampled(state.sampler.sample()),
+            None => unknown_stream(),
+        },
+        StreamOp::Floor => match streams.get(&stream) {
+            Some(state) => Response::Value(state.sampler.floor_estimate()),
+            None => unknown_stream(),
+        },
+        StreamOp::Snapshot => match streams.get(&stream) {
+            Some(state) => {
+                let mut blob = Vec::new();
+                state.sampler.snapshot(&mut blob);
+                Response::Snapshot(blob)
+            }
+            None => unknown_stream(),
+        },
+        StreamOp::Stats => match streams.get(&stream) {
+            Some(state) => Response::Stats(StreamStats {
+                pipeline: state.stats,
+                busy_rejections: 0, // folded in by the connection thread
+            }),
+            None => unknown_stream(),
+        },
+        #[cfg(test)]
+        StreamOp::Panic => panic!("test-injected worker panic"),
     }
 }
 
@@ -349,8 +413,33 @@ fn handle_connection<T: Transport>(
                 return Err(err);
             }
         };
-        response.encode(&mut body);
+        encode_bounded(&response, &mut body);
         write_frame(&mut writer, &body)?;
+    }
+}
+
+/// Encodes `response` into `body`, downgrading an encoding too large to
+/// frame (e.g. the snapshot of an Exact-estimator stream with tens of
+/// millions of distinct identifiers) into an application error — the peer
+/// gets a reply either way, never a killed connection.
+fn encode_bounded(response: &Response, body: &mut Vec<u8>) {
+    // A snapshot is the one response whose size is unbounded (batches are
+    // capped, everything else is fixed-width): reject it *before* copying
+    // hundreds of megabytes into the connection's long-lived buffer just
+    // to measure them. 6 bytes: version, opcode, u32 blob length.
+    if let Response::Snapshot(bytes) = response {
+        if bytes.len() + 6 > MAX_FRAME_LEN {
+            let message =
+                format!("{}-byte snapshot exceeds the {MAX_FRAME_LEN}-byte frame cap", bytes.len());
+            Response::Error { code: ErrorCode::Other, message }.encode(body);
+            return;
+        }
+    }
+    response.encode(body);
+    if body.len() > MAX_FRAME_LEN {
+        let message =
+            format!("{}-byte response exceeds the {MAX_FRAME_LEN}-byte frame cap", body.len());
+        Response::Error { code: ErrorCode::Other, message }.encode(body);
     }
 }
 
@@ -365,6 +454,19 @@ fn route_request(
             code: ErrorCode::InvalidConfig,
             message: format!("stream name must be 1..={MAX_STREAM_NAME_LEN} bytes"),
         };
+    }
+    // Batches are capped below the frame limit so the echoed Fed reply
+    // provably fits a frame too (see [`MAX_BATCH_IDS`]).
+    if let Request::Ingest { ids, .. } | Request::FeedBatch { ids, .. } = request {
+        if ids.len() > MAX_BATCH_IDS {
+            return Response::Error {
+                code: ErrorCode::InvalidConfig,
+                message: format!(
+                    "batch of {} identifiers exceeds the {MAX_BATCH_IDS}-identifier cap",
+                    ids.len()
+                ),
+            };
+        }
     }
     match request {
         Request::CreateStream { config, .. } => {
@@ -654,6 +756,87 @@ mod tests {
         let stats = client.stats("s").unwrap();
         assert_eq!(stats.pipeline.elements, 4 * 30 * 20_000, "every retried batch landed once");
         assert!(stats.busy_rejections >= 1, "4 connections against a depth-1 queue never saw Busy");
+    }
+
+    #[test]
+    fn drop_under_active_load_does_not_hang() {
+        // A client keeping requests flowing used to starve the workers'
+        // shutdown check (it only ran when the queue went quiet for 25ms),
+        // so Drop — which joins the workers — would block forever.
+        let server = Server::start(ServerConfig { workers: 1, queue_depth: 4 });
+        let mut client = ServiceClient::new(server.connect_in_process()).unwrap();
+        client.create_stream("s", &test_config()).unwrap();
+        let mut hammer = ServiceClient::new(server.connect_in_process()).unwrap();
+        std::thread::scope(|scope| {
+            scope.spawn(move || {
+                let ids: Vec<NodeId> = (0..512u64).map(NodeId::new).collect();
+                loop {
+                    match hammer.ingest("s", &ids) {
+                        Ok(_) | Err(ServiceError::Busy) => {} // keep the pressure up
+                        Err(_) => return,                     // shutdown reached this connection
+                    }
+                }
+            });
+            std::thread::sleep(std::time::Duration::from_millis(50));
+            drop(server); // must terminate despite requests still flowing
+        });
+    }
+
+    #[test]
+    fn worker_survives_a_panicking_job_and_the_stream_name_is_freed() {
+        let server = Server::start(ServerConfig { workers: 1, queue_depth: 8 });
+        let mut client = ServiceClient::new(server.connect_in_process()).unwrap();
+        client.create_stream("victim", &test_config()).unwrap();
+        client.create_stream("bystander", &test_config()).unwrap();
+        let ids: Vec<NodeId> = (0..100u64).map(NodeId::new).collect();
+        client.feed_batch("victim", &ids).unwrap();
+        client.feed_batch("bystander", &ids).unwrap();
+        // Inject a job that panics inside the worker, addressed at the
+        // victim stream (a mutating op, so isolation tears it down).
+        let (worker, id) = {
+            let streams = server.registry.streams.lock().unwrap();
+            let entry = streams.get("victim").unwrap();
+            (entry.worker, entry.id)
+        };
+        let (reply_tx, reply_rx) = mpsc::sync_channel(1);
+        server.senders[worker]
+            .send(Job { stream: id, op: StreamOp::Panic, reply: reply_tx })
+            .unwrap();
+        match reply_rx.recv().unwrap() {
+            Response::Error { code: ErrorCode::Other, message } => {
+                assert!(message.contains("panicked"), "unexpected message: {message}");
+            }
+            other => panic!("expected a panic error reply, got {other:?}"),
+        }
+        // The victim's possibly-corrupt state is gone — and so is its
+        // registry entry, so the name errors as unknown (not Busy, not a
+        // hang) and can be created afresh.
+        assert!(matches!(client.sample("victim"), Err(ServiceError::UnknownStream(_))));
+        client.create_stream("victim", &test_config()).unwrap();
+        // The worker thread and its other streams survived untouched.
+        assert!(client.sample("bystander").unwrap().is_some());
+        assert_eq!(client.stats("bystander").unwrap().pipeline.elements, 100);
+    }
+
+    #[test]
+    fn oversized_response_is_downgraded_to_an_error() {
+        // A snapshot can legitimately outgrow the frame cap (an Exact
+        // stream with enough distinct ids). The connection must answer
+        // with an application error, not die writing an unframeable reply.
+        let response = Response::Snapshot(vec![0u8; MAX_FRAME_LEN]);
+        let mut body = Vec::new();
+        encode_bounded(&response, &mut body);
+        assert!(body.len() <= MAX_FRAME_LEN);
+        match Response::decode(&body).unwrap() {
+            Response::Error { code: ErrorCode::Other, message } => {
+                assert!(message.contains("frame cap"), "unexpected message: {message}");
+            }
+            other => panic!("expected a frame-cap error, got {other:?}"),
+        }
+        // A response that fits passes through untouched.
+        let mut small = Vec::new();
+        encode_bounded(&Response::Ok, &mut small);
+        assert_eq!(Response::decode(&small).unwrap(), Response::Ok);
     }
 
     #[test]

@@ -103,7 +103,9 @@ impl CountMinSketch {
     /// # Errors
     ///
     /// Returns [`SketchError::ZeroWidth`] or [`SketchError::ZeroDepth`] when
-    /// the corresponding dimension is zero.
+    /// the corresponding dimension is zero, or
+    /// [`SketchError::DimensionOverflow`] when `width * depth` does not fit
+    /// in `usize`.
     pub fn with_dimensions(width: usize, depth: usize, seed: u64) -> Result<Self, SketchError> {
         if width == 0 {
             return Err(SketchError::ZeroWidth);
@@ -111,16 +113,18 @@ impl CountMinSketch {
         if depth == 0 {
             return Err(SketchError::ZeroDepth);
         }
+        let cell_count =
+            width.checked_mul(depth).ok_or(SketchError::DimensionOverflow { width, depth })?;
         let hashes = HashFamily::new(seed).functions(depth, width as u64)?;
         Ok(Self {
             width,
             depth,
-            cells: vec![0; width * depth],
+            cells: vec![0; cell_count],
             hashes,
             total: 0,
             seed,
             policy: UpdatePolicy::Standard,
-            floor: MonotoneFloorTracker::new(width * depth),
+            floor: MonotoneFloorTracker::new(cell_count),
             #[cfg(debug_assertions)]
             debug_ticks: 0,
         })
@@ -489,6 +493,11 @@ mod tests {
         ));
         assert_eq!(CountMinSketch::with_dimensions(0, 3, 0).unwrap_err(), SketchError::ZeroWidth);
         assert_eq!(CountMinSketch::with_dimensions(3, 0, 0).unwrap_err(), SketchError::ZeroDepth);
+        // width * depth wrapping must error, not build an undersized matrix.
+        assert_eq!(
+            CountMinSketch::with_dimensions(usize::MAX, 2, 0).unwrap_err(),
+            SketchError::DimensionOverflow { width: usize::MAX, depth: 2 }
+        );
     }
 
     #[test]

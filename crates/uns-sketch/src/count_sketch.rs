@@ -72,7 +72,9 @@ impl CountSketch {
     /// # Errors
     ///
     /// Returns [`SketchError::ZeroWidth`] or [`SketchError::ZeroDepth`] when
-    /// the corresponding dimension is zero.
+    /// the corresponding dimension is zero, or
+    /// [`SketchError::DimensionOverflow`] when `width * depth` does not fit
+    /// in `usize`.
     pub fn with_dimensions(width: usize, depth: usize, seed: u64) -> Result<Self, SketchError> {
         if width == 0 {
             return Err(SketchError::ZeroWidth);
@@ -80,16 +82,18 @@ impl CountSketch {
         if depth == 0 {
             return Err(SketchError::ZeroDepth);
         }
+        let cell_count =
+            width.checked_mul(depth).ok_or(SketchError::DimensionOverflow { width, depth })?;
         let rows = HashFamily::new(seed).functions(depth, 2 * width as u64)?;
         Ok(Self {
             width,
             depth,
-            cells: vec![0; width * depth],
+            cells: vec![0; cell_count],
             rows,
             total: 0,
             seed,
             scratch: Vec::with_capacity(depth),
-            floor: TournamentFloorTracker::new(width * depth),
+            floor: TournamentFloorTracker::new(cell_count),
             #[cfg(debug_assertions)]
             debug_ticks: 0,
         })
@@ -358,6 +362,11 @@ mod tests {
     fn invalid_dimensions_are_rejected() {
         assert_eq!(CountSketch::with_dimensions(0, 3, 0).unwrap_err(), SketchError::ZeroWidth);
         assert_eq!(CountSketch::with_dimensions(3, 0, 0).unwrap_err(), SketchError::ZeroDepth);
+        // width * depth wrapping must error, not build an undersized matrix.
+        assert_eq!(
+            CountSketch::with_dimensions(usize::MAX, 2, 0).unwrap_err(),
+            SketchError::DimensionOverflow { width: usize::MAX, depth: 2 }
+        );
     }
 
     #[test]

@@ -14,6 +14,15 @@ pub enum SketchError {
     ZeroWidth,
     /// Sketch depth (number of rows `s`) must be at least 1.
     ZeroDepth,
+    /// `width * depth` does not fit in `usize` — without this check the
+    /// product would wrap (release builds carry no overflow checks) and a
+    /// sketch could be built with fewer cells than its hash ranges assume.
+    DimensionOverflow {
+        /// Requested number of columns.
+        width: usize,
+        /// Requested number of rows.
+        depth: usize,
+    },
     /// Attempted to merge two sketches with different shapes or hash seeds.
     IncompatibleSketches {
         /// `(width, depth, seed)` of the left-hand sketch.
@@ -52,6 +61,9 @@ impl fmt::Display for SketchError {
             }
             SketchError::ZeroWidth => write!(f, "sketch width must be at least 1"),
             SketchError::ZeroDepth => write!(f, "sketch depth must be at least 1"),
+            SketchError::DimensionOverflow { width, depth } => {
+                write!(f, "sketch dimensions {width} x {depth} overflow the address space")
+            }
             SketchError::IncompatibleSketches { left, right } => {
                 write!(f, "cannot merge sketches with shape/seed {left:?} and {right:?}")
             }
@@ -79,6 +91,7 @@ mod tests {
             SketchError::InvalidDelta(1.0),
             SketchError::ZeroWidth,
             SketchError::ZeroDepth,
+            SketchError::DimensionOverflow { width: usize::MAX, depth: 2 },
             SketchError::IncompatibleSketches { left: (1, 2, 3), right: (4, 5, 6) },
             SketchError::InvalidHashCoefficient { value: 0, constraint: "must be non-zero" },
             SketchError::ZeroHashRange,
