@@ -46,6 +46,14 @@ pub trait Strategy {
 
     /// Generates one value.
     fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `map` (upstream `Strategy::prop_map`).
+    fn prop_map<T: Debug, F: Fn(Self::Value) -> T>(self, map: F) -> strategy::Map<Self, F>
+    where
+        Self: Sized,
+    {
+        strategy::Map::new(self, map)
+    }
 }
 
 macro_rules! impl_range_strategy {
@@ -154,6 +162,79 @@ pub mod collection {
     }
 }
 
+/// Combinator strategies (upstream `proptest::strategy` subset).
+pub mod strategy {
+    use super::{Strategy, TestRng};
+    use std::fmt::Debug;
+
+    /// Strategy producing a constant value (upstream `Just`).
+    #[derive(Clone, Copy, Debug)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone + Debug> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Mapping adapter behind [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        map: F,
+    }
+
+    impl<S, F> Map<S, F> {
+        pub(crate) fn new(inner: S, map: F) -> Self {
+            Self { inner, map }
+        }
+    }
+
+    impl<S: Strategy, T: Debug, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.map)(self.inner.generate(rng))
+        }
+    }
+
+    /// Uniform choice among boxed strategies — what [`crate::prop_oneof!`]
+    /// builds. (Upstream weights branches; this subset chooses uniformly,
+    /// which is all the workspace's tests need.)
+    pub struct Union<T> {
+        options: Vec<Box<dyn Strategy<Value = T>>>,
+    }
+
+    impl<T: Debug> Union<T> {
+        /// Builds a union over `options` (at least one).
+        pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one strategy");
+            Self { options }
+        }
+    }
+
+    impl<T: Debug> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let pick = rng.below(self.options.len() as u64) as usize;
+            self.options[pick].generate(rng)
+        }
+    }
+
+    /// Boxes a strategy for [`Union`], keeping its value type.
+    pub fn boxed<S: Strategy + 'static>(strategy: S) -> Box<dyn Strategy<Value = S::Value>> {
+        Box::new(strategy)
+    }
+}
+
+/// Chooses uniformly among the given strategies per case (upstream
+/// `prop_oneof!`, without branch weights).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::boxed($s)),+])
+    };
+}
+
 /// Subset of proptest's run configuration: the per-test case count.
 #[derive(Clone, Copy, Debug)]
 pub struct ProptestConfig {
@@ -210,8 +291,10 @@ where
 /// Everything the tests import with `use proptest::prelude::*;`.
 pub mod prelude {
     pub use crate::collection::vec as prop_vec;
+    pub use crate::strategy::Just;
     pub use crate::{
-        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig, Strategy,
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, ProptestConfig,
+        Strategy,
     };
 }
 

@@ -11,7 +11,10 @@
 //! * [`rngs::StdRng`] — a ChaCha12 generator, like upstream `StdRng`:
 //!   cryptographically strong, deliberately not the cheapest option;
 //! * [`rngs::SmallRng`] — xoshiro256++, a small fast non-crypto PRNG for
-//!   per-element sampling coins on the hot path.
+//!   per-element sampling coins on the hot path;
+//! * [`rngs::BlockRng`] — a buffered wrapper that pre-draws words in
+//!   blocks via [`RngCore::fill_u64`], draw-order-identical to the wrapped
+//!   generator (the samplers' default coin source).
 //!
 //! Integer `gen_range` uses Lemire's unbiased multiply-shift rejection, so
 //! statistical tests downstream see genuinely uniform draws. Streams are
@@ -30,11 +33,30 @@ pub trait RngCore {
     fn next_u32(&mut self) -> u32 {
         (self.next_u64() >> 32) as u32
     }
+
+    /// Fills `dest` with the next `dest.len()` words of the stream — the
+    /// block-generation entry point behind [`rngs::BlockRng`].
+    ///
+    /// **Contract:** implementations must be *draw-order-identical* to
+    /// `dest.len()` sequential [`RngCore::next_u64`] calls — same words, in
+    /// the same order, leaving the generator in the same state. Overrides
+    /// exist purely to amortize per-draw overhead (e.g. [`rngs::StdRng`]
+    /// copies whole decoded ChaCha blocks instead of stepping its buffer
+    /// index word by word); they must never reorder or skip words.
+    fn fill_u64(&mut self, dest: &mut [u64]) {
+        for slot in dest {
+            *slot = self.next_u64();
+        }
+    }
 }
 
 impl<R: RngCore + ?Sized> RngCore for &mut R {
     fn next_u64(&mut self) -> u64 {
         (**self).next_u64()
+    }
+
+    fn fill_u64(&mut self, dest: &mut [u64]) {
+        (**self).fill_u64(dest)
     }
 }
 
@@ -76,6 +98,10 @@ struct RngDyn<'a, R: RngCore + ?Sized>(&'a mut R);
 impl<R: RngCore + ?Sized> RngCore for RngDyn<'_, R> {
     fn next_u64(&mut self) -> u64 {
         self.0.next_u64()
+    }
+
+    fn fill_u64(&mut self, dest: &mut [u64]) {
+        self.0.fill_u64(dest)
     }
 }
 
@@ -144,19 +170,28 @@ pub trait SampleUniform: Sized + PartialOrd {
     fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
 }
 
-/// Draws an unbiased value in `[0, span)` via Lemire's multiply-shift
-/// rejection (`span > 0`).
+/// Draws an unbiased value in `[0, span)` via Lemire's *nearly divisionless*
+/// multiply-shift rejection (`span > 0`).
+///
+/// The rejection threshold is `2^64 mod span`, which always lies below
+/// `span` — so a low product half `lo ≥ span` can be accepted without ever
+/// computing the threshold, and the 64-bit division (the single most
+/// expensive instruction this crate used to execute per draw) runs only
+/// with probability `span/2^64`. Draw-for-draw identical to the textbook
+/// always-divide form: the same words are consumed and the same value is
+/// returned for every underlying bit stream (pinned by a test below).
 fn lemire_below<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
     debug_assert!(span > 0);
-    // 2^64 mod span: values of `lo` below this threshold are the ones with
-    // an uneven number of preimages and must be rejected.
-    let threshold = span.wrapping_neg() % span;
-    loop {
-        let m = (rng.next_u64() as u128) * (span as u128);
-        if (m as u64) >= threshold {
-            return (m >> 64) as u64;
+    let mut m = (rng.next_u64() as u128) * (span as u128);
+    if (m as u64) < span {
+        // Rare slow path: values of `lo` below `2^64 mod span` are the ones
+        // with an uneven number of preimages and must be rejected.
+        let threshold = span.wrapping_neg() % span;
+        while (m as u64) < threshold {
+            m = (rng.next_u64() as u128) * (span as u128);
         }
     }
+    (m >> 64) as u64
 }
 
 macro_rules! impl_uniform_uint {
@@ -355,6 +390,24 @@ pub mod rngs {
             self.index += 1;
             word
         }
+
+        /// Block fill: whole decoded ChaCha blocks are memcpy'd instead of
+        /// stepping the buffer index per word. Draw-order-identical to
+        /// sequential [`RngCore::next_u64`] by construction — the same
+        /// buffer words leave in the same order.
+        fn fill_u64(&mut self, dest: &mut [u64]) {
+            let mut filled = 0;
+            while filled < dest.len() {
+                if self.index == 8 {
+                    self.refill();
+                }
+                let take = (8 - self.index).min(dest.len() - filled);
+                dest[filled..filled + take]
+                    .copy_from_slice(&self.buffer[self.index..self.index + take]);
+                self.index += take;
+                filled += take;
+            }
+        }
     }
 
     /// A small fast generator: xoshiro256++. Passes BigCrush; a handful of
@@ -415,13 +468,151 @@ pub mod rngs {
             self.s[3] = self.s[3].rotate_left(45);
             result
         }
+
+        /// Block fill: the xoshiro step runs in a tight monomorphic loop
+        /// over local state copies, so the compiler can keep all four state
+        /// words in registers for the whole block. Draw-order-identical to
+        /// sequential [`RngCore::next_u64`] (it is the same recurrence).
+        fn fill_u64(&mut self, dest: &mut [u64]) {
+            let [mut s0, mut s1, mut s2, mut s3] = self.s;
+            for slot in dest.iter_mut() {
+                *slot = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+                let t = s1 << 17;
+                s2 ^= s0;
+                s3 ^= s1;
+                s1 ^= s2;
+                s0 ^= s3;
+                s2 ^= t;
+                s3 = s3.rotate_left(45);
+            }
+            self.s = [s0, s1, s2, s3];
+        }
+    }
+
+    /// Number of 64-bit words a [`BlockRng`] pre-draws per refill.
+    pub const BLOCK_LEN: usize = 64;
+
+    /// A buffered wrapper that pre-draws random words in blocks of
+    /// [`BLOCK_LEN`] from any generator.
+    ///
+    /// The emitted stream is **draw-order-identical** to the inner
+    /// generator's: a refill fetches the next [`BLOCK_LEN`] words via
+    /// [`RngCore::fill_u64`] (itself pinned word-for-word to sequential
+    /// `next_u64`) and serves them in order, so the block boundary is
+    /// observable *nowhere* in the outputs — `BlockRng<SmallRng>` seeded
+    /// from `s` produces exactly the `SmallRng::seed_from_u64(s)` stream.
+    /// What changes is the cost profile: the generator's recurrence runs in
+    /// an amortized tight block loop, and each draw on the hot path is a
+    /// buffer read.
+    ///
+    /// Because the wrapper buffers ahead, its *state* is more than the
+    /// inner generator's: the pending (pre-drawn, not yet emitted) words
+    /// are part of it. Snapshots must either carry those words or be taken
+    /// through [`BlockRng::state_parts`] / [`BlockRng::from_parts`], which
+    /// encode them explicitly — discarding the pending buffer would skip
+    /// coins and break replay. `uns-service` snapshots encode the pending
+    /// words for exactly this reason.
+    #[derive(Clone, Debug)]
+    pub struct BlockRng<R> {
+        inner: R,
+        /// Pre-drawn words; `buf[pos..]` are pending, `buf[..pos]` spent.
+        buf: [u64; BLOCK_LEN],
+        /// Next unread word; `BLOCK_LEN` means "refill before serving".
+        pos: usize,
+    }
+
+    impl<R> BlockRng<R> {
+        /// Wraps `inner` with an empty buffer: the first draw triggers a
+        /// refill, so the emitted stream starts exactly where `inner`
+        /// stands.
+        pub fn new(inner: R) -> Self {
+            Self { inner, buf: [0; BLOCK_LEN], pos: BLOCK_LEN }
+        }
+
+        /// The wrapped generator. Its state is *ahead* of the emitted
+        /// stream by [`BlockRng::pending`]`.len()` words.
+        pub fn inner(&self) -> &R {
+            &self.inner
+        }
+
+        /// The pre-drawn words not yet emitted, in emission order.
+        pub fn pending(&self) -> &[u64] {
+            &self.buf[self.pos..]
+        }
+
+        /// The full observable state: the inner generator plus the pending
+        /// words ([`BlockRng::from_parts`] is the inverse). This is the
+        /// snapshot seam — both halves are required to resume the stream.
+        pub fn state_parts(&self) -> (&R, &[u64]) {
+            (&self.inner, self.pending())
+        }
+
+        /// Rebuilds a wrapper that first emits `pending` (in order) and
+        /// then continues with `inner`'s stream — the inverse of
+        /// [`BlockRng::state_parts`].
+        ///
+        /// # Panics
+        ///
+        /// Panics if `pending.len() > BLOCK_LEN`.
+        pub fn from_parts(inner: R, pending: &[u64]) -> Self {
+            assert!(
+                pending.len() <= BLOCK_LEN,
+                "{} pending words exceed the {BLOCK_LEN}-word block",
+                pending.len()
+            );
+            let mut buf = [0; BLOCK_LEN];
+            let pos = BLOCK_LEN - pending.len();
+            buf[pos..].copy_from_slice(pending);
+            Self { inner, buf, pos }
+        }
+    }
+
+    impl<R: RngCore> BlockRng<R> {
+        /// The out-of-line refill arm of `next_u64`, kept cold so the hot
+        /// path compiles to one compare (the slice probe doubles as the
+        /// buffer-empty test), one load and one increment.
+        #[cold]
+        fn refill_and_first(&mut self) -> u64 {
+            self.inner.fill_u64(&mut self.buf);
+            self.pos = 1;
+            self.buf[0]
+        }
+    }
+
+    impl<R: RngCore> RngCore for BlockRng<R> {
+        #[inline(always)]
+        fn next_u64(&mut self) -> u64 {
+            if let Some(&word) = self.buf.get(self.pos) {
+                self.pos += 1;
+                return word;
+            }
+            self.refill_and_first()
+        }
+
+        /// Serves the pending words first, then fills the rest of `dest`
+        /// straight from the inner generator — same words, same order, no
+        /// double buffering for large requests.
+        fn fill_u64(&mut self, dest: &mut [u64]) {
+            let take = (BLOCK_LEN - self.pos).min(dest.len());
+            dest[..take].copy_from_slice(&self.buf[self.pos..self.pos + take]);
+            self.pos += take;
+            self.inner.fill_u64(&mut dest[take..]);
+        }
+    }
+
+    impl<R: SeedableRng> SeedableRng for BlockRng<R> {
+        /// Seeds the inner generator; the buffer starts empty, so the
+        /// emitted stream equals `R::seed_from_u64(seed)`'s from word one.
+        fn seed_from_u64(seed: u64) -> Self {
+            Self::new(R::seed_from_u64(seed))
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
-    use super::rngs::{SmallRng, StdRng};
-    use super::{Rng, SeedableRng};
+    use super::rngs::{BlockRng, SmallRng, StdRng, BLOCK_LEN};
+    use super::{Rng, RngCore, SeedableRng};
 
     fn mean_and_chi2<R: Rng>(rng: &mut R, buckets: usize, draws: usize) -> (f64, f64) {
         let mut counts = vec![0u64; buckets];
@@ -550,6 +741,125 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn std_rng_index_out_of_range_is_rejected() {
         let _ = StdRng::from_state([0; 16], [0; 8], 9);
+    }
+
+    /// Reference always-divide Lemire rejection — the form `lemire_below`
+    /// replaced. The nearly-divisionless rewrite must consume the same
+    /// words and return the same values for every underlying bit stream.
+    fn lemire_below_reference<R: RngCore>(rng: &mut R, span: u64) -> u64 {
+        let threshold = span.wrapping_neg() % span;
+        loop {
+            let m = (rng.next_u64() as u128) * (span as u128);
+            if (m as u64) >= threshold {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    #[test]
+    fn nearly_divisionless_gen_range_matches_always_divide_reference() {
+        // Same seed, two generators: every draw must agree in value AND
+        // leave both generators in the same state (checked by the next
+        // draws agreeing too). Spans include rejection-heavy cases just
+        // above powers of two and the degenerate span 1.
+        let spans =
+            [1u64, 2, 3, 7, 10, 100, (1 << 33) + 1, u64::MAX / 2 + 1, u64::MAX - 1, u64::MAX];
+        let mut fast = SmallRng::seed_from_u64(99);
+        let mut reference = SmallRng::seed_from_u64(99);
+        for round in 0..5_000 {
+            let span = spans[round % spans.len()];
+            assert_eq!(
+                fast.gen_range(0..span),
+                lemire_below_reference(&mut reference, span),
+                "diverged at round {round}, span {span}"
+            );
+        }
+        // States still aligned after all that.
+        assert_eq!(fast.gen::<u64>(), reference.gen::<u64>());
+    }
+
+    #[test]
+    fn fill_u64_matches_sequential_next_u64_for_both_generators() {
+        for lens in [[0usize, 1, 7, 8, 9, 64], [3, 5, 16, 63, 65, 128]] {
+            let mut filled_small = SmallRng::seed_from_u64(11);
+            let mut seq_small = SmallRng::seed_from_u64(11);
+            let mut filled_std = StdRng::seed_from_u64(11);
+            let mut seq_std = StdRng::seed_from_u64(11);
+            for len in lens {
+                let mut dest = vec![0u64; len];
+                filled_small.fill_u64(&mut dest);
+                let expected: Vec<u64> = (0..len).map(|_| seq_small.next_u64()).collect();
+                assert_eq!(dest, expected, "SmallRng fill of {len}");
+                filled_std.fill_u64(&mut dest);
+                let expected: Vec<u64> = (0..len).map(|_| seq_std.next_u64()).collect();
+                assert_eq!(dest, expected, "StdRng fill of {len}");
+            }
+            // Generator states stayed aligned across uneven fills.
+            assert_eq!(filled_small.next_u64(), seq_small.next_u64());
+            assert_eq!(filled_std.next_u64(), seq_std.next_u64());
+        }
+    }
+
+    #[test]
+    fn block_rng_stream_is_identical_to_the_inner_generator() {
+        let mut blocked = BlockRng::<SmallRng>::seed_from_u64(5);
+        let mut plain = SmallRng::seed_from_u64(5);
+        for i in 0..3 * BLOCK_LEN + 17 {
+            assert_eq!(blocked.next_u64(), plain.next_u64(), "word {i}");
+        }
+        let mut blocked = BlockRng::<StdRng>::seed_from_u64(5);
+        let mut plain = StdRng::seed_from_u64(5);
+        for i in 0..3 * BLOCK_LEN + 17 {
+            assert_eq!(blocked.next_u64(), plain.next_u64(), "word {i}");
+        }
+    }
+
+    #[test]
+    fn block_rng_fill_u64_crosses_the_pending_boundary_exactly() {
+        let mut blocked = BlockRng::<SmallRng>::seed_from_u64(21);
+        let mut plain = SmallRng::seed_from_u64(21);
+        for _ in 0..10 {
+            // Leave a partial buffer behind...
+            assert_eq!(blocked.next_u64(), plain.next_u64());
+        }
+        // ...then fill across it: pending words first, inner words after.
+        let mut dest = vec![0u64; 2 * BLOCK_LEN + 5];
+        blocked.fill_u64(&mut dest);
+        let expected: Vec<u64> = dest.iter().map(|_| plain.next_u64()).collect();
+        assert_eq!(dest, expected);
+        assert_eq!(blocked.next_u64(), plain.next_u64());
+    }
+
+    #[test]
+    fn block_rng_state_parts_round_trip_resumes_exactly() {
+        let mut original = BlockRng::<SmallRng>::seed_from_u64(13);
+        for _ in 0..BLOCK_LEN + 9 {
+            let _ = original.next_u64(); // land mid-block: pending non-empty
+        }
+        let (inner, pending) = original.state_parts();
+        assert!(!pending.is_empty() && pending.len() < BLOCK_LEN);
+        let mut resumed = BlockRng::from_parts(SmallRng::from_state(inner.state()), pending);
+        for i in 0..2 * BLOCK_LEN {
+            assert_eq!(resumed.next_u64(), original.next_u64(), "word {i}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "pending words exceed")]
+    fn block_rng_from_parts_rejects_oversized_pending() {
+        let _ = BlockRng::from_parts(SmallRng::seed_from_u64(0), &[0u64; BLOCK_LEN + 1]);
+    }
+
+    #[test]
+    fn block_rng_discarding_pending_would_skip_words() {
+        // The negative control behind the snapshot design decision: a
+        // wrapper rebuilt from the inner state ALONE (pending dropped)
+        // diverges — the pending words are part of the state and must be
+        // encoded.
+        let mut original = BlockRng::<SmallRng>::seed_from_u64(4);
+        let _ = original.next_u64(); // buffer now holds BLOCK_LEN - 1 pending
+        let mut truncated = BlockRng::new(SmallRng::from_state(original.inner().state()));
+        assert_ne!(truncated.next_u64(), original.next_u64());
     }
 
     #[test]

@@ -109,7 +109,11 @@ fn bench_sketch_scaling(c: &mut Criterion) {
 fn bench_batch_and_ingest(c: &mut Criterion) {
     // The input-only and batched entry points added for backlog ingestion:
     // same per-element state evolution as feed, minus wasted output draws
-    // and per-call dispatch.
+    // and per-call dispatch. The `*_plain_coins` ids drive the identical
+    // coin stream through an unblocked SmallRng (the pre-PR-4 default), so
+    // the blocked-vs-per-element coin cost is measured head to head.
+    use rand::rngs::SmallRng;
+    use uns_sketch::CountMinSketch;
     let ids = stream(1_000);
     let mut group = c.benchmark_group("knowledge_free_entry_points");
     group.throughput(Throughput::Elements(STREAM_LEN as u64));
@@ -119,10 +123,29 @@ fn bench_batch_and_ingest(c: &mut Criterion) {
             black_box(feed_all(&mut sampler, &ids))
         })
     });
+    group.bench_function("feed_plain_coins", |b| {
+        b.iter(|| {
+            let mut sampler =
+                KnowledgeFreeSampler::<CountMinSketch, SmallRng>::with_count_min_rng(10, 10, 5, 1)
+                    .unwrap();
+            black_box(feed_all(&mut sampler, &ids))
+        })
+    });
     group.bench_function("feed_batch", |b| {
         let mut out = Vec::with_capacity(STREAM_LEN);
         b.iter(|| {
             let mut sampler = KnowledgeFreeSampler::with_count_min(10, 10, 5, 1).unwrap();
+            out.clear();
+            sampler.feed_batch(&ids, &mut out);
+            black_box(out.last().copied())
+        })
+    });
+    group.bench_function("feed_batch_plain_coins", |b| {
+        let mut out = Vec::with_capacity(STREAM_LEN);
+        b.iter(|| {
+            let mut sampler =
+                KnowledgeFreeSampler::<CountMinSketch, SmallRng>::with_count_min_rng(10, 10, 5, 1)
+                    .unwrap();
             out.clear();
             sampler.feed_batch(&ids, &mut out);
             black_box(out.last().copied())
@@ -187,6 +210,22 @@ fn bench_parallel_pipeline(c: &mut Criterion) {
                 let ingestion = ShardedIngestion::new(10, 5, 42, shards).unwrap();
                 b.iter(|| {
                     let (mut sampler, stats) = ingestion.pipeline_ingest(&ids, 10, 7).unwrap();
+                    black_box((sampler.sample(), stats.admitted))
+                })
+            },
+        );
+    }
+    // The retained two-pass (re-hashing candidate pass) reference, for the
+    // delta-log-vs-two-pass comparison at matching shard counts.
+    for shards in [1usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("pipeline_ingest_two_pass", shards),
+            &shards,
+            |b, &shards| {
+                let ingestion = ShardedIngestion::new(10, 5, 42, shards).unwrap();
+                b.iter(|| {
+                    let (mut sampler, stats) =
+                        ingestion.pipeline_ingest_two_pass(&ids, 10, 7).unwrap();
                     black_box((sampler.sample(), stats.admitted))
                 })
             },

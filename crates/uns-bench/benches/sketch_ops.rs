@@ -173,6 +173,60 @@ fn bench_fused(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_row_updates(c: &mut Criterion) {
+    // Chunked index-precompute row updates (the default record paths since
+    // PR 4) against the retained rowwise scalar references: same cells,
+    // same floors, different instruction scheduling.
+    let ids = ids();
+    let mut group = c.benchmark_group("sketch_row_updates");
+    group.throughput(Throughput::Elements(STREAM_LEN as u64));
+    group.bench_function("count_min_unrolled", |b| {
+        b.iter(|| {
+            let mut sketch = CountMinSketch::with_dimensions(10, 5, 1).unwrap();
+            let mut acc = 0u64;
+            for &id in &ids {
+                let (estimate, floor) = sketch.record_and_estimate(id);
+                acc = acc.wrapping_add(estimate).wrapping_add(floor);
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("count_min_rowwise", |b| {
+        b.iter(|| {
+            let mut sketch = CountMinSketch::with_dimensions(10, 5, 1).unwrap();
+            let mut acc = 0u64;
+            for &id in &ids {
+                let (estimate, floor) = sketch.record_and_estimate_rowwise(id);
+                acc = acc.wrapping_add(estimate).wrapping_add(floor);
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("count_sketch_unrolled", |b| {
+        b.iter(|| {
+            let mut sketch = CountSketch::with_dimensions(50, 10, 1).unwrap();
+            let mut acc = 0u64;
+            for &id in &ids {
+                let (estimate, floor) = sketch.record_and_estimate(id);
+                acc = acc.wrapping_add(estimate).wrapping_add(floor);
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("count_sketch_rowwise", |b| {
+        b.iter(|| {
+            let mut sketch = CountSketch::with_dimensions(50, 10, 1).unwrap();
+            let mut acc = 0u64;
+            for &id in &ids {
+                let (estimate, floor) = sketch.record_and_estimate_rowwise(id);
+                acc = acc.wrapping_add(estimate).wrapping_add(floor);
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
 fn bench_query(c: &mut Criterion) {
     let ids = ids();
     let mut sketch = CountMinSketch::with_dimensions(50, 10, 1).unwrap();
@@ -202,5 +256,13 @@ fn bench_query(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_hash, bench_memory, bench_fused, bench_record, bench_query);
+criterion_group!(
+    benches,
+    bench_hash,
+    bench_memory,
+    bench_fused,
+    bench_row_updates,
+    bench_record,
+    bench_query
+);
 criterion_main!(benches);

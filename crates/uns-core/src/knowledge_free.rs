@@ -32,16 +32,28 @@
 //!   would hash everything twice), and `min_σ` is an O(1) read off the
 //!   estimator's floor engine rather than a counter scan;
 //! * the sampler's per-element coins (one insertion coin, one output draw)
-//!   come from a pluggable RNG `R`, defaulting to the cheap
-//!   [`rand::rngs::SmallRng`] (xoshiro256++). The coins only decide
-//!   admission/eviction among *already-sketch-filtered* candidates, so a
-//!   fast non-cryptographic generator is statistically sufficient; pass
-//!   [`rand::rngs::StdRng`] (ChaCha12) via
+//!   come from a pluggable RNG `R`, defaulting to **blocked** xoshiro256++
+//!   ([`rand::rngs::BlockRng`]`<`[`rand::rngs::SmallRng`]`>`): the
+//!   generator pre-draws words in blocks of [`rand::rngs::BLOCK_LEN`] and
+//!   every entry point — element-wise `feed`/`ingest` and the batch paths
+//!   alike — serves its admission coins, eviction draws and output draws
+//!   from that buffer, turning the per-coin generator step into an
+//!   amortized block fill. The emitted coin stream is word-for-word the
+//!   plain `SmallRng` stream for the same seed (pinned by tests and
+//!   proptests), so the block boundary is observable *nowhere*: outputs,
+//!   admissions and evictions are identical to a plain-generator run. The
+//!   coins only decide admission/eviction among *already-sketch-filtered*
+//!   candidates, so a fast non-cryptographic generator is statistically
+//!   sufficient; pass [`rand::rngs::StdRng`] (ChaCha12) via
 //!   [`KnowledgeFreeSampler::with_count_min_rng`] to reproduce runs made
 //!   with the hardened generator;
 //! * input-only consumers use [`NodeSampler::ingest`] /
 //!   [`NodeSampler::feed_batch`] (see the trait docs for the contract), so
-//!   no uniform output sample is computed when nobody reads it.
+//!   no uniform output sample is computed when nobody reads it; batch
+//!   consumers that also want admission accounting use
+//!   [`KnowledgeFreeSampler::feed_batch_admitted`] /
+//!   [`KnowledgeFreeSampler::ingest_batch_admitted`] (the service layer's
+//!   entry points).
 //!
 //! The strategy is generic over the [`FrequencyEstimator`]: plugging in the
 //! exact oracle instead of the sketch yields the *adaptive omniscient*
@@ -53,9 +65,16 @@ use crate::error::CoreError;
 use crate::memory::SamplingMemory;
 use crate::node_id::NodeId;
 use crate::sampler::NodeSampler;
-use rand::rngs::SmallRng;
+use rand::rngs::{BlockRng, SmallRng};
 use rand::{Rng, SeedableRng};
 use uns_sketch::{CountMinSketch, CountSketch, ExactFrequencyOracle, FrequencyEstimator};
+
+/// The default coin generator: xoshiro256++ behind a block buffer. Emits
+/// exactly the [`SmallRng`] stream for the same seed (the blocking is a
+/// cost-profile change, not a behavioural one); its snapshot state is the
+/// inner generator plus the pending pre-drawn words — see
+/// [`BlockRng::state_parts`].
+pub type CoinRng = BlockRng<SmallRng>;
 
 /// The paper's Algorithm 3: knowledge-free Byzantine-tolerant node
 /// sampling, generic over the frequency estimator `E` and the coin
@@ -75,7 +94,7 @@ use uns_sketch::{CountMinSketch, CountSketch, ExactFrequencyOracle, FrequencyEst
 /// # }
 /// ```
 #[derive(Clone, Debug)]
-pub struct KnowledgeFreeSampler<E = CountMinSketch, R = SmallRng> {
+pub struct KnowledgeFreeSampler<E = CountMinSketch, R = CoinRng> {
     memory: SamplingMemory,
     estimator: E,
     rng: R,
@@ -95,7 +114,8 @@ impl KnowledgeFreeSampler<CountMinSketch> {
     ///
     /// The single `seed` deterministically derives both the sketch's hash
     /// functions and the sampler's random coins (drawn from the default
-    /// fast [`SmallRng`]; use
+    /// blocked generator [`CoinRng`], whose coin stream is exactly the
+    /// plain [`SmallRng`] stream for that seed; use
     /// [`KnowledgeFreeSampler::with_count_min_rng`] to pick the generator).
     ///
     /// # Errors
@@ -242,7 +262,10 @@ impl<E, R> KnowledgeFreeSampler<E, R> {
     }
 
     /// Read access to the coin generator, e.g. to capture its state for a
-    /// snapshot (`rand::rngs::SmallRng::state`).
+    /// snapshot. For the default blocked generator the observable state is
+    /// the inner xoshiro256++ state **plus** the pending pre-drawn words
+    /// ([`BlockRng::state_parts`]) — both halves must be captured, or
+    /// restored coins would skip ahead.
     pub fn rng(&self) -> &R {
         &self.rng
     }
@@ -319,6 +342,7 @@ impl<E: FrequencyEstimator, R: Rng> KnowledgeFreeSampler<E, R> {
     /// state afterwards via [`KnowledgeFreeSampler::install_estimator`],
     /// or subsequent feeds will estimate from a stale (typically empty)
     /// sketch.
+    #[inline]
     pub fn absorb_precomputed(&mut self, id: NodeId, f_hat: u64, min_sigma: u64) -> bool {
         if !self.memory.is_full() {
             self.memory.insert(id) // no-op when already resident
@@ -337,8 +361,12 @@ impl<E: FrequencyEstimator, R: Rng> KnowledgeFreeSampler<E, R> {
             let coin = self.rng.gen::<f64>();
             let admitted = (f_hat <= min_sigma) | (coin < min_sigma as f64 / f_hat as f64);
             if admitted {
-                // r_k = 1/c: uniform eviction (Algorithm 3, line 11).
-                self.memory.replace_uniform(&mut self.rng, id).is_some()
+                // r_k = 1/c: uniform eviction (Algorithm 3, line 11). The
+                // membership probe above already established `id` is
+                // absent, so the duplicate-checking public entry point is
+                // skipped (identical coin usage, one probe saved).
+                self.memory.replace_uniform_absent(&mut self.rng, id);
+                true
             } else {
                 false
             }
@@ -368,6 +396,54 @@ impl<E: FrequencyEstimator, R: Rng> KnowledgeFreeSampler<E, R> {
     pub fn install_estimator(&mut self, estimator: E) {
         self.estimator = estimator;
     }
+
+    /// [`NodeSampler::feed_batch`] plus an admission count: one monomorphic
+    /// pass over `ids` doing the full per-element feed step (estimator
+    /// record, admission/eviction, one output draw appended to `out`),
+    /// returning how many elements entered `Γ`.
+    ///
+    /// Coin-for-coin identical to element-wise [`NodeSampler::feed`]; under
+    /// the default [`CoinRng`] the admission and output coins of the whole
+    /// batch are served from pre-drawn blocks, which is where the service
+    /// path's per-element generator overhead goes. This is `uns-service`'s
+    /// FeedBatch entry point.
+    pub fn feed_batch_admitted(&mut self, ids: &[NodeId], out: &mut Vec<NodeId>) -> u64 {
+        out.reserve(ids.len());
+        let mut admitted = 0u64;
+        for &id in ids {
+            admitted += u64::from(self.ingest_admitted(id));
+            out.push(
+                self.memory
+                    .sample_uniform(&mut self.rng)
+                    .expect("memory is non-empty after feeding at least one identifier"),
+            );
+        }
+        admitted
+    }
+
+    /// [`NodeSampler::ingest`] over a batch, returning how many elements
+    /// entered `Γ` — the input-only counterpart of
+    /// [`KnowledgeFreeSampler::feed_batch_admitted`] (no output draws).
+    pub fn ingest_batch_admitted(&mut self, ids: &[NodeId]) -> u64 {
+        let mut admitted = 0u64;
+        for &id in ids {
+            admitted += u64::from(self.ingest_admitted(id));
+        }
+        admitted
+    }
+
+    /// [`KnowledgeFreeSampler::absorb_precomputed`] over a whole batch of
+    /// `(id, f̂_j, min_σ)` candidates, returning how many entered `Γ` — the
+    /// monomorphic replay loop of the parallel pipeline's candidate queue
+    /// (`uns_sim::ShardedIngestion`). Identical coin order to calling
+    /// `absorb_precomputed` per element.
+    pub fn absorb_precomputed_batch(&mut self, candidates: &[(NodeId, u64, u64)]) -> u64 {
+        let mut admitted = 0u64;
+        for &(id, f_hat, min_sigma) in candidates {
+            admitted += u64::from(self.absorb_precomputed(id, f_hat, min_sigma));
+        }
+        admitted
+    }
 }
 
 impl<E: FrequencyEstimator, R: Rng> NodeSampler for KnowledgeFreeSampler<E, R> {
@@ -385,15 +461,7 @@ impl<E: FrequencyEstimator, R: Rng> NodeSampler for KnowledgeFreeSampler<E, R> {
     }
 
     fn feed_batch(&mut self, ids: &[NodeId], out: &mut Vec<NodeId>) {
-        out.reserve(ids.len());
-        for &id in ids {
-            self.absorb(id);
-            out.push(
-                self.memory
-                    .sample_uniform(&mut self.rng)
-                    .expect("memory is non-empty after feeding at least one identifier"),
-            );
-        }
+        let _ = self.feed_batch_admitted(ids, out);
     }
 
     fn sample(&mut self) -> Option<NodeId> {
@@ -486,7 +554,8 @@ mod tests {
             KnowledgeFreeSampler::<CountMinSketch, SmallRng>::with_count_min_rng(6, 10, 4, 3)
                 .unwrap();
         let mut fast_b = KnowledgeFreeSampler::with_count_min(6, 10, 4, 3).unwrap();
-        // The default generator IS SmallRng: identical streams.
+        // The default blocked generator emits the SmallRng coin stream:
+        // identical outputs, block boundary observable nowhere.
         assert_eq!(fast_a.run(stream.clone()), fast_b.run(stream.clone()));
         // The hardened generator is a distinct, equally deterministic track.
         let mut hard_a =
@@ -593,13 +662,101 @@ mod tests {
             rebuilt
         };
         let estimator = original.estimator().clone();
-        let rng = SmallRng::from_state(original.rng().state());
+        // The blocked generator's state is BOTH halves: inner + pending.
+        let (inner, pending) = original.rng().state_parts();
+        let rng = CoinRng::from_parts(SmallRng::from_state(inner.state()), pending);
         let mut restored = KnowledgeFreeSampler::from_parts(memory, estimator, rng);
         assert_eq!(restored.memory_contents(), original.memory_contents());
         // Bit-equal going forward under further traffic.
         for i in 0..3_000u64 {
             let id = NodeId::new(i * 13 % 200);
             assert_eq!(restored.feed(id), original.feed(id), "diverged at step {i}");
+        }
+    }
+
+    #[test]
+    fn blocked_coin_batches_match_plain_generator_elementwise_feeds() {
+        // The blocked-vs-sequential pin at sampler level: the default
+        // (BlockRng-backed) sampler driven through feed_batch_admitted must
+        // match an explicit plain-SmallRng sampler driven element-wise —
+        // outputs, admissions, memory, estimator cells, and the coin stream
+        // position (checked by further draws agreeing).
+        let stream: Vec<NodeId> = (0..5_000u64).map(|i| NodeId::new(i * 29 % 160)).collect();
+        let mut blocked = KnowledgeFreeSampler::with_count_min(7, 10, 5, 61).unwrap();
+        let mut plain =
+            KnowledgeFreeSampler::<CountMinSketch, SmallRng>::with_count_min_rng(7, 10, 5, 61)
+                .unwrap();
+        let mut blocked_out = Vec::new();
+        let mut blocked_admitted = 0u64;
+        // Ragged batch sizes so batch ends land at arbitrary positions
+        // relative to the 64-word coin blocks.
+        for batch in stream.chunks(113) {
+            blocked_admitted += blocked.feed_batch_admitted(batch, &mut blocked_out);
+        }
+        let mut plain_out = Vec::new();
+        let mut plain_admitted = 0u64;
+        for &id in &stream {
+            let before = plain.memory_contents();
+            plain_out.push(plain.feed(id));
+            plain_admitted += u64::from(before != plain.memory_contents());
+        }
+        assert_eq!(blocked_out, plain_out);
+        assert_eq!(blocked_admitted, plain_admitted);
+        assert_eq!(blocked.memory_contents(), plain.memory_contents());
+        for id in 0..160u64 {
+            assert_eq!(blocked.estimator().estimate(id), plain.estimator().estimate(id));
+        }
+        // Coin streams aligned across the boundary: further draws coincide.
+        for _ in 0..256 {
+            assert_eq!(blocked.sample(), plain.sample());
+        }
+    }
+
+    #[test]
+    fn ingest_batch_admitted_matches_elementwise_ingest() {
+        let stream: Vec<NodeId> = (0..3_000u64).map(|i| NodeId::new(i * 41 % 120)).collect();
+        let mut batched = KnowledgeFreeSampler::with_count_min(5, 10, 4, 83).unwrap();
+        let mut elementwise = KnowledgeFreeSampler::with_count_min(5, 10, 4, 83).unwrap();
+        let mut batched_admitted = 0u64;
+        for batch in stream.chunks(97) {
+            batched_admitted += batched.ingest_batch_admitted(batch);
+        }
+        let mut elementwise_admitted = 0u64;
+        for &id in &stream {
+            elementwise_admitted += u64::from(elementwise.ingest_admitted(id));
+        }
+        assert_eq!(batched_admitted, elementwise_admitted);
+        assert_eq!(batched.memory_contents(), elementwise.memory_contents());
+        for _ in 0..64 {
+            assert_eq!(batched.sample(), elementwise.sample());
+        }
+    }
+
+    #[test]
+    fn absorb_precomputed_batch_matches_elementwise_absorb() {
+        let stream: Vec<NodeId> = (0..2_000u64).map(|i| NodeId::new(i * 23 % 128)).collect();
+        let mut shadow = CountMinSketch::with_dimensions(10, 4, 5).unwrap();
+        let candidates: Vec<(NodeId, u64, u64)> = stream
+            .iter()
+            .map(|&id| {
+                let (f_hat, min_sigma) = shadow.record_and_estimate(id.as_u64());
+                (id, f_hat, min_sigma)
+            })
+            .collect();
+        let mut batched = KnowledgeFreeSampler::with_count_min(6, 10, 4, 37).unwrap();
+        let mut elementwise = KnowledgeFreeSampler::with_count_min(6, 10, 4, 37).unwrap();
+        let mut batched_admitted = 0u64;
+        for chunk in candidates.chunks(127) {
+            batched_admitted += batched.absorb_precomputed_batch(chunk);
+        }
+        let mut elementwise_admitted = 0u64;
+        for &(id, f_hat, min_sigma) in &candidates {
+            elementwise_admitted += u64::from(elementwise.absorb_precomputed(id, f_hat, min_sigma));
+        }
+        assert_eq!(batched_admitted, elementwise_admitted);
+        assert_eq!(batched.memory_contents(), elementwise.memory_contents());
+        for _ in 0..64 {
+            assert_eq!(batched.sample(), elementwise.sample());
         }
     }
 

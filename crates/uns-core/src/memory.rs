@@ -4,8 +4,10 @@
 //! Both strategies of the paper maintain a set `Γ` of at most `c` node
 //! identifiers (`c ≪ n`). On every stream element the strategy may replace
 //! a uniformly chosen resident, and always outputs a uniformly chosen
-//! resident. This structure backs both operations with a slot vector plus a
-//! position index.
+//! resident. This structure backs both operations with a slot vector; the
+//! membership probe is a linear slot scan for the paper-scale capacities
+//! (`c ≤ 32`, where scanning a few cache lines beats any hash) and a
+//! hashed position index above that.
 
 use crate::node_id::NodeId;
 use rand::Rng;
@@ -38,12 +40,22 @@ use uns_sketch::fx::FxHashMap;
 pub struct SamplingMemory {
     capacity: usize,
     slots: Vec<NodeId>,
-    /// Fx-hashed position index: the membership probe on the per-element
-    /// path costs a multiply-rotate, not a SipHash evaluation.
-    positions: FxHashMap<NodeId, usize>,
+    /// Fx-hashed position index for memories above
+    /// [`SamplingMemory::SCAN_CAPACITY`]; `None` below it. A linear scan
+    /// over ≤ 32 slot words beats any hash probe (the paper's `c` is tens
+    /// of identifiers, so the common case pays neither hashing nor the
+    /// index maintenance every eviction used to cost), while large
+    /// memories keep the O(1) probe. Which mode is in use is decided once
+    /// by the capacity and is invisible in behaviour: membership answers
+    /// and coin consumption are identical.
+    positions: Option<FxHashMap<NodeId, usize>>,
 }
 
 impl SamplingMemory {
+    /// Largest capacity served by linear-scan membership instead of the
+    /// hashed position index.
+    const SCAN_CAPACITY: usize = 32;
+
     /// Creates an empty memory with room for `capacity` identifiers.
     ///
     /// # Errors
@@ -53,11 +65,9 @@ impl SamplingMemory {
         if capacity == 0 {
             return Err(crate::CoreError::ZeroCapacity);
         }
-        Ok(Self {
-            capacity,
-            slots: Vec::with_capacity(capacity),
-            positions: FxHashMap::with_capacity_and_hasher(capacity, Default::default()),
-        })
+        let positions = (capacity > Self::SCAN_CAPACITY)
+            .then(|| FxHashMap::with_capacity_and_hasher(capacity, Default::default()));
+        Ok(Self { capacity, slots: Vec::with_capacity(capacity), positions })
     }
 
     /// Maximum number of identifiers (`c`).
@@ -81,8 +91,17 @@ impl SamplingMemory {
     }
 
     /// Membership test.
+    #[inline]
     pub fn contains(&self, id: NodeId) -> bool {
-        self.positions.contains_key(&id)
+        match &self.positions {
+            Some(positions) => positions.contains_key(&id),
+            // Branchless accumulation instead of a short-circuiting
+            // `contains`: over ≤ 32 slots the compiler turns this into a
+            // handful of SIMD compares with no data-dependent branches,
+            // which is faster than early exit even when the probe would
+            // hit the first slot.
+            None => self.slots.iter().fold(false, |hit, &slot| hit | (slot == id)),
+        }
     }
 
     /// Inserts `id` if the memory is not full and `id` is absent; returns
@@ -102,7 +121,9 @@ impl SamplingMemory {
             return false;
         }
         assert!(!self.is_full(), "insert on full sampling memory; use replace_uniform instead");
-        self.positions.insert(id, self.slots.len());
+        if let Some(positions) = &mut self.positions {
+            positions.insert(id, self.slots.len());
+        }
         self.slots.push(id);
         true
     }
@@ -123,10 +144,34 @@ impl SamplingMemory {
         }
         let victim_slot = rng.gen_range(0..self.slots.len());
         let evicted = self.slots[victim_slot];
-        self.positions.remove(&evicted);
         self.slots[victim_slot] = id;
-        self.positions.insert(id, victim_slot);
+        if let Some(positions) = &mut self.positions {
+            positions.remove(&evicted);
+            positions.insert(id, victim_slot);
+        }
         Some(evicted)
+    }
+
+    /// [`SamplingMemory::replace_uniform`] for a caller that has *already*
+    /// established `id` is absent and the memory non-empty (the sampler's
+    /// admission path, which just probed membership): skips the duplicate
+    /// probe, consumes exactly the same single `gen_range` draw, and
+    /// returns the evicted resident.
+    #[inline]
+    pub(crate) fn replace_uniform_absent<R: Rng + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        id: NodeId,
+    ) -> NodeId {
+        debug_assert!(!self.slots.is_empty() && !self.contains(id));
+        let victim_slot = rng.gen_range(0..self.slots.len());
+        let evicted = self.slots[victim_slot];
+        self.slots[victim_slot] = id;
+        if let Some(positions) = &mut self.positions {
+            positions.remove(&evicted);
+            positions.insert(id, victim_slot);
+        }
+        evicted
     }
 
     /// Evicts a resident chosen with probability proportional to `weight`
@@ -156,14 +201,17 @@ impl SamplingMemory {
             draw -= w;
         }
         let evicted = self.slots[victim_slot];
-        self.positions.remove(&evicted);
         self.slots[victim_slot] = id;
-        self.positions.insert(id, victim_slot);
+        if let Some(positions) = &mut self.positions {
+            positions.remove(&evicted);
+            positions.insert(id, victim_slot);
+        }
         Some(evicted)
     }
 
     /// Draws a uniformly random resident (the output step of both
     /// algorithms); `None` when empty. The resident is *not* removed.
+    #[inline]
     pub fn sample_uniform<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<NodeId> {
         if self.slots.is_empty() {
             None
@@ -338,6 +386,44 @@ mod tests {
         let gamma = SamplingMemory::new(2).unwrap();
         let mut rng = StdRng::seed_from_u64(11);
         assert_eq!(gamma.sample_uniform(&mut rng), None);
+    }
+
+    #[test]
+    fn scan_and_indexed_modes_behave_identically() {
+        // Capacities straddling SCAN_CAPACITY run the same operation
+        // sequence with the same coins; outcomes must agree operation for
+        // operation wherever both memories are in the same logical state.
+        for capacity in [32usize, 33] {
+            let mut rng = StdRng::seed_from_u64(12);
+            let mut gamma = SamplingMemory::new(capacity).unwrap();
+            for i in 0..32u64 {
+                assert!(gamma.insert(NodeId::new(i)));
+                assert!(!gamma.insert(NodeId::new(i)), "duplicate accepted at capacity {capacity}");
+            }
+            for i in 0..32u64 {
+                assert!(gamma.contains(NodeId::new(i)));
+            }
+            assert!(!gamma.contains(NodeId::new(99)));
+            // Fill to capacity, then churn through evictions; membership
+            // must track the slot vector exactly in both modes.
+            while !gamma.is_full() {
+                gamma.insert(NodeId::new(1_000 + gamma.len() as u64));
+            }
+            for round in 0..2_000u64 {
+                let id = NodeId::new(2_000 + round % 80);
+                let evicted = gamma.replace_uniform(&mut rng, id);
+                if let Some(evicted) = evicted {
+                    assert!(!gamma.contains(evicted), "evicted id still answers membership");
+                    assert!(gamma.contains(id));
+                }
+                assert_eq!(gamma.len(), capacity);
+                let residents: std::collections::HashSet<NodeId> = gamma.iter().copied().collect();
+                assert_eq!(residents.len(), capacity, "slot vector grew a duplicate");
+                for &resident in gamma.as_slice() {
+                    assert!(gamma.contains(resident));
+                }
+            }
+        }
     }
 
     #[test]

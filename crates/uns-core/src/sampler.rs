@@ -53,6 +53,20 @@ use crate::node_id::NodeId;
 /// pairs with bit-equal results — the contract the parallel sampling
 /// pipeline in `uns-sim` relies on.
 ///
+/// # Blocked coins
+///
+/// *Where* the coins come from is orthogonal to this contract. The
+/// knowledge-free sampler's default generator is **blocked**
+/// (`rand::rngs::BlockRng<SmallRng>`): words are pre-drawn in 64-word
+/// blocks and every entry point serves its coins from that buffer. The
+/// emitted word sequence is identical to the plain generator's for the
+/// same seed, so the block boundary is observable **nowhere** — not in
+/// outputs, admissions, evictions, or any equivalence above; element-wise
+/// and batched histories interleave freely and snapshots taken under one
+/// entry-point mix resume bit-equal under another (the pending pre-drawn
+/// words are part of the generator's snapshot state). Pinned by proptests
+/// in `uns-core` and at full scale in release CI.
+///
 /// [`feed`]: NodeSampler::feed
 /// [`ingest`]: NodeSampler::ingest
 /// [`sample`]: NodeSampler::sample

@@ -164,3 +164,116 @@ proptest! {
         }
     }
 }
+
+/// One step of the generator-equivalence driver below: which draw to make.
+#[derive(Clone, Copy, Debug)]
+enum DrawOp {
+    Word,
+    Float,
+    Range(u64),
+    Fill(usize),
+}
+
+fn draw_op() -> impl Strategy<Value = DrawOp> {
+    prop_oneof![
+        Just(DrawOp::Word),
+        Just(DrawOp::Float),
+        (1u64..1_000).prop_map(DrawOp::Range),
+        // Fill lengths straddle the 64-word block: 0..=130 covers empty,
+        // sub-block, exactly-one-block and multi-block requests.
+        (0usize..131).prop_map(DrawOp::Fill),
+    ]
+}
+
+/// Applies one draw to both generators and asserts identical results (the
+/// vendored proptest shim reports case failures as `String`s).
+fn assert_draw_matches<A: rand::Rng, B: rand::Rng>(
+    a: &mut A,
+    b: &mut B,
+    op: DrawOp,
+) -> Result<(), String> {
+    match op {
+        DrawOp::Word => prop_assert_eq!(a.next_u64(), b.next_u64()),
+        DrawOp::Float => prop_assert_eq!(a.gen::<f64>(), b.gen::<f64>()),
+        DrawOp::Range(span) => prop_assert_eq!(a.gen_range(0..span), b.gen_range(0..span)),
+        DrawOp::Fill(len) => {
+            let mut blocked = vec![0u64; len];
+            let mut plain = vec![0u64; len];
+            a.fill_u64(&mut blocked);
+            b.fill_u64(&mut plain);
+            prop_assert_eq!(blocked, plain);
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    /// BlockRng<SmallRng> is draw-order-identical to plain SmallRng under
+    /// arbitrary interleavings of word draws, float draws, range draws and
+    /// block fills — every block/remainder boundary the buffer can land on.
+    #[test]
+    fn blocked_small_rng_is_draw_order_identical_to_sequential(
+        seed in any::<u64>(),
+        ops in vec(draw_op(), 1..200),
+    ) {
+        use rand::SeedableRng;
+        let mut blocked = rand::rngs::BlockRng::<rand::rngs::SmallRng>::seed_from_u64(seed);
+        let mut plain = rand::rngs::SmallRng::seed_from_u64(seed);
+        for op in ops {
+            assert_draw_matches(&mut blocked, &mut plain, op)?;
+        }
+    }
+
+    /// Same pin for the hardened generator: BlockRng<StdRng> ≡ StdRng.
+    #[test]
+    fn blocked_std_rng_is_draw_order_identical_to_sequential(
+        seed in any::<u64>(),
+        ops in vec(draw_op(), 1..120),
+    ) {
+        use rand::SeedableRng;
+        let mut blocked = rand::rngs::BlockRng::<rand::rngs::StdRng>::seed_from_u64(seed);
+        let mut plain = rand::rngs::StdRng::seed_from_u64(seed);
+        for op in ops {
+            assert_draw_matches(&mut blocked, &mut plain, op)?;
+        }
+    }
+
+    /// Sampler-level blocked-coin pin: the default (blocked) sampler driven
+    /// through batched entry points with arbitrary batch boundaries leaves
+    /// memory, estimator cells and the coin-stream position bit-equal to a
+    /// plain-SmallRng sampler fed element-wise.
+    #[test]
+    fn blocked_coin_feed_batch_is_bit_equal_to_plain_elementwise(
+        capacity in 1usize..10,
+        ids in vec(0u64..96, 1..600),
+        cuts in vec(1usize..64, 1..12),
+        seed in any::<u64>(),
+    ) {
+        use rand::rngs::SmallRng;
+        use uns_sketch::{CountMinSketch, FrequencyEstimator};
+        let mut blocked = KnowledgeFreeSampler::with_count_min(capacity, 8, 3, seed).unwrap();
+        let mut plain =
+            KnowledgeFreeSampler::<CountMinSketch, SmallRng>::with_count_min_rng(
+                capacity, 8, 3, seed,
+            )
+            .unwrap();
+        let stream: Vec<NodeId> = ids.iter().copied().map(NodeId::new).collect();
+        let mut blocked_out = Vec::new();
+        let mut rest = stream.as_slice();
+        let mut cut = cuts.iter().cycle();
+        while !rest.is_empty() {
+            let take = (*cut.next().unwrap()).min(rest.len());
+            blocked.feed_batch_admitted(&rest[..take], &mut blocked_out);
+            rest = &rest[take..];
+        }
+        let plain_out: Vec<NodeId> = stream.iter().map(|&id| plain.feed(id)).collect();
+        prop_assert_eq!(blocked_out, plain_out);
+        prop_assert_eq!(blocked.memory_contents(), plain.memory_contents());
+        for id in 0..96u64 {
+            prop_assert_eq!(blocked.estimator().estimate(id), plain.estimator().estimate(id));
+        }
+        for _ in 0..16 {
+            prop_assert_eq!(blocked.sample(), plain.sample());
+        }
+    }
+}

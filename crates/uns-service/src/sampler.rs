@@ -113,36 +113,27 @@ impl ServiceSampler {
         }
     }
 
-    /// Input-only batch ([`NodeSampler::ingest`] per element); returns how
-    /// many elements entered `Γ`.
+    /// Input-only batch via the library's blocked-coin entry point
+    /// ([`KnowledgeFreeSampler::ingest_batch_admitted`]); returns how many
+    /// elements entered `Γ`.
     pub fn ingest_batch(&mut self, ids: &[NodeId]) -> u64 {
-        with_sampler!(self, s => {
-            let mut admitted = 0u64;
-            for &id in ids {
-                admitted += u64::from(s.ingest_admitted(id));
-            }
-            admitted
-        })
+        with_sampler!(self, s => s.ingest_batch_admitted(ids))
     }
 
     /// Feed batch: per element, the full [`NodeSampler::feed`] step — state
     /// evolution plus one uniform output draw appended to `out`. Returns
     /// how many elements entered `Γ`.
     ///
+    /// Routed through the library's blocked-coin batch entry point
+    /// ([`KnowledgeFreeSampler::feed_batch_admitted`]): the batch's
+    /// admission and output coins are served from the default generator's
+    /// pre-drawn blocks, and the service path inherits that win end to end.
     /// Identical, coin for coin, to [`NodeSampler::feed_batch`] (the
     /// admission report rides along for the stream's stats counters; the
     /// release-mode end-to-end tests pin the equivalence against plain
     /// sequential `feed`).
     pub fn feed_batch(&mut self, ids: &[NodeId], out: &mut Vec<NodeId>) -> u64 {
-        with_sampler!(self, s => {
-            out.reserve(ids.len());
-            let mut admitted = 0u64;
-            for &id in ids {
-                admitted += u64::from(s.ingest_admitted(id));
-                out.push(s.sample().expect("memory is non-empty after an ingest"));
-            }
-            admitted
-        })
+        with_sampler!(self, s => s.feed_batch_admitted(ids, out))
     }
 
     /// Draws one output sample without consuming input.
@@ -184,9 +175,9 @@ impl ServiceSampler {
     /// [`ServiceError::Snapshot`] on any malformed blob.
     pub fn restore(bytes: &[u8]) -> Result<Self, ServiceError> {
         let mut cur = Cursor::new(bytes);
-        decode_header(&mut cur)?;
+        let version = decode_header(&mut cur)?;
         let memory = decode_memory(&mut cur)?;
-        let rng = decode_rng(&mut cur)?;
+        let rng = decode_rng(&mut cur, version)?;
         let estimator = decode_estimator_tagged(&mut cur)?;
         finish(cur)?;
         Ok(match estimator {

@@ -24,6 +24,18 @@
 //! thread replies [`Response::Busy`] immediately instead of buffering —
 //! memory is bounded by `workers × queue_depth` jobs no matter how many
 //! connections push. Clients retry (the load generator counts these).
+//!
+//! # Buffer pool
+//!
+//! The batch hot path is allocation-free in steady state: identifier
+//! buffers cycle through a shared `BufferPool` instead of being
+//! allocated per request. A connection thread takes a buffer for the
+//! request's ids and the owning worker returns it after feeding; the
+//! worker takes a buffer for the Feed reply's outputs (previously an
+//! `outputs.clone()` per batch — the allocation the pool exists to kill)
+//! and the connection thread returns it once the reply is encoded. A
+//! counting-allocator regression test pins that a long feed session does
+//! not allocate proportionally to the batch size.
 
 use crate::error::ServiceError;
 use crate::protocol::{
@@ -100,6 +112,52 @@ struct Registry {
     next_worker: AtomicU64,
 }
 
+/// Most identifier buffers the pool retains; beyond this, returned buffers
+/// are simply dropped.
+const POOL_MAX_BUFS: usize = 64;
+
+/// Largest per-buffer capacity (in identifiers) the pool retains. A
+/// maximum-size batch ([`MAX_BATCH_IDS`], ~8M ids) would grow a buffer to
+/// ~67 MB; retaining those would let one burst of huge batches pin
+/// `POOL_MAX_BUFS × 67 MB` for the process lifetime. Buffers above this
+/// cap are dropped on return instead — such batches still work, they just
+/// pay their own allocation — bounding retained pool memory at
+/// `POOL_MAX_BUFS × POOL_MAX_BUF_IDS × 8` bytes (8 MiB), while the
+/// common batch sizes (the load generator uses 4096) stay pooled.
+const POOL_MAX_BUF_IDS: usize = 1 << 14;
+
+/// Shared recycling pool for identifier-batch buffers (request ids and
+/// Feed-reply outputs). See the module docs: this is what makes the batch
+/// hot path allocation-free in steady state.
+struct BufferPool {
+    bufs: Mutex<Vec<Vec<NodeId>>>,
+}
+
+impl BufferPool {
+    fn new() -> Self {
+        Self { bufs: Mutex::new(Vec::new()) }
+    }
+
+    /// Pops a recycled buffer (empty, capacity retained) or makes a new one.
+    fn take(&self) -> Vec<NodeId> {
+        self.bufs.lock().expect("buffer pool lock poisoned").pop().unwrap_or_default()
+    }
+
+    /// Returns a buffer to the pool. Buffers that never grew carry no
+    /// useful capacity and oversized ones would pin memory
+    /// ([`POOL_MAX_BUF_IDS`]); both are dropped instead of retained.
+    fn put(&self, mut buf: Vec<NodeId>) {
+        buf.clear();
+        if buf.capacity() == 0 || buf.capacity() > POOL_MAX_BUF_IDS {
+            return;
+        }
+        let mut bufs = self.bufs.lock().expect("buffer pool lock poisoned");
+        if bufs.len() < POOL_MAX_BUFS {
+            bufs.push(buf);
+        }
+    }
+}
+
 /// The sampling server: owns the worker pool and accepts connections on
 /// any [`Transport`].
 ///
@@ -111,6 +169,7 @@ pub struct Server {
     senders: Vec<SyncSender<Job>>,
     workers: Vec<JoinHandle<()>>,
     shutdown: Arc<AtomicBool>,
+    pool: Arc<BufferPool>,
 }
 
 impl Server {
@@ -126,6 +185,7 @@ impl Server {
             next_worker: AtomicU64::new(0),
         });
         let shutdown = Arc::new(AtomicBool::new(false));
+        let pool = Arc::new(BufferPool::new());
         let mut senders = Vec::with_capacity(workers_n);
         let mut workers = Vec::with_capacity(workers_n);
         for index in 0..workers_n {
@@ -133,10 +193,11 @@ impl Server {
             senders.push(tx);
             let shutdown = Arc::clone(&shutdown);
             let registry = Arc::clone(&registry);
+            let pool = Arc::clone(&pool);
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("uns-worker-{index}"))
-                    .spawn(move || worker_main(rx, workers_n, &registry, &shutdown))
+                    .spawn(move || worker_main(rx, workers_n, &registry, &shutdown, &pool))
                     .expect("spawning a worker thread"),
             );
         }
@@ -146,6 +207,7 @@ impl Server {
             senders,
             workers,
             shutdown,
+            pool,
         }
     }
 
@@ -159,10 +221,11 @@ impl Server {
     pub fn handle<T: Transport + 'static>(&self, transport: T) {
         let registry = Arc::clone(&self.registry);
         let senders = self.senders.clone();
+        let pool = Arc::clone(&self.pool);
         std::thread::Builder::new()
             .name("uns-conn".into())
             .spawn(move || {
-                let _ = handle_connection(transport, &registry, &senders);
+                let _ = handle_connection(transport, &registry, &senders, &pool);
             })
             .expect("spawning a connection thread");
     }
@@ -221,9 +284,14 @@ struct StreamState {
     stats: PipelineStats,
 }
 
-fn worker_main(rx: Receiver<Job>, pool_size: usize, registry: &Registry, shutdown: &AtomicBool) {
+fn worker_main(
+    rx: Receiver<Job>,
+    pool_size: usize,
+    registry: &Registry,
+    shutdown: &AtomicBool,
+    pool: &BufferPool,
+) {
     let mut streams: HashMap<u64, StreamState> = HashMap::new();
-    let mut outputs: Vec<NodeId> = Vec::new();
     loop {
         // The shutdown check runs every iteration, not only when the
         // bounded-wait receive times out: a connected client keeping jobs
@@ -254,7 +322,7 @@ fn worker_main(rx: Receiver<Job>, pool_size: usize, registry: &Registry, shutdow
         let stream = job.stream;
         let mutates = op_mutates(&job.op);
         let response = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            execute_job(&mut streams, &mut outputs, pool_size, stream, job.op)
+            execute_job(&mut streams, pool, pool_size, stream, job.op)
         }))
         .unwrap_or_else(|panic| {
             if mutates {
@@ -295,10 +363,13 @@ fn panic_message(panic: &(dyn std::any::Any + Send)) -> &str {
         .unwrap_or("non-string panic payload")
 }
 
-/// Runs one routed job against the worker's stream table.
+/// Runs one routed job against the worker's stream table. Batch buffers
+/// arriving in `op` are recycled into `pool` once consumed; Feed replies
+/// take their outputs buffer from the pool (the connection thread returns
+/// it after encoding).
 fn execute_job(
     streams: &mut HashMap<u64, StreamState>,
-    outputs: &mut Vec<NodeId>,
+    pool: &BufferPool,
     pool_size: usize,
     stream: u64,
     op: StreamOp,
@@ -320,28 +391,36 @@ fn execute_job(
             }
             Err(err) => error_response(&err),
         },
-        StreamOp::Ingest(ids) => match streams.get_mut(&stream) {
-            Some(state) => {
-                let admitted = state.sampler.ingest_batch(&ids);
-                state.stats.elements += ids.len() as u64;
-                state.stats.admitted += admitted;
-                state.stats.chunks += 1;
-                Response::Ingested { position: state.stats.elements, admitted }
-            }
-            None => unknown_stream(),
-        },
-        StreamOp::Feed(ids) => match streams.get_mut(&stream) {
-            Some(state) => {
-                outputs.clear();
-                let admitted = state.sampler.feed_batch(&ids, outputs);
-                state.stats.elements += ids.len() as u64;
-                state.stats.admitted += admitted;
-                state.stats.outputs += ids.len() as u64;
-                state.stats.chunks += 1;
-                Response::Fed { position: state.stats.elements, admitted, outputs: outputs.clone() }
-            }
-            None => unknown_stream(),
-        },
+        StreamOp::Ingest(ids) => {
+            let response = match streams.get_mut(&stream) {
+                Some(state) => {
+                    let admitted = state.sampler.ingest_batch(&ids);
+                    state.stats.elements += ids.len() as u64;
+                    state.stats.admitted += admitted;
+                    state.stats.chunks += 1;
+                    Response::Ingested { position: state.stats.elements, admitted }
+                }
+                None => unknown_stream(),
+            };
+            pool.put(ids);
+            response
+        }
+        StreamOp::Feed(ids) => {
+            let response = match streams.get_mut(&stream) {
+                Some(state) => {
+                    let mut outputs = pool.take();
+                    let admitted = state.sampler.feed_batch(&ids, &mut outputs);
+                    state.stats.elements += ids.len() as u64;
+                    state.stats.admitted += admitted;
+                    state.stats.outputs += ids.len() as u64;
+                    state.stats.chunks += 1;
+                    Response::Fed { position: state.stats.elements, admitted, outputs }
+                }
+                None => unknown_stream(),
+            };
+            pool.put(ids);
+            response
+        }
         StreamOp::Sample => match streams.get_mut(&stream) {
             Some(state) => Response::Sampled(state.sampler.sample()),
             None => unknown_stream(),
@@ -388,11 +467,14 @@ fn error_response(err: &ServiceError) -> Response {
     Response::Error { code, message: err.to_string() }
 }
 
-/// Serves one connection: frame loop, routing, backpressure.
+/// Serves one connection: frame loop, routing, backpressure. Feed replies
+/// carry a pooled outputs buffer — it is returned to the pool here, after
+/// encoding, which closes the recycling loop the module docs describe.
 fn handle_connection<T: Transport>(
     mut transport: T,
     registry: &Registry,
     senders: &[SyncSender<Job>],
+    pool: &BufferPool,
 ) -> Result<(), ServiceError> {
     let mut writer = transport.try_clone_transport()?;
     let mut frame = Vec::new();
@@ -404,7 +486,7 @@ fn handle_connection<T: Transport>(
             Err(err) => return Err(err),
         }
         let response = match Request::decode(&frame) {
-            Ok(request) => route_request(&request, registry, senders),
+            Ok(request) => route_request(&request, registry, senders, pool),
             Err(err) => {
                 // A malformed frame poisons stream framing: answer, close.
                 let response = Response::Error { code: ErrorCode::Other, message: err.to_string() };
@@ -414,6 +496,9 @@ fn handle_connection<T: Transport>(
             }
         };
         encode_bounded(&response, &mut body);
+        if let Response::Fed { outputs, .. } = response {
+            pool.put(outputs); // encoded into `body`; the buffer recycles
+        }
         write_frame(&mut writer, &body)?;
     }
 }
@@ -447,6 +532,7 @@ fn route_request(
     request: &Request<'_>,
     registry: &Registry,
     senders: &[SyncSender<Job>],
+    pool: &BufferPool,
 ) -> Response {
     let name = request.stream_name();
     if name.is_empty() || name.len() > MAX_STREAM_NAME_LEN {
@@ -470,42 +556,44 @@ fn route_request(
     }
     match request {
         Request::CreateStream { config, .. } => {
-            create_or_restore(registry, senders, name, false, || StreamOp::Create(*config))
+            create_or_restore(registry, senders, name, false, pool, || StreamOp::Create(*config))
         }
         Request::Restore { snapshot, .. } => {
-            create_or_restore(registry, senders, name, true, || {
+            create_or_restore(registry, senders, name, true, pool, || {
                 StreamOp::Restore(snapshot.to_vec())
             })
         }
         // Batch ops: resolve the route BEFORE copying the ids off the
-        // frame, so unknown/pending streams cost no copy. (A Busy bounce
-        // still pays one copy-and-drop - knowing the queue is full takes
-        // the built job.)
+        // frame, so unknown/pending streams cost no copy. The batch buffer
+        // comes from the pool — the owning worker returns it once the
+        // batch is fed. (A Busy bounce still pays one copy - knowing the
+        // queue is full takes the built job - but `enqueue` recycles the
+        // bounced buffer.)
         Request::Ingest { ids, .. } => match lookup_ready(registry, name) {
             Ok(entry) => {
-                let mut batch = Vec::new();
+                let mut batch = pool.take();
                 ids.copy_into(&mut batch);
-                enqueue(senders, &entry, StreamOp::Ingest(batch))
+                enqueue(senders, &entry, StreamOp::Ingest(batch), pool)
             }
             Err(response) => response,
         },
         Request::FeedBatch { ids, .. } => match lookup_ready(registry, name) {
             Ok(entry) => {
-                let mut batch = Vec::new();
+                let mut batch = pool.take();
                 ids.copy_into(&mut batch);
-                enqueue(senders, &entry, StreamOp::Feed(batch))
+                enqueue(senders, &entry, StreamOp::Feed(batch), pool)
             }
             Err(response) => response,
         },
-        Request::Sample { .. } => dispatch(registry, senders, name, StreamOp::Sample),
-        Request::FloorEstimate { .. } => dispatch(registry, senders, name, StreamOp::Floor),
-        Request::Snapshot { .. } => dispatch(registry, senders, name, StreamOp::Snapshot),
+        Request::Sample { .. } => dispatch(registry, senders, name, StreamOp::Sample, pool),
+        Request::FloorEstimate { .. } => dispatch(registry, senders, name, StreamOp::Floor, pool),
+        Request::Snapshot { .. } => dispatch(registry, senders, name, StreamOp::Snapshot, pool),
         Request::Stats { .. } => {
             let entry = match lookup_ready(registry, name) {
                 Ok(entry) => entry,
                 Err(response) => return response,
             };
-            let response = enqueue(senders, &entry, StreamOp::Stats);
+            let response = enqueue(senders, &entry, StreamOp::Stats, pool);
             match response {
                 Response::Stats(mut stats) => {
                     stats.busy_rejections = entry.busy.load(Ordering::Relaxed);
@@ -529,6 +617,7 @@ fn create_or_restore(
     senders: &[SyncSender<Job>],
     name: &str,
     replace_existing: bool,
+    pool: &BufferPool,
     make_op: impl FnOnce() -> StreamOp,
 ) -> Response {
     // Phase 1 (locked): resolve the existing entry or reserve a pending one.
@@ -559,7 +648,7 @@ fn create_or_restore(
         }
     };
     // Phase 2 (unlocked): the blocking round-trip to the owning worker.
-    let response = enqueue(senders, &entry, make_op());
+    let response = enqueue(senders, &entry, make_op(), pool);
     if reserved {
         if matches!(response, Response::Ok) {
             entry.ready.store(true, Ordering::Release);
@@ -595,10 +684,19 @@ fn dispatch(
     senders: &[SyncSender<Job>],
     name: &str,
     op: StreamOp,
+    pool: &BufferPool,
 ) -> Response {
     match lookup_ready(registry, name) {
-        Ok(entry) => enqueue(senders, &entry, op),
+        Ok(entry) => enqueue(senders, &entry, op, pool),
         Err(response) => response,
+    }
+}
+
+/// Recycles the identifier buffer of a job that never reached a worker
+/// (Busy bounce, shutdown race) back into the pool.
+fn recycle_job(pool: &BufferPool, job: Job) {
+    if let StreamOp::Ingest(ids) | StreamOp::Feed(ids) = job.op {
+        pool.put(ids);
     }
 }
 
@@ -610,7 +708,12 @@ fn dispatch(
 /// on shutdown with the queue non-empty, channel torn down), the sender
 /// drops with it and `recv()` returns `Err` — so a connection thread can
 /// never be stranded waiting on a reply that will not come.
-fn enqueue(senders: &[SyncSender<Job>], entry: &StreamEntry, op: StreamOp) -> Response {
+fn enqueue(
+    senders: &[SyncSender<Job>],
+    entry: &StreamEntry,
+    op: StreamOp,
+    pool: &BufferPool,
+) -> Response {
     let (reply_tx, reply_rx) = mpsc::sync_channel::<Response>(1);
     let job = Job { stream: entry.id, op, reply: reply_tx };
     match senders[entry.worker].try_send(job) {
@@ -618,11 +721,13 @@ fn enqueue(senders: &[SyncSender<Job>], entry: &StreamEntry, op: StreamOp) -> Re
             code: ErrorCode::Other,
             message: "server shutting down".into(),
         }),
-        Err(TrySendError::Full(_)) => {
+        Err(TrySendError::Full(job)) => {
+            recycle_job(pool, job);
             entry.busy.fetch_add(1, Ordering::Relaxed);
             Response::Busy
         }
-        Err(TrySendError::Disconnected(_)) => {
+        Err(TrySendError::Disconnected(job)) => {
+            recycle_job(pool, job);
             Response::Error { code: ErrorCode::Other, message: "server shutting down".into() }
         }
     }

@@ -21,13 +21,30 @@
 //! ```text
 //! [ magic "UNSS" ][ version: u16 ]
 //! [ capacity: u64 ][ |Γ|: u64 ][ Γ slots: u64 × |Γ| ]
-//! [ rng tag: u8 = 0 ][ xoshiro256++ state: u64 × 4 ]
+//! [ rng tag: u8 = 1 ][ xoshiro256++ state: u64 × 4 ]
+//!                    [ pending coins: u8 count, u64 × count ]
 //! [ estimator tag: u8 ][ estimator payload ]
 //! ```
+//!
+//! # Why the pending coins are encoded
+//!
+//! The samplers' default coin generator is **blocked**
+//! ([`rand::rngs::BlockRng`]`<`[`SmallRng`]`>`): it pre-draws words in
+//! blocks and serves coins from that buffer. A snapshot taken mid-block
+//! therefore has two parts of RNG state — the inner xoshiro256++ state
+//! (already advanced past the whole block) and the pending, not yet
+//! consumed words. The inner state *cannot* be rewound, so the pending
+//! words must ride along in the blob: **encoded, not drained** (draining
+//! would skip coins and break the bit-equal-going-forward contract; the
+//! `rand` crate's `block_rng_discarding_pending_would_skip_words` test is
+//! the negative control). Restore rebuilds the generator from both halves,
+//! so a snapshot taken under any entry-point mix (element-wise or batched)
+//! restores bit-equal under any other — the block boundary is observable
+//! in the blob bytes, never in behaviour.
 
 use crate::error::ServiceError;
 use crate::wire::{put_i64, put_u16, put_u64, Cursor};
-use rand::rngs::SmallRng;
+use rand::rngs::{BlockRng, SmallRng, BLOCK_LEN};
 use uns_core::{NodeId, SamplingMemory};
 use uns_sketch::{
     CountMinSketch, CountSketch, ExactFrequencyOracle, FrequencyEstimator, UpdatePolicy,
@@ -36,8 +53,15 @@ use uns_sketch::{
 /// Leading magic of every snapshot blob.
 pub const SNAPSHOT_MAGIC: &[u8; 4] = b"UNSS";
 
-/// Snapshot format version written by this build.
-pub const SNAPSHOT_VERSION: u16 = 1;
+/// Snapshot format version written by this build. Version 2 switched the
+/// coin-generator encoding to the blocked form (inner state + pending
+/// coins). Version-1 blobs (PR-3 era: unblocked xoshiro, rng tag 0) are
+/// still **read** — an unblocked generator is exactly a blocked one with
+/// no pending coins, so the restore stays bit-equal going forward.
+pub const SNAPSHOT_VERSION: u16 = 2;
+
+/// Oldest snapshot version this build can still restore.
+pub const MIN_SNAPSHOT_VERSION: u16 = 1;
 
 /// Upper bound on a snapshotted memory capacity. `Γ`'s capacity is a
 /// configuration value not backed by snapshot bytes, so it must be
@@ -83,23 +107,25 @@ pub fn encode_header(out: &mut Vec<u8>) {
     put_u16(out, SNAPSHOT_VERSION);
 }
 
-/// Checks the magic/version header.
+/// Checks the magic/version header and returns the blob's version (needed
+/// downstream: the coin-generator encoding differs between versions).
 ///
 /// # Errors
 ///
 /// [`ServiceError::Snapshot`] on a wrong magic or unsupported version.
-pub fn decode_header(cur: &mut Cursor<'_>) -> Result<(), ServiceError> {
+pub fn decode_header(cur: &mut Cursor<'_>) -> Result<u16, ServiceError> {
     let magic = ctx(cur.take(4))?;
     if magic != SNAPSHOT_MAGIC {
         return Err(snap_err("not a sampler snapshot (bad magic)"));
     }
     let version = ctx(cur.u16())?;
-    if version != SNAPSHOT_VERSION {
+    if !(MIN_SNAPSHOT_VERSION..=SNAPSHOT_VERSION).contains(&version) {
         return Err(snap_err(format!(
-            "snapshot version {version} unsupported (this build reads {SNAPSHOT_VERSION})"
+            "snapshot version {version} unsupported (this build reads \
+             {MIN_SNAPSHOT_VERSION}..={SNAPSHOT_VERSION})"
         )));
     }
-    Ok(())
+    Ok(version)
 }
 
 /// Encodes the sampling memory `Γ`: capacity, then the residents in slot
@@ -143,26 +169,47 @@ pub fn decode_memory(cur: &mut Cursor<'_>) -> Result<SamplingMemory, ServiceErro
     Ok(memory)
 }
 
-const RNG_TAG_SMALL: u8 = 0;
+/// Tag of the unblocked xoshiro256++ generator — the only tag snapshot
+/// version 1 wrote. Read-only today: it restores as a blocked generator
+/// with no pending coins, which emits exactly the same stream.
+const RNG_TAG_SMALL_PLAIN: u8 = 0;
 
-/// Encodes the coin generator's full state.
-pub fn encode_rng(out: &mut Vec<u8>, rng: &SmallRng) {
-    out.push(RNG_TAG_SMALL);
-    for word in rng.state() {
+/// Tag of the blocked xoshiro256++ generator (snapshot version 2).
+const RNG_TAG_SMALL_BLOCKED: u8 = 1;
+
+/// Encodes the coin generator's full state: the inner xoshiro256++ words
+/// **plus** the blocked generator's pending (pre-drawn, unconsumed) coins
+/// — see the module docs for why draining is not an option.
+pub fn encode_rng(out: &mut Vec<u8>, rng: &BlockRng<SmallRng>) {
+    out.push(RNG_TAG_SMALL_BLOCKED);
+    let (inner, pending) = rng.state_parts();
+    for word in inner.state() {
+        put_u64(out, word);
+    }
+    debug_assert!(pending.len() <= BLOCK_LEN && BLOCK_LEN <= u8::MAX as usize);
+    out.push(pending.len() as u8);
+    for &word in pending {
         put_u64(out, word);
     }
 }
 
-/// Decodes a coin generator.
+/// Decodes a coin generator from a blob of the given header `version`.
+///
+/// Version 1 wrote the unblocked form (tag 0, no pending coins): it
+/// restores as a blocked generator with an empty buffer, which emits
+/// exactly the inner stream — bit-equal going forward, so PR-3-era
+/// snapshots stay restorable across the format bump.
 ///
 /// # Errors
 ///
-/// [`ServiceError::Snapshot`] on an unknown generator tag or the invalid
-/// all-zero state.
-pub fn decode_rng(cur: &mut Cursor<'_>) -> Result<SmallRng, ServiceError> {
+/// [`ServiceError::Snapshot`] on a tag the given version never wrote, the
+/// invalid all-zero inner state, or a pending-coin count above the block
+/// length.
+pub fn decode_rng(cur: &mut Cursor<'_>, version: u16) -> Result<BlockRng<SmallRng>, ServiceError> {
     let tag = ctx(cur.u8())?;
-    if tag != RNG_TAG_SMALL {
-        return Err(snap_err(format!("unknown coin generator tag {tag}")));
+    let expected = if version == 1 { RNG_TAG_SMALL_PLAIN } else { RNG_TAG_SMALL_BLOCKED };
+    if tag != expected {
+        return Err(snap_err(format!("unknown coin generator tag {tag} for version {version}")));
     }
     let mut state = [0u64; 4];
     for word in &mut state {
@@ -171,7 +218,17 @@ pub fn decode_rng(cur: &mut Cursor<'_>) -> Result<SmallRng, ServiceError> {
     if state == [0; 4] {
         return Err(snap_err("all-zero xoshiro256++ state cannot come from a live generator"));
     }
-    Ok(SmallRng::from_state(state))
+    let pending_len = if tag == RNG_TAG_SMALL_PLAIN { 0 } else { ctx(cur.u8())? as usize };
+    if pending_len > BLOCK_LEN {
+        return Err(snap_err(format!(
+            "{pending_len} pending coins exceed the {BLOCK_LEN}-word block"
+        )));
+    }
+    let mut pending = [0u64; BLOCK_LEN];
+    for word in &mut pending[..pending_len] {
+        *word = ctx(cur.u64())?;
+    }
+    Ok(BlockRng::from_parts(SmallRng::from_state(state), &pending[..pending_len]))
 }
 
 /// Estimator tag written before the estimator payload.
@@ -423,24 +480,43 @@ mod tests {
 
     #[test]
     fn rng_round_trips_and_resumes_exactly() {
-        let mut rng = SmallRng::seed_from_u64(7);
+        // 10 draws land mid-block: the pending buffer is non-empty and MUST
+        // ride along in the encoding (the drain-vs-encode design decision).
+        let mut rng = BlockRng::<SmallRng>::seed_from_u64(7);
         for _ in 0..10 {
             let _ = rng.gen::<u64>();
         }
+        assert!(!rng.pending().is_empty());
         let mut out = Vec::new();
         encode_rng(&mut out, &rng);
         let mut cur = Cursor::new(&out);
-        let mut decoded = decode_rng(&mut cur).unwrap();
+        let mut decoded = decode_rng(&mut cur, SNAPSHOT_VERSION).unwrap();
         finish(cur).unwrap();
-        for _ in 0..32 {
+        // Cross the block boundary: pending coins first, refills after.
+        for _ in 0..3 * BLOCK_LEN {
             assert_eq!(decoded.gen::<u64>(), rng.gen::<u64>());
         }
-        // All-zero state and unknown tag are rejected.
-        let mut zeros = vec![RNG_TAG_SMALL];
-        zeros.extend_from_slice(&[0u8; 32]);
-        assert!(matches!(decode_rng(&mut Cursor::new(&zeros)), Err(ServiceError::Snapshot(_))));
-        let bad_tag = [9u8; 33];
-        assert!(matches!(decode_rng(&mut Cursor::new(&bad_tag)), Err(ServiceError::Snapshot(_))));
+        // All-zero inner state and unknown tag are rejected.
+        let mut zeros = vec![RNG_TAG_SMALL_BLOCKED];
+        zeros.extend_from_slice(&[0u8; 33]);
+        assert!(matches!(
+            decode_rng(&mut Cursor::new(&zeros), SNAPSHOT_VERSION),
+            Err(ServiceError::Snapshot(_))
+        ));
+        let bad_tag = [9u8; 34];
+        assert!(matches!(
+            decode_rng(&mut Cursor::new(&bad_tag), SNAPSHOT_VERSION),
+            Err(ServiceError::Snapshot(_))
+        ));
+        // A pending-coin count above the block length is rejected.
+        let mut overlong = vec![RNG_TAG_SMALL_BLOCKED];
+        overlong.extend_from_slice(&1u64.to_le_bytes());
+        overlong.extend_from_slice(&[0u8; 24]);
+        overlong.push((BLOCK_LEN + 1) as u8);
+        assert!(matches!(
+            decode_rng(&mut Cursor::new(&overlong), SNAPSHOT_VERSION),
+            Err(ServiceError::Snapshot(_))
+        ));
     }
 
     #[test]

@@ -1,0 +1,120 @@
+//! Allocation regression test for the service's batch hot path.
+//!
+//! PR 3 left one per-batch allocation proportional to the batch size on
+//! the Feed path: the worker cloned its outputs buffer into every reply.
+//! The buffer pool removed it — request-id buffers and reply-output
+//! buffers now cycle between connection threads and workers. This test
+//! pins the property with a counting global allocator: after warm-up, a
+//! long feed session allocates a small *constant* number of bytes per
+//! batch (reply-channel plumbing), not O(batch).
+//!
+//! The client side deliberately speaks the raw wire protocol with reused
+//! buffers and never decodes the reply body (decoding would allocate the
+//! outputs vector client-side and drown the signal).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use uns_core::NodeId;
+use uns_service::protocol::Request;
+use uns_service::transport::Transport;
+use uns_service::wire::{read_frame, write_frame};
+use uns_service::{EstimatorKind, Server, ServerConfig, StreamConfig};
+
+struct CountingAllocator;
+
+static ALLOCATED_BYTES: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates every operation to the system allocator unchanged;
+// the byte counter is a side effect with no influence on the returned
+// memory.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATED_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATED_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+/// Sends one pre-encoded frame and reads the reply into a reused buffer,
+/// asserting it is a Fed reply (version byte, then response opcode 0x82)
+/// without decoding it.
+fn feed_once<R: std::io::Read, W: std::io::Write>(
+    reader: &mut R,
+    writer: &mut W,
+    request: &[u8],
+    reply: &mut Vec<u8>,
+) {
+    write_frame(writer, request).expect("write frame");
+    assert!(read_frame(reader, reply).expect("read frame"), "server hung up");
+    assert!(reply.len() >= 2 && reply[1] == 0x82, "expected a Fed reply, got {:?}", &reply[..2]);
+}
+
+/// Feeds `batches` pre-encoded batches and returns the average number of
+/// bytes allocated per batch across the window.
+fn measure_window<R: std::io::Read, W: std::io::Write>(
+    batches: usize,
+    reader: &mut R,
+    writer: &mut W,
+    request: &[u8],
+    reply: &mut Vec<u8>,
+) -> u64 {
+    let before = ALLOCATED_BYTES.load(Ordering::Relaxed);
+    for _ in 0..batches {
+        feed_once(reader, writer, request, reply);
+    }
+    (ALLOCATED_BYTES.load(Ordering::Relaxed) - before) / batches as u64
+}
+
+#[test]
+fn long_feed_session_does_not_allocate_per_batch_proportionally() {
+    let server = Server::start(ServerConfig { workers: 1, queue_depth: 16 });
+    let mut transport = server.connect_in_process();
+    let mut writer = transport.try_clone_transport().expect("clone transport");
+
+    let mut body = Vec::new();
+    let config =
+        StreamConfig { kind: EstimatorKind::CountMin, capacity: 10, width: 10, depth: 5, seed: 42 };
+    Request::CreateStream { name: "s", config }.encode(&mut body);
+    let mut reply = Vec::new();
+    write_frame(&mut writer, &body).expect("write create");
+    assert!(read_frame(&mut transport, &mut reply).expect("read create reply"));
+
+    const BATCH: usize = 4096;
+    let ids: Vec<NodeId> = (0..BATCH as u64).map(|i| NodeId::new(i % 512)).collect();
+    let mut request = Vec::new();
+    Request::encode_batch(&mut request, true, "s", &ids);
+
+    // Warm-up: grow the pipe buffers, the pooled id/output buffers and the
+    // frame scratch to their steady-state capacities.
+    for _ in 0..100 {
+        feed_once(&mut transport, &mut writer, &request, &mut reply);
+    }
+
+    let first_window = measure_window(150, &mut transport, &mut writer, &request, &mut reply);
+    let second_window = measure_window(150, &mut transport, &mut writer, &request, &mut reply);
+
+    // The retired `outputs.clone()` alone cost 8 × BATCH = 32 KiB per
+    // batch. What remains is per-request plumbing (the one-shot reply
+    // channel), independent of the batch size.
+    assert!(
+        first_window < 8 * 1024,
+        "{first_window} bytes allocated per {BATCH}-id batch: the hot path regressed to O(batch)"
+    );
+    // And the session does not creep: the second window allocates no more
+    // than the first (equal steady states, with slack for timer noise).
+    assert!(
+        second_window <= first_window.saturating_mul(2) + 512,
+        "per-batch allocations grew over the session: {first_window} -> {second_window}"
+    );
+}

@@ -7,11 +7,12 @@
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use uns_core::{NodeId, SamplingMemory};
+use uns_core::{NodeId, NodeSampler, SamplingMemory};
 use uns_service::protocol::{EstimatorKind, StreamConfig};
 use uns_service::snapshot::{
     decode_count_min, decode_count_sketch, decode_exact, decode_memory, decode_rng,
     encode_count_min, encode_count_sketch, encode_exact, encode_memory, encode_rng,
+    SNAPSHOT_VERSION,
 };
 use uns_service::wire::Cursor;
 use uns_service::ServiceSampler;
@@ -58,16 +59,18 @@ proptest! {
     }
 
     /// Coin generator: canonical bytes, identical continuation stream.
+    /// `skip` ranges across more than two 64-word blocks, so pending-buffer
+    /// sizes from empty to nearly full all round-trip.
     #[test]
-    fn rng_round_trip_is_canonical(seed in any::<u64>(), skip in 0usize..50) {
-        let mut rng = SmallRng::seed_from_u64(seed);
+    fn rng_round_trip_is_canonical(seed in any::<u64>(), skip in 0usize..150) {
+        let mut rng = rand::rngs::BlockRng::<SmallRng>::seed_from_u64(seed);
         for _ in 0..skip {
             let _ = rng.gen::<u64>();
         }
         let mut first = Vec::new();
         encode_rng(&mut first, &rng);
         let mut cur = Cursor::new(&first);
-        let mut decoded = decode_rng(&mut cur).unwrap();
+        let mut decoded = decode_rng(&mut cur, SNAPSHOT_VERSION).unwrap();
         let mut second = Vec::new();
         encode_rng(&mut second, &decoded);
         prop_assert_eq!(&first, &second);
@@ -195,4 +198,123 @@ proptest! {
         restored.snapshot(&mut after_restored);
         prop_assert_eq!(after_live, after_restored, "states diverged after the tail");
     }
+}
+
+/// The blocked-coin snapshot compatibility pin (design decision: the
+/// `BlockRng` pending buffer is **encoded**, not drained — see
+/// `uns_service::snapshot`'s module docs). A snapshot taken mid-stream
+/// under one entry-point mix must restore and continue bit-equal under
+/// any other: batched feeding (whole-block coin consumption) and
+/// element-wise feeding (one-coin-at-a-time) are the two extremes.
+#[test]
+fn snapshot_mid_stream_is_bit_equal_across_blocked_and_elementwise_paths() {
+    let mut rng = SmallRng::seed_from_u64(4242);
+    let config =
+        StreamConfig { kind: EstimatorKind::CountMin, capacity: 10, width: 10, depth: 5, seed: 7 };
+    let head: Vec<NodeId> = (0..3_001).map(|_| NodeId::new(rng.gen_range(0..200u64))).collect();
+    let tail: Vec<NodeId> = (0..2_000).map(|_| NodeId::new(rng.gen_range(0..200u64))).collect();
+    let mut sink = Vec::new();
+
+    // Direction 1: warm BATCHED (blocked-coin path, odd element count so
+    // the snapshot lands mid-coin-block), restore, continue ELEMENT-WISE.
+    let mut batched = ServiceSampler::create(&config).unwrap();
+    batched.feed_batch(&head, &mut sink);
+    let mut blob = Vec::new();
+    batched.snapshot(&mut blob);
+    let mut elementwise = ServiceSampler::restore(&blob).unwrap();
+    let mut out_batched = Vec::new();
+    let mut out_elementwise = Vec::new();
+    batched.feed_batch(&tail, &mut out_batched);
+    for &id in &tail {
+        elementwise.feed_batch(std::slice::from_ref(&id), &mut out_elementwise);
+    }
+    assert_eq!(out_batched, out_elementwise, "batched snapshot diverged on the element-wise path");
+    let (mut snap_a, mut snap_b) = (Vec::new(), Vec::new());
+    batched.snapshot(&mut snap_a);
+    elementwise.snapshot(&mut snap_b);
+    assert_eq!(snap_a, snap_b, "final states differ (batched -> element-wise)");
+
+    // Direction 2: warm ELEMENT-WISE, snapshot mid-stream, restore,
+    // continue BATCHED.
+    let mut elementwise = ServiceSampler::create(&config).unwrap();
+    for &id in &head {
+        elementwise.feed_batch(std::slice::from_ref(&id), &mut sink);
+    }
+    let mut blob = Vec::new();
+    elementwise.snapshot(&mut blob);
+    let mut batched = ServiceSampler::restore(&blob).unwrap();
+    let mut out_elementwise = Vec::new();
+    let mut out_batched = Vec::new();
+    for &id in &tail {
+        elementwise.feed_batch(std::slice::from_ref(&id), &mut out_elementwise);
+    }
+    batched.feed_batch(&tail, &mut out_batched);
+    assert_eq!(out_elementwise, out_batched, "element-wise snapshot diverged on the batched path");
+    let (mut snap_a, mut snap_b) = (Vec::new(), Vec::new());
+    elementwise.snapshot(&mut snap_a);
+    batched.snapshot(&mut snap_b);
+    assert_eq!(snap_a, snap_b, "final states differ (element-wise -> batched)");
+}
+
+/// Version-1 (PR-3 era) snapshots stay restorable across the format bump:
+/// their unblocked xoshiro encoding (rng tag 0, no pending coins) is
+/// exactly a blocked generator with an empty buffer, so a hand-built v1
+/// blob restores and continues bit-equal to the plain-generator sampler
+/// it describes.
+#[test]
+fn version_1_snapshots_restore_bit_equal() {
+    use uns_service::snapshot::{encode_estimator_tagged, encode_memory, TaggedEstimatorRef};
+    use uns_service::wire::put_u16;
+
+    // A PR-3-shaped sampler: plain SmallRng coins.
+    let mut plain = uns_core::KnowledgeFreeSampler::<CountMinSketch, SmallRng>::with_count_min_rng(
+        10, 10, 5, 77,
+    )
+    .unwrap();
+    let warmup: Vec<NodeId> = (0..2_000u64).map(|i| NodeId::new(i * 13 % 90)).collect();
+    let mut sink = Vec::new();
+    plain.feed_batch(&warmup, &mut sink);
+
+    // Hand-build the version-1 blob: header v1, memory, rng tag 0 with the
+    // bare xoshiro state, tagged estimator.
+    let mut blob = Vec::new();
+    blob.extend_from_slice(b"UNSS");
+    put_u16(&mut blob, 1);
+    // Rebuild Γ in slot order, exactly as the v1 encoder serialized it.
+    let mut memory = SamplingMemory::new(10).unwrap();
+    for &id in plain.memory().iter() {
+        memory.insert(id);
+    }
+    encode_memory(&mut blob, &memory);
+    blob.push(0); // RNG tag 0: unblocked xoshiro256++
+    for word in plain.rng().state() {
+        blob.extend_from_slice(&word.to_le_bytes());
+    }
+    encode_estimator_tagged(&mut blob, &TaggedEstimatorRef::CountMin(plain.estimator()));
+
+    let mut restored = ServiceSampler::restore(&blob).unwrap();
+    // Bit-equal going forward against the plain-generator original.
+    let tail: Vec<NodeId> = (0..1_500u64).map(|i| NodeId::new(i * 7 % 90)).collect();
+    let mut plain_out = Vec::new();
+    plain.feed_batch(&tail, &mut plain_out);
+    let mut restored_out = Vec::new();
+    restored.feed_batch(&tail, &mut restored_out);
+    assert_eq!(plain_out, restored_out, "v1 restore diverged from the plain-coin original");
+
+    // An unsupported future version still fails loudly at the header.
+    let mut future = blob.clone();
+    future[4] = 99;
+    assert!(matches!(
+        ServiceSampler::restore(&future),
+        Err(uns_service::ServiceError::Snapshot(_))
+    ));
+    // And a v2 tag inside a v1 blob (or vice versa) is rejected.
+    let mut wrong_tag = blob.clone();
+    let rng_tag_offset = 4 + 2 + 8 + 8 + 8 * 10; // magic+version+capacity+len+slots
+    assert_eq!(wrong_tag[rng_tag_offset], 0);
+    wrong_tag[rng_tag_offset] = 1;
+    assert!(matches!(
+        ServiceSampler::restore(&wrong_tag),
+        Err(uns_service::ServiceError::Snapshot(_))
+    ));
 }

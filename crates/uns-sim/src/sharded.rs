@@ -22,35 +22,48 @@
 //!   starts from fully warmed frequency estimates, so a flooding
 //!   identifier in the backlog is rejected from the very first element.
 //!
-//! # The full parallel sampling pipeline
+//! # The full parallel sampling pipeline (single pass, delta logs)
 //!
 //! [`ShardedIngestion::pipeline_ingest`] / [`pipeline_feed`] go further:
 //! they parallelize the *entire* Algorithm 3 run, not just the sketch, and
 //! still produce output **bit-equal** to the sequential sampler. The key
 //! observation is that the fused per-element query `(f̂_j, min_σ)` at
 //! stream position `t` depends only on the sketch of the prefix `σ[..t]`
-//! — and Count-Min prefix states are reconstructible in parallel:
+//! — and, under the standard update policy, on *which cells* an element
+//! touches, which is a pure function of the hash family. The pipeline
+//! therefore hashes every element exactly **once**:
 //!
-//! 1. **chunk pass (parallel)**: the stream is cut into chunks; each shard
-//!    worker builds the same-seed sketch of its chunks (exactly the
-//!    existing [`ShardedIngestion::sketch_stream`] work);
-//! 2. **prefix merge (cheap)**: the coordinator prefix-merges the chunk
-//!    sketches, giving every chunk the exact sketch state at its start;
-//! 3. **candidate pass (parallel)**: each shard replays its chunks from
-//!    the prefix state, annotating every element with the exact
-//!    `(f̂_j, min_σ)` the sequential sampler would have seen — the
-//!    admission-candidate queue;
+//! 1. **chunk pass (parallel)**: the stream is cut into chunks; for its
+//!    current chunk, a worker computes each element's **delta log** — the
+//!    per-row touched-cell indices
+//!    ([`uns_sketch::CountMinSketch::touched_cells`]) — and accumulates
+//!    the chunk's raw counter-delta matrix. This is the only hashing pass;
+//! 2. **prefix merge (pipelined, cheap)**: a merger thread consumes the
+//!    delta matrices in chunk order, hands each worker the exact prefix
+//!    sketch at its chunk's start (a clone of the running merge,
+//!    [`uns_sketch::CountMinSketch::merge_delta`]), and ends holding the
+//!    full-stream sketch;
+//! 3. **candidate pass (parallel, hash-free)**: the worker replays its
+//!    chunk's delta log against the prefix clone via
+//!    [`uns_sketch::CountMinSketch::record_at_cells`], annotating every
+//!    element with the exact `(f̂_j, min_σ)` the sequential sampler would
+//!    have seen — no re-hashing, just logged indices — and immediately
+//!    drops the log (memory stays O(chunk) per worker);
 //! 4. **replay (sequential, cheap)**: a single thread consumes the
 //!    candidate queue in stream order and runs only the memory/coin half
-//!    (`KnowledgeFreeSampler::absorb_precomputed`), drawing coins exactly
-//!    as the sequential sampler would.
+//!    (`KnowledgeFreeSampler::absorb_precomputed_batch`), drawing coins
+//!    exactly as the sequential sampler would.
 //!
-//! The sketch work (hashing, counter updates, floor maintenance — the
-//! dominant per-element cost) is done twice but spread over all shards;
+//! The hashing — the single most expensive part of the per-element sketch
+//! work — is done once and spread over all shards; the counter updates run
+//! twice (once into the delta matrix, once replaying onto the prefix), and
 //! the sequential residue is a membership probe and the coin flips. The
-//! price is exactness-preserving: memory `Γ`, RNG state and the installed
-//! estimator all end bit-equal to a sequential run (pinned by tests at
-//! 10 M elements / 4 threads in release).
+//! previous two-pass pipeline re-hashed every element in its candidate
+//! pass ([`ShardedIngestion::pipeline_ingest_two_pass`] keeps it as the
+//! benchmark/differential reference). Either way the result is
+//! exactness-preserving: memory `Γ`, RNG state and the installed estimator
+//! all end bit-equal to a sequential run (pinned by tests at 10 M elements
+//! / 4 threads in release).
 //!
 //! [`pipeline_feed`]: ShardedIngestion::pipeline_feed
 //!
@@ -256,7 +269,175 @@ impl ShardedIngestion {
         self.pipeline_run(stream, capacity, sampler_seed, Some(out))
     }
 
+    /// The single-pass delta-log pipeline behind
+    /// [`ShardedIngestion::pipeline_ingest`]/[`ShardedIngestion::pipeline_feed`]
+    /// (see the module docs for the four stages).
     fn pipeline_run(
+        &self,
+        stream: &[NodeId],
+        capacity: usize,
+        sampler_seed: u64,
+        mut out: Option<&mut Vec<NodeId>>,
+    ) -> Result<(KnowledgeFreeSampler, PipelineStats), SimError> {
+        let estimator = CountMinSketch::with_dimensions(self.width, self.depth, self.seed)?;
+        let mut sampler = KnowledgeFreeSampler::new(capacity, estimator, sampler_seed)?;
+        let mut stats = PipelineStats {
+            elements: stream.len() as u64,
+            shards: self.shards,
+            ..PipelineStats::default()
+        };
+        if stream.is_empty() {
+            return Ok((sampler, stats));
+        }
+        if let Some(out) = out.as_deref_mut() {
+            out.reserve(stream.len());
+        }
+
+        let chunk_len = stream.len().div_ceil(self.shards * Self::CHUNKS_PER_SHARD).max(1);
+        let chunks: Vec<&[NodeId]> = stream.chunks(chunk_len).collect();
+        stats.chunks = chunks.len();
+        let workers = self.shards.min(chunks.len());
+        let depth = self.depth;
+        let cell_count = self.width * self.depth;
+        // Shared hash reference for the delta logs (hash functions are the
+        // same in every same-seed sketch) and the merger's running sketch.
+        let reference = CountMinSketch::with_dimensions(self.width, self.depth, self.seed)?;
+        let running = reference.clone();
+
+        let full_sketch = std::thread::scope(|scope| {
+            // One bounded channel set *per worker*: worker w owns chunks
+            // w, w+W, … and exchanges messages in that order, so the
+            // merger (chunk order) and the replay thread (stream order)
+            // simply round-robin the channels — no reorder buffers, and a
+            // stalled stage backpressures everyone to ~1 chunk in flight
+            // per worker instead of letting anything pile up.
+            let mut delta_txs = Vec::with_capacity(workers);
+            let mut prefix_rxs = Vec::with_capacity(workers);
+            let mut cand_rxs = Vec::with_capacity(workers);
+            let mut prefix_txs = Vec::with_capacity(workers);
+            let mut delta_rxs = Vec::with_capacity(workers);
+            for _ in 0..workers {
+                let (delta_tx, delta_rx) = mpsc::sync_channel::<(Vec<u64>, u64)>(1);
+                let (prefix_tx, prefix_rx) = mpsc::sync_channel::<CountMinSketch>(1);
+                let (cand_tx, cand_rx) = mpsc::sync_channel::<Vec<Candidate>>(1);
+                delta_txs.push(Some((delta_tx, cand_tx)));
+                prefix_rxs.push(Some(prefix_rx));
+                prefix_txs.push(prefix_tx);
+                delta_rxs.push(delta_rx);
+                cand_rxs.push(cand_rx);
+            }
+
+            // Merger: consumes delta matrices in chunk order, hands each
+            // worker its exact prefix sketch, ends as the full merge.
+            let chunk_count = chunks.len();
+            let merger = scope.spawn(move || {
+                let mut running = running;
+                for c in 0..chunk_count {
+                    let Ok((delta, elements)) = delta_rxs[c % workers].recv() else {
+                        break; // worker gone: scope will re-raise its panic
+                    };
+                    if prefix_txs[c % workers].send(running.clone()).is_err() {
+                        break;
+                    }
+                    running
+                        .merge_delta(&delta, elements)
+                        .expect("chunk delta matches the sketch shape");
+                }
+                running
+            });
+
+            for w in 0..workers {
+                let (delta_tx, cand_tx) = delta_txs[w].take().expect("channel set unclaimed");
+                let prefix_rx = prefix_rxs[w].take().expect("channel set unclaimed");
+                let chunks = &chunks;
+                let reference = &reference;
+                scope.spawn(move || {
+                    let mut log: Vec<u32> = Vec::new();
+                    for c in (w..chunks.len()).step_by(workers) {
+                        let chunk = chunks[c];
+                        // Chunk pass: delta log + raw delta matrix — the
+                        // only pass that hashes.
+                        log.clear();
+                        log.reserve(chunk.len() * depth);
+                        let mut delta = vec![0u64; cell_count];
+                        for &id in chunk {
+                            let start = log.len();
+                            reference.touched_cells(id.as_u64(), &mut log);
+                            for &idx in &log[start..] {
+                                delta[idx as usize] += 1;
+                            }
+                        }
+                        if delta_tx.send((delta, chunk.len() as u64)).is_err() {
+                            return; // merger gone: abandon quietly
+                        }
+                        // Candidate pass: replay the log against the exact
+                        // prefix state — annotated fused values, no hashing.
+                        let Ok(mut prefix) = prefix_rx.recv() else {
+                            return;
+                        };
+                        let mut candidates = Vec::with_capacity(chunk.len());
+                        for (i, &id) in chunk.iter().enumerate() {
+                            let (f_hat, min_sigma) =
+                                prefix.record_at_cells(&log[i * depth..(i + 1) * depth]);
+                            candidates.push((id, f_hat, min_sigma));
+                        }
+                        if cand_tx.send(candidates).is_err() {
+                            return; // replay side gone
+                        }
+                    }
+                });
+            }
+
+            // Replay (this thread): stream order, exact coin order.
+            for next in 0..chunks.len() {
+                let Ok(candidates) = cand_rxs[next % workers].recv() else {
+                    break; // a worker panicked; the scope re-raises it
+                };
+                match out.as_deref_mut() {
+                    None => stats.admitted += sampler.absorb_precomputed_batch(&candidates),
+                    Some(out) => {
+                        for (id, f_hat, min_sigma) in candidates {
+                            stats.admitted +=
+                                u64::from(sampler.absorb_precomputed(id, f_hat, min_sigma));
+                            let sample =
+                                sampler.sample().expect("memory is non-empty after an absorb");
+                            out.push(sample);
+                            stats.outputs += 1;
+                        }
+                    }
+                }
+            }
+
+            merger.join().expect("merger panicked")
+        });
+
+        // The replayed sampler never touched its own estimator; install the
+        // full-stream sketch (exactly what sequential ingestion builds).
+        sampler.install_estimator(full_sketch);
+        Ok((sampler, stats))
+    }
+
+    /// The previous **two-pass** pipeline, retained as the re-hashing
+    /// reference the delta-log pipeline is benchmarked (criterion group
+    /// `parallel_pipeline_4m`) and differential-tested against: its
+    /// candidate pass re-hashes every element from a cloned prefix sketch
+    /// instead of replaying the chunk pass's delta log. Results are
+    /// bit-equal to [`ShardedIngestion::pipeline_ingest`] (and therefore to
+    /// sequential ingestion); only the cost profile differs.
+    ///
+    /// # Errors
+    ///
+    /// As [`ShardedIngestion::pipeline_ingest`].
+    pub fn pipeline_ingest_two_pass(
+        &self,
+        stream: &[NodeId],
+        capacity: usize,
+        sampler_seed: u64,
+    ) -> Result<(KnowledgeFreeSampler, PipelineStats), SimError> {
+        self.pipeline_run_two_pass(stream, capacity, sampler_seed, None)
+    }
+
+    fn pipeline_run_two_pass(
         &self,
         stream: &[NodeId],
         capacity: usize,
@@ -540,6 +721,42 @@ mod tests {
         let mut sequential = sequential_sampler((10, 5, 42), 8, 3);
         let expected: Vec<NodeId> = stream.iter().map(|&id| sequential.feed(id)).collect();
         assert_eq!(outputs, expected);
+    }
+
+    #[test]
+    fn delta_log_pipeline_matches_two_pass_reference_and_sequential() {
+        // Three implementations of the same contract must agree bit for
+        // bit: the delta-log single-pass pipeline, the retained two-pass
+        // (re-hashing) reference, and plain sequential ingestion.
+        let stream = skewed_stream(150_000, 3_000, 77);
+        for shards in [1usize, 3, 4] {
+            let ingestion = ShardedIngestion::new(10, 5, 42, shards).unwrap();
+            let (mut delta_log, delta_stats) = ingestion.pipeline_ingest(&stream, 9, 13).unwrap();
+            let (mut two_pass, two_stats) =
+                ingestion.pipeline_ingest_two_pass(&stream, 9, 13).unwrap();
+            assert_eq!(delta_stats, two_stats, "{shards} shards: stats diverged");
+
+            let mut sequential = sequential_sampler((10, 5, 42), 9, 13);
+            for &id in &stream {
+                sequential.ingest(id);
+            }
+            assert_eq!(delta_log.memory_contents(), sequential.memory_contents());
+            assert_eq!(two_pass.memory_contents(), sequential.memory_contents());
+            for row in 0..sequential.estimator().depth() {
+                assert_eq!(delta_log.estimator().row(row), sequential.estimator().row(row));
+                assert_eq!(two_pass.estimator().row(row), sequential.estimator().row(row));
+            }
+            assert_eq!(
+                delta_log.estimator().floor_estimate(),
+                sequential.estimator().floor_estimate()
+            );
+            // Coin streams aligned: the next draws coincide across all three.
+            for _ in 0..64 {
+                let expected = sequential.sample();
+                assert_eq!(delta_log.sample(), expected);
+                assert_eq!(two_pass.sample(), expected);
+            }
+        }
     }
 
     #[test]

@@ -19,6 +19,30 @@ use crate::hash::{HashFamily, UniversalHash};
 use crate::min_tracker::{FloorTracker, MonotoneFloorTracker};
 use crate::FrequencyEstimator;
 
+/// Rows per index-precompute chunk on the record hot paths. The index pass
+/// is pure multiply-shift arithmetic with no cross-row dependency, so
+/// separating it from the cell writes lets the compiler unroll and
+/// software-pipeline it; 8 rows of indices live comfortably in registers.
+pub(crate) const ROW_CHUNK: usize = 8;
+
+/// Computes the absolute row-major cell index touched in each of (at most
+/// `ROW_CHUNK`) consecutive rows starting at `first_row`, for a
+/// pre-folded identifier. Entries past `hashes.len()` are unused padding.
+#[inline]
+fn chunk_cell_indices(
+    hashes: &[UniversalHash],
+    width: usize,
+    first_row: usize,
+    folded: u64,
+) -> [usize; ROW_CHUNK] {
+    debug_assert!(hashes.len() <= ROW_CHUNK);
+    let mut idx = [0usize; ROW_CHUNK];
+    for (i, h) in hashes.iter().enumerate() {
+        idx[i] = (first_row + i) * width + h.hash_folded(folded) as usize;
+    }
+    idx
+}
+
 /// How counters are incremented on [`CountMinSketch::record`].
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 pub enum UpdatePolicy {
@@ -153,26 +177,24 @@ impl CountMinSketch {
     /// fold across rows and across the record/estimate pair).
     fn record_many_folded(&mut self, folded: u64, count: u64) {
         let mut stale = false;
-        match self.policy {
-            UpdatePolicy::Standard => {
-                for row in 0..self.depth {
-                    let idx = self.cell_index_folded(row, folded);
-                    let old = self.cells[idx];
-                    let new = old.saturating_add(count);
-                    self.cells[idx] = new;
-                    stale |= self.floor.on_increase(old, new);
-                }
+        let target = match self.policy {
+            UpdatePolicy::Standard => 0, // unused
+            UpdatePolicy::Conservative => self.point_query_folded(folded).saturating_add(count),
+        };
+        let Self { ref hashes, ref mut cells, ref mut floor, width, policy, .. } = *self;
+        let mut first_row = 0;
+        for hash_chunk in hashes.chunks(ROW_CHUNK) {
+            let idx = chunk_cell_indices(hash_chunk, width, first_row, folded);
+            for &cell_idx in &idx[..hash_chunk.len()] {
+                let old = cells[cell_idx];
+                let new = match policy {
+                    UpdatePolicy::Standard => old.saturating_add(count),
+                    UpdatePolicy::Conservative => old.max(target),
+                };
+                cells[cell_idx] = new;
+                stale |= floor.on_increase(old, new);
             }
-            UpdatePolicy::Conservative => {
-                let target = self.point_query_folded(folded).saturating_add(count);
-                for row in 0..self.depth {
-                    let idx = self.cell_index_folded(row, folded);
-                    let old = self.cells[idx];
-                    let new = old.max(target);
-                    self.cells[idx] = new;
-                    stale |= self.floor.on_increase(old, new);
-                }
-            }
+            first_row += hash_chunk.len();
         }
         self.total = self.total.saturating_add(count);
         if stale {
@@ -190,23 +212,34 @@ impl CountMinSketch {
     /// element, and computing them during the record loop halves the hashing
     /// work versus `record` followed by `estimate` (each row index is
     /// computed once instead of twice, and the identifier is folded into the
-    /// field once instead of `2s` times).
+    /// field once instead of `2s` times). The row indices are computed in
+    /// chunks of `ROW_CHUNK` *before* the cell writes (see
+    /// `chunk_cell_indices`), so the hash arithmetic pipelines
+    /// independently of the loads and stores it feeds.
     ///
     /// Equivalent to `record(id)` then `(estimate(id), floor_estimate())`
-    /// under both update policies.
+    /// under both update policies (and to the retained scalar reference
+    /// [`CountMinSketch::record_and_estimate_rowwise`]).
     pub fn record_and_estimate(&mut self, id: u64) -> (u64, u64) {
         let folded = UniversalHash::fold61(id);
         match self.policy {
             UpdatePolicy::Standard => {
                 let mut estimate = u64::MAX;
                 let mut stale = false;
-                for row in 0..self.depth {
-                    let idx = self.cell_index_folded(row, folded);
-                    let old = self.cells[idx];
-                    let new = old.saturating_add(1);
-                    self.cells[idx] = new;
-                    estimate = estimate.min(new);
-                    stale |= self.floor.on_increase(old, new);
+                {
+                    let Self { ref hashes, ref mut cells, ref mut floor, width, .. } = *self;
+                    let mut first_row = 0;
+                    for hash_chunk in hashes.chunks(ROW_CHUNK) {
+                        let idx = chunk_cell_indices(hash_chunk, width, first_row, folded);
+                        for &cell_idx in &idx[..hash_chunk.len()] {
+                            let old = cells[cell_idx];
+                            let new = old.saturating_add(1);
+                            cells[cell_idx] = new;
+                            estimate = estimate.min(new);
+                            stale |= floor.on_increase(old, new);
+                        }
+                        first_row += hash_chunk.len();
+                    }
                 }
                 self.total = self.total.saturating_add(1);
                 if stale {
@@ -224,6 +257,140 @@ impl CountMinSketch {
                 (self.point_query_folded(folded), self.floor.floor())
             }
         }
+    }
+
+    /// The pre-chunking scalar form of
+    /// [`CountMinSketch::record_and_estimate`]: one rolled loop that hashes
+    /// a row and immediately writes its cell — under **both** update
+    /// policies, so neither arm shares code with the chunked path under
+    /// test. Retained as the reference the unrolled path is
+    /// differential-tested (and benchmarked, group `sketch_row_updates`)
+    /// against; behaviourally identical.
+    pub fn record_and_estimate_rowwise(&mut self, id: u64) -> (u64, u64) {
+        let folded = UniversalHash::fold61(id);
+        let target = match self.policy {
+            UpdatePolicy::Standard => 0, // unused
+            UpdatePolicy::Conservative => self.point_query_folded(folded).saturating_add(1),
+        };
+        let mut estimate = u64::MAX;
+        let mut stale = false;
+        for row in 0..self.depth {
+            let idx = self.cell_index_folded(row, folded);
+            let old = self.cells[idx];
+            let new = match self.policy {
+                UpdatePolicy::Standard => old.saturating_add(1),
+                // After `max(target)` every touched cell is ≥ target and
+                // the minimal one is exactly target, so the running min
+                // below is the post-record estimate for this policy too.
+                UpdatePolicy::Conservative => old.max(target),
+            };
+            self.cells[idx] = new;
+            estimate = estimate.min(new);
+            stale |= self.floor.on_increase(old, new);
+        }
+        self.total = self.total.saturating_add(1);
+        if stale {
+            self.floor.rebuild(self.cells.iter().copied());
+        }
+        #[cfg(debug_assertions)]
+        self.debug_cross_check();
+        (estimate, self.floor.floor())
+    }
+
+    /// Appends, for every row, the absolute (row-major) index of the cell
+    /// recording `id` would touch — the **delta log** entry the parallel
+    /// pipeline's chunk pass emits so its candidate pass can replay updates
+    /// via [`CountMinSketch::record_at_cells`] without re-hashing. Indices
+    /// are pure functions of the hash family: any same-seed, same-shape
+    /// sketch produces (and accepts) the same log.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sketch holds more than `u32::MAX` cells (the compact
+    /// log uses 32-bit indices; `uns-service` caps wire-created sketches at
+    /// 2²³ cells, orders of magnitude below).
+    pub fn touched_cells(&self, id: u64, out: &mut Vec<u32>) {
+        assert!(
+            self.cells.len() <= u32::MAX as usize,
+            "{}-cell sketch exceeds the u32 delta-log index range",
+            self.cells.len()
+        );
+        let folded = UniversalHash::fold61(id);
+        out.extend(
+            self.hashes
+                .iter()
+                .enumerate()
+                .map(|(row, h)| (row * self.width + h.hash_folded(folded) as usize) as u32),
+        );
+    }
+
+    /// Records one occurrence at pre-hashed touched-cell indices (one per
+    /// row, as produced by [`CountMinSketch::touched_cells`] on a same-seed,
+    /// same-shape sketch) and returns the fused `(f̂, min_σ)` pair —
+    /// bit-equal to [`CountMinSketch::record_and_estimate`] of the
+    /// identifier the log was computed from, minus all hashing. This is the
+    /// replay half of the pipeline's delta log.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `touched.len() != depth` or any index is out of range —
+    /// both indicate a log from an incompatible sketch.
+    pub fn record_at_cells(&mut self, touched: &[u32]) -> (u64, u64) {
+        assert_eq!(touched.len(), self.depth, "delta-log entry does not match sketch depth");
+        let target = match self.policy {
+            UpdatePolicy::Standard => 0, // unused
+            UpdatePolicy::Conservative => touched
+                .iter()
+                .map(|&idx| self.cells[idx as usize])
+                .min()
+                .unwrap_or(0)
+                .saturating_add(1),
+        };
+        let mut estimate = u64::MAX;
+        let mut stale = false;
+        for &idx in touched {
+            let old = self.cells[idx as usize];
+            let new = match self.policy {
+                UpdatePolicy::Standard => old.saturating_add(1),
+                UpdatePolicy::Conservative => old.max(target),
+            };
+            self.cells[idx as usize] = new;
+            estimate = estimate.min(new);
+            stale |= self.floor.on_increase(old, new);
+        }
+        self.total = self.total.saturating_add(1);
+        if stale {
+            self.floor.rebuild(self.cells.iter().copied());
+        }
+        #[cfg(debug_assertions)]
+        self.debug_cross_check();
+        (estimate, self.floor.floor())
+    }
+
+    /// Adds a raw counter-delta matrix (same row-major shape) plus its
+    /// element count into this sketch — [`CountMinSketch::merge`] for
+    /// callers that accumulated plain cell deltas (the pipeline's chunk
+    /// pass) instead of a full sketch. Exact for
+    /// [`UpdatePolicy::Standard`]: adding the delta matrix of a chunk is
+    /// counter-for-counter what recording the chunk would have done.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SketchError::CellCountMismatch`] when `cells.len()` is not
+    /// `width * depth`.
+    pub fn merge_delta(&mut self, cells: &[u64], elements: u64) -> Result<(), SketchError> {
+        if cells.len() != self.cells.len() {
+            return Err(SketchError::CellCountMismatch {
+                expected: self.cells.len(),
+                got: cells.len(),
+            });
+        }
+        for (a, b) in self.cells.iter_mut().zip(cells) {
+            *a = a.saturating_add(*b);
+        }
+        self.total = self.total.saturating_add(elements);
+        self.floor.rebuild(self.cells.iter().copied());
+        Ok(())
     }
 
     /// Debug-build cross-check of the floor engine against a naive full
@@ -617,6 +784,91 @@ mod tests {
                 assert_eq!(fused.estimate(id), split.estimate(id));
             }
         }
+    }
+
+    #[test]
+    fn rowwise_reference_matches_unrolled_record_and_estimate() {
+        for policy in [UpdatePolicy::Standard, UpdatePolicy::Conservative] {
+            // Depth 11 forces a ragged final index chunk (11 = 8 + 3).
+            let mut unrolled =
+                CountMinSketch::with_dimensions(16, 11, 3).unwrap().with_policy(policy);
+            let mut rowwise = unrolled.clone();
+            let mut rng = StdRng::seed_from_u64(41);
+            for step in 0..4_000 {
+                let id = rng.gen_range(0..96u64);
+                assert_eq!(
+                    unrolled.record_and_estimate(id),
+                    rowwise.record_and_estimate_rowwise(id),
+                    "step {step} ({policy:?})"
+                );
+            }
+            assert_eq!(unrolled.cells(), rowwise.cells());
+            assert_eq!(unrolled.total(), rowwise.total());
+        }
+    }
+
+    #[test]
+    fn record_at_cells_replays_record_and_estimate_without_hashing() {
+        for policy in [UpdatePolicy::Standard, UpdatePolicy::Conservative] {
+            let mut hashed =
+                CountMinSketch::with_dimensions(10, 5, 29).unwrap().with_policy(policy);
+            let mut replayed = hashed.clone();
+            let logger = hashed.clone(); // any same-seed sketch produces the log
+            let mut rng = StdRng::seed_from_u64(17);
+            let mut log = Vec::new();
+            for step in 0..5_000 {
+                let id = rng.gen_range(0..200u64);
+                log.clear();
+                logger.touched_cells(id, &mut log);
+                assert_eq!(log.len(), hashed.depth());
+                assert_eq!(
+                    replayed.record_at_cells(&log),
+                    hashed.record_and_estimate(id),
+                    "step {step} ({policy:?})"
+                );
+            }
+            assert_eq!(replayed.cells(), hashed.cells());
+            assert_eq!(replayed.total(), hashed.total());
+            assert_eq!(replayed.floor_estimate(), hashed.floor_estimate());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match sketch depth")]
+    fn record_at_cells_rejects_wrong_log_arity() {
+        let mut sketch = CountMinSketch::with_dimensions(4, 2, 0).unwrap();
+        let _ = sketch.record_at_cells(&[0, 1, 2]);
+    }
+
+    #[test]
+    fn merge_delta_equals_merging_a_recorded_sketch() {
+        let mut merged = CountMinSketch::with_dimensions(12, 4, 8).unwrap();
+        let mut reference = merged.clone();
+        let mut rng = StdRng::seed_from_u64(52);
+        for _ in 0..5 {
+            // One chunk: raw deltas on one side, a recorded sketch on the other.
+            let ids: Vec<u64> = (0..700).map(|_| rng.gen_range(0..150u64)).collect();
+            let mut delta = vec![0u64; 12 * 4];
+            let mut log = Vec::new();
+            let mut chunk_sketch = CountMinSketch::with_dimensions(12, 4, 8).unwrap();
+            for &id in &ids {
+                log.clear();
+                merged.touched_cells(id, &mut log);
+                for &idx in &log {
+                    delta[idx as usize] += 1;
+                }
+                chunk_sketch.record(id);
+            }
+            merged.merge_delta(&delta, ids.len() as u64).unwrap();
+            reference.merge(&chunk_sketch).unwrap();
+            assert_eq!(merged.cells(), reference.cells());
+            assert_eq!(merged.total(), reference.total());
+            assert_eq!(merged.floor_estimate(), reference.floor_estimate());
+        }
+        assert!(matches!(
+            merged.merge_delta(&[0u64; 3], 0),
+            Err(SketchError::CellCountMismatch { expected: 48, got: 3 })
+        ));
     }
 
     #[test]

@@ -11,6 +11,7 @@
 //! The benchmark harness compares both estimators inside the knowledge-free
 //! strategy.
 
+use crate::count_min::ROW_CHUNK;
 use crate::error::SketchError;
 use crate::hash::{HashFamily, UniversalHash};
 use crate::min_tracker::{FloorTracker, TournamentFloorTracker};
@@ -102,20 +103,59 @@ impl CountSketch {
     /// Splits one packed row evaluation into `(cell index, sign)`.
     #[inline]
     fn cell_and_sign(&self, row: usize, folded: u64) -> (usize, i64) {
-        let packed = self.rows[row].hash_folded(folded);
-        let idx = row * self.width + (packed >> 1) as usize;
+        Self::cell_and_sign_of(&self.rows, self.width, row, folded)
+    }
+
+    /// [`CountSketch::cell_and_sign`] without borrowing the whole sketch,
+    /// so update loops can hold `cells`/`floor` mutably alongside.
+    #[inline]
+    fn cell_and_sign_of(
+        rows: &[UniversalHash],
+        width: usize,
+        row: usize,
+        folded: u64,
+    ) -> (usize, i64) {
+        let packed = rows[row].hash_folded(folded);
+        let idx = row * width + (packed >> 1) as usize;
         let sign = if packed & 1 == 1 { 1 } else { -1 };
         (idx, sign)
+    }
+
+    /// Computes the `(cell index, sign)` pair of each of (at most
+    /// `ROW_CHUNK`) consecutive rows starting at `first_row` — the
+    /// index-precompute pass of the chunked update paths (the packed
+    /// evaluations are independent multiply-shifts, so this pass pipelines
+    /// independently of the signed cell writes it feeds). Entries past
+    /// `rows.len()` are unused padding.
+    #[inline]
+    fn chunk_cell_signs(
+        rows: &[UniversalHash],
+        width: usize,
+        first_row: usize,
+        folded: u64,
+    ) -> [(usize, i64); ROW_CHUNK] {
+        debug_assert!(rows.len() <= ROW_CHUNK);
+        let mut out = [(0usize, 0i64); ROW_CHUNK];
+        for (i, pair) in out.iter_mut().enumerate().take(rows.len()) {
+            *pair = Self::cell_and_sign_of(rows, width, i, folded);
+            pair.0 += first_row * width;
+        }
+        out
     }
 
     /// Records `count` occurrences of `id` at once.
     pub fn record_many(&mut self, id: u64, count: u64) {
         let folded = UniversalHash::fold61(id);
         let count = count as i64;
-        for row in 0..self.depth {
-            let (idx, sign) = self.cell_and_sign(row, folded);
-            self.cells[idx] += sign * count;
-            self.floor.update(idx, self.cells[idx].unsigned_abs());
+        let Self { ref rows, ref mut cells, ref mut floor, width, .. } = *self;
+        let mut first_row = 0;
+        for row_chunk in rows.chunks(ROW_CHUNK) {
+            let pairs = Self::chunk_cell_signs(row_chunk, width, first_row, folded);
+            for &(idx, sign) in &pairs[..row_chunk.len()] {
+                cells[idx] += sign * count;
+                floor.update(idx, cells[idx].unsigned_abs());
+            }
+            first_row += row_chunk.len();
         }
         self.total = self.total.saturating_add(count as u64);
         #[cfg(debug_assertions)]
@@ -134,16 +174,24 @@ impl CountSketch {
     /// merge preparation). This entry point pays a single `O(k·s)` rebuild
     /// per batch instead, which wins whenever the batch is longer than
     /// roughly `k·s / (s·log k·s)` elements — a few dozen for the paper's
-    /// sketch sizes.
+    /// sketch sizes. The per-element row updates run through the same
+    /// chunked index-precompute as [`CountSketch::record_and_estimate`].
     ///
     /// Floor reads *during* the batch are what the per-record maintenance
     /// buys; this method is only for callers that do not interleave them.
     pub fn record_unfloored(&mut self, ids: &[u64]) {
-        for &id in ids {
-            let folded = UniversalHash::fold61(id);
-            for row in 0..self.depth {
-                let (idx, sign) = self.cell_and_sign(row, folded);
-                self.cells[idx] += sign;
+        {
+            let Self { ref rows, ref mut cells, width, .. } = *self;
+            for &id in ids {
+                let folded = UniversalHash::fold61(id);
+                let mut first_row = 0;
+                for row_chunk in rows.chunks(ROW_CHUNK) {
+                    let pairs = Self::chunk_cell_signs(row_chunk, width, first_row, folded);
+                    for &(idx, sign) in &pairs[..row_chunk.len()] {
+                        cells[idx] += sign;
+                    }
+                    first_row += row_chunk.len();
+                }
             }
         }
         self.total = self.total.saturating_add(ids.len() as u64);
@@ -157,13 +205,44 @@ impl CountSketch {
     /// [`crate::CountMinSketch::record_and_estimate`], so the estimator
     /// ablation compares identical per-element query patterns.
     ///
-    /// Equivalent to `record(id)` then `(estimate(id), floor_estimate())`.
-    /// The bucket and sign indices of each row are computed once and reused
-    /// for both the update and the signed reading; the floor (min |cell|,
-    /// the Count sketch's `min_σ` analog) is an O(1) read off the
-    /// tournament tree maintained by the floor-estimate engine — the
-    /// per-element O(k·s) scan this method used to pay is gone.
+    /// Equivalent to `record(id)` then `(estimate(id), floor_estimate())`
+    /// (and to the retained scalar reference
+    /// [`CountSketch::record_and_estimate_rowwise`]). The bucket and sign
+    /// indices of each row are computed once — in chunks of `ROW_CHUNK`,
+    /// ahead of the cell writes — and reused for both the update and the
+    /// signed reading; the floor (min |cell|, the Count sketch's `min_σ`
+    /// analog) is an O(1) read off the tournament tree maintained by the
+    /// floor-estimate engine — the per-element O(k·s) scan this method used
+    /// to pay is gone.
     pub fn record_and_estimate(&mut self, id: u64) -> (u64, u64) {
+        let folded = UniversalHash::fold61(id);
+        self.scratch.clear();
+        {
+            let Self { ref rows, ref mut cells, ref mut floor, ref mut scratch, width, .. } = *self;
+            let mut first_row = 0;
+            for row_chunk in rows.chunks(ROW_CHUNK) {
+                let pairs = Self::chunk_cell_signs(row_chunk, width, first_row, folded);
+                for &(idx, sign) in &pairs[..row_chunk.len()] {
+                    cells[idx] += sign;
+                    floor.update(idx, cells[idx].unsigned_abs());
+                    scratch.push(sign * cells[idx]);
+                }
+                first_row += row_chunk.len();
+            }
+        }
+        self.total = self.total.saturating_add(1);
+        let estimate = Self::median_estimate(&mut self.scratch, self.depth);
+        #[cfg(debug_assertions)]
+        self.debug_cross_check();
+        (estimate, self.floor.floor())
+    }
+
+    /// The pre-chunking scalar form of
+    /// [`CountSketch::record_and_estimate`]: one rolled loop that hashes a
+    /// row and immediately writes its cell. Retained as the reference the
+    /// chunked path is differential-tested (and benchmarked, group
+    /// `sketch_row_updates`) against; behaviourally identical.
+    pub fn record_and_estimate_rowwise(&mut self, id: u64) -> (u64, u64) {
         let folded = UniversalHash::fold61(id);
         self.scratch.clear();
         for row in 0..self.depth {
@@ -435,6 +514,25 @@ mod tests {
             assert_eq!(floor, split.floor_estimate(), "floor at step {step}");
         }
         assert_eq!(fused.total(), split.total());
+    }
+
+    #[test]
+    fn rowwise_reference_matches_chunked_record_and_estimate() {
+        // Depth 11 forces a ragged final index chunk (11 = 8 + 3).
+        let mut chunked = CountSketch::with_dimensions(16, 11, 7).unwrap();
+        let mut rowwise = chunked.clone();
+        let mut rng = StdRng::seed_from_u64(43);
+        for step in 0..4_000 {
+            let id = rng.gen_range(0..96u64);
+            assert_eq!(
+                chunked.record_and_estimate(id),
+                rowwise.record_and_estimate_rowwise(id),
+                "step {step}"
+            );
+        }
+        assert_eq!(chunked.cells(), rowwise.cells());
+        assert_eq!(chunked.total(), rowwise.total());
+        assert_eq!(chunked.floor_estimate(), rowwise.floor_estimate());
     }
 
     #[test]

@@ -58,6 +58,7 @@ pub const MERSENNE_PRIME_61: u64 = (1 << 61) - 1;
 /// `2^61 ≡ 1 (mod p)`. Two folds bring any 128-bit value below `2^62`, after
 /// which at most two conditional subtractions remain.
 #[inline]
+#[cfg_attr(not(test), allow(dead_code))]
 fn reduce_mersenne(mut x: u128) -> u64 {
     const P: u128 = MERSENNE_PRIME_61 as u128;
     // Each fold removes ~61 bits; 128-bit input needs at most two folds to
@@ -170,10 +171,29 @@ impl UniversalHash {
 
     /// Hashes a value already folded into `[0, 2^61 − 1)` — the per-row step
     /// of the precomputed-fold path.
+    ///
+    /// The reduction is hand-split into 64-bit halves instead of going
+    /// through `reduce_mersenne`'s generic 128-bit folds: with
+    /// `2^64 ≡ 8 (mod p)`, the product's high word folds in as `hi · 8`
+    /// (one shift — `hi < 2^58`, so it cannot overflow), the low word as
+    /// the usual mask/shift split, and `b` rides the same addition. One
+    /// more fold plus a single conditional subtraction lands on the
+    /// canonical representative, so the result is **bit-identical** to the
+    /// generic path (pinned by a test) with a dependency chain about a
+    /// third shorter — this is the innermost operation of every sketch
+    /// row, `s` times per stream element.
     #[inline]
     pub fn hash_folded(&self, folded: u64) -> u64 {
         debug_assert!(folded < MERSENNE_PRIME_61, "input {folded} not folded");
-        let v = reduce_mersenne(self.a as u128 * folded as u128 + self.b as u128);
+        let product = self.a as u128 * folded as u128;
+        let (lo, hi) = (product as u64, (product >> 64) as u64);
+        // Sum of four terms each below 2^61: no u64 overflow possible.
+        let t = (lo & MERSENNE_PRIME_61) + (lo >> 61) + (hi << 3) + self.b;
+        // t < 2^63, so t >> 61 ≤ 3 and one fold + one subtraction suffice.
+        let mut v = (t & MERSENNE_PRIME_61) + (t >> 61);
+        if v >= MERSENNE_PRIME_61 {
+            v -= MERSENNE_PRIME_61;
+        }
         // Lemire fast range: v ∈ [0, 2^61) mapped by its high bits.
         ((v as u128 * self.range as u128) >> 61) as u64
     }
@@ -379,6 +399,33 @@ mod tests {
             u64::MAX,
         ] {
             assert_eq!(UniversalHash::fold61(x), reduce_mersenne(x as u128), "x = {x}");
+        }
+    }
+
+    #[test]
+    fn split_reduction_matches_generic_mersenne_reduction() {
+        // The hand-split 64-bit reduction in hash_folded must be
+        // bit-identical to the generic 128-bit path it replaced, for
+        // random coefficients and inputs across the whole field.
+        let mut rng = StdRng::seed_from_u64(321);
+        use rand::Rng;
+        for _ in 0..200 {
+            let range = [1u64, 2, 7, 10, 64, 1000, 1 << 20][rng.gen_range(0..7)];
+            let h = UniversalHash::sample(&mut rng, range).unwrap();
+            for _ in 0..200 {
+                let folded = rng.gen_range(0..MERSENNE_PRIME_61);
+                let generic = {
+                    let v = reduce_mersenne(h.a as u128 * folded as u128 + h.b as u128);
+                    ((v as u128 * h.range as u128) >> 61) as u64
+                };
+                assert_eq!(h.hash_folded(folded), generic, "a={}, b={}, x={folded}", h.a, h.b);
+            }
+            // Field-edge inputs.
+            for folded in [0, 1, MERSENNE_PRIME_61 - 2, MERSENNE_PRIME_61 - 1] {
+                let v = reduce_mersenne(h.a as u128 * folded as u128 + h.b as u128);
+                let generic = ((v as u128 * h.range as u128) >> 61) as u64;
+                assert_eq!(h.hash_folded(folded), generic);
+            }
         }
     }
 

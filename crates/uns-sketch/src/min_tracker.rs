@@ -92,6 +92,7 @@ impl MonotoneFloorTracker {
     /// (`new >= old`). Returns `true` if the floor is now stale and must be
     /// refreshed via [`MonotoneFloorTracker::rebuild`].
     #[must_use]
+    #[inline]
     pub fn on_increase(&mut self, old: u64, new: u64) -> bool {
         debug_assert!(new >= old, "counters must be monotone ({old} -> {new})");
         if new == old {
