@@ -41,6 +41,10 @@ pub enum AnalysisError {
     },
     /// A distribution is empty or sums to zero.
     DegenerateDistribution,
+    /// Summing or merging `u64` counts overflowed. Count vectors fed to the
+    /// divergence/uniformity routines are attacker-influenced (histograms
+    /// of adversarial streams), so overflow is reported, never wrapped.
+    CountOverflow,
 }
 
 impl fmt::Display for AnalysisError {
@@ -63,6 +67,9 @@ impl fmt::Display for AnalysisError {
             }
             AnalysisError::DegenerateDistribution => {
                 write!(f, "distribution is empty or sums to zero")
+            }
+            AnalysisError::CountOverflow => {
+                write!(f, "u64 count sum overflowed")
             }
         }
     }

@@ -81,12 +81,19 @@ impl Frequencies {
 
     /// Records `count` occurrences of `id` at once.
     ///
+    /// Overflow-checked: `count` values often come straight from other
+    /// histograms or attacker-influenced accounting, and a wrapped counter
+    /// would silently pass every uniformity test downstream.
+    ///
     /// # Panics
     ///
-    /// Panics if `id >= domain`.
+    /// Panics if `id >= domain`, or if the per-identifier count or the
+    /// histogram total would exceed `u64::MAX`.
     pub fn record_many(&mut self, id: u64, count: u64) {
-        self.counts[usize::try_from(id).expect("id out of domain")] += count;
-        self.total += count;
+        let idx = usize::try_from(id).expect("id out of domain");
+        let cell = &mut self.counts[idx];
+        *cell = cell.checked_add(count).expect("per-identifier count overflows u64");
+        self.total = self.total.checked_add(count).expect("histogram total overflows u64");
     }
 
     /// The count of `id` (0 if never recorded or out of domain).
@@ -165,15 +172,26 @@ impl Frequencies {
 
     /// Adds another histogram's counts into this one.
     ///
+    /// Overflow-checked, and atomic on failure: when any per-identifier
+    /// count or the total would exceed `u64::MAX`, *nothing* is merged —
+    /// a half-applied merge would be worse than either input.
+    ///
     /// # Errors
     ///
-    /// Returns [`AnalysisError::LengthMismatch`] when domains differ.
+    /// Returns [`AnalysisError::LengthMismatch`] when domains differ and
+    /// [`AnalysisError::CountOverflow`] when any summed count would wrap.
     pub fn merge(&mut self, other: &Self) -> Result<(), AnalysisError> {
         if self.domain() != other.domain() {
             return Err(AnalysisError::LengthMismatch {
                 left: self.domain(),
                 right: other.domain(),
             });
+        }
+        // Validate every sum before mutating anything.
+        if self.total.checked_add(other.total).is_none()
+            || self.counts.iter().zip(&other.counts).any(|(&a, &b)| a.checked_add(b).is_none())
+        {
+            return Err(AnalysisError::CountOverflow);
         }
         for (a, b) in self.counts.iter_mut().zip(&other.counts) {
             *a += *b;
@@ -268,6 +286,62 @@ mod tests {
         assert_eq!(a.total(), 4);
         let wrong = Frequencies::new(4);
         assert!(a.merge(&wrong).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "per-identifier count overflows")]
+    fn record_many_panics_on_cell_overflow() {
+        let mut hist = Frequencies::new(2);
+        hist.record_many(0, u64::MAX);
+        hist.record_many(0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "histogram total overflows")]
+    fn record_many_panics_on_total_overflow() {
+        let mut hist = Frequencies::new(2);
+        hist.record_many(0, u64::MAX);
+        hist.record_many(1, 1); // cell fine, total wraps
+    }
+
+    #[test]
+    fn record_many_at_the_boundary_succeeds() {
+        let mut hist = Frequencies::new(2);
+        hist.record_many(0, u64::MAX - 1);
+        hist.record_many(1, 1);
+        assert_eq!(hist.total(), u64::MAX);
+        assert_eq!(hist.max_frequency(), u64::MAX - 1);
+    }
+
+    #[test]
+    fn merge_overflow_is_rejected_and_atomic() {
+        let mut a = Frequencies::new(3);
+        a.record_many(0, u64::MAX - 5);
+        a.record_many(1, 3);
+        let mut b = Frequencies::new(3);
+        b.record_many(1, 10); // cell 1 fine, but total would wrap
+        assert_eq!(a.merge(&b).unwrap_err(), AnalysisError::CountOverflow);
+        // Nothing was applied.
+        assert_eq!(a.count(1), 3);
+        assert_eq!(a.total(), u64::MAX - 2);
+        // A cell-level wrap is likewise rejected atomically.
+        let mut c = Frequencies::new(3);
+        c.record_many(0, 10);
+        assert_eq!(a.merge(&c).unwrap_err(), AnalysisError::CountOverflow);
+        assert_eq!(a.count(0), u64::MAX - 5);
+        // And a merge that exactly reaches u64::MAX succeeds.
+        let mut d = Frequencies::new(3);
+        d.record_many(0, 2);
+        a.merge(&d).unwrap();
+        assert_eq!(a.total(), u64::MAX);
+    }
+
+    #[test]
+    fn single_id_domain_histogram_is_uniform() {
+        let hist = Frequencies::from_ids(1, [0u64, 0, 0]);
+        assert_eq!(hist.kl_vs_uniform().unwrap(), 0.0);
+        assert!(hist.chi_square_uniformity_pvalue().is_err(), "no degrees of freedom");
+        assert_eq!(hist.to_probabilities().unwrap(), vec![1.0]);
     }
 
     #[test]

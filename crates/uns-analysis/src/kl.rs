@@ -22,14 +22,27 @@
 
 use crate::error::AnalysisError;
 
+/// Sums a count vector without wrapping.
+///
+/// # Errors
+///
+/// Returns [`AnalysisError::CountOverflow`] when the total exceeds
+/// `u64::MAX` — count vectors here are histograms of (possibly
+/// adversarial) streams, so a silent wrap would turn a flooded histogram
+/// into a seemingly sparse one.
+pub fn checked_total(counts: &[u64]) -> Result<u64, AnalysisError> {
+    counts.iter().try_fold(0u64, |acc, &c| acc.checked_add(c)).ok_or(AnalysisError::CountOverflow)
+}
+
 /// Normalizes a count vector into a probability distribution.
 ///
 /// # Errors
 ///
 /// Returns [`AnalysisError::DegenerateDistribution`] if the counts are empty
-/// or all zero.
+/// or all zero, and [`AnalysisError::CountOverflow`] if their sum exceeds
+/// `u64::MAX`.
 pub fn normalize(counts: &[u64]) -> Result<Vec<f64>, AnalysisError> {
-    let total: u64 = counts.iter().sum();
+    let total = checked_total(counts)?;
     if counts.is_empty() || total == 0 {
         return Err(AnalysisError::DegenerateDistribution);
     }
@@ -112,7 +125,9 @@ pub fn cross_entropy(v: &[f64], w: &[f64]) -> Result<f64, AnalysisError> {
 /// # Errors
 ///
 /// Returns [`AnalysisError::DegenerateDistribution`] for empty/all-zero
-/// counts.
+/// counts and [`AnalysisError::CountOverflow`] when the counts sum past
+/// `u64::MAX`. A single-identifier domain is *not* an error: the only
+/// distribution over one point is uniform, so the divergence is 0.
 pub fn kl_vs_uniform(counts: &[u64]) -> Result<f64, AnalysisError> {
     let v = normalize(counts)?;
     let n = v.len() as f64;
@@ -165,9 +180,10 @@ pub fn total_variation(v: &[f64], w: &[f64]) -> Result<f64, AnalysisError> {
 /// # Errors
 ///
 /// Returns [`AnalysisError::DegenerateDistribution`] for empty or all-zero
-/// counts, or a support of size 1 (no degrees of freedom).
+/// counts, or a support of size 1 (no degrees of freedom), and
+/// [`AnalysisError::CountOverflow`] when the counts sum past `u64::MAX`.
 pub fn chi_square_uniformity(counts: &[u64]) -> Result<(f64, usize), AnalysisError> {
-    let total: u64 = counts.iter().sum();
+    let total = checked_total(counts)?;
     if counts.len() < 2 || total == 0 {
         return Err(AnalysisError::DegenerateDistribution);
     }
@@ -323,5 +339,39 @@ mod tests {
         assert!(chi_square_uniformity(&[5]).is_err());
         assert!(chi_square_uniformity(&[0, 0]).is_err());
         assert!(chi_square_uniformity(&[]).is_err());
+    }
+
+    #[test]
+    fn single_point_domain_is_uniform_not_an_error() {
+        // The only distribution over one identifier is the uniform one.
+        assert_eq!(kl_vs_uniform(&[17]).unwrap(), 0.0);
+        assert_eq!(normalize(&[17]).unwrap(), vec![1.0]);
+        // …but a χ² test has zero degrees of freedom there.
+        assert_eq!(
+            chi_square_uniformity_pvalue(&[17]).unwrap_err(),
+            AnalysisError::DegenerateDistribution
+        );
+    }
+
+    #[test]
+    fn overflowing_count_sums_are_reported_not_wrapped() {
+        // A wrap here would make a flooded histogram look sparse — the
+        // uniformity verdicts must refuse instead.
+        let wrapping = [u64::MAX, 2, 2];
+        assert_eq!(checked_total(&wrapping).unwrap_err(), AnalysisError::CountOverflow);
+        assert_eq!(normalize(&wrapping).unwrap_err(), AnalysisError::CountOverflow);
+        assert_eq!(kl_vs_uniform(&wrapping).unwrap_err(), AnalysisError::CountOverflow);
+        assert_eq!(
+            chi_square_uniformity_pvalue(&wrapping).unwrap_err(),
+            AnalysisError::CountOverflow
+        );
+        // Right at the boundary everything still works.
+        let at_max = [u64::MAX - 1, 1];
+        assert_eq!(checked_total(&at_max).unwrap(), u64::MAX);
+        let p = normalize(&at_max).unwrap();
+        assert!((p[0] - 1.0).abs() < 1e-12 && p[1] > 0.0);
+        assert!(kl_vs_uniform(&at_max).unwrap() > 0.0);
+        // Near-overflow but heavily biased: χ² still flags the bias.
+        assert!(chi_square_uniformity_pvalue(&at_max).unwrap() < 1e-10);
     }
 }

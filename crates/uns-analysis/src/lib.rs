@@ -50,7 +50,10 @@ pub mod urns;
 
 pub use error::AnalysisError;
 pub use histogram::Frequencies;
-pub use kl::{entropy, kl_divergence, kl_gain, kl_vs_uniform, total_variation};
+pub use kl::{
+    chi_square_uniformity, chi_square_uniformity_pvalue, entropy, kl_divergence, kl_gain,
+    kl_vs_uniform, normalize, total_variation,
+};
 pub use markov::SubsetChain;
 pub use mixing::{spectral_summary, SpectralSummary};
 pub use stats::Summary;

@@ -103,7 +103,15 @@ pub struct KnowledgeFreeSampler<E = CountMinSketch, R = CoinRng> {
 /// Derives the estimator's hash-family seed from the sampler's stream
 /// seed — the single definition shared by every sketch-backed constructor
 /// (and relied on by `uns-service` stream reproducibility).
-fn derive_sketch_seed(seed: u64) -> u64 {
+///
+/// Public because external parties that rebuild the estimator half of a
+/// sampler out-of-band — the parallel pipeline (`uns_sim::ShardedIngestion`
+/// builds its shard sketches from an explicit sketch seed) and conformance
+/// harnesses comparing those paths against service streams created from a
+/// [`StreamConfig`-style](KnowledgeFreeSampler::with_count_min) single seed
+/// — must apply the *same* derivation, or their sketches hash differently
+/// and bit-equality is unobtainable.
+pub fn derive_estimator_seed(seed: u64) -> u64 {
     seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1)
 }
 
@@ -145,7 +153,8 @@ impl KnowledgeFreeSampler<CountMinSketch> {
         delta: f64,
         seed: u64,
     ) -> Result<Self, CoreError> {
-        let sketch = CountMinSketch::with_error_bounds(epsilon, delta, derive_sketch_seed(seed))?;
+        let sketch =
+            CountMinSketch::with_error_bounds(epsilon, delta, derive_estimator_seed(seed))?;
         Self::new(capacity, sketch, seed)
     }
 }
@@ -176,7 +185,7 @@ impl<R: Rng + SeedableRng> KnowledgeFreeSampler<CountMinSketch, R> {
         depth: usize,
         seed: u64,
     ) -> Result<Self, CoreError> {
-        let sketch = CountMinSketch::with_dimensions(width, depth, derive_sketch_seed(seed))?;
+        let sketch = CountMinSketch::with_dimensions(width, depth, derive_estimator_seed(seed))?;
         Self::with_estimator_and_rng(capacity, sketch, seed)
     }
 }
@@ -198,7 +207,7 @@ impl KnowledgeFreeSampler<CountSketch> {
         depth: usize,
         seed: u64,
     ) -> Result<Self, CoreError> {
-        let sketch = CountSketch::with_dimensions(width, depth, derive_sketch_seed(seed))?;
+        let sketch = CountSketch::with_dimensions(width, depth, derive_estimator_seed(seed))?;
         Self::new(capacity, sketch, seed)
     }
 }
@@ -856,6 +865,21 @@ mod tests {
         assert_eq!(a.estimator().seed(), cm.estimator().seed());
         let stream: Vec<NodeId> = (0..600u64).map(|i| NodeId::new(i * 7 % 48)).collect();
         assert_eq!(a.run(stream.clone()), b.run(stream));
+    }
+
+    #[test]
+    fn derive_estimator_seed_is_the_constructors_derivation() {
+        // External estimator rebuilders (the parallel pipeline, the
+        // conformance harness) must land on exactly the sketch the
+        // single-seed constructors build.
+        for seed in [0u64, 1, 42, u64::MAX] {
+            let sampler = KnowledgeFreeSampler::with_count_min(4, 8, 3, seed).unwrap();
+            let external =
+                CountMinSketch::with_dimensions(8, 3, derive_estimator_seed(seed)).unwrap();
+            assert_eq!(sampler.estimator().seed(), external.seed());
+            let cs = KnowledgeFreeSampler::with_count_sketch(4, 8, 3, seed).unwrap();
+            assert_eq!(cs.estimator().seed(), derive_estimator_seed(seed));
+        }
     }
 
     #[test]

@@ -70,7 +70,7 @@ pub use baseline::minwise::{MinWiseSampler, MinWiseSamplerArray};
 pub use baseline::passthrough::PassthroughSampler;
 pub use baseline::reservoir::ReservoirSampler;
 pub use error::CoreError;
-pub use knowledge_free::{CoinRng, KnowledgeFreeSampler};
+pub use knowledge_free::{derive_estimator_seed, CoinRng, KnowledgeFreeSampler};
 pub use memory::SamplingMemory;
 pub use node_id::NodeId;
 pub use omniscient::OmniscientSampler;

@@ -256,50 +256,103 @@ fn snapshot_mid_stream_is_bit_equal_across_blocked_and_elementwise_paths() {
     assert_eq!(snap_a, snap_b, "final states differ (element-wise -> batched)");
 }
 
-/// Version-1 (PR-3 era) snapshots stay restorable across the format bump:
-/// their unblocked xoshiro encoding (rng tag 0, no pending coins) is
-/// exactly a blocked generator with an empty buffer, so a hand-built v1
-/// blob restores and continues bit-equal to the plain-generator sampler
-/// it describes.
+/// Version-1 (PR-3 era) snapshots stay restorable across the format bump
+/// — for **every estimator kind**: their unblocked xoshiro encoding (rng
+/// tag 0, no pending coins) is exactly a blocked generator with an empty
+/// buffer, so a hand-built v1 blob restores and continues bit-equal to
+/// the plain-generator sampler it describes.
 #[test]
-fn version_1_snapshots_restore_bit_equal() {
+fn version_1_snapshots_restore_bit_equal_for_all_estimator_kinds() {
+    use uns_core::derive_estimator_seed;
     use uns_service::snapshot::{encode_estimator_tagged, encode_memory, TaggedEstimatorRef};
     use uns_service::wire::put_u16;
 
-    // A PR-3-shaped sampler: plain SmallRng coins.
-    let mut plain = uns_core::KnowledgeFreeSampler::<CountMinSketch, SmallRng>::with_count_min_rng(
-        10, 10, 5, 77,
-    )
-    .unwrap();
-    let warmup: Vec<NodeId> = (0..2_000u64).map(|i| NodeId::new(i * 13 % 90)).collect();
-    let mut sink = Vec::new();
-    plain.feed_batch(&warmup, &mut sink);
-
-    // Hand-build the version-1 blob: header v1, memory, rng tag 0 with the
-    // bare xoshiro state, tagged estimator.
-    let mut blob = Vec::new();
-    blob.extend_from_slice(b"UNSS");
-    put_u16(&mut blob, 1);
-    // Rebuild Γ in slot order, exactly as the v1 encoder serialized it.
-    let mut memory = SamplingMemory::new(10).unwrap();
-    for &id in plain.memory().iter() {
-        memory.insert(id);
+    /// Ties each estimator type to its v1 blob tag.
+    trait V1Taggable: FrequencyEstimator {
+        fn tagged(&self) -> TaggedEstimatorRef<'_>;
     }
-    encode_memory(&mut blob, &memory);
-    blob.push(0); // RNG tag 0: unblocked xoshiro256++
-    for word in plain.rng().state() {
-        blob.extend_from_slice(&word.to_le_bytes());
+    impl V1Taggable for CountMinSketch {
+        fn tagged(&self) -> TaggedEstimatorRef<'_> {
+            TaggedEstimatorRef::CountMin(self)
+        }
     }
-    encode_estimator_tagged(&mut blob, &TaggedEstimatorRef::CountMin(plain.estimator()));
+    impl V1Taggable for CountSketch {
+        fn tagged(&self) -> TaggedEstimatorRef<'_> {
+            TaggedEstimatorRef::CountSketch(self)
+        }
+    }
+    impl V1Taggable for ExactFrequencyOracle {
+        fn tagged(&self) -> TaggedEstimatorRef<'_> {
+            TaggedEstimatorRef::Exact(self)
+        }
+    }
 
-    let mut restored = ServiceSampler::restore(&blob).unwrap();
-    // Bit-equal going forward against the plain-generator original.
-    let tail: Vec<NodeId> = (0..1_500u64).map(|i| NodeId::new(i * 7 % 90)).collect();
-    let mut plain_out = Vec::new();
-    plain.feed_batch(&tail, &mut plain_out);
-    let mut restored_out = Vec::new();
-    restored.feed_batch(&tail, &mut restored_out);
-    assert_eq!(plain_out, restored_out, "v1 restore diverged from the plain-coin original");
+    /// Builds the v1 blob for a warmed plain-SmallRng sampler and checks
+    /// the restored service sampler replays its future bit-equally.
+    fn check<E>(plain: &mut uns_core::KnowledgeFreeSampler<E, SmallRng>, kind: &str) -> Vec<u8>
+    where
+        E: V1Taggable,
+    {
+        let warmup: Vec<NodeId> = (0..2_000u64).map(|i| NodeId::new(i * 13 % 90)).collect();
+        let mut sink = Vec::new();
+        plain.feed_batch(&warmup, &mut sink);
+
+        // Hand-build the version-1 blob: header v1, memory, rng tag 0
+        // with the bare xoshiro state, tagged estimator.
+        let mut blob = Vec::new();
+        blob.extend_from_slice(b"UNSS");
+        put_u16(&mut blob, 1);
+        // Rebuild Γ in slot order, exactly as the v1 encoder serialized it.
+        let mut memory = SamplingMemory::new(plain.memory().capacity()).unwrap();
+        for &id in plain.memory().iter() {
+            memory.insert(id);
+        }
+        encode_memory(&mut blob, &memory);
+        blob.push(0); // RNG tag 0: unblocked xoshiro256++
+        for word in plain.rng().state() {
+            blob.extend_from_slice(&word.to_le_bytes());
+        }
+        encode_estimator_tagged(&mut blob, &plain.estimator().tagged());
+
+        let mut restored = ServiceSampler::restore(&blob).unwrap();
+        // Bit-equal going forward against the plain-generator original.
+        let tail: Vec<NodeId> = (0..1_500u64).map(|i| NodeId::new(i * 7 % 90)).collect();
+        let mut plain_out = Vec::new();
+        plain.feed_batch(&tail, &mut plain_out);
+        let mut restored_out = Vec::new();
+        restored.feed_batch(&tail, &mut restored_out);
+        assert_eq!(plain_out, restored_out, "{kind}: v1 restore diverged from the original");
+        blob
+    }
+
+    // Count-Min (the blob shape PR 4 originally pinned).
+    let mut count_min =
+        uns_core::KnowledgeFreeSampler::<CountMinSketch, SmallRng>::with_count_min_rng(
+            10, 10, 5, 77,
+        )
+        .unwrap();
+    let blob = check(&mut count_min, "count-min");
+
+    // Count sketch: same stream-seed derivation the service constructors
+    // use, plain coins.
+    let mut count_sketch =
+        uns_core::KnowledgeFreeSampler::<CountSketch, SmallRng>::with_estimator_and_rng(
+            10,
+            CountSketch::with_dimensions(10, 5, derive_estimator_seed(78)).unwrap(),
+            78,
+        )
+        .unwrap();
+    check(&mut count_sketch, "count-sketch");
+
+    // Exact oracle (no dimensions; pairs sorted by id in the blob).
+    let mut exact =
+        uns_core::KnowledgeFreeSampler::<ExactFrequencyOracle, SmallRng>::with_estimator_and_rng(
+            10,
+            ExactFrequencyOracle::new(),
+            79,
+        )
+        .unwrap();
+    check(&mut exact, "exact");
 
     // An unsupported future version still fails loudly at the header.
     let mut future = blob.clone();

@@ -6,6 +6,24 @@
 //! that cost is exactly the §V effort `L_{k,s}`/`E_k`). Every gossip round,
 //! each malicious node pushes a batch of identifiers to every correct node
 //! it can reach.
+//!
+//! Two adversary classes live here:
+//!
+//! * **static** strategies ([`MaliciousStrategy::Flood`],
+//!   [`MaliciousStrategy::SelfPromotion`]) fix their emission policy up
+//!   front — the attacker of the paper's closed-form analysis;
+//! * the **adaptive** attacker ([`AdaptiveFlooder`],
+//!   [`MaliciousStrategy::AdaptiveFlood`]) exploits the full §III-B power:
+//!   the adversary *observes the system* (sampler outputs gossiped back as
+//!   views, service `Busy` replies) and retargets its flooding every round
+//!   toward the sybils the sampler is currently admitting — exactly the
+//!   identifiers whose sketch estimates are still close to the sampling
+//!   floor, i.e. the under-estimated ones.
+//!
+//! Honest-population dynamics (§III-C churn before `T₀`) are modeled by
+//! [`ChurnEngine`]: seeded joins and leaves over a fixed identifier domain,
+//! deterministic seed for seed, so conformance scenarios that interleave
+//! churn with adversarial traffic replay bit-identically.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -34,6 +52,17 @@ pub enum MaliciousStrategy {
         /// Identifiers pushed to each correct node per round.
         batch_per_round: usize,
     },
+    /// Adaptive flooding: the node runs an [`AdaptiveFlooder`] over the
+    /// shared sybil pool, observing correct nodes' views (pushed to the
+    /// adversary by the gossip protocol itself) via
+    /// [`MaliciousNode::observe`] and concentrating each round's batch on
+    /// the sybils the samplers are demonstrably admitting.
+    AdaptiveFlood {
+        /// Number of distinct sybil identifiers the adversary paid for.
+        distinct_sybils: usize,
+        /// Identifiers pushed to each correct node per round.
+        batch_per_round: usize,
+    },
     /// The adversary stays silent (baseline overlay behaviour).
     Silent,
 }
@@ -45,6 +74,139 @@ impl Default for MaliciousStrategy {
     }
 }
 
+/// The adaptive attacker of the paper's collusion model: floods a fixed
+/// pool of purchased sybil identifiers, but *retargets* its effort from
+/// whatever it can observe of the sampling services under attack.
+///
+/// The observation channels are the ones a real §III-B adversary has:
+///
+/// * **sampler outputs** ([`AdaptiveFlooder::observe_outputs`]) — in the
+///   overlay, correct nodes push their views (= sampler memory `Γ`) to
+///   gossip partners including malicious ones; against the networked
+///   service, output samples simply come back on the wire. A sybil that
+///   shows up in outputs was *admitted*, which under Algorithm 3 means its
+///   estimate `f̂` is still close to the sampling floor `min_σ` — it is
+///   under-estimated, and flooding it is currently cheap;
+/// * **backpressure** ([`AdaptiveFlooder::observe_rejections`]) — `Busy`
+///   replies or refused pushes. A saturated victim admits nothing, so the
+///   attacker spends the next round purely rotating (keeping every sybil's
+///   certificate warm) instead of wasting concentrated effort.
+///
+/// Every round [`AdaptiveFlooder::emit`] splits its batch between
+/// *exploitation* (uniform over the currently best-scoring sybils) and
+/// *exploration* (cursor rotation over the whole pool, which discovers
+/// sybils whose estimates the growing floor has overtaken). Scores decay
+/// by halving each round so the targeting tracks a recent window.
+///
+/// Fully deterministic: same seed and same observation sequence ⇒ same
+/// emissions, on every platform (coins come from the portable ChaCha12
+/// [`StdRng`]).
+#[derive(Clone, Debug)]
+pub struct AdaptiveFlooder {
+    first_sybil_id: u64,
+    distinct: usize,
+    batch: usize,
+    /// Output appearances per sybil in the current observation window.
+    scores: Vec<u32>,
+    /// Rejections (Busy replies / refused pushes) since the last emit.
+    rejections: u64,
+    cursor: usize,
+    rng: StdRng,
+}
+
+impl AdaptiveFlooder {
+    /// Creates the flooder over the sybil pool
+    /// `first_sybil_id .. first_sybil_id + distinct`, emitting `batch`
+    /// identifiers per [`AdaptiveFlooder::emit`], with coins derived from
+    /// `seed`.
+    pub fn new(first_sybil_id: u64, distinct: usize, batch: usize, seed: u64) -> Self {
+        let distinct = distinct.max(1);
+        Self {
+            first_sybil_id,
+            distinct,
+            batch,
+            scores: vec![0; distinct],
+            rejections: 0,
+            cursor: 0,
+            rng: StdRng::seed_from_u64(seed ^ ADAPTIVE_SEED_DOMAIN),
+        }
+    }
+
+    /// The sybil identifiers this flooder cycles through.
+    pub fn sybil_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (self.first_sybil_id..self.first_sybil_id + self.distinct as u64).map(NodeId::new)
+    }
+
+    /// Number of distinct sybil identifiers (the §V effort).
+    pub fn distinct(&self) -> usize {
+        self.distinct
+    }
+
+    /// Feeds observed sampler outputs (or gossiped views) back into the
+    /// targeting scores. Non-sybil identifiers are ignored.
+    pub fn observe_outputs(&mut self, outputs: &[NodeId]) {
+        for &id in outputs {
+            let raw = id.as_u64();
+            if raw >= self.first_sybil_id {
+                if let Ok(idx) = usize::try_from(raw - self.first_sybil_id) {
+                    if idx < self.distinct {
+                        self.scores[idx] = self.scores[idx].saturating_add(1);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Reports `n` rejections (service `Busy` replies, refused pushes)
+    /// observed since the last emission; the next round backs off to pure
+    /// rotation.
+    pub fn observe_rejections(&mut self, n: u64) {
+        self.rejections = self.rejections.saturating_add(n);
+    }
+
+    /// How many sybils the exploitation half concentrates on.
+    fn exploit_pool(&self) -> usize {
+        (self.distinct / 8).max(1)
+    }
+
+    /// Emits one round's batch: half exploitation (uniform over the
+    /// top-scoring sybils, ties broken toward smaller identifiers), half
+    /// exploration (pool rotation) — or pure rotation after observed
+    /// backpressure. Decays the observation window afterwards.
+    pub fn emit(&mut self) -> Vec<NodeId> {
+        let backoff = self.rejections > 0;
+        self.rejections = 0;
+        let exploit_slots = if backoff { 0 } else { self.batch / 2 };
+
+        // Rank sybils by observed admissions, ties toward the smaller id
+        // (stable sort over an index vector keeps this deterministic).
+        let mut ranked: Vec<usize> = (0..self.distinct).collect();
+        ranked.sort_by(|&a, &b| self.scores[b].cmp(&self.scores[a]).then(a.cmp(&b)));
+        let targets = &ranked[..self.exploit_pool().min(ranked.len())];
+
+        let mut out = Vec::with_capacity(self.batch);
+        for slot in 0..self.batch {
+            let idx = if slot < exploit_slots && !targets.is_empty() {
+                targets[self.rng.gen_range(0..targets.len())]
+            } else {
+                let idx = self.cursor % self.distinct;
+                self.cursor = self.cursor.wrapping_add(1);
+                idx
+            };
+            out.push(NodeId::new(self.first_sybil_id + idx as u64));
+        }
+        // Halve the window so stale admissions stop steering the attack.
+        for score in &mut self.scores {
+            *score /= 2;
+        }
+        out
+    }
+}
+
+/// Seed-domain separator: adaptive-flooder coins never collide with the
+/// coins of a static strategy built from the same master seed.
+const ADAPTIVE_SEED_DOMAIN: u64 = 0xada9_71fe_5eed_0001;
+
 /// A real malicious node (one of the `ℓ` the adversary controls).
 #[derive(Clone, Debug)]
 pub struct MaliciousNode {
@@ -54,23 +216,49 @@ pub struct MaliciousNode {
     /// Rotating cursor over the sybil pool so floods cycle through all
     /// purchased identifiers.
     cursor: usize,
+    /// The adaptive engine, present only for
+    /// [`MaliciousStrategy::AdaptiveFlood`].
+    adaptive: Option<AdaptiveFlooder>,
 }
 
 impl MaliciousNode {
     /// Creates malicious node `index` (of `ℓ`) with its own identifier and
     /// deterministic coins.
     pub fn new(index: usize, strategy: MaliciousStrategy, seed: u64) -> Self {
+        let node_seed = seed ^ (index as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        let adaptive = match strategy {
+            MaliciousStrategy::AdaptiveFlood { distinct_sybils, batch_per_round } => {
+                Some(AdaptiveFlooder::new(
+                    SYBIL_ID_BASE + 1_000_000,
+                    distinct_sybils,
+                    batch_per_round,
+                    node_seed,
+                ))
+            }
+            _ => None,
+        };
         Self {
             id: NodeId::new(SYBIL_ID_BASE + index as u64),
             strategy,
-            rng: StdRng::seed_from_u64(seed ^ (index as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+            rng: StdRng::seed_from_u64(node_seed),
             cursor: 0,
+            adaptive,
         }
     }
 
     /// This node's own (certified) identifier.
     pub fn id(&self) -> NodeId {
         self.id
+    }
+
+    /// Feeds observed correct-node views / sampler outputs to the node's
+    /// adaptive engine. A no-op for the static strategies — the colluding
+    /// adversary observes everything either way, the static attackers just
+    /// don't act on it.
+    pub fn observe(&mut self, outputs: &[NodeId]) {
+        if let Some(adaptive) = &mut self.adaptive {
+            adaptive.observe_outputs(outputs);
+        }
     }
 
     /// The identifiers this node pushes to one correct target this round.
@@ -90,7 +278,173 @@ impl MaliciousNode {
                     })
                     .collect()
             }
+            MaliciousStrategy::AdaptiveFlood { .. } => {
+                self.adaptive.as_mut().expect("adaptive strategy carries its engine").emit()
+            }
         }
+    }
+}
+
+/// Seeded join/leave dynamics of the honest population (§III-C churn
+/// before `T₀`) over the fixed identifier domain `0 .. domain`.
+///
+/// The engine tracks which identifiers are currently *alive* (present in
+/// the system and emitting traffic). [`ChurnEngine::step`] applies a batch
+/// of leaves and joins; [`ChurnEngine::sample_alive`] draws a uniformly
+/// random live identifier — the honest-traffic generator of churn
+/// scenarios. Everything is deterministic seed for seed: the same seed and
+/// the same call sequence reproduce the same population trajectory and the
+/// same traffic, on every platform.
+#[derive(Clone, Debug)]
+pub struct ChurnEngine {
+    alive: Vec<bool>,
+    /// Identifiers alive at engine construction — late joiners have
+    /// partial histories, so they can never become *core* (see
+    /// [`ChurnEngine::core_flags`]).
+    initially_alive: Vec<bool>,
+    /// Identifiers that departed at least once — even if they rejoined,
+    /// their history has a gap, so they are no longer *core* (see
+    /// [`ChurnEngine::core_flags`]).
+    departed_once: Vec<bool>,
+    alive_count: usize,
+    rng: StdRng,
+}
+
+impl ChurnEngine {
+    /// Creates the engine with identifiers `0 .. alive` initially alive out
+    /// of the domain `0 .. domain` (`alive` is clamped to the domain, and
+    /// at least one identifier is kept alive).
+    pub fn new(domain: usize, alive: usize, seed: u64) -> Self {
+        let domain = domain.max(1);
+        let alive_count = alive.clamp(1, domain);
+        let mut flags = vec![false; domain];
+        for flag in flags.iter_mut().take(alive_count) {
+            *flag = true;
+        }
+        Self {
+            initially_alive: flags.clone(),
+            alive: flags,
+            departed_once: vec![false; domain],
+            alive_count,
+            rng: StdRng::seed_from_u64(seed ^ 0xc4u64.wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+        }
+    }
+
+    /// Applies one churn round: `leaves` uniformly chosen live identifiers
+    /// depart (never below one survivor), then `joins` uniformly chosen
+    /// dead identifiers rejoin.
+    pub fn step(&mut self, joins: usize, leaves: usize) {
+        for _ in 0..leaves {
+            if self.alive_count <= 1 {
+                break;
+            }
+            if let Some(idx) = self.pick(|e, i| e.alive[i]) {
+                self.alive[idx] = false;
+                self.departed_once[idx] = true;
+                self.alive_count -= 1;
+            }
+        }
+        for _ in 0..joins {
+            if self.alive_count == self.alive.len() {
+                break;
+            }
+            if let Some(idx) = self.pick(|e, i| !e.alive[i]) {
+                self.alive[idx] = true;
+                self.alive_count += 1;
+            }
+        }
+    }
+
+    /// Replacement churn: `leaves` *core* identifiers (alive since
+    /// inception, no prior departure) leave for good, and `joins` *fresh*
+    /// identifiers (never alive before) arrive. This models node
+    /// replacement — veterans depart, newcomers join — and guarantees
+    /// every identifier's lifetime is one contiguous interval: no id ever
+    /// accumulates a pathologically short occurrence history. That
+    /// invariant is what keeps an accurate estimator's sampling floor
+    /// `min_σ` (anchored at the least-counted identifier ever seen) from
+    /// collapsing, so post-churn admission rates — and with them Algorithm
+    /// 3's freshness — stay predictable; the conformance churn scenario
+    /// depends on it. Runs out of core or fresh candidates simply stop
+    /// the respective flow.
+    pub fn step_replacement(&mut self, joins: usize, leaves: usize) {
+        for _ in 0..leaves {
+            if self.alive_count <= 1 {
+                break;
+            }
+            let Some(idx) = self.pick(|e, i| e.alive[i] && e.initially_alive[i]) else { break };
+            self.alive[idx] = false;
+            self.departed_once[idx] = true;
+            self.alive_count -= 1;
+        }
+        for _ in 0..joins {
+            let Some(idx) =
+                self.pick(|e, i| !e.alive[i] && !e.initially_alive[i] && !e.departed_once[i])
+            else {
+                break;
+            };
+            self.alive[idx] = true;
+            self.alive_count += 1;
+        }
+    }
+
+    /// Uniform choice among the identifiers satisfying `eligible`, by
+    /// index. The population is small (a scenario domain), so an exact
+    /// index collection beats rejection loops whose coin usage would
+    /// depend on the eligible fraction.
+    fn pick(&mut self, eligible: impl Fn(&Self, usize) -> bool) -> Option<usize> {
+        let candidates: Vec<usize> = (0..self.alive.len()).filter(|&i| eligible(self, i)).collect();
+        if candidates.is_empty() {
+            return None;
+        }
+        Some(candidates[self.rng.gen_range(0..candidates.len())])
+    }
+
+    /// Whether `id` is currently alive (`false` for ids outside the
+    /// domain).
+    pub fn is_alive(&self, id: u64) -> bool {
+        usize::try_from(id).ok().and_then(|i| self.alive.get(i)).copied().unwrap_or(false)
+    }
+
+    /// Number of identifiers currently alive.
+    pub fn alive_count(&self) -> usize {
+        self.alive_count
+    }
+
+    /// The per-identifier alive flags, indexed by identifier.
+    pub fn alive_flags(&self) -> &[bool] {
+        &self.alive
+    }
+
+    /// The *core* population: identifiers alive since engine construction
+    /// with no departure gap. These are the ids whose occurrence histories
+    /// are statistically exchangeable, i.e. the ones a stationary
+    /// uniformity claim is about — a late joiner's (or rejoiner's)
+    /// cumulative frequency is legitimately lower, so an accurate
+    /// estimator admits it more often until its history catches up (the
+    /// paper's freshness at work, not a uniformity violation).
+    pub fn core_flags(&self) -> Vec<bool> {
+        self.alive
+            .iter()
+            .zip(&self.initially_alive)
+            .zip(&self.departed_once)
+            .map(|((&alive, &initial), &departed)| alive && initial && !departed)
+            .collect()
+    }
+
+    /// Draws one uniformly random *live* identifier.
+    pub fn sample_alive(&mut self) -> NodeId {
+        let nth = self.rng.gen_range(0..self.alive_count as u64);
+        let mut seen = 0u64;
+        for (idx, &alive) in self.alive.iter().enumerate() {
+            if alive {
+                if seen == nth {
+                    return NodeId::new(idx as u64);
+                }
+                seen += 1;
+            }
+        }
+        unreachable!("alive_count is kept >= 1 and consistent with the flags")
     }
 }
 
@@ -154,5 +508,158 @@ mod tests {
         let mut a = MaliciousNode::new(0, strategy, 9);
         let mut b = MaliciousNode::new(0, strategy, 9);
         assert_eq!(a.emit(&ids), b.emit(&ids));
+    }
+
+    /// Golden emissions: the exact identifier sequences for a fixed seed,
+    /// pinned across runs *and platforms*. All coins come from the
+    /// portable ChaCha12 `StdRng`, so these values must never drift; a
+    /// failure here means the adversary model silently changed and every
+    /// seeded scenario in the conformance harness changed with it.
+    #[test]
+    fn emissions_match_pinned_golden_values() {
+        let ids: Vec<NodeId> = (0..4).map(|i| NodeId::new(SYBIL_ID_BASE + i)).collect();
+
+        // Flood is pure pool rotation: position-determined, coin-free.
+        let mut flood = MaliciousNode::new(
+            0,
+            MaliciousStrategy::Flood { distinct_sybils: 3, batch_per_round: 4 },
+            42,
+        );
+        let base = SYBIL_ID_BASE + 1_000_000;
+        assert_eq!(flood.emit(&ids), [base, base + 1, base + 2, base].map(NodeId::new).to_vec());
+        assert_eq!(
+            flood.emit(&ids),
+            [base + 1, base + 2, base, base + 1].map(NodeId::new).to_vec()
+        );
+
+        // Self-promotion draws coins; pin the ChaCha12-derived choices.
+        let mut promo =
+            MaliciousNode::new(1, MaliciousStrategy::SelfPromotion { batch_per_round: 6 }, 42);
+        let promoted: Vec<u64> =
+            promo.emit(&ids).into_iter().map(|id| id.as_u64() - SYBIL_ID_BASE).collect();
+        assert_eq!(promoted, golden::SELF_PROMOTION_SEED42_NODE1);
+
+        // The adaptive flooder before any observation: explore half rotates
+        // from the pool start, exploit half draws among the (all-zero-score,
+        // ties-to-smallest) leading pool ids.
+        let mut adaptive = MaliciousNode::new(
+            0,
+            MaliciousStrategy::AdaptiveFlood { distinct_sybils: 8, batch_per_round: 6 },
+            42,
+        );
+        let emitted: Vec<u64> =
+            adaptive.emit(&ids).into_iter().map(|id| id.as_u64() - base).collect();
+        assert_eq!(emitted, golden::ADAPTIVE_SEED42_NODE0_ROUND0);
+    }
+
+    /// `is_malicious_id` boundary identifiers: the exact edge of the sybil
+    /// range, and both extremes of the u64 domain.
+    #[test]
+    fn is_malicious_id_boundaries() {
+        assert!(!is_malicious_id(NodeId::new(0)));
+        assert!(!is_malicious_id(NodeId::new(SYBIL_ID_BASE - 1)));
+        assert!(is_malicious_id(NodeId::new(SYBIL_ID_BASE)));
+        assert!(is_malicious_id(NodeId::new(SYBIL_ID_BASE + 1)));
+        assert!(is_malicious_id(NodeId::new(u64::MAX)));
+    }
+
+    #[test]
+    fn adaptive_flooder_is_deterministic_and_observation_driven() {
+        let make = || AdaptiveFlooder::new(1_000, 16, 10, 7);
+        let mut a = make();
+        let mut b = make();
+        // Identical with identical observation histories…
+        assert_eq!(a.emit(), b.emit());
+        let observed: Vec<NodeId> = vec![NodeId::new(1_005); 8];
+        a.observe_outputs(&observed);
+        b.observe_outputs(&observed);
+        assert_eq!(a.emit(), b.emit());
+        // …and the observations matter: diverging histories diverge the
+        // exploitation half.
+        let mut c = make();
+        let _ = c.emit();
+        c.observe_outputs(&[NodeId::new(1_011); 8]);
+        assert_ne!(a.emit(), c.emit());
+    }
+
+    #[test]
+    fn adaptive_flooder_retargets_toward_admitted_sybils() {
+        let mut flooder = AdaptiveFlooder::new(500, 32, 40, 3);
+        let _ = flooder.emit();
+        // The victim keeps emitting sybil 517: it is being admitted, i.e.
+        // currently under-estimated. The next round must concentrate on it.
+        flooder.observe_outputs(&vec![NodeId::new(517); 50]);
+        let batch = flooder.emit();
+        let hits = batch.iter().filter(|id| id.as_u64() == 517).count();
+        // The exploit half (20 slots) draws uniformly over the top
+        // distinct/8 = 4 scorers, of which 517 is the only nonzero one —
+        // but ties fill the remaining 3 slots, so expect ≈ 20/4 = 5 hits
+        // plus whatever rotation contributes (exactly 1 in 40 slots).
+        assert!(hits >= 3, "only {hits} of {} slots target the admitted sybil", batch.len());
+        // Everything emitted stays inside the purchased pool.
+        assert!(batch.iter().all(|id| (500..532).contains(&id.as_u64())));
+    }
+
+    #[test]
+    fn adaptive_flooder_backs_off_after_rejections() {
+        let mut pressured = AdaptiveFlooder::new(0, 8, 8, 11);
+        let mut calm = AdaptiveFlooder::new(0, 8, 8, 11);
+        let _ = pressured.emit();
+        let _ = calm.emit();
+        pressured.observe_rejections(5);
+        // The backoff round is pure rotation: position-determined, no
+        // exploitation draws.
+        let backed_off = pressured.emit();
+        // Round 0 consumed cursor positions 0..4 on its explore half.
+        let rotation: Vec<u64> = (4..12u64).map(|c| c % 8).collect();
+        assert_eq!(backed_off.iter().map(|id| id.as_u64()).collect::<Vec<_>>(), rotation);
+        // Without rejections the same round exploits (draws coins).
+        assert_ne!(backed_off, calm.emit());
+        // The pressure is consumed: the following round exploits again.
+        assert_eq!(pressured.emit().len(), 8);
+    }
+
+    #[test]
+    fn churn_engine_is_deterministic_and_conserves_invariants() {
+        let mut a = ChurnEngine::new(50, 30, 9);
+        let mut b = ChurnEngine::new(50, 30, 9);
+        for round in 0..40 {
+            a.step(2, 3);
+            b.step(2, 3);
+            assert_eq!(a.alive_flags(), b.alive_flags(), "diverged at round {round}");
+            assert_eq!(a.sample_alive(), b.sample_alive());
+            let count = a.alive_flags().iter().filter(|&&f| f).count();
+            assert_eq!(count, a.alive_count());
+            assert!(a.alive_count() >= 1);
+        }
+        // Net -1 per round from 30 alive: the floor of one survivor holds.
+        for _ in 0..100 {
+            a.step(0, 5);
+        }
+        assert_eq!(a.alive_count(), 1);
+        // And joins refill up to the domain, never past it.
+        for _ in 0..100 {
+            a.step(5, 0);
+        }
+        assert_eq!(a.alive_count(), 50);
+    }
+
+    #[test]
+    fn churn_engine_samples_only_live_ids() {
+        let mut engine = ChurnEngine::new(20, 20, 4);
+        engine.step(0, 12);
+        for _ in 0..200 {
+            let id = engine.sample_alive();
+            assert!(engine.is_alive(id.as_u64()), "sampled dead id {id}");
+        }
+        assert!(!engine.is_alive(20), "out-of-domain id is never alive");
+        assert!(!engine.is_alive(u64::MAX));
+    }
+
+    /// Pinned coin-dependent golden sequences (values observed once under
+    /// the vendored ChaCha12 `StdRng`, then frozen).
+    mod golden {
+        pub const SELF_PROMOTION_SEED42_NODE1: &[u64] = &[0, 3, 0, 3, 2, 2];
+        pub const ADAPTIVE_SEED42_NODE0_ROUND0: &[u64] = &[0, 0, 0, 0, 1, 2];
     }
 }

@@ -31,6 +31,13 @@
 //!   backlogs split across worker threads into same-seed Count-Min
 //!   sketches, merged exactly, and used to pre-warm a sampler's frequency
 //!   knowledge — the scale the sequential simulator cannot reach;
+//! * **adversarial conformance scenarios** ([`conformance`]): the
+//!   deterministic scenario matrix (uniform/zipf/targeted-flooding/sybil/
+//!   adaptive-flooding/churn) and the thinned χ²/TV uniformity
+//!   measurement that `tests/conformance.rs` runs against every execution
+//!   path, backed by the adaptive attacker
+//!   ([`byzantine::AdaptiveFlooder`]) and churn engine
+//!   ([`byzantine::ChurnEngine`]);
 //! * the **parallel sampling pipeline**
 //!   ([`ShardedIngestion::pipeline_ingest`] /
 //!   [`pipeline_feed`](ShardedIngestion::pipeline_feed)): the whole of
@@ -69,6 +76,7 @@
 
 pub mod byzantine;
 pub mod config;
+pub mod conformance;
 pub mod error;
 pub mod metrics;
 pub mod node;
@@ -76,8 +84,11 @@ pub mod sharded;
 pub mod simulator;
 pub mod topology;
 
-pub use byzantine::MaliciousStrategy;
+pub use byzantine::{AdaptiveFlooder, ChurnEngine, MaliciousStrategy};
 pub use config::{SamplerKind, SimConfig, SimConfigBuilder};
+pub use conformance::{
+    measure_uniformity, min_p_clears, Scenario, ScenarioKind, ScenarioStream, UniformityReport,
+};
 pub use error::SimError;
 pub use metrics::{PipelineStats, SimMetrics};
 pub use sharded::ShardedIngestion;

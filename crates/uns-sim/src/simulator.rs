@@ -152,6 +152,14 @@ impl Simulation {
         }
         // Phase 5: record connectivity of the correct view graph.
         let views: Vec<Vec<NodeId>> = self.nodes.iter().map(|n| n.view()).collect();
+        // The adversary observes the round's views — gossip pushes deliver
+        // them to malicious partners anyway — so adaptive strategies can
+        // retarget (static strategies ignore the observation).
+        for m in &mut self.malicious {
+            for view in &views {
+                m.observe(view);
+            }
+        }
         self.connectivity_history.push(topology::is_weakly_connected(&views));
         self.round += 1;
     }
@@ -307,6 +315,26 @@ mod tests {
         let m1 = Simulation::new(config.clone()).unwrap().run();
         let m2 = Simulation::new(config).unwrap().run();
         assert_eq!(m1, m2);
+    }
+
+    #[test]
+    fn adaptive_flood_runs_deterministically_and_is_contained() {
+        // The adaptive attacker observes the round's views (wired in
+        // step()) and retargets; the whole loop must stay deterministic
+        // seed-for-seed, and the knowledge-free sampler must still keep
+        // the sybil view share below the injected input share.
+        let attack = MaliciousStrategy::AdaptiveFlood { distinct_sybils: 12, batch_per_round: 10 };
+        let config = base_config().malicious_nodes(5).attack(attack).build().unwrap();
+        let m1 = Simulation::new(config.clone()).unwrap().run();
+        let m2 = Simulation::new(config).unwrap().run();
+        assert_eq!(m1, m2, "adaptive attack broke determinism");
+        assert!(m1.mean_sybil_input_share > 0.2, "attack not delivered");
+        assert!(
+            m1.mean_sybil_view_share < m1.mean_sybil_input_share,
+            "sampler amplified the adaptive attack: views {} vs input {}",
+            m1.mean_sybil_view_share,
+            m1.mean_sybil_input_share
+        );
     }
 
     #[test]

@@ -234,7 +234,7 @@ impl CountSketch {
         let estimate = Self::median_estimate(&mut self.scratch, self.depth);
         #[cfg(debug_assertions)]
         self.debug_cross_check();
-        (estimate, self.floor.floor())
+        (estimate, self.sampling_floor())
     }
 
     /// The pre-chunking scalar form of
@@ -255,7 +255,46 @@ impl CountSketch {
         let estimate = Self::median_estimate(&mut self.scratch, self.depth);
         #[cfg(debug_assertions)]
         self.debug_cross_check();
-        (estimate, self.floor.floor())
+        (estimate, self.sampling_floor())
+    }
+
+    /// The published sampling floor `min_σ`: the **mean row load**
+    /// `max(1, ⌊total/k⌋)` (0 while empty).
+    ///
+    /// Why not the raw magnitude minimum the tournament engine maintains?
+    /// The adversarial conformance harness exposed that `min |cell|` is
+    /// structurally broken as a `min_σ` analog: signed counters *cancel*,
+    /// so at every sketch width some cell sits near 0 (per row,
+    /// `Σ|cell| ≤ total`, hence `min |cell| ≤ total/k` — and sign noise
+    /// drives the minimum far below that bound, to ~0). Publishing that as
+    /// `min_σ` collapses the knowledge-free sampler's admission
+    /// probability `min_σ/f̂` and freezes its memory — Algorithm 3's
+    /// freshness dies, and the sampler's output measurably stops being
+    /// uniform under *every* workload. The mean row load is the tight,
+    /// cancellation-immune upper bound on that same minimum, and it tracks
+    /// exactly what Count-Min's floor tracks on honest traffic (the
+    /// lightest bucket's load, ≈ `total/k`): under uniform streams
+    /// `min_σ/f̂ ≈ k/n` keeps admissions flowing, and a flooded
+    /// identifier's estimate outgrows it linearly, so suppression is
+    /// preserved. The raw engine-maintained minimum stays available as
+    /// [`CountSketch::min_abs_cell`] for diagnostics and the engine's own
+    /// maintenance-cost benchmarks.
+    fn sampling_floor(&self) -> u64 {
+        if self.total == 0 {
+            0
+        } else {
+            (self.total / self.width as u64).max(1)
+        }
+    }
+
+    /// The raw magnitude minimum `min |cell|` over the matrix — an O(1)
+    /// read off the floor-estimate engine
+    /// ([`crate::min_tracker::TournamentFloorTracker`]). *Not* the
+    /// published sampling floor (see [`FrequencyEstimator::floor_estimate`]
+    /// for why); exposed for diagnostics and differential tests of the
+    /// engine.
+    pub fn min_abs_cell(&self) -> u64 {
+        self.floor.floor()
     }
 
     /// Debug-build cross-check of the tournament tree against a naive
@@ -404,18 +443,18 @@ impl FrequencyEstimator for CountSketch {
         CountSketch::record_and_estimate(self, id)
     }
 
-    /// Analog of the paper's `min_σ` for signed counters: the minimum
-    /// absolute counter value over the matrix. Heuristic — the Count sketch
-    /// has no exact equivalent of Count-Min's global minimum. Two caveats
-    /// follow from the signed counters: the floor stays 0 until *every*
-    /// cell has been touched (there is no meaningful "non-zero cells only"
-    /// reading, because sign cancellation can legitimately return a touched
-    /// cell to 0), and the floor can *decrease* over time for the same
-    /// reason. Maintained by the floor-estimate engine
-    /// ([`crate::min_tracker::TournamentFloorTracker`]); this read is O(1)
-    /// instead of an O(k·s) scan.
+    /// Analog of the paper's `min_σ` for signed counters: the mean row
+    /// load `max(1, ⌊total/k⌋)` (0 while empty). The Count sketch has no exact
+    /// equivalent of Count-Min's touched-counter minimum — sign
+    /// cancellation makes the literal magnitude minimum
+    /// ([`CountSketch::min_abs_cell`]) collapse toward 0 at every width,
+    /// which would silently disable the knowledge-free sampler's
+    /// admissions (caught by the adversarial conformance harness; see
+    /// `sampling_floor` for the full argument). The mean row load is the
+    /// cancellation-immune bound on that minimum and matches the scale of
+    /// Count-Min's floor on honest traffic.
     fn floor_estimate(&self) -> u64 {
-        self.floor.floor()
+        self.sampling_floor()
     }
 
     fn total(&self) -> u64 {

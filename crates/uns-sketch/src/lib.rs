@@ -123,23 +123,32 @@ pub trait FrequencyEstimator {
         (self.estimate(id), self.floor_estimate())
     }
 
-    /// Returns the smallest frequency any identifier could have accumulated
-    /// so far — the paper's `min_σ` (Algorithm 3, line 6).
+    /// Returns the sampling floor — the paper's `min_σ` (Algorithm 3,
+    /// line 6), each estimator's stand-in for the smallest frequency any
+    /// identifier could have accumulated so far. For Count-Min and the
+    /// exact oracle that reading is a genuine lower bound on every
+    /// recorded identifier's estimate; the Count sketch publishes a
+    /// cancellation-immune *proxy* that is *not* (an identifier's true
+    /// frequency can sit below it — see its bullet), so `min_σ/f̂` is
+    /// clamped at 1 by the admission rule, not by this value.
     ///
-    /// All implementations answer through the incremental floor-estimate
-    /// engine ([`min_tracker`]), so this read is O(1); the maintenance cost
-    /// is paid (amortized O(1) to O(log k·s)) inside [`record`]:
+    /// Every read is O(1):
     ///
     /// * [`CountMinSketch`] — minimum over the *touched* counters of `F̂`
     ///   (see its documentation for why the literal all-cells minimum is
-    ///   not used), via [`MonotoneFloorTracker`];
+    ///   not used), via the incremental [`MonotoneFloorTracker`];
     /// * [`ExactFrequencyOracle`] — minimum count over the identifiers seen
     ///   so far, via [`CountOfCountsTracker`];
-    /// * [`CountSketch`] — minimum `|cell|` over **all** cells, via
-    ///   [`TournamentFloorTracker`]. Signed-counter caveat: the floor stays
-    ///   0 until every cell has been touched and may later *decrease* when
-    ///   sign cancellation shrinks a magnitude — there is no one-sided
-    ///   guarantee like Count-Min's.
+    /// * [`CountSketch`] — the **mean row load** `max(1, ⌊total/k⌋)`.
+    ///   Signed-counter caveat: the literal magnitude minimum (still
+    ///   maintained by [`TournamentFloorTracker`] and readable as
+    ///   [`CountSketch::min_abs_cell`]) collapses toward 0 through sign
+    ///   cancellation at every width, which would zero the knowledge-free
+    ///   sampler's admission probability and freeze its memory — the
+    ///   adversarial conformance harness measures exactly this failure.
+    ///   The mean row load is the cancellation-immune bound on that
+    ///   minimum (`min |cell| ≤ Σ|cell|/k ≤ total/k` per row) and matches
+    ///   the scale of Count-Min's floor on honest traffic.
     ///
     /// All return 0 when nothing has been recorded.
     ///

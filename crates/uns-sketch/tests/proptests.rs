@@ -222,11 +222,23 @@ proptest! {
                     None
                 }
             };
-            let naive = (0..sketch.depth())
+            // The engine tracks the raw magnitude minimum…
+            let raw_naive = (0..sketch.depth())
                 .flat_map(|r| sketch.row(r).iter().map(|c| c.unsigned_abs()))
                 .min()
                 .unwrap_or(0);
+            prop_assert_eq!(sketch.min_abs_cell(), raw_naive);
+            // …while the published floor is the cancellation-immune mean
+            // row load (see the CountSketch docs), which bounds it.
+            let naive = if sketch.total() == 0 {
+                0
+            } else {
+                (sketch.total() / sketch.width() as u64).max(1)
+            };
             prop_assert_eq!(sketch.floor_estimate(), naive);
+            // min |cell| ≤ Σ|cell|/k ≤ total/k: the published floor always
+            // dominates the raw minimum.
+            prop_assert!(raw_naive <= naive);
             if let Some(floor) = reported {
                 prop_assert_eq!(floor, naive);
             }

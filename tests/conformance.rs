@@ -1,0 +1,335 @@
+//! The adversarial conformance harness (the statistical half of the
+//! paper's claim).
+//!
+//! Every other suite in this repository pins *bit-exactness*: library
+//! `feed`, the delta-log pipeline and the networked service produce
+//! identical bytes. This harness pins the thing those bytes are supposed
+//! to mean: under a matrix of adversarial scenarios
+//! ([`uns_sim::conformance`]) the sampler's output stream is
+//! **statistically close to uniform** over the node population — and a
+//! naive pass-through baseline measurably is *not* (the negative control
+//! that proves the verdict machinery can actually detect bias).
+//!
+//! Execution paths compared per scenario:
+//!
+//! 1. **library** — element-wise [`NodeSampler::feed`];
+//! 2. **pipeline** — [`ShardedIngestion::pipeline_feed`] (Count-Min only;
+//!    the delta-log pipeline is Count-Min-specific), seeded through
+//!    [`uns_core::derive_estimator_seed`] so it builds the *same* sampler
+//!    a `StreamConfig` describes;
+//! 3. **service** — a real `uns-service` server over the in-process pipe
+//!    transport, batched `FeedBatch` requests with `Busy` retry.
+//!
+//! Outputs must be bit-equal across the paths, so the statistical verdict
+//! is computed once and applies to all three.
+//!
+//! # Determinism and thresholds
+//!
+//! Every seed is fixed, so each cell's p-value/TV is a *constant* — there
+//! is nothing to flake. The thresholds below were chosen from the observed
+//! constants with at least two orders of magnitude of margin in p and ≥ 2×
+//! in TV on both sides of the pass/fail boundary (see the README's
+//! "Adversarial conformance testing" section for the recorded values).
+//! The Bonferroni-style `min_p_clears` keeps the per-trial bound honest
+//! about the number of looks.
+//!
+//! `UNS_CONF_FAST=1` shrinks the matrix for debug CI; the release
+//! `conformance-release` job runs the full scale.
+
+use uns_core::{derive_estimator_seed, NodeId, NodeSampler, PassthroughSampler};
+use uns_service::{EstimatorKind, ServerConfig, ServiceClient, ServiceError, StreamConfig};
+use uns_sim::{measure_uniformity, min_p_clears, Scenario, ScenarioKind, ShardedIngestion};
+
+/// Sampler memory `c` (the paper's Figure 7 value).
+const CAPACITY: usize = 10;
+const DEPTH: usize = 5;
+
+/// Matrix scale (full / `UNS_CONF_FAST=1`).
+struct Scale {
+    domain: usize,
+    len: usize,
+    trials: u64,
+    stride: usize,
+}
+
+fn scale() -> Scale {
+    if std::env::var("UNS_CONF_FAST").is_ok_and(|v| v == "1") {
+        Scale { domain: 150, len: 48_000, trials: 1, stride: 25 }
+    } else {
+        Scale { domain: 300, len: 240_000, trials: 3, stride: 50 }
+    }
+}
+
+impl Scale {
+    /// Sketch widths scale with the population: absolute χ² uniformity
+    /// requires estimator accuracy in proportion to the domain — the
+    /// paper-scale `k = 10` delivers the *relative* `G_KL` gains pinned in
+    /// `tests/end_to_end.rs`, not absolute uniformity at this test's
+    /// power; with `k ≳ 4n` the sketches are essentially collision-free
+    /// and the ε sits below the test's detection floor (README section
+    /// "Adversarial conformance testing").
+    fn width(&self, kind: EstimatorKind) -> usize {
+        match kind {
+            // The Count sketch runs wider: its floor (the mean row load
+            // `total/k`) also sets the admission rate, so `k` balances
+            // estimate accuracy (wants large k) against memory turnover
+            // (wants small k); 5n sits in the measured sweet spot.
+            EstimatorKind::CountSketch => 5 * self.domain,
+            _ => 4 * self.domain,
+        }
+    }
+}
+
+/// Per-family χ² bound fed to `min_p_clears` (divided by the trial count
+/// inside). Observed per-cell minima across both scales sit at ≳ 1e-3
+/// (targeted flooding / churn; everything else ≳ 1e-2) — three orders of
+/// magnitude above this bound, and > 25 orders above the negative
+/// control.
+const ALPHA: f64 = 1e-6;
+/// Worst-trial total-variation ceiling. Observed values sit near each
+/// scale's sampling-noise floor (≈ 0.11 full, ≈ 0.14 fast; churn ≈ 0.18 /
+/// 0.23); the pass-through control under targeted flooding shows ≈ 0.41 /
+/// 0.37.
+const TV_MAX: f64 = 0.28;
+/// Churn only: ceiling on the departed-identifier share of tail outputs
+/// (observed: 0 at both scales — departed ids wash out of `Γ` during the
+/// settling margin).
+const LEAK_MAX: f64 = 0.10;
+/// Negative control: the pass-through baseline must fail at least this
+/// decisively. Observed: p underflows to 0.0 at both scales, TV ≥ 0.30.
+const NEG_P_MAX: f64 = 1e-30;
+const NEG_TV_MIN: f64 = 0.30;
+
+const KINDS: [EstimatorKind; 3] =
+    [EstimatorKind::CountMin, EstimatorKind::CountSketch, EstimatorKind::Exact];
+
+/// Builds the library-path sampler exactly as the service does for the
+/// same `StreamConfig` (shared constructors, shared seed derivation).
+fn library_sampler(kind: EstimatorKind, width: usize, seed: u64) -> Box<dyn NodeSampler> {
+    match kind {
+        EstimatorKind::CountMin => Box::new(
+            uns_core::KnowledgeFreeSampler::with_count_min(CAPACITY, width, DEPTH, seed).unwrap(),
+        ),
+        EstimatorKind::CountSketch => Box::new(
+            uns_core::KnowledgeFreeSampler::with_count_sketch(CAPACITY, width, DEPTH, seed)
+                .unwrap(),
+        ),
+        EstimatorKind::Exact => Box::new(
+            uns_core::KnowledgeFreeSampler::new(
+                CAPACITY,
+                uns_sketch::ExactFrequencyOracle::new(),
+                seed,
+            )
+            .unwrap(),
+        ),
+    }
+}
+
+/// Element-wise library feed — the reference output stream.
+fn library_outputs(kind: EstimatorKind, width: usize, ids: &[NodeId], seed: u64) -> Vec<NodeId> {
+    let mut sampler = library_sampler(kind, width, seed);
+    ids.iter().map(|&id| sampler.feed(id)).collect()
+}
+
+/// The delta-log pipeline path (Count-Min only).
+fn pipeline_outputs(width: usize, ids: &[NodeId], seed: u64) -> Vec<NodeId> {
+    let ingestion = ShardedIngestion::new(width, DEPTH, derive_estimator_seed(seed), 4).unwrap();
+    let mut out = Vec::new();
+    ingestion.pipeline_feed(ids, CAPACITY, seed, &mut out).unwrap();
+    out
+}
+
+/// The networked-service path: batched FeedBatch over the in-process pipe.
+fn service_outputs(
+    client: &mut ServiceClient<uns_service::PipeTransport>,
+    stream_name: &str,
+    kind: EstimatorKind,
+    width: usize,
+    ids: &[NodeId],
+    seed: u64,
+) -> Vec<NodeId> {
+    let config = StreamConfig { kind, capacity: CAPACITY, width, depth: DEPTH, seed };
+    retry_busy(|| client.create_stream(stream_name, &config)).unwrap();
+    let mut out = Vec::with_capacity(ids.len());
+    for batch in ids.chunks(8_192) {
+        let ack = retry_busy(|| client.feed_batch(stream_name, batch)).unwrap();
+        out.extend_from_slice(&ack.outputs);
+    }
+    out
+}
+
+/// Busy replies mean "nothing happened, try again" — the client owns the
+/// retry policy.
+fn retry_busy<T>(mut op: impl FnMut() -> Result<T, ServiceError>) -> Result<T, ServiceError> {
+    loop {
+        match op() {
+            Err(ServiceError::Busy) => std::thread::yield_now(),
+            other => return other,
+        }
+    }
+}
+
+fn cell_seed(scenario: ScenarioKind, kind: EstimatorKind, trial: u64) -> u64 {
+    let kind_tag = match kind {
+        EstimatorKind::CountMin => 1u64,
+        EstimatorKind::CountSketch => 2,
+        EstimatorKind::Exact => 3,
+    };
+    0xc0ff_ee00 ^ (scenario as u64) << 24 ^ kind_tag << 16 ^ trial
+}
+
+/// The full conformance matrix: 6 scenarios × 3 estimator kinds ×
+/// `trials` seeds. Each cell checks cross-path bit-equality, then the
+/// aggregated statistical bounds.
+#[test]
+fn conformance_matrix_is_uniform_across_all_paths() {
+    let scale = scale();
+    let server = uns_service::Server::start(ServerConfig::default());
+    let mut client = ServiceClient::new(server.connect_in_process()).unwrap();
+
+    for scenario in Scenario::matrix(scale.domain, scale.len) {
+        for kind in KINDS {
+            let mut p_values = Vec::new();
+            let mut max_tv = 0.0f64;
+            let mut max_leak = 0.0f64;
+            let width = scale.width(kind);
+            let stride = scale.stride * scenario.kind.stride_factor();
+            for trial in 0..scale.trials {
+                let seed = cell_seed(scenario.kind, kind, trial);
+                let stream = scenario.synthesize(seed);
+                let outputs = library_outputs(kind, width, &stream.ids, seed);
+
+                // Cross-path bit-equality (first trial: all paths; the
+                // remaining trials re-verify the library path only — the
+                // equality is seed-independent plumbing, the statistics
+                // need every trial).
+                if trial == 0 {
+                    let name = format!("conf-{}-{kind:?}", scenario.kind.name());
+                    let served =
+                        service_outputs(&mut client, &name, kind, width, &stream.ids, seed);
+                    assert_eq!(
+                        outputs,
+                        served,
+                        "{}/{kind:?}: service outputs diverged from library feed",
+                        scenario.kind.name()
+                    );
+                    if kind == EstimatorKind::CountMin {
+                        let piped = pipeline_outputs(width, &stream.ids, seed);
+                        assert_eq!(
+                            outputs,
+                            piped,
+                            "{}/{kind:?}: pipeline outputs diverged from library feed",
+                            scenario.kind.name()
+                        );
+                    }
+                }
+
+                let report = measure_uniformity(&stream, &outputs, stride);
+                println!(
+                    "{:>18} {:11} trial {trial}: p = {:.3e}, tv = {:.3}, kl = {:.4}, leak = {:.3}, n = {}",
+                    scenario.kind.name(),
+                    format!("{kind:?}"),
+                    report.p_value,
+                    report.tv,
+                    report.kl,
+                    report.leaked_share,
+                    report.samples
+                );
+                p_values.push(report.p_value);
+                max_tv = max_tv.max(report.tv);
+                max_leak = max_leak.max(report.leaked_share);
+            }
+
+            // Aggregated verdicts: Bonferroni min-p for χ², a uniform
+            // (worst-trial) bound for TV.
+            assert!(
+                min_p_clears(&p_values, ALPHA),
+                "{}/{kind:?}: χ² uniformity rejected, p-values {p_values:?}",
+                scenario.kind.name()
+            );
+            assert!(
+                max_tv <= TV_MAX,
+                "{}/{kind:?}: worst-trial TV {max_tv} exceeds {TV_MAX}",
+                scenario.kind.name()
+            );
+            if scenario.kind == ScenarioKind::Churn {
+                assert!(
+                    max_leak <= LEAK_MAX,
+                    "{}/{kind:?}: departed-id leakage {max_leak}",
+                    scenario.kind.name()
+                );
+            }
+        }
+    }
+}
+
+/// The negative control: the harness must be able to *fail* a sampler.
+/// A pass-through "sampler" under targeted flooding echoes the biased
+/// input, and the same verdict machinery that passes the knowledge-free
+/// sampler must reject it decisively — otherwise every green cell above
+/// is vacuous.
+#[test]
+fn negative_control_passthrough_fails_under_targeted_flooding() {
+    let scale = scale();
+    let scenario =
+        Scenario { kind: ScenarioKind::TargetedFlooding, domain: scale.domain, len: scale.len };
+    let mut worst_p = 0.0f64;
+    let mut worst_tv = f64::INFINITY;
+    for trial in 0..scale.trials {
+        let seed =
+            cell_seed(ScenarioKind::TargetedFlooding, EstimatorKind::CountMin, trial) ^ 0xbad;
+        let stream = scenario.synthesize(seed);
+        let mut naive = PassthroughSampler::new();
+        let outputs: Vec<NodeId> = stream.ids.iter().map(|&id| naive.feed(id)).collect();
+        let report = measure_uniformity(&stream, &outputs, scale.stride);
+        println!(
+            "negative control trial {trial}: p = {:.3e}, tv = {:.3}, n = {}",
+            report.p_value, report.tv, report.samples
+        );
+        worst_p = worst_p.max(report.p_value);
+        worst_tv = worst_tv.min(report.tv);
+    }
+    assert!(
+        worst_p <= NEG_P_MAX,
+        "harness failed to reject the pass-through baseline (p = {worst_p:.3e})"
+    );
+    assert!(worst_tv >= NEG_TV_MIN, "pass-through TV {worst_tv} suspiciously close to uniform");
+}
+
+/// The adaptive attacker must actually be *worse* for a naive baseline
+/// than for the knowledge-free sampler — i.e. the scenario has teeth and
+/// the sampler's robustness is doing real work in the matrix above.
+#[test]
+fn adaptive_flooding_biases_its_input_stream() {
+    let scale = scale();
+    let scenario =
+        Scenario { kind: ScenarioKind::AdaptiveFlooding, domain: scale.domain, len: scale.len };
+    let stream = scenario.synthesize(0x5eed);
+    // The input itself (= pass-through output) is far from uniform…
+    let mut naive = PassthroughSampler::new();
+    let outputs: Vec<NodeId> = stream.ids.iter().map(|&id| naive.feed(id)).collect();
+    let input_report = measure_uniformity(&stream, &outputs, scale.stride);
+    assert!(
+        input_report.p_value <= NEG_P_MAX && input_report.tv >= NEG_TV_MIN,
+        "adaptive attack stream is not measurably biased (p = {:.3e}, tv = {:.3})",
+        input_report.p_value,
+        input_report.tv
+    );
+    // …while the knowledge-free sampler's output over the same stream
+    // clears the positive bounds (also asserted cell-wise above; repeated
+    // here so this test stands alone as the tentpole's discriminator).
+    let sampled = library_outputs(
+        EstimatorKind::CountMin,
+        scale.width(EstimatorKind::CountMin),
+        &stream.ids,
+        0x5eed,
+    );
+    let output_report = measure_uniformity(&stream, &sampled, scale.stride);
+    assert!(
+        output_report.p_value >= ALPHA && output_report.tv <= TV_MAX,
+        "sampler failed under the adaptive attack (p = {:.3e}, tv = {:.3})",
+        output_report.p_value,
+        output_report.tv
+    );
+    assert!(output_report.kl < input_report.kl / 4.0, "unbiasing gain is marginal");
+}

@@ -39,7 +39,19 @@ fn count_min_naive_floor(sketch: &CountMinSketch) -> u64 {
         .unwrap_or(0)
 }
 
+/// The Count sketch's published floor: the cancellation-immune mean row
+/// load (`max(1, ⌊total/k⌋)`, 0 while empty) — see the `CountSketch` docs; the raw
+/// magnitude minimum is checked separately against
+/// `CountSketch::min_abs_cell`.
 fn count_sketch_naive_floor(sketch: &CountSketch) -> u64 {
+    if sketch.total() == 0 {
+        0
+    } else {
+        (sketch.total() / sketch.width() as u64).max(1)
+    }
+}
+
+fn count_sketch_naive_min_abs_cell(sketch: &CountSketch) -> u64 {
     (0..sketch.depth())
         .flat_map(|r| sketch.row(r).iter().map(|c| c.unsigned_abs()))
         .min()
@@ -74,8 +86,9 @@ proptest! {
         }
     }
 
-    /// Count sketch: engine floor ≡ naive |cell| scan under sybil
-    /// injection — sign cancellations included.
+    /// Count sketch: the published floor ≡ the mean-row-load reference,
+    /// and the engine's raw magnitude minimum ≡ a naive |cell| scan under
+    /// sybil injection — sign cancellations included.
     #[test]
     fn count_sketch_floor_survives_sybil_injection(
         distinct in 1usize..40,
@@ -88,6 +101,10 @@ proptest! {
         for &id in &stream {
             let (_, floor) = sketch.record_and_estimate(id);
             prop_assert_eq!(floor, count_sketch_naive_floor(&sketch));
+            prop_assert_eq!(sketch.min_abs_cell(), count_sketch_naive_min_abs_cell(&sketch));
+            // The published floor dominates the raw minimum (per row,
+            // min |cell| <= Σ|cell|/k <= total/k).
+            prop_assert!(sketch.min_abs_cell() <= floor);
         }
     }
 
