@@ -67,6 +67,20 @@ use crate::node_id::NodeId;
 /// words are part of the generator's snapshot state). Pinned by proptests
 /// in `uns-core` and at full scale in release CI.
 ///
+/// # Recovery contract
+///
+/// Determinism-from-seed-and-stream is also what makes crash recovery by
+/// *replay* exact: re-applying a logged suffix of operations to a
+/// restored snapshot must reproduce the uninterrupted sampler bit for
+/// bit. That holds only if **every** coin-consuming operation is part of
+/// the replayed history — including output-only draws ([`sample`]), which
+/// advance the generator without touching memory. A write-ahead log that
+/// records inserts but not sample draws replays into a sampler whose
+/// memory matches and whose *future outputs* do not. `uns-service`'s
+/// durable server therefore logs `Ingest`, `FeedBatch`, **and** `Sample`,
+/// and its crash-recovery suite pins snapshot + replay bit-equal (memory
+/// `Γ`, estimator cells, RNG state) to a server that never crashed.
+///
 /// [`feed`]: NodeSampler::feed
 /// [`ingest`]: NodeSampler::ingest
 /// [`sample`]: NodeSampler::sample

@@ -52,6 +52,22 @@ impl<T: Transport> ServiceClient<T> {
         Ok(Self { reader: transport, writer, send_buf: Vec::new(), recv_buf: Vec::new() })
     }
 
+    /// Bounds how long each reply wait may block (the transport read
+    /// timeout); `None` restores unbounded blocking. After a timed-out
+    /// read the connection must be discarded — a late reply would
+    /// desynchronise framing (see [`crate::resilient`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the transport's failure to set the timeout.
+    pub fn set_op_timeout(
+        &mut self,
+        timeout: Option<std::time::Duration>,
+    ) -> Result<(), ServiceError> {
+        self.reader.set_read_timeout(timeout)?;
+        Ok(())
+    }
+
     fn round_trip(&mut self) -> Result<Response, ServiceError> {
         write_frame(&mut self.writer, &self.send_buf)?;
         if !read_frame(&mut self.reader, &mut self.recv_buf)? {

@@ -24,6 +24,10 @@ pub enum ServiceError {
     StreamExists(String),
     /// Invalid stream configuration (dimensions, capacity, estimator kind).
     InvalidConfig(String),
+    /// The stream's write-ahead log rejected the op before it was applied.
+    /// When this reaches a client the op's outcome is *unknown* (the
+    /// server may have recovered and replayed it) — resync by position.
+    Durability(String),
 }
 
 impl fmt::Display for ServiceError {
@@ -37,6 +41,7 @@ impl fmt::Display for ServiceError {
             ServiceError::UnknownStream(name) => write!(f, "unknown stream {name:?}"),
             ServiceError::StreamExists(name) => write!(f, "stream {name:?} already exists"),
             ServiceError::InvalidConfig(msg) => write!(f, "invalid stream configuration: {msg}"),
+            ServiceError::Durability(msg) => write!(f, "durability failure: {msg}"),
         }
     }
 }
@@ -73,6 +78,7 @@ mod tests {
             ServiceError::UnknownStream("s".into()),
             ServiceError::StreamExists("s".into()),
             ServiceError::InvalidConfig("zero width".into()),
+            ServiceError::Durability("wal append failed".into()),
         ] {
             assert!(!err.to_string().is_empty());
         }

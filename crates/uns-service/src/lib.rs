@@ -28,9 +28,16 @@
 //!   restore of the complete sampler state (memory `Γ` in slot order,
 //!   estimator cells, floor-engine inputs, RNG state) such that a restored
 //!   service is **bit-equal going forward** to one that never stopped;
-//! * [`client`] + [`loadgen`] — a blocking client and a load generator
-//!   that replays Zipf/uniform/adversarial workloads over N concurrent
-//!   connections and reports Melem/s.
+//! * [`storage`] + [`wal`] — per-stream write-ahead op logging with
+//!   configurable fsync policy, snapshot compaction, and crash recovery
+//!   (snapshot + log replay reusing the bit-equal restore path);
+//! * [`fault`] — seeded deterministic fault injection (torn writes,
+//!   corrupt WAL tails, dropped/delayed replies, scheduled worker panics)
+//!   wrapping the storage and [`transport`] seams;
+//! * [`client`] + [`loadgen`] + [`resilient`] — a blocking client, a load
+//!   generator that replays Zipf/uniform/adversarial workloads over N
+//!   concurrent connections and reports Melem/s, and a resilient client
+//!   wrapper with deadlines, capped backoff, and position resync.
 //!
 //! # Example
 //!
@@ -58,18 +65,26 @@
 
 pub mod client;
 pub mod error;
+pub mod fault;
 pub mod loadgen;
 pub mod protocol;
+pub mod resilient;
 pub mod sampler;
 pub mod server;
 pub mod snapshot;
+pub mod storage;
 pub mod transport;
+pub mod wal;
 pub mod wire;
 
 pub use client::{FeedAck, IngestAck, ServiceClient};
 pub use error::ServiceError;
-pub use loadgen::{LoadgenConfig, LoadgenReport, Workload};
+pub use fault::{FaultPlan, FaultSpec};
+pub use loadgen::{LoadgenConfig, LoadgenReport, LoadgenRetry, Workload};
 pub use protocol::{EstimatorKind, StreamConfig, StreamStats};
+pub use resilient::{Delivery, ResilientClient, RetryPolicy, RetryStats};
 pub use sampler::ServiceSampler;
-pub use server::{Server, ServerConfig};
+pub use server::{DurabilityConfig, Server, ServerConfig};
+pub use storage::{DirBackend, MemBackend, StorageBackend};
 pub use transport::{duplex, PipeTransport, Transport};
+pub use wal::{DurabilityStats, FsyncPolicy};

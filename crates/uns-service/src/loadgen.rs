@@ -98,6 +98,48 @@ impl Workload {
     }
 }
 
+/// Bounds on the per-batch Busy-retry loop: capped exponential backoff
+/// with seeded jitter, and a hard retry budget so a saturated server can
+/// never pin a connection in an unbounded retry spin.
+#[derive(Clone, Copy, Debug)]
+pub struct LoadgenRetry {
+    /// Busy retries allowed per batch before the batch is abandoned
+    /// (reported in [`LoadgenReport::abandoned_batches`]).
+    pub budget: u32,
+    /// First backoff pause; doubles per retry up to `max_backoff`.
+    pub base_backoff: Duration,
+    /// Cap on a single backoff pause (before jitter).
+    pub max_backoff: Duration,
+}
+
+impl Default for LoadgenRetry {
+    fn default() -> Self {
+        Self {
+            budget: 1_000,
+            base_backoff: Duration::from_micros(50),
+            max_backoff: Duration::from_millis(10),
+        }
+    }
+}
+
+impl LoadgenRetry {
+    /// Jittered backoff for retry number `attempt` (1-based), advancing
+    /// the per-connection jitter state (splitmix64).
+    fn delay(&self, attempt: u32, rng: &mut u64) -> Duration {
+        let shift = attempt.saturating_sub(1).min(16);
+        let exp = self.base_backoff.saturating_mul(1u32 << shift).min(self.max_backoff);
+        *rng = rng.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *rng;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        let unit = (z >> 11) as f64 / (1u64 << 53) as f64;
+        // [0.5, 1.0)·exp — de-synchronises competing connections without
+        // collapsing the pause to zero.
+        exp.mul_f64(0.5 + 0.5 * unit)
+    }
+}
+
 /// Load-generator run parameters.
 #[derive(Clone, Copy, Debug)]
 pub struct LoadgenConfig {
@@ -114,6 +156,8 @@ pub struct LoadgenConfig {
     /// `true` → `FeedBatch` (outputs drawn and shipped back);
     /// `false` → input-only `Ingest`.
     pub feed: bool,
+    /// Busy-retry bounds (backoff shape and budget).
+    pub retry: LoadgenRetry,
 }
 
 /// Outcome of a load-generator run.
@@ -125,6 +169,10 @@ pub struct LoadgenReport {
     pub elapsed: Duration,
     /// Requests that bounced with Busy and were retried.
     pub busy_retries: u64,
+    /// Batches abandoned after exhausting the retry budget.
+    pub abandoned_batches: u64,
+    /// Elements those abandoned batches would have carried.
+    pub abandoned_elements: u64,
     /// Final server-side stream counters.
     pub stats: StreamStats,
     /// XOR digest of all output samples (feed mode) — a cheap whole-run
@@ -171,17 +219,26 @@ where
         })
         .collect::<Result<_, _>>()?;
     let started = Instant::now();
-    let results: Vec<Result<(u64, u64, u64), ServiceError>> = std::thread::scope(|scope| {
+    type ConnTally = (u64, u64, u64, u64, u64);
+    let results: Vec<Result<ConnTally, ServiceError>> = std::thread::scope(|scope| {
         let connect = &connect;
         let handles: Vec<_> = slices
             .iter()
-            .map(|slice| {
+            .enumerate()
+            .map(|(index, slice)| {
                 scope.spawn(move || {
                     let mut client = ServiceClient::new(connect()?)?;
                     let mut sent = 0u64;
                     let mut busy = 0u64;
+                    let mut abandoned = 0u64;
+                    let mut abandoned_elems = 0u64;
                     let mut digest = 0u64;
+                    // Per-connection jitter stream so competing
+                    // connections never back off in lockstep.
+                    let mut jitter =
+                        config.seed ^ (index as u64).wrapping_mul(0xa076_1d64_78bd_642f);
                     for batch in slice.chunks(batch_len) {
+                        let mut attempts = 0u32;
                         loop {
                             let result = if config.feed {
                                 client.feed_batch(stream_name, batch).map(|ack| {
@@ -193,17 +250,27 @@ where
                                 client.ingest(stream_name, batch).map(|_| ())
                             };
                             match result {
-                                Ok(()) => break,
+                                Ok(()) => {
+                                    sent += batch.len() as u64;
+                                    break;
+                                }
                                 Err(ServiceError::Busy) => {
                                     busy += 1;
-                                    std::thread::sleep(Duration::from_micros(50));
+                                    attempts += 1;
+                                    if attempts > config.retry.budget {
+                                        // Budget exhausted: skip the batch
+                                        // rather than spin unboundedly.
+                                        abandoned += 1;
+                                        abandoned_elems += batch.len() as u64;
+                                        break;
+                                    }
+                                    std::thread::sleep(config.retry.delay(attempts, &mut jitter));
                                 }
                                 Err(err) => return Err(err),
                             }
                         }
-                        sent += batch.len() as u64;
                     }
-                    Ok((sent, busy, digest))
+                    Ok((sent, busy, abandoned, abandoned_elems, digest))
                 })
             })
             .collect();
@@ -211,17 +278,29 @@ where
     });
     let mut elements = 0u64;
     let mut busy_retries = 0u64;
+    let mut abandoned_batches = 0u64;
+    let mut abandoned_elements = 0u64;
     let mut output_digest = 0u64;
     for result in results {
-        let (sent, busy, digest) = result?;
+        let (sent, busy, abandoned, abandoned_elems, digest) = result?;
         elements += sent;
         busy_retries += busy;
+        abandoned_batches += abandoned;
+        abandoned_elements += abandoned_elems;
         output_digest ^= digest;
     }
     let elapsed = started.elapsed();
     let mut client = ServiceClient::new(connect()?)?;
     let stats = client.stats(stream_name)?;
-    Ok(LoadgenReport { elements, elapsed, busy_retries, stats, output_digest })
+    Ok(LoadgenReport {
+        elements,
+        elapsed,
+        busy_retries,
+        abandoned_batches,
+        abandoned_elements,
+        stats,
+        output_digest,
+    })
 }
 
 /// Convenience: create the stream, run the load, return the report.
@@ -300,6 +379,7 @@ mod tests {
             workload: Workload::PeakAttack { domain: 1_000 },
             seed: 11,
             feed: true,
+            retry: LoadgenRetry::default(),
         };
         let report = create_and_run(
             || Ok(server.connect_in_process()),
@@ -324,5 +404,83 @@ mod tests {
         .unwrap();
         assert_eq!(report.stats.pipeline.outputs, 0);
         assert_eq!(report.output_digest, 0);
+    }
+
+    #[test]
+    fn generous_budget_loses_nothing_and_backoff_is_capped() {
+        // A single worker with the smallest queue plus many connections is
+        // the heaviest Busy pressure the server can produce; the default
+        // budget must still land every batch.
+        let server = Server::start(ServerConfig { workers: 1, queue_depth: 1 });
+        let stream_config = StreamConfig {
+            kind: EstimatorKind::CountMin,
+            capacity: 8,
+            width: 16,
+            depth: 3,
+            seed: 5,
+        };
+        let config = LoadgenConfig {
+            connections: 4,
+            elements_per_connection: 2_000,
+            batch_len: 64,
+            workload: Workload::Uniform { domain: 500 },
+            seed: 3,
+            feed: false,
+            retry: LoadgenRetry::default(),
+        };
+        let report =
+            create_and_run(|| Ok(server.connect_in_process()), "pressure", &stream_config, &config)
+                .unwrap();
+        assert_eq!(report.abandoned_batches, 0);
+        assert_eq!(report.abandoned_elements, 0);
+        assert_eq!(report.elements, 8_000);
+        assert_eq!(report.stats.pipeline.elements, 8_000);
+        server.stop();
+    }
+
+    #[test]
+    fn exhausted_budget_abandons_batches_instead_of_spinning() {
+        // Budget 0 abandons on the first Busy; elements + abandoned always
+        // account for the whole offered load.
+        let server = Server::start(ServerConfig { workers: 1, queue_depth: 1 });
+        let stream_config = StreamConfig {
+            kind: EstimatorKind::CountMin,
+            capacity: 8,
+            width: 16,
+            depth: 3,
+            seed: 5,
+        };
+        let config = LoadgenConfig {
+            connections: 4,
+            elements_per_connection: 2_000,
+            batch_len: 64,
+            workload: Workload::Uniform { domain: 500 },
+            seed: 3,
+            feed: false,
+            retry: LoadgenRetry { budget: 0, ..LoadgenRetry::default() },
+        };
+        let report =
+            create_and_run(|| Ok(server.connect_in_process()), "pressure", &stream_config, &config)
+                .unwrap();
+        assert_eq!(report.elements + report.abandoned_elements, 8_000);
+        assert_eq!(report.busy_retries, report.abandoned_batches);
+        assert_eq!(report.stats.pipeline.elements, report.elements);
+        server.stop();
+    }
+
+    #[test]
+    fn retry_delays_are_deterministic_capped_and_jittered() {
+        let retry = LoadgenRetry::default();
+        let mut a = 7u64;
+        let mut b = 7u64;
+        let seq_a: Vec<Duration> = (1..20).map(|i| retry.delay(i, &mut a)).collect();
+        let seq_b: Vec<Duration> = (1..20).map(|i| retry.delay(i, &mut b)).collect();
+        assert_eq!(seq_a, seq_b, "same jitter state must give the same schedule");
+        for d in &seq_a {
+            assert!(*d <= retry.max_backoff, "{d:?} exceeds the cap");
+            assert!(*d >= retry.base_backoff / 4, "{d:?} collapsed to nothing");
+        }
+        // Late attempts sit at the cap (modulo jitter): strictly above half.
+        assert!(seq_a[18] >= retry.max_backoff / 2);
     }
 }

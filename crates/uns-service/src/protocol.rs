@@ -12,6 +12,7 @@
 //! requests cost none).
 
 use crate::error::ServiceError;
+use crate::wal::DurabilityStats;
 use crate::wire::{put_str, put_u32, put_u64, Cursor, MAX_FRAME_LEN, PROTOCOL_VERSION};
 use uns_core::NodeId;
 use uns_sim::PipelineStats;
@@ -346,6 +347,9 @@ pub struct StreamStats {
     /// Requests bounced with [`Response::Busy`] because the stream's shard
     /// queue was full at arrival.
     pub busy_rejections: u64,
+    /// Durability accounting (all zero on a server running without a
+    /// storage backend): WAL bytes/records, compactions, recoveries.
+    pub durability: DurabilityStats,
 }
 
 /// Error codes carried by [`Response::Error`].
@@ -359,6 +363,10 @@ pub enum ErrorCode {
     InvalidConfig,
     /// Snapshot blob rejected.
     BadSnapshot,
+    /// The stream's write-ahead log rejected the op — the op was **not**
+    /// applied (when it surfaces after a WAL-and-recovery race the outcome
+    /// is unknown; clients resync by position).
+    Durability,
     /// Anything else.
     Other,
 }
@@ -371,6 +379,7 @@ impl ErrorCode {
             ErrorCode::InvalidConfig => 3,
             ErrorCode::BadSnapshot => 4,
             ErrorCode::Other => 5,
+            ErrorCode::Durability => 6,
         }
     }
 
@@ -381,6 +390,7 @@ impl ErrorCode {
             3 => Ok(ErrorCode::InvalidConfig),
             4 => Ok(ErrorCode::BadSnapshot),
             5 => Ok(ErrorCode::Other),
+            6 => Ok(ErrorCode::Durability),
             other => Err(ServiceError::Protocol(format!("unknown error code {other}"))),
         }
     }
@@ -479,6 +489,10 @@ impl Response {
                 put_u64(out, stats.pipeline.admitted);
                 put_u64(out, stats.pipeline.outputs);
                 put_u64(out, stats.busy_rejections);
+                put_u64(out, stats.durability.wal_bytes);
+                put_u64(out, stats.durability.wal_records);
+                put_u64(out, stats.durability.snapshot_compactions);
+                put_u64(out, stats.durability.recoveries);
             }
             Response::Busy => out.push(RESP_BUSY),
             Response::Error { code, message } => {
@@ -534,6 +548,12 @@ impl Response {
                     outputs: cur.u64()?,
                 },
                 busy_rejections: cur.u64()?,
+                durability: DurabilityStats {
+                    wal_bytes: cur.u64()?,
+                    wal_records: cur.u64()?,
+                    snapshot_compactions: cur.u64()?,
+                    recoveries: cur.u64()?,
+                },
             }),
             RESP_BUSY => Response::Busy,
             RESP_ERROR => Response::Error {
@@ -563,6 +583,7 @@ impl Response {
                 ErrorCode::StreamExists => ServiceError::StreamExists(message),
                 ErrorCode::InvalidConfig => ServiceError::InvalidConfig(message),
                 ErrorCode::BadSnapshot => ServiceError::Snapshot(message),
+                ErrorCode::Durability => ServiceError::Durability(message),
                 ErrorCode::Other => ServiceError::Remote(message),
             }),
             ok => Ok(ok),
@@ -658,6 +679,12 @@ mod tests {
                     outputs: 100,
                 },
                 busy_rejections: 2,
+                durability: DurabilityStats {
+                    wal_bytes: 4096,
+                    wal_records: 25,
+                    snapshot_compactions: 1,
+                    recoveries: 3,
+                },
             }),
             Response::Busy,
             Response::Error { code: ErrorCode::UnknownStream, message: "no such stream".into() },
@@ -685,7 +712,7 @@ mod tests {
         // Same checks on the response side.
         let mut body = Vec::new();
         Response::Ok.encode(&mut body);
-        body[0] = 2;
+        body[0] = PROTOCOL_VERSION + 1;
         assert!(matches!(Response::decode(&body), Err(ServiceError::Protocol(_))));
         Response::Ok.encode(&mut body);
         body[1] = 0x10;
@@ -706,5 +733,7 @@ mod tests {
         assert!(matches!(err.into_result(), Err(ServiceError::StreamExists(_))));
         let err = Response::Error { code: ErrorCode::BadSnapshot, message: "s".into() };
         assert!(matches!(err.into_result(), Err(ServiceError::Snapshot(_))));
+        let err = Response::Error { code: ErrorCode::Durability, message: "s".into() };
+        assert!(matches!(err.into_result(), Err(ServiceError::Durability(_))));
     }
 }

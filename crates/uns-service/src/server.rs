@@ -38,13 +38,19 @@
 //! not allocate proportionally to the batch size.
 
 use crate::error::ServiceError;
+use crate::fault::{FaultBackend, FaultPlan, FaultTransport};
 use crate::protocol::{
     ErrorCode, Request, Response, StreamConfig, StreamStats, MAX_BATCH_IDS, MAX_STREAM_NAME_LEN,
 };
 use crate::sampler::ServiceSampler;
+use crate::storage::StorageBackend;
 use crate::transport::Transport;
+use crate::wal::{
+    parse_wal, DurabilityStats, DurableSnapshot, FsyncPolicy, WalOp, WalOpRef, WalWriter,
+};
 use crate::wire::{read_frame, write_frame, MAX_FRAME_LEN};
 use std::collections::HashMap;
+use std::fmt;
 use std::net::TcpListener;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
@@ -69,10 +75,64 @@ impl Default for ServerConfig {
     }
 }
 
+/// Durability knobs of a server started with [`Server::start_durable`].
+///
+/// Every mutating op on every stream is appended to that stream's
+/// write-ahead log **before** it is applied ([`crate::wal`] has the format
+/// and the fsync-policy loss windows); a crashed or killed server rebuilds
+/// each stream at the next [`Server::start_durable`] from its latest
+/// durable snapshot plus log replay — bit-equal to the uninterrupted run
+/// up to the policy's loss window (zero loss at [`FsyncPolicy::PerOp`]).
+#[derive(Clone)]
+pub struct DurabilityConfig {
+    /// Where logs and snapshots live ([`crate::storage::DirBackend`] for
+    /// real files, [`crate::storage::MemBackend`] for crash tests).
+    pub backend: Arc<dyn StorageBackend>,
+    /// When the log is fsynced relative to op acknowledgement.
+    pub fsync: FsyncPolicy,
+    /// Log size (bytes) at which the owning worker compacts the stream:
+    /// write a durable snapshot, restart the log. Compaction runs between
+    /// ops on the worker, so it never races the state it captures.
+    pub compact_bytes: u64,
+    /// Optional seeded fault schedule: wraps the backend (torn writes,
+    /// failed fsyncs) and every accepted connection's reply path
+    /// (drops/delays), and injects scheduled worker panics.
+    pub fault_plan: Option<Arc<FaultPlan>>,
+}
+
+impl DurabilityConfig {
+    /// Durability over `backend` with the safe defaults: fsync per op
+    /// (zero acknowledged loss), 1 MiB compaction threshold, no faults.
+    pub fn new(backend: Arc<dyn StorageBackend>) -> Self {
+        Self { backend, fsync: FsyncPolicy::PerOp, compact_bytes: 1 << 20, fault_plan: None }
+    }
+
+    /// The backend all stream I/O actually goes through — the configured
+    /// one, wrapped in the fault plan when present.
+    fn effective_backend(&self) -> Arc<dyn StorageBackend> {
+        match &self.fault_plan {
+            Some(plan) => Arc::new(FaultBackend::new(Arc::clone(&self.backend), Arc::clone(plan))),
+            None => Arc::clone(&self.backend),
+        }
+    }
+}
+
+impl fmt::Debug for DurabilityConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DurabilityConfig")
+            .field("fsync", &self.fsync)
+            .field("compact_bytes", &self.compact_bytes)
+            .field("fault_plan", &self.fault_plan.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
 /// A stream operation after routing, executed by the owning worker.
+/// Create/Restore carry the stream *name* because a durable server keys
+/// its logs and snapshots by name.
 enum StreamOp {
-    Create(StreamConfig),
-    Restore(Vec<u8>),
+    Create(String, StreamConfig),
+    Restore(String, Vec<u8>),
     Ingest(Vec<NodeId>),
     Feed(Vec<NodeId>),
     Sample,
@@ -170,6 +230,7 @@ pub struct Server {
     workers: Vec<JoinHandle<()>>,
     shutdown: Arc<AtomicBool>,
     pool: Arc<BufferPool>,
+    durability: Option<DurabilityConfig>,
 }
 
 impl Server {
@@ -177,27 +238,82 @@ impl Server {
     /// transports to [`Server::handle`], in-process pipes from
     /// [`Server::connect_in_process`], or a listener to [`Server::serve`].
     pub fn start(config: ServerConfig) -> Self {
+        Self::start_inner(config, None, Vec::new(), HashMap::new())
+    }
+
+    /// Starts a **durable** server: recovers every stream the backend
+    /// knows (latest durable snapshot + write-ahead-log replay, torn tails
+    /// CRC-truncated) *before* accepting work, then write-ahead-logs every
+    /// mutating op per `durability.fsync`.
+    ///
+    /// # Errors
+    ///
+    /// Fails hard when a stream's durable snapshot is missing/corrupt or
+    /// its storage errors — silently dropping a stream that was promised
+    /// durable would be worse than refusing to start. (A torn log *tail*
+    /// is normal crash damage and is truncated, not an error.)
+    pub fn start_durable(
+        config: ServerConfig,
+        durability: DurabilityConfig,
+    ) -> Result<Self, ServiceError> {
+        // Route all storage I/O through the fault plan when one is set.
+        let durability = DurabilityConfig { backend: durability.effective_backend(), ..durability };
+        let workers_n = config.workers.max(1);
+        let mut names = durability.backend.list_streams()?;
+        names.sort();
+        let mut initial: Vec<HashMap<u64, StreamState>> =
+            (0..workers_n).map(|_| HashMap::new()).collect();
+        let mut registry_streams = HashMap::new();
+        for (index, name) in names.iter().enumerate() {
+            let state = recover_stream(&durability.backend, name, durability.fsync, workers_n)?;
+            let worker = index % workers_n;
+            let id = index as u64;
+            initial[worker].insert(id, state);
+            registry_streams.insert(
+                name.clone(),
+                StreamEntry {
+                    worker,
+                    id,
+                    busy: Arc::new(AtomicU64::new(0)),
+                    ready: Arc::new(AtomicBool::new(true)),
+                },
+            );
+        }
+        Ok(Self::start_inner(config, Some(durability), initial, registry_streams))
+    }
+
+    fn start_inner(
+        config: ServerConfig,
+        durability: Option<DurabilityConfig>,
+        mut initial: Vec<HashMap<u64, StreamState>>,
+        registry_streams: HashMap<String, StreamEntry>,
+    ) -> Self {
         let workers_n = config.workers.max(1);
         let queue_depth = config.queue_depth.max(1);
+        let recovered = registry_streams.len() as u64;
         let registry = Arc::new(Registry {
-            streams: Mutex::new(HashMap::new()),
-            next_id: AtomicU64::new(0),
-            next_worker: AtomicU64::new(0),
+            streams: Mutex::new(registry_streams),
+            next_id: AtomicU64::new(recovered),
+            next_worker: AtomicU64::new(recovered),
         });
         let shutdown = Arc::new(AtomicBool::new(false));
         let pool = Arc::new(BufferPool::new());
+        initial.resize_with(workers_n, HashMap::new);
         let mut senders = Vec::with_capacity(workers_n);
         let mut workers = Vec::with_capacity(workers_n);
-        for index in 0..workers_n {
+        for (index, streams) in initial.drain(..).enumerate() {
             let (tx, rx) = mpsc::sync_channel::<Job>(queue_depth);
             senders.push(tx);
             let shutdown = Arc::clone(&shutdown);
             let registry = Arc::clone(&registry);
             let pool = Arc::clone(&pool);
+            let durability = durability.clone();
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("uns-worker-{index}"))
-                    .spawn(move || worker_main(rx, workers_n, &registry, &shutdown, &pool))
+                    .spawn(move || {
+                        worker_main(rx, streams, workers_n, &registry, &shutdown, &pool, durability)
+                    })
                     .expect("spawning a worker thread"),
             );
         }
@@ -208,6 +324,7 @@ impl Server {
             workers,
             shutdown,
             pool,
+            durability,
         }
     }
 
@@ -217,8 +334,16 @@ impl Server {
     }
 
     /// Spawns a connection thread serving `transport` until the peer hangs
-    /// up or violates the protocol.
+    /// up or violates the protocol. On a durable server with a fault plan,
+    /// the reply path is routed through the plan's transport faults.
     pub fn handle<T: Transport + 'static>(&self, transport: T) {
+        match self.durability.as_ref().and_then(|d| d.fault_plan.as_ref()) {
+            Some(plan) => self.spawn_connection(FaultTransport::new(transport, Arc::clone(plan))),
+            None => self.spawn_connection(transport),
+        }
+    }
+
+    fn spawn_connection<T: Transport + 'static>(&self, transport: T) {
         let registry = Arc::clone(&self.registry);
         let senders = self.senders.clone();
         let pool = Arc::clone(&self.pool);
@@ -282,23 +407,208 @@ impl Drop for Server {
 struct StreamState {
     sampler: ServiceSampler,
     stats: PipelineStats,
+    /// Present on durable servers: the stream's WAL and its counters.
+    durable: Option<DurableStream>,
+}
+
+/// Durability side of one stream: its open log plus cumulative counters.
+struct DurableStream {
+    /// The stream's registry name (logs and snapshots are keyed by it).
+    name: String,
+    wal: WalWriter,
+    /// Counters as of the last persisted snapshot (plus recoveries since);
+    /// the live totals add the writer's appended bytes/records on top.
+    counters: DurabilityStats,
+}
+
+impl DurableStream {
+    /// Lifetime totals: persisted base + what this writer appended since.
+    fn current_stats(&self) -> DurabilityStats {
+        DurabilityStats {
+            wal_bytes: self.counters.wal_bytes + self.wal.appended_bytes,
+            wal_records: self.counters.wal_records + self.wal.appended_records,
+            snapshot_compactions: self.counters.snapshot_compactions,
+            recoveries: self.counters.recoveries,
+        }
+    }
+}
+
+/// Rebuilds one stream from its durable state: decode the latest durable
+/// snapshot, CRC-truncate the log's torn tail, replay the records the
+/// snapshot does not cover (in stream order — the replay contract of
+/// [`uns_core::NodeSampler`]), and resume the log at its valid end.
+/// Deterministic coins make the replayed state bit-equal to the state the
+/// ops originally produced.
+fn recover_stream(
+    backend: &Arc<dyn StorageBackend>,
+    name: &str,
+    fsync: FsyncPolicy,
+    shards: usize,
+) -> Result<StreamState, ServiceError> {
+    let blob = backend
+        .read_snapshot(name)?
+        .ok_or_else(|| ServiceError::Snapshot(format!("stream {name:?}: no durable snapshot")))?;
+    let snap = DurableSnapshot::decode(&blob)?;
+    let mut sampler = ServiceSampler::restore(&snap.sampler_blob)?;
+    let mut store = backend.open_wal(name)?;
+    let bytes = store.read_all()?;
+    let parsed = parse_wal(&bytes);
+    // A missing/torn header happens when a crash interrupted a log reset;
+    // the snapshot's sequence is then the truth and the log is empty.
+    let base = parsed.base_seq.unwrap_or(snap.seq);
+    let skip = usize::try_from(snap.seq.saturating_sub(base))
+        .unwrap_or(usize::MAX)
+        .min(parsed.records.len());
+    let mut stats = PipelineStats {
+        elements: snap.elements,
+        admitted: snap.admitted,
+        outputs: snap.outputs,
+        chunks: usize::try_from(snap.chunks).unwrap_or(usize::MAX),
+        shards,
+    };
+    let mut outputs = Vec::new();
+    for op in &parsed.records[skip..] {
+        match op {
+            WalOp::Ingest(ids) => {
+                stats.admitted += sampler.ingest_batch(ids);
+                stats.elements += ids.len() as u64;
+                stats.chunks += 1;
+            }
+            WalOp::Feed(ids) => {
+                outputs.clear();
+                stats.admitted += sampler.feed_batch(ids, &mut outputs);
+                stats.elements += ids.len() as u64;
+                stats.outputs += ids.len() as u64;
+                stats.chunks += 1;
+            }
+            WalOp::Sample => {
+                let _ = sampler.sample();
+            }
+        }
+    }
+    let wal = match parsed.base_seq {
+        Some(base) => {
+            WalWriter::resume(store, parsed.valid_len, base + parsed.records.len() as u64, fsync)?
+        }
+        None => WalWriter::create(store, snap.seq, fsync)?,
+    };
+    let mut counters = snap.durability;
+    counters.recoveries += 1;
+    // Records replayed from the log were appended after the snapshot's
+    // counters were persisted (`skip` ones were already covered) — fold
+    // them back in so wal_records/wal_bytes keep (approximate) lifetime
+    // meaning across recovery.
+    counters.wal_records += (parsed.records.len() - skip) as u64;
+    counters.wal_bytes += parsed.valid_len.saturating_sub(crate::wal::WAL_HEADER_LEN as u64);
+    let mut state = StreamState {
+        sampler,
+        stats,
+        durable: Some(DurableStream { name: name.to_string(), wal, counters }),
+    };
+    // Checkpoint the recovered state: replaying the same log tail at the
+    // next crash would be wasted work, and the bumped counters (above all
+    // `recoveries`) must survive a further crash without waiting for a
+    // size-triggered compaction.
+    checkpoint(&mut state, backend, false);
+    Ok(state)
+}
+
+/// Makes a freshly created/restored stream durable: write its durable
+/// snapshot at sequence `seq_zero` stats, then start its log. Runs before
+/// the create is acknowledged, so an acknowledged stream always survives a
+/// crash.
+fn create_durable_stream(
+    backend: &Arc<dyn StorageBackend>,
+    name: &str,
+    sampler: &ServiceSampler,
+    fsync: FsyncPolicy,
+) -> Result<DurableStream, ServiceError> {
+    let mut sampler_blob = Vec::new();
+    sampler.snapshot(&mut sampler_blob);
+    let snap = DurableSnapshot {
+        seq: 0,
+        elements: 0,
+        admitted: 0,
+        outputs: 0,
+        chunks: 0,
+        durability: DurabilityStats::default(),
+        sampler_blob,
+    };
+    let mut bytes = Vec::new();
+    snap.encode(&mut bytes);
+    backend.write_snapshot(name, &bytes)?;
+    let wal = WalWriter::create(backend.open_wal(name)?, 0, fsync)?;
+    Ok(DurableStream { name: name.to_string(), wal, counters: DurabilityStats::default() })
+}
+
+/// Compacts the stream's log when it crossed the size threshold: persist a
+/// durable snapshot covering everything applied, then restart the log at
+/// that sequence. Ordered snapshot-first, so a crash between the two steps
+/// only leaves already-covered records in the log (recovery skips them by
+/// sequence). Best-effort: a failed snapshot write leaves the log growing
+/// (retried at the next threshold crossing); a failed log reset breaks the
+/// writer and the next op recovers the stream from the just-written
+/// snapshot.
+fn maybe_compact(state: &mut StreamState, compact_bytes: u64, backend: &Arc<dyn StorageBackend>) {
+    {
+        let Some(durable) = state.durable.as_ref() else { return };
+        if durable.wal.len() < compact_bytes || durable.wal.is_empty() {
+            return;
+        }
+    }
+    checkpoint(state, backend, true);
+}
+
+/// The compaction mechanism itself, shared by size-triggered compaction
+/// and the post-recovery checkpoint (which does not count as a
+/// compaction): persist, then reset the log.
+fn checkpoint(state: &mut StreamState, backend: &Arc<dyn StorageBackend>, count_compaction: bool) {
+    let Some(durable) = state.durable.as_mut() else { return };
+    let mut sampler_blob = Vec::new();
+    state.sampler.snapshot(&mut sampler_blob);
+    let mut persisted = durable.current_stats();
+    if count_compaction {
+        persisted.snapshot_compactions += 1;
+    }
+    let snap = DurableSnapshot {
+        seq: durable.wal.next_seq(),
+        elements: state.stats.elements,
+        admitted: state.stats.admitted,
+        outputs: state.stats.outputs,
+        chunks: state.stats.chunks as u64,
+        durability: persisted,
+        sampler_blob,
+    };
+    let mut bytes = Vec::new();
+    snap.encode(&mut bytes);
+    if backend.write_snapshot(&durable.name, &bytes).is_err() {
+        return; // log keeps growing; retried at the next crossing
+    }
+    if durable.wal.reset(snap.seq).is_ok() {
+        durable.counters = persisted;
+        durable.wal.appended_bytes = 0;
+        durable.wal.appended_records = 0;
+    }
+    // On reset failure the writer is broken; the next mutating op sends
+    // the stream through recovery, which lands on this snapshot.
 }
 
 fn worker_main(
     rx: Receiver<Job>,
+    mut streams: HashMap<u64, StreamState>,
     pool_size: usize,
     registry: &Registry,
     shutdown: &AtomicBool,
     pool: &BufferPool,
+    durability: Option<DurabilityConfig>,
 ) {
-    let mut streams: HashMap<u64, StreamState> = HashMap::new();
     loop {
         // The shutdown check runs every iteration, not only when the
         // bounded-wait receive times out: a connected client keeping jobs
         // flowing would otherwise starve the timeout arm forever and
         // `Drop` (which joins the workers) would hang under active load.
         if shutdown.load(Ordering::Relaxed) {
-            return;
+            break;
         }
         // Bounded-wait receive: connection threads hold clones of the job
         // senders, so the channel does not disconnect while connections
@@ -307,44 +617,97 @@ fn worker_main(
         let job = match rx.recv_timeout(std::time::Duration::from_millis(25)) {
             Ok(job) => job,
             Err(mpsc::RecvTimeoutError::Timeout) => continue,
-            Err(mpsc::RecvTimeoutError::Disconnected) => return,
+            Err(mpsc::RecvTimeoutError::Disconnected) => break,
         };
         // Panic isolation: a bug in one stream's sampler must cost that
         // job an error reply, not the worker thread — a dead worker would
         // leave every stream of this shard permanently unreachable. The
         // sampler is plain data; a panic can at worst leave the *stream it
         // hit* mid-mutation, so a panicking *mutating* op drops that
-        // stream — from this worker AND from the name registry, so the
-        // name errors as unknown (not wedged behind a ready entry that
-        // can neither answer nor be re-created) and create works again.
-        // Read-only ops (floor/snapshot/stats) cannot corrupt state, so
-        // their stream survives a panic intact.
+        // stream's in-memory state. A durable stream then **self-heals**:
+        // it is rebuilt in place from snapshot + log replay (registry
+        // entry intact) and the client is told the outcome is unknown. A
+        // non-durable stream — or one whose recovery fails — is removed
+        // from this worker AND from the name registry, so the name errors
+        // as unknown (not wedged behind a ready entry that can neither
+        // answer nor be re-created) and create works again. Read-only ops
+        // (floor/snapshot/stats) cannot corrupt state, so their stream
+        // survives a panic intact.
         let stream = job.stream;
         let mutates = op_mutates(&job.op);
         let response = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            execute_job(&mut streams, pool, pool_size, stream, job.op)
+            execute_job(&mut streams, pool, pool_size, stream, job.op, registry, &durability)
         }))
         .unwrap_or_else(|panic| {
-            if mutates {
-                streams.remove(&stream);
-                let mut names = registry.streams.lock().expect("registry lock poisoned");
-                names.retain(|_, entry| entry.id != stream);
+            let message = format!("stream operation panicked: {}", panic_message(panic.as_ref()));
+            if !mutates {
+                return Response::Error { code: ErrorCode::Other, message };
             }
-            Response::Error {
-                code: ErrorCode::Other,
-                message: format!("stream operation panicked: {}", panic_message(panic.as_ref())),
+            match heal_in_place(&mut streams, stream, &durability, pool_size) {
+                true => Response::Error {
+                    code: ErrorCode::Durability,
+                    message: format!("{message}; stream recovered, op outcome unknown"),
+                },
+                false => {
+                    let mut names = registry.streams.lock().expect("registry lock poisoned");
+                    names.retain(|_, entry| entry.id != stream);
+                    Response::Error { code: ErrorCode::Other, message }
+                }
             }
         });
         let _ = job.reply.send(response); // peer gone: drop the reply
     }
+    // Drain the durability buffers on the way out: an orderly shutdown
+    // should not cost the EveryN/Timer loss window.
+    for state in streams.values_mut() {
+        if let Some(durable) = state.durable.as_mut() {
+            let _ = durable.wal.sync();
+        }
+    }
 }
+
+/// Rebuilds a durable stream in place after its in-memory state was lost
+/// (worker panic, broken WAL writer). Returns `false` when the stream was
+/// not durable or its recovery failed — the caller then tears the
+/// registry entry down, the pre-durability behavior.
+fn heal_in_place(
+    streams: &mut HashMap<u64, StreamState>,
+    stream: u64,
+    durability: &Option<DurabilityConfig>,
+    pool_size: usize,
+) -> bool {
+    let Some(durability) = durability else {
+        streams.remove(&stream);
+        return false;
+    };
+    let Some(state) = streams.remove(&stream) else { return false };
+    let Some(durable) = state.durable else { return false };
+    // Recovery itself performs I/O, so it can hit the same transient
+    // faults (torn write, failed fsync) that triggered the heal. The
+    // durable snapshot + log are intact on the backend, so a bounded
+    // retry is the difference between a blip and losing a recoverable
+    // stream; only a persistent failure tears the stream down.
+    for _ in 0..HEAL_ATTEMPTS {
+        match recover_stream(&durability.backend, &durable.name, durability.fsync, pool_size) {
+            Ok(recovered) => {
+                streams.insert(stream, recovered);
+                return true;
+            }
+            Err(_) => continue,
+        }
+    }
+    false
+}
+
+/// In-place recovery attempts before a durable stream is given up on.
+const HEAL_ATTEMPTS: usize = 5;
 
 /// Whether a panicking `op` may have left its stream's state mid-mutation
 /// (in which case the stream is torn down rather than trusted).
 fn op_mutates(op: &StreamOp) -> bool {
     match op {
-        StreamOp::Create(_)
-        | StreamOp::Restore(_)
+        StreamOp::Create(..)
+        | StreamOp::Restore(..)
         | StreamOp::Ingest(_)
         | StreamOp::Feed(_)
         | StreamOp::Sample => true,
@@ -363,68 +726,172 @@ fn panic_message(panic: &(dyn std::any::Any + Send)) -> &str {
         .unwrap_or("non-string panic payload")
 }
 
+/// Appends `op` to the stream's WAL (when durable) **before** it is
+/// applied. `Ok(())` means the op is durable to the policy's promise and
+/// may be applied; `Err` carries the reply to send instead — the op was
+/// not applied, and a broken writer has already sent the stream through
+/// in-place recovery (or torn it down).
+fn wal_before_apply(
+    streams: &mut HashMap<u64, StreamState>,
+    stream: u64,
+    op: WalOpRef<'_>,
+    registry: &Registry,
+    durability: &Option<DurabilityConfig>,
+    pool_size: usize,
+) -> Result<(), Response> {
+    let Some(state) = streams.get_mut(&stream) else {
+        return Err(unknown_stream());
+    };
+    let Some(durable) = state.durable.as_mut() else {
+        return Ok(()); // non-durable server: nothing to log
+    };
+    // Injected worker panic: scheduled *before* the WAL append, so a
+    // panicked op is never logged, never applied, never acknowledged.
+    if let Some(plan) = durability.as_ref().and_then(|d| d.fault_plan.as_ref()) {
+        if plan.worker_panics() {
+            panic!("injected worker panic");
+        }
+    }
+    match durable.wal.append_op(op) {
+        Ok(()) => Ok(()),
+        Err(err) => {
+            let broken = durable.wal.is_broken();
+            let message = if broken {
+                match heal_in_place(streams, stream, durability, pool_size) {
+                    true => format!("op not applied ({err}); stream recovered in place"),
+                    false => {
+                        let mut names = registry.streams.lock().expect("registry lock poisoned");
+                        names.retain(|_, entry| entry.id != stream);
+                        format!("op not applied ({err}); stream lost: recovery failed")
+                    }
+                }
+            } else {
+                format!("op not applied ({err}); log repaired in place")
+            };
+            Err(Response::Error { code: ErrorCode::Durability, message })
+        }
+    }
+}
+
 /// Runs one routed job against the worker's stream table. Batch buffers
 /// arriving in `op` are recycled into `pool` once consumed; Feed replies
 /// take their outputs buffer from the pool (the connection thread returns
-/// it after encoding).
+/// it after encoding). On a durable server, mutating ops are write-ahead
+/// logged before they touch the sampler, and the log is compacted when it
+/// crosses the configured size.
 fn execute_job(
     streams: &mut HashMap<u64, StreamState>,
     pool: &BufferPool,
     pool_size: usize,
     stream: u64,
     op: StreamOp,
+    registry: &Registry,
+    durability: &Option<DurabilityConfig>,
 ) -> Response {
     match op {
-        StreamOp::Create(config) => match ServiceSampler::create(&config) {
+        StreamOp::Create(name, config) => match ServiceSampler::create(&config) {
             Ok(sampler) => {
+                let durable = match durability {
+                    Some(d) => match create_durable_stream(&d.backend, &name, &sampler, d.fsync) {
+                        Ok(durable) => Some(durable),
+                        Err(err) => {
+                            return Response::Error {
+                                code: ErrorCode::Durability,
+                                message: format!("stream not created: {err}"),
+                            }
+                        }
+                    },
+                    None => None,
+                };
                 let stats = PipelineStats { shards: pool_size, ..PipelineStats::default() };
-                streams.insert(stream, StreamState { sampler, stats });
+                streams.insert(stream, StreamState { sampler, stats, durable });
                 Response::Ok
             }
             Err(err) => error_response(&err),
         },
-        StreamOp::Restore(blob) => match ServiceSampler::restore(&blob) {
+        StreamOp::Restore(name, blob) => match ServiceSampler::restore(&blob) {
             Ok(sampler) => {
+                let durable = match durability {
+                    Some(d) => match create_durable_stream(&d.backend, &name, &sampler, d.fsync) {
+                        Ok(durable) => Some(durable),
+                        Err(err) => {
+                            return Response::Error {
+                                code: ErrorCode::Durability,
+                                message: format!("stream not restored: {err}"),
+                            }
+                        }
+                    },
+                    None => None,
+                };
                 let stats = PipelineStats { shards: pool_size, ..PipelineStats::default() };
-                streams.insert(stream, StreamState { sampler, stats });
+                streams.insert(stream, StreamState { sampler, stats, durable });
                 Response::Ok
             }
             Err(err) => error_response(&err),
         },
         StreamOp::Ingest(ids) => {
-            let response = match streams.get_mut(&stream) {
-                Some(state) => {
-                    let admitted = state.sampler.ingest_batch(&ids);
-                    state.stats.elements += ids.len() as u64;
-                    state.stats.admitted += admitted;
-                    state.stats.chunks += 1;
-                    Response::Ingested { position: state.stats.elements, admitted }
-                }
-                None => unknown_stream(),
-            };
+            if let Err(reply) = wal_before_apply(
+                streams,
+                stream,
+                WalOpRef::Ingest(&ids),
+                registry,
+                durability,
+                pool_size,
+            ) {
+                pool.put(ids);
+                return reply;
+            }
+            let state = streams.get_mut(&stream).expect("checked by wal_before_apply");
+            let admitted = state.sampler.ingest_batch(&ids);
+            state.stats.elements += ids.len() as u64;
+            state.stats.admitted += admitted;
+            state.stats.chunks += 1;
+            let response = Response::Ingested { position: state.stats.elements, admitted };
+            if let Some(d) = durability {
+                maybe_compact(state, d.compact_bytes, &d.backend);
+            }
             pool.put(ids);
             response
         }
         StreamOp::Feed(ids) => {
-            let response = match streams.get_mut(&stream) {
-                Some(state) => {
-                    let mut outputs = pool.take();
-                    let admitted = state.sampler.feed_batch(&ids, &mut outputs);
-                    state.stats.elements += ids.len() as u64;
-                    state.stats.admitted += admitted;
-                    state.stats.outputs += ids.len() as u64;
-                    state.stats.chunks += 1;
-                    Response::Fed { position: state.stats.elements, admitted, outputs }
-                }
-                None => unknown_stream(),
-            };
+            if let Err(reply) = wal_before_apply(
+                streams,
+                stream,
+                WalOpRef::Feed(&ids),
+                registry,
+                durability,
+                pool_size,
+            ) {
+                pool.put(ids);
+                return reply;
+            }
+            let state = streams.get_mut(&stream).expect("checked by wal_before_apply");
+            let mut outputs = pool.take();
+            let admitted = state.sampler.feed_batch(&ids, &mut outputs);
+            state.stats.elements += ids.len() as u64;
+            state.stats.admitted += admitted;
+            state.stats.outputs += ids.len() as u64;
+            state.stats.chunks += 1;
+            let response = Response::Fed { position: state.stats.elements, admitted, outputs };
+            if let Some(d) = durability {
+                maybe_compact(state, d.compact_bytes, &d.backend);
+            }
             pool.put(ids);
             response
         }
-        StreamOp::Sample => match streams.get_mut(&stream) {
-            Some(state) => Response::Sampled(state.sampler.sample()),
-            None => unknown_stream(),
-        },
+        StreamOp::Sample => {
+            if let Err(reply) =
+                wal_before_apply(streams, stream, WalOpRef::Sample, registry, durability, pool_size)
+            {
+                return reply;
+            }
+            let state = streams.get_mut(&stream).expect("checked by wal_before_apply");
+            let response = Response::Sampled(state.sampler.sample());
+            if let Some(d) = durability {
+                maybe_compact(state, d.compact_bytes, &d.backend);
+            }
+            response
+        }
         StreamOp::Floor => match streams.get(&stream) {
             Some(state) => Response::Value(state.sampler.floor_estimate()),
             None => unknown_stream(),
@@ -441,6 +908,11 @@ fn execute_job(
             Some(state) => Response::Stats(StreamStats {
                 pipeline: state.stats,
                 busy_rejections: 0, // folded in by the connection thread
+                durability: state
+                    .durable
+                    .as_ref()
+                    .map(DurableStream::current_stats)
+                    .unwrap_or_default(),
             }),
             None => unknown_stream(),
         },
@@ -556,11 +1028,13 @@ fn route_request(
     }
     match request {
         Request::CreateStream { config, .. } => {
-            create_or_restore(registry, senders, name, false, pool, || StreamOp::Create(*config))
+            create_or_restore(registry, senders, name, false, pool, || {
+                StreamOp::Create(name.to_string(), *config)
+            })
         }
         Request::Restore { snapshot, .. } => {
             create_or_restore(registry, senders, name, true, pool, || {
-                StreamOp::Restore(snapshot.to_vec())
+                StreamOp::Restore(name.to_string(), snapshot.to_vec())
             })
         }
         // Batch ops: resolve the route BEFORE copying the ids off the
@@ -954,6 +1428,77 @@ mod tests {
         drop(server);
         // The surviving client gets shutdown errors, not hangs.
         assert!(client.sample("s").is_err());
+    }
+
+    #[test]
+    fn durable_server_recovers_streams_bit_equal_after_a_crash() {
+        let backend = crate::storage::MemBackend::new();
+        let durability = DurabilityConfig::new(Arc::new(backend.clone()));
+        let config = ServerConfig { workers: 2, queue_depth: 8 };
+        let ids: Vec<NodeId> = (0..1_000u64).map(|i| NodeId::new(i % 37)).collect();
+        let tail: Vec<NodeId> = (0..400u64).map(|i| NodeId::new(i * 11 % 53)).collect();
+        {
+            let server = Server::start_durable(config, durability.clone()).unwrap();
+            let mut client = ServiceClient::new(server.connect_in_process()).unwrap();
+            client.create_stream("s", &test_config()).unwrap();
+            client.feed_batch("s", &ids).unwrap();
+            // No orderly shutdown sync matters here: fsync-per-op already
+            // made every acknowledged op durable.
+        }
+        backend.crash(); // unsynced bytes (none at PerOp) vanish
+        let server = Server::start_durable(config, durability).unwrap();
+        let mut client = ServiceClient::new(server.connect_in_process()).unwrap();
+        let stats = client.stats("s").unwrap();
+        assert_eq!(stats.pipeline.elements, 1_000, "replay restored the reply position");
+        assert_eq!(stats.durability.recoveries, 1);
+        assert!(stats.durability.wal_records >= 1);
+        // The recovered stream's future is bit-equal to an uninterrupted
+        // in-process run over the same stream prefix.
+        let out = client.feed_batch("s", &tail).unwrap();
+        let mut reference = ServiceSampler::create(&test_config()).unwrap();
+        let mut scratch = Vec::new();
+        reference.feed_batch(&ids, &mut scratch);
+        let mut expected = Vec::new();
+        reference.feed_batch(&tail, &mut expected);
+        assert_eq!(out.outputs, expected);
+        assert_eq!(out.position, 1_400);
+    }
+
+    #[test]
+    fn durable_stream_compacts_and_stays_exact() {
+        let backend = crate::storage::MemBackend::new();
+        let mut durability = DurabilityConfig::new(Arc::new(backend.clone()));
+        durability.compact_bytes = 512; // force frequent compaction
+        let config = ServerConfig { workers: 1, queue_depth: 8 };
+        let server = Server::start_durable(config, durability.clone()).unwrap();
+        let mut client = ServiceClient::new(server.connect_in_process()).unwrap();
+        client.create_stream("s", &test_config()).unwrap();
+        let ids: Vec<NodeId> = (0..64u64).map(NodeId::new).collect();
+        for _ in 0..40 {
+            client.feed_batch("s", &ids).unwrap();
+        }
+        let stats = client.stats("s").unwrap();
+        assert!(stats.durability.snapshot_compactions >= 1, "compaction never fired");
+        assert!(
+            backend.wal_len("s") < 40 * 64 * 8,
+            "log was never truncated: {} bytes",
+            backend.wal_len("s")
+        );
+        // Recovery from the compacted state is still exact.
+        drop(server);
+        backend.crash();
+        let server = Server::start_durable(config, durability).unwrap();
+        let mut client = ServiceClient::new(server.connect_in_process()).unwrap();
+        assert_eq!(client.stats("s").unwrap().pipeline.elements, 40 * 64);
+        let mut reference = ServiceSampler::create(&test_config()).unwrap();
+        let mut scratch = Vec::new();
+        for _ in 0..40 {
+            scratch.clear();
+            reference.feed_batch(&ids, &mut scratch);
+        }
+        let mut expected = Vec::new();
+        reference.feed_batch(&ids, &mut expected);
+        assert_eq!(client.feed_batch("s", &ids).unwrap().outputs, expected);
     }
 
     #[test]

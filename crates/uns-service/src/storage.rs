@@ -1,0 +1,528 @@
+//! Storage backends the durability layer writes through.
+//!
+//! Two abstractions, chosen so the fault-injection layer can interpose on
+//! exactly the operations real hardware gets wrong:
+//!
+//! * [`WalStore`] — one stream's append-only log file. `append` may write a
+//!   *prefix* (a torn write), `sync` is the durability barrier: bytes are
+//!   guaranteed to survive a crash only once a `sync` covering them
+//!   returned. The WAL engine ([`crate::wal`]) is written against this
+//!   contract, never against "writes always land whole".
+//! * [`StorageBackend`] — the per-stream namespace: opens WAL stores,
+//!   reads/writes snapshot blobs (snapshot writes are **atomic**: a crash
+//!   leaves either the old or the new blob, never a torn mix), lists the
+//!   streams that have durable state.
+//!
+//! Two implementations ship: [`DirBackend`] over a real directory (files,
+//!   `fsync`, temp-file + rename for snapshot atomicity) and [`MemBackend`],
+//!   an in-memory model with an explicit [`MemBackend::crash`] that discards
+//!   every byte not covered by a `sync` — the crash-recovery tests use it to
+//!   place crash points *exactly*, something a real filesystem cannot do
+//!   deterministically.
+
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+/// One stream's append-only write-ahead-log storage.
+///
+/// The contract mirrors a POSIX file opened for appending:
+///
+/// * [`append`](WalStore::append) returns how many bytes were written —
+///   possibly fewer than offered (short write) — or an error after writing
+///   any prefix (torn write). Callers must not assume all-or-nothing.
+/// * [`sync`](WalStore::sync) is the durability barrier: only bytes covered
+///   by a returned `sync` are guaranteed to survive a crash.
+/// * [`truncate`](WalStore::truncate) discards everything past `len` — the
+///   repair operation after a torn write and the tail cleanup after
+///   recovery.
+// `len` is fallible and `&mut` (it may query the file); an `is_empty`
+// shim would be neither clearer nor cheaper.
+#[allow(clippy::len_without_is_empty)]
+pub trait WalStore: Send {
+    /// Appends bytes at the end of the log; returns how many were written.
+    ///
+    /// # Errors
+    ///
+    /// Underlying I/O failure. Bytes may have been partially written.
+    fn append(&mut self, bytes: &[u8]) -> io::Result<usize>;
+
+    /// Durability barrier: everything appended so far survives a crash.
+    ///
+    /// # Errors
+    ///
+    /// Underlying I/O failure; durability of unsynced bytes is unknown.
+    fn sync(&mut self) -> io::Result<()>;
+
+    /// Current length of the log in bytes.
+    ///
+    /// # Errors
+    ///
+    /// Underlying I/O failure.
+    fn len(&mut self) -> io::Result<u64>;
+
+    /// Reads the whole log (synced or not) from the start.
+    ///
+    /// # Errors
+    ///
+    /// Underlying I/O failure.
+    fn read_all(&mut self) -> io::Result<Vec<u8>>;
+
+    /// Discards everything past `len` bytes.
+    ///
+    /// # Errors
+    ///
+    /// Underlying I/O failure.
+    fn truncate(&mut self, len: u64) -> io::Result<()>;
+}
+
+/// The durable namespace one server persists its streams into.
+///
+/// Implementations must be shareable across worker threads (`Send + Sync`);
+/// per-stream WAL handles are exclusive (`&mut` via [`WalStore`]) because a
+/// stream is only ever owned by one worker.
+pub trait StorageBackend: Send + Sync {
+    /// Opens (creating if absent) the stream's WAL store.
+    ///
+    /// # Errors
+    ///
+    /// Underlying I/O failure.
+    fn open_wal(&self, stream: &str) -> io::Result<Box<dyn WalStore>>;
+
+    /// Atomically replaces the stream's snapshot blob: after a crash the
+    /// stream has either the previous blob or this one, never a torn mix.
+    ///
+    /// # Errors
+    ///
+    /// Underlying I/O failure; the previous blob (if any) must survive.
+    fn write_snapshot(&self, stream: &str, bytes: &[u8]) -> io::Result<()>;
+
+    /// Reads the stream's snapshot blob, `None` if it has none.
+    ///
+    /// # Errors
+    ///
+    /// Underlying I/O failure.
+    fn read_snapshot(&self, stream: &str) -> io::Result<Option<Vec<u8>>>;
+
+    /// Names of every stream with durable state (a snapshot blob).
+    ///
+    /// # Errors
+    ///
+    /// Underlying I/O failure.
+    fn list_streams(&self) -> io::Result<Vec<String>>;
+
+    /// Deletes all durable state of `stream`.
+    ///
+    /// # Errors
+    ///
+    /// Underlying I/O failure.
+    fn remove_stream(&self, stream: &str) -> io::Result<()>;
+}
+
+// ---------------------------------------------------------------------------
+// Filesystem backend
+// ---------------------------------------------------------------------------
+
+/// Hex-encodes a stream name into a filesystem-safe file stem. Stream names
+/// are arbitrary UTF-8 up to 255 bytes; hex sidesteps separators, dots and
+/// case-folding filesystems at the cost of 2× name length.
+fn encode_name(stream: &str) -> String {
+    let mut out = String::with_capacity(stream.len() * 2);
+    for byte in stream.as_bytes() {
+        out.push_str(&format!("{byte:02x}"));
+    }
+    out
+}
+
+/// Inverse of [`encode_name`]; `None` on anything that is not our encoding.
+fn decode_name(stem: &str) -> Option<String> {
+    if !stem.len().is_multiple_of(2) {
+        return None;
+    }
+    let mut bytes = Vec::with_capacity(stem.len() / 2);
+    let stem = stem.as_bytes();
+    for pair in stem.chunks_exact(2) {
+        let hi = (pair[0] as char).to_digit(16)?;
+        let lo = (pair[1] as char).to_digit(16)?;
+        bytes.push((hi * 16 + lo) as u8);
+    }
+    String::from_utf8(bytes).ok()
+}
+
+/// Filesystem storage: one directory, `<hex(name)>.wal` + `<hex(name)>.snap`
+/// per stream. Snapshot writes go through a temp file, `fsync`, and an
+/// atomic rename; the directory itself is fsynced after renames so the
+/// rename is durable too.
+#[derive(Clone, Debug)]
+pub struct DirBackend {
+    root: PathBuf,
+}
+
+impl DirBackend {
+    /// Opens (creating if needed) the backend rooted at `root`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation failure.
+    pub fn create(root: impl Into<PathBuf>) -> io::Result<Self> {
+        let root = root.into();
+        std::fs::create_dir_all(&root)?;
+        Ok(Self { root })
+    }
+
+    /// The directory this backend persists into.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn wal_path(&self, stream: &str) -> PathBuf {
+        self.root.join(format!("{}.wal", encode_name(stream)))
+    }
+
+    fn snap_path(&self, stream: &str) -> PathBuf {
+        self.root.join(format!("{}.snap", encode_name(stream)))
+    }
+
+    /// Best-effort directory fsync so renames/unlinks are durable. Some
+    /// platforms cannot fsync directories; those errors are ignored (the
+    /// data file itself is always fsynced).
+    fn sync_dir(&self) {
+        if let Ok(dir) = File::open(&self.root) {
+            let _ = dir.sync_all();
+        }
+    }
+}
+
+impl StorageBackend for DirBackend {
+    fn open_wal(&self, stream: &str) -> io::Result<Box<dyn WalStore>> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(self.wal_path(stream))?;
+        Ok(Box::new(FileWalStore { file }))
+    }
+
+    fn write_snapshot(&self, stream: &str, bytes: &[u8]) -> io::Result<()> {
+        let final_path = self.snap_path(stream);
+        let tmp_path = self.root.join(format!("{}.snap.tmp", encode_name(stream)));
+        {
+            let mut tmp = File::create(&tmp_path)?;
+            tmp.write_all(bytes)?;
+            tmp.sync_all()?;
+        }
+        std::fs::rename(&tmp_path, &final_path)?;
+        self.sync_dir();
+        Ok(())
+    }
+
+    fn read_snapshot(&self, stream: &str) -> io::Result<Option<Vec<u8>>> {
+        match std::fs::read(self.snap_path(stream)) {
+            Ok(bytes) => Ok(Some(bytes)),
+            Err(err) if err.kind() == io::ErrorKind::NotFound => Ok(None),
+            Err(err) => Err(err),
+        }
+    }
+
+    fn list_streams(&self) -> io::Result<Vec<String>> {
+        let mut names = Vec::new();
+        for entry in std::fs::read_dir(&self.root)? {
+            let path = entry?.path();
+            if path.extension().and_then(|e| e.to_str()) != Some("snap") {
+                continue;
+            }
+            if let Some(stem) = path.file_stem().and_then(|s| s.to_str()) {
+                if let Some(name) = decode_name(stem) {
+                    names.push(name);
+                }
+            }
+        }
+        names.sort();
+        Ok(names)
+    }
+
+    fn remove_stream(&self, stream: &str) -> io::Result<()> {
+        for path in [
+            self.snap_path(stream),
+            self.wal_path(stream),
+            self.root.join(format!("{}.snap.tmp", encode_name(stream))),
+        ] {
+            match std::fs::remove_file(path) {
+                Ok(()) => {}
+                Err(err) if err.kind() == io::ErrorKind::NotFound => {}
+                Err(err) => return Err(err),
+            }
+        }
+        self.sync_dir();
+        Ok(())
+    }
+}
+
+/// A [`WalStore`] over a real file. Appends always land at the current end
+/// of the file; `sync` is `fdatasync`-class (`sync_data`).
+struct FileWalStore {
+    file: File,
+}
+
+impl WalStore for FileWalStore {
+    fn append(&mut self, bytes: &[u8]) -> io::Result<usize> {
+        self.file.seek(SeekFrom::End(0))?;
+        self.file.write(bytes)
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        self.file.sync_data()
+    }
+
+    fn len(&mut self) -> io::Result<u64> {
+        Ok(self.file.metadata()?.len())
+    }
+
+    fn read_all(&mut self) -> io::Result<Vec<u8>> {
+        self.file.seek(SeekFrom::Start(0))?;
+        let mut bytes = Vec::new();
+        self.file.read_to_end(&mut bytes)?;
+        Ok(bytes)
+    }
+
+    fn truncate(&mut self, len: u64) -> io::Result<()> {
+        self.file.set_len(len)?;
+        self.file.sync_data()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// In-memory backend with explicit crash semantics
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Debug, Default)]
+struct MemFile {
+    data: Vec<u8>,
+    /// Prefix guaranteed to survive [`MemBackend::crash`] — advanced only
+    /// by an explicit `sync`. Everything past it models bytes sitting in
+    /// page cache when the power goes out.
+    synced: usize,
+}
+
+#[derive(Debug, Default)]
+struct MemState {
+    wals: HashMap<String, MemFile>,
+    snaps: HashMap<String, Vec<u8>>,
+}
+
+/// In-memory [`StorageBackend`] with an explicit crash model.
+///
+/// WAL bytes survive a [`crash`](MemBackend::crash) only up to the last
+/// `sync`; snapshot writes are modelled as atomic (matching the
+/// temp-file + rename contract of [`DirBackend`]). Cloning shares the
+/// underlying state, so a "restarted server" opening the same `MemBackend`
+/// clone sees exactly what survived — this is what the crash-recovery tests
+/// restart against.
+#[derive(Clone, Debug, Default)]
+pub struct MemBackend {
+    state: Arc<Mutex<MemState>>,
+}
+
+impl MemBackend {
+    /// An empty in-memory backend.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Simulates a process/power crash: every WAL loses the bytes not yet
+    /// covered by a `sync`. Snapshots are unaffected (atomic writes).
+    pub fn crash(&self) {
+        let mut state = self.state.lock().expect("mem backend lock poisoned");
+        for file in state.wals.values_mut() {
+            file.data.truncate(file.synced);
+        }
+    }
+
+    /// Runs `mutate` over the raw surviving WAL bytes of `stream` — the
+    /// hook the fault-injection tests use to corrupt a log tail before
+    /// recovery. No-op if the stream has no WAL.
+    pub fn with_wal_bytes(&self, stream: &str, mutate: impl FnOnce(&mut Vec<u8>)) {
+        let mut state = self.state.lock().expect("mem backend lock poisoned");
+        if let Some(file) = state.wals.get_mut(stream) {
+            mutate(&mut file.data);
+            file.synced = file.synced.min(file.data.len());
+        }
+    }
+
+    /// Current WAL length of `stream` in bytes (0 if absent).
+    pub fn wal_len(&self, stream: &str) -> usize {
+        let state = self.state.lock().expect("mem backend lock poisoned");
+        state.wals.get(stream).map_or(0, |f| f.data.len())
+    }
+}
+
+impl StorageBackend for MemBackend {
+    fn open_wal(&self, stream: &str) -> io::Result<Box<dyn WalStore>> {
+        {
+            let mut state = self.state.lock().expect("mem backend lock poisoned");
+            state.wals.entry(stream.to_string()).or_default();
+        }
+        Ok(Box::new(MemWalStore { state: Arc::clone(&self.state), key: stream.to_string() }))
+    }
+
+    fn write_snapshot(&self, stream: &str, bytes: &[u8]) -> io::Result<()> {
+        let mut state = self.state.lock().expect("mem backend lock poisoned");
+        state.snaps.insert(stream.to_string(), bytes.to_vec());
+        Ok(())
+    }
+
+    fn read_snapshot(&self, stream: &str) -> io::Result<Option<Vec<u8>>> {
+        let state = self.state.lock().expect("mem backend lock poisoned");
+        Ok(state.snaps.get(stream).cloned())
+    }
+
+    fn list_streams(&self) -> io::Result<Vec<String>> {
+        let state = self.state.lock().expect("mem backend lock poisoned");
+        let mut names: Vec<String> = state.snaps.keys().cloned().collect();
+        names.sort();
+        Ok(names)
+    }
+
+    fn remove_stream(&self, stream: &str) -> io::Result<()> {
+        let mut state = self.state.lock().expect("mem backend lock poisoned");
+        state.wals.remove(stream);
+        state.snaps.remove(stream);
+        Ok(())
+    }
+}
+
+struct MemWalStore {
+    state: Arc<Mutex<MemState>>,
+    key: String,
+}
+
+impl MemWalStore {
+    fn with_file<T>(&mut self, f: impl FnOnce(&mut MemFile) -> T) -> T {
+        let mut state = self.state.lock().expect("mem backend lock poisoned");
+        f(state.wals.entry(self.key.clone()).or_default())
+    }
+}
+
+impl WalStore for MemWalStore {
+    fn append(&mut self, bytes: &[u8]) -> io::Result<usize> {
+        self.with_file(|file| {
+            file.data.extend_from_slice(bytes);
+            Ok(bytes.len())
+        })
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        self.with_file(|file| {
+            file.synced = file.data.len();
+            Ok(())
+        })
+    }
+
+    fn len(&mut self) -> io::Result<u64> {
+        self.with_file(|file| Ok(file.data.len() as u64))
+    }
+
+    fn read_all(&mut self) -> io::Result<Vec<u8>> {
+        self.with_file(|file| Ok(file.data.clone()))
+    }
+
+    fn truncate(&mut self, len: u64) -> io::Result<()> {
+        self.with_file(|file| {
+            let len = usize::try_from(len).unwrap_or(usize::MAX).min(file.data.len());
+            file.data.truncate(len);
+            file.synced = file.synced.min(len);
+            Ok(())
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn name_encoding_round_trips() {
+        for name in ["s", "stream-α/β.wal", "", "UPPER lower 0123"] {
+            assert_eq!(decode_name(&encode_name(name)).as_deref(), Some(name));
+        }
+        assert_eq!(decode_name("zz"), None);
+        assert_eq!(decode_name("abc"), None);
+    }
+
+    #[test]
+    fn mem_backend_crash_discards_unsynced_bytes() {
+        let backend = MemBackend::new();
+        let mut wal = backend.open_wal("s").unwrap();
+        wal.append(b"synced").unwrap();
+        wal.sync().unwrap();
+        wal.append(b" lost").unwrap();
+        assert_eq!(wal.read_all().unwrap(), b"synced lost");
+        backend.crash();
+        assert_eq!(wal.read_all().unwrap(), b"synced");
+        // Snapshots survive crashes (atomic contract).
+        backend.write_snapshot("s", b"blob").unwrap();
+        backend.crash();
+        assert_eq!(backend.read_snapshot("s").unwrap().as_deref(), Some(&b"blob"[..]));
+    }
+
+    #[test]
+    fn mem_backend_truncate_and_listing() {
+        let backend = MemBackend::new();
+        let mut wal = backend.open_wal("a").unwrap();
+        wal.append(b"0123456789").unwrap();
+        wal.sync().unwrap();
+        wal.truncate(4).unwrap();
+        assert_eq!(wal.len().unwrap(), 4);
+        assert_eq!(wal.read_all().unwrap(), b"0123");
+        backend.crash();
+        assert_eq!(wal.read_all().unwrap(), b"0123", "synced watermark follows truncation");
+        backend.write_snapshot("a", b"x").unwrap();
+        backend.write_snapshot("b", b"y").unwrap();
+        assert_eq!(backend.list_streams().unwrap(), vec!["a".to_string(), "b".to_string()]);
+        backend.remove_stream("a").unwrap();
+        assert_eq!(backend.list_streams().unwrap(), vec!["b".to_string()]);
+    }
+
+    #[test]
+    fn dir_backend_round_trips_through_real_files() {
+        let root = std::env::temp_dir().join(format!(
+            "uns-storage-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&root);
+        let backend = DirBackend::create(&root).unwrap();
+        assert!(backend.read_snapshot("s").unwrap().is_none());
+        assert!(backend.list_streams().unwrap().is_empty());
+
+        let mut wal = backend.open_wal("stream/α").unwrap();
+        wal.append(b"hello ").unwrap();
+        wal.append(b"wal").unwrap();
+        wal.sync().unwrap();
+        assert_eq!(wal.len().unwrap(), 9);
+        assert_eq!(wal.read_all().unwrap(), b"hello wal");
+        wal.truncate(5).unwrap();
+        assert_eq!(wal.read_all().unwrap(), b"hello");
+        // Appends land after the truncation point.
+        wal.append(b"!").unwrap();
+        assert_eq!(wal.read_all().unwrap(), b"hello!");
+
+        backend.write_snapshot("stream/α", b"blob-1").unwrap();
+        backend.write_snapshot("stream/α", b"blob-2").unwrap();
+        assert_eq!(backend.read_snapshot("stream/α").unwrap().as_deref(), Some(&b"blob-2"[..]));
+        assert_eq!(backend.list_streams().unwrap(), vec!["stream/α".to_string()]);
+
+        // A fresh handle over the same directory sees the same state.
+        let reopened = DirBackend::create(&root).unwrap();
+        let mut wal2 = reopened.open_wal("stream/α").unwrap();
+        assert_eq!(wal2.read_all().unwrap(), b"hello!");
+
+        backend.remove_stream("stream/α").unwrap();
+        assert!(backend.read_snapshot("stream/α").unwrap().is_none());
+        assert!(backend.list_streams().unwrap().is_empty());
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}

@@ -9,7 +9,9 @@
 
 use std::io::{self, Read, Write};
 use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 /// A reliable, ordered, bidirectional byte stream the service can run
 /// over. `try_clone` yields an independently usable handle to the *same*
@@ -22,11 +24,28 @@ pub trait Transport: Read + Write + Send {
     ///
     /// Propagates the underlying handle-duplication failure.
     fn try_clone_transport(&self) -> io::Result<Box<dyn Transport>>;
+
+    /// Bounds how long a single `read` may block; `None` restores
+    /// unbounded blocking. A timed-out read fails with
+    /// [`io::ErrorKind::TimedOut`] (or `WouldBlock` on some platforms) and
+    /// leaves the byte position of the stream unspecified — a framed peer
+    /// must treat the connection as dead after a timeout. Like
+    /// [`TcpStream::set_read_timeout`], the setting is shared by every
+    /// clone of the same underlying stream.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying setsockopt-style failure.
+    fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()>;
 }
 
 impl Transport for TcpStream {
     fn try_clone_transport(&self) -> io::Result<Box<dyn Transport>> {
         Ok(Box::new(self.try_clone()?))
+    }
+
+    fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        TcpStream::set_read_timeout(self, timeout)
     }
 }
 
@@ -75,10 +94,11 @@ impl Shared {
         })
     }
 
-    fn read(&self, out: &mut [u8]) -> io::Result<usize> {
+    fn read(&self, out: &mut [u8], timeout: Option<Duration>) -> io::Result<usize> {
         if out.is_empty() {
             return Ok(0);
         }
+        let deadline = timeout.map(|t| Instant::now() + t);
         let mut channel = self.channel.lock().expect("pipe lock poisoned");
         loop {
             let pending = channel.pending();
@@ -98,7 +118,22 @@ impl Shared {
             if channel.writers == 0 {
                 return Ok(0); // clean EOF
             }
-            channel = self.readable.wait(channel).expect("pipe lock poisoned");
+            channel = match deadline {
+                None => self.readable.wait(channel).expect("pipe lock poisoned"),
+                Some(deadline) => {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        return Err(io::Error::new(
+                            io::ErrorKind::TimedOut,
+                            "pipe read deadline elapsed",
+                        ));
+                    }
+                    self.readable
+                        .wait_timeout(channel, deadline - now)
+                        .expect("pipe lock poisoned")
+                        .0
+                }
+            };
         }
     }
 
@@ -165,6 +200,9 @@ pub struct PipeTransport {
     incoming: Arc<Shared>,
     /// Direction this end writes to.
     outgoing: Arc<Shared>,
+    /// Read timeout in nanoseconds (0 = block forever), shared across
+    /// clones of this end like a socket's `SO_RCVTIMEO`.
+    read_timeout_nanos: Arc<AtomicU64>,
 }
 
 /// Creates an in-process duplex byte pipe with `capacity` bytes of buffer
@@ -174,14 +212,24 @@ pub fn duplex(capacity: usize) -> (PipeTransport, PipeTransport) {
     let a_to_b = Shared::new(capacity.max(1));
     let b_to_a = Shared::new(capacity.max(1));
     (
-        PipeTransport { incoming: Arc::clone(&b_to_a), outgoing: Arc::clone(&a_to_b) },
-        PipeTransport { incoming: a_to_b, outgoing: b_to_a },
+        PipeTransport {
+            incoming: Arc::clone(&b_to_a),
+            outgoing: Arc::clone(&a_to_b),
+            read_timeout_nanos: Arc::new(AtomicU64::new(0)),
+        },
+        PipeTransport {
+            incoming: a_to_b,
+            outgoing: b_to_a,
+            read_timeout_nanos: Arc::new(AtomicU64::new(0)),
+        },
     )
 }
 
 impl Read for PipeTransport {
     fn read(&mut self, out: &mut [u8]) -> io::Result<usize> {
-        self.incoming.read(out)
+        let nanos = self.read_timeout_nanos.load(Ordering::Relaxed);
+        let timeout = (nanos > 0).then(|| Duration::from_nanos(nanos));
+        self.incoming.read(out, timeout)
     }
 }
 
@@ -204,7 +252,25 @@ impl Transport for PipeTransport {
         Ok(Box::new(PipeTransport {
             incoming: Arc::clone(&self.incoming),
             outgoing: Arc::clone(&self.outgoing),
+            read_timeout_nanos: Arc::clone(&self.read_timeout_nanos),
         }))
+    }
+
+    fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        let nanos = match timeout {
+            None => 0,
+            Some(t) if t.is_zero() => {
+                // Mirror `TcpStream`: a zero timeout is invalid, not "no
+                // timeout" — callers must pass `None` for that.
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    "zero read timeout (use None to disable)",
+                ));
+            }
+            Some(t) => u64::try_from(t.as_nanos()).unwrap_or(u64::MAX).max(1),
+        };
+        self.read_timeout_nanos.store(nanos, Ordering::Relaxed);
+        Ok(())
     }
 }
 
@@ -218,6 +284,10 @@ impl Drop for PipeTransport {
 impl<T: Transport + ?Sized> Transport for Box<T> {
     fn try_clone_transport(&self) -> io::Result<Box<dyn Transport>> {
         (**self).try_clone_transport()
+    }
+
+    fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        (**self).set_read_timeout(timeout)
     }
 }
 
@@ -260,6 +330,29 @@ mod tests {
         let mut buf = [0u8; 1];
         assert_eq!(a.read(&mut buf).unwrap(), 0); // EOF
         assert!(a.write_all(b"x").is_err()); // BrokenPipe
+    }
+
+    #[test]
+    fn read_timeout_fires_and_clears() {
+        let (mut a, mut b) = duplex(8);
+        a.set_read_timeout(Some(std::time::Duration::from_millis(10))).unwrap();
+        let mut buf = [0u8; 1];
+        let err = a.read(&mut buf).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::TimedOut);
+        // Data present: the timeout never triggers.
+        b.write_all(b"x").unwrap();
+        assert_eq!(a.read(&mut buf).unwrap(), 1);
+        // Cleared: the read blocks until data arrives again.
+        a.set_read_timeout(None).unwrap();
+        let reader = std::thread::spawn(move || {
+            let mut buf = [0u8; 1];
+            a.read(&mut buf).map(|n| (n, buf[0]))
+        });
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        b.write_all(b"y").unwrap();
+        assert_eq!(reader.join().unwrap().unwrap(), (1, b'y'));
+        // Zero is rejected like TcpStream does.
+        assert!(b.set_read_timeout(Some(std::time::Duration::ZERO)).is_err());
     }
 
     #[test]

@@ -23,8 +23,9 @@
 use crate::error::ServiceError;
 use std::io::{Read, Write};
 
-/// Wire protocol version this build speaks.
-pub const PROTOCOL_VERSION: u8 = 1;
+/// Wire protocol version this build speaks. v2 grew the Stats payload
+/// (durability counters) and the Durability error code.
+pub const PROTOCOL_VERSION: u8 = 2;
 
 /// Upper bound on a frame body, chosen to fit multi-megabyte snapshot
 /// blobs and million-identifier batches with headroom while bounding what

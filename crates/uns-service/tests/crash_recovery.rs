@@ -1,0 +1,235 @@
+//! Crash-recovery exactness: a durable server killed at a seeded fault
+//! point and restarted from snapshot + log replay must be **bit-equal** to
+//! a run that never crashed — memory `Γ`, estimator cells, RNG state (all
+//! captured by the canonical sampler snapshot), output samples, and reply
+//! positions — for all three estimator kinds, with crash points landing
+//! mid-FeedBatch-run. With fsync-per-op, zero acknowledged ops are lost.
+//!
+//! CI runs this suite in release mode (`fault-matrix-release`).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+use uns_core::NodeId;
+use uns_service::protocol::{EstimatorKind, StreamConfig};
+use uns_service::server::{DurabilityConfig, Server, ServerConfig};
+use uns_service::storage::MemBackend;
+use uns_service::wal::FsyncPolicy;
+use uns_service::{ServiceClient, ServiceSampler};
+
+/// One logical operation of the driven workload.
+#[derive(Clone, Debug)]
+enum Op {
+    Ingest(Vec<NodeId>),
+    Feed(Vec<NodeId>),
+    Sample,
+}
+
+/// Deterministic op script: runs of consecutive FeedBatches (so seeded
+/// crash points land mid-run), interleaved with ingests and samples.
+fn script(seed: u64, ops: usize) -> Vec<Op> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(ops);
+    while out.len() < ops {
+        let batch = |rng: &mut SmallRng| -> Vec<NodeId> {
+            let len = rng.gen_range(1..60usize);
+            (0..len).map(|_| NodeId::new(rng.gen_range(0..500u64))).collect()
+        };
+        match rng.gen_range(0..10u8) {
+            0..=1 => out.push(Op::Ingest(batch(&mut rng))),
+            2 => out.push(Op::Sample),
+            _ => {
+                // A run of feeds: crash points inside it are "mid-FeedBatch".
+                for _ in 0..rng.gen_range(2..5usize) {
+                    out.push(Op::Feed(batch(&mut rng)));
+                }
+            }
+        }
+    }
+    out.truncate(ops);
+    out
+}
+
+/// Applies the script to a library-path sampler — the uninterrupted
+/// reference. Returns (outputs in op order, final canonical snapshot,
+/// total elements).
+fn reference_run(config: &StreamConfig, ops: &[Op]) -> (Vec<Vec<NodeId>>, Vec<u8>, u64) {
+    let mut sampler = ServiceSampler::create(config).unwrap();
+    let mut outputs = Vec::new();
+    let mut elements = 0u64;
+    for op in ops {
+        match op {
+            Op::Ingest(ids) => {
+                sampler.ingest_batch(ids);
+                elements += ids.len() as u64;
+                outputs.push(Vec::new());
+            }
+            Op::Feed(ids) => {
+                let mut out = Vec::new();
+                sampler.feed_batch(ids, &mut out);
+                elements += ids.len() as u64;
+                outputs.push(out);
+            }
+            Op::Sample => {
+                outputs.push(sampler.sample().into_iter().collect());
+            }
+        }
+    }
+    let mut blob = Vec::new();
+    sampler.snapshot(&mut blob);
+    (outputs, blob, elements)
+}
+
+/// Drives the script against a durable server, crashing after `crash_at`
+/// ops and restarting from the backend; asserts bit-equality throughout.
+fn crash_and_verify(kind: EstimatorKind, seed: u64, crash_at: usize) {
+    let ops = script(seed, 24);
+    let crash_at = crash_at.min(ops.len());
+    let stream_config =
+        StreamConfig { kind, capacity: 10, width: 12, depth: 4, seed: seed ^ 0xABCD };
+    let (ref_outputs, ref_blob, ref_elements) = reference_run(&stream_config, &ops);
+
+    let backend = MemBackend::new();
+    let mut durability = DurabilityConfig::new(Arc::new(backend.clone()));
+    durability.fsync = FsyncPolicy::PerOp; // every acked op is durable
+    let server = Server::start_durable(ServerConfig::default(), durability.clone()).unwrap();
+    let mut client = ServiceClient::new(server.connect_in_process()).unwrap();
+    client.create_stream("s", &stream_config).unwrap();
+
+    let mut got_outputs: Vec<Vec<NodeId>> = Vec::new();
+    let mut position = 0u64;
+    let apply = |client: &mut ServiceClient<_>, op: &Op, position: &mut u64| -> Vec<NodeId> {
+        match op {
+            Op::Ingest(ids) => {
+                let ack = client.ingest("s", ids).unwrap();
+                *position += ids.len() as u64;
+                assert_eq!(ack.position, *position, "reply position drifted");
+                Vec::new()
+            }
+            Op::Feed(ids) => {
+                let ack = client.feed_batch("s", ids).unwrap();
+                *position += ids.len() as u64;
+                assert_eq!(ack.position, *position, "reply position drifted");
+                ack.outputs
+            }
+            Op::Sample => client.sample("s").unwrap().into_iter().collect(),
+        }
+    };
+    for op in &ops[..crash_at] {
+        got_outputs.push(apply(&mut client, op, &mut position));
+    }
+
+    // Crash: stop the server, then discard everything the backend had not
+    // fsynced (with PerOp that is nothing acknowledged).
+    drop(client);
+    server.stop();
+    backend.crash();
+
+    // Restart from snapshot + log replay; finish the script.
+    let server = Server::start_durable(ServerConfig::default(), durability).unwrap();
+    let mut client = ServiceClient::new(server.connect_in_process()).unwrap();
+    let stats = client.stats("s").unwrap();
+    assert_eq!(
+        stats.pipeline.elements, position,
+        "{kind:?}/seed {seed}/crash {crash_at}: acked elements lost in the crash"
+    );
+    assert_eq!(stats.durability.recoveries, 1);
+    for op in &ops[crash_at..] {
+        got_outputs.push(apply(&mut client, op, &mut position));
+    }
+
+    // Bit-equal to the uninterrupted run: outputs op by op…
+    assert_eq!(got_outputs.len(), ref_outputs.len());
+    for (index, (got, want)) in got_outputs.iter().zip(&ref_outputs).enumerate() {
+        assert_eq!(
+            got, want,
+            "{kind:?}/seed {seed}/crash {crash_at}: outputs diverged at op {index}"
+        );
+    }
+    // …total positions…
+    assert_eq!(position, ref_elements);
+    // …and the complete final state (memory Γ, estimator, RNG) via the
+    // canonical snapshot encoding.
+    let blob = client.snapshot("s").unwrap();
+    assert_eq!(
+        blob, ref_blob,
+        "{kind:?}/seed {seed}/crash {crash_at}: final sampler state not bit-equal"
+    );
+    server.stop();
+}
+
+#[test]
+fn count_min_recovers_bit_equal_across_seeded_crash_points() {
+    for (seed, crash_at) in [(1u64, 5), (2, 11), (3, 17)] {
+        crash_and_verify(EstimatorKind::CountMin, seed, crash_at);
+    }
+}
+
+#[test]
+fn count_sketch_recovers_bit_equal_across_seeded_crash_points() {
+    for (seed, crash_at) in [(4u64, 3), (5, 12), (6, 20)] {
+        crash_and_verify(EstimatorKind::CountSketch, seed, crash_at);
+    }
+}
+
+#[test]
+fn exact_estimator_recovers_bit_equal_across_seeded_crash_points() {
+    for (seed, crash_at) in [(7u64, 1), (8, 9), (9, 23)] {
+        crash_and_verify(EstimatorKind::Exact, seed, crash_at);
+    }
+}
+
+/// Crash immediately after creation (empty log) and crash after the final
+/// op (nothing left to replay) are the boundary cases.
+#[test]
+fn boundary_crash_points_recover_bit_equal() {
+    crash_and_verify(EstimatorKind::CountMin, 10, 0);
+    crash_and_verify(EstimatorKind::CountMin, 11, usize::MAX);
+}
+
+/// Double crash: recover, work, crash again, recover again — recoveries
+/// accumulate and exactness holds through repeated failures.
+#[test]
+fn repeated_crashes_stay_exact() {
+    let kind = EstimatorKind::CountMin;
+    let stream_config = StreamConfig { kind, capacity: 10, width: 12, depth: 4, seed: 99 };
+    let ops = script(42, 30);
+    let (ref_outputs, ref_blob, _) = reference_run(&stream_config, &ops);
+
+    let backend = MemBackend::new();
+    let mut durability = DurabilityConfig::new(Arc::new(backend.clone()));
+    durability.fsync = FsyncPolicy::PerOp;
+    let mut got_outputs: Vec<Vec<NodeId>> = Vec::new();
+    let mut served = 0usize;
+    let mut recoveries = 0u64;
+    for stop_at in [10usize, 20, ops.len()] {
+        let server = Server::start_durable(ServerConfig::default(), durability.clone()).unwrap();
+        let mut client = ServiceClient::new(server.connect_in_process()).unwrap();
+        if served == 0 {
+            client.create_stream("s", &stream_config).unwrap();
+        } else {
+            recoveries += 1;
+            assert_eq!(client.stats("s").unwrap().durability.recoveries, recoveries);
+        }
+        for op in &ops[served..stop_at] {
+            got_outputs.push(match op {
+                Op::Ingest(ids) => {
+                    client.ingest("s", ids).unwrap();
+                    Vec::new()
+                }
+                Op::Feed(ids) => client.feed_batch("s", ids).unwrap().outputs,
+                Op::Sample => client.sample("s").unwrap().into_iter().collect(),
+            });
+        }
+        served = stop_at;
+        let last = served == ops.len();
+        if last {
+            let blob = client.snapshot("s").unwrap();
+            assert_eq!(blob, ref_blob, "state diverged after two crash/recover cycles");
+        }
+        drop(client);
+        server.stop();
+        backend.crash();
+    }
+    assert_eq!(got_outputs, ref_outputs);
+}

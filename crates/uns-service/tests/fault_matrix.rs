@@ -1,0 +1,299 @@
+//! Deterministic fault matrix: seeded fault schedules (torn writes,
+//! failed fsyncs, dropped/delayed replies, scheduled worker panics) driven
+//! against the durable server through the resilient client. Every cell
+//! must **terminate** — bounded retries, no hangs (a watchdog thread
+//! enforces a hard per-cell timeout) — and leave the server in a state
+//! consistent with what was acknowledged:
+//!
+//! * every batch the client saw acked (or proved applied via resync) is
+//!   present in the stream, exactly once;
+//! * a crash + restart after the storm preserves all of those batches
+//!   (fsync-per-op), with the stream still serving requests;
+//! * the final sampler state is a decodable canonical snapshot.
+//!
+//! CI runs this in release mode (`fault-matrix-release`) across all seeds.
+
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+use uns_core::NodeId;
+use uns_service::protocol::{EstimatorKind, StreamConfig};
+use uns_service::server::{DurabilityConfig, Server, ServerConfig};
+use uns_service::storage::MemBackend;
+use uns_service::wal::FsyncPolicy;
+use uns_service::{
+    Delivery, FaultPlan, FaultSpec, ResilientClient, RetryPolicy, ServiceClient, ServiceError,
+    ServiceSampler,
+};
+
+/// Hard per-cell timeout: if the driven run wedges (unbounded retry spin,
+/// deadlocked worker, lost wakeup) the watchdog fails the test instead of
+/// letting the harness hang.
+const WATCHDOG: Duration = Duration::from_secs(120);
+
+fn with_watchdog<F: FnOnce() + Send + 'static>(label: String, body: F) {
+    let (tx, rx) = mpsc::channel();
+    let runner = thread::spawn(move || {
+        body();
+        let _ = tx.send(());
+    });
+    match rx.recv_timeout(WATCHDOG) {
+        Ok(()) => runner.join().expect("fault-matrix cell panicked"),
+        // Sender dropped without sending: the body panicked — propagate it.
+        Err(mpsc::RecvTimeoutError::Disconnected) => {
+            if let Err(payload) = runner.join() {
+                std::panic::resume_unwind(payload);
+            }
+        }
+        Err(mpsc::RecvTimeoutError::Timeout) => {
+            panic!("fault-matrix cell {label:?} exceeded the {WATCHDOG:?} watchdog")
+        }
+    }
+}
+
+/// One matrix cell: a fault family at a seed, driven to completion.
+fn run_cell(label: &str, seed: u64, spec: FaultSpec, fsync: FsyncPolicy) {
+    let plan = FaultPlan::new(seed, spec);
+    let backend = MemBackend::new();
+    let mut durability = DurabilityConfig::new(Arc::new(backend.clone()));
+    durability.fsync = fsync;
+    durability.compact_bytes = 2_048; // force compactions mid-storm
+    durability.fault_plan = Some(plan);
+    let server = Server::start_durable(ServerConfig::default(), durability.clone()).unwrap();
+
+    let policy = RetryPolicy {
+        op_timeout: Some(Duration::from_millis(150)),
+        op_deadline: Some(Duration::from_secs(10)),
+        base_backoff: Duration::from_millis(1),
+        max_backoff: Duration::from_millis(20),
+        retry_budget: 40,
+        jitter_seed: seed,
+    };
+    let mut client = ResilientClient::new(policy, move || Ok(server.connect_in_process()));
+    let config = StreamConfig {
+        kind: EstimatorKind::CountMin,
+        capacity: 10,
+        width: 16,
+        depth: 4,
+        seed: seed ^ 0x5151,
+    };
+    client.create_stream("storm", &config).unwrap_or_else(|err| {
+        panic!("{label}/{seed}: stream creation never succeeded: {err}");
+    });
+
+    // Drive 30 batches; under faults some ops may exhaust their budget —
+    // that is a legal outcome, but it must be *reported*, not spun on.
+    let mut applied = 0u64;
+    let mut failed_ops = 0u64;
+    let mut offered = 0u64;
+    for batch_index in 0..30u64 {
+        let ids: Vec<NodeId> =
+            (0..32u64).map(|i| NodeId::new((batch_index * 32 + i) % 400)).collect();
+        offered += ids.len() as u64;
+        match client.feed_batch("storm", &ids) {
+            Ok(Delivery::Acked(ack)) => {
+                applied += ids.len() as u64;
+                assert_eq!(
+                    ack.outputs.len(),
+                    ids.len(),
+                    "{label}/{seed}: ack with wrong output count"
+                );
+            }
+            Ok(Delivery::AppliedReplyLost { .. }) => applied += ids.len() as u64,
+            Err(_) => failed_ops += 1,
+        }
+    }
+
+    // The server must still be serving, and everything proven applied must
+    // be there: applied ≤ elements ≤ offered (ops that errored out in an
+    // ambiguous state may or may not have landed — never twice).
+    let stats = client.stats("storm").unwrap_or_else(|err| {
+        panic!("{label}/{seed}: server unresponsive after the storm: {err}");
+    });
+    let pre_crash_elements = stats.pipeline.elements;
+    assert!(
+        pre_crash_elements >= applied,
+        "{label}/{seed}: {applied} elements proven applied, server holds {pre_crash_elements}"
+    );
+    assert!(
+        pre_crash_elements <= offered,
+        "{label}/{seed}: server holds {pre_crash_elements} of {offered} offered — double-applied"
+    );
+    assert_eq!(pre_crash_elements % 32, 0, "{label}/{seed}: partial batch applied");
+    let retry = client.retry_stats();
+    assert!(
+        retry.budget_exhausted + retry.deadlines_exceeded >= failed_ops,
+        "{label}/{seed}: ops failed without an accounted bound"
+    );
+
+    // Crash + fault-free restart: with fsync-per-op every acknowledged op
+    // survives; with EveryN an acknowledged tail inside the sync window
+    // may be lost but never anything before it.
+    drop(client);
+    backend.crash();
+    durability.fault_plan = None;
+    let server = Server::start_durable(ServerConfig::default(), durability).unwrap();
+    let mut plain = ServiceClient::new(server.connect_in_process()).unwrap();
+    let recovered = plain.stats("storm").unwrap_or_else(|err| {
+        panic!("{label}/{seed}: recovery failed after the fault storm: {err}");
+    });
+    match fsync {
+        FsyncPolicy::PerOp => assert!(
+            recovered.pipeline.elements >= applied,
+            "{label}/{seed}: fsync-per-op lost acked elements \
+             ({applied} proven, {} recovered)",
+            recovered.pipeline.elements
+        ),
+        _ => assert!(
+            recovered.pipeline.elements <= pre_crash_elements,
+            "{label}/{seed}: recovery invented elements"
+        ),
+    }
+    assert!(recovered.durability.recoveries >= 1);
+    // The recovered stream still works and its state is a decodable
+    // canonical snapshot.
+    let ids: Vec<NodeId> = (0..16u64).map(NodeId::new).collect();
+    let ack = plain.feed_batch("storm", &ids).unwrap();
+    assert_eq!(ack.position, recovered.pipeline.elements + 16);
+    let blob = plain.snapshot("storm").unwrap();
+    ServiceSampler::restore(&blob)
+        .unwrap_or_else(|err| panic!("{label}/{seed}: corrupt final snapshot: {err}"));
+    server.stop();
+}
+
+/// Fault families of the matrix.
+fn families() -> Vec<(&'static str, FaultSpec)> {
+    vec![
+        ("reply-drop", FaultSpec { drop_reply_per_mille: 150, ..FaultSpec::default() }),
+        (
+            "reply-delay",
+            FaultSpec {
+                delay_reply_per_mille: 300,
+                reply_delay: Duration::from_millis(30),
+                ..FaultSpec::default()
+            },
+        ),
+        ("torn-writes", FaultSpec { torn_write_per_mille: 150, ..FaultSpec::default() }),
+        ("fsync-failures", FaultSpec { sync_fail_per_mille: 100, ..FaultSpec::default() }),
+        ("worker-panics", FaultSpec { worker_panic_per_mille: 80, ..FaultSpec::default() }),
+        (
+            "everything-at-once",
+            FaultSpec {
+                torn_write_per_mille: 60,
+                sync_fail_per_mille: 40,
+                drop_reply_per_mille: 60,
+                delay_reply_per_mille: 80,
+                reply_delay: Duration::from_millis(10),
+                worker_panic_per_mille: 30,
+            },
+        ),
+    ]
+}
+
+#[test]
+fn fault_matrix_per_op_fsync_completes_with_exactness_bounds() {
+    // ≥ 8 seeds; the combined family runs on all of them, the five focused
+    // families on a rotating pair per seed — every family sees ≥ 3 seeds.
+    let seeds: [u64; 8] = [11, 23, 37, 41, 53, 67, 79, 97];
+    for (index, &seed) in seeds.iter().enumerate() {
+        for (family_index, (label, spec)) in families().into_iter().enumerate() {
+            let combined = label == "everything-at-once";
+            let focused_hit = index % 5 == family_index || (index + 2) % 5 == family_index;
+            if !combined && !focused_hit {
+                continue;
+            }
+            let name = format!("{label}/seed-{seed}");
+            with_watchdog(name, move || run_cell(label, seed, spec, FsyncPolicy::PerOp));
+        }
+    }
+}
+
+#[test]
+fn fault_matrix_batched_fsync_recovers_a_prefix() {
+    for seed in [5u64, 6, 7, 8] {
+        let (label, spec) = ("everything-at-once", families().pop().unwrap().1);
+        let name = format!("{label}/every-n/seed-{seed}");
+        with_watchdog(name, move || run_cell(label, seed, spec, FsyncPolicy::EveryN(4)));
+    }
+}
+
+/// Delayed replies must not be *reordered* — a delay stalls the whole
+/// reply pipe (connection-order preserved), so a sequential client never
+/// observes out-of-order positions.
+#[test]
+fn delayed_replies_preserve_order() {
+    with_watchdog("delay-order".into(), || {
+        let spec = FaultSpec {
+            delay_reply_per_mille: 400,
+            reply_delay: Duration::from_millis(15),
+            ..FaultSpec::default()
+        };
+        let backend = MemBackend::new();
+        let mut durability = DurabilityConfig::new(Arc::new(backend));
+        durability.fault_plan = Some(FaultPlan::new(3, spec));
+        let server = Server::start_durable(ServerConfig::default(), durability).unwrap();
+        let mut client = ServiceClient::new(server.connect_in_process()).unwrap();
+        client.set_op_timeout(Some(Duration::from_secs(30))).unwrap();
+        client
+            .create_stream(
+                "ordered",
+                &StreamConfig {
+                    kind: EstimatorKind::Exact,
+                    capacity: 8,
+                    width: 8,
+                    depth: 3,
+                    seed: 2,
+                },
+            )
+            .unwrap();
+        let mut position = 0u64;
+        for round in 0..40u64 {
+            let ids: Vec<NodeId> = (0..8u64).map(|i| NodeId::new(round * 8 + i)).collect();
+            let ack = client.ingest("ordered", &ids).unwrap();
+            position += 8;
+            assert_eq!(ack.position, position, "delayed replies arrived out of order");
+        }
+        server.stop();
+    });
+}
+
+/// A plain (non-resilient) client must surface Durability errors from
+/// worker panics instead of hanging: the panicked op is never applied.
+#[test]
+fn worker_panics_surface_as_durability_errors_not_hangs() {
+    with_watchdog("panic-surface".into(), || {
+        // Panic every mutating op: each attempt fails cleanly.
+        let spec = FaultSpec { worker_panic_per_mille: 1000, ..FaultSpec::default() };
+        let backend = MemBackend::new();
+        let mut durability = DurabilityConfig::new(Arc::new(backend));
+        durability.fault_plan = Some(FaultPlan::new(9, spec));
+        let server = Server::start_durable(ServerConfig::default(), durability).unwrap();
+        let mut client = ServiceClient::new(server.connect_in_process()).unwrap();
+        client.set_op_timeout(Some(Duration::from_secs(30))).unwrap();
+        client
+            .create_stream(
+                "doomed",
+                &StreamConfig {
+                    kind: EstimatorKind::CountMin,
+                    capacity: 8,
+                    width: 8,
+                    depth: 3,
+                    seed: 4,
+                },
+            )
+            .unwrap();
+        let ids: Vec<NodeId> = (0..8u64).map(NodeId::new).collect();
+        for _ in 0..5 {
+            match client.feed_batch("doomed", &ids) {
+                Err(ServiceError::Durability(_)) => {}
+                other => panic!("expected a durability error, got {other:?}"),
+            }
+        }
+        // Nothing applied, stream still reachable, recoveries counted.
+        let stats = client.stats("doomed").unwrap();
+        assert_eq!(stats.pipeline.elements, 0);
+        assert!(stats.durability.recoveries >= 5);
+        server.stop();
+    });
+}

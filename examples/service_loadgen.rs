@@ -15,7 +15,7 @@
 //! `UNS_BENCH_FAST=1` shrinks the run to a smoke test (CI uses this).
 
 use std::net::{TcpListener, TcpStream};
-use uns_service::loadgen::{create_and_run, LoadgenConfig, Workload};
+use uns_service::loadgen::{create_and_run, LoadgenConfig, LoadgenRetry, Workload};
 use uns_service::protocol::{EstimatorKind, StreamConfig};
 use uns_service::server::{Server, ServerConfig};
 use uns_service::ServiceClient;
@@ -65,15 +65,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 workload,
                 seed: 7,
                 feed: true,
+                retry: LoadgenRetry::default(),
             };
             let report = create_and_run(connect, name, &stream_config, &config)?;
             println!(
                 "{name:>16}: {:>8.2} Melem/s  ({} elements in {:.3}s, {} busy retries, \
-                 admission rate {:.2}%)",
+                 {} batches abandoned, admission rate {:.2}%)",
                 report.melem_per_s(),
                 report.elements,
                 report.elapsed.as_secs_f64(),
                 report.busy_retries,
+                report.abandoned_batches,
                 report.stats.pipeline.admission_rate() * 100.0,
             );
         }
