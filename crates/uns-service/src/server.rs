@@ -47,6 +47,7 @@ use crate::storage::StorageBackend;
 use crate::transport::Transport;
 use crate::wal::{
     parse_wal, DurabilityStats, DurableSnapshot, FsyncPolicy, WalOp, WalOpRef, WalWriter,
+    WAL_HEADER_LEN,
 };
 use crate::wire::{read_frame, write_frame, MAX_FRAME_LEN};
 use std::collections::HashMap;
@@ -453,12 +454,17 @@ fn recover_stream(
     let mut store = backend.open_wal(name)?;
     let bytes = store.read_all()?;
     let parsed = parse_wal(&bytes);
-    // A missing/torn header happens when a crash interrupted a log reset;
-    // the snapshot's sequence is then the truth and the log is empty.
-    let base = parsed.base_seq.unwrap_or(snap.seq);
-    let skip = usize::try_from(snap.seq.saturating_sub(base))
-        .unwrap_or(usize::MAX)
-        .min(parsed.records.len());
+    // The log speaks for this snapshot only when its header decodes, its
+    // incarnation generation matches the snapshot's, and it does not claim
+    // to start beyond the snapshot's sequence. A missing/torn header is
+    // normal crash damage (an interrupted log reset); a generation
+    // mismatch or a base ahead of the snapshot is a *different*
+    // incarnation's log — left behind by a crash between a create/restore's
+    // snapshot commit and its log reset — and replaying it onto the
+    // restored sampler would silently corrupt it. In every unusable case
+    // the snapshot alone is the truth and the log restarts empty.
+    let usable =
+        parsed.header.is_some_and(|h| h.generation == snap.generation && h.base_seq <= snap.seq);
     let mut stats = PipelineStats {
         elements: snap.elements,
         admitted: snap.admitted,
@@ -466,40 +472,53 @@ fn recover_stream(
         chunks: usize::try_from(snap.chunks).unwrap_or(usize::MAX),
         shards,
     };
-    let mut outputs = Vec::new();
-    for op in &parsed.records[skip..] {
-        match op {
-            WalOp::Ingest(ids) => {
-                stats.admitted += sampler.ingest_batch(ids);
-                stats.elements += ids.len() as u64;
-                stats.chunks += 1;
-            }
-            WalOp::Feed(ids) => {
-                outputs.clear();
-                stats.admitted += sampler.feed_batch(ids, &mut outputs);
-                stats.elements += ids.len() as u64;
-                stats.outputs += ids.len() as u64;
-                stats.chunks += 1;
-            }
-            WalOp::Sample => {
-                let _ = sampler.sample();
-            }
-        }
-    }
-    let wal = match parsed.base_seq {
-        Some(base) => {
-            WalWriter::resume(store, parsed.valid_len, base + parsed.records.len() as u64, fsync)?
-        }
-        None => WalWriter::create(store, snap.seq, fsync)?,
-    };
     let mut counters = snap.durability;
     counters.recoveries += 1;
-    // Records replayed from the log were appended after the snapshot's
-    // counters were persisted (`skip` ones were already covered) — fold
-    // them back in so wal_records/wal_bytes keep (approximate) lifetime
-    // meaning across recovery.
-    counters.wal_records += (parsed.records.len() - skip) as u64;
-    counters.wal_bytes += parsed.valid_len.saturating_sub(crate::wal::WAL_HEADER_LEN as u64);
+    let wal = if usable {
+        let header = parsed.header.expect("usable implies a decoded header");
+        let skip = usize::try_from(snap.seq - header.base_seq)
+            .unwrap_or(usize::MAX)
+            .min(parsed.records.len());
+        let mut outputs = Vec::new();
+        for op in &parsed.records[skip..] {
+            match op {
+                WalOp::Ingest(ids) => {
+                    stats.admitted += sampler.ingest_batch(ids);
+                    stats.elements += ids.len() as u64;
+                    stats.chunks += 1;
+                }
+                WalOp::Feed(ids) => {
+                    outputs.clear();
+                    stats.admitted += sampler.feed_batch(ids, &mut outputs);
+                    stats.elements += ids.len() as u64;
+                    stats.outputs += ids.len() as u64;
+                    stats.chunks += 1;
+                }
+                WalOp::Sample => {
+                    let _ = sampler.sample();
+                }
+            }
+        }
+        // Fold the replayed records back into the lifetime counters: they
+        // were appended after the snapshot's counters were persisted. The
+        // `skip` prefix was already counted at the last checkpoint, so
+        // only the bytes from where it ends to the valid end are new.
+        counters.wal_records += (parsed.records.len() - skip) as u64;
+        let replayed_from = match skip.checked_sub(1) {
+            Some(last_skipped) => parsed.record_ends[last_skipped],
+            None => WAL_HEADER_LEN as u64,
+        };
+        counters.wal_bytes += parsed.valid_len.saturating_sub(replayed_from);
+        WalWriter::resume(
+            store,
+            snap.generation,
+            parsed.valid_len,
+            header.base_seq + parsed.records.len() as u64,
+            fsync,
+        )?
+    } else {
+        WalWriter::create(store, snap.generation, snap.seq, fsync)?
+    };
     let mut state = StreamState {
         sampler,
         stats,
@@ -513,19 +532,57 @@ fn recover_stream(
     Ok(state)
 }
 
+/// How far a failed [`create_durable_stream`] got, which decides what the
+/// caller must undo.
+#[derive(Debug)]
+enum CreateDurableError {
+    /// Failed before the new snapshot landed. The backend's atomic
+    /// `write_snapshot` contract means the stream's prior durable state
+    /// (if any) is untouched — nothing to undo beyond the registry.
+    Clean(ServiceError),
+    /// The new incarnation's snapshot is committed but its log did not
+    /// start. Durable truth has already moved: recovery will (correctly)
+    /// land on the new snapshot and discard the old incarnation's log via
+    /// the generation check, so the caller must not keep serving the old
+    /// in-memory state.
+    Committed(ServiceError),
+}
+
 /// Makes a freshly created/restored stream durable: write its durable
-/// snapshot at sequence `seq_zero` stats, then start its log. Runs before
+/// snapshot covering the fresh sampler, then start its log. Runs before
 /// the create is acknowledged, so an acknowledged stream always survives a
 /// crash.
+///
+/// The snapshot — atomic per the [`StorageBackend`] contract — is the
+/// commit point, and it is stamped with a **generation** strictly above
+/// anything the name's prior durable state (snapshot or leftover log)
+/// carries. A crash in the window between the snapshot landing and the
+/// log reset therefore cannot pair the new snapshot with the old
+/// incarnation's records: recovery sees the generation mismatch and
+/// discards the stale log.
 fn create_durable_stream(
     backend: &Arc<dyn StorageBackend>,
     name: &str,
     sampler: &ServiceSampler,
     fsync: FsyncPolicy,
-) -> Result<DurableStream, ServiceError> {
+) -> Result<DurableStream, CreateDurableError> {
+    let prior_snap_gen = backend
+        .read_snapshot(name)
+        .ok()
+        .flatten()
+        .and_then(|blob| DurableSnapshot::decode(&blob).ok())
+        .map_or(0, |snap| snap.generation);
+    let prior_wal_gen = backend
+        .open_wal(name)
+        .and_then(|mut store| store.read_all())
+        .ok()
+        .and_then(|bytes| parse_wal(&bytes).header)
+        .map_or(0, |header| header.generation);
+    let generation = prior_snap_gen.max(prior_wal_gen).wrapping_add(1);
     let mut sampler_blob = Vec::new();
     sampler.snapshot(&mut sampler_blob);
     let snap = DurableSnapshot {
+        generation,
         seq: 0,
         elements: 0,
         admitted: 0,
@@ -536,8 +593,10 @@ fn create_durable_stream(
     };
     let mut bytes = Vec::new();
     snap.encode(&mut bytes);
-    backend.write_snapshot(name, &bytes)?;
-    let wal = WalWriter::create(backend.open_wal(name)?, 0, fsync)?;
+    backend.write_snapshot(name, &bytes).map_err(|e| CreateDurableError::Clean(e.into()))?;
+    let store = backend.open_wal(name).map_err(|e| CreateDurableError::Committed(e.into()))?;
+    let wal = WalWriter::create(store, generation, 0, fsync)
+        .map_err(|e| CreateDurableError::Committed(e.into()))?;
     Ok(DurableStream { name: name.to_string(), wal, counters: DurabilityStats::default() })
 }
 
@@ -571,6 +630,7 @@ fn checkpoint(state: &mut StreamState, backend: &Arc<dyn StorageBackend>, count_
         persisted.snapshot_compactions += 1;
     }
     let snap = DurableSnapshot {
+        generation: durable.wal.generation(),
         seq: durable.wal.next_seq(),
         elements: state.stats.elements,
         admitted: state.stats.admitted,
@@ -644,13 +704,12 @@ fn worker_main(
                 return Response::Error { code: ErrorCode::Other, message };
             }
             match heal_in_place(&mut streams, stream, &durability, pool_size) {
-                true => Response::Error {
+                HealOutcome::Healed => Response::Error {
                     code: ErrorCode::Durability,
                     message: format!("{message}; stream recovered, op outcome unknown"),
                 },
-                false => {
-                    let mut names = registry.streams.lock().expect("registry lock poisoned");
-                    names.retain(|_, entry| entry.id != stream);
+                HealOutcome::Lost { purge } => {
+                    tear_down_lost_stream(registry, stream, &durability, purge);
                     Response::Error { code: ErrorCode::Other, message }
                 }
             }
@@ -666,22 +725,36 @@ fn worker_main(
     }
 }
 
+/// What [`heal_in_place`] left behind.
+enum HealOutcome {
+    /// The stream was rebuilt in place from its durable state.
+    Healed,
+    /// The stream is gone from this worker. `purge` carries the durable
+    /// name whose on-backend state must be deleted alongside the registry
+    /// entry — otherwise the "lost" stream would silently reappear at the
+    /// next restart while the running server reports it unknown.
+    Lost { purge: Option<String> },
+}
+
 /// Rebuilds a durable stream in place after its in-memory state was lost
-/// (worker panic, broken WAL writer). Returns `false` when the stream was
-/// not durable or its recovery failed — the caller then tears the
-/// registry entry down, the pre-durability behavior.
+/// (worker panic, broken WAL writer). On [`HealOutcome::Lost`] the caller
+/// must finish the teardown with [`tear_down_lost_stream`].
 fn heal_in_place(
     streams: &mut HashMap<u64, StreamState>,
     stream: u64,
     durability: &Option<DurabilityConfig>,
     pool_size: usize,
-) -> bool {
+) -> HealOutcome {
     let Some(durability) = durability else {
         streams.remove(&stream);
-        return false;
+        return HealOutcome::Lost { purge: None };
     };
-    let Some(state) = streams.remove(&stream) else { return false };
-    let Some(durable) = state.durable else { return false };
+    let Some(state) = streams.remove(&stream) else {
+        return HealOutcome::Lost { purge: None };
+    };
+    let Some(durable) = state.durable else {
+        return HealOutcome::Lost { purge: None };
+    };
     // Recovery itself performs I/O, so it can hit the same transient
     // faults (torn write, failed fsync) that triggered the heal. The
     // durable snapshot + log are intact on the backend, so a bounded
@@ -691,12 +764,34 @@ fn heal_in_place(
         match recover_stream(&durability.backend, &durable.name, durability.fsync, pool_size) {
             Ok(recovered) => {
                 streams.insert(stream, recovered);
-                return true;
+                return HealOutcome::Healed;
             }
             Err(_) => continue,
         }
     }
-    false
+    HealOutcome::Lost { purge: Some(durable.name) }
+}
+
+/// Finishes tearing down a stream [`heal_in_place`] declared lost: free
+/// its name in the registry (so create works again, instead of wedging
+/// behind a ready entry that can neither answer nor be replaced) and
+/// best-effort delete its durable state, so the runtime view ("unknown
+/// stream") and the post-restart view agree. The purge is best-effort by
+/// design: if it fails, the worst case is the stream *resurrecting* at
+/// the next restart from its last consistent snapshot+log — stale, but
+/// never corrupt.
+fn tear_down_lost_stream(
+    registry: &Registry,
+    stream: u64,
+    durability: &Option<DurabilityConfig>,
+    purge: Option<String>,
+) {
+    let mut names = registry.streams.lock().expect("registry lock poisoned");
+    names.retain(|_, entry| entry.id != stream);
+    drop(names);
+    if let (Some(durability), Some(name)) = (durability, purge) {
+        let _ = durability.backend.remove_stream(&name);
+    }
 }
 
 /// In-place recovery attempts before a durable stream is given up on.
@@ -758,10 +853,11 @@ fn wal_before_apply(
             let broken = durable.wal.is_broken();
             let message = if broken {
                 match heal_in_place(streams, stream, durability, pool_size) {
-                    true => format!("op not applied ({err}); stream recovered in place"),
-                    false => {
-                        let mut names = registry.streams.lock().expect("registry lock poisoned");
-                        names.retain(|_, entry| entry.id != stream);
+                    HealOutcome::Healed => {
+                        format!("op not applied ({err}); stream recovered in place")
+                    }
+                    HealOutcome::Lost { purge } => {
+                        tear_down_lost_stream(registry, stream, durability, purge);
                         format!("op not applied ({err}); stream lost: recovery failed")
                     }
                 }
@@ -769,6 +865,73 @@ fn wal_before_apply(
                 format!("op not applied ({err}); log repaired in place")
             };
             Err(Response::Error { code: ErrorCode::Durability, message })
+        }
+    }
+}
+
+/// Installs a freshly created/restored sampler under `stream`, making it
+/// durable first on a durable server. The failure handling depends on how
+/// far durability got ([`CreateDurableError`]) and on whether the slot was
+/// fresh or an existing stream being replaced (Restore's rewind
+/// semantics):
+///
+/// - **fresh + any failure** — the client is told the create failed, so
+///   nothing may survive it: best-effort delete whatever durable state
+///   the attempt left behind (the registry reservation is rolled back by
+///   the connection thread). Without the purge, the next restart would
+///   resurrect a stream that was never acknowledged.
+/// - **replace + `Clean`** — the old incarnation's durable state and
+///   in-memory stream are both untouched; report the failure and keep
+///   serving the old stream.
+/// - **replace + `Committed`** — durable truth already moved to the new
+///   incarnation (its snapshot is the commit point), so the old in-memory
+///   state must not keep serving. Recover in place: the generation check
+///   discards the old incarnation's log, so a successful heal lands on
+///   exactly the state the client asked to install — answered `Ok`,
+///   honestly. A failed heal loses the stream (name freed, durable state
+///   purged).
+#[allow(clippy::too_many_arguments)]
+fn install_stream(
+    streams: &mut HashMap<u64, StreamState>,
+    pool_size: usize,
+    stream: u64,
+    name: &str,
+    sampler: ServiceSampler,
+    registry: &Registry,
+    durability: &Option<DurabilityConfig>,
+    verb: &str,
+) -> Response {
+    let Some(d) = durability else {
+        let stats = PipelineStats { shards: pool_size, ..PipelineStats::default() };
+        streams.insert(stream, StreamState { sampler, stats, durable: None });
+        return Response::Ok;
+    };
+    let fresh = !streams.contains_key(&stream);
+    let (err, committed) = match create_durable_stream(&d.backend, name, &sampler, d.fsync) {
+        Ok(durable) => {
+            let stats = PipelineStats { shards: pool_size, ..PipelineStats::default() };
+            streams.insert(stream, StreamState { sampler, stats, durable: Some(durable) });
+            return Response::Ok;
+        }
+        Err(CreateDurableError::Clean(err)) => (err, false),
+        Err(CreateDurableError::Committed(err)) => (err, true),
+    };
+    let message = format!("stream not {verb}: {err}");
+    if fresh {
+        let _ = d.backend.remove_stream(name);
+        return Response::Error { code: ErrorCode::Durability, message };
+    }
+    if !committed {
+        return Response::Error { code: ErrorCode::Durability, message };
+    }
+    match heal_in_place(streams, stream, durability, pool_size) {
+        HealOutcome::Healed => Response::Ok,
+        HealOutcome::Lost { purge } => {
+            tear_down_lost_stream(registry, stream, durability, purge);
+            Response::Error {
+                code: ErrorCode::Durability,
+                message: format!("{message}; stream lost: recovery failed"),
+            }
         }
     }
 }
@@ -790,43 +953,15 @@ fn execute_job(
 ) -> Response {
     match op {
         StreamOp::Create(name, config) => match ServiceSampler::create(&config) {
-            Ok(sampler) => {
-                let durable = match durability {
-                    Some(d) => match create_durable_stream(&d.backend, &name, &sampler, d.fsync) {
-                        Ok(durable) => Some(durable),
-                        Err(err) => {
-                            return Response::Error {
-                                code: ErrorCode::Durability,
-                                message: format!("stream not created: {err}"),
-                            }
-                        }
-                    },
-                    None => None,
-                };
-                let stats = PipelineStats { shards: pool_size, ..PipelineStats::default() };
-                streams.insert(stream, StreamState { sampler, stats, durable });
-                Response::Ok
-            }
+            Ok(sampler) => install_stream(
+                streams, pool_size, stream, &name, sampler, registry, durability, "created",
+            ),
             Err(err) => error_response(&err),
         },
         StreamOp::Restore(name, blob) => match ServiceSampler::restore(&blob) {
-            Ok(sampler) => {
-                let durable = match durability {
-                    Some(d) => match create_durable_stream(&d.backend, &name, &sampler, d.fsync) {
-                        Ok(durable) => Some(durable),
-                        Err(err) => {
-                            return Response::Error {
-                                code: ErrorCode::Durability,
-                                message: format!("stream not restored: {err}"),
-                            }
-                        }
-                    },
-                    None => None,
-                };
-                let stats = PipelineStats { shards: pool_size, ..PipelineStats::default() };
-                streams.insert(stream, StreamState { sampler, stats, durable });
-                Response::Ok
-            }
+            Ok(sampler) => install_stream(
+                streams, pool_size, stream, &name, sampler, registry, durability, "restored",
+            ),
             Err(err) => error_response(&err),
         },
         StreamOp::Ingest(ids) => {
@@ -1499,6 +1634,171 @@ mod tests {
         let mut expected = Vec::new();
         reference.feed_batch(&ids, &mut expected);
         assert_eq!(client.feed_batch("s", &ids).unwrap().outputs, expected);
+    }
+
+    #[test]
+    fn stale_wal_from_a_previous_incarnation_is_discarded_on_recovery() {
+        // The crash window the generation stamp closes: a restore over an
+        // existing durable stream commits its new snapshot (the commit
+        // point) and crashes before the log reset, leaving the new
+        // snapshot paired with the OLD incarnation's records. Recovery
+        // must trust the snapshot and discard the stale log, not replay
+        // stale ops onto the restored sampler.
+        let backend = crate::storage::MemBackend::new();
+        let durability = DurabilityConfig::new(Arc::new(backend.clone()));
+        let config = ServerConfig { workers: 1, queue_depth: 8 };
+        let ids: Vec<NodeId> = (0..300u64).map(|i| NodeId::new(i % 29)).collect();
+        {
+            let server = Server::start_durable(config, durability.clone()).unwrap();
+            let mut client = ServiceClient::new(server.connect_in_process()).unwrap();
+            client.create_stream("s", &test_config()).unwrap();
+            client.feed_batch("s", &ids).unwrap(); // the old incarnation's records
+        }
+        // Fabricate the torn restore: a fresh-sampler snapshot stamped
+        // with the next generation lands (write_snapshot is atomic), the
+        // log reset never happens.
+        let fresh = ServiceSampler::create(&test_config()).unwrap();
+        let mut sampler_blob = Vec::new();
+        fresh.snapshot(&mut sampler_blob);
+        let snap = DurableSnapshot {
+            generation: 2, // the create above stamped generation 1
+            seq: 0,
+            elements: 0,
+            admitted: 0,
+            outputs: 0,
+            chunks: 0,
+            durability: DurabilityStats::default(),
+            sampler_blob,
+        };
+        let mut bytes = Vec::new();
+        snap.encode(&mut bytes);
+        backend.write_snapshot("s", &bytes).unwrap();
+        backend.crash();
+        let server = Server::start_durable(config, durability).unwrap();
+        let mut client = ServiceClient::new(server.connect_in_process()).unwrap();
+        let stats = client.stats("s").unwrap();
+        assert_eq!(stats.pipeline.elements, 0, "stale log replayed into the restored stream");
+        assert_eq!(stats.durability.wal_records, 0, "stale records joined the lifetime count");
+        assert_eq!(stats.durability.recoveries, 1);
+        // The stream's future is bit-equal to the fresh sampler the
+        // snapshot holds — untouched by the 300 stale elements.
+        let out = client.feed_batch("s", &ids).unwrap();
+        let mut reference = ServiceSampler::create(&test_config()).unwrap();
+        let mut expected = Vec::new();
+        reference.feed_batch(&ids, &mut expected);
+        assert_eq!(out.outputs, expected);
+        assert_eq!(out.position, 300);
+    }
+
+    #[test]
+    fn failed_durable_create_leaves_no_orphan_stream() {
+        // Every fsync fails: the create's snapshot lands (snapshot writes
+        // are not on the log fault path) but starting the WAL fails, so
+        // the client is told the create failed. Nothing may survive an
+        // unacknowledged create — not the registry name, not the
+        // on-backend snapshot a later restart would resurrect.
+        let backend = crate::storage::MemBackend::new();
+        let mut faulty = DurabilityConfig::new(Arc::new(backend.clone()));
+        faulty.fault_plan = Some(FaultPlan::new(
+            7,
+            crate::fault::FaultSpec { sync_fail_per_mille: 1000, ..Default::default() },
+        ));
+        let config = ServerConfig { workers: 1, queue_depth: 8 };
+        {
+            let server = Server::start_durable(config, faulty).unwrap();
+            let mut client = ServiceClient::new(server.connect_in_process()).unwrap();
+            assert!(matches!(
+                client.create_stream("phantom", &test_config()),
+                Err(ServiceError::Durability(_))
+            ));
+            assert!(matches!(client.sample("phantom"), Err(ServiceError::UnknownStream(_))));
+            assert_eq!(backend.list_streams().unwrap(), Vec::<String>::new());
+        }
+        // A restart finds no durable state to resurrect, and the name is
+        // free for a real create on a healthy backend.
+        let server =
+            Server::start_durable(config, DurabilityConfig::new(Arc::new(backend.clone())))
+                .unwrap();
+        let mut client = ServiceClient::new(server.connect_in_process()).unwrap();
+        assert!(matches!(client.sample("phantom"), Err(ServiceError::UnknownStream(_))));
+        client.create_stream("phantom", &test_config()).unwrap();
+    }
+
+    #[test]
+    fn a_lost_stream_is_purged_and_stays_gone_after_restart() {
+        let backend = crate::storage::MemBackend::new();
+        let durability = DurabilityConfig::new(Arc::new(backend.clone()));
+        let config = ServerConfig { workers: 1, queue_depth: 8 };
+        let server = Server::start_durable(config, durability.clone()).unwrap();
+        let mut client = ServiceClient::new(server.connect_in_process()).unwrap();
+        client.create_stream("doomed", &test_config()).unwrap();
+        let ids: Vec<NodeId> = (0..100u64).map(NodeId::new).collect();
+        client.feed_batch("doomed", &ids).unwrap();
+        // Corrupt the durable snapshot so the post-panic heal cannot
+        // succeed, then panic the worker mid-op: the stream is lost.
+        backend.write_snapshot("doomed", b"garbage").unwrap();
+        let (worker, id) = {
+            let streams = server.registry.streams.lock().unwrap();
+            let entry = streams.get("doomed").unwrap();
+            (entry.worker, entry.id)
+        };
+        let (reply_tx, reply_rx) = mpsc::sync_channel(1);
+        server.senders[worker]
+            .send(Job { stream: id, op: StreamOp::Panic, reply: reply_tx })
+            .unwrap();
+        assert!(matches!(reply_rx.recv().unwrap(), Response::Error { code: ErrorCode::Other, .. }));
+        // Runtime view: unknown. The teardown purged the backend too, so
+        // the durable view agrees and a restart does not resurrect the
+        // stream the running server reported lost.
+        assert!(matches!(client.sample("doomed"), Err(ServiceError::UnknownStream(_))));
+        assert_eq!(backend.list_streams().unwrap(), Vec::<String>::new());
+        drop(server);
+        let server = Server::start_durable(config, durability).unwrap();
+        let mut client = ServiceClient::new(server.connect_in_process()).unwrap();
+        assert!(matches!(client.sample("doomed"), Err(ServiceError::UnknownStream(_))));
+    }
+
+    #[test]
+    fn recovery_counts_only_replayed_wal_bytes() {
+        // Three equal-size records in the log, a snapshot covering the
+        // first two: recovery replays only the third, and wal_bytes must
+        // grow by exactly that record — the skipped prefix was already
+        // folded into the persisted counters at the last checkpoint.
+        let backend: Arc<dyn StorageBackend> = Arc::new(crate::storage::MemBackend::new());
+        let ids: Vec<NodeId> = (0..8u64).map(NodeId::new).collect();
+        let mut wal =
+            WalWriter::create(backend.open_wal("s").unwrap(), 1, 0, FsyncPolicy::PerOp).unwrap();
+        for _ in 0..3 {
+            wal.append_op(WalOpRef::Ingest(&ids)).unwrap();
+        }
+        let record = (wal.len() - WAL_HEADER_LEN as u64) / 3;
+        drop(wal);
+        let sampler = ServiceSampler::create(&test_config()).unwrap();
+        let mut sampler_blob = Vec::new();
+        sampler.snapshot(&mut sampler_blob);
+        let snap = DurableSnapshot {
+            generation: 1,
+            seq: 2,
+            elements: 16,
+            admitted: 0,
+            outputs: 0,
+            chunks: 2,
+            durability: DurabilityStats {
+                wal_bytes: 2 * record,
+                wal_records: 2,
+                snapshot_compactions: 0,
+                recoveries: 0,
+            },
+            sampler_blob,
+        };
+        let mut bytes = Vec::new();
+        snap.encode(&mut bytes);
+        backend.write_snapshot("s", &bytes).unwrap();
+        let state = recover_stream(&backend, "s", FsyncPolicy::PerOp, 1).unwrap();
+        let counters = &state.durable.as_ref().unwrap().counters;
+        assert_eq!(counters.recoveries, 1);
+        assert_eq!(counters.wal_records, 3, "the replayed record joins the lifetime count");
+        assert_eq!(counters.wal_bytes, 3 * record, "skipped records were double-counted");
     }
 
     #[test]

@@ -18,8 +18,16 @@
 //! The log file starts with a header:
 //!
 //! ```text
-//! [ magic "UNSL" (4) ][ version: u16 ][ base_seq: u64 ][ crc32: u32 ]
+//! [ magic "UNSL" (4) ][ version: u16 ][ generation: u64 ][ base_seq: u64 ][ crc32: u32 ]
 //! ```
+//!
+//! `generation` is the stream's **incarnation id**, shared with its
+//! durable snapshot: every create/restore of a durable stream stamps a
+//! fresh generation into both. Recovery refuses to replay a log whose
+//! generation differs from the snapshot's — without it, a crash between a
+//! create/restore's (atomic) snapshot write and its log reset would pair
+//! the new incarnation's snapshot with the *old* incarnation's records,
+//! and replay would silently corrupt the restored sampler.
 //!
 //! `base_seq` is the stream-order index of the first record in this file —
 //! compaction rewrites the log with `base_seq` = the snapshot's `seq`, so
@@ -63,7 +71,7 @@ pub const WAL_MAGIC: &[u8; 4] = b"UNSL";
 pub const WAL_VERSION: u16 = 1;
 
 /// Byte length of the WAL file header.
-pub const WAL_HEADER_LEN: usize = 4 + 2 + 8 + 4;
+pub const WAL_HEADER_LEN: usize = 4 + 2 + 8 + 8 + 4;
 
 /// Upper bound on one record's `len` field (opcode + payload). Batches are
 /// already capped well below the frame limit; anything larger in a length
@@ -261,12 +269,26 @@ pub fn decode_record(bytes: &[u8], offset: usize) -> Option<(WalOp, usize)> {
 // File header and log parsing
 // ---------------------------------------------------------------------------
 
-/// Encodes the WAL file header for a log whose first record has
-/// stream-order index `base_seq`.
-pub fn encode_wal_header(out: &mut Vec<u8>, base_seq: u64) {
+/// The decoded WAL file header.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WalHeader {
+    /// Incarnation id shared with the stream's durable snapshot. Recovery
+    /// replays this log only when the generation matches the snapshot's —
+    /// a mismatch means the log was left behind by a *different*
+    /// incarnation of the stream name and its records must not touch the
+    /// restored sampler.
+    pub generation: u64,
+    /// Stream-order index of the first record in this file.
+    pub base_seq: u64,
+}
+
+/// Encodes the WAL file header of incarnation `generation` whose first
+/// record has stream-order index `base_seq`.
+pub fn encode_wal_header(out: &mut Vec<u8>, generation: u64, base_seq: u64) {
     let start = out.len();
     out.extend_from_slice(WAL_MAGIC);
     put_u16(out, WAL_VERSION);
+    put_u64(out, generation);
     put_u64(out, base_seq);
     let crc = crc32(&out[start..]);
     put_u32(out, crc);
@@ -275,7 +297,7 @@ pub fn encode_wal_header(out: &mut Vec<u8>, base_seq: u64) {
 /// Decodes a WAL header; `None` on truncation, bad magic/version, or CRC
 /// mismatch (a torn header — recovery then falls back to the snapshot's
 /// sequence number and treats the log as empty).
-pub fn decode_wal_header(bytes: &[u8]) -> Option<u64> {
+pub fn decode_wal_header(bytes: &[u8]) -> Option<WalHeader> {
     if bytes.len() < WAL_HEADER_LEN {
         return None;
     }
@@ -290,17 +312,24 @@ pub fn decode_wal_header(bytes: &[u8]) -> Option<u64> {
     if crc32(body) != crc {
         return None;
     }
-    Some(u64::from_le_bytes(body[6..14].try_into().expect("8 bytes")))
+    Some(WalHeader {
+        generation: u64::from_le_bytes(body[6..14].try_into().expect("8 bytes")),
+        base_seq: u64::from_le_bytes(body[14..22].try_into().expect("8 bytes")),
+    })
 }
 
 /// Result of reading a (possibly torn) log file.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ParsedWal {
-    /// `base_seq` from the header, or `None` when the header itself is
-    /// missing/torn (recovery substitutes the snapshot's sequence).
-    pub base_seq: Option<u64>,
+    /// The decoded header, or `None` when it is missing/torn (recovery
+    /// substitutes the snapshot's sequence and treats the log as empty).
+    pub header: Option<WalHeader>,
     /// The complete, CRC-valid records in log order.
     pub records: Vec<WalOp>,
+    /// Byte offset (from the start of the file) at which each record ends;
+    /// parallel to `records`. Recovery uses it to attribute only the bytes
+    /// of the records it actually replays, not the snapshot-covered prefix.
+    pub record_ends: Vec<u64>,
     /// Byte length of the valid prefix (header + valid records). Recovery
     /// truncates the store to this length, discarding the torn tail.
     pub valid_len: u64,
@@ -310,16 +339,23 @@ pub struct ParsedWal {
 /// frame. Total function: any input — truncated, bit-flipped, garbage —
 /// yields a (possibly empty) valid prefix, never a panic.
 pub fn parse_wal(bytes: &[u8]) -> ParsedWal {
-    let Some(base_seq) = decode_wal_header(bytes) else {
-        return ParsedWal { base_seq: None, records: Vec::new(), valid_len: 0 };
+    let Some(header) = decode_wal_header(bytes) else {
+        return ParsedWal {
+            header: None,
+            records: Vec::new(),
+            record_ends: Vec::new(),
+            valid_len: 0,
+        };
     };
     let mut records = Vec::new();
+    let mut record_ends = Vec::new();
     let mut offset = WAL_HEADER_LEN;
     while let Some((op, consumed)) = decode_record(bytes, offset) {
         records.push(op);
         offset += consumed;
+        record_ends.push(offset as u64);
     }
-    ParsedWal { base_seq: Some(base_seq), records, valid_len: offset as u64 }
+    ParsedWal { header: Some(header), records, record_ends, valid_len: offset as u64 }
 }
 
 // ---------------------------------------------------------------------------
@@ -341,6 +377,8 @@ pub fn parse_wal(bytes: &[u8]) -> ParsedWal {
 pub struct WalWriter {
     store: Box<dyn WalStore>,
     policy: FsyncPolicy,
+    /// Incarnation id stamped into every header this writer writes.
+    generation: u64,
     /// Known-good byte length (header + fully appended records).
     len: u64,
     /// Stream-order index of the next record to append.
@@ -356,8 +394,8 @@ pub struct WalWriter {
 }
 
 impl WalWriter {
-    /// Starts a fresh log: truncates the store, writes a header with
-    /// `base_seq`, and syncs it.
+    /// Starts a fresh log for incarnation `generation`: truncates the
+    /// store, writes a header with `base_seq`, and syncs it.
     ///
     /// # Errors
     ///
@@ -365,17 +403,19 @@ impl WalWriter {
     /// the caller should treat the stream as requiring recovery.
     pub fn create(
         mut store: Box<dyn WalStore>,
+        generation: u64,
         base_seq: u64,
         policy: FsyncPolicy,
     ) -> io::Result<Self> {
         store.truncate(0)?;
         let mut header = Vec::with_capacity(WAL_HEADER_LEN);
-        encode_wal_header(&mut header, base_seq);
+        encode_wal_header(&mut header, generation, base_seq);
         append_all(store.as_mut(), &header)?;
         store.sync()?;
         Ok(Self {
             store,
             policy,
+            generation,
             len: WAL_HEADER_LEN as u64,
             next_seq: base_seq,
             broken: false,
@@ -387,15 +427,17 @@ impl WalWriter {
         })
     }
 
-    /// Adopts an existing log whose valid prefix ends at `valid_len` with
-    /// `next_seq` records before it (recovery truncates the torn tail off
-    /// first and hands the writer the clean end).
+    /// Adopts an existing log of incarnation `generation` whose valid
+    /// prefix ends at `valid_len` with `next_seq` records before it
+    /// (recovery truncates the torn tail off first and hands the writer
+    /// the clean end).
     ///
     /// # Errors
     ///
     /// Propagates the truncation failure.
     pub fn resume(
         mut store: Box<dyn WalStore>,
+        generation: u64,
         valid_len: u64,
         next_seq: u64,
         policy: FsyncPolicy,
@@ -405,6 +447,7 @@ impl WalWriter {
         Ok(Self {
             store,
             policy,
+            generation,
             len: valid_len,
             next_seq,
             broken: false,
@@ -414,6 +457,13 @@ impl WalWriter {
             appended_records: 0,
             appended_bytes: 0,
         })
+    }
+
+    /// The incarnation id this writer stamps into headers — the one its
+    /// stream's durable snapshots must carry for recovery to replay them
+    /// together.
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Stream-order index of the next record to append.
@@ -511,7 +561,7 @@ impl WalWriter {
         let result = (|| {
             self.store.truncate(0)?;
             let mut header = Vec::with_capacity(WAL_HEADER_LEN);
-            encode_wal_header(&mut header, base_seq);
+            encode_wal_header(&mut header, self.generation, base_seq);
             append_all(self.store.as_mut(), &header)?;
             self.store.sync()
         })();
@@ -575,6 +625,11 @@ pub struct DurabilityStats {
 /// to keep positions/acknowledgements bit-equal across recovery.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct DurableSnapshot {
+    /// Incarnation id of the stream this snapshot belongs to. Recovery
+    /// replays only a WAL whose header carries the same generation; every
+    /// create/restore stamps a fresh one into both, so a stale log left
+    /// by a crash mid-create can never replay onto the wrong incarnation.
+    pub generation: u64,
     /// Number of mutating ops applied when the snapshot was taken — WAL
     /// records with stream-order index `>= seq` must be replayed on top.
     pub seq: u64,
@@ -599,6 +654,7 @@ impl DurableSnapshot {
         out.clear();
         out.extend_from_slice(DURABLE_MAGIC);
         put_u16(out, DURABLE_VERSION);
+        put_u64(out, self.generation);
         put_u64(out, self.seq);
         put_u64(out, self.elements);
         put_u64(out, self.admitted);
@@ -641,6 +697,7 @@ impl DurableSnapshot {
         if version != DURABLE_VERSION {
             return Err(snap_err("unsupported version"));
         }
+        let generation = cur.u64().map_err(ctx)?;
         let seq = cur.u64().map_err(ctx)?;
         let elements = cur.u64().map_err(ctx)?;
         let admitted = cur.u64().map_err(ctx)?;
@@ -657,7 +714,7 @@ impl DurableSnapshot {
             return Err(snap_err("blob length disagrees with bytes present"));
         }
         let sampler_blob = cur.take(blob_len).map_err(ctx)?.to_vec();
-        Ok(Self { seq, elements, admitted, outputs, chunks, durability, sampler_blob })
+        Ok(Self { generation, seq, elements, admitted, outputs, chunks, durability, sampler_blob })
     }
 }
 
@@ -756,9 +813,9 @@ mod tests {
     #[test]
     fn header_round_trips_and_rejects_corruption() {
         let mut buf = Vec::new();
-        encode_wal_header(&mut buf, 42);
+        encode_wal_header(&mut buf, 9, 42);
         assert_eq!(buf.len(), WAL_HEADER_LEN);
-        assert_eq!(decode_wal_header(&buf), Some(42));
+        assert_eq!(decode_wal_header(&buf), Some(WalHeader { generation: 9, base_seq: 42 }));
         for i in 0..buf.len() {
             let mut bad = buf.clone();
             bad[i] ^= 0x40;
@@ -770,8 +827,10 @@ mod tests {
     #[test]
     fn parse_wal_truncates_at_the_torn_tail() {
         let mut buf = Vec::new();
-        encode_wal_header(&mut buf, 7);
+        encode_wal_header(&mut buf, 1, 7);
+        let header_len = buf.len() as u64;
         encode_record(&mut buf, WalOpRef::Ingest(&ids(0..3)));
+        let first_end = buf.len() as u64;
         encode_record(&mut buf, WalOpRef::Sample);
         let valid_len = buf.len();
         // A torn third record: only half its bytes made it.
@@ -779,20 +838,24 @@ mod tests {
         encode_record(&mut torn, WalOpRef::Feed(&ids(0..100)));
         buf.extend_from_slice(&torn[..torn.len() / 2]);
         let parsed = parse_wal(&buf);
-        assert_eq!(parsed.base_seq, Some(7));
+        assert_eq!(parsed.header, Some(WalHeader { generation: 1, base_seq: 7 }));
         assert_eq!(parsed.records.len(), 2);
         assert_eq!(parsed.valid_len, valid_len as u64);
+        // Record boundaries: contiguous from the header to the valid end.
+        assert_eq!(parsed.record_ends, vec![first_end, valid_len as u64]);
+        assert!(parsed.record_ends[0] > header_len);
         // Garbage input: total function, empty result.
         let garbage = parse_wal(b"not a wal at all");
-        assert_eq!(garbage.base_seq, None);
+        assert_eq!(garbage.header, None);
         assert_eq!(garbage.valid_len, 0);
+        assert!(garbage.record_ends.is_empty());
     }
 
     #[test]
     fn writer_appends_syncs_and_survives_crash_per_policy() {
         let backend = MemBackend::new();
         let store = backend.open_wal("s").unwrap();
-        let mut writer = WalWriter::create(store, 0, FsyncPolicy::EveryN(2)).unwrap();
+        let mut writer = WalWriter::create(store, 1, 0, FsyncPolicy::EveryN(2)).unwrap();
         writer.append_op(WalOpRef::Ingest(&ids(0..4))).unwrap(); // unsynced
         writer.append_op(WalOpRef::Sample).unwrap(); // second record: syncs
         writer.append_op(WalOpRef::Feed(&ids(4..6))).unwrap(); // unsynced again
@@ -802,16 +865,16 @@ mod tests {
         backend.crash();
         let mut store = backend.open_wal("s").unwrap();
         let parsed = parse_wal(&store.read_all().unwrap());
-        assert_eq!(parsed.base_seq, Some(0));
+        assert_eq!(parsed.header, Some(WalHeader { generation: 1, base_seq: 0 }));
         assert_eq!(parsed.records.len(), 2, "EveryN(2): the third (unsynced) record is lost");
         // PerOp: nothing is ever lost.
         let store = backend.open_wal("p").unwrap();
-        let mut writer = WalWriter::create(store, 5, FsyncPolicy::PerOp).unwrap();
+        let mut writer = WalWriter::create(store, 1, 5, FsyncPolicy::PerOp).unwrap();
         writer.append_op(WalOpRef::Sample).unwrap();
         backend.crash();
         let mut store = backend.open_wal("p").unwrap();
         let parsed = parse_wal(&store.read_all().unwrap());
-        assert_eq!(parsed.base_seq, Some(5));
+        assert_eq!(parsed.header, Some(WalHeader { generation: 1, base_seq: 5 }));
         assert_eq!(parsed.records, vec![WalOp::Sample]);
     }
 
@@ -819,7 +882,7 @@ mod tests {
     fn writer_reset_restarts_the_log_at_the_new_base() {
         let backend = MemBackend::new();
         let mut writer =
-            WalWriter::create(backend.open_wal("s").unwrap(), 0, FsyncPolicy::PerOp).unwrap();
+            WalWriter::create(backend.open_wal("s").unwrap(), 3, 0, FsyncPolicy::PerOp).unwrap();
         writer.append_op(WalOpRef::Ingest(&ids(0..4))).unwrap();
         writer.append_op(WalOpRef::Sample).unwrap();
         writer.reset(2).unwrap();
@@ -828,13 +891,15 @@ mod tests {
         writer.append_op(WalOpRef::Sample).unwrap();
         let mut store = backend.open_wal("s").unwrap();
         let parsed = parse_wal(&store.read_all().unwrap());
-        assert_eq!(parsed.base_seq, Some(2));
+        // The reset keeps the incarnation generation.
+        assert_eq!(parsed.header, Some(WalHeader { generation: 3, base_seq: 2 }));
         assert_eq!(parsed.records, vec![WalOp::Sample]);
     }
 
     #[test]
     fn durable_snapshot_round_trips_and_rejects_corruption() {
         let snap = DurableSnapshot {
+            generation: 4,
             seq: 9,
             elements: 1000,
             admitted: 17,

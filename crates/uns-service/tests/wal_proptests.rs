@@ -9,14 +9,14 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use uns_core::NodeId;
 use uns_service::wal::{
-    encode_record, encode_wal_header, parse_wal, DurabilityStats, DurableSnapshot, WalOp, WalOpRef,
-    WAL_HEADER_LEN,
+    encode_record, encode_wal_header, parse_wal, DurabilityStats, DurableSnapshot, WalHeader,
+    WalOp, WalOpRef, WAL_HEADER_LEN,
 };
 
 /// Builds a syntactically perfect log: header + `ops` records.
-fn build_log(base_seq: u64, ops: &[WalOp]) -> Vec<u8> {
+fn build_log(generation: u64, base_seq: u64, ops: &[WalOp]) -> Vec<u8> {
     let mut bytes = Vec::new();
-    encode_wal_header(&mut bytes, base_seq);
+    encode_wal_header(&mut bytes, generation, base_seq);
     for op in ops {
         let op_ref = match op {
             WalOp::Ingest(ids) => WalOpRef::Ingest(ids),
@@ -49,13 +49,27 @@ proptest! {
 
     /// A clean log round-trips exactly.
     #[test]
-    fn intact_logs_parse_completely(seed in any::<u64>(), count in 0usize..12, base in any::<u64>()) {
+    fn intact_logs_parse_completely(
+        seed in any::<u64>(),
+        count in 0usize..12,
+        generation in any::<u64>(),
+        base in any::<u64>(),
+    ) {
         let ops = ops_from_seed(seed, count);
-        let bytes = build_log(base, &ops);
+        let bytes = build_log(generation, base, &ops);
         let parsed = parse_wal(&bytes);
-        prop_assert_eq!(parsed.base_seq, Some(base));
+        prop_assert_eq!(parsed.header, Some(WalHeader { generation, base_seq: base }));
         prop_assert_eq!(&parsed.records, &ops);
         prop_assert_eq!(parsed.valid_len, bytes.len() as u64);
+        // Record end offsets are strictly increasing, start past the
+        // header, and the last one is the valid end of the log.
+        prop_assert_eq!(parsed.record_ends.len(), parsed.records.len());
+        let mut prev = WAL_HEADER_LEN as u64;
+        for &end in &parsed.record_ends {
+            prop_assert!(end > prev);
+            prev = end;
+        }
+        prop_assert_eq!(parsed.record_ends.last().copied().unwrap_or(WAL_HEADER_LEN as u64), parsed.valid_len);
     }
 
     /// Truncation anywhere yields the longest record-aligned valid prefix
@@ -67,15 +81,15 @@ proptest! {
         cut_mille in 0u32..1000,
     ) {
         let ops = ops_from_seed(seed, count);
-        let bytes = build_log(7, &ops);
+        let bytes = build_log(2, 7, &ops);
         let cut = bytes.len() * cut_mille as usize / 1000;
         let parsed = parse_wal(&bytes[..cut]);
         prop_assert!(parsed.valid_len <= cut as u64);
         if cut < WAL_HEADER_LEN {
-            prop_assert_eq!(parsed.base_seq, None);
+            prop_assert_eq!(parsed.header, None);
             prop_assert!(parsed.records.is_empty());
         } else {
-            prop_assert_eq!(parsed.base_seq, Some(7));
+            prop_assert_eq!(parsed.header, Some(WalHeader { generation: 2, base_seq: 7 }));
             // Valid prefix: each surviving record equals its original.
             prop_assert!(parsed.records.len() <= ops.len());
             for (got, want) in parsed.records.iter().zip(&ops) {
@@ -98,7 +112,7 @@ proptest! {
         flip_bit in 0u32..8,
     ) {
         let ops = ops_from_seed(seed, count);
-        let mut bytes = build_log(3, &ops);
+        let mut bytes = build_log(1, 3, &ops);
         let pos = (bytes.len() - 1) * flip_mille as usize / 1000;
         bytes[pos] ^= 1 << flip_bit;
         let parsed = parse_wal(&bytes);
@@ -138,6 +152,7 @@ proptest! {
         flip_bit in 0u32..8,
     ) {
         let snap = DurableSnapshot {
+            generation: seq ^ 9,
             seq,
             elements: seq ^ 1,
             admitted: seq ^ 2,
@@ -189,7 +204,7 @@ fn giant_claimed_batch_is_rejected_without_allocation() {
 #[test]
 fn torn_tail_then_clean_append_recovers() {
     let ops = ops_from_seed(11, 5);
-    let mut bytes = build_log(0, &ops);
+    let mut bytes = build_log(1, 0, &ops);
     let full_len = bytes.len();
     bytes.truncate(full_len - 3); // torn final record
     let parsed = parse_wal(&bytes);
