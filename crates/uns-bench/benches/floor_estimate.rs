@@ -115,6 +115,41 @@ fn bench_floor_estimate(c: &mut Criterion) {
                 black_box(sketch.floor_estimate())
             })
         });
+        // The acceptance-grade configuration (k=250, s=10 — the accuracy-
+        // comparable width from the equal-memory ablations). The published
+        // floor is the mean row load; `min_abs_cell()` is the diagnostic
+        // the tournament tree feeds, so the second id reads it at a
+        // realistic per-batch cadence rather than per element.
+        group.bench_with_input(
+            BenchmarkId::new("count_sketch_record_k250_s10", name),
+            ids,
+            |b, ids| {
+                b.iter(|| {
+                    let mut sketch = CountSketch::with_dimensions(250, 10, 1).unwrap();
+                    for &id in ids {
+                        sketch.record(id);
+                    }
+                    black_box(sketch.floor_estimate())
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("count_sketch_record_min_cell_every_1k_k250_s10", name),
+            ids,
+            |b, ids| {
+                b.iter(|| {
+                    let mut sketch = CountSketch::with_dimensions(250, 10, 1).unwrap();
+                    let mut acc = 0u64;
+                    for chunk in ids.chunks(1_000) {
+                        for &id in chunk {
+                            sketch.record(id);
+                        }
+                        acc = acc.wrapping_add(sketch.min_abs_cell());
+                    }
+                    black_box(acc)
+                })
+            },
+        );
         group.bench_with_input(BenchmarkId::new("count_sketch_unfloored", name), ids, |b, ids| {
             b.iter(|| {
                 let mut sketch = CountSketch::with_dimensions(50, 10, 1).unwrap();

@@ -11,7 +11,7 @@ use uns_core::{
     KnowledgeFreeSampler, MinWiseSamplerArray, NodeId, NodeSampler, OmniscientSampler,
     ReservoirSampler,
 };
-use uns_sketch::{CountSketch, FrequencyEstimator};
+use uns_sketch::{CountSketch, FrequencyEstimator, HashFamilyKind};
 use uns_streams::adversary::peak_attack_distribution;
 use uns_streams::IdStream;
 
@@ -48,6 +48,27 @@ fn bench_strategies(c: &mut Criterion) {
             black_box(feed_all(&mut sampler, &ids))
         })
     });
+    // The same feed with multiply-shift rows: what the weaker (factor-2
+    // approximate) collision bound buys back in per-element hashing cost.
+    for (k, s) in [(10usize, 5usize), (50, 10)] {
+        group.bench_with_input(
+            BenchmarkId::new("knowledge_free_multiply_shift", format!("c10_k{k}_s{s}")),
+            &(k, s),
+            |b, &(k, s)| {
+                b.iter(|| {
+                    let mut sampler = KnowledgeFreeSampler::with_count_min_family(
+                        10,
+                        k,
+                        s,
+                        1,
+                        HashFamilyKind::MultiplyShift,
+                    )
+                    .unwrap();
+                    black_box(feed_all(&mut sampler, &ids))
+                })
+            },
+        );
+    }
     // The Count-sketch ablation at two sizes: the paper-adjacent k=50 and
     // the accuracy-comparable k=250 (ε ≈ 0.011), where the old O(k·s)
     // per-element floor scan dominated the whole feed.

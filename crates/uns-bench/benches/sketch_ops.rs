@@ -10,7 +10,7 @@ use std::hint::black_box;
 use uns_core::{NodeId, SamplingMemory};
 use uns_sketch::{
     CountMinSketch, CountSketch, ExactFrequencyOracle, FrequencyEstimator, HashFamily,
-    UniversalHash,
+    HashFamilyKind, UniversalHash,
 };
 use uns_streams::adversary::peak_attack_distribution;
 use uns_streams::IdStream;
@@ -93,6 +93,47 @@ fn bench_hash(c: &mut Criterion) {
             black_box(acc)
         })
     });
+    group.finish();
+}
+
+fn bench_hash_family(c: &mut Criterion) {
+    // Mersenne Carter-Wegman vs multiply-shift, head to head, at the two
+    // granularities the sketches use: one row evaluation over a prepared
+    // input ("folded" - Mersenne pays fold61 once per element, multiply-
+    // shift's preparation is the identity) and the full s=10 row sweep a
+    // k=250,s=10 sketch runs per record.
+    let ids = ids();
+    let mut group = c.benchmark_group("hash_family");
+    group.throughput(Throughput::Elements(STREAM_LEN as u64));
+    for family in [HashFamilyKind::Mersenne, HashFamilyKind::MultiplyShift] {
+        let name = match family {
+            HashFamilyKind::Mersenne => "mersenne",
+            HashFamilyKind::MultiplyShift => "multiply_shift",
+        };
+        let rows = HashFamily::with_kind(3, family).row_hashes(10, 500).unwrap();
+        group.bench_with_input(BenchmarkId::new("folded", name), &rows, |b, rows| {
+            let row = rows[0];
+            b.iter(|| {
+                let mut acc = 0u64;
+                for &id in &ids {
+                    acc = acc.wrapping_add(row.eval_prepared(family.prepare(id)));
+                }
+                black_box(acc)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("rows_s10", name), &rows, |b, rows| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for &id in &ids {
+                    let prepared = family.prepare(id);
+                    for row in rows {
+                        acc = acc.wrapping_add(row.eval_prepared(prepared));
+                    }
+                }
+                black_box(acc)
+            })
+        });
+    }
     group.finish();
 }
 
@@ -259,6 +300,7 @@ fn bench_query(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_hash,
+    bench_hash_family,
     bench_memory,
     bench_fused,
     bench_row_updates,

@@ -67,7 +67,9 @@ use crate::node_id::NodeId;
 use crate::sampler::NodeSampler;
 use rand::rngs::{BlockRng, SmallRng};
 use rand::{Rng, SeedableRng};
-use uns_sketch::{CountMinSketch, CountSketch, ExactFrequencyOracle, FrequencyEstimator};
+use uns_sketch::{
+    CountMinSketch, CountSketch, ExactFrequencyOracle, FrequencyEstimator, HashFamilyKind,
+};
 
 /// The default coin generator: xoshiro256++ behind a block buffer. Emits
 /// exactly the [`SmallRng`] stream for the same seed (the blocking is a
@@ -139,6 +141,32 @@ impl KnowledgeFreeSampler<CountMinSketch> {
         Self::with_count_min_rng(capacity, width, depth, seed)
     }
 
+    /// [`KnowledgeFreeSampler::with_count_min`] with an explicit sketch
+    /// hash family. `HashFamilyKind::Mersenne` reproduces it bit for bit;
+    /// `HashFamilyKind::MultiplyShift` swaps the sketch's row hashes for
+    /// Dietzfelbinger multiply-shift functions (2-approximately universal,
+    /// cheaper per element). The seed derivation and the sampler's coin
+    /// stream are family-independent.
+    ///
+    /// # Errors
+    ///
+    /// As [`KnowledgeFreeSampler::with_count_min`].
+    pub fn with_count_min_family(
+        capacity: usize,
+        width: usize,
+        depth: usize,
+        seed: u64,
+        family: HashFamilyKind,
+    ) -> Result<Self, CoreError> {
+        let sketch = CountMinSketch::with_dimensions_family(
+            width,
+            depth,
+            derive_estimator_seed(seed),
+            family,
+        )?;
+        Self::new(capacity, sketch, seed)
+    }
+
     /// Creates the sampler sizing the sketch from accuracy targets
     /// (`k = ⌈e/ε⌉`, `s = ⌈ln(1/δ)⌉`), the parametrization of the paper's
     /// Algorithm 2.
@@ -207,7 +235,25 @@ impl KnowledgeFreeSampler<CountSketch> {
         depth: usize,
         seed: u64,
     ) -> Result<Self, CoreError> {
-        let sketch = CountSketch::with_dimensions(width, depth, derive_estimator_seed(seed))?;
+        Self::with_count_sketch_family(capacity, width, depth, seed, HashFamilyKind::Mersenne)
+    }
+
+    /// [`KnowledgeFreeSampler::with_count_sketch`] with an explicit sketch
+    /// hash family — the Count-sketch counterpart of
+    /// [`KnowledgeFreeSampler::with_count_min_family`].
+    ///
+    /// # Errors
+    ///
+    /// As [`KnowledgeFreeSampler::with_count_sketch`].
+    pub fn with_count_sketch_family(
+        capacity: usize,
+        width: usize,
+        depth: usize,
+        seed: u64,
+        family: HashFamilyKind,
+    ) -> Result<Self, CoreError> {
+        let sketch =
+            CountSketch::with_dimensions_family(width, depth, derive_estimator_seed(seed), family)?;
         Self::new(capacity, sketch, seed)
     }
 }
@@ -880,6 +926,43 @@ mod tests {
             let cs = KnowledgeFreeSampler::with_count_sketch(4, 8, 3, seed).unwrap();
             assert_eq!(cs.estimator().seed(), derive_estimator_seed(seed));
         }
+    }
+
+    #[test]
+    fn family_constructors_default_to_mersenne_and_stay_deterministic() {
+        let stream: Vec<NodeId> = (0..800u64).map(|i| NodeId::new(i * 19 % 72)).collect();
+        // Mersenne family constructor ≡ plain constructor, bit for bit.
+        let mut plain = KnowledgeFreeSampler::with_count_min(6, 10, 4, 9).unwrap();
+        let mut mersenne =
+            KnowledgeFreeSampler::with_count_min_family(6, 10, 4, 9, HashFamilyKind::Mersenne)
+                .unwrap();
+        assert_eq!(plain.run(stream.clone()), mersenne.run(stream.clone()));
+        // Multiply-shift is a distinct, equally deterministic track with
+        // the same seed derivation.
+        let mut ms_a =
+            KnowledgeFreeSampler::with_count_min_family(6, 10, 4, 9, HashFamilyKind::MultiplyShift)
+                .unwrap();
+        let mut ms_b =
+            KnowledgeFreeSampler::with_count_min_family(6, 10, 4, 9, HashFamilyKind::MultiplyShift)
+                .unwrap();
+        assert_eq!(ms_a.estimator().family(), HashFamilyKind::MultiplyShift);
+        assert_eq!(ms_a.estimator().seed(), derive_estimator_seed(9));
+        assert_eq!(ms_a.run(stream.clone()), ms_b.run(stream.clone()));
+        // Same plumbing for the Count-sketch ablation.
+        let mut cs_plain = KnowledgeFreeSampler::with_count_sketch(6, 16, 5, 9).unwrap();
+        let mut cs_mersenne =
+            KnowledgeFreeSampler::with_count_sketch_family(6, 16, 5, 9, HashFamilyKind::Mersenne)
+                .unwrap();
+        assert_eq!(cs_plain.run(stream.clone()), cs_mersenne.run(stream.clone()));
+        let cs_ms = KnowledgeFreeSampler::with_count_sketch_family(
+            6,
+            16,
+            5,
+            9,
+            HashFamilyKind::MultiplyShift,
+        )
+        .unwrap();
+        assert_eq!(cs_ms.estimator().family(), HashFamilyKind::MultiplyShift);
     }
 
     #[test]

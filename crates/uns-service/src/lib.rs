@@ -42,7 +42,7 @@
 //! # Example
 //!
 //! ```
-//! use uns_service::protocol::{EstimatorKind, StreamConfig};
+//! use uns_service::protocol::{EstimatorKind, HashFamilyKind, StreamConfig};
 //! use uns_service::server::{Server, ServerConfig};
 //! use uns_service::client::ServiceClient;
 //! use uns_core::NodeId;
@@ -52,7 +52,14 @@
 //! let mut client = ServiceClient::new(server.connect_in_process())?;
 //! client.create_stream(
 //!     "overlay-0",
-//!     &StreamConfig { kind: EstimatorKind::CountMin, capacity: 10, width: 10, depth: 5, seed: 1 },
+//!     &StreamConfig {
+//!         kind: EstimatorKind::CountMin,
+//!         capacity: 10,
+//!         width: 10,
+//!         depth: 5,
+//!         seed: 1,
+//!         family: HashFamilyKind::Mersenne,
+//!     },
 //! )?;
 //! let ids: Vec<NodeId> = (0..100u64).map(NodeId::new).collect();
 //! let ack = client.feed_batch("overlay-0", &ids)?;
@@ -81,7 +88,7 @@ pub use client::{FeedAck, IngestAck, ServiceClient};
 pub use error::ServiceError;
 pub use fault::{FaultPlan, FaultSpec};
 pub use loadgen::{LoadgenConfig, LoadgenReport, LoadgenRetry, Workload};
-pub use protocol::{EstimatorKind, StreamConfig, StreamStats};
+pub use protocol::{EstimatorKind, HashFamilyKind, StreamConfig, StreamStats};
 pub use resilient::{Delivery, ResilientClient, RetryPolicy, RetryStats};
 pub use sampler::ServiceSampler;
 pub use server::{DurabilityConfig, Server, ServerConfig};

@@ -328,6 +328,7 @@ mod tests {
     use super::*;
     use crate::protocol::EstimatorKind;
     use crate::server::{Server, ServerConfig};
+    use uns_sketch::HashFamilyKind;
 
     #[test]
     fn workloads_generate_deterministic_slices() {
@@ -371,6 +372,7 @@ mod tests {
             width: 10,
             depth: 5,
             seed: 7,
+            family: HashFamilyKind::Mersenne,
         };
         let loadgen_config = LoadgenConfig {
             connections: 3,
@@ -418,6 +420,7 @@ mod tests {
             width: 16,
             depth: 3,
             seed: 5,
+            family: HashFamilyKind::Mersenne,
         };
         let config = LoadgenConfig {
             connections: 4,
@@ -449,6 +452,7 @@ mod tests {
             width: 16,
             depth: 3,
             seed: 5,
+            family: HashFamilyKind::Mersenne,
         };
         let config = LoadgenConfig {
             connections: 4,

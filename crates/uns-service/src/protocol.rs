@@ -16,6 +16,7 @@ use crate::wal::DurabilityStats;
 use crate::wire::{put_str, put_u32, put_u64, Cursor, MAX_FRAME_LEN, PROTOCOL_VERSION};
 use uns_core::NodeId;
 use uns_sim::PipelineStats;
+pub use uns_sketch::HashFamilyKind;
 
 /// Longest accepted stream name, in bytes.
 pub const MAX_STREAM_NAME_LEN: usize = 255;
@@ -83,6 +84,14 @@ pub struct StreamConfig {
     pub depth: usize,
     /// Seed deriving both the sketch hash functions and the sampler coins.
     pub seed: u64,
+    /// Hash family of the sketch rows (ignored by [`EstimatorKind::Exact`]).
+    ///
+    /// On the wire this is a *trailing optional* byte of the CreateStream
+    /// payload: the default [`HashFamilyKind::Mersenne`] is encoded as its
+    /// absence, so frames from clients predating the field decode
+    /// unchanged and frames for default streams stay byte-identical to the
+    /// previous wire format.
+    pub family: HashFamilyKind,
 }
 
 /// A zero-copy view over a u32-count-prefixed array of u64 identifiers
@@ -221,6 +230,12 @@ impl<'a> Request<'a> {
                 put_u64(out, config.width as u64);
                 put_u64(out, config.depth as u64);
                 put_u64(out, config.seed);
+                // Trailing optional family byte: absent ⇔ Mersenne, so
+                // default-family frames are byte-identical to the previous
+                // wire format.
+                if config.family != HashFamilyKind::Mersenne {
+                    out.push(config.family.to_u8());
+                }
             }
             Request::Ingest { name, ids } => {
                 out.push(OP_INGEST);
@@ -292,9 +307,17 @@ impl<'a> Request<'a> {
                 let width = cur.u64()? as usize;
                 let depth = cur.u64()? as usize;
                 let seed = cur.u64()?;
+                let family = if cur.remaining() > 0 {
+                    let tag = cur.u8()?;
+                    HashFamilyKind::from_u8(tag).ok_or_else(|| {
+                        ServiceError::Protocol(format!("unknown hash family {tag}"))
+                    })?
+                } else {
+                    HashFamilyKind::Mersenne
+                };
                 Request::CreateStream {
                     name,
-                    config: StreamConfig { kind, capacity, width, depth, seed },
+                    config: StreamConfig { kind, capacity, width, depth, seed, family },
                 }
             }
             OP_INGEST => Request::Ingest { name: cur.str()?, ids: IdsView::decode(&mut cur)? },
@@ -609,6 +632,7 @@ mod tests {
             width: 50,
             depth: 5,
             seed: 42,
+            family: HashFamilyKind::Mersenne,
         };
         let body = round_trip_request(&Request::CreateStream { name: "s1", config });
         match Request::decode(&body).unwrap() {
@@ -654,6 +678,43 @@ mod tests {
             let decoded = Request::decode(&body).unwrap();
             assert_eq!(decoded.stream_name(), request.stream_name());
         }
+    }
+
+    #[test]
+    fn create_stream_family_byte_is_trailing_and_optional() {
+        // Default family: no trailing byte — byte-identical to the
+        // pre-family wire format, and frames without it decode as Mersenne.
+        let default_config = StreamConfig {
+            kind: EstimatorKind::CountMin,
+            capacity: 10,
+            width: 50,
+            depth: 5,
+            seed: 42,
+            family: HashFamilyKind::Mersenne,
+        };
+        let body = round_trip_request(&Request::CreateStream { name: "s", config: default_config });
+        // version + opcode + (u16 len + 1 name byte) + kind + 4×u64
+        assert_eq!(body.len(), 1 + 1 + 3 + 1 + 32, "default frame grew a family byte");
+        match Request::decode(&body).unwrap() {
+            Request::CreateStream { config, .. } => {
+                assert_eq!(config.family, HashFamilyKind::Mersenne)
+            }
+            other => panic!("wrong decode: {other:?}"),
+        }
+        // Multiply-shift: one trailing byte, round-trips.
+        let ms_config = StreamConfig { family: HashFamilyKind::MultiplyShift, ..default_config };
+        let ms_body = round_trip_request(&Request::CreateStream { name: "s", config: ms_config });
+        assert_eq!(ms_body.len(), body.len() + 1);
+        match Request::decode(&ms_body).unwrap() {
+            Request::CreateStream { config, .. } => {
+                assert_eq!(config.family, HashFamilyKind::MultiplyShift)
+            }
+            other => panic!("wrong decode: {other:?}"),
+        }
+        // Unknown family tags are rejected, not silently defaulted.
+        let mut bad = ms_body.clone();
+        *bad.last_mut().unwrap() = 9;
+        assert!(matches!(Request::decode(&bad), Err(ServiceError::Protocol(_))));
     }
 
     #[test]

@@ -462,9 +462,17 @@ mod tests {
     use crate::fault::{FaultPlan, FaultSpec, FaultTransport, ReplyAction};
     use crate::protocol::EstimatorKind;
     use crate::server::{Server, ServerConfig};
+    use uns_sketch::HashFamilyKind;
 
     fn stream_config() -> StreamConfig {
-        StreamConfig { kind: EstimatorKind::CountMin, capacity: 8, width: 64, depth: 4, seed: 7 }
+        StreamConfig {
+            kind: EstimatorKind::CountMin,
+            capacity: 8,
+            width: 64,
+            depth: 4,
+            seed: 7,
+            family: HashFamilyKind::Mersenne,
+        }
     }
 
     #[test]

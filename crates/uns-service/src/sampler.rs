@@ -80,19 +80,21 @@ impl ServiceSampler {
             )));
         }
         match config.kind {
-            EstimatorKind::CountMin => KnowledgeFreeSampler::with_count_min(
+            EstimatorKind::CountMin => KnowledgeFreeSampler::with_count_min_family(
                 config.capacity,
                 config.width,
                 config.depth,
                 config.seed,
+                config.family,
             )
             .map(ServiceSampler::CountMin)
             .map_err(|err| invalid(&err)),
-            EstimatorKind::CountSketch => KnowledgeFreeSampler::with_count_sketch(
+            EstimatorKind::CountSketch => KnowledgeFreeSampler::with_count_sketch_family(
                 config.capacity,
                 config.width,
                 config.depth,
                 config.seed,
+                config.family,
             )
             .map(ServiceSampler::CountSketch)
             .map_err(|err| invalid(&err)),
@@ -197,9 +199,17 @@ impl ServiceSampler {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use uns_sketch::HashFamilyKind;
 
     fn config(kind: EstimatorKind) -> StreamConfig {
-        StreamConfig { kind, capacity: 8, width: 12, depth: 4, seed: 77 }
+        StreamConfig {
+            kind,
+            capacity: 8,
+            width: 12,
+            depth: 4,
+            seed: 77,
+            family: HashFamilyKind::Mersenne,
+        }
     }
 
     #[test]
@@ -335,6 +345,48 @@ mod tests {
             assert_eq!(live_admitted, restored_admitted);
             assert_eq!(live.memory_contents(), restored.memory_contents());
             assert_eq!(live.floor_estimate(), restored.floor_estimate());
+        }
+    }
+
+    #[test]
+    fn multiply_shift_streams_create_snapshot_and_restore() {
+        // The family rides CreateStream and the snapshot's estimator tag:
+        // a multiply-shift stream restores to a multiply-shift stream and
+        // stays bit-equal going forward, and it matches the library
+        // constructor seed for seed.
+        let warmup: Vec<NodeId> = (0..3_000u64).map(|i| NodeId::new(i * 11 % 96)).collect();
+        let tail: Vec<NodeId> = (0..2_000u64).map(|i| NodeId::new(i * 5 % 96)).collect();
+        for kind in [EstimatorKind::CountMin, EstimatorKind::CountSketch] {
+            let mut cfg = config(kind);
+            cfg.family = HashFamilyKind::MultiplyShift;
+            let mut live = ServiceSampler::create(&cfg).unwrap();
+            let mut library = ServiceSampler::create(&cfg).unwrap();
+            let mut sink = Vec::new();
+            live.feed_batch(&warmup, &mut sink);
+            let mut library_sink = Vec::new();
+            library.feed_batch(&warmup, &mut library_sink);
+            assert_eq!(sink, library_sink, "{kind:?}: creation not deterministic");
+
+            let mut blob = Vec::new();
+            live.snapshot(&mut blob);
+            let mut restored = ServiceSampler::restore(&blob).unwrap();
+            let mut live_out = Vec::new();
+            let mut restored_out = Vec::new();
+            live.feed_batch(&tail, &mut live_out);
+            restored.feed_batch(&tail, &mut restored_out);
+            assert_eq!(live_out, restored_out, "{kind:?} diverged after restore");
+            assert_eq!(live.memory_contents(), restored.memory_contents());
+
+            // Same seed, different family: the sketches differ, so the
+            // admitted sets (and outputs) drift — families are not aliases.
+            let mut mersenne = ServiceSampler::create(&config(kind)).unwrap();
+            let mut mersenne_sink = Vec::new();
+            mersenne.feed_batch(&warmup, &mut mersenne_sink);
+            assert_ne!(
+                mersenne.floor_estimate(),
+                0,
+                "{kind:?}: warmup should populate the Mersenne floor"
+            );
         }
     }
 

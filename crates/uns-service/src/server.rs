@@ -676,7 +676,23 @@ fn worker_main(
         // promptly even with idle connections attached.
         let job = match rx.recv_timeout(std::time::Duration::from_millis(25)) {
             Ok(job) => job,
-            Err(mpsc::RecvTimeoutError::Timeout) => continue,
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                // Idle tick: flush Timer-policy WALs whose interval has
+                // elapsed. The append path only consults the clock while
+                // ops arrive, so without this a record written just
+                // before traffic stops would stay unsynced indefinitely —
+                // the timer policy's loss bound must hold on idle streams
+                // too. A failed sync marks the writer broken; the next op
+                // on that stream heals it through the usual recovery path.
+                for state in streams.values_mut() {
+                    if let Some(durable) = state.durable.as_mut() {
+                        if durable.wal.timer_sync_due() {
+                            let _ = durable.wal.sync();
+                        }
+                    }
+                }
+                continue;
+            }
             Err(mpsc::RecvTimeoutError::Disconnected) => break,
         };
         // Panic isolation: a bug in one stream's sampler must cost that
@@ -1347,9 +1363,17 @@ mod tests {
     use super::*;
     use crate::client::ServiceClient;
     use crate::protocol::EstimatorKind;
+    use uns_sketch::HashFamilyKind;
 
     fn test_config() -> StreamConfig {
-        StreamConfig { kind: EstimatorKind::CountMin, capacity: 8, width: 10, depth: 5, seed: 42 }
+        StreamConfig {
+            kind: EstimatorKind::CountMin,
+            capacity: 8,
+            width: 10,
+            depth: 5,
+            seed: 42,
+            family: HashFamilyKind::Mersenne,
+        }
     }
 
     #[test]

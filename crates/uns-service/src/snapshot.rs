@@ -47,7 +47,8 @@ use crate::wire::{put_i64, put_u16, put_u64, Cursor};
 use rand::rngs::{BlockRng, SmallRng, BLOCK_LEN};
 use uns_core::{NodeId, SamplingMemory};
 use uns_sketch::{
-    CountMinSketch, CountSketch, ExactFrequencyOracle, FrequencyEstimator, UpdatePolicy,
+    CountMinSketch, CountSketch, ExactFrequencyOracle, FrequencyEstimator, HashFamilyKind,
+    UpdatePolicy,
 };
 
 /// Leading magic of every snapshot blob.
@@ -231,7 +232,14 @@ pub fn decode_rng(cur: &mut Cursor<'_>, version: u16) -> Result<BlockRng<SmallRn
     Ok(BlockRng::from_parts(SmallRng::from_state(state), &pending[..pending_len]))
 }
 
-/// Estimator tag written before the estimator payload.
+/// Estimator tag written before the estimator payload. The byte's **low
+/// nibble** is the estimator kind; the **high nibble** is the sketch's
+/// hash family ([`HashFamilyKind::to_u8`]). The default Mersenne family
+/// encodes as 0, so default-family blobs are byte-identical to every
+/// earlier format revision (and v1/v2 blobs decode as Mersenne), while a
+/// build predating selectable families rejects a multiply-shift blob
+/// loudly ("unknown estimator tag") instead of restoring it under the
+/// wrong hash functions.
 pub const EST_TAG_COUNT_MIN: u8 = 0;
 /// See [`EST_TAG_COUNT_MIN`].
 pub const EST_TAG_COUNT_SKETCH: u8 = 1;
@@ -254,12 +262,17 @@ pub fn encode_count_min(out: &mut Vec<u8>, sketch: &CountMinSketch) {
     }
 }
 
-/// Decodes a Count-Min sketch.
+/// Decodes a Count-Min sketch whose rows were drawn from `family` (the
+/// family rides in the estimator tag byte, not the payload — see
+/// [`EST_TAG_COUNT_MIN`]).
 ///
 /// # Errors
 ///
 /// [`ServiceError::Snapshot`] on truncation or inconsistent dimensions.
-pub fn decode_count_min(cur: &mut Cursor<'_>) -> Result<CountMinSketch, ServiceError> {
+pub fn decode_count_min(
+    cur: &mut Cursor<'_>,
+    family: HashFamilyKind,
+) -> Result<CountMinSketch, ServiceError> {
     let width = ctx(cur.u64())? as usize;
     let depth = ctx(cur.u64())? as usize;
     let seed = ctx(cur.u64())?;
@@ -276,7 +289,7 @@ pub fn decode_count_min(cur: &mut Cursor<'_>) -> Result<CountMinSketch, ServiceE
     for _ in 0..cell_count {
         cells.push(ctx(cur.u64())?);
     }
-    CountMinSketch::from_parts(width, depth, seed, policy, total, cells)
+    CountMinSketch::from_parts_family(width, depth, seed, family, policy, total, cells)
         .map_err(|err| snap_err(format!("invalid count-min state: {err}")))
 }
 
@@ -292,12 +305,16 @@ pub fn encode_count_sketch(out: &mut Vec<u8>, sketch: &CountSketch) {
     }
 }
 
-/// Decodes a Count sketch.
+/// Decodes a Count sketch whose rows were drawn from `family` (carried by
+/// the estimator tag byte — see [`EST_TAG_COUNT_MIN`]).
 ///
 /// # Errors
 ///
 /// [`ServiceError::Snapshot`] on truncation or inconsistent dimensions.
-pub fn decode_count_sketch(cur: &mut Cursor<'_>) -> Result<CountSketch, ServiceError> {
+pub fn decode_count_sketch(
+    cur: &mut Cursor<'_>,
+    family: HashFamilyKind,
+) -> Result<CountSketch, ServiceError> {
     let width = ctx(cur.u64())? as usize;
     let depth = ctx(cur.u64())? as usize;
     let seed = ctx(cur.u64())?;
@@ -309,7 +326,7 @@ pub fn decode_count_sketch(cur: &mut Cursor<'_>) -> Result<CountSketch, ServiceE
     for _ in 0..cell_count {
         cells.push(ctx(cur.i64())?);
     }
-    CountSketch::from_parts(width, depth, seed, total, cells)
+    CountSketch::from_parts_family(width, depth, seed, family, total, cells)
         .map_err(|err| snap_err(format!("invalid count-sketch state: {err}")))
 }
 
@@ -358,11 +375,11 @@ pub fn decode_exact(cur: &mut Cursor<'_>) -> Result<ExactFrequencyOracle, Servic
 pub fn encode_estimator_tagged(out: &mut Vec<u8>, estimator: &TaggedEstimatorRef<'_>) {
     match estimator {
         TaggedEstimatorRef::CountMin(sketch) => {
-            out.push(EST_TAG_COUNT_MIN);
+            out.push(EST_TAG_COUNT_MIN | (sketch.family().to_u8() << 4));
             encode_count_min(out, sketch);
         }
         TaggedEstimatorRef::CountSketch(sketch) => {
-            out.push(EST_TAG_COUNT_SKETCH);
+            out.push(EST_TAG_COUNT_SKETCH | (sketch.family().to_u8() << 4));
             encode_count_sketch(out, sketch);
         }
         TaggedEstimatorRef::Exact(oracle) => {
@@ -400,11 +417,16 @@ pub enum TaggedEstimator {
 ///
 /// [`ServiceError::Snapshot`] on an unknown tag or a malformed payload.
 pub fn decode_estimator_tagged(cur: &mut Cursor<'_>) -> Result<TaggedEstimator, ServiceError> {
-    match ctx(cur.u8())? {
-        EST_TAG_COUNT_MIN => Ok(TaggedEstimator::CountMin(decode_count_min(cur)?)),
-        EST_TAG_COUNT_SKETCH => Ok(TaggedEstimator::CountSketch(decode_count_sketch(cur)?)),
-        EST_TAG_EXACT => Ok(TaggedEstimator::Exact(decode_exact(cur)?)),
-        other => Err(snap_err(format!("unknown estimator tag {other}"))),
+    let tag = ctx(cur.u8())?;
+    let family = HashFamilyKind::from_u8(tag >> 4)
+        .ok_or_else(|| snap_err(format!("unknown hash family nibble in estimator tag {tag}")))?;
+    match tag & 0x0F {
+        EST_TAG_COUNT_MIN => Ok(TaggedEstimator::CountMin(decode_count_min(cur, family)?)),
+        EST_TAG_COUNT_SKETCH => Ok(TaggedEstimator::CountSketch(decode_count_sketch(cur, family)?)),
+        EST_TAG_EXACT if family == HashFamilyKind::Mersenne => {
+            Ok(TaggedEstimator::Exact(decode_exact(cur)?))
+        }
+        _ => Err(snap_err(format!("unknown estimator tag {tag}"))),
     }
 }
 
@@ -524,16 +546,25 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(3);
         let mut count_min = CountMinSketch::with_dimensions(10, 5, 1).unwrap();
         let mut count_sketch = CountSketch::with_dimensions(10, 5, 2).unwrap();
+        let mut ms_min =
+            CountMinSketch::with_dimensions_family(10, 5, 1, HashFamilyKind::MultiplyShift)
+                .unwrap();
+        let mut ms_sketch =
+            CountSketch::with_dimensions_family(10, 5, 2, HashFamilyKind::MultiplyShift).unwrap();
         let mut exact = ExactFrequencyOracle::new();
         for _ in 0..2_000 {
             let id = rng.gen_range(0..300u64);
             count_min.record(id);
             count_sketch.record(id);
+            ms_min.record(id);
+            ms_sketch.record(id);
             exact.record(id);
         }
         for estimator in [
             TaggedEstimatorRef::CountMin(&count_min),
             TaggedEstimatorRef::CountSketch(&count_sketch),
+            TaggedEstimatorRef::CountMin(&ms_min),
+            TaggedEstimatorRef::CountSketch(&ms_sketch),
             TaggedEstimatorRef::Exact(&exact),
         ] {
             let mut out = Vec::new();
@@ -553,6 +584,27 @@ mod tests {
         }
         let mut cur = Cursor::new(&[42u8]);
         assert!(matches!(decode_estimator_tagged(&mut cur), Err(ServiceError::Snapshot(_))));
+        // A family nibble on the exact oracle makes no sense and is rejected.
+        let mut cur = Cursor::new(&[EST_TAG_EXACT | (1 << 4)]);
+        assert!(matches!(decode_estimator_tagged(&mut cur), Err(ServiceError::Snapshot(_))));
+        // An unknown family nibble is rejected before any payload is read.
+        let mut cur = Cursor::new(&[EST_TAG_COUNT_MIN | (9 << 4)]);
+        assert!(matches!(decode_estimator_tagged(&mut cur), Err(ServiceError::Snapshot(_))));
+    }
+
+    #[test]
+    fn default_family_tags_match_the_legacy_encoding() {
+        // Mersenne is nibble 0: default-family blobs are byte-identical to
+        // blobs written before families were selectable, so the v1/v2 pins
+        // and any archived snapshots keep decoding unchanged.
+        let sketch = CountMinSketch::with_dimensions(4, 3, 9).unwrap();
+        let mut out = Vec::new();
+        encode_estimator_tagged(&mut out, &TaggedEstimatorRef::CountMin(&sketch));
+        assert_eq!(out[0], EST_TAG_COUNT_MIN);
+        let sketch = CountSketch::with_dimensions(4, 3, 9).unwrap();
+        let mut out = Vec::new();
+        encode_estimator_tagged(&mut out, &TaggedEstimatorRef::CountSketch(&sketch));
+        assert_eq!(out[0], EST_TAG_COUNT_SKETCH);
     }
 
     #[test]
@@ -577,7 +629,7 @@ mod tests {
         blob.push(0); // policy
         put_u64(&mut blob, 0); // total
         assert!(matches!(
-            decode_count_min(&mut Cursor::new(&blob)),
+            decode_count_min(&mut Cursor::new(&blob), HashFamilyKind::Mersenne),
             Err(ServiceError::Snapshot(_))
         ));
         // Count sketch: same shape of lie.
@@ -587,7 +639,7 @@ mod tests {
         put_u64(&mut blob, 7);
         put_u64(&mut blob, 0);
         assert!(matches!(
-            decode_count_sketch(&mut Cursor::new(&blob)),
+            decode_count_sketch(&mut Cursor::new(&blob), HashFamilyKind::Mersenne),
             Err(ServiceError::Snapshot(_))
         ));
         // Exact oracle claiming 2^40 pairs.

@@ -526,6 +526,23 @@ impl WalWriter {
         Ok(())
     }
 
+    /// `true` when a [`FsyncPolicy::Timer`] writer has unsynced records
+    /// whose interval has elapsed.
+    ///
+    /// The append path only checks the clock *while ops arrive*: a record
+    /// written just before traffic stops would otherwise sit unsynced
+    /// until the next append — unbounded exposure on an idle stream,
+    /// exactly what the timer policy promises to bound. The worker polls
+    /// this from its idle tick and calls [`WalWriter::sync`] when due.
+    pub fn timer_sync_due(&self) -> bool {
+        match self.policy {
+            FsyncPolicy::Timer(interval) => {
+                self.records_since_sync > 0 && self.last_sync.elapsed() >= interval
+            }
+            FsyncPolicy::PerOp | FsyncPolicy::EveryN(_) => false,
+        }
+    }
+
     /// Forces a sync (used by compaction and shutdown).
     ///
     /// # Errors

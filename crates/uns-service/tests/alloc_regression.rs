@@ -18,7 +18,7 @@ use uns_core::NodeId;
 use uns_service::protocol::Request;
 use uns_service::transport::Transport;
 use uns_service::wire::{read_frame, write_frame};
-use uns_service::{EstimatorKind, Server, ServerConfig, StreamConfig};
+use uns_service::{EstimatorKind, HashFamilyKind, Server, ServerConfig, StreamConfig};
 
 struct CountingAllocator;
 
@@ -83,8 +83,14 @@ fn long_feed_session_does_not_allocate_per_batch_proportionally() {
     let mut writer = transport.try_clone_transport().expect("clone transport");
 
     let mut body = Vec::new();
-    let config =
-        StreamConfig { kind: EstimatorKind::CountMin, capacity: 10, width: 10, depth: 5, seed: 42 };
+    let config = StreamConfig {
+        kind: EstimatorKind::CountMin,
+        capacity: 10,
+        width: 10,
+        depth: 5,
+        seed: 42,
+        family: HashFamilyKind::Mersenne,
+    };
     Request::CreateStream { name: "s", config }.encode(&mut body);
     let mut reply = Vec::new();
     write_frame(&mut writer, &body).expect("write create");

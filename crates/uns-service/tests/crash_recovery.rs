@@ -11,7 +11,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::sync::Arc;
 use uns_core::NodeId;
-use uns_service::protocol::{EstimatorKind, StreamConfig};
+use uns_service::protocol::{EstimatorKind, HashFamilyKind, StreamConfig};
 use uns_service::server::{DurabilityConfig, Server, ServerConfig};
 use uns_service::storage::MemBackend;
 use uns_service::wal::FsyncPolicy;
@@ -85,8 +85,14 @@ fn reference_run(config: &StreamConfig, ops: &[Op]) -> (Vec<Vec<NodeId>>, Vec<u8
 fn crash_and_verify(kind: EstimatorKind, seed: u64, crash_at: usize) {
     let ops = script(seed, 24);
     let crash_at = crash_at.min(ops.len());
-    let stream_config =
-        StreamConfig { kind, capacity: 10, width: 12, depth: 4, seed: seed ^ 0xABCD };
+    let stream_config = StreamConfig {
+        kind,
+        capacity: 10,
+        width: 12,
+        depth: 4,
+        seed: seed ^ 0xABCD,
+        family: HashFamilyKind::Mersenne,
+    };
     let (ref_outputs, ref_blob, ref_elements) = reference_run(&stream_config, &ops);
 
     let backend = MemBackend::new();
@@ -192,7 +198,14 @@ fn boundary_crash_points_recover_bit_equal() {
 #[test]
 fn repeated_crashes_stay_exact() {
     let kind = EstimatorKind::CountMin;
-    let stream_config = StreamConfig { kind, capacity: 10, width: 12, depth: 4, seed: 99 };
+    let stream_config = StreamConfig {
+        kind,
+        capacity: 10,
+        width: 12,
+        depth: 4,
+        seed: 99,
+        family: HashFamilyKind::Mersenne,
+    };
     let ops = script(42, 30);
     let (ref_outputs, ref_blob, _) = reference_run(&stream_config, &ops);
 
@@ -232,4 +245,46 @@ fn repeated_crashes_stay_exact() {
         backend.crash();
     }
     assert_eq!(got_outputs, ref_outputs);
+}
+
+/// The `FsyncPolicy::Timer` loss bound must hold on an **idle** stream.
+/// The append path only consults the clock while ops arrive, so a record
+/// written just before traffic stops relies on the worker's idle tick to
+/// reach the disk — without it, this test's crash would eat an op that
+/// had been sitting unsynced for many times the promised interval.
+#[test]
+fn timer_policy_syncs_idle_streams_before_a_crash() {
+    let stream_config = StreamConfig {
+        kind: EstimatorKind::CountMin,
+        capacity: 10,
+        width: 12,
+        depth: 4,
+        seed: 7,
+        family: HashFamilyKind::Mersenne,
+    };
+    let backend = MemBackend::new();
+    let mut durability = DurabilityConfig::new(Arc::new(backend.clone()));
+    durability.fsync = FsyncPolicy::Timer(std::time::Duration::from_millis(40));
+    let server = Server::start_durable(ServerConfig::default(), durability.clone()).unwrap();
+    let mut client = ServiceClient::new(server.connect_in_process()).unwrap();
+    client.create_stream("s", &stream_config).unwrap();
+
+    // One batch right after creation: the interval has not elapsed, so
+    // the append itself does not sync. Then the stream goes idle.
+    let ids: Vec<NodeId> = (0..16u64).map(NodeId::new).collect();
+    client.ingest("s", &ids).unwrap();
+
+    // Idle well past the interval (worker ticks every 25ms), then crash
+    // the backend while the server is still running — the shutdown-path
+    // sync must not be what saves the record.
+    std::thread::sleep(std::time::Duration::from_millis(400));
+    backend.crash();
+    drop(client);
+    server.stop();
+
+    let server = Server::start_durable(ServerConfig::default(), durability).unwrap();
+    let mut client = ServiceClient::new(server.connect_in_process()).unwrap();
+    let stats = client.stats("s").unwrap();
+    assert_eq!(stats.pipeline.elements, ids.len() as u64, "idle-stream op lost by Timer policy");
+    server.stop();
 }

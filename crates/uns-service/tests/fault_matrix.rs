@@ -18,7 +18,7 @@ use std::sync::Arc;
 use std::thread;
 use std::time::Duration;
 use uns_core::NodeId;
-use uns_service::protocol::{EstimatorKind, StreamConfig};
+use uns_service::protocol::{EstimatorKind, HashFamilyKind, StreamConfig};
 use uns_service::server::{DurabilityConfig, Server, ServerConfig};
 use uns_service::storage::MemBackend;
 use uns_service::wal::FsyncPolicy;
@@ -77,6 +77,7 @@ fn run_cell(label: &str, seed: u64, spec: FaultSpec, fsync: FsyncPolicy) {
         width: 16,
         depth: 4,
         seed: seed ^ 0x5151,
+        family: HashFamilyKind::Mersenne,
     };
     client.create_stream("storm", &config).unwrap_or_else(|err| {
         panic!("{label}/{seed}: stream creation never succeeded: {err}");
@@ -244,6 +245,7 @@ fn delayed_replies_preserve_order() {
                     width: 8,
                     depth: 3,
                     seed: 2,
+                    family: HashFamilyKind::Mersenne,
                 },
             )
             .unwrap();
@@ -280,6 +282,7 @@ fn worker_panics_surface_as_durability_errors_not_hangs() {
                     width: 8,
                     depth: 3,
                     seed: 4,
+                    family: HashFamilyKind::Mersenne,
                 },
             )
             .unwrap();

@@ -18,7 +18,7 @@ use proptest::prelude::*;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use uns_core::NodeId;
-use uns_service::protocol::{EstimatorKind, StreamConfig};
+use uns_service::protocol::{EstimatorKind, HashFamilyKind, StreamConfig};
 use uns_service::{Server, ServerConfig, ServiceClient, ServiceError, ServiceSampler};
 
 /// One generated operation; batch contents derive from `seed` so cases
@@ -94,6 +94,7 @@ proptest! {
             width: 12,
             depth: 4,
             seed: stream_seed,
+            family: HashFamilyKind::Mersenne,
         };
         let server = Server::start(ServerConfig { workers: 2, queue_depth: 8 });
         let mut client = ServiceClient::new(server.connect_in_process()).unwrap();

@@ -13,7 +13,7 @@
 
 use std::sync::Mutex;
 use uns_core::NodeId;
-use uns_service::protocol::{EstimatorKind, StreamConfig};
+use uns_service::protocol::{EstimatorKind, HashFamilyKind, StreamConfig};
 use uns_service::server::{Server, ServerConfig};
 use uns_service::{ServiceClient, ServiceSampler};
 use uns_streams::adversary::peak_attack_distribution;
@@ -28,7 +28,14 @@ fn scale(release: usize, debug: usize) -> usize {
 }
 
 fn test_config(kind: EstimatorKind) -> StreamConfig {
-    StreamConfig { kind, capacity: 10, width: 10, depth: 5, seed: 42 }
+    StreamConfig {
+        kind,
+        capacity: 10,
+        width: 10,
+        depth: 5,
+        seed: 42,
+        family: HashFamilyKind::Mersenne,
+    }
 }
 
 /// One served batch as the test records it: where the worker placed it in

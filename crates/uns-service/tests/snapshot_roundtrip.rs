@@ -17,8 +17,17 @@ use uns_service::snapshot::{
 use uns_service::wire::Cursor;
 use uns_service::ServiceSampler;
 use uns_sketch::{
-    CountMinSketch, CountSketch, ExactFrequencyOracle, FrequencyEstimator, UpdatePolicy,
+    CountMinSketch, CountSketch, ExactFrequencyOracle, FrequencyEstimator, HashFamilyKind,
+    UpdatePolicy,
 };
+
+fn family_from(ms: bool) -> HashFamilyKind {
+    if ms {
+        HashFamilyKind::MultiplyShift
+    } else {
+        HashFamilyKind::Mersenne
+    }
+}
 
 fn kind_from(index: u8) -> EstimatorKind {
     match index % 3 {
@@ -86,11 +95,14 @@ proptest! {
         depth in 1usize..8,
         len in 0usize..600,
         conservative in any::<bool>(),
+        ms in any::<bool>(),
         seed in any::<u64>(),
     ) {
         let policy = if conservative { UpdatePolicy::Conservative } else { UpdatePolicy::Standard };
-        let mut sketch =
-            CountMinSketch::with_dimensions(width, depth, seed).unwrap().with_policy(policy);
+        let family = family_from(ms);
+        let mut sketch = CountMinSketch::with_dimensions_family(width, depth, seed, family)
+            .unwrap()
+            .with_policy(policy);
         let mut rng = SmallRng::seed_from_u64(seed ^ 1);
         for _ in 0..len {
             sketch.record(rng.gen_range(0..200u64));
@@ -98,7 +110,7 @@ proptest! {
         let mut first = Vec::new();
         encode_count_min(&mut first, &sketch);
         let mut cur = Cursor::new(&first);
-        let mut decoded = decode_count_min(&mut cur).unwrap();
+        let mut decoded = decode_count_min(&mut cur, family).unwrap();
         let mut second = Vec::new();
         encode_count_min(&mut second, &decoded);
         prop_assert_eq!(&first, &second);
@@ -114,9 +126,11 @@ proptest! {
         width in 1usize..40,
         depth in 1usize..8,
         len in 0usize..600,
+        ms in any::<bool>(),
         seed in any::<u64>(),
     ) {
-        let mut sketch = CountSketch::with_dimensions(width, depth, seed).unwrap();
+        let family = family_from(ms);
+        let mut sketch = CountSketch::with_dimensions_family(width, depth, seed, family).unwrap();
         let mut rng = SmallRng::seed_from_u64(seed ^ 2);
         for _ in 0..len {
             sketch.record(rng.gen_range(0..200u64));
@@ -124,7 +138,7 @@ proptest! {
         let mut first = Vec::new();
         encode_count_sketch(&mut first, &sketch);
         let mut cur = Cursor::new(&first);
-        let mut decoded = decode_count_sketch(&mut cur).unwrap();
+        let mut decoded = decode_count_sketch(&mut cur, family).unwrap();
         let mut second = Vec::new();
         encode_count_sketch(&mut second, &decoded);
         prop_assert_eq!(&first, &second);
@@ -169,6 +183,7 @@ proptest! {
             width: 12,
             depth: 4,
             seed,
+            family: HashFamilyKind::Mersenne,
         };
         let mut sampler = ServiceSampler::create(&config).unwrap();
         let mut rng = SmallRng::seed_from_u64(seed ^ 3);
@@ -209,8 +224,14 @@ proptest! {
 #[test]
 fn snapshot_mid_stream_is_bit_equal_across_blocked_and_elementwise_paths() {
     let mut rng = SmallRng::seed_from_u64(4242);
-    let config =
-        StreamConfig { kind: EstimatorKind::CountMin, capacity: 10, width: 10, depth: 5, seed: 7 };
+    let config = StreamConfig {
+        kind: EstimatorKind::CountMin,
+        capacity: 10,
+        width: 10,
+        depth: 5,
+        seed: 7,
+        family: HashFamilyKind::Mersenne,
+    };
     let head: Vec<NodeId> = (0..3_001).map(|_| NodeId::new(rng.gen_range(0..200u64))).collect();
     let tail: Vec<NodeId> = (0..2_000).map(|_| NodeId::new(rng.gen_range(0..200u64))).collect();
     let mut sink = Vec::new();

@@ -91,7 +91,7 @@ use crate::error::SimError;
 use crate::metrics::PipelineStats;
 use std::sync::mpsc;
 use uns_core::{KnowledgeFreeSampler, NodeId, NodeSampler};
-use uns_sketch::{CountMinSketch, FrequencyEstimator, SketchError};
+use uns_sketch::{CountMinSketch, FrequencyEstimator, HashFamilyKind, SketchError};
 
 /// One annotated admission candidate: the identifier plus the exact fused
 /// `(f̂_j, min_σ)` the sequential sampler would compute at its position.
@@ -104,6 +104,7 @@ pub struct ShardedIngestion {
     width: usize,
     depth: usize,
     seed: u64,
+    family: HashFamilyKind,
     shards: usize,
 }
 
@@ -122,6 +123,25 @@ impl ShardedIngestion {
     /// Rejects zero `shards` as [`SimError::InvalidConfig`] and invalid
     /// sketch dimensions as [`SimError::Sampler`].
     pub fn new(width: usize, depth: usize, seed: u64, shards: usize) -> Result<Self, SimError> {
+        Self::with_family(width, depth, seed, HashFamilyKind::Mersenne, shards)
+    }
+
+    /// [`ShardedIngestion::new`] with an explicit sketch hash family. The
+    /// pipeline's bit-equality argument is family-agnostic — every
+    /// same-`(seed, family)` sketch shares identical hash functions, and
+    /// that is all the merge/replay machinery relies on — so the whole
+    /// parallel path works unchanged over multiply-shift rows.
+    ///
+    /// # Errors
+    ///
+    /// As [`ShardedIngestion::new`].
+    pub fn with_family(
+        width: usize,
+        depth: usize,
+        seed: u64,
+        family: HashFamilyKind,
+        shards: usize,
+    ) -> Result<Self, SimError> {
         if shards == 0 {
             return Err(SimError::InvalidConfig {
                 reason: "sharded ingestion needs at least one shard".into(),
@@ -129,8 +149,8 @@ impl ShardedIngestion {
         }
         // Validate the dimensions once, up front, so the per-shard
         // constructors inside worker threads cannot fail.
-        CountMinSketch::with_dimensions(width, depth, seed)?;
-        Ok(Self { width, depth, seed, shards })
+        CountMinSketch::with_dimensions_family(width, depth, seed, family)?;
+        Ok(Self { width, depth, seed, family, shards })
     }
 
     /// Number of worker threads used per ingestion call.
@@ -152,7 +172,8 @@ impl ShardedIngestion {
     /// [`SimError::Sampler`] (not expected after the validation in
     /// [`ShardedIngestion::new`]).
     pub fn sketch_stream(&self, stream: &[NodeId]) -> Result<CountMinSketch, SimError> {
-        let mut merged = CountMinSketch::with_dimensions(self.width, self.depth, self.seed)?;
+        let mut merged =
+            CountMinSketch::with_dimensions_family(self.width, self.depth, self.seed, self.family)?;
         if stream.is_empty() {
             return Ok(merged);
         }
@@ -163,8 +184,12 @@ impl ShardedIngestion {
                     .chunks(chunk_len)
                     .map(|chunk| {
                         scope.spawn(move || {
-                            let mut sketch =
-                                CountMinSketch::with_dimensions(self.width, self.depth, self.seed)?;
+                            let mut sketch = CountMinSketch::with_dimensions_family(
+                                self.width,
+                                self.depth,
+                                self.seed,
+                                self.family,
+                            )?;
                             for id in chunk {
                                 sketch.record(id.as_u64());
                             }
@@ -279,7 +304,8 @@ impl ShardedIngestion {
         sampler_seed: u64,
         mut out: Option<&mut Vec<NodeId>>,
     ) -> Result<(KnowledgeFreeSampler, PipelineStats), SimError> {
-        let estimator = CountMinSketch::with_dimensions(self.width, self.depth, self.seed)?;
+        let estimator =
+            CountMinSketch::with_dimensions_family(self.width, self.depth, self.seed, self.family)?;
         let mut sampler = KnowledgeFreeSampler::new(capacity, estimator, sampler_seed)?;
         let mut stats = PipelineStats {
             elements: stream.len() as u64,
@@ -301,7 +327,8 @@ impl ShardedIngestion {
         let cell_count = self.width * self.depth;
         // Shared hash reference for the delta logs (hash functions are the
         // same in every same-seed sketch) and the merger's running sketch.
-        let reference = CountMinSketch::with_dimensions(self.width, self.depth, self.seed)?;
+        let reference =
+            CountMinSketch::with_dimensions_family(self.width, self.depth, self.seed, self.family)?;
         let running = reference.clone();
 
         let full_sketch = std::thread::scope(|scope| {
@@ -444,7 +471,8 @@ impl ShardedIngestion {
         sampler_seed: u64,
         mut out: Option<&mut Vec<NodeId>>,
     ) -> Result<(KnowledgeFreeSampler, PipelineStats), SimError> {
-        let estimator = CountMinSketch::with_dimensions(self.width, self.depth, self.seed)?;
+        let estimator =
+            CountMinSketch::with_dimensions_family(self.width, self.depth, self.seed, self.family)?;
         let mut sampler = KnowledgeFreeSampler::new(capacity, estimator, sampler_seed)?;
         let mut stats = PipelineStats {
             elements: stream.len() as u64,
@@ -467,7 +495,8 @@ impl ShardedIngestion {
 
         // Prefix merge: prefixes[c] is the exact sketch of stream[..start
         // of chunk c]; `running` ends as the full-stream sketch.
-        let mut running = CountMinSketch::with_dimensions(self.width, self.depth, self.seed)?;
+        let mut running =
+            CountMinSketch::with_dimensions_family(self.width, self.depth, self.seed, self.family)?;
         let mut prefixes = Vec::with_capacity(chunks.len());
         for chunk_sketch in &chunk_sketches {
             prefixes.push(running.clone());
@@ -542,8 +571,11 @@ impl ShardedIngestion {
                         scope.spawn(move || {
                             let mut built = Vec::new();
                             for c in (w..chunks.len()).step_by(workers) {
-                                let mut sketch = CountMinSketch::with_dimensions(
-                                    self.width, self.depth, self.seed,
+                                let mut sketch = CountMinSketch::with_dimensions_family(
+                                    self.width,
+                                    self.depth,
+                                    self.seed,
+                                    self.family,
                                 )?;
                                 for id in chunks[c] {
                                     sketch.record(id.as_u64());
@@ -644,6 +676,42 @@ mod tests {
             for row in 0..reference.depth() {
                 assert_eq!(sketch.row(row), reference.row(row), "{shards} shards, row {row}");
             }
+        }
+    }
+
+    #[test]
+    fn multiply_shift_pipeline_is_bit_equal_to_sequential() {
+        // The bit-equality contract holds per family: a multiply-shift
+        // pipeline must reproduce the multiply-shift sequential sampler
+        // exactly, and the sharded sketch must match single-threaded
+        // ingestion counter for counter.
+        let stream = skewed_stream(120_000, 2_000, 17);
+        let ingestion =
+            ShardedIngestion::with_family(10, 5, 42, HashFamilyKind::MultiplyShift, 4).unwrap();
+
+        let sharded = ingestion.sketch_stream(&stream).unwrap();
+        let mut single =
+            CountMinSketch::with_dimensions_family(10, 5, 42, HashFamilyKind::MultiplyShift)
+                .unwrap();
+        for id in &stream {
+            single.record(id.as_u64());
+        }
+        for row in 0..single.depth() {
+            assert_eq!(sharded.row(row), single.row(row), "row {row} differs");
+        }
+
+        let (pipelined, _stats) = ingestion.pipeline_ingest(&stream, 10, 7).unwrap();
+        let estimator =
+            CountMinSketch::with_dimensions_family(10, 5, 42, HashFamilyKind::MultiplyShift)
+                .unwrap();
+        let mut sequential = KnowledgeFreeSampler::new(10, estimator, 7).unwrap();
+        for &id in &stream {
+            sequential.ingest(id);
+        }
+        let mut pipelined = pipelined;
+        assert_eq!(pipelined.memory_contents(), sequential.memory_contents());
+        for _ in 0..64 {
+            assert_eq!(pipelined.sample(), sequential.sample());
         }
     }
 

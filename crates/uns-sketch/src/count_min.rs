@@ -15,7 +15,7 @@
 //! counters of `F̂` — which this implementation tracks in amortized O(1).
 
 use crate::error::SketchError;
-use crate::hash::{HashFamily, UniversalHash};
+use crate::hash::{with_family_rows, FamilyRowHashes, HashFamily, HashFamilyKind, PreparedRowHash};
 use crate::min_tracker::{FloorTracker, MonotoneFloorTracker};
 use crate::FrequencyEstimator;
 
@@ -26,21 +26,92 @@ use crate::FrequencyEstimator;
 pub(crate) const ROW_CHUNK: usize = 8;
 
 /// Computes the absolute row-major cell index touched in each of (at most
-/// `ROW_CHUNK`) consecutive rows starting at `first_row`, for a
-/// pre-folded identifier. Entries past `hashes.len()` are unused padding.
+/// `ROW_CHUNK`) consecutive rows starting at `first_row`, for an identifier
+/// prepared by the rows' family ([`HashFamilyKind::prepare`]). Entries past
+/// `hashes.len()` are unused padding. Generic over the concrete row type so
+/// each hash family gets its own dispatch-free instantiation.
 #[inline]
-fn chunk_cell_indices(
-    hashes: &[UniversalHash],
+fn chunk_cell_indices<H: PreparedRowHash>(
+    hashes: &[H],
     width: usize,
     first_row: usize,
-    folded: u64,
+    prepared: u64,
 ) -> [usize; ROW_CHUNK] {
     debug_assert!(hashes.len() <= ROW_CHUNK);
     let mut idx = [0usize; ROW_CHUNK];
     for (i, h) in hashes.iter().enumerate() {
-        idx[i] = (first_row + i) * width + h.hash_folded(folded) as usize;
+        idx[i] = (first_row + i) * width + h.eval_prepared(prepared) as usize;
     }
     idx
+}
+
+/// Per-cell update rule of one `record_many` call, resolved from the
+/// sketch's [`UpdatePolicy`] before the row loop starts (conservative
+/// update needs the pre-record estimate, which the caller computes once).
+#[derive(Clone, Copy)]
+enum RowUpdate {
+    /// Add `count` to every touched counter (Algorithm 2, line 7).
+    Standard { count: u64 },
+    /// Raise every touched counter to at least `target` (Estan–Varghese).
+    Conservative { target: u64 },
+}
+
+/// The chunked per-row update loop behind [`CountMinSketch::record_many`],
+/// instantiated once per hash family (no row dispatch inside). Returns
+/// whether the floor engine went stale and needs a rebuild.
+#[inline]
+fn update_rows<H: PreparedRowHash>(
+    hashes: &[H],
+    cells: &mut [u64],
+    floor: &mut MonotoneFloorTracker,
+    width: usize,
+    prepared: u64,
+    update: RowUpdate,
+) -> bool {
+    let mut stale = false;
+    let mut first_row = 0;
+    for hash_chunk in hashes.chunks(ROW_CHUNK) {
+        let idx = chunk_cell_indices(hash_chunk, width, first_row, prepared);
+        for &cell_idx in &idx[..hash_chunk.len()] {
+            let old = cells[cell_idx];
+            let new = match update {
+                RowUpdate::Standard { count } => old.saturating_add(count),
+                RowUpdate::Conservative { target } => old.max(target),
+            };
+            cells[cell_idx] = new;
+            stale |= floor.on_increase(old, new);
+        }
+        first_row += hash_chunk.len();
+    }
+    stale
+}
+
+/// The chunked update-and-running-min loop behind the standard-policy arm
+/// of [`CountMinSketch::record_and_estimate`], instantiated once per hash
+/// family. Returns `(post-record estimate, floor went stale)`.
+#[inline]
+fn update_rows_estimating<H: PreparedRowHash>(
+    hashes: &[H],
+    cells: &mut [u64],
+    floor: &mut MonotoneFloorTracker,
+    width: usize,
+    prepared: u64,
+) -> (u64, bool) {
+    let mut estimate = u64::MAX;
+    let mut stale = false;
+    let mut first_row = 0;
+    for hash_chunk in hashes.chunks(ROW_CHUNK) {
+        let idx = chunk_cell_indices(hash_chunk, width, first_row, prepared);
+        for &cell_idx in &idx[..hash_chunk.len()] {
+            let old = cells[cell_idx];
+            let new = old.saturating_add(1);
+            cells[cell_idx] = new;
+            estimate = estimate.min(new);
+            stale |= floor.on_increase(old, new);
+        }
+        first_row += hash_chunk.len();
+    }
+    (estimate, stale)
 }
 
 /// How counters are incremented on [`CountMinSketch::record`].
@@ -83,9 +154,12 @@ pub struct CountMinSketch {
     depth: usize,
     /// Row-major `depth × width` counter matrix.
     cells: Vec<u64>,
-    hashes: Vec<UniversalHash>,
+    /// Row functions in the per-family monomorphic storage form, so every
+    /// chunked record loop instantiates without per-row enum dispatch.
+    hashes: FamilyRowHashes,
     total: u64,
     seed: u64,
+    family: HashFamilyKind,
     policy: UpdatePolicy,
     /// Floor-estimate engine: incrementally tracked minimum over the
     /// *touched* (non-zero) cells, plus the count of still-zero cells.
@@ -131,6 +205,26 @@ impl CountMinSketch {
     /// [`SketchError::DimensionOverflow`] when `width * depth` does not fit
     /// in `usize`.
     pub fn with_dimensions(width: usize, depth: usize, seed: u64) -> Result<Self, SketchError> {
+        Self::with_dimensions_family(width, depth, seed, HashFamilyKind::Mersenne)
+    }
+
+    /// [`CountMinSketch::with_dimensions`] with an explicit hash family.
+    ///
+    /// [`HashFamilyKind::Mersenne`] reproduces `with_dimensions` bit for
+    /// bit (same seed, same coefficients); the multiply-shift family trades
+    /// the exact 2-universal collision bound for a factor-2 approximate one
+    /// and a cheaper per-element evaluation (see [`HashFamilyKind`]).
+    /// Sketches are mergeable only within one family.
+    ///
+    /// # Errors
+    ///
+    /// As [`CountMinSketch::with_dimensions`].
+    pub fn with_dimensions_family(
+        width: usize,
+        depth: usize,
+        seed: u64,
+        family: HashFamilyKind,
+    ) -> Result<Self, SketchError> {
         if width == 0 {
             return Err(SketchError::ZeroWidth);
         }
@@ -139,7 +233,7 @@ impl CountMinSketch {
         }
         let cell_count =
             width.checked_mul(depth).ok_or(SketchError::DimensionOverflow { width, depth })?;
-        let hashes = HashFamily::new(seed).functions(depth, width as u64)?;
+        let hashes = HashFamily::with_kind(seed, family).family_rows(depth, width as u64)?;
         Ok(Self {
             width,
             depth,
@@ -147,6 +241,7 @@ impl CountMinSketch {
             hashes,
             total: 0,
             seed,
+            family,
             policy: UpdatePolicy::Standard,
             floor: MonotoneFloorTracker::new(cell_count),
             #[cfg(debug_assertions)]
@@ -170,32 +265,22 @@ impl CountMinSketch {
         if count == 0 {
             return;
         }
-        self.record_many_folded(UniversalHash::fold61(id), count);
+        self.record_many_prepared(self.family.prepare(id), count);
     }
 
-    /// [`CountMinSketch::record_many`] on a pre-folded identifier (shared
-    /// fold across rows and across the record/estimate pair).
-    fn record_many_folded(&mut self, folded: u64, count: u64) {
-        let mut stale = false;
-        let target = match self.policy {
-            UpdatePolicy::Standard => 0, // unused
-            UpdatePolicy::Conservative => self.point_query_folded(folded).saturating_add(count),
+    /// [`CountMinSketch::record_many`] on a family-prepared identifier
+    /// (shared preparation across rows and across the record/estimate pair).
+    fn record_many_prepared(&mut self, prepared: u64, count: u64) {
+        let update = match self.policy {
+            UpdatePolicy::Standard => RowUpdate::Standard { count },
+            UpdatePolicy::Conservative => RowUpdate::Conservative {
+                target: self.point_query_prepared(prepared).saturating_add(count),
+            },
         };
-        let Self { ref hashes, ref mut cells, ref mut floor, width, policy, .. } = *self;
-        let mut first_row = 0;
-        for hash_chunk in hashes.chunks(ROW_CHUNK) {
-            let idx = chunk_cell_indices(hash_chunk, width, first_row, folded);
-            for &cell_idx in &idx[..hash_chunk.len()] {
-                let old = cells[cell_idx];
-                let new = match policy {
-                    UpdatePolicy::Standard => old.saturating_add(count),
-                    UpdatePolicy::Conservative => old.max(target),
-                };
-                cells[cell_idx] = new;
-                stale |= floor.on_increase(old, new);
-            }
-            first_row += hash_chunk.len();
-        }
+        let Self { ref hashes, ref mut cells, ref mut floor, width, .. } = *self;
+        let stale = with_family_rows!(hashes, rows => {
+            update_rows(rows, cells, floor, width, prepared, update)
+        });
         self.total = self.total.saturating_add(count);
         if stale {
             self.floor.rebuild(self.cells.iter().copied());
@@ -221,26 +306,15 @@ impl CountMinSketch {
     /// under both update policies (and to the retained scalar reference
     /// [`CountMinSketch::record_and_estimate_rowwise`]).
     pub fn record_and_estimate(&mut self, id: u64) -> (u64, u64) {
-        let folded = UniversalHash::fold61(id);
+        let prepared = self.family.prepare(id);
         match self.policy {
             UpdatePolicy::Standard => {
-                let mut estimate = u64::MAX;
-                let mut stale = false;
-                {
+                let (estimate, stale) = {
                     let Self { ref hashes, ref mut cells, ref mut floor, width, .. } = *self;
-                    let mut first_row = 0;
-                    for hash_chunk in hashes.chunks(ROW_CHUNK) {
-                        let idx = chunk_cell_indices(hash_chunk, width, first_row, folded);
-                        for &cell_idx in &idx[..hash_chunk.len()] {
-                            let old = cells[cell_idx];
-                            let new = old.saturating_add(1);
-                            cells[cell_idx] = new;
-                            estimate = estimate.min(new);
-                            stale |= floor.on_increase(old, new);
-                        }
-                        first_row += hash_chunk.len();
-                    }
-                }
+                    with_family_rows!(hashes, rows => {
+                        update_rows_estimating(rows, cells, floor, width, prepared)
+                    })
+                };
                 self.total = self.total.saturating_add(1);
                 if stale {
                     self.floor.rebuild(self.cells.iter().copied());
@@ -253,8 +327,8 @@ impl CountMinSketch {
                 // Conservative update already needs the pre-record estimate;
                 // after the update every touched cell is ≥ target, and the
                 // post-record estimate is exactly the target.
-                self.record_many_folded(folded, 1);
-                (self.point_query_folded(folded), self.floor.floor())
+                self.record_many_prepared(prepared, 1);
+                (self.point_query_prepared(prepared), self.floor.floor())
             }
         }
     }
@@ -267,15 +341,15 @@ impl CountMinSketch {
     /// differential-tested (and benchmarked, group `sketch_row_updates`)
     /// against; behaviourally identical.
     pub fn record_and_estimate_rowwise(&mut self, id: u64) -> (u64, u64) {
-        let folded = UniversalHash::fold61(id);
+        let prepared = self.family.prepare(id);
         let target = match self.policy {
             UpdatePolicy::Standard => 0, // unused
-            UpdatePolicy::Conservative => self.point_query_folded(folded).saturating_add(1),
+            UpdatePolicy::Conservative => self.point_query_prepared(prepared).saturating_add(1),
         };
         let mut estimate = u64::MAX;
         let mut stale = false;
         for row in 0..self.depth {
-            let idx = self.cell_index_folded(row, folded);
+            let idx = self.cell_index_prepared(row, prepared);
             let old = self.cells[idx];
             let new = match self.policy {
                 UpdatePolicy::Standard => old.saturating_add(1),
@@ -315,13 +389,12 @@ impl CountMinSketch {
             "{}-cell sketch exceeds the u32 delta-log index range",
             self.cells.len()
         );
-        let folded = UniversalHash::fold61(id);
-        out.extend(
-            self.hashes
-                .iter()
+        let prepared = self.family.prepare(id);
+        with_family_rows!(&self.hashes, rows => out.extend(
+            rows.iter()
                 .enumerate()
-                .map(|(row, h)| (row * self.width + h.hash_folded(folded) as usize) as u32),
-        );
+                .map(|(row, h)| (row * self.width + h.eval_prepared(prepared) as usize) as u32),
+        ));
     }
 
     /// Records one occurrence at pre-hashed touched-cell indices (one per
@@ -413,14 +486,14 @@ impl CountMinSketch {
     /// anything.
     #[inline]
     pub fn point_query(&self, id: u64) -> u64 {
-        self.point_query_folded(UniversalHash::fold61(id))
+        self.point_query_prepared(self.family.prepare(id))
     }
 
     #[inline]
-    fn point_query_folded(&self, folded: u64) -> u64 {
+    fn point_query_prepared(&self, prepared: u64) -> u64 {
         let mut est = u64::MAX;
         for row in 0..self.depth {
-            est = est.min(self.cells[self.cell_index_folded(row, folded)]);
+            est = est.min(self.cells[self.cell_index_prepared(row, prepared)]);
         }
         est
     }
@@ -435,10 +508,15 @@ impl CountMinSketch {
         self.depth
     }
 
-    /// Hash-family seed; two sketches are mergeable iff their seeds and
-    /// dimensions match.
+    /// Hash-family seed; two sketches are mergeable iff their seeds,
+    /// families and dimensions match.
     pub fn seed(&self) -> u64 {
         self.seed
+    }
+
+    /// Which hash family the row functions are drawn from.
+    pub fn family(&self) -> HashFamilyKind {
+        self.family
     }
 
     /// The update policy in effect.
@@ -495,7 +573,27 @@ impl CountMinSketch {
         total: u64,
         cells: Vec<u64>,
     ) -> Result<Self, SketchError> {
-        let mut sketch = Self::with_dimensions(width, depth, seed)?.with_policy(policy);
+        Self::from_parts_family(width, depth, seed, HashFamilyKind::Mersenne, policy, total, cells)
+    }
+
+    /// [`CountMinSketch::from_parts`] with an explicit hash family — the
+    /// restore seam for snapshots that carry a
+    /// [`CountMinSketch::family`] tag.
+    ///
+    /// # Errors
+    ///
+    /// As [`CountMinSketch::from_parts`].
+    pub fn from_parts_family(
+        width: usize,
+        depth: usize,
+        seed: u64,
+        family: HashFamilyKind,
+        policy: UpdatePolicy,
+        total: u64,
+        cells: Vec<u64>,
+    ) -> Result<Self, SketchError> {
+        let mut sketch =
+            Self::with_dimensions_family(width, depth, seed, family)?.with_policy(policy);
         if cells.len() != width * depth {
             return Err(SketchError::CellCountMismatch {
                 expected: width * depth,
@@ -538,12 +636,14 @@ impl CountMinSketch {
         self.floor.reset();
     }
 
-    /// Returns `true` if `other` has the same shape, seed and policy, i.e.
-    /// the sketches use identical hash functions and may be merged.
+    /// Returns `true` if `other` has the same shape, seed, hash family and
+    /// policy, i.e. the sketches use identical hash functions and may be
+    /// merged.
     pub fn is_compatible(&self, other: &Self) -> bool {
         self.width == other.width
             && self.depth == other.depth
             && self.seed == other.seed
+            && self.family == other.family
             && self.policy == other.policy
     }
 
@@ -573,8 +673,8 @@ impl CountMinSketch {
     }
 
     #[inline]
-    fn cell_index_folded(&self, row: usize, folded: u64) -> usize {
-        row * self.width + self.hashes[row].hash_folded(folded) as usize
+    fn cell_index_prepared(&self, row: usize, prepared: u64) -> usize {
+        row * self.width + self.hashes.eval_row(row, prepared) as usize
     }
 }
 
@@ -1026,5 +1126,88 @@ mod tests {
         sketch.record_many(1, u64::MAX - 1);
         sketch.record_many(1, 10); // would overflow; must saturate
         assert_eq!(sketch.estimate(1), u64::MAX);
+    }
+
+    #[test]
+    fn mersenne_family_constructor_is_bit_equal_to_default() {
+        let mut explicit =
+            CountMinSketch::with_dimensions_family(10, 5, 17, HashFamilyKind::Mersenne).unwrap();
+        let mut default = CountMinSketch::with_dimensions(10, 5, 17).unwrap();
+        assert_eq!(default.family(), HashFamilyKind::Mersenne);
+        let mut rng = StdRng::seed_from_u64(8);
+        for _ in 0..3_000 {
+            let id = rng.gen_range(0..500u64);
+            assert_eq!(explicit.record_and_estimate(id), default.record_and_estimate(id));
+        }
+        assert_eq!(explicit.cells(), default.cells());
+        assert!(explicit.is_compatible(&default));
+    }
+
+    #[test]
+    fn multiply_shift_sketch_upholds_the_count_min_contract() {
+        let mut sketch =
+            CountMinSketch::with_dimensions_family(8, 3, 11, HashFamilyKind::MultiplyShift)
+                .unwrap();
+        assert_eq!(sketch.family(), HashFamilyKind::MultiplyShift);
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        let mut split = sketch.clone();
+        let mut rowwise = sketch.clone();
+        let mut rng = StdRng::seed_from_u64(1);
+        for step in 0..10_000 {
+            let id = rng.gen_range(0..200u64);
+            let (est, floor) = sketch.record_and_estimate(id);
+            split.record(id);
+            assert_eq!(est, split.estimate(id), "fused/split estimate at step {step}");
+            assert_eq!(floor, split.floor_estimate(), "fused/split floor at step {step}");
+            assert_eq!((est, floor), rowwise.record_and_estimate_rowwise(id), "step {step}");
+            *truth.entry(id).or_insert(0) += 1;
+        }
+        for (&id, &f) in &truth {
+            assert!(sketch.estimate(id) >= f, "under-estimated id {id}");
+        }
+        // Delta-log seam: touched_cells/record_at_cells replay exactly.
+        let logger = sketch.clone();
+        let mut replayed = sketch.clone();
+        let mut log = Vec::new();
+        for id in 0..300u64 {
+            log.clear();
+            logger.touched_cells(id, &mut log);
+            assert_eq!(replayed.record_at_cells(&log), sketch.record_and_estimate(id));
+        }
+    }
+
+    #[test]
+    fn multiply_shift_from_parts_round_trips() {
+        let mut original =
+            CountMinSketch::with_dimensions_family(12, 4, 9, HashFamilyKind::MultiplyShift)
+                .unwrap();
+        let mut rng = StdRng::seed_from_u64(34);
+        for _ in 0..4_000 {
+            original.record(rng.gen_range(0..300u64));
+        }
+        let mut restored = CountMinSketch::from_parts_family(
+            original.width(),
+            original.depth(),
+            original.seed(),
+            original.family(),
+            original.policy(),
+            original.total(),
+            original.cells().to_vec(),
+        )
+        .unwrap();
+        assert_eq!(restored.cells(), original.cells());
+        assert_eq!(restored.floor_estimate(), original.floor_estimate());
+        for id in 0..500u64 {
+            assert_eq!(restored.record_and_estimate(id), original.record_and_estimate(id));
+        }
+    }
+
+    #[test]
+    fn families_do_not_merge_across_each_other() {
+        let mut mersenne = CountMinSketch::with_dimensions(8, 2, 1).unwrap();
+        let shift =
+            CountMinSketch::with_dimensions_family(8, 2, 1, HashFamilyKind::MultiplyShift).unwrap();
+        assert!(!mersenne.is_compatible(&shift));
+        assert!(matches!(mersenne.merge(&shift), Err(SketchError::IncompatibleSketches { .. })));
     }
 }

@@ -13,9 +13,111 @@
 
 use crate::count_min::ROW_CHUNK;
 use crate::error::SketchError;
-use crate::hash::{HashFamily, UniversalHash};
-use crate::min_tracker::{FloorTracker, TournamentFloorTracker};
+use crate::hash::{with_family_rows, FamilyRowHashes, HashFamily, HashFamilyKind, PreparedRowHash};
+use crate::min_tracker::LazyTournamentTracker;
 use crate::FrequencyEstimator;
+
+/// Splits one packed row evaluation into `(absolute cell index, sign)` for
+/// `row` of `rows` (low bit: sign; high bits: bucket). Generic over the
+/// concrete row type so each hash family gets a dispatch-free instantiation.
+#[inline]
+fn cell_and_sign_of<H: PreparedRowHash>(
+    rows: &[H],
+    width: usize,
+    row: usize,
+    prepared: u64,
+) -> (usize, i64) {
+    let packed = rows[row].eval_prepared(prepared);
+    let idx = row * width + (packed >> 1) as usize;
+    let sign = if packed & 1 == 1 { 1 } else { -1 };
+    (idx, sign)
+}
+
+/// Computes the `(cell index, sign)` pair of each of (at most `ROW_CHUNK`)
+/// consecutive rows starting at `first_row` — the index-precompute pass of
+/// the chunked update paths (the packed evaluations are independent, so
+/// this pass pipelines independently of the signed cell writes it feeds).
+/// Entries past `rows.len()` are unused padding.
+#[inline]
+fn chunk_cell_signs<H: PreparedRowHash>(
+    rows: &[H],
+    width: usize,
+    first_row: usize,
+    prepared: u64,
+) -> [(usize, i64); ROW_CHUNK] {
+    debug_assert!(rows.len() <= ROW_CHUNK);
+    let mut out = [(0usize, 0i64); ROW_CHUNK];
+    for (i, pair) in out.iter_mut().enumerate().take(rows.len()) {
+        *pair = cell_and_sign_of(rows, width, i, prepared);
+        pair.0 += first_row * width;
+    }
+    out
+}
+
+/// The chunked per-row update loop behind [`CountSketch::record_many`],
+/// instantiated once per hash family (no row dispatch inside).
+#[inline]
+fn update_rows<H: PreparedRowHash>(
+    rows: &[H],
+    cells: &mut [i64],
+    floor: &mut LazyTournamentTracker,
+    width: usize,
+    prepared: u64,
+    count: i64,
+) {
+    let mut first_row = 0;
+    for row_chunk in rows.chunks(ROW_CHUNK) {
+        let pairs = chunk_cell_signs(row_chunk, width, first_row, prepared);
+        for &(idx, sign) in &pairs[..row_chunk.len()] {
+            cells[idx] += sign * count;
+            floor.mark(idx);
+        }
+        first_row += row_chunk.len();
+    }
+}
+
+/// The chunked update loop behind [`CountSketch::record_and_estimate`]:
+/// updates each touched cell, marks it dirty, and collects the signed
+/// per-row readings into `scratch` for the median.
+#[inline]
+fn update_rows_estimating<H: PreparedRowHash>(
+    rows: &[H],
+    cells: &mut [i64],
+    floor: &mut LazyTournamentTracker,
+    scratch: &mut Vec<i64>,
+    width: usize,
+    prepared: u64,
+) {
+    let mut first_row = 0;
+    for row_chunk in rows.chunks(ROW_CHUNK) {
+        let pairs = chunk_cell_signs(row_chunk, width, first_row, prepared);
+        for &(idx, sign) in &pairs[..row_chunk.len()] {
+            cells[idx] += sign;
+            floor.mark(idx);
+            scratch.push(sign * cells[idx]);
+        }
+        first_row += row_chunk.len();
+    }
+}
+
+/// The whole-batch loop behind [`CountSketch::record_unfloored`]: per-id
+/// preparation and all row updates run monomorphically (including
+/// [`PreparedRowHash::prepare`], so Mersenne batches inline the field fold
+/// directly), with no floor-engine traffic at all.
+#[inline]
+fn record_batch_rows<H: PreparedRowHash>(rows: &[H], cells: &mut [i64], width: usize, ids: &[u64]) {
+    for &id in ids {
+        let prepared = H::prepare(id);
+        let mut first_row = 0;
+        for row_chunk in rows.chunks(ROW_CHUNK) {
+            let pairs = chunk_cell_signs(row_chunk, width, first_row, prepared);
+            for &(idx, sign) in &pairs[..row_chunk.len()] {
+                cells[idx] += sign;
+            }
+            first_row += row_chunk.len();
+        }
+    }
+}
 
 /// Count sketch (signed median estimator) over 64-bit identifiers.
 ///
@@ -40,12 +142,15 @@ pub struct CountSketch {
     depth: usize,
     /// Row-major `depth × width` signed counters.
     cells: Vec<i64>,
-    /// One 2-universal function per row over the doubled range `2k`: the
-    /// low bit of the evaluation is the row's random sign, the high bits
-    /// the bucket. Packing both into one evaluation halves the hashing
-    /// work of every record/query relative to separate bucket and sign
-    /// families.
-    rows: Vec<UniversalHash>,
+    /// One hash function per row over the doubled range `2k`: the low bit
+    /// of the evaluation is the row's random sign, the high bits the
+    /// bucket. Packing both into one evaluation halves the hashing work of
+    /// every record/query relative to separate bucket and sign families.
+    /// Stored monomorphically per family so the chunked record loops
+    /// instantiate without per-row enum dispatch.
+    rows: FamilyRowHashes,
+    /// Which hash family `rows` was drawn from (all rows share it).
+    family: HashFamilyKind,
     total: u64,
     seed: u64,
     /// Reusable per-row readings buffer for the fused record+estimate path,
@@ -53,9 +158,14 @@ pub struct CountSketch {
     scratch: Vec<i64>,
     /// Floor-estimate engine over `|cell|`. Signed counters move both ways
     /// (a `-1` row update can *shrink* a magnitude), so neither monotone
-    /// tracking nor a histogram applies; the tournament tree keeps the
-    /// floor exact at O(log(k·s)) per touched cell and O(1) per read.
-    floor: TournamentFloorTracker,
+    /// tracking nor a histogram applies. The lazy tournament tree keeps
+    /// record paths O(1) per touched cell (a dirty-bit mark, usually a
+    /// single saturation check) and defers all tree maintenance to the
+    /// next [`CountSketch::min_abs_cell`] read, which repairs only the
+    /// dirty leaves (or rebuilds once when saturated). The published
+    /// sampling floor never reads the tree, so steady-state ingestion
+    /// pays nothing for it.
+    floor: LazyTournamentTracker,
     /// Debug-build cross-check schedule (see `debug_cross_check`).
     #[cfg(debug_assertions)]
     debug_ticks: u64,
@@ -65,10 +175,11 @@ impl CountSketch {
     /// Builds a Count sketch with `width` buckets per row and `depth` rows.
     ///
     /// An odd `depth` is recommended so the median is a single reading.
-    /// Each row draws a single 2-universal function over the doubled range
-    /// `2·width`; its low bit supplies the row's ±1 sign and its high bits
-    /// the bucket, so one evaluation per row serves both (the pair keeps
-    /// the 2-universal collision bound on buckets and a balanced sign).
+    /// Each row draws a single function over the doubled range `2·width`
+    /// from the default [`HashFamilyKind::Mersenne`] family; its low bit
+    /// supplies the row's ±1 sign and its high bits the bucket, so one
+    /// evaluation per row serves both (the pair keeps the family's
+    /// collision bound on buckets and a balanced sign).
     ///
     /// # Errors
     ///
@@ -77,6 +188,25 @@ impl CountSketch {
     /// [`SketchError::DimensionOverflow`] when `width * depth` does not fit
     /// in `usize`.
     pub fn with_dimensions(width: usize, depth: usize, seed: u64) -> Result<Self, SketchError> {
+        Self::with_dimensions_family(width, depth, seed, HashFamilyKind::Mersenne)
+    }
+
+    /// [`CountSketch::with_dimensions`] with an explicit hash family.
+    ///
+    /// `HashFamilyKind::Mersenne` reproduces [`CountSketch::with_dimensions`]
+    /// bit for bit; [`HashFamilyKind::MultiplyShift`] draws Dietzfelbinger
+    /// multiply-shift rows instead (2-*approximately* universal — bucket
+    /// collision probability ≤ 2/(2·width) — and cheaper per element).
+    ///
+    /// # Errors
+    ///
+    /// As [`CountSketch::with_dimensions`].
+    pub fn with_dimensions_family(
+        width: usize,
+        depth: usize,
+        seed: u64,
+        family: HashFamilyKind,
+    ) -> Result<Self, SketchError> {
         if width == 0 {
             return Err(SketchError::ZeroWidth);
         }
@@ -85,117 +215,66 @@ impl CountSketch {
         }
         let cell_count =
             width.checked_mul(depth).ok_or(SketchError::DimensionOverflow { width, depth })?;
-        let rows = HashFamily::new(seed).functions(depth, 2 * width as u64)?;
+        let rows = HashFamily::with_kind(seed, family).family_rows(depth, 2 * width as u64)?;
         Ok(Self {
             width,
             depth,
             cells: vec![0; cell_count],
             rows,
+            family,
             total: 0,
             seed,
             scratch: Vec::with_capacity(depth),
-            floor: TournamentFloorTracker::new(cell_count),
+            floor: LazyTournamentTracker::new(cell_count),
             #[cfg(debug_assertions)]
             debug_ticks: 0,
         })
     }
 
-    /// Splits one packed row evaluation into `(cell index, sign)`.
+    /// Splits one packed row evaluation into `(cell index, sign)` — the
+    /// per-row-dispatch form used by the rolled reference and query paths;
+    /// the chunked update loops run the monomorphic `cell_and_sign_of`.
     #[inline]
-    fn cell_and_sign(&self, row: usize, folded: u64) -> (usize, i64) {
-        Self::cell_and_sign_of(&self.rows, self.width, row, folded)
-    }
-
-    /// [`CountSketch::cell_and_sign`] without borrowing the whole sketch,
-    /// so update loops can hold `cells`/`floor` mutably alongside.
-    #[inline]
-    fn cell_and_sign_of(
-        rows: &[UniversalHash],
-        width: usize,
-        row: usize,
-        folded: u64,
-    ) -> (usize, i64) {
-        let packed = rows[row].hash_folded(folded);
-        let idx = row * width + (packed >> 1) as usize;
+    fn cell_and_sign(&self, row: usize, prepared: u64) -> (usize, i64) {
+        let packed = self.rows.eval_row(row, prepared);
+        let idx = row * self.width + (packed >> 1) as usize;
         let sign = if packed & 1 == 1 { 1 } else { -1 };
         (idx, sign)
     }
 
-    /// Computes the `(cell index, sign)` pair of each of (at most
-    /// `ROW_CHUNK`) consecutive rows starting at `first_row` — the
-    /// index-precompute pass of the chunked update paths (the packed
-    /// evaluations are independent multiply-shifts, so this pass pipelines
-    /// independently of the signed cell writes it feeds). Entries past
-    /// `rows.len()` are unused padding.
-    #[inline]
-    fn chunk_cell_signs(
-        rows: &[UniversalHash],
-        width: usize,
-        first_row: usize,
-        folded: u64,
-    ) -> [(usize, i64); ROW_CHUNK] {
-        debug_assert!(rows.len() <= ROW_CHUNK);
-        let mut out = [(0usize, 0i64); ROW_CHUNK];
-        for (i, pair) in out.iter_mut().enumerate().take(rows.len()) {
-            *pair = Self::cell_and_sign_of(rows, width, i, folded);
-            pair.0 += first_row * width;
-        }
-        out
-    }
-
     /// Records `count` occurrences of `id` at once.
     pub fn record_many(&mut self, id: u64, count: u64) {
-        let folded = UniversalHash::fold61(id);
+        let prepared = self.family.prepare(id);
         let count = count as i64;
         let Self { ref rows, ref mut cells, ref mut floor, width, .. } = *self;
-        let mut first_row = 0;
-        for row_chunk in rows.chunks(ROW_CHUNK) {
-            let pairs = Self::chunk_cell_signs(row_chunk, width, first_row, folded);
-            for &(idx, sign) in &pairs[..row_chunk.len()] {
-                cells[idx] += sign * count;
-                floor.update(idx, cells[idx].unsigned_abs());
-            }
-            first_row += row_chunk.len();
-        }
+        with_family_rows!(rows, r => update_rows(r, cells, floor, width, prepared, count));
         self.total = self.total.saturating_add(count as u64);
         #[cfg(debug_assertions)]
         self.debug_cross_check();
     }
 
     /// Records a whole batch of identifiers on the **floor-less** path:
-    /// counters are updated without any per-update tournament-tree
-    /// maintenance, and the tree is rebuilt once at the end of the batch.
+    /// counters are updated without even the per-update dirty-cell marking
+    /// of [`FrequencyEstimator::record`]; the whole floor engine is
+    /// invalidated once at the end of the batch.
     ///
-    /// End state (counters, total, floor engine) is identical to calling
-    /// [`FrequencyEstimator::record`] per element; what changes is the cost
-    /// profile. Per-record tree maintenance is `O(log k·s)` per touched
-    /// cell — pure overhead on ingestion paths that never query the floor
-    /// mid-batch (backlog replay, shard workers building chunk sketches,
-    /// merge preparation). This entry point pays a single `O(k·s)` rebuild
-    /// per batch instead, which wins whenever the batch is longer than
-    /// roughly `k·s / (s·log k·s)` elements — a few dozen for the paper's
-    /// sketch sizes. The per-element row updates run through the same
-    /// chunked index-precompute as [`CountSketch::record_and_estimate`].
-    ///
-    /// Floor reads *during* the batch are what the per-record maintenance
-    /// buys; this method is only for callers that do not interleave them.
+    /// Observable state (counters, total, every future floor read) is
+    /// identical to calling [`FrequencyEstimator::record`] per element;
+    /// what changes is the cost profile. The single
+    /// [`LazyTournamentTracker::mark_all`] costs O(dirty-set) here and
+    /// defers the O(k·s) rebuild to the next [`CountSketch::min_abs_cell`]
+    /// read — batches that never read the diagnostic floor (backlog
+    /// replay, shard workers building chunk sketches, merge preparation)
+    /// never pay for the tree at all. The per-element row updates run
+    /// through the same chunked index-precompute as
+    /// [`CountSketch::record_and_estimate`].
     pub fn record_unfloored(&mut self, ids: &[u64]) {
         {
             let Self { ref rows, ref mut cells, width, .. } = *self;
-            for &id in ids {
-                let folded = UniversalHash::fold61(id);
-                let mut first_row = 0;
-                for row_chunk in rows.chunks(ROW_CHUNK) {
-                    let pairs = Self::chunk_cell_signs(row_chunk, width, first_row, folded);
-                    for &(idx, sign) in &pairs[..row_chunk.len()] {
-                        cells[idx] += sign;
-                    }
-                    first_row += row_chunk.len();
-                }
-            }
+            with_family_rows!(rows, r => record_batch_rows(r, cells, width, ids));
         }
         self.total = self.total.saturating_add(ids.len() as u64);
-        self.floor.rebuild(self.cells.iter().map(|c| c.unsigned_abs()));
+        self.floor.mark_all();
         #[cfg(debug_assertions)]
         self.debug_cross_check();
     }
@@ -210,25 +289,18 @@ impl CountSketch {
     /// [`CountSketch::record_and_estimate_rowwise`]). The bucket and sign
     /// indices of each row are computed once — in chunks of `ROW_CHUNK`,
     /// ahead of the cell writes — and reused for both the update and the
-    /// signed reading; the floor (min |cell|, the Count sketch's `min_σ`
-    /// analog) is an O(1) read off the tournament tree maintained by the
-    /// floor-estimate engine — the per-element O(k·s) scan this method used
-    /// to pay is gone.
+    /// signed reading; the published floor is the mean row load, an O(1)
+    /// arithmetic read that never touches the diagnostic tournament tree,
+    /// so the engine costs this path only a dirty-cell mark per touched
+    /// cell (a single saturation check in steady state).
     pub fn record_and_estimate(&mut self, id: u64) -> (u64, u64) {
-        let folded = UniversalHash::fold61(id);
+        let prepared = self.family.prepare(id);
         self.scratch.clear();
         {
             let Self { ref rows, ref mut cells, ref mut floor, ref mut scratch, width, .. } = *self;
-            let mut first_row = 0;
-            for row_chunk in rows.chunks(ROW_CHUNK) {
-                let pairs = Self::chunk_cell_signs(row_chunk, width, first_row, folded);
-                for &(idx, sign) in &pairs[..row_chunk.len()] {
-                    cells[idx] += sign;
-                    floor.update(idx, cells[idx].unsigned_abs());
-                    scratch.push(sign * cells[idx]);
-                }
-                first_row += row_chunk.len();
-            }
+            with_family_rows!(rows, r => {
+                update_rows_estimating(r, cells, floor, scratch, width, prepared)
+            });
         }
         self.total = self.total.saturating_add(1);
         let estimate = Self::median_estimate(&mut self.scratch, self.depth);
@@ -243,12 +315,12 @@ impl CountSketch {
     /// chunked path is differential-tested (and benchmarked, group
     /// `sketch_row_updates`) against; behaviourally identical.
     pub fn record_and_estimate_rowwise(&mut self, id: u64) -> (u64, u64) {
-        let folded = UniversalHash::fold61(id);
+        let prepared = self.family.prepare(id);
         self.scratch.clear();
         for row in 0..self.depth {
-            let (idx, sign) = self.cell_and_sign(row, folded);
+            let (idx, sign) = self.cell_and_sign(row, prepared);
             self.cells[idx] += sign;
-            self.floor.update(idx, self.cells[idx].unsigned_abs());
+            self.floor.mark(idx);
             self.scratch.push(sign * self.cells[idx]);
         }
         self.total = self.total.saturating_add(1);
@@ -287,17 +359,22 @@ impl CountSketch {
         }
     }
 
-    /// The raw magnitude minimum `min |cell|` over the matrix — an O(1)
-    /// read off the floor-estimate engine
-    /// ([`crate::min_tracker::TournamentFloorTracker`]). *Not* the
-    /// published sampling floor (see [`FrequencyEstimator::floor_estimate`]
-    /// for why); exposed for diagnostics and differential tests of the
-    /// engine.
-    pub fn min_abs_cell(&self) -> u64 {
-        self.floor.floor()
+    /// The raw magnitude minimum `min |cell|` over the matrix, read off the
+    /// lazy floor-estimate engine
+    /// ([`crate::min_tracker::LazyTournamentTracker`]): the read first
+    /// repairs the tree's dirty leaves (or rebuilds it wholesale after a
+    /// saturating batch), then answers from the root — record paths only
+    /// mark, so the maintenance cost lands here, amortized over the
+    /// records since the previous read. *Not* the published sampling floor
+    /// (see [`FrequencyEstimator::floor_estimate`] for why); exposed for
+    /// diagnostics and differential tests of the engine, which is why the
+    /// repair (and hence `&mut self`) is acceptable.
+    pub fn min_abs_cell(&mut self) -> u64 {
+        let Self { ref cells, ref mut floor, .. } = *self;
+        floor.floor_synced(|i| cells[i].unsigned_abs())
     }
 
-    /// Debug-build cross-check of the tournament tree against a naive
+    /// Debug-build cross-check of the lazy tournament tree against a naive
     /// full scan over `|cell|`, run on a sampled schedule.
     #[cfg(debug_assertions)]
     fn debug_cross_check(&mut self) {
@@ -306,16 +383,16 @@ impl CountSketch {
             return;
         }
         let naive = self.cells.iter().map(|c| c.unsigned_abs()).min().unwrap_or(0);
-        debug_assert_eq!(self.floor.floor(), naive, "floor engine diverged from naive scan");
+        debug_assert_eq!(self.min_abs_cell(), naive, "floor engine diverged from naive scan");
     }
 
     /// Returns the signed median estimate for `id`, clamped at zero
     /// (frequencies are non-negative).
     pub fn point_query(&self, id: u64) -> u64 {
-        let folded = UniversalHash::fold61(id);
+        let prepared = self.family.prepare(id);
         let mut readings: Vec<i64> = (0..self.depth)
             .map(|row| {
-                let (idx, sign) = self.cell_and_sign(row, folded);
+                let (idx, sign) = self.cell_and_sign(row, prepared);
                 sign * self.cells[idx]
             })
             .collect();
@@ -345,9 +422,15 @@ impl CountSketch {
         self.depth
     }
 
-    /// Hash-family seed.
+    /// Hash-family seed. A sketch's hash functions are a pure function of
+    /// `(seed, family, depth, width)`.
     pub fn seed(&self) -> u64 {
         self.seed
+    }
+
+    /// Which hash family the per-row functions were drawn from.
+    pub fn family(&self) -> HashFamilyKind {
+        self.family
     }
 
     /// Read-only view of row `row` of the signed counter matrix.
@@ -371,9 +454,10 @@ impl CountSketch {
     /// row-major signed counter matrix captured by [`CountSketch::cells`]
     /// and the stream length captured by [`FrequencyEstimator::total`].
     ///
-    /// The packed bucket/sign hash functions are re-derived from `seed` and
-    /// the tournament tree is rebuilt from `|cell|`, both pure functions of
-    /// the given state — the restored sketch is bit-equal going forward to
+    /// The packed bucket/sign hash functions are re-derived from
+    /// `(seed, family)` and the lazy tournament tree starts invalidated, so
+    /// its first read rebuilds from `|cell|` — both pure functions of the
+    /// given state — and the restored sketch is bit-equal going forward to
     /// the serialized one.
     ///
     /// # Errors
@@ -388,14 +472,30 @@ impl CountSketch {
         total: u64,
         cells: Vec<i64>,
     ) -> Result<Self, SketchError> {
-        let mut sketch = Self::with_dimensions(width, depth, seed)?;
+        Self::from_parts_family(width, depth, seed, HashFamilyKind::Mersenne, total, cells)
+    }
+
+    /// [`CountSketch::from_parts`] with an explicit hash family — the
+    /// deserialization seam for snapshots that carry a family tag.
+    ///
+    /// # Errors
+    ///
+    /// As [`CountSketch::from_parts`].
+    pub fn from_parts_family(
+        width: usize,
+        depth: usize,
+        seed: u64,
+        family: HashFamilyKind,
+        total: u64,
+        cells: Vec<i64>,
+    ) -> Result<Self, SketchError> {
+        let mut sketch = Self::with_dimensions_family(width, depth, seed, family)?;
         if cells.len() != width * depth {
             return Err(SketchError::CellCountMismatch {
                 expected: width * depth,
                 got: cells.len(),
             });
         }
-        sketch.floor.rebuild(cells.iter().map(|c| c.unsigned_abs()));
         sketch.cells = cells;
         sketch.total = total;
         Ok(sketch)
@@ -405,10 +505,14 @@ impl CountSketch {
     ///
     /// # Errors
     ///
-    /// Returns [`SketchError::IncompatibleSketches`] when shapes or seeds
-    /// differ.
+    /// Returns [`SketchError::IncompatibleSketches`] when shapes, seeds or
+    /// hash families differ.
     pub fn merge(&mut self, other: &Self) -> Result<(), SketchError> {
-        if self.width != other.width || self.depth != other.depth || self.seed != other.seed {
+        if self.width != other.width
+            || self.depth != other.depth
+            || self.seed != other.seed
+            || self.family != other.family
+        {
             return Err(SketchError::IncompatibleSketches {
                 left: (self.width, self.depth, self.seed),
                 right: (other.width, other.depth, other.seed),
@@ -418,7 +522,7 @@ impl CountSketch {
             *a += *b;
         }
         self.total = self.total.saturating_add(other.total);
-        self.floor.rebuild(self.cells.iter().map(|c| c.unsigned_abs()));
+        self.floor.mark_all();
         Ok(())
     }
 
@@ -462,9 +566,11 @@ impl FrequencyEstimator for CountSketch {
     }
 
     fn memory_cells(&self) -> usize {
-        // The counter matrix plus the floor engine's tournament tree
-        // (2·k·s words) — equal-memory ablations against Count-Min must
-        // see the engine's overhead, not just the counters.
+        // The counter matrix plus the lazy floor engine's *actual* current
+        // footprint (dirty bitset always; the 2·k·s-word tree only once a
+        // diagnostic read has materialized it) — equal-memory ablations
+        // against Count-Min must see the engine's real overhead, which for
+        // sketches that never read `min_abs_cell` is just the bitset.
         self.cells.len() + self.floor.memory_cells()
     }
 }
@@ -668,6 +774,128 @@ mod tests {
         }
         let est = sketch.estimate(7);
         assert!((150..=250).contains(&est), "even-depth estimate {est} unexpected");
+    }
+
+    #[test]
+    fn mersenne_family_constructor_is_bit_equal_to_default() {
+        let mut a = CountSketch::with_dimensions(48, 5, 99).unwrap();
+        let mut b =
+            CountSketch::with_dimensions_family(48, 5, 99, HashFamilyKind::Mersenne).unwrap();
+        assert_eq!(b.family(), HashFamilyKind::Mersenne);
+        let mut rng = StdRng::seed_from_u64(61);
+        for _ in 0..2_000 {
+            let id = rng.gen_range(0..400u64);
+            assert_eq!(a.record_and_estimate(id), b.record_and_estimate(id));
+        }
+        assert_eq!(a.cells(), b.cells());
+        assert_eq!(a.min_abs_cell(), b.min_abs_cell());
+    }
+
+    #[test]
+    fn multiply_shift_sketch_upholds_the_count_sketch_contract() {
+        let mut fused =
+            CountSketch::with_dimensions_family(32, 5, 7, HashFamilyKind::MultiplyShift).unwrap();
+        assert_eq!(fused.family(), HashFamilyKind::MultiplyShift);
+        let mut split = fused.clone();
+        let mut rowwise = fused.clone();
+        let mut rng = StdRng::seed_from_u64(21);
+        for step in 0..3_000 {
+            let id = rng.gen_range(0..120u64);
+            let fused_out = fused.record_and_estimate(id);
+            split.record(id);
+            assert_eq!(fused_out, (split.estimate(id), split.floor_estimate()), "step {step}");
+            assert_eq!(fused_out, rowwise.record_and_estimate_rowwise(id), "step {step}");
+        }
+        assert_eq!(fused.cells(), split.cells());
+        assert_eq!(fused.cells(), rowwise.cells());
+        // The heavy hitter still dominates its estimate under the new family.
+        for _ in 0..5_000 {
+            fused.record(7_777);
+        }
+        let est = fused.estimate(7_777) as f64;
+        assert!((est - 5_000.0).abs() < 600.0, "multiply-shift estimate {est} too far from 5000");
+    }
+
+    #[test]
+    fn multiply_shift_from_parts_round_trips() {
+        let mut original =
+            CountSketch::with_dimensions_family(24, 5, 17, HashFamilyKind::MultiplyShift).unwrap();
+        let mut rng = StdRng::seed_from_u64(29);
+        for _ in 0..2_000 {
+            original.record(rng.gen_range(0..200u64));
+        }
+        let mut restored = CountSketch::from_parts_family(
+            original.width(),
+            original.depth(),
+            original.seed(),
+            original.family(),
+            original.total(),
+            original.cells().to_vec(),
+        )
+        .unwrap();
+        assert_eq!(restored.family(), HashFamilyKind::MultiplyShift);
+        assert_eq!(restored.cells(), original.cells());
+        assert_eq!(restored.min_abs_cell(), original.min_abs_cell());
+        for id in 0..500u64 {
+            assert_eq!(restored.record_and_estimate(id), original.record_and_estimate(id));
+        }
+    }
+
+    #[test]
+    fn families_do_not_merge_across_each_other() {
+        let mut mersenne =
+            CountSketch::with_dimensions_family(16, 3, 5, HashFamilyKind::Mersenne).unwrap();
+        let shifted =
+            CountSketch::with_dimensions_family(16, 3, 5, HashFamilyKind::MultiplyShift).unwrap();
+        assert!(matches!(mersenne.merge(&shifted), Err(SketchError::IncompatibleSketches { .. })));
+    }
+
+    #[test]
+    fn lazy_floor_engine_tracks_naive_scan_under_interleavings() {
+        // Arbitrary interleavings of every record entry point with
+        // diagnostic floor reads: the lazy tree must agree with a naive
+        // |cell| scan at every read, for both hash families.
+        for family in [HashFamilyKind::Mersenne, HashFamilyKind::MultiplyShift] {
+            let mut sketch = CountSketch::with_dimensions_family(16, 5, 3, family).unwrap();
+            let mut rng = StdRng::seed_from_u64(77);
+            for step in 0..2_000 {
+                match rng.gen_range(0..4u8) {
+                    0 => sketch.record(rng.gen_range(0..64u64)),
+                    1 => sketch.record_many(rng.gen_range(0..64u64), rng.gen_range(1..5u64)),
+                    2 => {
+                        let ids: Vec<u64> = (0..rng.gen_range(0..40usize))
+                            .map(|_| rng.gen_range(0..64u64))
+                            .collect();
+                        sketch.record_unfloored(&ids);
+                    }
+                    _ => {
+                        let _ = sketch.record_and_estimate(rng.gen_range(0..64u64));
+                    }
+                }
+                if step % 13 == 0 || rng.gen_bool(0.05) {
+                    let naive = sketch.cells().iter().map(|c| c.unsigned_abs()).min().unwrap_or(0);
+                    assert_eq!(
+                        sketch.min_abs_cell(),
+                        naive,
+                        "family {family:?} diverged at step {step}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn memory_cells_reports_the_lazy_footprint() {
+        let mut sketch = CountSketch::with_dimensions(64, 4, 1).unwrap();
+        let cells = 64usize * 4;
+        let bitset_words = cells.div_ceil(64);
+        // Before any diagnostic read the engine holds only the dirty bitset.
+        assert_eq!(sketch.memory_cells(), cells + bitset_words);
+        sketch.record(9);
+        assert_eq!(sketch.memory_cells(), cells + bitset_words);
+        // The first min_abs_cell read materializes the 2·k·s-word tree.
+        let _ = sketch.min_abs_cell();
+        assert_eq!(sketch.memory_cells(), cells + bitset_words + 2 * cells);
     }
 
     #[test]

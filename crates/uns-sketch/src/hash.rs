@@ -52,6 +52,289 @@ use rand::{Rng, SeedableRng};
 /// The Mersenne prime `2^61 − 1` used as the field modulus.
 pub const MERSENNE_PRIME_61: u64 = (1 << 61) - 1;
 
+/// Which hash family a sketch draws its row functions from.
+///
+/// The two families trade guarantee strength for per-element cost:
+///
+/// * [`HashFamilyKind::Mersenne`] — the Carter–Wegman construction over
+///   `p = 2^61 − 1` ([`UniversalHash`]), exactly 2-universal:
+///   `P{h(x) = h(y)} ≤ (1/M')(1 + M'/p)`. This is the family the paper
+///   assumes (§III-D) and the default everywhere.
+/// * [`HashFamilyKind::MultiplyShift`] — Dietzfelbinger's multiply-shift
+///   scheme ([`MultiplyShiftHash`]), only 2-**approximately** universal:
+///   `P{h(x) = h(y)} ≤ 2/M'` (a factor-2 weaker bound), but one wrapping
+///   multiply-add per row instead of a field reduction.
+///
+/// Sketches built from different families (or the same family with
+/// different seeds) are not mergeable; [`HashFamilyKind`] is part of every
+/// compatibility check, snapshot and wire encoding that carries a seed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum HashFamilyKind {
+    /// Carter–Wegman 2-universal hashing modulo `2^61 − 1` (the default).
+    #[default]
+    Mersenne,
+    /// Dietzfelbinger multiply-shift, 2-approximately universal.
+    MultiplyShift,
+}
+
+impl HashFamilyKind {
+    /// Stable one-byte tag for wire and snapshot encodings.
+    pub fn to_u8(self) -> u8 {
+        match self {
+            HashFamilyKind::Mersenne => 0,
+            HashFamilyKind::MultiplyShift => 1,
+        }
+    }
+
+    /// Parses a [`HashFamilyKind::to_u8`] tag; `None` on an unknown tag.
+    pub fn from_u8(tag: u8) -> Option<Self> {
+        match tag {
+            0 => Some(HashFamilyKind::Mersenne),
+            1 => Some(HashFamilyKind::MultiplyShift),
+            _ => None,
+        }
+    }
+
+    /// The family's shared per-element preparation step, hoisted out of the
+    /// per-row loop: Mersenne rows fold the identifier into the field once
+    /// ([`UniversalHash::fold61`]); multiply-shift rows consume the raw
+    /// identifier. The returned value is what [`RowHash::eval_prepared`]
+    /// expects — prepared values and row functions must come from the same
+    /// family.
+    #[inline]
+    pub fn prepare(self, x: u64) -> u64 {
+        match self {
+            HashFamilyKind::Mersenne => UniversalHash::fold61(x),
+            HashFamilyKind::MultiplyShift => x,
+        }
+    }
+}
+
+/// A single multiply-shift hash function
+/// `h_{a,b}(x) = high bits of (a·x + b mod 2^64)` mapped into `[0, range)`.
+///
+/// This is Dietzfelbinger's scheme: with `a` odd and `b` drawn uniformly
+/// from `[0, 2^64)`, the family is **2-approximately universal** —
+/// `P{h(x) = h(y)} ≤ 2/range` for `x ≠ y`, a factor 2 above the exact
+/// `1/range` of [`UniversalHash`] — using one wrapping multiply-add where
+/// the Carter–Wegman row needs a 128-bit product plus a field reduction.
+/// The bucket is taken from the *high* bits of the 64-bit product state
+/// (`(v·range) >> 64`, the same Lemire fast-range step the Mersenne rows
+/// end with), because the low bits of `a·x + b` are the weakly mixed ones.
+///
+/// # Example
+///
+/// ```
+/// use rand::SeedableRng;
+/// use uns_sketch::hash::MultiplyShiftHash;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let h = MultiplyShiftHash::sample(&mut rng, 64).unwrap();
+/// let bucket = h.hash(123456789);
+/// assert!(bucket < 64);
+/// assert_eq!(bucket, h.hash(123456789));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct MultiplyShiftHash {
+    /// Odd multiplier.
+    a: u64,
+    /// Offset.
+    b: u64,
+    range: u64,
+}
+
+impl MultiplyShiftHash {
+    /// Draws a function uniformly from the family (odd `a`, arbitrary `b`),
+    /// mapping into `[0, range)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SketchError::ZeroHashRange`] if `range == 0`.
+    pub fn sample<R: Rng + ?Sized>(rng: &mut R, range: u64) -> Result<Self, SketchError> {
+        if range == 0 {
+            return Err(SketchError::ZeroHashRange);
+        }
+        let a = rng.gen::<u64>() | 1;
+        let b = rng.gen::<u64>();
+        Ok(Self { a, b, range })
+    }
+
+    /// Builds a function from explicit coefficients.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SketchError::InvalidHashCoefficient`] if `a` is even and
+    /// [`SketchError::ZeroHashRange`] if `range == 0`.
+    pub fn from_coefficients(a: u64, b: u64, range: u64) -> Result<Self, SketchError> {
+        if a & 1 == 0 {
+            return Err(SketchError::InvalidHashCoefficient {
+                value: a,
+                constraint: "multiply-shift multiplier a must be odd",
+            });
+        }
+        if range == 0 {
+            return Err(SketchError::ZeroHashRange);
+        }
+        Ok(Self { a, b, range })
+    }
+
+    /// Hashes `x` into `[0, range)`.
+    #[inline]
+    pub fn hash(&self, x: u64) -> u64 {
+        let v = self.a.wrapping_mul(x).wrapping_add(self.b);
+        ((v as u128 * self.range as u128) >> 64) as u64
+    }
+
+    /// Returns the size of the output range `M'`.
+    #[inline]
+    pub fn range(&self) -> u64 {
+        self.range
+    }
+}
+
+/// One sketch row's hash function, from whichever family the sketch was
+/// built with ([`HashFamilyKind`]).
+///
+/// The per-element pattern shared by every multi-row sketch is: prepare the
+/// identifier once for the family ([`HashFamilyKind::prepare`]), then
+/// evaluate each row via [`RowHash::eval_prepared`]. For the Mersenne
+/// family that is exactly the historical `fold61` + `hash_folded` pair, bit
+/// for bit; for multiply-shift the preparation is the identity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum RowHash {
+    /// A Carter–Wegman row over the Mersenne field.
+    Mersenne(UniversalHash),
+    /// A Dietzfelbinger multiply-shift row.
+    MultiplyShift(MultiplyShiftHash),
+}
+
+impl RowHash {
+    /// The family this row was drawn from.
+    #[inline]
+    pub fn kind(&self) -> HashFamilyKind {
+        match self {
+            RowHash::Mersenne(_) => HashFamilyKind::Mersenne,
+            RowHash::MultiplyShift(_) => HashFamilyKind::MultiplyShift,
+        }
+    }
+
+    /// Hashes `x` into `[0, range)` without a shared preparation step.
+    #[inline]
+    pub fn hash(&self, x: u64) -> u64 {
+        match self {
+            RowHash::Mersenne(h) => h.hash(x),
+            RowHash::MultiplyShift(h) => h.hash(x),
+        }
+    }
+
+    /// Evaluates the row on a value prepared by the *same* family's
+    /// [`HashFamilyKind::prepare`].
+    #[inline]
+    pub fn eval_prepared(&self, prepared: u64) -> u64 {
+        match self {
+            RowHash::Mersenne(h) => h.hash_folded(prepared),
+            RowHash::MultiplyShift(h) => h.hash(prepared),
+        }
+    }
+
+    /// Returns the size of the output range `M'`.
+    #[inline]
+    pub fn range(&self) -> u64 {
+        match self {
+            RowHash::Mersenne(h) => h.range(),
+            RowHash::MultiplyShift(h) => h.range(),
+        }
+    }
+}
+
+/// The monomorphic per-row contract behind [`RowHash`]: evaluate on an
+/// identifier the family has prepared once per element.
+///
+/// The sketches store their rows as concrete `Vec<UniversalHash>` /
+/// `Vec<MultiplyShiftHash>` (one variant of the crate-internal
+/// `FamilyRowHashes`) and instantiate their chunked record loops once per
+/// implementor of this trait, so the per-row evaluation — `s` of them per
+/// stream element, the innermost operation of every sketch — compiles to
+/// straight-line arithmetic with no enum dispatch inside the loop.
+/// [`RowHash::eval_prepared`] is the dynamic per-row form of the same
+/// contract, kept for callers that hold mixed-family rows.
+pub trait PreparedRowHash {
+    /// The family's shared per-element preparation, the associated-function
+    /// form of [`HashFamilyKind::prepare`]: [`UniversalHash::fold61`] for
+    /// Mersenne rows, the identity for multiply-shift rows.
+    fn prepare(x: u64) -> u64;
+
+    /// Evaluates the row on a value prepared by
+    /// [`PreparedRowHash::prepare`] of the *same* implementor.
+    fn eval_prepared(&self, prepared: u64) -> u64;
+}
+
+impl PreparedRowHash for UniversalHash {
+    #[inline]
+    fn prepare(x: u64) -> u64 {
+        Self::fold61(x)
+    }
+
+    #[inline]
+    fn eval_prepared(&self, prepared: u64) -> u64 {
+        self.hash_folded(prepared)
+    }
+}
+
+impl PreparedRowHash for MultiplyShiftHash {
+    #[inline]
+    fn prepare(x: u64) -> u64 {
+        x
+    }
+
+    #[inline]
+    fn eval_prepared(&self, prepared: u64) -> u64 {
+        self.hash(prepared)
+    }
+}
+
+/// A sketch's per-row functions stored monomorphically per family, so hot
+/// record paths select the family **once per call** (`with_family_rows!`)
+/// and run enum-free inner loops. Row for row identical to the
+/// [`HashFamily::row_hashes`] draw of the same `(seed, kind)`.
+#[derive(Clone, Debug)]
+pub(crate) enum FamilyRowHashes {
+    /// Carter–Wegman rows over the Mersenne field.
+    Mersenne(Vec<UniversalHash>),
+    /// Dietzfelbinger multiply-shift rows.
+    MultiplyShift(Vec<MultiplyShiftHash>),
+}
+
+impl FamilyRowHashes {
+    /// Evaluates row `row` on a family-prepared value — the per-row-dispatch
+    /// form used by rolled reference and single-row paths; the chunked hot
+    /// paths go through `with_family_rows!` instead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range.
+    #[inline]
+    pub(crate) fn eval_row(&self, row: usize, prepared: u64) -> u64 {
+        match self {
+            FamilyRowHashes::Mersenne(rows) => rows[row].eval_prepared(prepared),
+            FamilyRowHashes::MultiplyShift(rows) => rows[row].eval_prepared(prepared),
+        }
+    }
+}
+
+/// Substitutes the matching monomorphic row vector of a [`FamilyRowHashes`]
+/// into `$body` — the family match happens once per invocation, and `$body`
+/// compiles separately per family with no dispatch inside.
+macro_rules! with_family_rows {
+    ($rows:expr, $r:ident => $body:expr) => {
+        match $rows {
+            $crate::hash::FamilyRowHashes::Mersenne($r) => $body,
+            $crate::hash::FamilyRowHashes::MultiplyShift($r) => $body,
+        }
+    };
+}
+pub(crate) use with_family_rows;
+
 /// Reduces `x` modulo the Mersenne prime `2^61 − 1` using shift/mask folding.
 ///
 /// Folding `x = hi·2^61 + lo` into `hi + lo` preserves the residue because
@@ -219,12 +502,20 @@ impl UniversalHash {
     }
 }
 
-/// A reproducible family of independent 2-universal hash functions.
+/// A reproducible family of independent hash functions.
 ///
 /// All functions are derived from a single 64-bit seed, so two sketches built
 /// from the same seed share identical hash functions and can be merged
 /// (counter-wise added) exactly — the property used to combine sketches from
 /// sub-streams.
+///
+/// The family draws from one of two constructions (see [`HashFamilyKind`]):
+/// Carter–Wegman rows are exactly 2-universal
+/// (`P{h(x) = h(y)} ≤ (1/M')(1 + M'/p)`); multiply-shift rows are only
+/// 2-**approximately** universal (`P{h(x) = h(y)} ≤ 2/M'`), trading the
+/// factor-2 weaker collision bound for a cheaper per-element evaluation.
+/// [`HashFamily::new`] always selects Carter–Wegman, keeping every
+/// pre-family seed bit-compatible.
 ///
 /// # Example
 ///
@@ -240,17 +531,83 @@ impl UniversalHash {
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct HashFamily {
     seed: u64,
+    kind: HashFamilyKind,
 }
 
 impl HashFamily {
-    /// Creates a family deterministically derived from `seed`.
+    /// Creates a family deterministically derived from `seed`, drawing
+    /// Carter–Wegman functions ([`HashFamilyKind::Mersenne`]) — the
+    /// historical default, bit-compatible with every pre-family seed.
     pub fn new(seed: u64) -> Self {
-        Self { seed }
+        Self::with_kind(seed, HashFamilyKind::Mersenne)
+    }
+
+    /// Creates a family deterministically derived from `seed` drawing from
+    /// the given [`HashFamilyKind`].
+    pub fn with_kind(seed: u64, kind: HashFamilyKind) -> Self {
+        Self { seed, kind }
     }
 
     /// Returns the seed this family was built from.
     pub fn seed(&self) -> u64 {
         self.seed
+    }
+
+    /// Returns which hash family the functions are drawn from.
+    pub fn kind(&self) -> HashFamilyKind {
+        self.kind
+    }
+
+    /// Draws `count` independent row functions mapping into `[0, range)`
+    /// from the family's [`HashFamilyKind`].
+    ///
+    /// For [`HashFamilyKind::Mersenne`] the rows are exactly
+    /// [`HashFamily::functions`] wrapped in [`RowHash::Mersenne`] — same
+    /// seed, same coefficients, bit for bit — so pre-family sketches
+    /// rebuild identically through this entry point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SketchError::ZeroHashRange`] if `range == 0`.
+    pub fn row_hashes(&self, count: usize, range: u64) -> Result<Vec<RowHash>, SketchError> {
+        match self.kind {
+            HashFamilyKind::Mersenne => {
+                Ok(self.functions(count, range)?.into_iter().map(RowHash::Mersenne).collect())
+            }
+            HashFamilyKind::MultiplyShift => {
+                let mut rng = StdRng::seed_from_u64(self.seed);
+                (0..count)
+                    .map(|_| MultiplyShiftHash::sample(&mut rng, range).map(RowHash::MultiplyShift))
+                    .collect()
+            }
+        }
+    }
+
+    /// [`HashFamily::row_hashes`] in the monomorphic storage form the
+    /// sketches keep internally — same seed, same coefficients, row for row
+    /// (pinned by a test), just without the per-row [`RowHash`] wrapper.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SketchError::ZeroHashRange`] if `range == 0`.
+    pub(crate) fn family_rows(
+        &self,
+        count: usize,
+        range: u64,
+    ) -> Result<FamilyRowHashes, SketchError> {
+        match self.kind {
+            HashFamilyKind::Mersenne => {
+                Ok(FamilyRowHashes::Mersenne(self.functions(count, range)?))
+            }
+            HashFamilyKind::MultiplyShift => {
+                let mut rng = StdRng::seed_from_u64(self.seed);
+                Ok(FamilyRowHashes::MultiplyShift(
+                    (0..count)
+                        .map(|_| MultiplyShiftHash::sample(&mut rng, range))
+                        .collect::<Result<_, _>>()?,
+                ))
+            }
+        }
     }
 
     /// Draws `count` independent functions mapping into `[0, range)`.
@@ -471,5 +828,150 @@ mod tests {
         let sign = signs[0];
         let plus = (0..10_000u64).filter(|&x| sign.hash(x) == 1).count();
         assert!((4_000..6_000).contains(&plus), "unbalanced signs: {plus}/10000");
+    }
+
+    #[test]
+    fn mersenne_row_hashes_are_bit_identical_to_functions() {
+        // The back-compat contract of the family seam: a Mersenne family's
+        // row_hashes() draws exactly the same coefficients as the historical
+        // functions() path, so every pre-family seed rebuilds identically.
+        for seed in [0u64, 10, 0xdead_beef] {
+            let family = HashFamily::new(seed);
+            assert_eq!(family.kind(), HashFamilyKind::Mersenne);
+            let rows = family.row_hashes(6, 40).unwrap();
+            let functions = family.functions(6, 40).unwrap();
+            assert_eq!(rows.len(), functions.len());
+            for (row, h) in rows.iter().zip(&functions) {
+                assert_eq!(*row, RowHash::Mersenne(*h), "seed {seed}");
+                for x in [0u64, 7, 123_456_789, MERSENNE_PRIME_61, u64::MAX] {
+                    assert_eq!(row.hash(x), h.hash(x));
+                    assert_eq!(
+                        row.eval_prepared(HashFamilyKind::Mersenne.prepare(x)),
+                        h.hash_folded(UniversalHash::fold61(x))
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn multiply_shift_family_is_deterministic_and_in_range() {
+        let family = HashFamily::with_kind(10, HashFamilyKind::MultiplyShift);
+        assert_eq!(family.kind(), HashFamilyKind::MultiplyShift);
+        let rows = family.row_hashes(8, 128).unwrap();
+        let again = HashFamily::with_kind(10, HashFamilyKind::MultiplyShift);
+        assert_eq!(rows, again.row_hashes(8, 128).unwrap());
+        assert_ne!(
+            rows,
+            HashFamily::with_kind(11, HashFamilyKind::MultiplyShift).row_hashes(8, 128).unwrap()
+        );
+        for row in &rows {
+            assert_eq!(row.kind(), HashFamilyKind::MultiplyShift);
+            assert_eq!(row.range(), 128);
+            for x in [0u64, 1, 7, 123_456_789, u64::MAX] {
+                let bucket = row.hash(x);
+                assert!(bucket < 128);
+                // Multiply-shift preparation is the identity.
+                assert_eq!(row.eval_prepared(HashFamilyKind::MultiplyShift.prepare(x)), bucket);
+            }
+        }
+        assert!(matches!(family.row_hashes(2, 0), Err(SketchError::ZeroHashRange)));
+    }
+
+    #[test]
+    fn family_rows_match_row_hashes_row_for_row() {
+        // The monomorphic storage seam must draw exactly the rows of the
+        // dynamic row_hashes() path for both families — the record hot
+        // loops dispatch through the former, every compatibility and
+        // restore contract is stated in terms of the latter.
+        for kind in [HashFamilyKind::Mersenne, HashFamilyKind::MultiplyShift] {
+            let family = HashFamily::with_kind(9, kind);
+            let dynamic = family.row_hashes(7, 96).unwrap();
+            let mono = family.family_rows(7, 96).unwrap();
+            for (row, dyn_row) in dynamic.iter().enumerate() {
+                for x in [0u64, 1, 7, 123_456_789, MERSENNE_PRIME_61, u64::MAX] {
+                    let prepared = kind.prepare(x);
+                    assert_eq!(
+                        mono.eval_row(row, prepared),
+                        dyn_row.eval_prepared(prepared),
+                        "{kind:?} row {row} diverged on {x}"
+                    );
+                }
+            }
+        }
+        assert!(matches!(
+            HashFamily::with_kind(9, HashFamilyKind::MultiplyShift).family_rows(2, 0),
+            Err(SketchError::ZeroHashRange)
+        ));
+    }
+
+    #[test]
+    fn prepared_row_hash_trait_matches_the_dynamic_forms() {
+        // The trait the monomorphized loops are generic over must agree
+        // with HashFamilyKind::prepare and RowHash::eval_prepared.
+        let mut rng = StdRng::seed_from_u64(6);
+        let mersenne = UniversalHash::sample(&mut rng, 200).unwrap();
+        let shift = MultiplyShiftHash::sample(&mut rng, 200).unwrap();
+        for x in [0u64, 1, 7, 123_456_789, MERSENNE_PRIME_61, u64::MAX] {
+            assert_eq!(
+                <UniversalHash as PreparedRowHash>::prepare(x),
+                HashFamilyKind::Mersenne.prepare(x)
+            );
+            assert_eq!(
+                <MultiplyShiftHash as PreparedRowHash>::prepare(x),
+                HashFamilyKind::MultiplyShift.prepare(x)
+            );
+            let folded = UniversalHash::fold61(x);
+            assert_eq!(
+                PreparedRowHash::eval_prepared(&mersenne, folded),
+                RowHash::Mersenne(mersenne).eval_prepared(folded)
+            );
+            assert_eq!(
+                PreparedRowHash::eval_prepared(&shift, x),
+                RowHash::MultiplyShift(shift).eval_prepared(x)
+            );
+        }
+    }
+
+    #[test]
+    fn multiply_shift_rejects_even_multiplier_and_zero_range() {
+        assert!(matches!(
+            MultiplyShiftHash::from_coefficients(4, 0, 8),
+            Err(SketchError::InvalidHashCoefficient { .. })
+        ));
+        assert_eq!(MultiplyShiftHash::from_coefficients(3, 0, 0), Err(SketchError::ZeroHashRange));
+        let h = MultiplyShiftHash::from_coefficients(3, 9, 16).unwrap();
+        assert_eq!(h.range(), 16);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(MultiplyShiftHash::sample(&mut rng, 0).unwrap_err(), SketchError::ZeroHashRange);
+        for _ in 0..64 {
+            let h = MultiplyShiftHash::sample(&mut rng, 32).unwrap();
+            assert_eq!(h.a & 1, 1, "sampled multiplier must be odd");
+        }
+    }
+
+    /// The satellite check for the multiply-shift family: the scheme is
+    /// only 2-**approximately** universal, so the assertion mirrors
+    /// `fast_range_preserves_two_universal_bound_across_ranges` but against
+    /// the weaker `2/range` bound (Dietzfelbinger's `2/2^ℓ`), not the exact
+    /// `1/range` of the Carter–Wegman family.
+    #[test]
+    fn multiply_shift_collision_probability_meets_approximate_bound() {
+        let mut rng = StdRng::seed_from_u64(1234);
+        for range in [2u64, 10, 17, 64, 1000] {
+            let trials = 30_000u64;
+            let mut collisions = 0u64;
+            for _ in 0..trials {
+                let h = MultiplyShiftHash::sample(&mut rng, range).unwrap();
+                if h.hash(0xdead_beef) == h.hash(0x1234_5678_9abc_def0) {
+                    collisions += 1;
+                }
+            }
+            let p = collisions as f64 / trials as f64;
+            assert!(
+                p < 2.4 / range as f64 + 0.004,
+                "range {range}: collision probability {p} above the 2-approximate bound"
+            );
+        }
     }
 }

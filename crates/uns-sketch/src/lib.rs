@@ -8,8 +8,11 @@
 //! (Algorithm 3) needs to estimate, on the fly and in sublinear space, the
 //! frequency of every node identifier read from an adversarial input stream:
 //!
-//! * [`hash`] — 2-universal (Carter–Wegman) hash functions over the Mersenne
-//!   prime `2^61 − 1`, the family assumed throughout the paper (§III-D);
+//! * [`hash`] — selectable hash families ([`HashFamilyKind`]): 2-universal
+//!   Carter–Wegman functions over the Mersenne prime `2^61 − 1` (the family
+//!   assumed throughout the paper, §III-D, and the default) or Dietzfelbinger
+//!   multiply-shift functions (2-approximately universal, cheaper per
+//!   element);
 //! * [`count_min`] — the Count-Min sketch of Cormode and Muthukrishnan
 //!   (paper's Algorithm 2), including the *global minimum counter* `min_σ`
 //!   that drives the insertion probability `a_j = min_σ / f̂_j`;
@@ -56,9 +59,13 @@ pub use count_min::{CountMinSketch, UpdatePolicy};
 pub use count_sketch::CountSketch;
 pub use error::SketchError;
 pub use exact::ExactFrequencyOracle;
-pub use hash::{HashFamily, UniversalHash, MERSENNE_PRIME_61};
+pub use hash::{
+    HashFamily, HashFamilyKind, MultiplyShiftHash, PreparedRowHash, RowHash, UniversalHash,
+    MERSENNE_PRIME_61,
+};
 pub use min_tracker::{
-    CountOfCountsTracker, FloorTracker, MonotoneFloorTracker, TournamentFloorTracker,
+    CountOfCountsTracker, FloorTracker, LazyTournamentTracker, MonotoneFloorTracker,
+    TournamentFloorTracker,
 };
 
 /// A streaming frequency estimator over a stream of 64-bit identifiers.

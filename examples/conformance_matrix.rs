@@ -14,11 +14,14 @@
 //!
 //! Environment knobs (all optional): `UNS_CONF_FAST=1` shrinks the matrix;
 //! `UNS_CONF_DOMAIN`, `UNS_CONF_LEN`, `UNS_CONF_C`, `UNS_CONF_K`,
-//! `UNS_CONF_S`, `UNS_CONF_STRIDE` override the defaults for sweeps.
+//! `UNS_CONF_S`, `UNS_CONF_STRIDE` override the defaults for sweeps;
+//! `UNS_CONF_HASH_FAMILY=multiply-shift` (or `ms`) swaps the sketches'
+//! rows from the Mersenne Carter–Wegman family to multiply-shift — the
+//! A/B axis behind the README's hash-family verdict table.
 
 use uns_core::{KnowledgeFreeSampler, NodeId, NodeSampler, PassthroughSampler};
 use uns_sim::{measure_uniformity, Scenario, ScenarioKind};
-use uns_sketch::ExactFrequencyOracle;
+use uns_sketch::{ExactFrequencyOracle, HashFamilyKind};
 
 fn env_usize(name: &str, default: usize) -> usize {
     std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
@@ -40,10 +43,15 @@ fn main() {
     let depth = env_usize("UNS_CONF_S", 5);
     let stride = env_usize("UNS_CONF_STRIDE", if fast { 25 } else { 50 });
     let seed = env_usize("UNS_CONF_SEED", 0x5eed) as u64;
+    let family = match std::env::var("UNS_CONF_HASH_FAMILY").as_deref() {
+        Ok("multiply-shift" | "ms") => HashFamilyKind::MultiplyShift,
+        _ => HashFamilyKind::Mersenne,
+    };
 
     println!(
         "conformance matrix: domain = {domain}, len = {len}, c = {capacity}, \
-         k_cm = {cm_width}, k_cs = {cs_width}, s = {depth}, stride = {stride}"
+         k_cm = {cm_width}, k_cs = {cs_width}, s = {depth}, stride = {stride}, \
+         family = {family:?}"
     );
     println!(
         "{:>18} {:>12} {:>10} {:>7} {:>8} {:>7} {:>6}",
@@ -56,14 +64,19 @@ fn main() {
             (
                 "count-min",
                 Box::new(
-                    KnowledgeFreeSampler::with_count_min(capacity, cm_width, depth, seed).unwrap(),
+                    KnowledgeFreeSampler::with_count_min_family(
+                        capacity, cm_width, depth, seed, family,
+                    )
+                    .unwrap(),
                 ),
             ),
             (
                 "count-sketch",
                 Box::new(
-                    KnowledgeFreeSampler::with_count_sketch(capacity, cs_width, depth, seed)
-                        .unwrap(),
+                    KnowledgeFreeSampler::with_count_sketch_family(
+                        capacity, cs_width, depth, seed, family,
+                    )
+                    .unwrap(),
                 ),
             ),
             (

@@ -16,7 +16,7 @@
 use std::net::{TcpListener, TcpStream};
 use std::sync::Arc;
 use uns_service::loadgen::{create_and_run, LoadgenConfig, LoadgenReport, LoadgenRetry, Workload};
-use uns_service::protocol::{EstimatorKind, StreamConfig};
+use uns_service::protocol::{EstimatorKind, HashFamilyKind, StreamConfig};
 use uns_service::server::{DurabilityConfig, Server, ServerConfig};
 use uns_service::storage::DirBackend;
 use uns_service::wal::FsyncPolicy;
@@ -27,8 +27,14 @@ fn run(
 ) -> Result<LoadgenReport, Box<dyn std::error::Error>> {
     let listener = TcpListener::bind("127.0.0.1:0")?;
     let addr = listener.local_addr()?;
-    let stream_config =
-        StreamConfig { kind: EstimatorKind::CountMin, capacity: 10, width: 10, depth: 5, seed: 42 };
+    let stream_config = StreamConfig {
+        kind: EstimatorKind::CountMin,
+        capacity: 10,
+        width: 10,
+        depth: 5,
+        seed: 42,
+        family: HashFamilyKind::Mersenne,
+    };
     let report =
         std::thread::scope(|scope| -> Result<LoadgenReport, Box<dyn std::error::Error>> {
             scope.spawn(|| server.serve(listener));

@@ -16,7 +16,7 @@
 
 use std::net::{TcpListener, TcpStream};
 use uns_service::loadgen::{create_and_run, LoadgenConfig, LoadgenRetry, Workload};
-use uns_service::protocol::{EstimatorKind, StreamConfig};
+use uns_service::protocol::{EstimatorKind, HashFamilyKind, StreamConfig};
 use uns_service::server::{Server, ServerConfig};
 use uns_service::ServiceClient;
 
@@ -51,6 +51,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             width: 10,
             depth: 5,
             seed: 42,
+            family: HashFamilyKind::Mersenne,
         };
         let workloads: [(&str, Workload); 3] = [
             ("uniform", Workload::Uniform { domain: 100_000 }),

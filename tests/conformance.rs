@@ -37,7 +37,9 @@
 //! `conformance-release` job runs the full scale.
 
 use uns_core::{derive_estimator_seed, NodeId, NodeSampler, PassthroughSampler};
-use uns_service::{EstimatorKind, ServerConfig, ServiceClient, ServiceError, StreamConfig};
+use uns_service::{
+    EstimatorKind, HashFamilyKind, ServerConfig, ServiceClient, ServiceError, StreamConfig,
+};
 use uns_sim::{measure_uniformity, min_p_clears, Scenario, ScenarioKind, ShardedIngestion};
 
 /// Sampler memory `c` (the paper's Figure 7 value).
@@ -50,6 +52,17 @@ struct Scale {
     len: usize,
     trials: u64,
     stride: usize,
+}
+
+/// Hash-family axis of the matrix: `UNS_CONF_HASH_FAMILY=multiply-shift`
+/// reruns every cell over multiply-shift rows (default Mersenne). Both
+/// settings must clear the same verdicts — uniformity of the *output* is a
+/// property of the sampler, not of one hash family's quirks.
+fn family() -> HashFamilyKind {
+    match std::env::var("UNS_CONF_HASH_FAMILY").as_deref() {
+        Ok("multiply-shift" | "ms") => HashFamilyKind::MultiplyShift,
+        _ => HashFamilyKind::Mersenne,
+    }
 }
 
 fn scale() -> Scale {
@@ -108,11 +121,24 @@ const KINDS: [EstimatorKind; 3] =
 fn library_sampler(kind: EstimatorKind, width: usize, seed: u64) -> Box<dyn NodeSampler> {
     match kind {
         EstimatorKind::CountMin => Box::new(
-            uns_core::KnowledgeFreeSampler::with_count_min(CAPACITY, width, DEPTH, seed).unwrap(),
+            uns_core::KnowledgeFreeSampler::with_count_min_family(
+                CAPACITY,
+                width,
+                DEPTH,
+                seed,
+                family(),
+            )
+            .unwrap(),
         ),
         EstimatorKind::CountSketch => Box::new(
-            uns_core::KnowledgeFreeSampler::with_count_sketch(CAPACITY, width, DEPTH, seed)
-                .unwrap(),
+            uns_core::KnowledgeFreeSampler::with_count_sketch_family(
+                CAPACITY,
+                width,
+                DEPTH,
+                seed,
+                family(),
+            )
+            .unwrap(),
         ),
         EstimatorKind::Exact => Box::new(
             uns_core::KnowledgeFreeSampler::new(
@@ -133,7 +159,9 @@ fn library_outputs(kind: EstimatorKind, width: usize, ids: &[NodeId], seed: u64)
 
 /// The delta-log pipeline path (Count-Min only).
 fn pipeline_outputs(width: usize, ids: &[NodeId], seed: u64) -> Vec<NodeId> {
-    let ingestion = ShardedIngestion::new(width, DEPTH, derive_estimator_seed(seed), 4).unwrap();
+    let ingestion =
+        ShardedIngestion::with_family(width, DEPTH, derive_estimator_seed(seed), family(), 4)
+            .unwrap();
     let mut out = Vec::new();
     ingestion.pipeline_feed(ids, CAPACITY, seed, &mut out).unwrap();
     out
@@ -148,7 +176,8 @@ fn service_outputs(
     ids: &[NodeId],
     seed: u64,
 ) -> Vec<NodeId> {
-    let config = StreamConfig { kind, capacity: CAPACITY, width, depth: DEPTH, seed };
+    let config =
+        StreamConfig { kind, capacity: CAPACITY, width, depth: DEPTH, seed, family: family() };
     retry_busy(|| client.create_stream(stream_name, &config)).unwrap();
     let mut out = Vec::with_capacity(ids.len());
     for batch in ids.chunks(8_192) {
