@@ -1,0 +1,279 @@
+//! Lock-free observability primitives for the sampling service.
+//!
+//! Three layers, std-only, no dependencies:
+//!
+//! * **Primitives** — [`Counter`] and [`Gauge`] on relaxed atomics and a
+//!   fixed-bucket log-scale [`LatencyHistogram`]: a hot-path update is one
+//!   (histograms: two) relaxed `fetch_add`, no locks, no allocation, no
+//!   branches beyond the bucket index.
+//! * **[`MetricsRegistry`]** — named, labeled metric families rendered as
+//!   Prometheus text exposition format (version 0.0.4) from a consistent
+//!   per-series snapshot. Registration is locked and pays the allocations;
+//!   the returned [`Arc`](std::sync::Arc) handles are what instrumented
+//!   code holds, so the
+//!   steady-state cost of a registered metric is exactly the primitive's.
+//! * **[`TraceLog`]** — a bounded ring of recent structured control-plane
+//!   events (stream create/restore/heal, compactions, worker panics, fault
+//!   injections, floor-trajectory samples) with seeded-deterministic
+//!   sequence numbers, so traces from two runs of the same seed line up.
+//!
+//! The [`parse`] module is the inverse of the registry's renderer: a small
+//! strict parser for the exposition format, used by the tests (golden
+//! render must round-trip) and by scrape smoke checks in CI.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod parse;
+mod registry;
+mod trace;
+
+pub use parse::{parse_exposition, ParseError, Sample};
+pub use registry::{MetricKind, MetricsRegistry};
+pub use trace::{TraceEvent, TraceKind, TraceLog};
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::time::Duration;
+
+// ---------------------------------------------------------------------------
+// Counter
+// ---------------------------------------------------------------------------
+
+/// A monotonically increasing `u64` on a relaxed atomic.
+///
+/// [`Counter::set`] exists for restore/recovery paths that must make the
+/// counter agree with persisted totals (a recovered stream resumes its
+/// lifetime counts, it does not restart them) — ordinary instrumentation
+/// uses only [`Counter::inc`]/[`Counter::add`].
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A counter starting at zero.
+    pub const fn new() -> Self {
+        Self(AtomicU64::new(0))
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Overwrites the value — restore/recovery paths only (see type docs).
+    pub fn set(&self, value: u64) {
+        self.0.store(value, Ordering::Relaxed);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Gauge
+// ---------------------------------------------------------------------------
+
+/// An instantaneous `i64` reading on a relaxed atomic (queue depths, floor
+/// estimates). Signed so that concurrent `inc`/`dec` pairs may transiently
+/// observe `-1` without wrapping to 2⁶⁴.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// A gauge starting at zero.
+    pub const fn new() -> Self {
+        Self(AtomicI64::new(0))
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Subtracts one.
+    #[inline]
+    pub fn dec(&self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Overwrites the reading.
+    #[inline]
+    pub fn set(&self, value: i64) {
+        self.0.store(value, Ordering::Relaxed);
+    }
+
+    /// Overwrites the reading with a `u64`, saturating at `i64::MAX`.
+    #[inline]
+    pub fn set_u64(&self, value: u64) {
+        self.set(i64::try_from(value).unwrap_or(i64::MAX));
+    }
+
+    /// Current reading.
+    #[inline]
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// LatencyHistogram
+// ---------------------------------------------------------------------------
+
+/// Finite bucket bounds: `2^i` nanoseconds for `i = 0..FINITE_BUCKETS`,
+/// i.e. 1 ns up to ~17 s; anything slower lands in the `+Inf` bucket.
+const FINITE_BUCKETS: usize = 35;
+
+/// Bucket count including the `+Inf` overflow bucket.
+const BUCKETS: usize = FINITE_BUCKETS + 1;
+
+/// A fixed-bucket log₂-scale histogram of nanosecond durations.
+///
+/// Bucket `i` has upper bound `2^i` ns (35 finite buckets: 1 ns … ~17 s),
+/// plus a `+Inf` bucket. Recording is two relaxed `fetch_add`s and a
+/// `leading_zeros` — no locks, no allocation, bounded memory. The
+/// per-bucket resolution (a factor of 2) is coarse on purpose: latency
+/// regressions worth alerting on are multiplicative.
+///
+/// Rendering reads each bucket once and derives `_count` from that same
+/// pass, so the rendered cumulative buckets are always internally
+/// consistent; `_sum` is a separate atomic and may lag the buckets by
+/// in-flight recordings.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+    sum: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self { buckets: [const { AtomicU64::new(0) }; BUCKETS], sum: AtomicU64::new(0) }
+    }
+
+    /// Index of the smallest bucket whose upper bound covers `nanos`.
+    #[inline]
+    fn bucket_index(nanos: u64) -> usize {
+        match nanos {
+            0 | 1 => 0,
+            n => (64 - (n - 1).leading_zeros() as usize).min(FINITE_BUCKETS),
+        }
+    }
+
+    /// Records one observation of `nanos`.
+    #[inline]
+    pub fn record(&self, nanos: u64) {
+        self.buckets[Self::bucket_index(nanos)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    /// Records one observation of an elapsed [`Duration`].
+    #[inline]
+    pub fn record_duration(&self, elapsed: Duration) {
+        self.record(u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Total observations (one pass over the buckets).
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Sum of all observed values, in nanoseconds.
+    pub fn sum_nanos(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// One consistent read of every bucket (non-cumulative) plus the sum,
+    /// in bucket order; the renderer and tests share it.
+    pub fn snapshot(&self) -> ([u64; BUCKETS], u64) {
+        let mut counts = [0u64; BUCKETS];
+        for (slot, bucket) in counts.iter_mut().zip(&self.buckets) {
+            *slot = bucket.load(Ordering::Relaxed);
+        }
+        (counts, self.sum.load(Ordering::Relaxed))
+    }
+
+    /// The `le` label value of bucket `index` (`"+Inf"` for the last).
+    pub fn bucket_bound(index: usize) -> String {
+        if index >= FINITE_BUCKETS {
+            "+Inf".to_string()
+        } else {
+            (1u64 << index).to_string()
+        }
+    }
+
+    /// Number of buckets, including `+Inf`.
+    pub const fn bucket_count() -> usize {
+        BUCKETS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::new();
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+        c.set(7);
+        assert_eq!(c.get(), 7);
+
+        let g = Gauge::new();
+        g.inc();
+        g.inc();
+        g.dec();
+        assert_eq!(g.get(), 1);
+        g.set(-3);
+        assert_eq!(g.get(), -3);
+        g.set_u64(u64::MAX);
+        assert_eq!(g.get(), i64::MAX);
+    }
+
+    #[test]
+    fn histogram_bucket_bounds_cover_powers_of_two() {
+        // Every value must land in the smallest bucket whose bound is >= it.
+        for (value, expected) in
+            [(0u64, 0usize), (1, 0), (2, 1), (3, 2), (4, 2), (5, 3), (1024, 10), (1025, 11)]
+        {
+            assert_eq!(LatencyHistogram::bucket_index(value), expected, "value {value}");
+        }
+        // Everything past the largest finite bound overflows to +Inf.
+        assert_eq!(LatencyHistogram::bucket_index(u64::MAX), FINITE_BUCKETS);
+        assert_eq!(LatencyHistogram::bucket_index(1 << FINITE_BUCKETS), FINITE_BUCKETS);
+        assert_eq!(LatencyHistogram::bucket_index((1 << 34) + 1), FINITE_BUCKETS);
+        assert_eq!(LatencyHistogram::bucket_index(1 << 34), FINITE_BUCKETS - 1);
+    }
+
+    #[test]
+    fn histogram_records_count_and_sum() {
+        let h = LatencyHistogram::new();
+        for nanos in [1u64, 3, 900, 900, 1_000_000] {
+            h.record(nanos);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum_nanos(), 1 + 3 + 900 + 900 + 1_000_000);
+        let (counts, _) = h.snapshot();
+        assert_eq!(counts[0], 1); // 1 ns
+        assert_eq!(counts[2], 1); // 3 ns -> le 4
+        assert_eq!(counts[10], 2); // 900 ns -> le 1024
+        assert_eq!(counts[20], 1); // 1 ms -> le 2^20
+    }
+}

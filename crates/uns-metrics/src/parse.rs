@@ -1,0 +1,280 @@
+//! A small strict parser for Prometheus text exposition format 0.0.4 —
+//! the inverse of [`crate::MetricsRegistry::render`].
+//!
+//! Exists so correctness is testable end to end: the golden-render tests
+//! re-read what the registry rendered and must recover every sample, and
+//! the CI scrape smoke check runs real scraped text through it. It parses
+//! the subset the registry emits (plus optional timestamps and the
+//! standard `summary`/`untyped` types, for tolerance toward other
+//! exporters) and rejects anything malformed instead of guessing.
+
+use std::fmt;
+
+/// One parsed sample line.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Sample {
+    /// Metric name (for histograms: the `_bucket`/`_sum`/`_count` series
+    /// name as rendered).
+    pub name: String,
+    /// Label pairs in the order they appeared, values unescaped.
+    pub labels: Vec<(String, String)>,
+    /// The sample value as a float (every exposition value is one).
+    pub value: f64,
+    /// The untouched value token — integer-valued counters compare
+    /// bit-for-bit through this, no float round-trip.
+    pub raw_value: String,
+}
+
+impl Sample {
+    /// The value of label `key`, if present.
+    pub fn label(&self, key: &str) -> Option<&str> {
+        self.labels.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+
+    /// The raw value parsed as an exact `u64` (`None` when the value was
+    /// not rendered as a plain unsigned integer).
+    pub fn value_u64(&self) -> Option<u64> {
+        self.raw_value.parse().ok()
+    }
+}
+
+/// Finds the first sample named `name` carrying every label pair in
+/// `labels` (subset match — the sample may have more labels).
+pub fn find<'a>(samples: &'a [Sample], name: &str, labels: &[(&str, &str)]) -> Option<&'a Sample> {
+    samples.iter().find(|s| s.name == name && labels.iter().all(|(k, v)| s.label(k) == Some(v)))
+}
+
+/// Where and why parsing failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What was wrong with it.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "exposition line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a full exposition text into its samples.
+///
+/// `# HELP`/`# TYPE` lines are validated (name syntax, known type token)
+/// but not returned; other comment lines are skipped per the format spec.
+///
+/// # Errors
+///
+/// [`ParseError`] on the first malformed line.
+pub fn parse_exposition(text: &str) -> Result<Vec<Sample>, ParseError> {
+    let mut samples = Vec::new();
+    for (index, line) in text.lines().enumerate() {
+        let number = index + 1;
+        let err = |message: String| ParseError { line: number, message };
+        if line.trim().is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let comment = comment.trim_start();
+            if let Some(rest) = comment.strip_prefix("HELP ") {
+                let name = rest.split_whitespace().next().unwrap_or("");
+                if !valid_name(name) {
+                    return Err(err(format!("HELP for invalid metric name {name:?}")));
+                }
+            } else if let Some(rest) = comment.strip_prefix("TYPE ") {
+                let mut words = rest.split_whitespace();
+                let name = words.next().unwrap_or("");
+                let kind = words.next().unwrap_or("");
+                if !valid_name(name) {
+                    return Err(err(format!("TYPE for invalid metric name {name:?}")));
+                }
+                if !matches!(kind, "counter" | "gauge" | "histogram" | "summary" | "untyped") {
+                    return Err(err(format!("unknown TYPE {kind:?} for metric {name:?}")));
+                }
+            }
+            // Any other comment is free text per the spec.
+            continue;
+        }
+        samples.push(parse_sample(line).map_err(err)?);
+    }
+    Ok(samples)
+}
+
+fn parse_sample(line: &str) -> Result<Sample, String> {
+    let line = line.trim_end();
+    let (name, rest) = split_name(line)?;
+    let (labels, rest) = if let Some(after_brace) = rest.strip_prefix('{') {
+        parse_labels(after_brace)?
+    } else {
+        (Vec::new(), rest)
+    };
+    let mut tokens = rest.split_whitespace();
+    let raw_value =
+        tokens.next().ok_or_else(|| format!("sample {name:?} has no value"))?.to_string();
+    // An optional integer timestamp may follow; anything further is junk.
+    if let Some(timestamp) = tokens.next() {
+        if timestamp.parse::<i64>().is_err() {
+            return Err(format!("sample {name:?} has a malformed timestamp {timestamp:?}"));
+        }
+    }
+    if tokens.next().is_some() {
+        return Err(format!("sample {name:?} has trailing tokens"));
+    }
+    let value = parse_value(&raw_value)
+        .ok_or_else(|| format!("sample {name:?} has a malformed value {raw_value:?}"))?;
+    Ok(Sample { name: name.to_string(), labels, value, raw_value })
+}
+
+/// Splits the leading metric name off a sample line.
+fn split_name(line: &str) -> Result<(&str, &str), String> {
+    let end = line
+        .char_indices()
+        .find(|&(_, c)| !(c.is_ascii_alphanumeric() || c == '_' || c == ':'))
+        .map_or(line.len(), |(i, _)| i);
+    let (name, rest) = line.split_at(end);
+    if !valid_name(name) {
+        return Err(format!("invalid metric name at {line:?}"));
+    }
+    Ok((name, rest))
+}
+
+/// Label pairs as parsed from one sample line.
+type LabelPairs = Vec<(String, String)>;
+
+/// Parses `key="value",…}` (the opening brace already consumed), returning
+/// the pairs and the text after the closing brace.
+fn parse_labels(mut rest: &str) -> Result<(LabelPairs, &str), String> {
+    let mut labels = Vec::new();
+    loop {
+        rest = rest.trim_start_matches(',');
+        if let Some(after) = rest.strip_prefix('}') {
+            return Ok((labels, after));
+        }
+        let eq = rest.find('=').ok_or("label without '='")?;
+        let key = &rest[..eq];
+        if !valid_name(key) {
+            return Err(format!("invalid label name {key:?}"));
+        }
+        rest = rest[eq + 1..].strip_prefix('"').ok_or("label value must be quoted")?;
+        let (value, after) = parse_quoted(rest)?;
+        labels.push((key.to_string(), value));
+        rest = after;
+        if !rest.starts_with(',') && !rest.starts_with('}') {
+            return Err(format!("expected ',' or '}}' after a label value, got {rest:?}"));
+        }
+    }
+}
+
+/// Parses the body of a quoted label value (opening quote consumed),
+/// unescaping `\\`, `\"` and `\n`; returns the value and the remainder
+/// after the closing quote.
+fn parse_quoted(rest: &str) -> Result<(String, &str), String> {
+    let mut value = String::new();
+    let mut chars = rest.char_indices();
+    while let Some((index, c)) = chars.next() {
+        match c {
+            '"' => return Ok((value, &rest[index + 1..])),
+            '\\' => match chars.next() {
+                Some((_, '\\')) => value.push('\\'),
+                Some((_, '"')) => value.push('"'),
+                Some((_, 'n')) => value.push('\n'),
+                other => return Err(format!("bad escape {other:?} in label value")),
+            },
+            c => value.push(c),
+        }
+    }
+    Err("unterminated label value".to_string())
+}
+
+fn parse_value(token: &str) -> Option<f64> {
+    match token {
+        "+Inf" => Some(f64::INFINITY),
+        "-Inf" => Some(f64::NEG_INFINITY),
+        "NaN" => Some(f64::NAN),
+        other => other.parse().ok(),
+    }
+}
+
+fn valid_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    chars.next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':')
+        && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MetricsRegistry;
+
+    #[test]
+    fn rendered_text_round_trips_through_the_parser() {
+        // The golden-render counterpart: every sample the registry renders
+        // must be recovered, values bit-exact through the raw token.
+        let registry = MetricsRegistry::new();
+        registry.counter("a_total", "A.", &[("stream", "s1"), ("op", "feed")]).add(12345);
+        registry.gauge("g", "G.", &[("stream", "s\"2\\x\ny")]).set(-7);
+        let h = registry.histogram("lat_nanos", "L.", &[]);
+        h.record(5);
+        h.record(1 << 30);
+        let text = registry.render();
+        let samples = parse_exposition(&text).expect("rendered text must parse");
+
+        let a = find(&samples, "a_total", &[("stream", "s1")]).expect("a_total");
+        assert_eq!(a.value_u64(), Some(12345));
+        assert_eq!(a.label("op"), Some("feed"));
+
+        let g = find(&samples, "g", &[]).expect("g");
+        assert_eq!(g.label("stream"), Some("s\"2\\x\ny"), "escapes must round-trip");
+        assert_eq!(g.raw_value, "-7");
+
+        let count = find(&samples, "lat_nanos_count", &[]).expect("count");
+        assert_eq!(count.value_u64(), Some(2));
+        let inf = find(&samples, "lat_nanos_bucket", &[("le", "+Inf")]).expect("+Inf bucket");
+        assert_eq!(inf.value_u64(), Some(2));
+        let sum = find(&samples, "lat_nanos_sum", &[]).expect("sum");
+        assert_eq!(sum.value_u64(), Some(5 + (1u64 << 30)));
+        // Cumulative buckets are monotone.
+        let mut last = 0;
+        for sample in samples.iter().filter(|s| s.name == "lat_nanos_bucket") {
+            let v = sample.value_u64().expect("bucket counts are integers");
+            assert!(v >= last, "bucket counts must be cumulative");
+            last = v;
+        }
+    }
+
+    #[test]
+    fn tolerated_extensions_parse() {
+        let text = "# arbitrary comment\n\
+                    # TYPE s summary\n\
+                    x_total 5 1700000000000\n\
+                    y{a=\"1\",} +Inf\n";
+        let samples = parse_exposition(text).expect("tolerant cases must parse");
+        assert_eq!(samples.len(), 2);
+        assert_eq!(samples[0].value_u64(), Some(5));
+        assert!(samples[1].value.is_infinite());
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected_with_line_numbers() {
+        for (text, line) in [
+            ("ok_total 1\n9bad 2\n", 2),
+            ("x_total\n", 1),
+            ("x_total nope\n", 1),
+            ("x{k=\"v} 1\n", 1),
+            ("x{k=v\"} 1\n", 1),
+            ("x{k=\"a\\q\"} 1\n", 1),
+            ("x_total 1 2 3\n", 1),
+            ("# TYPE x wibble\n", 1),
+            ("# HELP 9x text\n", 1),
+            ("x{k=\"v\"extra} 1\n", 1),
+        ] {
+            let err = parse_exposition(text).expect_err(text);
+            assert_eq!(err.line, line, "wrong line for {text:?}: {err}");
+            // Display is exercised for coverage of the error path.
+            assert!(err.to_string().contains("exposition line"));
+        }
+    }
+}

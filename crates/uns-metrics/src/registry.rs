@@ -1,0 +1,355 @@
+//! Named, labeled metric families rendered as Prometheus text exposition.
+
+use crate::{Counter, Gauge, LatencyHistogram};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex};
+
+/// What a metric family measures, deciding its exposition `# TYPE`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonically increasing totals ([`Counter`]).
+    Counter,
+    /// Instantaneous readings ([`Gauge`]).
+    Gauge,
+    /// Log-scale latency distributions ([`LatencyHistogram`]).
+    Histogram,
+}
+
+impl MetricKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+/// The handle stored per series; instrumented code holds the same `Arc`.
+enum Primitive {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<LatencyHistogram>),
+}
+
+struct Series {
+    /// Label pairs sorted by key (the canonical order they render in).
+    labels: Vec<(String, String)>,
+    primitive: Primitive,
+}
+
+struct Family {
+    help: &'static str,
+    kind: MetricKind,
+    /// Keyed by the canonical rendered label block, so iteration (and the
+    /// rendered exposition) is deterministic.
+    series: BTreeMap<String, Series>,
+}
+
+/// A registry of metric families, each a set of labeled series.
+///
+/// Registration (`counter`/`gauge`/`histogram`) locks the registry, pays
+/// the allocations, and returns an [`Arc`] handle; registering the same
+/// `(name, labels)` again returns the **existing** handle, so re-creating
+/// a stream re-binds to its series instead of forking it. The hot path
+/// never touches the registry — it bumps the handles.
+///
+/// [`MetricsRegistry::render`] produces Prometheus text exposition format
+/// 0.0.4: families in name order with `# HELP`/`# TYPE` headers, series in
+/// canonical label order, label values escaped, histograms as cumulative
+/// `_bucket{le=…}` series plus `_sum`/`_count` derived from one consistent
+/// bucket read.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    families: Mutex<BTreeMap<&'static str, Family>>,
+}
+
+impl std::fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let families = self.families.lock().expect("metrics registry lock poisoned");
+        f.debug_struct("MetricsRegistry").field("families", &families.len()).finish()
+    }
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or re-binds to) a counter series.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered with a different kind — two
+    /// call sites disagreeing about what a family measures is a bug worth
+    /// failing loudly on, not a runtime condition.
+    pub fn counter(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        labels: &[(&str, &str)],
+    ) -> Arc<Counter> {
+        let primitive = self.register(name, help, MetricKind::Counter, labels, || {
+            Primitive::Counter(Arc::new(Counter::new()))
+        });
+        match primitive {
+            Primitive::Counter(c) => c,
+            _ => unreachable!("kind checked by register"),
+        }
+    }
+
+    /// Registers (or re-binds to) a gauge series. Panics like
+    /// [`MetricsRegistry::counter`] on a kind mismatch.
+    pub fn gauge(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        labels: &[(&str, &str)],
+    ) -> Arc<Gauge> {
+        let primitive = self.register(name, help, MetricKind::Gauge, labels, || {
+            Primitive::Gauge(Arc::new(Gauge::new()))
+        });
+        match primitive {
+            Primitive::Gauge(g) => g,
+            _ => unreachable!("kind checked by register"),
+        }
+    }
+
+    /// Registers (or re-binds to) a latency histogram series. Panics like
+    /// [`MetricsRegistry::counter`] on a kind mismatch.
+    pub fn histogram(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        labels: &[(&str, &str)],
+    ) -> Arc<LatencyHistogram> {
+        let primitive = self.register(name, help, MetricKind::Histogram, labels, || {
+            Primitive::Histogram(Arc::new(LatencyHistogram::new()))
+        });
+        match primitive {
+            Primitive::Histogram(h) => h,
+            _ => unreachable!("kind checked by register"),
+        }
+    }
+
+    fn register(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        kind: MetricKind,
+        labels: &[(&str, &str)],
+        make: impl FnOnce() -> Primitive,
+    ) -> Primitive {
+        debug_assert!(valid_metric_name(name), "invalid metric name {name:?}");
+        let mut sorted: Vec<(String, String)> =
+            labels.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect();
+        sorted.sort();
+        let key = label_block(&sorted);
+        let mut families = self.families.lock().expect("metrics registry lock poisoned");
+        let family =
+            families.entry(name).or_insert_with(|| Family { help, kind, series: BTreeMap::new() });
+        assert!(
+            family.kind == kind,
+            "metric {name:?} registered as {} and {}",
+            family.kind.as_str(),
+            kind.as_str()
+        );
+        let series = family
+            .series
+            .entry(key)
+            .or_insert_with(|| Series { labels: sorted, primitive: make() });
+        match &series.primitive {
+            Primitive::Counter(c) => Primitive::Counter(Arc::clone(c)),
+            Primitive::Gauge(g) => Primitive::Gauge(Arc::clone(g)),
+            Primitive::Histogram(h) => Primitive::Histogram(Arc::clone(h)),
+        }
+    }
+
+    /// Drops every series carrying the label `key="value"` (e.g. all of a
+    /// torn-down stream's series). Handles still held keep working; they
+    /// are just no longer rendered.
+    pub fn remove_labeled(&self, key: &str, value: &str) {
+        let mut families = self.families.lock().expect("metrics registry lock poisoned");
+        for family in families.values_mut() {
+            family.series.retain(|_, s| !s.labels.iter().any(|(k, v)| k == key && v == value));
+        }
+    }
+
+    /// Renders the exposition text into `out` (cleared first).
+    pub fn render_into(&self, out: &mut String) {
+        out.clear();
+        let families = self.families.lock().expect("metrics registry lock poisoned");
+        for (name, family) in families.iter() {
+            if family.series.is_empty() {
+                continue;
+            }
+            let _ = writeln!(out, "# HELP {name} {}", escape_help(family.help));
+            let _ = writeln!(out, "# TYPE {name} {}", family.kind.as_str());
+            for series in family.series.values() {
+                render_series(out, name, series);
+            }
+        }
+    }
+
+    /// Renders the exposition text as a fresh string.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+}
+
+fn render_series(out: &mut String, name: &str, series: &Series) {
+    let block = label_block(&series.labels);
+    match &series.primitive {
+        Primitive::Counter(c) => {
+            let _ = writeln!(out, "{name}{} {}", braced(&block), c.get());
+        }
+        Primitive::Gauge(g) => {
+            let _ = writeln!(out, "{name}{} {}", braced(&block), g.get());
+        }
+        Primitive::Histogram(h) => {
+            let (counts, sum) = h.snapshot();
+            let mut cumulative = 0u64;
+            for (index, count) in counts.iter().enumerate() {
+                cumulative += count;
+                let le = LatencyHistogram::bucket_bound(index);
+                let with_le = if block.is_empty() {
+                    format!("le=\"{le}\"")
+                } else {
+                    format!("{block},le=\"{le}\"")
+                };
+                let _ = writeln!(out, "{name}_bucket{{{with_le}}} {cumulative}");
+            }
+            let _ = writeln!(out, "{name}_sum{} {sum}", braced(&block));
+            let _ = writeln!(out, "{name}_count{} {cumulative}", braced(&block));
+        }
+    }
+}
+
+/// The canonical label block (no braces): `k1="v1",k2="v2"`, values escaped.
+fn label_block(labels: &[(String, String)]) -> String {
+    let mut block = String::new();
+    for (index, (key, value)) in labels.iter().enumerate() {
+        if index > 0 {
+            block.push(',');
+        }
+        let _ = write!(block, "{key}=\"{}\"", escape_label_value(value));
+    }
+    block
+}
+
+/// Wraps a non-empty label block in braces; an empty block renders as
+/// nothing (`name 42`, not `name{} 42`).
+fn braced(block: &str) -> String {
+    if block.is_empty() {
+        String::new()
+    } else {
+        format!("{{{block}}}")
+    }
+}
+
+fn escape_help(help: &str) -> String {
+    help.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+fn escape_label_value(value: &str) -> String {
+    value.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
+fn valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    chars.next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':')
+        && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn golden_render_is_byte_exact() {
+        // Families render in name order, series in canonical label order,
+        // HELP/TYPE once per family, escaping per the 0.0.4 format spec.
+        let registry = MetricsRegistry::new();
+        let b = registry.counter("b_total", "Second family.", &[]);
+        b.add(7);
+        // Registered out of label order on purpose: the render sorts.
+        let a2 =
+            registry.counter("a_total", "First family.", &[("stream", "zeta"), ("op", "feed")]);
+        let a1 =
+            registry.counter("a_total", "First family.", &[("op", "ingest"), ("stream", "alpha")]);
+        a1.add(1);
+        a2.add(2);
+        let g = registry.gauge("depth", "A gauge.", &[("worker", "0")]);
+        g.set(-5);
+        let evil = registry.counter("esc_total", "Escapes.", &[("k", "a\\b\"c\nd")]);
+        evil.inc();
+        let expected = "# HELP a_total First family.\n\
+                        # TYPE a_total counter\n\
+                        a_total{op=\"feed\",stream=\"zeta\"} 2\n\
+                        a_total{op=\"ingest\",stream=\"alpha\"} 1\n\
+                        # HELP b_total Second family.\n\
+                        # TYPE b_total counter\n\
+                        b_total 7\n\
+                        # HELP depth A gauge.\n\
+                        # TYPE depth gauge\n\
+                        depth{worker=\"0\"} -5\n\
+                        # HELP esc_total Escapes.\n\
+                        # TYPE esc_total counter\n\
+                        esc_total{k=\"a\\\\b\\\"c\\nd\"} 1\n";
+        assert_eq!(registry.render(), expected);
+    }
+
+    #[test]
+    fn histogram_renders_cumulative_buckets_sum_and_count() {
+        let registry = MetricsRegistry::new();
+        let h = registry.histogram("lat_nanos", "Latency.", &[("op", "feed")]);
+        h.record(1);
+        h.record(3); // le 4
+        h.record(3);
+        let text = registry.render();
+        assert!(text.contains("# TYPE lat_nanos histogram\n"));
+        assert!(text.contains("lat_nanos_bucket{op=\"feed\",le=\"1\"} 1\n"));
+        assert!(text.contains("lat_nanos_bucket{op=\"feed\",le=\"2\"} 1\n"));
+        assert!(text.contains("lat_nanos_bucket{op=\"feed\",le=\"4\"} 3\n"));
+        assert!(text.contains("lat_nanos_bucket{op=\"feed\",le=\"+Inf\"} 3\n"));
+        assert!(text.contains("lat_nanos_sum{op=\"feed\"} 7\n"));
+        assert!(text.contains("lat_nanos_count{op=\"feed\"} 3\n"));
+    }
+
+    #[test]
+    fn reregistering_returns_the_same_handle() {
+        let registry = MetricsRegistry::new();
+        let first = registry.counter("x_total", "X.", &[("stream", "s")]);
+        first.add(5);
+        let second = registry.counter("x_total", "X.", &[("stream", "s")]);
+        assert_eq!(second.get(), 5, "same (name, labels) must alias the same series");
+        second.inc();
+        assert_eq!(first.get(), 6);
+    }
+
+    #[test]
+    fn remove_labeled_drops_only_matching_series() {
+        let registry = MetricsRegistry::new();
+        registry.counter("x_total", "X.", &[("stream", "keep")]).inc();
+        registry.counter("x_total", "X.", &[("stream", "drop")]).inc();
+        registry.gauge("y", "Y.", &[("stream", "drop")]).set(1);
+        registry.remove_labeled("stream", "drop");
+        let text = registry.render();
+        assert!(text.contains("x_total{stream=\"keep\"} 1\n"));
+        assert!(!text.contains("drop"));
+        // The y family is now empty and renders nothing, not a bare header.
+        assert!(!text.contains("# TYPE y gauge"));
+    }
+
+    #[test]
+    #[should_panic(expected = "registered as counter and gauge")]
+    fn kind_mismatch_panics() {
+        let registry = MetricsRegistry::new();
+        registry.counter("clash", "A.", &[]);
+        registry.gauge("clash", "A.", &[]);
+    }
+}

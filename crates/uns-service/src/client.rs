@@ -174,6 +174,22 @@ impl<T: Transport> ServiceClient<T> {
         self.expect_ok()
     }
 
+    /// Scrapes the server's full Prometheus text exposition over the wire
+    /// protocol (the same text `GET /metrics` serves). Server-wide, not
+    /// per-stream; answered on the connection thread without touching any
+    /// worker queue, so it can never see `Busy`.
+    ///
+    /// # Errors
+    ///
+    /// Transport/protocol failures.
+    pub fn metrics(&mut self) -> Result<String, ServiceError> {
+        Request::Metrics.encode(&mut self.send_buf);
+        match self.round_trip()? {
+            Response::Metrics(text) => Ok(text),
+            other => Err(ServiceError::Protocol(format!("unexpected response {other:?}"))),
+        }
+    }
+
     /// Reads the stream's traffic counters.
     ///
     /// # Errors

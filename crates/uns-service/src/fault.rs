@@ -36,8 +36,9 @@ use crate::storage::{StorageBackend, WalStore};
 use crate::transport::Transport;
 use std::io::{self, Read, Write};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Duration;
+use uns_metrics::{TraceKind, TraceLog};
 
 /// Per-mille fault rates (0 = never, 1000 = always) plus fixed fault
 /// parameters. Rates are per *draw*, i.e. per operation reaching the site.
@@ -110,6 +111,10 @@ pub struct FaultPlan {
     wal_sync_draws: AtomicU64,
     reply_draws: AtomicU64,
     worker_draws: AtomicU64,
+    /// Optional trace sink: when a server binds its [`TraceLog`], every
+    /// fault that actually fires leaves a structured event, so a failing
+    /// seeded run can be read back as "what did the plan do, in order".
+    trace: OnceLock<(Arc<TraceLog>, Arc<str>)>,
 }
 
 impl FaultPlan {
@@ -123,12 +128,26 @@ impl FaultPlan {
             wal_sync_draws: AtomicU64::new(0),
             reply_draws: AtomicU64::new(0),
             worker_draws: AtomicU64::new(0),
+            trace: OnceLock::new(),
         })
     }
 
     /// The spec this plan draws from.
     pub fn spec(&self) -> FaultSpec {
         self.spec
+    }
+
+    /// Binds a trace log; from now on every *fired* fault (not every
+    /// draw) pushes a `Fault*` event. First bind wins; later binds are
+    /// ignored — a plan outlives at most one server.
+    pub fn bind_trace(&self, trace: Arc<TraceLog>) {
+        let _ = self.trace.set((trace, Arc::from("")));
+    }
+
+    fn record(&self, kind: TraceKind, a: u64, b: u64) {
+        if let Some((trace, stream)) = self.trace.get() {
+            trace.push(kind, stream, a, b);
+        }
     }
 
     /// Hash for this site's next draw (also consumed by secondary
@@ -157,13 +176,21 @@ impl FaultPlan {
             return None;
         }
         let hash = self.draw(FaultSite::WalAppend);
-        Self::hit(hash, self.spec.torn_write_per_mille)
-            .then(|| ((hash >> 10) % len as u64) as usize)
+        let torn = Self::hit(hash, self.spec.torn_write_per_mille)
+            .then(|| ((hash >> 10) % len as u64) as usize);
+        if let Some(prefix) = torn {
+            self.record(TraceKind::FaultTornWrite, prefix as u64, len as u64);
+        }
+        torn
     }
 
     /// Whether this fsync fails.
     pub fn sync_fails(&self) -> bool {
-        Self::hit(self.draw(FaultSite::WalSync), self.spec.sync_fail_per_mille)
+        let fails = Self::hit(self.draw(FaultSite::WalSync), self.spec.sync_fail_per_mille);
+        if fails {
+            self.record(TraceKind::FaultFsyncFailed, 0, 0);
+        }
+        fails
     }
 
     /// Fate of the next complete reply frame.
@@ -174,8 +201,11 @@ impl FaultPlan {
         let drop = u64::from(self.spec.drop_reply_per_mille.min(1000));
         let delay = u64::from(self.spec.delay_reply_per_mille.min(1000));
         if roll < drop {
+            self.record(TraceKind::FaultReplyDropped, 0, 0);
             ReplyAction::Drop
         } else if roll < drop + delay {
+            let ms = self.spec.reply_delay.as_millis().min(u128::from(u64::MAX)) as u64;
+            self.record(TraceKind::FaultReplyDelayed, ms, 0);
             ReplyAction::Delay(self.spec.reply_delay)
         } else {
             ReplyAction::Deliver
@@ -185,7 +215,11 @@ impl FaultPlan {
     /// Whether the next mutating worker op panics (drawn by the server
     /// before the WAL append, so a panicked op is never logged or acked).
     pub fn worker_panics(&self) -> bool {
-        Self::hit(self.draw(FaultSite::WorkerOp), self.spec.worker_panic_per_mille)
+        let panics = Self::hit(self.draw(FaultSite::WorkerOp), self.spec.worker_panic_per_mille);
+        if panics {
+            self.record(TraceKind::FaultPanic, 0, 0);
+        }
+        panics
     }
 }
 

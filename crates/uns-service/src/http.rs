@@ -1,0 +1,186 @@
+//! Minimal HTTP/1.1 admin surface for metrics scraping.
+//!
+//! Prometheus and curl speak HTTP, not our framed wire protocol, so the
+//! server exposes a second, read-only listener that serves exactly three
+//! plain-text routes:
+//!
+//! * `GET /metrics` — the Prometheus text exposition rendered by
+//!   [`crate::metrics::ServiceMetrics::render`];
+//! * `GET /trace`   — the recent structured trace events, one per line;
+//! * `GET /healthz` — `ok`, for liveness probes.
+//!
+//! This is deliberately *not* an HTTP server: no keep-alive, no chunked
+//! encoding, no TLS, no request bodies. One request per connection,
+//! `Connection: close` on every response, header section capped at 8 KiB.
+//! That subset is all a scraper needs, it is ~150 lines of std, and it
+//! keeps the admin port incapable of mutating anything.
+
+use crate::metrics::ServiceMetrics;
+use std::io::{self, Read, Write};
+
+/// Upper bound on the request head (request line + headers). A scrape
+/// request is well under 1 KiB; anything larger is garbage or abuse.
+const MAX_HEAD_BYTES: usize = 8 * 1024;
+
+/// Serves exactly one HTTP request from `conn` and returns. Malformed
+/// input gets a `400`, unknown paths a `404`, non-GET methods a `405`;
+/// only I/O errors propagate.
+pub fn serve_http_once<T: Read + Write>(conn: &mut T, metrics: &ServiceMetrics) -> io::Result<()> {
+    let head = match read_head(conn) {
+        Ok(Some(head)) => head,
+        // EOF before a complete head: the peer gave up; nothing to say.
+        Ok(None) => return Ok(()),
+        Err(err) if err.kind() == io::ErrorKind::InvalidData => {
+            return respond(conn, "400 Bad Request", "text/plain; charset=utf-8", "bad request\n");
+        }
+        Err(err) => return Err(err),
+    };
+    let request_line = head.lines().next().unwrap_or("");
+    let mut parts = request_line.split(' ');
+    let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+    if method != "GET" {
+        return respond(
+            conn,
+            "405 Method Not Allowed",
+            "text/plain; charset=utf-8",
+            "method not allowed\n",
+        );
+    }
+    // Ignore any query string: `/metrics?ts=...` still scrapes.
+    let path = path.split('?').next().unwrap_or(path);
+    match path {
+        "/metrics" => {
+            respond(conn, "200 OK", "text/plain; version=0.0.4; charset=utf-8", &metrics.render())
+        }
+        "/trace" => respond(conn, "200 OK", "text/plain; charset=utf-8", &metrics.trace().render()),
+        "/healthz" => respond(conn, "200 OK", "text/plain; charset=utf-8", "ok\n"),
+        _ => respond(conn, "404 Not Found", "text/plain; charset=utf-8", "not found\n"),
+    }
+}
+
+/// Reads until the blank line ending the header section. `Ok(None)` on
+/// clean EOF before any bytes; `InvalidData` when the head exceeds
+/// [`MAX_HEAD_BYTES`] or is not UTF-8.
+fn read_head<T: Read>(conn: &mut T) -> io::Result<Option<String>> {
+    let mut head = Vec::new();
+    let mut byte = [0u8; 1];
+    loop {
+        match conn.read(&mut byte) {
+            Ok(0) => {
+                return if head.is_empty() {
+                    Ok(None)
+                } else {
+                    Err(io::Error::new(io::ErrorKind::InvalidData, "truncated request head"))
+                };
+            }
+            Ok(_) => head.push(byte[0]),
+            Err(err) if err.kind() == io::ErrorKind::Interrupted => continue,
+            Err(err) => return Err(err),
+        }
+        if head.ends_with(b"\r\n\r\n") {
+            break;
+        }
+        if head.len() > MAX_HEAD_BYTES {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "request head too large"));
+        }
+    }
+    String::from_utf8(head)
+        .map(Some)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "request head not utf-8"))
+}
+
+fn respond<T: Write>(conn: &mut T, status: &str, content_type: &str, body: &str) -> io::Result<()> {
+    let header = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    conn.write_all(header.as_bytes())?;
+    conn.write_all(body.as_bytes())?;
+    conn.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// An in-memory duplex: requests go in via `request`, responses come
+    /// out of `written`.
+    struct MemConn {
+        request: io::Cursor<Vec<u8>>,
+        written: Vec<u8>,
+    }
+
+    impl MemConn {
+        fn new(request: &[u8]) -> Self {
+            Self { request: io::Cursor::new(request.to_vec()), written: Vec::new() }
+        }
+
+        fn response(&self) -> String {
+            String::from_utf8(self.written.clone()).expect("response is utf-8")
+        }
+    }
+
+    impl Read for MemConn {
+        fn read(&mut self, out: &mut [u8]) -> io::Result<usize> {
+            self.request.read(out)
+        }
+    }
+
+    impl Write for MemConn {
+        fn write(&mut self, data: &[u8]) -> io::Result<usize> {
+            self.written.extend_from_slice(data);
+            Ok(data.len())
+        }
+
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    fn serve(request: &[u8]) -> String {
+        let metrics = ServiceMetrics::new(2);
+        let mut conn = MemConn::new(request);
+        serve_http_once(&mut conn, &metrics).expect("serve");
+        conn.response()
+    }
+
+    #[test]
+    fn metrics_route_returns_exposition_with_prometheus_content_type() {
+        let response = serve(b"GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert!(response.starts_with("HTTP/1.1 200 OK\r\n"), "{response}");
+        assert!(response.contains("Content-Type: text/plain; version=0.0.4; charset=utf-8"));
+        assert!(response.contains("Connection: close"));
+        let body = response.split("\r\n\r\n").nth(1).expect("body");
+        assert!(body.contains("uns_server_workers 2"), "{body}");
+        // Content-Length matches the body exactly.
+        let length: usize = response
+            .lines()
+            .find_map(|l| l.strip_prefix("Content-Length: "))
+            .expect("content-length")
+            .parse()
+            .expect("numeric");
+        assert_eq!(length, body.len());
+    }
+
+    #[test]
+    fn query_strings_are_ignored_and_health_and_trace_respond() {
+        assert!(serve(b"GET /metrics?ts=1 HTTP/1.1\r\n\r\n").starts_with("HTTP/1.1 200"));
+        let health = serve(b"GET /healthz HTTP/1.1\r\n\r\n");
+        assert!(health.ends_with("ok\n"), "{health}");
+        assert!(serve(b"GET /trace HTTP/1.1\r\n\r\n").starts_with("HTTP/1.1 200"));
+    }
+
+    #[test]
+    fn errors_map_to_the_right_status_codes() {
+        assert!(serve(b"GET /nope HTTP/1.1\r\n\r\n").starts_with("HTTP/1.1 404"));
+        assert!(serve(b"POST /metrics HTTP/1.1\r\n\r\n").starts_with("HTTP/1.1 405"));
+        // Truncated head (EOF before the blank line) → 400.
+        assert!(serve(b"GET /metrics HTTP/1.1\r\n").starts_with("HTTP/1.1 400"));
+        // Oversized head → 400, not an unbounded read.
+        let mut huge = b"GET /metrics HTTP/1.1\r\n".to_vec();
+        huge.extend(std::iter::repeat_n(b'a', MAX_HEAD_BYTES + 1));
+        assert!(serve(&huge).starts_with("HTTP/1.1 400"));
+        // Clean EOF with zero bytes: no response at all.
+        assert!(serve(b"").is_empty());
+    }
+}

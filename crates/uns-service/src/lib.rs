@@ -37,7 +37,12 @@
 //! * [`client`] + [`loadgen`] + [`resilient`] — a blocking client, a load
 //!   generator that replays Zipf/uniform/adversarial workloads over N
 //!   concurrent connections and reports Melem/s, and a resilient client
-//!   wrapper with deadlines, capped backoff, and position resync.
+//!   wrapper with deadlines, capped backoff, and position resync;
+//! * [`metrics`] + [`http`] — live observability: per-op latency
+//!   histograms, per-stream throughput/WAL/floor-trajectory series, and a
+//!   recent-event trace ring, scrapeable via the read-only `Metrics`
+//!   opcode or a plain `GET /metrics` HTTP listener
+//!   ([`server::Server::serve_metrics_http`]).
 //!
 //! # Example
 //!
@@ -73,7 +78,9 @@
 pub mod client;
 pub mod error;
 pub mod fault;
+pub mod http;
 pub mod loadgen;
+pub mod metrics;
 pub mod protocol;
 pub mod resilient;
 pub mod sampler;
@@ -88,6 +95,7 @@ pub use client::{FeedAck, IngestAck, ServiceClient};
 pub use error::ServiceError;
 pub use fault::{FaultPlan, FaultSpec};
 pub use loadgen::{LoadgenConfig, LoadgenReport, LoadgenRetry, Workload};
+pub use metrics::{export_stream_stats, ServiceMetrics, FLOOR_WINDOW_BATCHES};
 pub use protocol::{EstimatorKind, HashFamilyKind, StreamConfig, StreamStats};
 pub use resilient::{Delivery, ResilientClient, RetryPolicy, RetryStats};
 pub use sampler::ServiceSampler;

@@ -1,0 +1,365 @@
+//! The service's live metrics surface: one [`MetricsRegistry`] + ring
+//! [`TraceLog`] per server, with per-stream series handles threaded into
+//! the worker loop and WAL.
+//!
+//! Two invariants the tests pin:
+//!
+//! * **Stats/Metrics agreement** — every counter the wire `Stats` opcode
+//!   reports is backed by the *same* number the exposition renders: either
+//!   literally the same atomic (busy rejections) or bumped at the same
+//!   single-writer site as the worker-owned total it mirrors. After
+//!   quiescence the two surfaces agree bit for bit.
+//! * **Allocation-free hot path** — per-batch instrumentation is relaxed
+//!   atomic adds plus two `Instant` reads; registration (the only
+//!   allocating step) happens once at stream create/restore/recover.
+
+use crate::protocol::StreamStats;
+use crate::wal::{DurabilityStats, WalMetrics};
+use std::sync::Arc;
+use std::time::Duration;
+use uns_metrics::{Counter, Gauge, LatencyHistogram, MetricsRegistry, TraceKind, TraceLog};
+use uns_sim::{PipelineSeries, PipelineStats};
+
+/// Exposition family name for per-stream busy rejections.
+pub const METRIC_STREAM_BUSY: &str = "uns_stream_busy_rejections_total";
+/// Exposition family name for per-stream lifetime WAL bytes.
+pub const METRIC_STREAM_WAL_BYTES: &str = "uns_stream_wal_bytes_total";
+/// Exposition family name for per-stream lifetime WAL records.
+pub const METRIC_STREAM_WAL_RECORDS: &str = "uns_stream_wal_records_total";
+/// Exposition family name for per-stream checkpoint compactions.
+pub const METRIC_STREAM_COMPACTIONS: &str = "uns_stream_wal_compactions_total";
+/// Exposition family name for per-stream lifetime recoveries.
+pub const METRIC_STREAM_RECOVERIES: &str = "uns_stream_recoveries_total";
+/// Exposition family name for the last published floor estimate.
+pub const METRIC_STREAM_FLOOR: &str = "uns_stream_floor";
+/// Exposition family name for the floor-trajectory window minimum.
+pub const METRIC_STREAM_FLOOR_WINDOW_MIN: &str = "uns_stream_floor_window_min";
+
+/// Batches per floor-trajectory window: the window-min gauge and its
+/// [`TraceKind::FloorSample`] event update once per this many mutating
+/// batches, so the trajectory survives in the trace ring without putting a
+/// trace push on every batch.
+pub const FLOOR_WINDOW_BATCHES: u32 = 16;
+
+/// Trace ring capacity: enough for the control-plane history of a long run
+/// (floor samples are one per [`FLOOR_WINDOW_BATCHES`] batches per stream).
+const TRACE_CAPACITY: usize = 1024;
+
+/// Wire-op labels for the per-op latency histogram, indexed by
+/// [`op_label_index`]'s return value.
+const OP_LABELS: [&str; 8] =
+    ["create", "restore", "ingest", "feed", "sample", "floor", "snapshot", "stats"];
+
+const HELP_BUSY: &str = "Batches rejected with Busy because the stream's queue was full.";
+const HELP_WAL_BYTES: &str = "Lifetime bytes appended to the stream's write-ahead log.";
+const HELP_WAL_RECORDS: &str = "Lifetime records appended to the stream's write-ahead log.";
+const HELP_COMPACTIONS: &str = "Checkpoint compactions (snapshot persisted, log reset).";
+const HELP_RECOVERIES: &str = "Times the stream was rebuilt from durable state.";
+const HELP_FLOOR: &str = "Most recently observed sampler floor estimate.";
+const HELP_FLOOR_WINDOW_MIN: &str =
+    "Minimum floor estimate over the last floor-trajectory window of batches.";
+
+/// Per-server metrics state: the registry, the trace ring, and the handles
+/// global instrumentation sites hold (queue depths, op latency, WAL
+/// timing). Created once in `Server::start*` and shared by every worker
+/// and connection thread.
+#[derive(Debug)]
+pub struct ServiceMetrics {
+    registry: Arc<MetricsRegistry>,
+    trace: Arc<TraceLog>,
+    /// `uns_worker_queue_depth{worker="i"}`; approximate under concurrency
+    /// (the enqueue increment races the worker's decrement), never off by
+    /// more than in-flight jobs.
+    pub(crate) queue_depth: Vec<Arc<Gauge>>,
+    op_latency: [Arc<LatencyHistogram>; OP_LABELS.len()],
+    pub(crate) wal_append: Arc<LatencyHistogram>,
+    pub(crate) wal_fsync: Arc<LatencyHistogram>,
+    /// Shared empty stream name for process-wide trace events.
+    no_stream: Arc<str>,
+}
+
+impl ServiceMetrics {
+    /// A fresh registry + trace ring for a server with `workers` workers.
+    pub fn new(workers: usize) -> Self {
+        Self::with_trace_seq_base(workers, 0)
+    }
+
+    /// Like [`ServiceMetrics::new`] with a seeded trace sequence base, so
+    /// deterministic runs produce comparable event ids.
+    pub fn with_trace_seq_base(workers: usize, seq_base: u64) -> Self {
+        let registry = Arc::new(MetricsRegistry::new());
+        registry
+            .gauge("uns_server_workers", "Worker threads serving stream queues.", &[])
+            .set_u64(workers as u64);
+        let queue_depth = (0..workers)
+            .map(|index| {
+                registry.gauge(
+                    "uns_worker_queue_depth",
+                    "Jobs queued for the worker (approximate under concurrency).",
+                    &[("worker", &index.to_string())],
+                )
+            })
+            .collect();
+        let op_latency = std::array::from_fn(|index| {
+            registry.histogram(
+                "uns_op_latency_nanos",
+                "Worker-side latency of one request, by wire op.",
+                &[("op", OP_LABELS[index])],
+            )
+        });
+        let wal_append = registry.histogram(
+            "uns_wal_append_nanos",
+            "Latency of one WAL record append (excluding fsync).",
+            &[],
+        );
+        let wal_fsync = registry.histogram("uns_wal_fsync_nanos", "Latency of one WAL fsync.", &[]);
+        Self {
+            registry,
+            trace: Arc::new(TraceLog::with_seq_base(TRACE_CAPACITY, seq_base)),
+            queue_depth,
+            op_latency,
+            wal_append,
+            wal_fsync,
+            no_stream: Arc::from(""),
+        }
+    }
+
+    /// The registry behind the exposition surface.
+    pub fn registry(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
+    }
+
+    /// The structured trace ring.
+    pub fn trace(&self) -> &Arc<TraceLog> {
+        &self.trace
+    }
+
+    /// Renders the full exposition text.
+    pub fn render(&self) -> String {
+        self.registry.render()
+    }
+
+    /// Records one worker-side op latency (`op` from [`op_label_index`]).
+    #[inline]
+    pub(crate) fn record_op(&self, op: usize, elapsed: Duration) {
+        self.op_latency[op].record_duration(elapsed);
+    }
+
+    /// Records a process-wide trace event with no stream attached.
+    pub(crate) fn trace_global(&self, kind: TraceKind, a: u64, b: u64) {
+        self.trace.push(kind, &self.no_stream, a, b);
+    }
+
+    /// The busy-rejection counter for `stream` — registered from the
+    /// connection side because rejections happen before a worker is
+    /// involved; the `Stats` fold reads the same atomic.
+    pub(crate) fn stream_busy(&self, stream: &str) -> Arc<Counter> {
+        self.registry.counter(METRIC_STREAM_BUSY, HELP_BUSY, &[("stream", stream)])
+    }
+
+    /// Registers (or re-acquires) every per-stream series and returns the
+    /// handle bundle the owning worker holds.
+    pub(crate) fn stream(&self, stream: &str) -> StreamMetrics {
+        let labels = [("stream", stream)];
+        StreamMetrics {
+            name: Arc::from(stream),
+            trace: Arc::clone(&self.trace),
+            pipeline: PipelineSeries::register(&self.registry, stream),
+            floor: self.registry.gauge(METRIC_STREAM_FLOOR, HELP_FLOOR, &labels),
+            floor_window_min: self.registry.gauge(
+                METRIC_STREAM_FLOOR_WINDOW_MIN,
+                HELP_FLOOR_WINDOW_MIN,
+                &labels,
+            ),
+            wal_bytes: self.registry.counter(METRIC_STREAM_WAL_BYTES, HELP_WAL_BYTES, &labels),
+            wal_records: self.registry.counter(
+                METRIC_STREAM_WAL_RECORDS,
+                HELP_WAL_RECORDS,
+                &labels,
+            ),
+            compactions: self.registry.counter(
+                METRIC_STREAM_COMPACTIONS,
+                HELP_COMPACTIONS,
+                &labels,
+            ),
+            recoveries: self.registry.counter(METRIC_STREAM_RECOVERIES, HELP_RECOVERIES, &labels),
+            window_min: u64::MAX,
+            window_len: 0,
+        }
+    }
+
+    /// Drops every series labeled with this stream — torn-down streams
+    /// must not keep exporting stale numbers.
+    pub(crate) fn remove_stream(&self, stream: &str) {
+        self.registry.remove_labeled("stream", stream);
+    }
+}
+
+/// The per-stream metric handles a worker holds inside its stream state.
+/// Every update is a relaxed atomic op on a pre-registered series.
+#[derive(Debug)]
+pub(crate) struct StreamMetrics {
+    /// Shared stream name for trace events (no allocation per event).
+    pub name: Arc<str>,
+    trace: Arc<TraceLog>,
+    /// Pipeline accounting series (elements/admitted/outputs/batches/shards).
+    pub pipeline: PipelineSeries,
+    /// Last published floor estimate.
+    pub floor: Arc<Gauge>,
+    floor_window_min: Arc<Gauge>,
+    /// WAL byte total — also bumped by the WAL writer via [`WalMetrics`].
+    pub wal_bytes: Arc<Counter>,
+    /// WAL record total — also bumped by the WAL writer via [`WalMetrics`].
+    pub wal_records: Arc<Counter>,
+    /// Checkpoint compactions.
+    pub compactions: Arc<Counter>,
+    /// Lifetime recoveries.
+    pub recoveries: Arc<Counter>,
+    window_min: u64,
+    window_len: u32,
+}
+
+impl StreamMetrics {
+    /// Overwrites the pipeline series from a stats snapshot — install and
+    /// recovery paths, where the counters must resume persisted totals.
+    pub fn sync_pipeline(&self, stats: &PipelineStats) {
+        self.pipeline.set_to(stats);
+    }
+
+    /// Overwrites the durability series from a stats snapshot.
+    pub fn sync_durability(&self, stats: &DurabilityStats) {
+        self.wal_bytes.set(stats.wal_bytes);
+        self.wal_records.set(stats.wal_records);
+        self.compactions.set(stats.snapshot_compactions);
+        self.recoveries.set(stats.recoveries);
+    }
+
+    /// The handle bundle the stream's WAL writer bumps on its own append
+    /// and fsync path.
+    pub fn wal_metrics(&self, service: &ServiceMetrics) -> WalMetrics {
+        WalMetrics {
+            append_nanos: Arc::clone(&service.wal_append),
+            fsync_nanos: Arc::clone(&service.wal_fsync),
+            bytes: Arc::clone(&self.wal_bytes),
+            records: Arc::clone(&self.wal_records),
+        }
+    }
+
+    /// Records one floor observation after a mutating batch: updates the
+    /// floor gauge every time and, once per [`FLOOR_WINDOW_BATCHES`],
+    /// publishes the window minimum to the gauge and the trace ring.
+    /// `position` is the stream position in elements.
+    #[inline]
+    pub fn observe_floor(&mut self, position: u64, floor: u64) {
+        self.floor.set_u64(floor);
+        self.window_min = self.window_min.min(floor);
+        self.window_len += 1;
+        if self.window_len >= FLOOR_WINDOW_BATCHES {
+            self.floor_window_min.set_u64(self.window_min);
+            self.trace.push(TraceKind::FloorSample, &self.name, position, self.window_min);
+            self.window_min = u64::MAX;
+            self.window_len = 0;
+        }
+    }
+
+    /// Records a trace event for this stream.
+    pub fn event(&self, kind: TraceKind, a: u64, b: u64) {
+        self.trace.push(kind, &self.name, a, b);
+    }
+}
+
+/// Maps a wire op to its `uns_op_latency_nanos` label index; `None` for
+/// ops outside the public wire surface (test-only panics).
+#[inline]
+pub(crate) fn op_label_index(label: &str) -> Option<usize> {
+    OP_LABELS.iter().position(|&l| l == label)
+}
+
+/// Exports a point-in-time [`StreamStats`] snapshot (as decoded from the
+/// wire `Stats` opcode) into `registry` under `stream="…"` labels, using
+/// the same family names as the live service — so a dump of a client-side
+/// snapshot is directly diffable against a `/metrics` scrape.
+pub fn export_stream_stats(registry: &MetricsRegistry, stream: &str, stats: &StreamStats) {
+    stats.pipeline.export_into(registry, stream);
+    let labels = [("stream", stream)];
+    registry.counter(METRIC_STREAM_BUSY, HELP_BUSY, &labels).set(stats.busy_rejections);
+    registry
+        .counter(METRIC_STREAM_WAL_BYTES, HELP_WAL_BYTES, &labels)
+        .set(stats.durability.wal_bytes);
+    registry
+        .counter(METRIC_STREAM_WAL_RECORDS, HELP_WAL_RECORDS, &labels)
+        .set(stats.durability.wal_records);
+    registry
+        .counter(METRIC_STREAM_COMPACTIONS, HELP_COMPACTIONS, &labels)
+        .set(stats.durability.snapshot_compactions);
+    registry
+        .counter(METRIC_STREAM_RECOVERIES, HELP_RECOVERIES, &labels)
+        .set(stats.durability.recoveries);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uns_metrics::parse::{find, parse_exposition};
+
+    #[test]
+    fn export_stream_stats_covers_every_wire_field() {
+        let registry = MetricsRegistry::new();
+        let stats = StreamStats {
+            pipeline: PipelineStats { elements: 10, shards: 2, chunks: 4, admitted: 6, outputs: 8 },
+            busy_rejections: 3,
+            durability: DurabilityStats {
+                wal_bytes: 1111,
+                wal_records: 22,
+                snapshot_compactions: 5,
+                recoveries: 1,
+            },
+        };
+        export_stream_stats(&registry, "s", &stats);
+        let samples = parse_exposition(&registry.render()).expect("rendered text parses");
+        for (name, want) in [
+            (uns_sim::metrics::METRIC_STREAM_ELEMENTS, 10),
+            (uns_sim::metrics::METRIC_STREAM_SHARDS, 2),
+            (uns_sim::metrics::METRIC_STREAM_BATCHES, 4),
+            (uns_sim::metrics::METRIC_STREAM_ADMITTED, 6),
+            (uns_sim::metrics::METRIC_STREAM_OUTPUTS, 8),
+            (METRIC_STREAM_BUSY, 3),
+            (METRIC_STREAM_WAL_BYTES, 1111),
+            (METRIC_STREAM_WAL_RECORDS, 22),
+            (METRIC_STREAM_COMPACTIONS, 5),
+            (METRIC_STREAM_RECOVERIES, 1),
+        ] {
+            let sample = find(&samples, name, &[("stream", "s")])
+                .unwrap_or_else(|| panic!("missing {name}"));
+            assert_eq!(sample.value_u64(), Some(want), "{name}");
+        }
+    }
+
+    #[test]
+    fn floor_window_publishes_min_once_per_window() {
+        let service = ServiceMetrics::new(1);
+        let mut stream = service.stream("s");
+        for batch in 0..FLOOR_WINDOW_BATCHES {
+            // Floors 100, 99, 98, …: the window min is the last one.
+            stream.observe_floor(u64::from(batch) * 8, u64::from(100 - batch));
+        }
+        let floor_min = u64::from(100 - (FLOOR_WINDOW_BATCHES - 1));
+        let samples = parse_exposition(&service.render()).expect("render parses");
+        let window = find(&samples, METRIC_STREAM_FLOOR_WINDOW_MIN, &[("stream", "s")])
+            .expect("window-min gauge");
+        assert_eq!(window.value_u64(), Some(floor_min));
+        let events = service.trace().events();
+        let sample =
+            events.iter().find(|e| e.kind == TraceKind::FloorSample).expect("floor sample traced");
+        assert_eq!(sample.b, floor_min);
+        assert_eq!(&*sample.stream, "s");
+    }
+
+    #[test]
+    fn op_labels_resolve_and_unknown_ops_do_not() {
+        for (index, label) in OP_LABELS.iter().enumerate() {
+            assert_eq!(op_label_index(label), Some(index));
+        }
+        assert_eq!(op_label_index("panic"), None);
+    }
+}

@@ -204,6 +204,11 @@ pub enum Request<'a> {
         /// Target stream.
         name: &'a str,
     },
+    /// Read the server-wide metrics exposition text (no target stream;
+    /// answered on the connection thread, never enqueued to a worker).
+    /// A trailing opcode addition: old clients never send it, old servers
+    /// answer it with an unknown-opcode error.
+    Metrics,
 }
 
 const OP_CREATE: u8 = 0x01;
@@ -214,6 +219,7 @@ const OP_FLOOR: u8 = 0x05;
 const OP_SNAPSHOT: u8 = 0x06;
 const OP_RESTORE: u8 = 0x07;
 const OP_STATS: u8 = 0x08;
+const OP_METRICS: u8 = 0x09;
 
 impl<'a> Request<'a> {
     /// Encodes the request as a frame body (version + opcode + payload)
@@ -271,6 +277,7 @@ impl<'a> Request<'a> {
                 out.push(OP_STATS);
                 put_str(out, name);
             }
+            Request::Metrics => out.push(OP_METRICS),
         }
     }
 
@@ -334,13 +341,15 @@ impl<'a> Request<'a> {
                 Request::Restore { name, snapshot }
             }
             OP_STATS => Request::Stats { name: cur.str()? },
+            OP_METRICS => Request::Metrics,
             other => return Err(ServiceError::Protocol(format!("unknown request opcode {other}"))),
         };
         cur.finish()?;
         Ok(request)
     }
 
-    /// The stream name this request targets.
+    /// The stream name this request targets (empty for server-wide
+    /// requests like [`Request::Metrics`]).
     pub fn stream_name(&self) -> &'a str {
         match self {
             Request::CreateStream { name, .. }
@@ -351,6 +360,7 @@ impl<'a> Request<'a> {
             | Request::Snapshot { name }
             | Request::Restore { name, .. }
             | Request::Stats { name } => name,
+            Request::Metrics => "",
         }
     }
 }
@@ -451,6 +461,8 @@ pub enum Response {
     Snapshot(Vec<u8>),
     /// Traffic counters.
     Stats(StreamStats),
+    /// The server's metrics rendered as Prometheus text exposition.
+    Metrics(String),
     /// The shard queue was full — retry (backpressure, nothing buffered).
     Busy,
     /// Application-level failure.
@@ -469,6 +481,7 @@ const RESP_SAMPLED: u8 = 0x83;
 const RESP_VALUE: u8 = 0x84;
 const RESP_SNAPSHOT: u8 = 0x85;
 const RESP_STATS: u8 = 0x86;
+const RESP_METRICS: u8 = 0x87;
 const RESP_BUSY: u8 = 0xEE;
 const RESP_ERROR: u8 = 0xEF;
 
@@ -516,6 +529,13 @@ impl Response {
                 put_u64(out, stats.durability.wal_records);
                 put_u64(out, stats.durability.snapshot_compactions);
                 put_u64(out, stats.durability.recoveries);
+            }
+            Response::Metrics(text) => {
+                out.push(RESP_METRICS);
+                // u32-length-prefixed (like Snapshot): exposition text for
+                // many streams easily exceeds a u16 string's 64 KiB.
+                put_u32(out, text.len() as u32);
+                out.extend_from_slice(text.as_bytes());
             }
             Response::Busy => out.push(RESP_BUSY),
             Response::Error { code, message } => {
@@ -578,6 +598,13 @@ impl Response {
                     recoveries: cur.u64()?,
                 },
             }),
+            RESP_METRICS => {
+                let len = cur.u32()? as usize;
+                let bytes = cur.take(len)?;
+                Response::Metrics(String::from_utf8(bytes.to_vec()).map_err(|err| {
+                    ServiceError::Protocol(format!("invalid UTF-8 in metrics text: {err}"))
+                })?)
+            }
             RESP_BUSY => Response::Busy,
             RESP_ERROR => Response::Error {
                 code: ErrorCode::from_u8(cur.u8()?)?,
@@ -678,6 +705,13 @@ mod tests {
             let decoded = Request::decode(&body).unwrap();
             assert_eq!(decoded.stream_name(), request.stream_name());
         }
+
+        // Metrics is payload-free (version + opcode only) and targets no
+        // stream — a trailing opcode addition old servers simply reject.
+        let body = round_trip_request(&Request::Metrics);
+        assert_eq!(body.len(), 2);
+        assert!(matches!(Request::decode(&body).unwrap(), Request::Metrics));
+        assert_eq!(Request::Metrics.stream_name(), "");
     }
 
     #[test]
@@ -747,6 +781,8 @@ mod tests {
                     recoveries: 3,
                 },
             }),
+            // Over a u16 string's 64 KiB — the u32-length text survives.
+            Response::Metrics("# HELP x X.\nx 1\n".repeat(8 * 1024)),
             Response::Busy,
             Response::Error { code: ErrorCode::UnknownStream, message: "no such stream".into() },
         ];

@@ -39,6 +39,7 @@
 
 use crate::error::ServiceError;
 use crate::fault::{FaultBackend, FaultPlan, FaultTransport};
+use crate::metrics::{ServiceMetrics, StreamMetrics};
 use crate::protocol::{
     ErrorCode, Request, Response, StreamConfig, StreamStats, MAX_BATCH_IDS, MAX_STREAM_NAME_LEN,
 };
@@ -57,7 +58,9 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
 use uns_core::NodeId;
+use uns_metrics::{Counter, TraceKind};
 use uns_sim::PipelineStats;
 
 /// Server tuning knobs.
@@ -157,8 +160,10 @@ struct StreamEntry {
     worker: usize,
     id: u64,
     /// Requests bounced with Busy for this stream (incremented by
-    /// connection threads, folded into Stats replies).
-    busy: Arc<AtomicU64>,
+    /// connection threads, folded into Stats replies). This is the
+    /// registered `uns_stream_busy_rejections_total` counter itself, so
+    /// the Stats fold and the exposition read the same atomic.
+    busy: Arc<Counter>,
     /// `false` while the creating connection's Create/Restore round-trip
     /// is still in flight. Other connections seeing a pending entry reply
     /// Busy instead of racing the creation — and the creator does its
@@ -232,6 +237,7 @@ pub struct Server {
     shutdown: Arc<AtomicBool>,
     pool: Arc<BufferPool>,
     durability: Option<DurabilityConfig>,
+    metrics: Arc<ServiceMetrics>,
 }
 
 impl Server {
@@ -239,7 +245,8 @@ impl Server {
     /// transports to [`Server::handle`], in-process pipes from
     /// [`Server::connect_in_process`], or a listener to [`Server::serve`].
     pub fn start(config: ServerConfig) -> Self {
-        Self::start_inner(config, None, Vec::new(), HashMap::new())
+        let metrics = Arc::new(ServiceMetrics::new(config.workers.max(1)));
+        Self::start_inner(config, None, Vec::new(), HashMap::new(), metrics)
     }
 
     /// Starts a **durable** server: recovers every stream the backend
@@ -260,27 +267,36 @@ impl Server {
         // Route all storage I/O through the fault plan when one is set.
         let durability = DurabilityConfig { backend: durability.effective_backend(), ..durability };
         let workers_n = config.workers.max(1);
+        let metrics = Arc::new(ServiceMetrics::new(workers_n));
+        // Fault events fire deep inside the storage/transport wrappers;
+        // bind the trace ring so they land next to the heals they cause.
+        if let Some(plan) = &durability.fault_plan {
+            plan.bind_trace(Arc::clone(metrics.trace()));
+        }
         let mut names = durability.backend.list_streams()?;
         names.sort();
         let mut initial: Vec<HashMap<u64, StreamState>> =
             (0..workers_n).map(|_| HashMap::new()).collect();
         let mut registry_streams = HashMap::new();
         for (index, name) in names.iter().enumerate() {
-            let state = recover_stream(&durability.backend, name, durability.fsync, workers_n)?;
+            let state =
+                recover_stream(&durability.backend, name, durability.fsync, workers_n, &metrics)?;
             let worker = index % workers_n;
             let id = index as u64;
+            let recoveries = state.durable.as_ref().map_or(0, |d| d.counters.recoveries);
+            state.metrics.event(TraceKind::StreamRecovered, worker as u64, recoveries);
             initial[worker].insert(id, state);
             registry_streams.insert(
                 name.clone(),
                 StreamEntry {
                     worker,
                     id,
-                    busy: Arc::new(AtomicU64::new(0)),
+                    busy: metrics.stream_busy(name),
                     ready: Arc::new(AtomicBool::new(true)),
                 },
             );
         }
-        Ok(Self::start_inner(config, Some(durability), initial, registry_streams))
+        Ok(Self::start_inner(config, Some(durability), initial, registry_streams, metrics))
     }
 
     fn start_inner(
@@ -288,6 +304,7 @@ impl Server {
         durability: Option<DurabilityConfig>,
         mut initial: Vec<HashMap<u64, StreamState>>,
         registry_streams: HashMap<String, StreamEntry>,
+        metrics: Arc<ServiceMetrics>,
     ) -> Self {
         let workers_n = config.workers.max(1);
         let queue_depth = config.queue_depth.max(1);
@@ -309,11 +326,15 @@ impl Server {
             let registry = Arc::clone(&registry);
             let pool = Arc::clone(&pool);
             let durability = durability.clone();
+            let metrics = Arc::clone(&metrics);
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("uns-worker-{index}"))
                     .spawn(move || {
-                        worker_main(rx, streams, workers_n, &registry, &shutdown, &pool, durability)
+                        worker_main(
+                            rx, streams, workers_n, index, &registry, &shutdown, &pool, durability,
+                            &metrics,
+                        )
                     })
                     .expect("spawning a worker thread"),
             );
@@ -326,12 +347,20 @@ impl Server {
             shutdown,
             pool,
             durability,
+            metrics,
         }
     }
 
     /// The effective configuration (after clamping).
     pub fn config(&self) -> ServerConfig {
         self.config
+    }
+
+    /// The server's live metrics surface: registry, trace ring, renderer.
+    /// The same text is served by the wire `Metrics` opcode and the
+    /// [`Server::serve_metrics_http`] admin listener.
+    pub fn metrics(&self) -> &Arc<ServiceMetrics> {
+        &self.metrics
     }
 
     /// Spawns a connection thread serving `transport` until the peer hangs
@@ -348,10 +377,11 @@ impl Server {
         let registry = Arc::clone(&self.registry);
         let senders = self.senders.clone();
         let pool = Arc::clone(&self.pool);
+        let metrics = Arc::clone(&self.metrics);
         std::thread::Builder::new()
             .name("uns-conn".into())
             .spawn(move || {
-                let _ = handle_connection(transport, &registry, &senders, &pool);
+                let _ = handle_connection(transport, &registry, &senders, &pool, &metrics);
             })
             .expect("spawning a connection thread");
     }
@@ -388,6 +418,39 @@ impl Server {
         Ok(())
     }
 
+    /// Serves the plain-HTTP admin surface (`GET /metrics`, `/trace`,
+    /// `/healthz` — see [`crate::http`]) until [`Server::stop`] is called.
+    /// Runs on the calling thread, one short-lived thread per connection;
+    /// scrapes are read-only, so this listener can face an ops network the
+    /// wire protocol does not.
+    ///
+    /// # Errors
+    ///
+    /// Propagates listener failures other than `WouldBlock`.
+    pub fn serve_metrics_http(&self, listener: TcpListener) -> std::io::Result<()> {
+        listener.set_nonblocking(true)?;
+        while !self.shutdown.load(Ordering::Relaxed) {
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    stream.set_nonblocking(false).ok();
+                    let metrics = Arc::clone(&self.metrics);
+                    std::thread::Builder::new()
+                        .name("uns-http".into())
+                        .spawn(move || {
+                            let mut stream = stream;
+                            let _ = crate::http::serve_http_once(&mut stream, &metrics);
+                        })
+                        .expect("spawning an http thread");
+                }
+                Err(err) if err.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                }
+                Err(err) => return Err(err),
+            }
+        }
+        Ok(())
+    }
+
     /// Makes [`Server::serve`] return after its next accept poll.
     pub fn stop(&self) {
         self.shutdown.store(true, Ordering::Relaxed);
@@ -410,6 +473,10 @@ struct StreamState {
     stats: PipelineStats,
     /// Present on durable servers: the stream's WAL and its counters.
     durable: Option<DurableStream>,
+    /// Registered metric handles mirroring `stats` (bumped at the same
+    /// single-writer sites, so Stats and the exposition agree bit for bit
+    /// at quiescence).
+    metrics: StreamMetrics,
 }
 
 /// Durability side of one stream: its open log plus cumulative counters.
@@ -445,6 +512,7 @@ fn recover_stream(
     name: &str,
     fsync: FsyncPolicy,
     shards: usize,
+    metrics: &ServiceMetrics,
 ) -> Result<StreamState, ServiceError> {
     let blob = backend
         .read_snapshot(name)?
@@ -523,12 +591,22 @@ fn recover_stream(
         sampler,
         stats,
         durable: Some(DurableStream { name: name.to_string(), wal, counters }),
+        metrics: metrics.stream(name),
     };
+    if let Some(durable) = state.durable.as_mut() {
+        durable.wal.set_metrics(state.metrics.wal_metrics(metrics));
+    }
     // Checkpoint the recovered state: replaying the same log tail at the
     // next crash would be wasted work, and the bumped counters (above all
     // `recoveries`) must survive a further crash without waiting for a
     // size-triggered compaction.
     checkpoint(&mut state, backend, false);
+    // Resume — not restart — the exported series from the recovered
+    // lifetime totals, exactly as Stats resumes them.
+    state.metrics.sync_pipeline(&state.stats);
+    let current = state.durable.as_ref().expect("recovered stream is durable").current_stats();
+    state.metrics.sync_durability(&current);
+    state.metrics.floor.set_u64(state.sampler.floor_estimate());
     Ok(state)
 }
 
@@ -644,23 +722,35 @@ fn checkpoint(state: &mut StreamState, backend: &Arc<dyn StorageBackend>, count_
     if backend.write_snapshot(&durable.name, &bytes).is_err() {
         return; // log keeps growing; retried at the next crossing
     }
+    let log_bytes_before = durable.wal.len();
     if durable.wal.reset(snap.seq).is_ok() {
         durable.counters = persisted;
         durable.wal.appended_bytes = 0;
         durable.wal.appended_records = 0;
+        if count_compaction {
+            state.metrics.compactions.inc();
+            state.metrics.event(
+                TraceKind::Compaction,
+                log_bytes_before,
+                persisted.snapshot_compactions,
+            );
+        }
     }
     // On reset failure the writer is broken; the next mutating op sends
     // the stream through recovery, which lands on this snapshot.
 }
 
+#[allow(clippy::too_many_arguments)]
 fn worker_main(
     rx: Receiver<Job>,
     mut streams: HashMap<u64, StreamState>,
     pool_size: usize,
+    index: usize,
     registry: &Registry,
     shutdown: &AtomicBool,
     pool: &BufferPool,
     durability: Option<DurabilityConfig>,
+    metrics: &Arc<ServiceMetrics>,
 ) {
     loop {
         // The shutdown check runs every iteration, not only when the
@@ -709,27 +799,44 @@ fn worker_main(
         // answer nor be re-created) and create works again. Read-only ops
         // (floor/snapshot/stats) cannot corrupt state, so their stream
         // survives a panic intact.
+        metrics.queue_depth[index].dec();
         let stream = job.stream;
         let mutates = op_mutates(&job.op);
+        let op_index = op_metric_index(&job.op);
+        let started = Instant::now();
         let response = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            execute_job(&mut streams, pool, pool_size, stream, job.op, registry, &durability)
+            execute_job(
+                &mut streams,
+                pool,
+                pool_size,
+                index,
+                stream,
+                job.op,
+                registry,
+                &durability,
+                metrics,
+            )
         }))
         .unwrap_or_else(|panic| {
             let message = format!("stream operation panicked: {}", panic_message(panic.as_ref()));
+            metrics.trace_global(TraceKind::WorkerPanic, stream, 0);
             if !mutates {
                 return Response::Error { code: ErrorCode::Other, message };
             }
-            match heal_in_place(&mut streams, stream, &durability, pool_size) {
+            match heal_in_place(&mut streams, stream, &durability, pool_size, metrics) {
                 HealOutcome::Healed => Response::Error {
                     code: ErrorCode::Durability,
                     message: format!("{message}; stream recovered, op outcome unknown"),
                 },
                 HealOutcome::Lost { purge } => {
-                    tear_down_lost_stream(registry, stream, &durability, purge);
+                    tear_down_lost_stream(registry, stream, &durability, purge, metrics);
                     Response::Error { code: ErrorCode::Other, message }
                 }
             }
         });
+        if let Some(op_index) = op_index {
+            metrics.record_op(op_index, started.elapsed());
+        }
         let _ = job.reply.send(response); // peer gone: drop the reply
     }
     // Drain the durability buffers on the way out: an orderly shutdown
@@ -760,15 +867,18 @@ fn heal_in_place(
     stream: u64,
     durability: &Option<DurabilityConfig>,
     pool_size: usize,
+    metrics: &ServiceMetrics,
 ) -> HealOutcome {
-    let Some(durability) = durability else {
-        streams.remove(&stream);
-        return HealOutcome::Lost { purge: None };
-    };
     let Some(state) = streams.remove(&stream) else {
         return HealOutcome::Lost { purge: None };
     };
+    let stream_metrics = state.metrics;
+    let Some(durability) = durability else {
+        stream_metrics.event(TraceKind::StreamLost, 0, 0);
+        return HealOutcome::Lost { purge: None };
+    };
     let Some(durable) = state.durable else {
+        stream_metrics.event(TraceKind::StreamLost, 0, 0);
         return HealOutcome::Lost { purge: None };
     };
     // Recovery itself performs I/O, so it can hit the same transient
@@ -777,14 +887,23 @@ fn heal_in_place(
     // retry is the difference between a blip and losing a recoverable
     // stream; only a persistent failure tears the stream down.
     for _ in 0..HEAL_ATTEMPTS {
-        match recover_stream(&durability.backend, &durable.name, durability.fsync, pool_size) {
+        match recover_stream(
+            &durability.backend,
+            &durable.name,
+            durability.fsync,
+            pool_size,
+            metrics,
+        ) {
             Ok(recovered) => {
+                let recoveries = recovered.durable.as_ref().map_or(0, |d| d.counters.recoveries);
+                recovered.metrics.event(TraceKind::StreamHealed, 0, recoveries);
                 streams.insert(stream, recovered);
                 return HealOutcome::Healed;
             }
             Err(_) => continue,
         }
     }
+    stream_metrics.event(TraceKind::StreamLost, 0, 0);
     HealOutcome::Lost { purge: Some(durable.name) }
 }
 
@@ -801,10 +920,23 @@ fn tear_down_lost_stream(
     stream: u64,
     durability: &Option<DurabilityConfig>,
     purge: Option<String>,
+    metrics: &ServiceMetrics,
 ) {
+    let mut removed = None;
     let mut names = registry.streams.lock().expect("registry lock poisoned");
-    names.retain(|_, entry| entry.id != stream);
+    names.retain(|name, entry| {
+        if entry.id == stream {
+            removed = Some(name.clone());
+            false
+        } else {
+            true
+        }
+    });
     drop(names);
+    // A lost stream must stop exporting: stale series would read as live.
+    if let Some(name) = &removed {
+        metrics.remove_stream(name);
+    }
     if let (Some(durability), Some(name)) = (durability, purge) {
         let _ = durability.backend.remove_stream(&name);
     }
@@ -828,6 +960,24 @@ fn op_mutates(op: &StreamOp) -> bool {
     }
 }
 
+/// The `uns_op_latency_nanos` label index of `op`; `None` for ops outside
+/// the public wire surface (the test-only panic hook).
+fn op_metric_index(op: &StreamOp) -> Option<usize> {
+    let label = match op {
+        StreamOp::Create(..) => "create",
+        StreamOp::Restore(..) => "restore",
+        StreamOp::Ingest(_) => "ingest",
+        StreamOp::Feed(_) => "feed",
+        StreamOp::Sample => "sample",
+        StreamOp::Floor => "floor",
+        StreamOp::Snapshot => "snapshot",
+        StreamOp::Stats => "stats",
+        #[cfg(test)]
+        StreamOp::Panic => return None,
+    };
+    crate::metrics::op_label_index(label)
+}
+
 /// Best-effort human-readable payload of a caught panic.
 fn panic_message(panic: &(dyn std::any::Any + Send)) -> &str {
     panic
@@ -849,6 +999,7 @@ fn wal_before_apply(
     registry: &Registry,
     durability: &Option<DurabilityConfig>,
     pool_size: usize,
+    metrics: &ServiceMetrics,
 ) -> Result<(), Response> {
     let Some(state) = streams.get_mut(&stream) else {
         return Err(unknown_stream());
@@ -868,12 +1019,12 @@ fn wal_before_apply(
         Err(err) => {
             let broken = durable.wal.is_broken();
             let message = if broken {
-                match heal_in_place(streams, stream, durability, pool_size) {
+                match heal_in_place(streams, stream, durability, pool_size, metrics) {
                     HealOutcome::Healed => {
                         format!("op not applied ({err}); stream recovered in place")
                     }
                     HealOutcome::Lost { purge } => {
-                        tear_down_lost_stream(registry, stream, durability, purge);
+                        tear_down_lost_stream(registry, stream, durability, purge, metrics);
                         format!("op not applied ({err}); stream lost: recovery failed")
                     }
                 }
@@ -910,23 +1061,42 @@ fn wal_before_apply(
 fn install_stream(
     streams: &mut HashMap<u64, StreamState>,
     pool_size: usize,
+    worker: usize,
     stream: u64,
     name: &str,
     sampler: ServiceSampler,
     registry: &Registry,
     durability: &Option<DurabilityConfig>,
+    metrics: &ServiceMetrics,
     verb: &str,
 ) -> Response {
+    // Registration (or re-acquisition for a replaced stream) happens here,
+    // once — the hot path only bumps the returned handles. Failure paths
+    // below leave the series untouched; a fresh create's rollback removes
+    // them with the registry reservation.
+    let stream_metrics = metrics.stream(name);
+    let trace_kind =
+        if verb == "created" { TraceKind::StreamCreated } else { TraceKind::StreamRestored };
     let Some(d) = durability else {
         let stats = PipelineStats { shards: pool_size, ..PipelineStats::default() };
-        streams.insert(stream, StreamState { sampler, stats, durable: None });
+        stream_metrics.sync_pipeline(&stats);
+        stream_metrics.event(trace_kind, worker as u64, 0);
+        streams
+            .insert(stream, StreamState { sampler, stats, durable: None, metrics: stream_metrics });
         return Response::Ok;
     };
     let fresh = !streams.contains_key(&stream);
     let (err, committed) = match create_durable_stream(&d.backend, name, &sampler, d.fsync) {
-        Ok(durable) => {
+        Ok(mut durable) => {
             let stats = PipelineStats { shards: pool_size, ..PipelineStats::default() };
-            streams.insert(stream, StreamState { sampler, stats, durable: Some(durable) });
+            durable.wal.set_metrics(stream_metrics.wal_metrics(metrics));
+            stream_metrics.sync_pipeline(&stats);
+            stream_metrics.sync_durability(&durable.current_stats());
+            stream_metrics.event(trace_kind, worker as u64, 0);
+            streams.insert(
+                stream,
+                StreamState { sampler, stats, durable: Some(durable), metrics: stream_metrics },
+            );
             return Response::Ok;
         }
         Err(CreateDurableError::Clean(err)) => (err, false),
@@ -940,10 +1110,10 @@ fn install_stream(
     if !committed {
         return Response::Error { code: ErrorCode::Durability, message };
     }
-    match heal_in_place(streams, stream, durability, pool_size) {
+    match heal_in_place(streams, stream, durability, pool_size, metrics) {
         HealOutcome::Healed => Response::Ok,
         HealOutcome::Lost { purge } => {
-            tear_down_lost_stream(registry, stream, durability, purge);
+            tear_down_lost_stream(registry, stream, durability, purge, metrics);
             Response::Error {
                 code: ErrorCode::Durability,
                 message: format!("{message}; stream lost: recovery failed"),
@@ -958,25 +1128,30 @@ fn install_stream(
 /// it after encoding). On a durable server, mutating ops are write-ahead
 /// logged before they touch the sampler, and the log is compacted when it
 /// crosses the configured size.
+#[allow(clippy::too_many_arguments)]
 fn execute_job(
     streams: &mut HashMap<u64, StreamState>,
     pool: &BufferPool,
     pool_size: usize,
+    worker: usize,
     stream: u64,
     op: StreamOp,
     registry: &Registry,
     durability: &Option<DurabilityConfig>,
+    metrics: &ServiceMetrics,
 ) -> Response {
     match op {
         StreamOp::Create(name, config) => match ServiceSampler::create(&config) {
             Ok(sampler) => install_stream(
-                streams, pool_size, stream, &name, sampler, registry, durability, "created",
+                streams, pool_size, worker, stream, &name, sampler, registry, durability, metrics,
+                "created",
             ),
             Err(err) => error_response(&err),
         },
         StreamOp::Restore(name, blob) => match ServiceSampler::restore(&blob) {
             Ok(sampler) => install_stream(
-                streams, pool_size, stream, &name, sampler, registry, durability, "restored",
+                streams, pool_size, worker, stream, &name, sampler, registry, durability, metrics,
+                "restored",
             ),
             Err(err) => error_response(&err),
         },
@@ -988,6 +1163,7 @@ fn execute_job(
                 registry,
                 durability,
                 pool_size,
+                metrics,
             ) {
                 pool.put(ids);
                 return reply;
@@ -997,6 +1173,10 @@ fn execute_job(
             state.stats.elements += ids.len() as u64;
             state.stats.admitted += admitted;
             state.stats.chunks += 1;
+            state.metrics.pipeline.elements.add(ids.len() as u64);
+            state.metrics.pipeline.admitted.add(admitted);
+            state.metrics.pipeline.batches.inc();
+            state.metrics.observe_floor(state.stats.elements, state.sampler.floor_estimate());
             let response = Response::Ingested { position: state.stats.elements, admitted };
             if let Some(d) = durability {
                 maybe_compact(state, d.compact_bytes, &d.backend);
@@ -1012,6 +1192,7 @@ fn execute_job(
                 registry,
                 durability,
                 pool_size,
+                metrics,
             ) {
                 pool.put(ids);
                 return reply;
@@ -1023,6 +1204,11 @@ fn execute_job(
             state.stats.admitted += admitted;
             state.stats.outputs += ids.len() as u64;
             state.stats.chunks += 1;
+            state.metrics.pipeline.elements.add(ids.len() as u64);
+            state.metrics.pipeline.admitted.add(admitted);
+            state.metrics.pipeline.outputs.add(ids.len() as u64);
+            state.metrics.pipeline.batches.inc();
+            state.metrics.observe_floor(state.stats.elements, state.sampler.floor_estimate());
             let response = Response::Fed { position: state.stats.elements, admitted, outputs };
             if let Some(d) = durability {
                 maybe_compact(state, d.compact_bytes, &d.backend);
@@ -1031,9 +1217,15 @@ fn execute_job(
             response
         }
         StreamOp::Sample => {
-            if let Err(reply) =
-                wal_before_apply(streams, stream, WalOpRef::Sample, registry, durability, pool_size)
-            {
+            if let Err(reply) = wal_before_apply(
+                streams,
+                stream,
+                WalOpRef::Sample,
+                registry,
+                durability,
+                pool_size,
+                metrics,
+            ) {
                 return reply;
             }
             let state = streams.get_mut(&stream).expect("checked by wal_before_apply");
@@ -1044,7 +1236,11 @@ fn execute_job(
             response
         }
         StreamOp::Floor => match streams.get(&stream) {
-            Some(state) => Response::Value(state.sampler.floor_estimate()),
+            Some(state) => {
+                let floor = state.sampler.floor_estimate();
+                state.metrics.floor.set_u64(floor);
+                Response::Value(floor)
+            }
             None => unknown_stream(),
         },
         StreamOp::Snapshot => match streams.get(&stream) {
@@ -1098,6 +1294,7 @@ fn handle_connection<T: Transport>(
     registry: &Registry,
     senders: &[SyncSender<Job>],
     pool: &BufferPool,
+    metrics: &ServiceMetrics,
 ) -> Result<(), ServiceError> {
     let mut writer = transport.try_clone_transport()?;
     let mut frame = Vec::new();
@@ -1109,7 +1306,7 @@ fn handle_connection<T: Transport>(
             Err(err) => return Err(err),
         }
         let response = match Request::decode(&frame) {
-            Ok(request) => route_request(&request, registry, senders, pool),
+            Ok(request) => route_request(&request, registry, senders, pool, metrics),
             Err(err) => {
                 // A malformed frame poisons stream framing: answer, close.
                 let response = Response::Error { code: ErrorCode::Other, message: err.to_string() };
@@ -1156,7 +1353,14 @@ fn route_request(
     registry: &Registry,
     senders: &[SyncSender<Job>],
     pool: &BufferPool,
+    metrics: &ServiceMetrics,
 ) -> Response {
+    // Metrics targets no stream and reads only atomics — answered right
+    // here on the connection thread, before the name validation below
+    // (its stream name is empty by design), never enqueued to a worker.
+    if let Request::Metrics = request {
+        return Response::Metrics(metrics.render());
+    }
     let name = request.stream_name();
     if name.is_empty() || name.len() > MAX_STREAM_NAME_LEN {
         return Response::Error {
@@ -1178,13 +1382,14 @@ fn route_request(
         }
     }
     match request {
+        Request::Metrics => unreachable!("answered above"),
         Request::CreateStream { config, .. } => {
-            create_or_restore(registry, senders, name, false, pool, || {
+            create_or_restore(registry, senders, name, false, pool, metrics, || {
                 StreamOp::Create(name.to_string(), *config)
             })
         }
         Request::Restore { snapshot, .. } => {
-            create_or_restore(registry, senders, name, true, pool, || {
+            create_or_restore(registry, senders, name, true, pool, metrics, || {
                 StreamOp::Restore(name.to_string(), snapshot.to_vec())
             })
         }
@@ -1198,7 +1403,7 @@ fn route_request(
             Ok(entry) => {
                 let mut batch = pool.take();
                 ids.copy_into(&mut batch);
-                enqueue(senders, &entry, StreamOp::Ingest(batch), pool)
+                enqueue(senders, &entry, StreamOp::Ingest(batch), pool, metrics)
             }
             Err(response) => response,
         },
@@ -1206,22 +1411,28 @@ fn route_request(
             Ok(entry) => {
                 let mut batch = pool.take();
                 ids.copy_into(&mut batch);
-                enqueue(senders, &entry, StreamOp::Feed(batch), pool)
+                enqueue(senders, &entry, StreamOp::Feed(batch), pool, metrics)
             }
             Err(response) => response,
         },
-        Request::Sample { .. } => dispatch(registry, senders, name, StreamOp::Sample, pool),
-        Request::FloorEstimate { .. } => dispatch(registry, senders, name, StreamOp::Floor, pool),
-        Request::Snapshot { .. } => dispatch(registry, senders, name, StreamOp::Snapshot, pool),
+        Request::Sample { .. } => {
+            dispatch(registry, senders, name, StreamOp::Sample, pool, metrics)
+        }
+        Request::FloorEstimate { .. } => {
+            dispatch(registry, senders, name, StreamOp::Floor, pool, metrics)
+        }
+        Request::Snapshot { .. } => {
+            dispatch(registry, senders, name, StreamOp::Snapshot, pool, metrics)
+        }
         Request::Stats { .. } => {
             let entry = match lookup_ready(registry, name) {
                 Ok(entry) => entry,
                 Err(response) => return response,
             };
-            let response = enqueue(senders, &entry, StreamOp::Stats, pool);
+            let response = enqueue(senders, &entry, StreamOp::Stats, pool, metrics);
             match response {
                 Response::Stats(mut stats) => {
-                    stats.busy_rejections = entry.busy.load(Ordering::Relaxed);
+                    stats.busy_rejections = entry.busy.get();
                     Response::Stats(stats)
                 }
                 other => other,
@@ -1243,6 +1454,7 @@ fn create_or_restore(
     name: &str,
     replace_existing: bool,
     pool: &BufferPool,
+    metrics: &ServiceMetrics,
     make_op: impl FnOnce() -> StreamOp,
 ) -> Response {
     // Phase 1 (locked): resolve the existing entry or reserve a pending one.
@@ -1264,7 +1476,7 @@ fn create_or_restore(
                 let entry = StreamEntry {
                     worker,
                     id,
-                    busy: Arc::new(AtomicU64::new(0)),
+                    busy: metrics.stream_busy(name),
                     ready: Arc::new(AtomicBool::new(false)),
                 };
                 streams.insert(name.to_string(), entry.clone());
@@ -1273,7 +1485,7 @@ fn create_or_restore(
         }
     };
     // Phase 2 (unlocked): the blocking round-trip to the owning worker.
-    let response = enqueue(senders, &entry, make_op(), pool);
+    let response = enqueue(senders, &entry, make_op(), pool, metrics);
     if reserved {
         if matches!(response, Response::Ok) {
             entry.ready.store(true, Ordering::Release);
@@ -1284,6 +1496,11 @@ fn create_or_restore(
             let mut streams = registry.streams.lock().expect("registry lock poisoned");
             if streams.get(name).is_some_and(|e| e.id == entry.id) {
                 streams.remove(name);
+                drop(streams);
+                // The worker may have registered this stream's series
+                // before the create failed; a rolled-back name must not
+                // keep exporting.
+                metrics.remove_stream(name);
             }
         }
     }
@@ -1310,9 +1527,10 @@ fn dispatch(
     name: &str,
     op: StreamOp,
     pool: &BufferPool,
+    metrics: &ServiceMetrics,
 ) -> Response {
     match lookup_ready(registry, name) {
-        Ok(entry) => enqueue(senders, &entry, op, pool),
+        Ok(entry) => enqueue(senders, &entry, op, pool, metrics),
         Err(response) => response,
     }
 }
@@ -1338,17 +1556,24 @@ fn enqueue(
     entry: &StreamEntry,
     op: StreamOp,
     pool: &BufferPool,
+    metrics: &ServiceMetrics,
 ) -> Response {
     let (reply_tx, reply_rx) = mpsc::sync_channel::<Response>(1);
     let job = Job { stream: entry.id, op, reply: reply_tx };
     match senders[entry.worker].try_send(job) {
-        Ok(()) => reply_rx.recv().unwrap_or_else(|_| Response::Error {
-            code: ErrorCode::Other,
-            message: "server shutting down".into(),
-        }),
+        Ok(()) => {
+            // Incremented after the send (the worker decrements on
+            // receive), so the depth gauge may transiently read -1 —
+            // approximate by design, never drifting.
+            metrics.queue_depth[entry.worker].inc();
+            reply_rx.recv().unwrap_or_else(|_| Response::Error {
+                code: ErrorCode::Other,
+                message: "server shutting down".into(),
+            })
+        }
         Err(TrySendError::Full(job)) => {
             recycle_job(pool, job);
-            entry.busy.fetch_add(1, Ordering::Relaxed);
+            entry.busy.inc();
             Response::Busy
         }
         Err(TrySendError::Disconnected(job)) => {
@@ -1818,7 +2043,8 @@ mod tests {
         let mut bytes = Vec::new();
         snap.encode(&mut bytes);
         backend.write_snapshot("s", &bytes).unwrap();
-        let state = recover_stream(&backend, "s", FsyncPolicy::PerOp, 1).unwrap();
+        let metrics = ServiceMetrics::new(1);
+        let state = recover_stream(&backend, "s", FsyncPolicy::PerOp, 1, &metrics).unwrap();
         let counters = &state.durable.as_ref().unwrap().counters;
         assert_eq!(counters.recoveries, 1);
         assert_eq!(counters.wal_records, 3, "the replayed record joins the lifetime count");

@@ -61,8 +61,10 @@ use crate::error::ServiceError;
 use crate::storage::WalStore;
 use crate::wire::{put_u16, put_u32, put_u64, Cursor, MAX_FRAME_LEN};
 use std::io;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 use uns_core::NodeId;
+use uns_metrics::{Counter, LatencyHistogram};
 
 /// Leading magic of a WAL file.
 pub const WAL_MAGIC: &[u8; 4] = b"UNSL";
@@ -368,6 +370,22 @@ pub fn parse_wal(bytes: &[u8]) -> ParsedWal {
 ///
 /// # Torn-write repair
 ///
+/// Registry handles a [`WalWriter`] feeds on its own append/fsync path
+/// when installed via [`WalWriter::set_metrics`]. The byte/record counters
+/// are the stream's lifetime series: the writer bumps them per successful
+/// append so the exposition tracks `Stats` exactly between scrapes.
+#[derive(Clone, Debug)]
+pub struct WalMetrics {
+    /// Latency of one record append (excluding fsync).
+    pub append_nanos: Arc<LatencyHistogram>,
+    /// Latency of one fsync.
+    pub fsync_nanos: Arc<LatencyHistogram>,
+    /// Per-stream lifetime WAL bytes.
+    pub bytes: Arc<Counter>,
+    /// Per-stream lifetime WAL records.
+    pub records: Arc<Counter>,
+}
+
 /// [`WalStore::append`] may land a prefix and then fail. The writer then
 /// *truncates the store back to the last known-good length*: the log stays
 /// parseable and the next record lands cleanly. If that repair truncation
@@ -376,6 +394,8 @@ pub fn parse_wal(bytes: &[u8]) -> ParsedWal {
 /// from durable state (which CRC-truncates whatever the torn write left).
 pub struct WalWriter {
     store: Box<dyn WalStore>,
+    /// Live metric handles, when the owning server exports metrics.
+    metrics: Option<WalMetrics>,
     policy: FsyncPolicy,
     /// Incarnation id stamped into every header this writer writes.
     generation: u64,
@@ -414,6 +434,7 @@ impl WalWriter {
         store.sync()?;
         Ok(Self {
             store,
+            metrics: None,
             policy,
             generation,
             len: WAL_HEADER_LEN as u64,
@@ -446,6 +467,7 @@ impl WalWriter {
         store.sync()?;
         Ok(Self {
             store,
+            metrics: None,
             policy,
             generation,
             len: valid_len,
@@ -487,6 +509,14 @@ impl WalWriter {
         self.broken
     }
 
+    /// Installs live metric handles: every successful append then bumps
+    /// the byte/record counters and records append/fsync latency. The
+    /// caller seeds the counters to the stream's persisted totals first
+    /// (this writer's own `appended_*` start at zero after recovery).
+    pub fn set_metrics(&mut self, metrics: WalMetrics) {
+        self.metrics = Some(metrics);
+    }
+
     /// Appends one operation record and applies the fsync policy. On
     /// success the op is durable to the extent the policy promises — the
     /// caller may apply it and acknowledge.
@@ -502,6 +532,7 @@ impl WalWriter {
         }
         self.scratch.clear();
         encode_record(&mut self.scratch, op);
+        let started = self.metrics.as_ref().map(|_| Instant::now());
         if let Err(err) = append_all(self.store.as_mut(), &self.scratch) {
             // Torn write: some prefix may be on disk. Repair by truncating
             // back to the known-good length.
@@ -515,6 +546,11 @@ impl WalWriter {
         self.appended_records += 1;
         self.appended_bytes += self.scratch.len() as u64;
         self.records_since_sync += 1;
+        if let (Some(metrics), Some(started)) = (&self.metrics, started) {
+            metrics.append_nanos.record_duration(started.elapsed());
+            metrics.bytes.add(self.scratch.len() as u64);
+            metrics.records.inc();
+        }
         let due = match self.policy {
             FsyncPolicy::PerOp => true,
             FsyncPolicy::EveryN(n) => self.records_since_sync >= n.max(1),
@@ -553,7 +589,13 @@ impl WalWriter {
     /// trusted. The stream must be re-recovered from durable state, which
     /// replays exactly the records that actually survived.
     pub fn sync(&mut self) -> io::Result<()> {
-        match self.store.sync() {
+        let started = self.metrics.as_ref().map(|_| Instant::now());
+        let result = self.store.sync();
+        if let (Some(metrics), Some(started)) = (&self.metrics, started) {
+            // Failed fsyncs are observations too — they are the slow ones.
+            metrics.fsync_nanos.record_duration(started.elapsed());
+        }
+        match result {
             Ok(()) => {
                 self.records_since_sync = 0;
                 self.last_sync = Instant::now();

@@ -11,9 +11,16 @@
 //! The client side deliberately speaks the raw wire protocol with reused
 //! buffers and never decodes the reply body (decoding would allocate the
 //! outputs vector client-side and drown the signal).
+//!
+//! PR 8 put live metrics on this same hot path (per-op latency histogram,
+//! per-stream pipeline counters, floor gauge, queue-depth gauge), so the
+//! windows above now pin the *instrumented* path. A second test isolates
+//! the instrumentation primitives themselves and pins them to literally
+//! zero bytes per update.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 use uns_core::NodeId;
 use uns_service::protocol::Request;
 use uns_service::transport::Transport;
@@ -45,6 +52,11 @@ unsafe impl GlobalAlloc for CountingAllocator {
 
 #[global_allocator]
 static GLOBAL: CountingAllocator = CountingAllocator;
+
+/// Both tests read the global allocation counter, so they must not run
+/// concurrently — the server test's worker threads would pollute the
+/// zero-byte measurement.
+static SERIAL: Mutex<()> = Mutex::new(());
 
 /// Sends one pre-encoded frame and reads the reply into a reused buffer,
 /// asserting it is a Fed reply (version byte, then response opcode 0x82)
@@ -78,6 +90,7 @@ fn measure_window<R: std::io::Read, W: std::io::Write>(
 
 #[test]
 fn long_feed_session_does_not_allocate_per_batch_proportionally() {
+    let _serial = SERIAL.lock().expect("serial lock");
     let server = Server::start(ServerConfig { workers: 1, queue_depth: 16 });
     let mut transport = server.connect_in_process();
     let mut writer = transport.try_clone_transport().expect("clone transport");
@@ -122,5 +135,40 @@ fn long_feed_session_does_not_allocate_per_batch_proportionally() {
     assert!(
         second_window <= first_window.saturating_mul(2) + 512,
         "per-batch allocations grew over the session: {first_window} -> {second_window}"
+    );
+}
+
+/// The instrumentation added per batch — counter adds, gauge sets, one
+/// histogram record, and (once per floor window) a trace push into a ring
+/// at capacity — allocates **zero** bytes. Registration pays all the
+/// allocations up front; steady state is pure relaxed atomics.
+#[test]
+fn metrics_hot_path_allocates_zero_bytes_per_update() {
+    let _serial = SERIAL.lock().expect("serial lock");
+    let registry = uns_metrics::MetricsRegistry::new();
+    let counter = registry.counter("uns_test_total", "Counter under test.", &[("stream", "s")]);
+    let gauge = registry.gauge("uns_test_gauge", "Gauge under test.", &[("stream", "s")]);
+    let histogram =
+        registry.histogram("uns_test_nanos", "Histogram under test.", &[("op", "feed")]);
+    let trace = uns_metrics::TraceLog::new(64);
+    let stream: std::sync::Arc<str> = std::sync::Arc::from("s");
+    // Fill the ring so every further push overwrites instead of growing.
+    for i in 0..64u64 {
+        trace.push(uns_metrics::TraceKind::FloorSample, &stream, i, i);
+    }
+
+    let before = ALLOCATED_BYTES.load(Ordering::Relaxed);
+    for i in 0..10_000u64 {
+        counter.add(7);
+        gauge.set_u64(i);
+        histogram.record(i * 37);
+        if i % 16 == 0 {
+            trace.push(uns_metrics::TraceKind::FloorSample, &stream, i, i);
+        }
+    }
+    let allocated = ALLOCATED_BYTES.load(Ordering::Relaxed) - before;
+    assert_eq!(
+        allocated, 0,
+        "metrics hot path allocated {allocated} bytes over 10k updates; it must be atomics only"
     );
 }

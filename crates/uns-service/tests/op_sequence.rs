@@ -176,4 +176,85 @@ proptest! {
         reference.feed_batch(&tail, &mut ref_out);
         prop_assert_eq!(ack.outputs, ref_out, "post-sequence tail outputs");
     }
+
+    /// The two observability surfaces never drift: after an arbitrary op
+    /// sequence (including mid-sequence snapshot → restore migrations),
+    /// every counter the wire `Stats` opcode reports equals — bit for bit
+    /// — the sample the Prometheus exposition renders for the same stream,
+    /// because both read the same atomics once the connection quiesces.
+    #[test]
+    fn stats_opcode_and_metrics_exposition_agree_bit_for_bit(
+        ops in prop_vec(op_strategy(), 1..24),
+        kind_index in 0u8..3,
+        stream_seed in any::<u64>(),
+    ) {
+        let config = StreamConfig {
+            kind: kind_from(kind_index),
+            capacity: 8,
+            width: 12,
+            depth: 4,
+            seed: stream_seed,
+            family: HashFamilyKind::Mersenne,
+        };
+        let server = Server::start(ServerConfig { workers: 2, queue_depth: 8 });
+        let mut client = ServiceClient::new(server.connect_in_process()).unwrap();
+        let mut name = format!("diff-{stream_seed}-0");
+        retry_busy(|| client.create_stream(&name, &config));
+        let mut generation = 0u32;
+        for &op in &ops {
+            match op {
+                Op::Ingest { len, seed } => {
+                    retry_busy(|| client.ingest(&name, &batch(len, seed)));
+                }
+                Op::Feed { len, seed } => {
+                    retry_busy(|| client.feed_batch(&name, &batch(len, seed)));
+                }
+                Op::Sample => {
+                    retry_busy(|| client.sample(&name));
+                }
+                Op::Floor => {
+                    retry_busy(|| client.floor_estimate(&name));
+                }
+                Op::SnapshotAndMigrate => {
+                    let blob = retry_busy(|| client.snapshot(&name));
+                    generation += 1;
+                    name = format!("diff-{stream_seed}-{generation}");
+                    retry_busy(|| client.restore(&name, &blob));
+                }
+                Op::Stats => {
+                    retry_busy(|| client.stats(&name));
+                }
+            }
+        }
+
+        let stats = retry_busy(|| client.stats(&name));
+        let exposition = client.metrics().expect("metrics scrape");
+        let samples = uns_metrics::parse_exposition(&exposition)
+            .expect("live exposition parses");
+        let labels = [("stream", name.as_str())];
+        for (family, want) in [
+            (uns_sim::metrics::METRIC_STREAM_ELEMENTS, stats.pipeline.elements),
+            (uns_sim::metrics::METRIC_STREAM_ADMITTED, stats.pipeline.admitted),
+            (uns_sim::metrics::METRIC_STREAM_OUTPUTS, stats.pipeline.outputs),
+            (uns_sim::metrics::METRIC_STREAM_BATCHES, stats.pipeline.chunks as u64),
+            (uns_sim::metrics::METRIC_STREAM_SHARDS, stats.pipeline.shards as u64),
+            (uns_service::metrics::METRIC_STREAM_BUSY, stats.busy_rejections),
+            (uns_service::metrics::METRIC_STREAM_WAL_BYTES, stats.durability.wal_bytes),
+            (uns_service::metrics::METRIC_STREAM_WAL_RECORDS, stats.durability.wal_records),
+            (
+                uns_service::metrics::METRIC_STREAM_COMPACTIONS,
+                stats.durability.snapshot_compactions,
+            ),
+            (uns_service::metrics::METRIC_STREAM_RECOVERIES, stats.durability.recoveries),
+        ] {
+            let sample = uns_metrics::parse::find(&samples, family, &labels)
+                .unwrap_or_else(|| panic!("exposition lacks {family} for {name}"));
+            prop_assert_eq!(
+                sample.value_u64(),
+                Some(want),
+                "{} drifted from the Stats opcode",
+                family
+            );
+        }
+    }
 }

@@ -90,6 +90,6 @@ pub use conformance::{
     measure_uniformity, min_p_clears, Scenario, ScenarioKind, ScenarioStream, UniformityReport,
 };
 pub use error::SimError;
-pub use metrics::{PipelineStats, SimMetrics};
+pub use metrics::{PipelineSeries, PipelineStats, SimMetrics};
 pub use sharded::ShardedIngestion;
 pub use simulator::Simulation;

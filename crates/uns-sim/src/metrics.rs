@@ -2,7 +2,20 @@
 //! connectivity — plus throughput accounting for the parallel sampling
 //! pipeline.
 
+use std::sync::Arc;
 use uns_analysis::kl;
+use uns_metrics::{Counter, Gauge, MetricsRegistry};
+
+/// Exposition family name for [`PipelineStats::elements`].
+pub const METRIC_STREAM_ELEMENTS: &str = "uns_stream_elements_total";
+/// Exposition family name for [`PipelineStats::admitted`].
+pub const METRIC_STREAM_ADMITTED: &str = "uns_stream_admitted_total";
+/// Exposition family name for [`PipelineStats::outputs`].
+pub const METRIC_STREAM_OUTPUTS: &str = "uns_stream_outputs_total";
+/// Exposition family name for [`PipelineStats::chunks`].
+pub const METRIC_STREAM_BATCHES: &str = "uns_stream_batches_total";
+/// Exposition family name for [`PipelineStats::shards`].
+pub const METRIC_STREAM_SHARDS: &str = "uns_stream_shards";
 
 /// Accounting of one parallel sampling pipeline run
 /// ([`crate::ShardedIngestion::pipeline_ingest`] /
@@ -33,6 +46,76 @@ impl PipelineStats {
         } else {
             self.admitted as f64 / self.elements as f64
         }
+    }
+}
+
+/// Registry handles for one stream's pipeline-accounting series, labeled
+/// `stream="…"`. The family names are this module's `METRIC_STREAM_*`
+/// constants, so any exporter of [`PipelineStats`] — the live service and
+/// point-in-time dumps alike — lands on the same series.
+#[derive(Debug)]
+pub struct PipelineSeries {
+    /// Stream elements processed ([`PipelineStats::elements`]).
+    pub elements: Arc<Counter>,
+    /// Elements admitted into `Γ` ([`PipelineStats::admitted`]).
+    pub admitted: Arc<Counter>,
+    /// Output samples drawn ([`PipelineStats::outputs`]).
+    pub outputs: Arc<Counter>,
+    /// Batches/chunks processed ([`PipelineStats::chunks`]).
+    pub batches: Arc<Counter>,
+    /// Configured shard workers ([`PipelineStats::shards`]).
+    pub shards: Arc<Gauge>,
+}
+
+impl PipelineSeries {
+    /// Registers (or re-acquires) the pipeline series for `stream`.
+    pub fn register(registry: &MetricsRegistry, stream: &str) -> Self {
+        let labels = [("stream", stream)];
+        Self {
+            elements: registry.counter(
+                METRIC_STREAM_ELEMENTS,
+                "Stream elements processed (one admission candidate each).",
+                &labels,
+            ),
+            admitted: registry.counter(
+                METRIC_STREAM_ADMITTED,
+                "Elements admitted into the sampler memory (free-slot inserts plus won coins).",
+                &labels,
+            ),
+            outputs: registry.counter(
+                METRIC_STREAM_OUTPUTS,
+                "Output samples drawn from the sampler.",
+                &labels,
+            ),
+            batches: registry.counter(
+                METRIC_STREAM_BATCHES,
+                "Ingest/feed batches processed.",
+                &labels,
+            ),
+            shards: registry.gauge(
+                METRIC_STREAM_SHARDS,
+                "Shard workers configured for the stream's pipeline.",
+                &labels,
+            ),
+        }
+    }
+
+    /// Overwrites every series with the totals in `stats` — restore and
+    /// point-in-time export paths; live instrumentation bumps the handles
+    /// incrementally instead.
+    pub fn set_to(&self, stats: &PipelineStats) {
+        self.elements.set(stats.elements);
+        self.admitted.set(stats.admitted);
+        self.outputs.set(stats.outputs);
+        self.batches.set(stats.chunks as u64);
+        self.shards.set_u64(stats.shards as u64);
+    }
+}
+
+impl PipelineStats {
+    /// Exports this snapshot into `registry` under `stream="…"` labels.
+    pub fn export_into(&self, registry: &MetricsRegistry, stream: &str) {
+        PipelineSeries::register(registry, stream).set_to(self);
     }
 }
 
@@ -108,6 +191,26 @@ mod tests {
         let biased = [100u64, 1, 1, 1];
         let outputs: Vec<&[u64]> = vec![&biased];
         assert!(SimMetrics::mean_kl(&outputs) > 0.5);
+    }
+
+    #[test]
+    fn pipeline_stats_export_round_trips_through_the_registry() {
+        let registry = MetricsRegistry::new();
+        let stats = PipelineStats { elements: 9, shards: 4, chunks: 3, admitted: 5, outputs: 9 };
+        stats.export_into(&registry, "s1");
+        let samples =
+            uns_metrics::parse::parse_exposition(&registry.render()).expect("rendered text parses");
+        let get = |name| {
+            uns_metrics::parse::find(&samples, name, &[("stream", "s1")])
+                .unwrap_or_else(|| panic!("missing {name}"))
+                .value_u64()
+                .expect("integer value")
+        };
+        assert_eq!(get(METRIC_STREAM_ELEMENTS), 9);
+        assert_eq!(get(METRIC_STREAM_ADMITTED), 5);
+        assert_eq!(get(METRIC_STREAM_OUTPUTS), 9);
+        assert_eq!(get(METRIC_STREAM_BATCHES), 3);
+        assert_eq!(get(METRIC_STREAM_SHARDS), 4);
     }
 
     #[test]

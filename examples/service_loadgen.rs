@@ -1,7 +1,7 @@
 //! Load-generate the networked sampling service and report Melem/s.
 //!
 //! ```text
-//! cargo run --release --example service_loadgen [connections] [elements_per_connection]
+//! cargo run --release --example service_loadgen [connections] [elements_per_connection] [--metrics-dump]
 //! ```
 //!
 //! Starts the multi-tenant server on an ephemeral localhost TCP port,
@@ -12,19 +12,47 @@
 //! with a snapshot → restore round trip over the wire to show state
 //! surviving a "restart".
 //!
+//! With `--metrics-dump`, the server's `GET /metrics` admin listener is
+//! started too, each run's client-side counters are exported into the
+//! same registry, and the full Prometheus exposition is scraped over real
+//! TCP and printed at end-of-run.
+//!
 //! `UNS_BENCH_FAST=1` shrinks the run to a smoke test (CI uses this).
 
+use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
 use uns_service::loadgen::{create_and_run, LoadgenConfig, LoadgenRetry, Workload};
 use uns_service::protocol::{EstimatorKind, HashFamilyKind, StreamConfig};
 use uns_service::server::{Server, ServerConfig};
 use uns_service::ServiceClient;
 
+/// One `GET path` request against the admin listener; returns the body.
+fn scrape(addr: std::net::SocketAddr, path: &str) -> Result<String, Box<dyn std::error::Error>> {
+    let mut conn = TcpStream::connect(addr)?;
+    write!(conn, "GET {path} HTTP/1.1\r\nHost: loadgen\r\n\r\n")?;
+    let mut response = String::new();
+    conn.read_to_string(&mut response)?;
+    let (head, body) = response.split_once("\r\n\r\n").ok_or("no header/body split")?;
+    if !head.starts_with("HTTP/1.1 200") {
+        return Err(format!("scrape of {path} failed: {head}").into());
+    }
+    Ok(body.to_string())
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let fast = std::env::var("UNS_BENCH_FAST").is_ok_and(|v| v == "1");
+    let mut positional = Vec::new();
+    let mut metrics_dump = false;
+    for arg in std::env::args().skip(1) {
+        if arg == "--metrics-dump" {
+            metrics_dump = true;
+        } else {
+            positional.push(arg);
+        }
+    }
     let connections: usize =
-        std::env::args().nth(1).and_then(|v| v.parse().ok()).unwrap_or(if fast { 2 } else { 4 });
-    let elements: usize = std::env::args().nth(2).and_then(|v| v.parse().ok()).unwrap_or(if fast {
+        positional.first().and_then(|v| v.parse().ok()).unwrap_or(if fast { 2 } else { 4 });
+    let elements: usize = positional.get(1).and_then(|v| v.parse().ok()).unwrap_or(if fast {
         20_000
     } else {
         1_000_000
@@ -33,8 +61,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let server = Server::start(ServerConfig::default());
     let listener = TcpListener::bind("127.0.0.1:0")?;
     let addr = listener.local_addr()?;
+    let metrics_listener =
+        if metrics_dump { Some(TcpListener::bind("127.0.0.1:0")?) } else { None };
+    let metrics_addr = metrics_listener.as_ref().map(|l| l.local_addr()).transpose()?;
     std::thread::scope(|scope| -> Result<(), Box<dyn std::error::Error>> {
         scope.spawn(|| server.serve(listener));
+        if let Some(metrics_listener) = metrics_listener {
+            scope.spawn(|| server.serve_metrics_http(metrics_listener));
+        }
         let connect = || {
             let stream = TcpStream::connect(addr).map_err(uns_service::ServiceError::from)?;
             stream.set_nodelay(true).map_err(uns_service::ServiceError::from)?;
@@ -69,6 +103,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 retry: LoadgenRetry::default(),
             };
             let report = create_and_run(connect, name, &stream_config, &config)?;
+            if metrics_dump {
+                // Fold the client-side view into the same exposition the
+                // admin listener serves, so the dump shows both sides.
+                report.export_into(server.metrics().registry(), name);
+            }
             println!(
                 "{name:>16}: {:>8.2} Melem/s  ({} elements in {:.3}s, {} busy retries, \
                  {} batches abandoned, admission rate {:.2}%)",
@@ -96,6 +135,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             blob.len(),
             probe.len()
         );
+
+        if let Some(metrics_addr) = metrics_addr {
+            let exposition = scrape(metrics_addr, "/metrics")?;
+            let samples = uns_metrics::parse_exposition(&exposition)
+                .map_err(|err| format!("unparseable exposition: {err}"))?;
+            println!(
+                "\n--- GET /metrics ({} samples from {metrics_addr}) ---\n{exposition}",
+                samples.len()
+            );
+        }
         server.stop();
         Ok(())
     })

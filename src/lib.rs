@@ -21,7 +21,10 @@
 //! * [`streams`] — attack distributions and trace surrogates;
 //! * [`sim`] — the gossip overlay simulator;
 //! * [`service`] — the networked sampling service (framed wire protocol,
-//!   multi-tenant server, snapshot/restore, load generator).
+//!   multi-tenant server, snapshot/restore, load generator);
+//! * [`metrics`] — lock-free counters/gauges/histograms, the Prometheus
+//!   text exposition renderer, and the structured trace ring behind the
+//!   service's `/metrics` surface.
 //!
 //! # Quickstart
 //!
@@ -42,6 +45,7 @@
 
 pub use uns_analysis as analysis;
 pub use uns_core as core;
+pub use uns_metrics as metrics;
 pub use uns_service as service;
 pub use uns_sim as sim;
 pub use uns_sketch as sketch;
