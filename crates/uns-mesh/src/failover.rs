@@ -1,0 +1,115 @@
+//! Seeded-heartbeat failure detection.
+//!
+//! Each node probes every peer it still believes live by opening (and
+//! immediately closing) a TCP connection to the peer's wire listener — a
+//! dead process refuses instantly, a live one accepts. After
+//! [`FailoverConfig::miss_threshold`] consecutive misses the peer is
+//! marked dead in the shared [`Membership`] view and the `on_dead`
+//! callback fires **exactly once** per death (the mark is
+//! compare-and-set), which is where promotion hangs.
+//!
+//! The probe cadence is jittered from a seed so a whole mesh restarted
+//! together does not probe in lockstep — and so a test re-run sees the
+//! same schedule.
+
+use crate::membership::Membership;
+use std::collections::HashMap;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Heartbeat knobs of a [`FailureDetector`].
+#[derive(Clone, Copy, Debug)]
+pub struct FailoverConfig {
+    /// Base pause between probe rounds (jittered ±25%).
+    pub interval: Duration,
+    /// Connect timeout of one probe.
+    pub probe_timeout: Duration,
+    /// Consecutive missed probes before a peer is declared dead.
+    pub miss_threshold: u32,
+    /// Seed of the jitter stream: same seed, same probe schedule.
+    pub seed: u64,
+}
+
+impl Default for FailoverConfig {
+    fn default() -> Self {
+        Self {
+            interval: Duration::from_millis(25),
+            probe_timeout: Duration::from_millis(250),
+            miss_threshold: 3,
+            seed: 0xBEA7,
+        }
+    }
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// A background heartbeat prober; stop it with
+/// [`FailureDetector::stop`] (dropping without stopping leaks the
+/// thread until process exit).
+pub struct FailureDetector {
+    shutdown: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl FailureDetector {
+    /// Starts probing every peer of `node` in `membership`. `on_dead`
+    /// fires once per newly-dead peer, on the detector thread.
+    pub fn start(
+        node: String,
+        membership: Arc<Membership>,
+        config: FailoverConfig,
+        on_dead: impl Fn(&str) + Send + 'static,
+    ) -> Self {
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let stop = Arc::clone(&shutdown);
+        let thread = std::thread::Builder::new()
+            .name(format!("uns-heartbeat-{node}"))
+            .spawn(move || {
+                let mut misses: HashMap<String, u32> = HashMap::new();
+                let mut rng = config.seed;
+                while !stop.load(Ordering::Relaxed) {
+                    for peer in membership.nodes() {
+                        if peer.name == node || membership.is_dead(&peer.name) {
+                            continue;
+                        }
+                        match TcpStream::connect_timeout(&peer.addr, config.probe_timeout) {
+                            Ok(_) => {
+                                misses.insert(peer.name.clone(), 0);
+                            }
+                            Err(_) => {
+                                let count = misses.entry(peer.name.clone()).or_insert(0);
+                                *count += 1;
+                                if *count >= config.miss_threshold.max(1)
+                                    && membership.mark_dead(&peer.name)
+                                {
+                                    on_dead(&peer.name);
+                                }
+                            }
+                        }
+                    }
+                    // Jitter in [0.75, 1.25)·interval, seeded.
+                    rng = splitmix64(rng);
+                    let unit = (rng >> 11) as f64 / (1u64 << 53) as f64;
+                    std::thread::sleep(config.interval.mul_f64(0.75 + 0.5 * unit));
+                }
+            })
+            .expect("spawning the heartbeat thread");
+        Self { shutdown, thread: Some(thread) }
+    }
+
+    /// Stops the prober and joins its thread.
+    pub fn stop(mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Static membership with a dynamic liveness overlay.
+//!
+//! The mesh's node set is fixed at start (the build containers have no
+//! discovery service to talk to); what changes at runtime is *liveness*:
+//! the failure detector marks nodes dead, promotions consult the live
+//! view. **Each node owns its own [`Membership`] view** — even when the
+//! nodes share a process — and converges through its own detector:
+//! [`Membership::mark_dead`]'s changed-the-view return is what makes each
+//! node's promotion callback fire exactly once, so a view shared between
+//! nodes would let one node's detector consume another node's promotion.
+//! Views only need to agree eventually, because a stale view yields
+//! `NotPrimary` bounces, not wrong data.
+
+use std::collections::BTreeSet;
+use std::net::SocketAddr;
+use std::sync::Mutex;
+
+/// One mesh node: a stable name (the placement identity) and the address
+/// its wire-protocol listener is bound to.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NodeInfo {
+    /// Stable node name — hashing identity for placement; never reused.
+    pub name: String,
+    /// Wire-protocol listener address.
+    pub addr: SocketAddr,
+}
+
+/// The fixed node set plus the set currently believed dead.
+#[derive(Debug)]
+pub struct Membership {
+    nodes: Vec<NodeInfo>,
+    dead: Mutex<BTreeSet<String>>,
+}
+
+impl Membership {
+    /// A membership over `nodes`, all initially live.
+    pub fn new(nodes: Vec<NodeInfo>) -> Self {
+        Self { nodes, dead: Mutex::new(BTreeSet::new()) }
+    }
+
+    /// Every configured node, live or not, in declaration order.
+    pub fn nodes(&self) -> &[NodeInfo] {
+        &self.nodes
+    }
+
+    /// The listener address of `name`, if it is a configured node.
+    pub fn addr_of(&self, name: &str) -> Option<SocketAddr> {
+        self.nodes.iter().find(|n| n.name == name).map(|n| n.addr)
+    }
+
+    /// Marks `name` dead; returns `true` when this call changed the view
+    /// (so exactly one detector observation drives the promotion logic).
+    pub fn mark_dead(&self, name: &str) -> bool {
+        self.dead.lock().expect("membership lock poisoned").insert(name.to_string())
+    }
+
+    /// Marks `name` live again (a healed node re-joins placement).
+    pub fn mark_live(&self, name: &str) {
+        self.dead.lock().expect("membership lock poisoned").remove(name);
+    }
+
+    /// Whether `name` is currently believed dead.
+    pub fn is_dead(&self, name: &str) -> bool {
+        self.dead.lock().expect("membership lock poisoned").contains(name)
+    }
+
+    /// Names of the nodes currently believed live, in declaration order.
+    pub fn live_names(&self) -> Vec<String> {
+        let dead = self.dead.lock().expect("membership lock poisoned");
+        self.nodes.iter().filter(|n| !dead.contains(&n.name)).map(|n| n.name.clone()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn info(name: &str, port: u16) -> NodeInfo {
+        NodeInfo { name: name.into(), addr: format!("127.0.0.1:{port}").parse().unwrap() }
+    }
+
+    #[test]
+    fn liveness_overlay_tracks_marks() {
+        let m = Membership::new(vec![info("a", 1), info("b", 2), info("c", 3)]);
+        assert_eq!(m.live_names(), ["a", "b", "c"]);
+        assert!(m.mark_dead("b"), "first observation changes the view");
+        assert!(!m.mark_dead("b"), "repeat observation does not");
+        assert!(m.is_dead("b"));
+        assert_eq!(m.live_names(), ["a", "c"]);
+        m.mark_live("b");
+        assert_eq!(m.live_names(), ["a", "b", "c"]);
+        assert_eq!(m.addr_of("c"), Some("127.0.0.1:3".parse().unwrap()));
+        assert_eq!(m.addr_of("zz"), None);
+    }
+}

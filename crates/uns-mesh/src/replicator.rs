@@ -1,0 +1,551 @@
+//! WAL-shipping replication: the primary-side sink and the replica-side
+//! applier, both speaking the service's `Replicate` opcode.
+//!
+//! The WAL **is** the replication log. [`Replicator`] implements the
+//! server's [`ReplicationSink`]: the stream's owning worker hands it every
+//! record *before* appending locally, and the sink pushes the exact
+//! CRC-framed bytes to each replica and waits for the durable ack
+//! (log-before-ack on the replica). Because `encode_record` is
+//! deterministic and replicas apply through the same recovery machinery,
+//! a replica's durable state is byte-identical to the primary's by
+//! construction — promotion replays a log that is literally the same
+//! bytes.
+//!
+//! Ship-before-local-append bounds the crash window: a primary dying
+//! between ship and append leaves the replica at most one record *ahead*
+//! — an unacknowledged op the client's position resync classifies as
+//! applied — never behind on an acknowledged one.
+//!
+//! Attach and catch-up run **synchronously inside `ship`**, on the worker
+//! thread that owns the stream: the primary's WAL is frozen for the whole
+//! exchange, so the catch-up slice plus the shipped record is gap-free by
+//! construction, with no lock juggling. A replica whose generation matches
+//! resumes from its own durable position (an incremental slice of the
+//! primary's log); anything else gets the durable snapshot and the full
+//! log tail.
+
+use crate::membership::Membership;
+use crate::placement::place;
+use std::collections::HashMap;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+use uns_metrics::TraceKind;
+use uns_service::client::ServiceClient;
+use uns_service::error::ServiceError;
+use uns_service::fault::{FaultPlan, FaultTransport};
+use uns_service::metrics::{stream_replication_handles, ServiceMetrics};
+use uns_service::protocol::{ErrorCode, Response};
+use uns_service::server::{ReplicaHandler, ReplicationSink};
+use uns_service::storage::StorageBackend;
+use uns_service::transport::Transport;
+use uns_service::wal::{
+    decode_record, parse_wal, DurableSnapshot, FsyncPolicy, WalOp, WalOpRef, WalWriter,
+    WAL_HEADER_LEN,
+};
+
+/// Soft cap on the record bytes of one catch-up shipment. Frames also
+/// carry the snapshot on the first call, so this stays far under the wire
+/// limit while keeping round-trips rare.
+const CATCHUP_CHUNK_BYTES: u64 = 1 << 20;
+
+/// How long a failed peer is skipped before the next attach attempt, so a
+/// dead replica costs the op path one connect timeout per backoff window,
+/// not one per record.
+const ATTACH_BACKOFF: Duration = Duration::from_millis(250);
+
+fn op_ref(op: &WalOp) -> WalOpRef<'_> {
+    match op {
+        WalOp::Ingest(ids) => WalOpRef::Ingest(ids),
+        WalOp::Feed(ids) => WalOpRef::Feed(ids),
+        WalOp::Sample => WalOpRef::Sample,
+    }
+}
+
+fn error(code: ErrorCode, message: impl Into<String>) -> Response {
+    Response::Error { code, message: message.into() }
+}
+
+// ---------------------------------------------------------------------------
+// Replica side
+// ---------------------------------------------------------------------------
+
+struct ReplicaStream {
+    writer: WalWriter,
+}
+
+#[derive(Default)]
+struct ApplierState {
+    streams: HashMap<String, ReplicaStream>,
+    /// Streams promoted away on this node: a stale primary re-appearing
+    /// after a partition must not be allowed to clobber the promoted
+    /// incarnation with an old-generation snapshot.
+    released: Vec<String>,
+}
+
+/// Replica-side shipment applier: durably logs every shipped record into
+/// this node's own backend (log-before-ack) so a later promotion recovers
+/// the stream through the ordinary snapshot-plus-replay path.
+pub struct ReplicaApplier {
+    backend: Arc<dyn StorageBackend>,
+    fsync: FsyncPolicy,
+    state: Mutex<ApplierState>,
+}
+
+impl ReplicaApplier {
+    /// An applier persisting into `backend` under `fsync` — the same
+    /// policy the node's server uses, so a replica ack promises exactly
+    /// the durability a primary ack does.
+    pub fn new(backend: Arc<dyn StorageBackend>, fsync: FsyncPolicy) -> Self {
+        Self { backend, fsync, state: Mutex::new(ApplierState::default()) }
+    }
+
+    /// Reopens a stream's durable state left by an earlier attach (the
+    /// re-attach path after a partition): decodes the snapshot for the
+    /// generation baseline and resumes the WAL's valid prefix.
+    fn open_existing(&self, stream: &str) -> Result<Option<ReplicaStream>, ServiceError> {
+        let Some(snap_bytes) = self.backend.read_snapshot(stream)? else {
+            return Ok(None);
+        };
+        let snap = DurableSnapshot::decode(&snap_bytes)?;
+        let mut store = self.backend.open_wal(stream)?;
+        let parsed = parse_wal(&store.read_all()?);
+        let usable = parsed
+            .header
+            .is_some_and(|h| h.generation == snap.generation && h.base_seq <= snap.seq);
+        let writer = if usable {
+            let header = parsed.header.expect("usable implies a header");
+            let next = header.base_seq + parsed.records.len() as u64;
+            WalWriter::resume(store, snap.generation, parsed.valid_len, next, self.fsync)?
+        } else {
+            WalWriter::create(store, snap.generation, snap.seq, self.fsync)?
+        };
+        Ok(Some(ReplicaStream { writer }))
+    }
+
+    /// Stops holding `stream` (promotion hand-off): the WAL handle is
+    /// dropped so [`uns_service::server::Server::adopt_stream`] can reopen
+    /// the durable state, and the stream is barred from future shipments.
+    /// Returns whether the stream was held.
+    pub fn release(&self, stream: &str) -> bool {
+        let mut state = self.state.lock().expect("applier lock poisoned");
+        let held = state.streams.remove(stream).is_some();
+        if !state.released.iter().any(|s| s == stream) {
+            state.released.push(stream.to_string());
+        }
+        held
+    }
+
+    /// Names of the streams currently held as replicas.
+    pub fn held_streams(&self) -> Vec<String> {
+        let state = self.state.lock().expect("applier lock poisoned");
+        let mut names: Vec<String> = state.streams.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// The held stream's `(generation, next_seq)` durable position.
+    pub fn position(&self, stream: &str) -> Option<(u64, u64)> {
+        let state = self.state.lock().expect("applier lock poisoned");
+        state.streams.get(stream).map(|s| (s.writer.generation(), s.writer.next_seq()))
+    }
+}
+
+impl ReplicaHandler for ReplicaApplier {
+    fn apply(
+        &self,
+        stream: &str,
+        generation: u64,
+        first_seq: u64,
+        snapshot: Option<&[u8]>,
+        records: &[u8],
+    ) -> Response {
+        let mut state = self.state.lock().expect("applier lock poisoned");
+        if state.released.iter().any(|s| s == stream) {
+            return error(
+                ErrorCode::NotPrimary,
+                format!("stream {stream:?} was promoted on this node; stale shipment refused"),
+            );
+        }
+        if !state.streams.contains_key(stream) {
+            match self.open_existing(stream) {
+                Ok(Some(entry)) => {
+                    state.streams.insert(stream.to_string(), entry);
+                }
+                Ok(None) => {}
+                Err(err) => {
+                    return error(
+                        ErrorCode::Durability,
+                        format!("replica cannot open {stream:?}: {err}"),
+                    )
+                }
+            }
+        }
+        if let Some(blob) = snapshot {
+            // Full ship: adopt the snapshot as the new baseline, restart
+            // the log at the sequence it covers.
+            let snap = match DurableSnapshot::decode(blob) {
+                Ok(snap) => snap,
+                Err(err) => return error(ErrorCode::BadSnapshot, err.to_string()),
+            };
+            if snap.generation != generation || snap.seq != first_seq {
+                return error(
+                    ErrorCode::BadSnapshot,
+                    format!(
+                        "shipment claims generation {generation} seq {first_seq}, snapshot \
+                         carries {} / {}",
+                        snap.generation, snap.seq
+                    ),
+                );
+            }
+            // Snapshot first, then the log restart — the same commit-point
+            // ordering the durable server uses everywhere.
+            if let Err(err) = self.backend.write_snapshot(stream, blob) {
+                return error(ErrorCode::Durability, format!("snapshot write failed: {err}"));
+            }
+            state.streams.remove(stream); // drop the old WAL handle first
+            let writer =
+                self.backend.open_wal(stream).map_err(ServiceError::from).and_then(|store| {
+                    Ok(WalWriter::create(store, generation, first_seq, self.fsync)?)
+                });
+            match writer {
+                Ok(writer) => {
+                    state.streams.insert(stream.to_string(), ReplicaStream { writer });
+                }
+                Err(err) => {
+                    return error(ErrorCode::Durability, format!("log restart failed: {err}"))
+                }
+            }
+        }
+        let Some(entry) = state.streams.get_mut(stream) else {
+            if records.is_empty() {
+                // Pure probe of a stream this node has nothing for.
+                return Response::ReplState { generation: 0, next_seq: 0 };
+            }
+            return error(
+                ErrorCode::Durability,
+                format!("replica has no baseline for {stream:?}; ship a snapshot first"),
+            );
+        };
+        let writer = &mut entry.writer;
+        if records.is_empty() {
+            return Response::ReplState {
+                generation: writer.generation(),
+                next_seq: writer.next_seq(),
+            };
+        }
+        if generation != writer.generation() {
+            return error(
+                ErrorCode::Durability,
+                format!(
+                    "generation mismatch: shipment {generation}, replica {}",
+                    writer.generation()
+                ),
+            );
+        }
+        let mut offset = 0usize;
+        let mut seq = first_seq;
+        while offset < records.len() {
+            let Some((op, consumed)) = decode_record(records, offset) else {
+                return error(
+                    ErrorCode::Other,
+                    format!("corrupt replication record at byte {offset}"),
+                );
+            };
+            offset += consumed;
+            if seq < writer.next_seq() {
+                // Already durable here (a resend overlapping the tail) —
+                // idempotent skip keeps the log exactly-once.
+                seq += 1;
+                continue;
+            }
+            if seq > writer.next_seq() {
+                return error(
+                    ErrorCode::Durability,
+                    format!(
+                        "sequence gap: shipment at {seq}, replica expects {}",
+                        writer.next_seq()
+                    ),
+                );
+            }
+            if let Err(err) = writer.append_op(op_ref(&op)) {
+                return error(ErrorCode::Durability, format!("replica append failed: {err}"));
+            }
+            seq += 1;
+        }
+        // Log-before-ack: under `FsyncPolicy::PerOp` every append above
+        // synced, so this ack promises exactly what a primary ack does.
+        Response::ReplState { generation: writer.generation(), next_seq: writer.next_seq() }
+    }
+
+    fn holds(&self, stream: &str) -> bool {
+        let state = self.state.lock().expect("applier lock poisoned");
+        state.streams.contains_key(stream)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Primary side
+// ---------------------------------------------------------------------------
+
+struct Session {
+    client: Option<ServiceClient<Box<dyn Transport>>>,
+    /// The replica's durable position as of the last ack (0 before the
+    /// first attach).
+    next_seq: u64,
+    /// Attach attempts are skipped until this instant after a failure.
+    retry_at: Option<Instant>,
+}
+
+/// Attach counters, split by how much had to be shipped — the partition
+/// tests assert that a re-attach with a matching generation is
+/// incremental, never a snapshot re-ship.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AttachStats {
+    /// Attaches that shipped the durable snapshot plus the log tail.
+    pub full: u64,
+    /// Attaches that resumed from the replica's own durable position.
+    pub incremental: u64,
+}
+
+/// Primary-side replication sink: one session per (stream, replica peer),
+/// attached lazily and healed lazily. Ship failures detach the session and
+/// the primary continues degraded; the next record retries the attach
+/// (with backoff), and the catch-up slice closes the gap.
+pub struct Replicator {
+    node: String,
+    membership: Arc<Membership>,
+    replication: usize,
+    backend: Arc<dyn StorageBackend>,
+    metrics: Arc<ServiceMetrics>,
+    connect_timeout: Duration,
+    op_timeout: Option<Duration>,
+    fault_plan: Option<Arc<FaultPlan>>,
+    sessions: Mutex<HashMap<String, HashMap<String, Session>>>,
+    attach_full: AtomicU64,
+    attach_incremental: AtomicU64,
+}
+
+impl Replicator {
+    /// A sink for node `node`, shipping to the peers
+    /// [`crate::placement::place`] assigns each stream over `membership`'s
+    /// live view. `backend` is the node's own durable store (the catch-up
+    /// read side); `metrics` the node's server metrics (lag/bytes series
+    /// and the trace ring). `fault_plan`, when set, wraps every replication
+    /// connection — the partition tests sever exactly this path.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        node: impl Into<String>,
+        membership: Arc<Membership>,
+        replication: usize,
+        backend: Arc<dyn StorageBackend>,
+        metrics: Arc<ServiceMetrics>,
+        connect_timeout: Duration,
+        op_timeout: Option<Duration>,
+        fault_plan: Option<Arc<FaultPlan>>,
+    ) -> Self {
+        Self {
+            node: node.into(),
+            membership,
+            replication,
+            backend,
+            metrics,
+            connect_timeout,
+            op_timeout,
+            fault_plan,
+            sessions: Mutex::new(HashMap::new()),
+            attach_full: AtomicU64::new(0),
+            attach_incremental: AtomicU64::new(0),
+        }
+    }
+
+    /// Attach counters so far (full vs incremental).
+    pub fn attach_stats(&self) -> AttachStats {
+        AttachStats {
+            full: self.attach_full.load(Ordering::Relaxed),
+            incremental: self.attach_incremental.load(Ordering::Relaxed),
+        }
+    }
+
+    fn connect(&self, peer: &str) -> Result<ServiceClient<Box<dyn Transport>>, ServiceError> {
+        let addr = self.membership.addr_of(peer).ok_or_else(|| {
+            ServiceError::InvalidConfig(format!("peer {peer:?} is not a mesh member"))
+        })?;
+        let tcp = TcpStream::connect_timeout(&addr, self.connect_timeout)?;
+        tcp.set_nodelay(true).ok();
+        let transport: Box<dyn Transport> = match &self.fault_plan {
+            Some(plan) => Box::new(FaultTransport::new(tcp, Arc::clone(plan))),
+            None => Box::new(tcp),
+        };
+        let mut client = ServiceClient::new(transport)?;
+        client.set_op_timeout(self.op_timeout)?;
+        Ok(client)
+    }
+
+    /// Connects to `peer` and brings its copy of `stream` up to exactly
+    /// `up_to_seq` (the sequence of the record about to ship — the
+    /// primary's WAL holds everything before it and is frozen while the
+    /// owning worker sits in `ship`). Generation match resumes from the
+    /// replica's durable position; anything else ships snapshot + tail.
+    fn attach(
+        &self,
+        stream: &str,
+        generation: u64,
+        up_to_seq: u64,
+        peer: &str,
+    ) -> Result<(ServiceClient<Box<dyn Transport>>, u64), ServiceError> {
+        let mut client = self.connect(peer)?;
+        let (replica_gen, replica_next) = client.replicate(stream, 0, 0, None, &[])?;
+
+        let snap_bytes = self.backend.read_snapshot(stream)?.ok_or_else(|| {
+            ServiceError::Snapshot(format!("stream {stream:?}: primary has no durable snapshot"))
+        })?;
+        let snap = DurableSnapshot::decode(&snap_bytes)?;
+        let wal_bytes = self.backend.open_wal(stream)?.read_all()?;
+        let parsed = parse_wal(&wal_bytes);
+        let base = parsed.header.map_or(snap.seq, |h| h.base_seq);
+        let log_usable =
+            parsed.header.is_some_and(|h| h.generation == generation && h.base_seq <= up_to_seq);
+
+        let incremental = log_usable
+            && replica_gen == generation
+            && replica_next >= base
+            && replica_next <= up_to_seq;
+        let (mut cursor_seq, with_snapshot) = if incremental {
+            (replica_next, None)
+        } else {
+            if snap.generation != generation {
+                return Err(ServiceError::Snapshot(format!(
+                    "stream {stream:?}: snapshot generation {} behind writer generation \
+                     {generation}",
+                    snap.generation
+                )));
+            }
+            (snap.seq, Some(snap_bytes.as_slice()))
+        };
+
+        // Ship the log records in [cursor_seq, up_to_seq), chunked on
+        // record boundaries; the first call carries the snapshot (if any).
+        let record_start = |i: usize| -> u64 {
+            if i == 0 {
+                WAL_HEADER_LEN as u64
+            } else {
+                parsed.record_ends[i - 1]
+            }
+        };
+        let mut shipped_bytes = with_snapshot.map_or(0, |b| b.len() as u64);
+        let mut snapshot_to_send = with_snapshot;
+        let mut acked_next = replica_next;
+        loop {
+            let from = usize::try_from(cursor_seq.saturating_sub(base)).unwrap_or(usize::MAX);
+            let remaining = parsed.records.len().saturating_sub(from);
+            if remaining == 0 && snapshot_to_send.is_none() {
+                break;
+            }
+            let mut take = 0usize;
+            let chunk_start = record_start(from);
+            let mut chunk_end = chunk_start;
+            while take < remaining {
+                let end = parsed.record_ends[from + take];
+                if take > 0 && end - chunk_start > CATCHUP_CHUNK_BYTES {
+                    break;
+                }
+                chunk_end = end;
+                take += 1;
+            }
+            let chunk = &wal_bytes[usize::try_from(chunk_start).unwrap_or(usize::MAX)
+                ..usize::try_from(chunk_end).unwrap_or(usize::MAX)];
+            let (got_gen, got_next) =
+                client.replicate(stream, generation, cursor_seq, snapshot_to_send.take(), chunk)?;
+            let expect = cursor_seq + take as u64;
+            if got_gen != generation || got_next != expect {
+                return Err(ServiceError::Protocol(format!(
+                    "catch-up desync on {stream:?}@{peer}: replica at generation {got_gen} seq \
+                     {got_next}, expected {generation}/{expect}"
+                )));
+            }
+            shipped_bytes += (chunk_end - chunk_start) as u64;
+            cursor_seq = expect;
+            acked_next = got_next;
+        }
+        if acked_next != up_to_seq {
+            return Err(ServiceError::Protocol(format!(
+                "catch-up on {stream:?}@{peer} ended at seq {acked_next}, primary is at \
+                 {up_to_seq}"
+            )));
+        }
+
+        let counter = if incremental { &self.attach_incremental } else { &self.attach_full };
+        counter.fetch_add(1, Ordering::Relaxed);
+        let handles = stream_replication_handles(self.metrics.registry(), stream);
+        handles.shipped_bytes.add(shipped_bytes);
+        let stream_arc: Arc<str> = Arc::from(stream);
+        self.metrics.trace().push(
+            TraceKind::ReplicaAttach,
+            &stream_arc,
+            generation,
+            if incremental { replica_next } else { snap.seq },
+        );
+        Ok((client, acked_next))
+    }
+}
+
+impl ReplicationSink for Replicator {
+    fn ship(&self, stream: &str, generation: u64, seq: u64, record: &[u8]) {
+        let live = self.membership.live_names();
+        let Some(placement) = place(stream, &live, self.replication) else { return };
+        // Normally we are the placement primary; after a view change we
+        // may briefly disagree — still ship to the placement set minus
+        // ourselves so R copies exist either way.
+        let mut peers: Vec<String> = std::iter::once(placement.primary)
+            .chain(placement.replicas)
+            .filter(|p| *p != self.node)
+            .collect();
+        peers.truncate(self.replication);
+        let mut sessions = self.sessions.lock().expect("replicator lock poisoned");
+        let entry = sessions.entry(stream.to_string()).or_default();
+        entry.retain(|peer, _| peers.iter().any(|p| p == peer));
+        let handles = stream_replication_handles(self.metrics.registry(), stream);
+        for peer in &peers {
+            let session = entry.entry(peer.clone()).or_insert(Session {
+                client: None,
+                next_seq: 0,
+                retry_at: None,
+            });
+            if session.client.is_none() || session.next_seq != seq {
+                if session.retry_at.is_some_and(|at| Instant::now() < at) {
+                    continue; // still backing off a recent failure
+                }
+                session.client = None;
+                match self.attach(stream, generation, seq, peer) {
+                    Ok((client, next)) => {
+                        session.client = Some(client);
+                        session.next_seq = next;
+                        session.retry_at = None;
+                    }
+                    Err(_) => {
+                        // Degraded: the primary keeps serving; the next
+                        // record after the backoff retries the attach.
+                        session.retry_at = Some(Instant::now() + ATTACH_BACKOFF);
+                        continue;
+                    }
+                }
+            }
+            let Some(client) = session.client.as_mut() else { continue };
+            match client.replicate(stream, generation, seq, None, record) {
+                Ok((got_gen, got_next)) if got_gen == generation && got_next == seq + 1 => {
+                    session.next_seq = got_next;
+                    handles.shipped_bytes.add(record.len() as u64);
+                }
+                _ => {
+                    session.client = None;
+                    session.retry_at = Some(Instant::now() + ATTACH_BACKOFF);
+                }
+            }
+        }
+        let primary_next = seq + 1;
+        let min_next = entry.values().map(|s| s.next_seq).min().unwrap_or(primary_next);
+        handles.lag.set_u64(primary_next.saturating_sub(min_next));
+    }
+}

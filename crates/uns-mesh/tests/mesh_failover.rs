@@ -1,0 +1,143 @@
+//! Kill-tolerant failover: a 3-node mesh with R=1 loses its primary
+//! mid-load; the promoted replica serves the remainder and the final
+//! sampler state is **bit-equal** to an uninterrupted single-node run —
+//! for every estimator kind.
+//!
+//! This is the tentpole acceptance test: acked ops apply exactly once
+//! across the hand-off (position resync classifies the ambiguous in-flight
+//! batch), the promoted replica's recovered log replays to the same bytes,
+//! and every per-op output the mesh acked matches the reference run's.
+
+mod common;
+
+use common::{batch_ids, mesh_client, stream_config, Mesh};
+use std::time::Duration;
+use uns_mesh::{place, FailoverConfig, MeshConfig};
+use uns_metrics::TraceKind;
+use uns_service::client::ServiceClient;
+use uns_service::protocol::EstimatorKind;
+use uns_service::resilient::{Delivery, RetryPolicy};
+use uns_service::server::{Server, ServerConfig};
+
+const BATCHES: u64 = 40;
+const BATCH_LEN: u64 = 64;
+const KILL_AFTER: u64 = 20;
+
+fn failover_policy() -> RetryPolicy {
+    RetryPolicy {
+        base_backoff: Duration::from_millis(2),
+        max_backoff: Duration::from_millis(100),
+        retry_budget: 400,
+        op_timeout: Some(Duration::from_millis(750)),
+        op_deadline: None,
+        jitter_seed: 7,
+    }
+}
+
+fn run_kill_primary(kind: EstimatorKind) {
+    // One mesh at a time: concurrent meshes on a small machine starve the
+    // heartbeat probes into false positives (a poisoned lock just means a
+    // prior run's assertion failed — don't mask that panic).
+    static SERIAL: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let stream = format!("mesh-{kind:?}");
+    let config = MeshConfig {
+        failover: FailoverConfig {
+            interval: Duration::from_millis(15),
+            probe_timeout: Duration::from_millis(100),
+            miss_threshold: 3,
+            seed: 0xD0A,
+        },
+        ..MeshConfig::default()
+    };
+    let mesh = Mesh::start(3, &config);
+    for node in &mesh.nodes {
+        node.start_failover(config.failover);
+    }
+    let names: Vec<String> = mesh.membership.nodes().iter().map(|n| n.name.clone()).collect();
+    let placement = place(&stream, &names, 1).expect("three live nodes");
+    let primary = mesh.index_of(&placement.primary);
+    let replica = mesh.index_of(&placement.replicas[0]);
+
+    let mut client = mesh_client(&mesh, &stream, 1, failover_policy());
+    client.create_stream(&stream, &stream_config(kind)).expect("create");
+    // delivery per batch: Some(outputs) when acked with outputs, None when
+    // the reply (and its outputs) was lost but the batch provably applied.
+    let mut acked_outputs: Vec<Option<Vec<u64>>> = Vec::new();
+    for b in 0..BATCHES {
+        if b == KILL_AFTER {
+            // Kill the primary mid-stream: listener closes, heartbeats
+            // start missing, the replica promotes, the client fails over.
+            mesh.nodes[primary].stop();
+        }
+        let ids = batch_ids(b, BATCH_LEN);
+        match client.feed_batch(&stream, &ids).expect("feed survives failover") {
+            Delivery::Acked(ack) => {
+                assert_eq!(ack.position, (b + 1) * BATCH_LEN, "exactly-once across hand-off");
+                acked_outputs.push(Some(ack.outputs.iter().map(|o| o.as_u64()).collect()));
+            }
+            Delivery::AppliedReplyLost { position } => {
+                assert_eq!(position, (b + 1) * BATCH_LEN, "exactly-once across hand-off");
+                acked_outputs.push(None);
+            }
+        }
+    }
+    let mesh_snapshot = client.snapshot(&stream).expect("snapshot after failover");
+    let stats = client.retry_stats();
+    assert!(stats.failovers >= 1, "the client must have rotated endpoints: {stats:?}");
+    assert_eq!(stats.budget_exhausted, 0, "retries stayed bounded: {stats:?}");
+
+    // The promoted node announces the promotion (generation bump) in its
+    // trace ring and no longer holds the stream as a replica.
+    let promoted = &mesh.nodes[replica];
+    assert!(
+        promoted
+            .server()
+            .metrics()
+            .trace()
+            .events()
+            .iter()
+            .any(|e| e.kind == TraceKind::Promote && &*e.stream == stream.as_str()),
+        "promotion event missing on the replica"
+    );
+    assert!(
+        !promoted.applier().held_streams().contains(&stream),
+        "promoted stream must leave the replica set"
+    );
+
+    // Reference: the same ops on one uninterrupted node.
+    let reference = Server::start(ServerConfig::default());
+    let mut plain = ServiceClient::new(reference.connect_in_process()).expect("client");
+    plain.create_stream(&stream, &stream_config(kind)).expect("create");
+    for b in 0..BATCHES {
+        let ack = plain.feed_batch(&stream, &batch_ids(b, BATCH_LEN)).expect("feed");
+        let outputs: Vec<u64> = ack.outputs.iter().map(|o| o.as_u64()).collect();
+        // Every batch the mesh acked with outputs matches the reference
+        // per-op output sequence bit-for-bit.
+        if let Some(got) = &acked_outputs[usize::try_from(b).unwrap()] {
+            assert_eq!(got, &outputs, "{kind:?} batch {b}: outputs diverged");
+        }
+    }
+    let reference_snapshot = plain.snapshot(&stream).expect("snapshot");
+    assert_eq!(
+        mesh_snapshot, reference_snapshot,
+        "{kind:?}: promoted replica diverged from the uninterrupted run"
+    );
+    reference.stop();
+    mesh.stop_all();
+}
+
+#[test]
+fn killed_primary_fails_over_bit_equal_count_min() {
+    run_kill_primary(EstimatorKind::CountMin);
+}
+
+#[test]
+fn killed_primary_fails_over_bit_equal_count_sketch() {
+    run_kill_primary(EstimatorKind::CountSketch);
+}
+
+#[test]
+fn killed_primary_fails_over_bit_equal_exact() {
+    run_kill_primary(EstimatorKind::Exact);
+}

@@ -1,0 +1,134 @@
+//! Partition fault matrix: seeded sever/heal windows on the replication
+//! links of a 3-node mesh. The run must terminate with bounded client
+//! retries, lose no acked op at `FsyncPolicy::PerOp`, and re-attach the
+//! replica **incrementally** — the durable snapshot ships exactly once
+//! per stream, no matter how often the link drops.
+//!
+//! The fault plan wraps only the connections the replicator originates;
+//! the client path stays clean, so every feed should ack while
+//! replication degrades and catches back up underneath it.
+
+mod common;
+
+use common::{batch_ids, mesh_client, stream_config, Mesh};
+use std::time::Duration;
+use uns_mesh::{place, MeshConfig};
+use uns_service::fault::{FaultPlan, FaultSpec};
+use uns_service::protocol::EstimatorKind;
+use uns_service::resilient::{Delivery, RetryPolicy};
+use uns_service::wal::parse_wal;
+
+const BATCHES: u64 = 40;
+const BATCH_LEN: u64 = 32;
+/// Catch-up feeds after the main load; each one gives the primary another
+/// chance to re-attach once the 250ms session backoff expires.
+const CATCHUP_LIMIT: u64 = 200;
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+fn run_partition_seed(seed: u64) {
+    // Rate-zero spec: partitions come only from the explicit `sever_for`
+    // schedule below, so the whole run is deterministic per seed.
+    let plan = FaultPlan::new(seed, FaultSpec::default());
+    let config = MeshConfig { fault_plan: Some(plan.clone()), ..MeshConfig::default() };
+    let mesh = Mesh::start(3, &config);
+    let stream = format!("part-{seed}");
+    let names: Vec<String> = mesh.membership.nodes().iter().map(|n| n.name.clone()).collect();
+    let placement = place(&stream, &names, 1).expect("three live nodes");
+    let primary = mesh.index_of(&placement.primary);
+    let replica = mesh.index_of(&placement.replicas[0]);
+
+    let policy = RetryPolicy {
+        base_backoff: Duration::from_millis(1),
+        max_backoff: Duration::from_millis(50),
+        retry_budget: 64,
+        op_timeout: Some(Duration::from_secs(2)),
+        op_deadline: None,
+        jitter_seed: seed,
+    };
+    let mut client = mesh_client(&mesh, &stream, 1, policy);
+    client.create_stream(&stream, &stream_config(EstimatorKind::CountMin)).expect("create");
+
+    // Main load with a seeded sever schedule. Batches 0..3 stay clean so
+    // the single initial full attach is never interrupted; batch 3 always
+    // severs (every seed exercises at least one mid-stream re-attach) and
+    // later batches sever from the seeded draw.
+    let mut acked = 0u64;
+    for b in 0..BATCHES {
+        if b == 3 {
+            plan.sever_for(2);
+        } else if b > 3 {
+            let draw = splitmix64(seed ^ (b << 8));
+            if draw.is_multiple_of(5) {
+                plan.sever_for(1 + ((draw >> 8) % 6));
+            }
+        }
+        match client.feed_batch(&stream, &batch_ids(b, BATCH_LEN)).expect("feed under partition") {
+            Delivery::Acked(ack) => assert_eq!(ack.position, (b + 1) * BATCH_LEN),
+            Delivery::AppliedReplyLost { position } => assert_eq!(position, (b + 1) * BATCH_LEN),
+        }
+        acked += 1;
+    }
+
+    // Catch-up: keep feeding until the replica's durable position reaches
+    // every acked record. Each feed is one WAL record, and the loop must
+    // outlast the replicator's 250ms re-attach backoff.
+    let applier = mesh.nodes[replica].applier();
+    let mut extra = 0u64;
+    while applier.position(&stream).map(|(_, next)| next) != Some(acked) {
+        assert!(
+            extra < CATCHUP_LIMIT,
+            "seed {seed}: replica never caught up (acked {acked}, replica at {:?})",
+            applier.position(&stream)
+        );
+        match client
+            .feed_batch(&stream, &batch_ids(BATCHES + extra, BATCH_LEN))
+            .expect("catch-up feed")
+        {
+            Delivery::Acked(_) | Delivery::AppliedReplyLost { .. } => acked += 1,
+        }
+        extra += 1;
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    // Bounded retries: the client never ran out of budget or deadline.
+    let stats = client.retry_stats();
+    assert_eq!(stats.budget_exhausted, 0, "seed {seed}: unbounded retries: {stats:?}");
+    assert_eq!(stats.deadlines_exceeded, 0, "seed {seed}: deadline blown: {stats:?}");
+
+    // The snapshot shipped exactly once; every later re-attach resumed
+    // from the replica's own durable position.
+    let attach = mesh.nodes[primary].replicator().attach_stats();
+    assert_eq!(attach.full, 1, "seed {seed}: snapshot re-shipped: {attach:?}");
+    assert!(attach.incremental >= 1, "seed {seed}: no incremental re-attach ran: {attach:?}");
+
+    // No acked-op loss, bit-for-bit: the replica's durable log is the
+    // primary's, and their (generation, next_seq) positions agree.
+    let mut primary_wal = Vec::new();
+    mesh.backends[primary].with_wal_bytes(&stream, |b| primary_wal = b.clone());
+    let mut replica_wal = Vec::new();
+    mesh.backends[replica].with_wal_bytes(&stream, |b| replica_wal = b.clone());
+    assert!(!primary_wal.is_empty(), "seed {seed}: primary WAL missing");
+    assert_eq!(primary_wal, replica_wal, "seed {seed}: replica log diverged from the primary");
+    let parsed = parse_wal(&primary_wal);
+    let header = parsed.header.expect("primary WAL header");
+    assert_eq!(parsed.records.len() as u64, acked, "seed {seed}: primary log short of the acks");
+    assert_eq!(
+        applier.position(&stream),
+        Some((header.generation, header.base_seq + acked)),
+        "seed {seed}: durable positions diverged"
+    );
+    mesh.stop_all();
+}
+
+#[test]
+fn partition_matrix_terminates_without_acked_loss() {
+    for seed in 1..=6 {
+        run_partition_seed(seed);
+    }
+}

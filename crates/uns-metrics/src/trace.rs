@@ -44,6 +44,16 @@ pub enum TraceKind {
     /// last window of batches (`a` = stream position in elements, `b` =
     /// the window-min floor).
     FloorSample,
+    /// A replica attached (or re-attached) to its primary's replication
+    /// feed (`a` = the generation attached under, `b` = the sequence the
+    /// catch-up started from).
+    ReplicaAttach,
+    /// A replica promoted itself to primary for a stream (`a` = owning
+    /// worker on the promoting node, `b` = the bumped generation).
+    Promote,
+    /// Fault injection severed a transport for a seeded window (`a` =
+    /// window length in transport operations).
+    FaultSevered,
 }
 
 impl TraceKind {
@@ -63,6 +73,9 @@ impl TraceKind {
             TraceKind::FaultReplyDelayed => "fault_reply_delayed",
             TraceKind::FaultPanic => "fault_panic",
             TraceKind::FloorSample => "floor_sample",
+            TraceKind::ReplicaAttach => "replica_attach",
+            TraceKind::Promote => "promote",
+            TraceKind::FaultSevered => "fault_severed",
         }
     }
 }

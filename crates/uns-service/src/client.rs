@@ -190,6 +190,37 @@ impl<T: Transport> ServiceClient<T> {
         }
     }
 
+    /// Ships a replication payload to a replica node: an optional durable
+    /// snapshot plus zero or more CRC-framed WAL records starting at
+    /// `first_seq` under `generation`. An empty shipment (no snapshot, no
+    /// records) is a **probe**: the replica just answers its current
+    /// position. Returns the replica's `(generation, next_seq)` after the
+    /// payload is durably applied (log-before-ack).
+    ///
+    /// This is the primary→replica leg of the mesh's replication
+    /// protocol; ordinary clients never call it.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Remote`] when the peer rejects the shipment (e.g.
+    /// no replica handler installed), otherwise as
+    /// [`ServiceClient::ingest`].
+    pub fn replicate(
+        &mut self,
+        name: &str,
+        generation: u64,
+        first_seq: u64,
+        snapshot: Option<&[u8]>,
+        records: &[u8],
+    ) -> Result<(u64, u64), ServiceError> {
+        Request::Replicate { name, generation, first_seq, snapshot, records }
+            .encode(&mut self.send_buf);
+        match self.round_trip()? {
+            Response::ReplState { generation, next_seq } => Ok((generation, next_seq)),
+            other => Err(ServiceError::Protocol(format!("unexpected response {other:?}"))),
+        }
+    }
+
     /// Reads the stream's traffic counters.
     ///
     /// # Errors

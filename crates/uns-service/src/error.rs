@@ -28,6 +28,10 @@ pub enum ServiceError {
     /// When this reaches a client the op's outcome is *unknown* (the
     /// server may have recovered and replayed it) — resync by position.
     Durability(String),
+    /// The node holds the stream only as a replica: the op was rejected
+    /// before anything was applied. Unambiguous by construction — clients
+    /// fail over to another endpoint and retry without a position resync.
+    NotPrimary(String),
 }
 
 impl fmt::Display for ServiceError {
@@ -42,6 +46,9 @@ impl fmt::Display for ServiceError {
             ServiceError::StreamExists(name) => write!(f, "stream {name:?} already exists"),
             ServiceError::InvalidConfig(msg) => write!(f, "invalid stream configuration: {msg}"),
             ServiceError::Durability(msg) => write!(f, "durability failure: {msg}"),
+            ServiceError::NotPrimary(name) => {
+                write!(f, "node is not the primary for stream {name:?}")
+            }
         }
     }
 }
@@ -79,6 +86,7 @@ mod tests {
             ServiceError::StreamExists("s".into()),
             ServiceError::InvalidConfig("zero width".into()),
             ServiceError::Durability("wal append failed".into()),
+            ServiceError::NotPrimary("s".into()),
         ] {
             assert!(!err.to_string().is_empty());
         }

@@ -58,6 +58,14 @@ pub struct FaultSpec {
     pub reply_delay: Duration,
     /// ‰ of mutating worker ops that panic before touching the WAL.
     pub worker_panic_per_mille: u16,
+    /// ‰ of transport operations that start a network partition: the
+    /// wrapped transport is **severed** (every read and outgoing frame
+    /// errors) for the next [`FaultSpec::partition_window`] transport
+    /// operations, then heals. Models a replica dropping off the network
+    /// and coming back — whole-connection loss, not byte corruption.
+    pub partition_per_mille: u16,
+    /// Transport operations a drawn partition lasts (minimum 1).
+    pub partition_window: u32,
 }
 
 /// What [`FaultPlan::reply_action`] tells the transport to do with one
@@ -83,6 +91,8 @@ pub enum FaultSite {
     ReplyWrite,
     /// A mutating op about to execute on a worker.
     WorkerOp,
+    /// A transport operation that may start a partition window.
+    Partition,
 }
 
 const fn site_salt(site: FaultSite) -> u64 {
@@ -91,6 +101,7 @@ const fn site_salt(site: FaultSite) -> u64 {
         FaultSite::WalSync => 0x5741_4C53,   // "WALS"
         FaultSite::ReplyWrite => 0x5245504C, // "REPL"
         FaultSite::WorkerOp => 0x574F524B,   // "WORK"
+        FaultSite::Partition => 0x50415254,  // "PART"
     }
 }
 
@@ -111,6 +122,11 @@ pub struct FaultPlan {
     wal_sync_draws: AtomicU64,
     reply_draws: AtomicU64,
     worker_draws: AtomicU64,
+    partition_draws: AtomicU64,
+    /// Transport operations the current partition has left to consume
+    /// (0 = healed). Shared by every transport wrapped under this plan,
+    /// so a sever cuts the whole node, not one connection.
+    severed: AtomicU64,
     /// Optional trace sink: when a server binds its [`TraceLog`], every
     /// fault that actually fires leaves a structured event, so a failing
     /// seeded run can be read back as "what did the plan do, in order".
@@ -128,6 +144,8 @@ impl FaultPlan {
             wal_sync_draws: AtomicU64::new(0),
             reply_draws: AtomicU64::new(0),
             worker_draws: AtomicU64::new(0),
+            partition_draws: AtomicU64::new(0),
+            severed: AtomicU64::new(0),
             trace: OnceLock::new(),
         })
     }
@@ -158,6 +176,7 @@ impl FaultPlan {
             FaultSite::WalSync => &self.wal_sync_draws,
             FaultSite::ReplyWrite => &self.reply_draws,
             FaultSite::WorkerOp => &self.worker_draws,
+            FaultSite::Partition => &self.partition_draws,
         };
         let n = counter.fetch_add(1, Ordering::Relaxed);
         splitmix64(
@@ -220,6 +239,46 @@ impl FaultPlan {
             self.record(TraceKind::FaultPanic, 0, 0);
         }
         panics
+    }
+
+    /// Severs every transport under this plan for the next `ops`
+    /// transport operations — the explicit handle for tests that script a
+    /// sever/heal window instead of drawing one.
+    pub fn sever_for(&self, ops: u64) {
+        self.severed.store(ops, Ordering::Relaxed);
+        if ops > 0 {
+            self.record(TraceKind::FaultSevered, ops, 0);
+        }
+    }
+
+    /// Consumes one transport operation: `true` while a partition window
+    /// is open (the operation must fail), `false` on a healthy transport.
+    /// When no window is open, one seeded draw may start a fresh one of
+    /// [`FaultSpec::partition_window`] operations (this call consumes the
+    /// window's first operation).
+    pub fn transport_severed(&self) -> bool {
+        let mut remaining = self.severed.load(Ordering::Relaxed);
+        while remaining > 0 {
+            match self.severed.compare_exchange_weak(
+                remaining,
+                remaining - 1,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return true,
+                Err(current) => remaining = current,
+            }
+        }
+        if self.spec.partition_per_mille == 0 {
+            return false;
+        }
+        if Self::hit(self.draw(FaultSite::Partition), self.spec.partition_per_mille) {
+            let window = u64::from(self.spec.partition_window.max(1));
+            self.severed.store(window - 1, Ordering::Relaxed);
+            self.record(TraceKind::FaultSevered, window, 0);
+            return true;
+        }
+        false
     }
 }
 
@@ -394,6 +453,11 @@ impl<T: Transport> FaultTransport<T> {
                 }
                 pending.drain(..4 + len).collect::<Vec<u8>>()
             };
+            // A severed transport errors the whole connection; the frame
+            // is lost with it — what a failing link loses is messages.
+            if self.plan.transport_severed() {
+                return Err(severed_error());
+            }
             match self.plan.reply_action() {
                 ReplyAction::Deliver => self.inner.write_all(&frame)?,
                 ReplyAction::Drop => {}
@@ -406,8 +470,17 @@ impl<T: Transport> FaultTransport<T> {
     }
 }
 
+/// The error a severed transport operation surfaces: connection-level
+/// loss, which clients treat exactly like a peer that went away.
+fn severed_error() -> io::Error {
+    io::Error::new(io::ErrorKind::ConnectionReset, "injected fault: transport severed")
+}
+
 impl<T: Transport> Read for FaultTransport<T> {
     fn read(&mut self, out: &mut [u8]) -> io::Result<usize> {
+        if self.plan.transport_severed() {
+            return Err(severed_error());
+        }
         self.inner.read(out)
     }
 }
@@ -458,6 +531,8 @@ mod tests {
             delay_reply_per_mille: 100,
             reply_delay: Duration::from_millis(1),
             worker_panic_per_mille: 50,
+            partition_per_mille: 40,
+            partition_window: 3,
         };
         let (a, b) = (plan(9, spec), plan(9, spec));
         for _ in 0..500 {
@@ -465,6 +540,7 @@ mod tests {
             assert_eq!(a.sync_fails(), b.sync_fails());
             assert_eq!(a.reply_action(), b.reply_action());
             assert_eq!(a.worker_panics(), b.worker_panics());
+            assert_eq!(a.transport_severed(), b.transport_severed());
         }
         // A different seed diverges somewhere.
         let c = plan(10, spec);
@@ -533,6 +609,44 @@ mod tests {
         let mut body = Vec::new();
         assert!(crate::wire::read_frame(&mut client_end, &mut body).unwrap());
         assert_eq!(body, b"hello");
+    }
+
+    #[test]
+    fn partition_severs_a_whole_window_then_heals() {
+        // Explicit sever: exactly `ops` operations fail, then service
+        // resumes — the sever/heal window tests script failover with.
+        let p = plan(21, FaultSpec::default());
+        assert!(!p.transport_severed());
+        p.sever_for(3);
+        for _ in 0..3 {
+            assert!(p.transport_severed());
+        }
+        assert!(!p.transport_severed(), "window must heal after its ops are consumed");
+        // Drawn sever: rate 1000 opens a window on the first idle draw,
+        // and the window length is honored before the next draw.
+        let spec =
+            FaultSpec { partition_per_mille: 1000, partition_window: 4, ..FaultSpec::default() };
+        let p = plan(21, spec);
+        for _ in 0..4 {
+            assert!(p.transport_severed());
+        }
+        // The next call draws again (rate 1000 → a fresh window).
+        assert!(p.transport_severed());
+        // A severed transport errors reads and loses flushed frames.
+        let spec = FaultSpec::default();
+        let quiet = plan(5, spec);
+        let (server_end, mut client_end) = duplex(1 << 16);
+        let mut faulty = FaultTransport::new(server_end, Arc::clone(&quiet));
+        quiet.sever_for(2);
+        let mut buf = [0u8; 1];
+        assert_eq!(faulty.read(&mut buf).unwrap_err().kind(), io::ErrorKind::ConnectionReset);
+        let lost = crate::wire::write_frame(&mut faulty, b"lost").unwrap_err();
+        assert!(lost.to_string().contains("severed"), "unexpected error: {lost}");
+        // Healed: traffic flows again on the same wrapper.
+        crate::wire::write_frame(&mut faulty, b"back").unwrap();
+        let mut body = Vec::new();
+        assert!(crate::wire::read_frame(&mut client_end, &mut body).unwrap());
+        assert_eq!(body, b"back");
     }
 
     #[test]

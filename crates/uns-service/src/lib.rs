@@ -95,11 +95,14 @@ pub use client::{FeedAck, IngestAck, ServiceClient};
 pub use error::ServiceError;
 pub use fault::{FaultPlan, FaultSpec};
 pub use loadgen::{LoadgenConfig, LoadgenReport, LoadgenRetry, Workload};
-pub use metrics::{export_stream_stats, ServiceMetrics, FLOOR_WINDOW_BATCHES};
-pub use protocol::{EstimatorKind, HashFamilyKind, StreamConfig, StreamStats};
+pub use metrics::{
+    export_stream_stats, stream_replication_handles, ReplicationHandles, ServiceMetrics,
+    FLOOR_WINDOW_BATCHES,
+};
+pub use protocol::{EstimatorKind, HashFamilyKind, ReplicationStats, StreamConfig, StreamStats};
 pub use resilient::{Delivery, ResilientClient, RetryPolicy, RetryStats};
 pub use sampler::ServiceSampler;
-pub use server::{DurabilityConfig, Server, ServerConfig};
+pub use server::{DurabilityConfig, ReplicaHandler, ReplicationSink, Server, ServerConfig};
 pub use storage::{DirBackend, MemBackend, StorageBackend};
 pub use transport::{duplex, PipeTransport, Transport};
 pub use wal::{DurabilityStats, FsyncPolicy};

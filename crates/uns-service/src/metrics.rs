@@ -34,6 +34,13 @@ pub const METRIC_STREAM_RECOVERIES: &str = "uns_stream_recoveries_total";
 pub const METRIC_STREAM_FLOOR: &str = "uns_stream_floor";
 /// Exposition family name for the floor-trajectory window minimum.
 pub const METRIC_STREAM_FLOOR_WINDOW_MIN: &str = "uns_stream_floor_window_min";
+/// Exposition family name for the per-stream replica lag gauge (records
+/// the primary has durably applied that its replica has not acknowledged).
+pub const METRIC_STREAM_REPLICA_LAG: &str = "uns_replica_lag_records";
+/// Exposition family name for per-stream bytes shipped to replicas.
+pub const METRIC_STREAM_REPLICATION_BYTES: &str = "uns_replication_bytes_total";
+/// Exposition family name for per-stream failover promotions served.
+pub const METRIC_STREAM_FAILOVERS: &str = "uns_failovers_total";
 
 /// Batches per floor-trajectory window: the window-min gauge and its
 /// [`TraceKind::FloorSample`] event update once per this many mutating
@@ -58,6 +65,10 @@ const HELP_RECOVERIES: &str = "Times the stream was rebuilt from durable state."
 const HELP_FLOOR: &str = "Most recently observed sampler floor estimate.";
 const HELP_FLOOR_WINDOW_MIN: &str =
     "Minimum floor estimate over the last floor-trajectory window of batches.";
+const HELP_REPLICA_LAG: &str =
+    "Durably applied records the stream's replica has not yet acknowledged.";
+const HELP_REPLICATION_BYTES: &str = "Record bytes shipped to the stream's replicas.";
+const HELP_FAILOVERS: &str = "Failover promotions this stream went through on this node.";
 
 /// Per-server metrics state: the registry, the trace ring, and the handles
 /// global instrumentation sites hold (queue depths, op latency, WAL
@@ -188,10 +199,47 @@ impl ServiceMetrics {
         }
     }
 
+    /// The replication handle bundle for `stream` — registered from the
+    /// connection side (like [`ServiceMetrics::stream_busy`]) so the
+    /// `Stats` fold reads the same atomics the exposition renders.
+    pub(crate) fn stream_replication(&self, stream: &str) -> ReplicationHandles {
+        stream_replication_handles(&self.registry, stream)
+    }
+
     /// Drops every series labeled with this stream — torn-down streams
     /// must not keep exporting stale numbers.
     pub(crate) fn remove_stream(&self, stream: &str) {
         self.registry.remove_labeled("stream", stream);
+    }
+}
+
+/// The per-stream replication series handles. The registry hands out the
+/// same atomics for the same name, so a mesh replicator registering these
+/// against a server's [`MetricsRegistry`] updates exactly the numbers the
+/// server's `Stats` fold and `/metrics` exposition report.
+#[derive(Clone, Debug)]
+pub struct ReplicationHandles {
+    /// `uns_replica_lag_records{stream=…}` — records shipped but not yet
+    /// acknowledged by the replica (0 when detached or in lockstep).
+    pub lag: Arc<Gauge>,
+    /// `uns_replication_bytes_total{stream=…}` — record and snapshot bytes
+    /// shipped to replicas.
+    pub shipped_bytes: Arc<Counter>,
+    /// `uns_failovers_total{stream=…}` — promotions served on this node.
+    pub failovers: Arc<Counter>,
+}
+
+/// Registers (or re-acquires) the replication series of `stream`.
+pub fn stream_replication_handles(registry: &MetricsRegistry, stream: &str) -> ReplicationHandles {
+    let labels = [("stream", stream)];
+    ReplicationHandles {
+        lag: registry.gauge(METRIC_STREAM_REPLICA_LAG, HELP_REPLICA_LAG, &labels),
+        shipped_bytes: registry.counter(
+            METRIC_STREAM_REPLICATION_BYTES,
+            HELP_REPLICATION_BYTES,
+            &labels,
+        ),
+        failovers: registry.counter(METRIC_STREAM_FAILOVERS, HELP_FAILOVERS, &labels),
     }
 }
 
@@ -295,6 +343,10 @@ pub fn export_stream_stats(registry: &MetricsRegistry, stream: &str, stats: &Str
     registry
         .counter(METRIC_STREAM_RECOVERIES, HELP_RECOVERIES, &labels)
         .set(stats.durability.recoveries);
+    let replication = stream_replication_handles(registry, stream);
+    replication.lag.set_u64(stats.replication.lag_records);
+    replication.shipped_bytes.set(stats.replication.shipped_bytes);
+    replication.failovers.set(stats.replication.failovers);
 }
 
 #[cfg(test)]
@@ -314,6 +366,11 @@ mod tests {
                 snapshot_compactions: 5,
                 recoveries: 1,
             },
+            replication: crate::protocol::ReplicationStats {
+                lag_records: 7,
+                shipped_bytes: 4242,
+                failovers: 2,
+            },
         };
         export_stream_stats(&registry, "s", &stats);
         let samples = parse_exposition(&registry.render()).expect("rendered text parses");
@@ -328,6 +385,9 @@ mod tests {
             (METRIC_STREAM_WAL_RECORDS, 22),
             (METRIC_STREAM_COMPACTIONS, 5),
             (METRIC_STREAM_RECOVERIES, 1),
+            (METRIC_STREAM_REPLICA_LAG, 7),
+            (METRIC_STREAM_REPLICATION_BYTES, 4242),
+            (METRIC_STREAM_FAILOVERS, 2),
         ] {
             let sample = find(&samples, name, &[("stream", "s")])
                 .unwrap_or_else(|| panic!("missing {name}"));

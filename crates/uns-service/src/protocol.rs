@@ -209,6 +209,30 @@ pub enum Request<'a> {
     /// A trailing opcode addition: old clients never send it, old servers
     /// answer it with an unknown-opcode error.
     Metrics,
+    /// Primary→replica replication shipment: apply WAL `records` (raw
+    /// CRC-framed bytes, exactly as [`crate::wal::encode_record`] lays
+    /// them out) for `name` starting at sequence `first_seq` under
+    /// `generation`. A `snapshot` blob, when present, (re)establishes the
+    /// replica's durable base first — the full-attach path; without it the
+    /// shipment is incremental and the replica rejects generation or
+    /// sequence mismatches by answering its own state. An empty shipment
+    /// (no snapshot, no records) is a pure state probe. Answered with
+    /// [`Response::ReplState`] after the records are durably applied
+    /// (log-before-ack).
+    Replicate {
+        /// Target stream.
+        name: &'a str,
+        /// Incarnation generation the records belong to (ignored for the
+        /// full-attach path — the snapshot carries its own).
+        generation: u64,
+        /// Sequence number of the first record in `records`.
+        first_seq: u64,
+        /// Durable snapshot blob establishing the replica's base
+        /// (full attach), or `None` for incremental shipments and probes.
+        snapshot: Option<&'a [u8]>,
+        /// Raw CRC-framed WAL record bytes, zero or more records.
+        records: &'a [u8],
+    },
 }
 
 const OP_CREATE: u8 = 0x01;
@@ -220,6 +244,7 @@ const OP_SNAPSHOT: u8 = 0x06;
 const OP_RESTORE: u8 = 0x07;
 const OP_STATS: u8 = 0x08;
 const OP_METRICS: u8 = 0x09;
+const OP_REPL_APPLY: u8 = 0x0A;
 
 impl<'a> Request<'a> {
     /// Encodes the request as a frame body (version + opcode + payload)
@@ -278,6 +303,22 @@ impl<'a> Request<'a> {
                 put_str(out, name);
             }
             Request::Metrics => out.push(OP_METRICS),
+            Request::Replicate { name, generation, first_seq, snapshot, records } => {
+                out.push(OP_REPL_APPLY);
+                put_str(out, name);
+                put_u64(out, *generation);
+                put_u64(out, *first_seq);
+                match snapshot {
+                    Some(blob) => {
+                        out.push(1);
+                        put_u32(out, blob.len() as u32);
+                        out.extend_from_slice(blob);
+                    }
+                    None => out.push(0),
+                }
+                put_u32(out, records.len() as u32);
+                out.extend_from_slice(records);
+            }
         }
     }
 
@@ -342,6 +383,20 @@ impl<'a> Request<'a> {
             }
             OP_STATS => Request::Stats { name: cur.str()? },
             OP_METRICS => Request::Metrics,
+            OP_REPL_APPLY => {
+                let name = cur.str()?;
+                let generation = cur.u64()?;
+                let first_seq = cur.u64()?;
+                let snapshot = if cur.u8()? != 0 {
+                    let len = cur.u32()? as usize;
+                    Some(cur.take(len)?)
+                } else {
+                    None
+                };
+                let len = cur.u32()? as usize;
+                let records = cur.take(len)?;
+                Request::Replicate { name, generation, first_seq, snapshot, records }
+            }
             other => return Err(ServiceError::Protocol(format!("unknown request opcode {other}"))),
         };
         cur.finish()?;
@@ -359,7 +414,8 @@ impl<'a> Request<'a> {
             | Request::FloorEstimate { name }
             | Request::Snapshot { name }
             | Request::Restore { name, .. }
-            | Request::Stats { name } => name,
+            | Request::Stats { name }
+            | Request::Replicate { name, .. } => name,
             Request::Metrics => "",
         }
     }
@@ -383,6 +439,38 @@ pub struct StreamStats {
     /// Durability accounting (all zero on a server running without a
     /// storage backend): WAL bytes/records, compactions, recoveries.
     pub durability: DurabilityStats,
+    /// Replication accounting (all zero outside a replicated mesh). On
+    /// the wire these are *trailing optional* words mirroring the
+    /// CreateStream family byte: the all-zero default is encoded as their
+    /// absence, so unreplicated Stats frames stay byte-identical to the
+    /// previous wire format and frames from older encoders decode as
+    /// zeros.
+    pub replication: ReplicationStats,
+}
+
+/// Replication counters of one stream, folded into [`StreamStats`] by the
+/// primary's connection thread from the same registered atomics the
+/// `/metrics` exposition renders — the Stats↔exposition agreement is
+/// structural, not a mirror.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReplicationStats {
+    /// Records the primary has durably applied that its replica has not
+    /// yet acknowledged (`uns_replica_lag_records`).
+    pub lag_records: u64,
+    /// Record bytes shipped to replicas over the replication opcode
+    /// (`uns_replication_bytes_total`).
+    pub shipped_bytes: u64,
+    /// Promotions this stream went through on this node
+    /// (`uns_failovers_total`).
+    pub failovers: u64,
+}
+
+impl ReplicationStats {
+    /// `true` when every counter is zero (the unreplicated default, which
+    /// the wire encodes as absence).
+    pub fn is_zero(&self) -> bool {
+        *self == Self::default()
+    }
 }
 
 /// Error codes carried by [`Response::Error`].
@@ -400,6 +488,9 @@ pub enum ErrorCode {
     /// applied (when it surfaces after a WAL-and-recovery race the outcome
     /// is unknown; clients resync by position).
     Durability,
+    /// The node holds the stream only as a replica — the op was rejected
+    /// before anything was applied; fail over to another endpoint.
+    NotPrimary,
     /// Anything else.
     Other,
 }
@@ -413,6 +504,7 @@ impl ErrorCode {
             ErrorCode::BadSnapshot => 4,
             ErrorCode::Other => 5,
             ErrorCode::Durability => 6,
+            ErrorCode::NotPrimary => 7,
         }
     }
 
@@ -424,6 +516,7 @@ impl ErrorCode {
             4 => Ok(ErrorCode::BadSnapshot),
             5 => Ok(ErrorCode::Other),
             6 => Ok(ErrorCode::Durability),
+            7 => Ok(ErrorCode::NotPrimary),
             other => Err(ServiceError::Protocol(format!("unknown error code {other}"))),
         }
     }
@@ -463,6 +556,16 @@ pub enum Response {
     Stats(StreamStats),
     /// The server's metrics rendered as Prometheus text exposition.
     Metrics(String),
+    /// The replica's durable replication state after a
+    /// [`Request::Replicate`] shipment (or probe): the generation its log
+    /// runs under and the next sequence it expects. Sent only once the
+    /// shipped records are durable — the log-before-ack contract.
+    ReplState {
+        /// Incarnation generation of the replica's log.
+        generation: u64,
+        /// Next record sequence the replica expects.
+        next_seq: u64,
+    },
     /// The shard queue was full — retry (backpressure, nothing buffered).
     Busy,
     /// Application-level failure.
@@ -482,6 +585,7 @@ const RESP_VALUE: u8 = 0x84;
 const RESP_SNAPSHOT: u8 = 0x85;
 const RESP_STATS: u8 = 0x86;
 const RESP_METRICS: u8 = 0x87;
+const RESP_REPL_STATE: u8 = 0x88;
 const RESP_BUSY: u8 = 0xEE;
 const RESP_ERROR: u8 = 0xEF;
 
@@ -529,6 +633,13 @@ impl Response {
                 put_u64(out, stats.durability.wal_records);
                 put_u64(out, stats.durability.snapshot_compactions);
                 put_u64(out, stats.durability.recoveries);
+                // Trailing optional replication words: absent ⇔ all zero,
+                // so unreplicated frames keep the previous wire format.
+                if !stats.replication.is_zero() {
+                    put_u64(out, stats.replication.lag_records);
+                    put_u64(out, stats.replication.shipped_bytes);
+                    put_u64(out, stats.replication.failovers);
+                }
             }
             Response::Metrics(text) => {
                 out.push(RESP_METRICS);
@@ -536,6 +647,11 @@ impl Response {
                 // many streams easily exceeds a u16 string's 64 KiB.
                 put_u32(out, text.len() as u32);
                 out.extend_from_slice(text.as_bytes());
+            }
+            Response::ReplState { generation, next_seq } => {
+                out.push(RESP_REPL_STATE);
+                put_u64(out, *generation);
+                put_u64(out, *next_seq);
             }
             Response::Busy => out.push(RESP_BUSY),
             Response::Error { code, message } => {
@@ -597,6 +713,15 @@ impl Response {
                     snapshot_compactions: cur.u64()?,
                     recoveries: cur.u64()?,
                 },
+                replication: if cur.remaining() > 0 {
+                    ReplicationStats {
+                        lag_records: cur.u64()?,
+                        shipped_bytes: cur.u64()?,
+                        failovers: cur.u64()?,
+                    }
+                } else {
+                    ReplicationStats::default()
+                },
             }),
             RESP_METRICS => {
                 let len = cur.u32()? as usize;
@@ -605,6 +730,7 @@ impl Response {
                     ServiceError::Protocol(format!("invalid UTF-8 in metrics text: {err}"))
                 })?)
             }
+            RESP_REPL_STATE => Response::ReplState { generation: cur.u64()?, next_seq: cur.u64()? },
             RESP_BUSY => Response::Busy,
             RESP_ERROR => Response::Error {
                 code: ErrorCode::from_u8(cur.u8()?)?,
@@ -634,6 +760,7 @@ impl Response {
                 ErrorCode::InvalidConfig => ServiceError::InvalidConfig(message),
                 ErrorCode::BadSnapshot => ServiceError::Snapshot(message),
                 ErrorCode::Durability => ServiceError::Durability(message),
+                ErrorCode::NotPrimary => ServiceError::NotPrimary(message),
                 ErrorCode::Other => ServiceError::Remote(message),
             }),
             ok => Ok(ok),
@@ -715,6 +842,38 @@ mod tests {
     }
 
     #[test]
+    fn replicate_requests_round_trip_byte_identically() {
+        // Incremental shipment: the raw record bytes come back untouched —
+        // the byte-identity the replication log contract rests on.
+        let records: Vec<u8> = (0..64u8).collect();
+        for (snapshot, records_slice) in [
+            (None, &records[..]),
+            (Some(&b"snapblob"[..]), &records[..]),
+            (None, &[][..]), // pure probe
+        ] {
+            let request = Request::Replicate {
+                name: "repl",
+                generation: 7,
+                first_seq: 42,
+                snapshot,
+                records: records_slice,
+            };
+            let body = round_trip_request(&request);
+            match Request::decode(&body).unwrap() {
+                Request::Replicate { name, generation, first_seq, snapshot: s, records: r } => {
+                    assert_eq!(name, "repl");
+                    assert_eq!(generation, 7);
+                    assert_eq!(first_seq, 42);
+                    assert_eq!(s, snapshot);
+                    assert_eq!(r, records_slice);
+                }
+                other => panic!("wrong decode: {other:?}"),
+            }
+            assert_eq!(request.stream_name(), "repl");
+        }
+    }
+
+    #[test]
     fn create_stream_family_byte_is_trailing_and_optional() {
         // Default family: no trailing byte — byte-identical to the
         // pre-family wire format, and frames without it decode as Mersenne.
@@ -780,7 +939,15 @@ mod tests {
                     snapshot_compactions: 1,
                     recoveries: 3,
                 },
+                replication: ReplicationStats::default(),
             }),
+            Response::Stats(StreamStats {
+                pipeline: PipelineStats::default(),
+                busy_rejections: 0,
+                durability: DurabilityStats::default(),
+                replication: ReplicationStats { lag_records: 3, shipped_bytes: 9000, failovers: 1 },
+            }),
+            Response::ReplState { generation: 4, next_seq: 1234 },
             // Over a u16 string's 64 KiB — the u32-length text survives.
             Response::Metrics("# HELP x X.\nx 1\n".repeat(8 * 1024)),
             Response::Busy,
@@ -832,5 +999,33 @@ mod tests {
         assert!(matches!(err.into_result(), Err(ServiceError::Snapshot(_))));
         let err = Response::Error { code: ErrorCode::Durability, message: "s".into() };
         assert!(matches!(err.into_result(), Err(ServiceError::Durability(_))));
+        let err = Response::Error { code: ErrorCode::NotPrimary, message: "s".into() };
+        assert!(matches!(err.into_result(), Err(ServiceError::NotPrimary(_))));
+    }
+
+    #[test]
+    fn stats_replication_words_are_trailing_optional() {
+        // All-zero replication stats encode nothing extra: the body is
+        // byte-identical to what a pre-replication peer would emit, so old
+        // decoders keep working and new decoders read the default.
+        let zero = Response::Stats(StreamStats {
+            pipeline: PipelineStats { elements: 7, shards: 1, chunks: 2, admitted: 3, outputs: 4 },
+            busy_rejections: 1,
+            durability: DurabilityStats::default(),
+            replication: ReplicationStats::default(),
+        });
+        let mut nonzero_stats = match &zero {
+            Response::Stats(s) => *s,
+            _ => unreachable!(),
+        };
+        nonzero_stats.replication.lag_records = 5;
+        let nonzero = Response::Stats(nonzero_stats);
+        let mut zero_body = Vec::new();
+        zero.encode(&mut zero_body);
+        let mut nonzero_body = Vec::new();
+        nonzero.encode(&mut nonzero_body);
+        assert_eq!(nonzero_body.len(), zero_body.len() + 24);
+        assert_eq!(Response::decode(&zero_body).unwrap(), zero);
+        assert_eq!(Response::decode(&nonzero_body).unwrap(), nonzero);
     }
 }

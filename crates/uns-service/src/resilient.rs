@@ -16,6 +16,12 @@
 //!   position after the batch, so comparing the server's position against
 //!   the client's expectation distinguishes "applied, reply lost"
 //!   ([`Delivery::AppliedReplyLost`]) from "never applied" (resend).
+//! * **Node failover** — a client built over an endpoint *list*
+//!   ([`ResilientClient::with_endpoints`]) rotates to the next endpoint
+//!   when a connection cannot be established or a node answers
+//!   [`ServiceError::NotPrimary`] (the mesh moved the stream's primary).
+//!   Both causes are unambiguous — the op was never enqueued — so a
+//!   failover retries **without** position resync.
 //!
 //! Reply-loss detection requires a per-attempt reply timeout
 //! ([`RetryPolicy::op_timeout`]) — without one a dropped reply blocks the
@@ -80,6 +86,9 @@ pub struct RetryStats {
     pub budget_exhausted: u64,
     /// Logical ops abandoned because the op deadline passed.
     pub deadlines_exceeded: u64,
+    /// Endpoint rotations after a connect failure or `NotPrimary` bounce.
+    /// Stays zero on a single-endpoint client.
+    pub failovers: u64,
 }
 
 impl RetryStats {
@@ -121,6 +130,11 @@ impl RetryStats {
                 "Logical ops abandoned: op deadline passed.",
                 self.deadlines_exceeded,
             ),
+            (
+                "uns_client_failovers_total",
+                "Endpoint rotations after a connect failure or NotPrimary bounce.",
+                self.failovers,
+            ),
         ] {
             registry.counter(name, help, labels).set(value);
         }
@@ -153,6 +167,19 @@ enum Resync {
     NotApplied,
 }
 
+/// An unambiguous refusal that another endpoint may be able to serve: the
+/// node holds the stream as a replica (`NotPrimary`) or its worker pool is
+/// draining for shutdown. Neither applied the op, so failover needs no
+/// resync.
+fn is_failover_bounce(err: &ServiceError) -> bool {
+    match err {
+        ServiceError::NotPrimary(_) => true,
+        // The drain path rejects before enqueue; see `server::dispatch`.
+        ServiceError::Remote(msg) => msg.contains("shutting down"),
+        _ => false,
+    }
+}
+
 fn is_transport_error(err: &ServiceError) -> bool {
     match err {
         ServiceError::Io(_) => true,
@@ -168,10 +195,16 @@ fn is_transport_error(err: &ServiceError) -> bool {
 /// A [`ServiceClient`] wrapper owning reconnection and retry policy.
 ///
 /// `F` is the connect closure — called lazily for the first connection and
-/// again after every transport fault.
+/// again after every transport fault. With [`ResilientClient::with_endpoints`]
+/// the client holds one closure per node and rotates between them on
+/// connect failures and [`ServiceError::NotPrimary`] bounces. A
+/// heterogeneous endpoint set boxes the closures
+/// (`Box<dyn FnMut() -> Result<T, ServiceError>>` implements `FnMut`).
 pub struct ResilientClient<T: Transport, F: FnMut() -> Result<T, ServiceError>> {
     client: Option<ServiceClient<T>>,
-    connect: F,
+    /// Connect closures in failover order; `current` indexes the one in use.
+    endpoints: Vec<F>,
+    current: usize,
     policy: RetryPolicy,
     stats: RetryStats,
     /// Last acked stream position per stream — the resync baseline.
@@ -184,9 +217,23 @@ impl<T: Transport, F: FnMut() -> Result<T, ServiceError>> ResilientClient<T, F> 
     /// Builds a client over `connect`; no connection is made until the
     /// first op.
     pub fn new(policy: RetryPolicy, connect: F) -> Self {
+        Self::with_endpoints(policy, vec![connect])
+    }
+
+    /// Builds a client over an ordered endpoint list — index 0 is tried
+    /// first, so a mesh caller passes `[primary, replica, ...]`. Rotation
+    /// wraps around: a dead primary and a not-yet-promoted replica are
+    /// both revisited until the retry budget or deadline runs out.
+    ///
+    /// # Panics
+    ///
+    /// When `endpoints` is empty — a client with nowhere to connect.
+    pub fn with_endpoints(policy: RetryPolicy, endpoints: Vec<F>) -> Self {
+        assert!(!endpoints.is_empty(), "a ResilientClient needs at least one endpoint");
         Self {
             client: None,
-            connect,
+            endpoints,
+            current: 0,
             policy,
             stats: RetryStats::default(),
             positions: HashMap::new(),
@@ -207,7 +254,7 @@ impl<T: Transport, F: FnMut() -> Result<T, ServiceError>> ResilientClient<T, F> 
 
     fn client(&mut self) -> Result<&mut ServiceClient<T>, ServiceError> {
         if self.client.is_none() {
-            let transport = (self.connect)()?;
+            let transport = (self.endpoints[self.current])()?;
             let mut client = ServiceClient::new(transport)?;
             client.set_op_timeout(self.policy.op_timeout)?;
             if self.connected_once {
@@ -221,6 +268,17 @@ impl<T: Transport, F: FnMut() -> Result<T, ServiceError>> ResilientClient<T, F> 
 
     fn drop_connection(&mut self) {
         self.client = None;
+    }
+
+    /// Drops the connection and advances to the next endpoint. On a
+    /// single-endpoint client this is just a reconnect — no rotation, no
+    /// failover counted — so pre-mesh behavior is unchanged.
+    fn failover(&mut self) {
+        self.drop_connection();
+        if self.endpoints.len() > 1 {
+            self.current = (self.current + 1) % self.endpoints.len();
+            self.stats.failovers += 1;
+        }
     }
 
     /// splitmix64 over the jitter seed — uniform in `[0, 1)`.
@@ -278,13 +336,24 @@ impl<T: Transport, F: FnMut() -> Result<T, ServiceError>> ResilientClient<T, F> 
         loop {
             let result = match self.client() {
                 Ok(client) => op(client),
-                Err(err) => Err(err),
+                Err(err) => {
+                    // Connect failure: nothing was sent — rotate and retry.
+                    self.failover();
+                    self.pause(start, attempts, err)?;
+                    continue;
+                }
             };
             match result {
                 Ok(value) => return Ok(value),
                 Err(ServiceError::Busy) => {
                     self.stats.busy_retries += 1;
                     self.pause(start, attempts, ServiceError::Busy)?;
+                }
+                Err(err) if is_failover_bounce(&err) => {
+                    // Replica bounce or shutdown drain — unambiguous
+                    // refusal; try the next endpoint.
+                    self.failover();
+                    self.pause(start, attempts, err)?;
                 }
                 Err(err) if is_transport_error(&err) => {
                     self.drop_connection();
@@ -343,12 +412,24 @@ impl<T: Transport, F: FnMut() -> Result<T, ServiceError>> ResilientClient<T, F> 
         loop {
             let result = match self.client() {
                 Ok(client) => op(client),
-                Err(err) => Err(err),
+                Err(err) => {
+                    // Connect failure: the op was never sent this attempt,
+                    // so there is no new ambiguity — rotate and retry
+                    // without resync.
+                    self.failover();
+                    self.pause(start, &mut attempts, err)?;
+                    continue;
+                }
             };
             match result {
                 Ok(ack) => {
                     self.positions.insert(name.to_string(), position_of(&ack));
                     return Ok(Delivery::Acked(ack));
+                }
+                Err(err) if is_failover_bounce(&err) => {
+                    // Refused before enqueue — not applied, no resync.
+                    self.failover();
+                    self.pause(start, &mut attempts, err)?;
                 }
                 Err(ServiceError::Busy) => {
                     // Busy means the shard queue rejected the op before it
@@ -432,11 +513,19 @@ impl<T: Transport, F: FnMut() -> Result<T, ServiceError>> ResilientClient<T, F> 
         loop {
             let result = match self.client() {
                 Ok(client) => client.create_stream(name, config),
-                Err(err) => Err(err),
+                Err(err) => {
+                    self.failover();
+                    self.pause(start, &mut attempts, err)?;
+                    continue;
+                }
             };
             match result {
                 Ok(()) => return Ok(()),
                 Err(ServiceError::StreamExists(_)) if ambiguous => return Ok(()),
+                Err(err) if is_failover_bounce(&err) => {
+                    self.failover();
+                    self.pause(start, &mut attempts, err)?;
+                }
                 Err(ServiceError::Busy) => {
                     self.stats.busy_retries += 1;
                     self.pause(start, &mut attempts, ServiceError::Busy)?;
@@ -725,6 +814,91 @@ mod tests {
         assert!(matches!(err, ServiceError::Io(_)), "expected timeout, got {err}");
         assert!(started.elapsed() < Duration::from_secs(5), "deadline must cut retries short");
         assert_eq!(client.retry_stats().deadlines_exceeded, 1);
+    }
+
+    #[test]
+    fn connect_failure_rotates_to_the_next_endpoint() {
+        let server_owner = Server::start(ServerConfig::default());
+        let server = &server_owner;
+        {
+            let mut plain = ServiceClient::new(server.connect_in_process()).unwrap();
+            plain.create_stream("s", &stream_config()).unwrap();
+        }
+        // One source closure, two instances → one type, no boxing needed.
+        let mk = |up: bool| {
+            move || {
+                if up {
+                    Ok(server.connect_in_process())
+                } else {
+                    Err(ServiceError::Io(std::io::Error::new(
+                        std::io::ErrorKind::ConnectionRefused,
+                        "node down",
+                    )))
+                }
+            }
+        };
+        let mut client =
+            ResilientClient::with_endpoints(RetryPolicy::default(), vec![mk(false), mk(true)]);
+        let ids: Vec<NodeId> = (0..8u64).map(NodeId::new).collect();
+        // Endpoint 0 refuses the connection → rotate → endpoint 1 acks.
+        match client.feed_batch("s", &ids).unwrap() {
+            Delivery::Acked(ack) => assert_eq!(ack.position, 8),
+            Delivery::AppliedReplyLost { .. } => panic!("no ambiguity on a connect failure"),
+        }
+        let stats = client.retry_stats();
+        assert_eq!(stats.failovers, 1);
+        assert_eq!(stats.resyncs, 0, "connect failures never resync");
+        assert_eq!(stats.reconnects, 0, "the first successful connection is not a reconnect");
+    }
+
+    #[test]
+    fn not_primary_bounce_fails_over_to_the_primary() {
+        use crate::protocol::Response;
+        use crate::server::ReplicaHandler;
+        use std::sync::Arc;
+
+        /// A node that claims every stream as a replica — all data ops
+        /// bounce with `NotPrimary`.
+        struct HoldsEverything;
+        impl ReplicaHandler for HoldsEverything {
+            fn apply(
+                &self,
+                _stream: &str,
+                generation: u64,
+                first_seq: u64,
+                _snapshot: Option<&[u8]>,
+                _records: &[u8],
+            ) -> Response {
+                Response::ReplState { generation, next_seq: first_seq }
+            }
+            fn holds(&self, _stream: &str) -> bool {
+                true
+            }
+        }
+
+        let primary_owner = Server::start(ServerConfig::default());
+        let replica_owner = Server::start(ServerConfig::default());
+        replica_owner.set_replica_handler(Some(Arc::new(HoldsEverything)));
+        {
+            let mut plain = ServiceClient::new(primary_owner.connect_in_process()).unwrap();
+            plain.create_stream("s", &stream_config()).unwrap();
+        }
+        // Replica listed first: the very first op is bounced with
+        // NotPrimary and the client must rotate to the primary.
+        let endpoints: Vec<_> = [&replica_owner, &primary_owner]
+            .into_iter()
+            .map(|s| move || Ok(s.connect_in_process()))
+            .collect();
+        let mut client = ResilientClient::with_endpoints(RetryPolicy::default(), endpoints);
+        let ids: Vec<NodeId> = (0..8u64).map(NodeId::new).collect();
+        match client.feed_batch("s", &ids).unwrap() {
+            Delivery::Acked(ack) => assert_eq!(ack.position, 8),
+            Delivery::AppliedReplyLost { .. } => panic!("NotPrimary is unambiguous"),
+        }
+        let stats = client.retry_stats();
+        assert_eq!(stats.failovers, 1);
+        assert_eq!(stats.resyncs, 0, "NotPrimary means not applied — no resync");
+        assert_eq!(client.expected_position("s"), Some(8));
     }
 
     #[test]

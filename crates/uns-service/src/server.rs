@@ -39,16 +39,17 @@
 
 use crate::error::ServiceError;
 use crate::fault::{FaultBackend, FaultPlan, FaultTransport};
-use crate::metrics::{ServiceMetrics, StreamMetrics};
+use crate::metrics::{ReplicationHandles, ServiceMetrics, StreamMetrics};
 use crate::protocol::{
-    ErrorCode, Request, Response, StreamConfig, StreamStats, MAX_BATCH_IDS, MAX_STREAM_NAME_LEN,
+    ErrorCode, ReplicationStats, Request, Response, StreamConfig, StreamStats, MAX_BATCH_IDS,
+    MAX_STREAM_NAME_LEN,
 };
 use crate::sampler::ServiceSampler;
 use crate::storage::StorageBackend;
 use crate::transport::Transport;
 use crate::wal::{
-    parse_wal, DurabilityStats, DurableSnapshot, FsyncPolicy, WalOp, WalOpRef, WalWriter,
-    WAL_HEADER_LEN,
+    encode_record, parse_wal, DurabilityStats, DurableSnapshot, FsyncPolicy, WalOp, WalOpRef,
+    WalWriter, WAL_HEADER_LEN,
 };
 use crate::wire::{read_frame, write_frame, MAX_FRAME_LEN};
 use std::collections::HashMap;
@@ -137,6 +138,9 @@ impl fmt::Debug for DurabilityConfig {
 enum StreamOp {
     Create(String, StreamConfig),
     Restore(String, Vec<u8>),
+    /// Promote a replica-held stream: rebuild it from the durable state
+    /// the replication feed laid down, with the generation bumped.
+    Adopt(String),
     Ingest(Vec<NodeId>),
     Feed(Vec<NodeId>),
     Sample,
@@ -164,6 +168,10 @@ struct StreamEntry {
     /// registered `uns_stream_busy_rejections_total` counter itself, so
     /// the Stats fold and the exposition read the same atomic.
     busy: Arc<Counter>,
+    /// The stream's registered replication series (lag gauge, shipped
+    /// bytes, failovers) — same idiom as `busy`: the mesh replicator
+    /// updates the registry atomics, the Stats fold reads them here.
+    replication: ReplicationHandles,
     /// `false` while the creating connection's Create/Restore round-trip
     /// is still in flight. Other connections seeing a pending entry reply
     /// Busy instead of racing the creation — and the creator does its
@@ -224,6 +232,65 @@ impl BufferPool {
     }
 }
 
+/// Primary-side replication hook: ships each WAL record to the stream's
+/// replicas **before** it is appended to the primary's own log.
+///
+/// The owning worker calls [`ReplicationSink::ship`] synchronously on the
+/// mutating-op path, so the sink sees a frozen stream: no other op can
+/// append to the WAL while a ship (or the attach/catch-up it triggers) is
+/// in flight. Shipping *before* the local append means a crash between the
+/// two leaves the replica at most one record **ahead** of the primary —
+/// an unacknowledged op the client replays through its position resync —
+/// never behind on an acknowledged one.
+///
+/// `record` is the exact CRC-framed encoding that is about to land in the
+/// primary's log ([`crate::wal::encode_record`] is deterministic, so the
+/// replica's log is byte-identical by construction). Errors are the sink's
+/// to handle: a failed ship detaches the session and the primary keeps
+/// serving degraded; the server never blocks an op on a sick replica
+/// beyond the sink's own timeout.
+pub trait ReplicationSink: Send + Sync {
+    /// Ships one record for `stream`: `seq` is the sequence the record
+    /// will occupy, `generation` the incarnation appending it.
+    fn ship(&self, stream: &str, generation: u64, seq: u64, record: &[u8]);
+}
+
+/// Replica-side replication hook: applies shipments arriving over the
+/// wire [`Request::Replicate`] opcode and claims the streams this node
+/// holds as a replica (so data ops on them bounce with
+/// [`ErrorCode::NotPrimary`] instead of `UnknownStream`).
+///
+/// Replica-held streams live **outside** the server's stream registry —
+/// they must not serve reads mid-catch-up. During a promotion the handler
+/// must stop claiming the stream *before* [`Server::adopt_stream`] is
+/// called, so the one-point [`ReplicaHandler::holds`] check in routing
+/// never bounces ops on a stream the registry already serves.
+pub trait ReplicaHandler: Send + Sync {
+    /// Applies one shipment, returning the reply frame: `ReplState` with
+    /// the replica's durable position on success (log-before-ack — the
+    /// records are on the replica's backend when this returns), an error
+    /// response otherwise.
+    fn apply(
+        &self,
+        stream: &str,
+        generation: u64,
+        first_seq: u64,
+        snapshot: Option<&[u8]>,
+        records: &[u8],
+    ) -> Response;
+
+    /// Whether this node currently holds `stream` as a replica.
+    fn holds(&self, stream: &str) -> bool;
+}
+
+/// Shared slot for the primary-side replication sink: set after start (the
+/// mesh wires nodes together once they all listen), read by every worker.
+type SinkCell = Arc<Mutex<Option<Arc<dyn ReplicationSink>>>>;
+
+/// Shared slot for the replica-side shipment handler, read by every
+/// connection thread.
+type HandlerCell = Arc<Mutex<Option<Arc<dyn ReplicaHandler>>>>;
+
 /// The sampling server: owns the worker pool and accepts connections on
 /// any [`Transport`].
 ///
@@ -238,6 +305,8 @@ pub struct Server {
     pool: Arc<BufferPool>,
     durability: Option<DurabilityConfig>,
     metrics: Arc<ServiceMetrics>,
+    replication_sink: SinkCell,
+    replica_handler: HandlerCell,
 }
 
 impl Server {
@@ -279,8 +348,14 @@ impl Server {
             (0..workers_n).map(|_| HashMap::new()).collect();
         let mut registry_streams = HashMap::new();
         for (index, name) in names.iter().enumerate() {
-            let state =
-                recover_stream(&durability.backend, name, durability.fsync, workers_n, &metrics)?;
+            let state = recover_stream(
+                &durability.backend,
+                name,
+                durability.fsync,
+                workers_n,
+                &metrics,
+                0,
+            )?;
             let worker = index % workers_n;
             let id = index as u64;
             let recoveries = state.durable.as_ref().map_or(0, |d| d.counters.recoveries);
@@ -292,6 +367,7 @@ impl Server {
                     worker,
                     id,
                     busy: metrics.stream_busy(name),
+                    replication: metrics.stream_replication(name),
                     ready: Arc::new(AtomicBool::new(true)),
                 },
             );
@@ -316,6 +392,8 @@ impl Server {
         });
         let shutdown = Arc::new(AtomicBool::new(false));
         let pool = Arc::new(BufferPool::new());
+        let replication_sink: SinkCell = Arc::new(Mutex::new(None));
+        let replica_handler: HandlerCell = Arc::new(Mutex::new(None));
         initial.resize_with(workers_n, HashMap::new);
         let mut senders = Vec::with_capacity(workers_n);
         let mut workers = Vec::with_capacity(workers_n);
@@ -327,13 +405,14 @@ impl Server {
             let pool = Arc::clone(&pool);
             let durability = durability.clone();
             let metrics = Arc::clone(&metrics);
+            let sink = Arc::clone(&replication_sink);
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("uns-worker-{index}"))
                     .spawn(move || {
                         worker_main(
                             rx, streams, workers_n, index, &registry, &shutdown, &pool, durability,
-                            &metrics,
+                            &metrics, &sink,
                         )
                     })
                     .expect("spawning a worker thread"),
@@ -348,6 +427,8 @@ impl Server {
             pool,
             durability,
             metrics,
+            replication_sink,
+            replica_handler,
         }
     }
 
@@ -378,10 +459,12 @@ impl Server {
         let senders = self.senders.clone();
         let pool = Arc::clone(&self.pool);
         let metrics = Arc::clone(&self.metrics);
+        let replica = Arc::clone(&self.replica_handler);
         std::thread::Builder::new()
             .name("uns-conn".into())
             .spawn(move || {
-                let _ = handle_connection(transport, &registry, &senders, &pool, &metrics);
+                let _ =
+                    handle_connection(transport, &registry, &senders, &pool, &metrics, &replica);
             })
             .expect("spawning a connection thread");
     }
@@ -455,6 +538,58 @@ impl Server {
     pub fn stop(&self) {
         self.shutdown.store(true, Ordering::Relaxed);
     }
+
+    /// Installs (or clears) the primary-side replication sink. Workers
+    /// pick it up on their next mutating op; ops already past the ship
+    /// hook are unaffected.
+    pub fn set_replication_sink(&self, sink: Option<Arc<dyn ReplicationSink>>) {
+        *self.replication_sink.lock().expect("replication sink lock poisoned") = sink;
+    }
+
+    /// Installs (or clears) the replica-side shipment handler. Connection
+    /// threads pick it up on their next frame.
+    pub fn set_replica_handler(&self, handler: Option<Arc<dyn ReplicaHandler>>) {
+        *self.replica_handler.lock().expect("replica handler lock poisoned") = handler;
+    }
+
+    /// Promotes a replica-held stream to primary on this node: rebuild it
+    /// from the durable state the replication feed laid down (latest
+    /// snapshot + log replay) with the incarnation **generation bumped**,
+    /// then register it — data ops on the name serve from here on.
+    ///
+    /// The bump is what makes promotion safe against the old primary: a
+    /// stale shipment or leftover log from the previous incarnation fails
+    /// the generation check and is discarded instead of replayed onto the
+    /// promoted state. The caller (the mesh's failover detector) must stop
+    /// its [`ReplicaHandler`] from claiming the stream *before* calling.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::InvalidConfig`] on a non-durable server,
+    /// [`ServiceError::StreamExists`] when the name is already served
+    /// (an idempotent-promotion race — the stream is live either way),
+    /// [`ServiceError::Durability`] when the durable state cannot be
+    /// rebuilt.
+    pub fn adopt_stream(&self, name: &str) -> Result<(), ServiceError> {
+        if self.durability.is_none() {
+            return Err(ServiceError::InvalidConfig("promotion requires a durable server".into()));
+        }
+        if name.is_empty() || name.len() > MAX_STREAM_NAME_LEN {
+            return Err(ServiceError::InvalidConfig(format!(
+                "stream name must be 1..={MAX_STREAM_NAME_LEN} bytes"
+            )));
+        }
+        let response = create_or_restore(
+            &self.registry,
+            &self.senders,
+            name,
+            false,
+            &self.pool,
+            &self.metrics,
+            || StreamOp::Adopt(name.to_string()),
+        );
+        response.into_result().map(|_| ())
+    }
 }
 
 impl Drop for Server {
@@ -507,12 +642,25 @@ impl DurableStream {
 /// [`uns_core::NodeSampler`]), and resume the log at its valid end.
 /// Deterministic coins make the replayed state bit-equal to the state the
 /// ops originally produced.
+///
+/// `generation_bump` is 0 on every plain recovery (restart, in-place
+/// heal) and 1 on a failover promotion: the rebuilt stream continues as a
+/// **new incarnation**, so stale state from the previous one can never be
+/// replayed onto it. The replay decision itself still compares the log
+/// against the *snapshot's* generation — the log on the backend was
+/// written by the old incarnation and is exactly what must be replayed —
+/// only the resumed writer (and the trailing checkpoint, which persists
+/// the bump: snapshot first, then log reset rewriting the header) carries
+/// the new generation. If that best-effort checkpoint fails the bump is
+/// not yet durable — a crash then falls back to the old incarnation's
+/// consistent snapshot+log, losing the bump but never a record.
 fn recover_stream(
     backend: &Arc<dyn StorageBackend>,
     name: &str,
     fsync: FsyncPolicy,
     shards: usize,
     metrics: &ServiceMetrics,
+    generation_bump: u64,
 ) -> Result<StreamState, ServiceError> {
     let blob = backend
         .read_snapshot(name)?
@@ -579,13 +727,13 @@ fn recover_stream(
         counters.wal_bytes += parsed.valid_len.saturating_sub(replayed_from);
         WalWriter::resume(
             store,
-            snap.generation,
+            snap.generation.wrapping_add(generation_bump),
             parsed.valid_len,
             header.base_seq + parsed.records.len() as u64,
             fsync,
         )?
     } else {
-        WalWriter::create(store, snap.generation, snap.seq, fsync)?
+        WalWriter::create(store, snap.generation.wrapping_add(generation_bump), snap.seq, fsync)?
     };
     let mut state = StreamState {
         sampler,
@@ -751,6 +899,7 @@ fn worker_main(
     pool: &BufferPool,
     durability: Option<DurabilityConfig>,
     metrics: &Arc<ServiceMetrics>,
+    sink: &SinkCell,
 ) {
     loop {
         // The shutdown check runs every iteration, not only when the
@@ -815,6 +964,7 @@ fn worker_main(
                 registry,
                 &durability,
                 metrics,
+                sink,
             )
         }))
         .unwrap_or_else(|panic| {
@@ -893,6 +1043,7 @@ fn heal_in_place(
             durability.fsync,
             pool_size,
             metrics,
+            0,
         ) {
             Ok(recovered) => {
                 let recoveries = recovered.durable.as_ref().map_or(0, |d| d.counters.recoveries);
@@ -951,6 +1102,7 @@ fn op_mutates(op: &StreamOp) -> bool {
     match op {
         StreamOp::Create(..)
         | StreamOp::Restore(..)
+        | StreamOp::Adopt(..)
         | StreamOp::Ingest(_)
         | StreamOp::Feed(_)
         | StreamOp::Sample => true,
@@ -966,6 +1118,8 @@ fn op_metric_index(op: &StreamOp) -> Option<usize> {
     let label = match op {
         StreamOp::Create(..) => "create",
         StreamOp::Restore(..) => "restore",
+        // Promotion is driven by the mesh, not the wire — no op label.
+        StreamOp::Adopt(..) => return None,
         StreamOp::Ingest(_) => "ingest",
         StreamOp::Feed(_) => "feed",
         StreamOp::Sample => "sample",
@@ -992,6 +1146,7 @@ fn panic_message(panic: &(dyn std::any::Any + Send)) -> &str {
 /// may be applied; `Err` carries the reply to send instead — the op was
 /// not applied, and a broken writer has already sent the stream through
 /// in-place recovery (or torn it down).
+#[allow(clippy::too_many_arguments)]
 fn wal_before_apply(
     streams: &mut HashMap<u64, StreamState>,
     stream: u64,
@@ -1000,6 +1155,7 @@ fn wal_before_apply(
     durability: &Option<DurabilityConfig>,
     pool_size: usize,
     metrics: &ServiceMetrics,
+    sink: &SinkCell,
 ) -> Result<(), Response> {
     let Some(state) = streams.get_mut(&stream) else {
         return Err(unknown_stream());
@@ -1013,6 +1169,18 @@ fn wal_before_apply(
         if plan.worker_panics() {
             panic!("injected worker panic");
         }
+    }
+    // Ship-before-append (see [`ReplicationSink`]): the worker owns the
+    // stream exclusively, so the sink sees a frozen WAL — an attach /
+    // catch-up it performs inside this call cannot race new appends. The
+    // record is encoded separately from the local append, but
+    // `encode_record` is deterministic, so the replica's log bytes are
+    // identical to the primary's by construction.
+    let shipper = sink.lock().expect("replication sink lock poisoned").clone();
+    if let Some(shipper) = shipper {
+        let mut record = Vec::new();
+        encode_record(&mut record, op);
+        shipper.ship(&durable.name, durable.wal.generation(), durable.wal.next_seq(), &record);
     }
     match durable.wal.append_op(op) {
         Ok(()) => Ok(()),
@@ -1139,6 +1307,7 @@ fn execute_job(
     registry: &Registry,
     durability: &Option<DurabilityConfig>,
     metrics: &ServiceMetrics,
+    sink: &SinkCell,
 ) -> Response {
     match op {
         StreamOp::Create(name, config) => match ServiceSampler::create(&config) {
@@ -1155,6 +1324,33 @@ fn execute_job(
             ),
             Err(err) => error_response(&err),
         },
+        StreamOp::Adopt(name) => {
+            let Some(d) = durability else {
+                return Response::Error {
+                    code: ErrorCode::InvalidConfig,
+                    message: "promotion requires a durable server".into(),
+                };
+            };
+            // Rebuild from the replicated durable state with the
+            // incarnation generation bumped, so anything the previous
+            // incarnation left behind (a stale shipment, an old primary's
+            // log) fails the generation check instead of replaying onto
+            // the promoted stream.
+            match recover_stream(&d.backend, &name, d.fsync, pool_size, metrics, 1) {
+                Ok(state) => {
+                    let generation =
+                        state.durable.as_ref().map_or(0, |durable| durable.wal.generation());
+                    state.metrics.event(TraceKind::Promote, worker as u64, generation);
+                    metrics.stream_replication(&name).failovers.inc();
+                    streams.insert(stream, state);
+                    Response::Ok
+                }
+                Err(err) => Response::Error {
+                    code: ErrorCode::Durability,
+                    message: format!("stream not adopted: {err}"),
+                },
+            }
+        }
         StreamOp::Ingest(ids) => {
             if let Err(reply) = wal_before_apply(
                 streams,
@@ -1164,6 +1360,7 @@ fn execute_job(
                 durability,
                 pool_size,
                 metrics,
+                sink,
             ) {
                 pool.put(ids);
                 return reply;
@@ -1193,6 +1390,7 @@ fn execute_job(
                 durability,
                 pool_size,
                 metrics,
+                sink,
             ) {
                 pool.put(ids);
                 return reply;
@@ -1225,6 +1423,7 @@ fn execute_job(
                 durability,
                 pool_size,
                 metrics,
+                sink,
             ) {
                 return reply;
             }
@@ -1260,6 +1459,9 @@ fn execute_job(
                     .as_ref()
                     .map(DurableStream::current_stats)
                     .unwrap_or_default(),
+                // Folded in by the connection thread from the stream's
+                // registered atomics, like busy_rejections.
+                replication: ReplicationStats::default(),
             }),
             None => unknown_stream(),
         },
@@ -1295,6 +1497,7 @@ fn handle_connection<T: Transport>(
     senders: &[SyncSender<Job>],
     pool: &BufferPool,
     metrics: &ServiceMetrics,
+    replica: &HandlerCell,
 ) -> Result<(), ServiceError> {
     let mut writer = transport.try_clone_transport()?;
     let mut frame = Vec::new();
@@ -1305,8 +1508,13 @@ fn handle_connection<T: Transport>(
             Ok(false) => return Ok(()), // clean hang-up
             Err(err) => return Err(err),
         }
+        // Re-resolved per frame: the mesh installs/clears the handler
+        // while connections are live (e.g. around a promotion).
+        let handler = replica.lock().expect("replica handler lock poisoned").clone();
         let response = match Request::decode(&frame) {
-            Ok(request) => route_request(&request, registry, senders, pool, metrics),
+            Ok(request) => {
+                route_request(&request, registry, senders, pool, metrics, handler.as_ref())
+            }
             Err(err) => {
                 // A malformed frame poisons stream framing: answer, close.
                 let response = Response::Error { code: ErrorCode::Other, message: err.to_string() };
@@ -1354,6 +1562,7 @@ fn route_request(
     senders: &[SyncSender<Job>],
     pool: &BufferPool,
     metrics: &ServiceMetrics,
+    replica: Option<&Arc<dyn ReplicaHandler>>,
 ) -> Response {
     // Metrics targets no stream and reads only atomics — answered right
     // here on the connection thread, before the name validation below
@@ -1367,6 +1576,31 @@ fn route_request(
             code: ErrorCode::InvalidConfig,
             message: format!("stream name must be 1..={MAX_STREAM_NAME_LEN} bytes"),
         };
+    }
+    // Shipments go to the replica handler, never to a worker: replica
+    // streams live outside the registry (they must not serve reads
+    // mid-catch-up), and the handler owns their WALs.
+    if let Request::Replicate { generation, first_seq, snapshot, records, .. } = request {
+        return match replica {
+            Some(handler) => handler.apply(name, *generation, *first_seq, *snapshot, records),
+            None => Response::Error {
+                code: ErrorCode::Other,
+                message: "node accepts no replication shipments".into(),
+            },
+        };
+    }
+    // Data ops on a replica-held stream bounce *before* routing: the name
+    // is absent from the registry by design, and answering UnknownStream
+    // would send clients re-creating a stream that is alive elsewhere.
+    // NotPrimary is unambiguous — nothing was applied — so clients fail
+    // over without a position resync.
+    if let Some(handler) = replica {
+        if handler.holds(name) {
+            return Response::Error {
+                code: ErrorCode::NotPrimary,
+                message: format!("stream {name:?} is held as a replica on this node"),
+            };
+        }
     }
     // Batches are capped below the frame limit so the echoed Fed reply
     // provably fits a frame too (see [`MAX_BATCH_IDS`]).
@@ -1382,7 +1616,7 @@ fn route_request(
         }
     }
     match request {
-        Request::Metrics => unreachable!("answered above"),
+        Request::Metrics | Request::Replicate { .. } => unreachable!("answered above"),
         Request::CreateStream { config, .. } => {
             create_or_restore(registry, senders, name, false, pool, metrics, || {
                 StreamOp::Create(name.to_string(), *config)
@@ -1433,6 +1667,13 @@ fn route_request(
             match response {
                 Response::Stats(mut stats) => {
                     stats.busy_rejections = entry.busy.get();
+                    // Folded from the same registered atomics the mesh
+                    // replicator bumps and the exposition renders.
+                    stats.replication = ReplicationStats {
+                        lag_records: u64::try_from(entry.replication.lag.get()).unwrap_or(0),
+                        shipped_bytes: entry.replication.shipped_bytes.get(),
+                        failovers: entry.replication.failovers.get(),
+                    };
                     Response::Stats(stats)
                 }
                 other => other,
@@ -1477,6 +1718,7 @@ fn create_or_restore(
                     worker,
                     id,
                     busy: metrics.stream_busy(name),
+                    replication: metrics.stream_replication(name),
                     ready: Arc::new(AtomicBool::new(false)),
                 };
                 streams.insert(name.to_string(), entry.clone());
@@ -2044,7 +2286,7 @@ mod tests {
         snap.encode(&mut bytes);
         backend.write_snapshot("s", &bytes).unwrap();
         let metrics = ServiceMetrics::new(1);
-        let state = recover_stream(&backend, "s", FsyncPolicy::PerOp, 1, &metrics).unwrap();
+        let state = recover_stream(&backend, "s", FsyncPolicy::PerOp, 1, &metrics, 0).unwrap();
         let counters = &state.durable.as_ref().unwrap().counters;
         assert_eq!(counters.recoveries, 1);
         assert_eq!(counters.wal_records, 3, "the replayed record joins the lifetime count");

@@ -187,6 +187,7 @@ fn families() -> Vec<(&'static str, FaultSpec)> {
                 delay_reply_per_mille: 80,
                 reply_delay: Duration::from_millis(10),
                 worker_panic_per_mille: 30,
+                ..FaultSpec::default()
             },
         ),
     ]

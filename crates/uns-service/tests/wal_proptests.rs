@@ -8,9 +8,10 @@ use proptest::prelude::*;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use uns_core::NodeId;
+use uns_service::protocol::Request;
 use uns_service::wal::{
-    encode_record, encode_wal_header, parse_wal, DurabilityStats, DurableSnapshot, WalHeader,
-    WalOp, WalOpRef, WAL_HEADER_LEN,
+    decode_record, encode_record, encode_wal_header, parse_wal, DurabilityStats, DurableSnapshot,
+    WalHeader, WalOp, WalOpRef, WAL_HEADER_LEN,
 };
 
 /// Builds a syntactically perfect log: header + `ops` records.
@@ -139,6 +140,85 @@ proptest! {
                 prop_assert!(ids.len() * 8 <= bytes.len());
             }
         }
+    }
+
+    /// Any CRC-valid record sequence round-trips through the replication
+    /// opcode byte-identically: the log bytes a replica decodes from a
+    /// `Replicate` frame are exactly the log bytes the primary shipped —
+    /// which is what makes replica logs bit-equal *by construction*.
+    #[test]
+    fn replication_opcode_round_trips_record_bytes(
+        seed in any::<u64>(),
+        count in 0usize..12,
+        generation in any::<u64>(),
+        first_seq in any::<u64>(),
+        with_snapshot in any::<bool>(),
+    ) {
+        let ops = ops_from_seed(seed, count);
+        let log = build_log(generation, 0, &ops);
+        let records = &log[WAL_HEADER_LEN..];
+        let blob = [0xA5u8; 9];
+        let snapshot = if with_snapshot { Some(&blob[..]) } else { None };
+        let mut frame = Vec::new();
+        Request::Replicate { name: "s", generation, first_seq, snapshot, records }
+            .encode(&mut frame);
+        let decoded = Request::decode(&frame);
+        let Ok(Request::Replicate { name, generation: g, first_seq: f, snapshot: s, records: r }) =
+            decoded
+        else {
+            return Err("replication frame did not decode".to_string());
+        };
+        prop_assert_eq!(name, "s");
+        prop_assert_eq!(g, generation);
+        prop_assert_eq!(f, first_seq);
+        prop_assert_eq!(s, snapshot);
+        prop_assert_eq!(r, records, "shipped record bytes changed in flight");
+        // The shipped bytes still decode to the original ops, record by
+        // record, exactly as the replica's apply loop consumes them.
+        let mut offset = 0usize;
+        let mut got = Vec::new();
+        while offset < r.len() {
+            let (op, consumed) = decode_record(r, offset)
+                .ok_or_else(|| "CRC-valid record failed to decode".to_string())?;
+            got.push(op);
+            offset += consumed;
+        }
+        prop_assert_eq!(&got, &ops);
+    }
+
+    /// A shipment torn mid-record applies only whole records, and the
+    /// tear point the replica stops at is exactly the record boundary
+    /// `parse_wal` reports — so resuming the ship from that boundary
+    /// rebuilds the primary's log byte for byte, no record applied twice.
+    #[test]
+    fn torn_shipment_resumes_at_a_record_boundary(
+        seed in any::<u64>(),
+        count in 1usize..12,
+        cut_mille in 0u32..1000,
+    ) {
+        let ops = ops_from_seed(seed, count);
+        let log = build_log(3, 0, &ops);
+        let records = &log[WAL_HEADER_LEN..];
+        let cut = records.len() * cut_mille as usize / 1000;
+        // Replica-side apply loop over the torn chunk: whole records only.
+        let torn = &records[..cut];
+        let mut offset = 0usize;
+        let mut applied = 0usize;
+        while let Some((op, consumed)) = decode_record(torn, offset) {
+            prop_assert_eq!(&op, &ops[applied], "torn chunk reordered a record");
+            offset += consumed;
+            applied += 1;
+        }
+        prop_assert!(applied <= ops.len());
+        // The replica's stop offset is a parse-level record boundary.
+        let torn_parse = parse_wal(&log[..WAL_HEADER_LEN + cut]);
+        prop_assert_eq!(torn_parse.valid_len, (WAL_HEADER_LEN + offset) as u64);
+        prop_assert_eq!(torn_parse.records.len(), applied);
+        // Resume from the boundary: replica log becomes the primary's.
+        let mut replica_log = log[..WAL_HEADER_LEN + offset].to_vec();
+        replica_log.extend_from_slice(&records[offset..]);
+        prop_assert_eq!(&replica_log, &log, "resumed ship diverged from the primary log");
+        prop_assert_eq!(&parse_wal(&replica_log).records, &ops);
     }
 
     /// Durable snapshots: decode(encode(x)) round-trips; truncations and

@@ -1,0 +1,158 @@
+//! Kill the primary of a replicated mesh mid-load and watch the replica
+//! take over without losing an acked op.
+//!
+//! ```text
+//! cargo run --release --example mesh_failover [batches]
+//! ```
+//!
+//! Brings up a 3-node mesh (R=1, fsync per op) on loopback, feeds a
+//! stream through a partition-aware resilient client, kills the
+//! placement primary halfway, and keeps feeding: the heartbeat detector
+//! marks the primary dead, its first replica promotes (generation bump),
+//! and the client rotates endpoints until the promoted node answers.
+//! Prints the client's retry/failover counters and the promoted node's
+//! replication stats at the end.
+//!
+//! `UNS_EXAMPLE_FAST=1` shrinks the run (CI uses this).
+
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+use uns_core::NodeId;
+use uns_mesh::{
+    client_endpoints, place, FailoverConfig, Membership, MeshConfig, MeshNode, NodeInfo,
+};
+use uns_service::protocol::{EstimatorKind, HashFamilyKind, StreamConfig};
+use uns_service::resilient::{Delivery, ResilientClient, RetryPolicy};
+use uns_service::storage::MemBackend;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let fast = std::env::var("UNS_EXAMPLE_FAST").is_ok_and(|v| v == "1");
+    let batches: u64 =
+        std::env::args().nth(1).and_then(|v| v.parse().ok()).unwrap_or(if fast { 24 } else { 200 });
+    let batch_len: u64 = 64;
+    let stream = "mesh-demo";
+
+    // Three nodes on ephemeral loopback ports; each owns its own
+    // membership view, as separate processes would.
+    let listeners: Vec<TcpListener> =
+        (0..3).map(|_| TcpListener::bind("127.0.0.1:0")).collect::<Result<_, _>>()?;
+    let infos: Vec<NodeInfo> = listeners
+        .iter()
+        .enumerate()
+        .map(|(i, l)| Ok(NodeInfo { name: format!("n{i}"), addr: l.local_addr()? }))
+        .collect::<Result<_, std::io::Error>>()?;
+    let config = MeshConfig {
+        failover: FailoverConfig {
+            interval: Duration::from_millis(15),
+            probe_timeout: Duration::from_millis(100),
+            miss_threshold: 3,
+            seed: 0xD0A,
+        },
+        ..MeshConfig::default()
+    };
+    let nodes: Vec<_> = listeners
+        .into_iter()
+        .enumerate()
+        .map(|(i, listener)| {
+            MeshNode::start(
+                &format!("n{i}"),
+                listener,
+                Arc::new(MemBackend::new()),
+                Arc::new(Membership::new(infos.clone())),
+                &config,
+            )
+        })
+        .collect::<Result<_, _>>()?;
+    for node in &nodes {
+        node.start_failover(config.failover);
+    }
+
+    let membership = Membership::new(infos.clone());
+    let names: Vec<String> = infos.iter().map(|n| n.name.clone()).collect();
+    let placement = place(stream, &names, 1).expect("live nodes");
+    println!("placement: primary={} replicas={:?}", placement.primary, placement.replicas);
+
+    let connects: Vec<_> = client_endpoints(&membership, stream, 1)
+        .into_iter()
+        .map(|addr| {
+            move || {
+                let tcp = TcpStream::connect_timeout(&addr, Duration::from_millis(500))?;
+                tcp.set_nodelay(true).ok();
+                Ok(tcp)
+            }
+        })
+        .collect();
+    let policy = RetryPolicy {
+        base_backoff: Duration::from_millis(2),
+        max_backoff: Duration::from_millis(100),
+        retry_budget: 400,
+        op_timeout: Some(Duration::from_millis(750)),
+        ..RetryPolicy::default()
+    };
+    let mut client = ResilientClient::with_endpoints(policy, connects);
+    client.create_stream(
+        stream,
+        &StreamConfig {
+            kind: EstimatorKind::CountMin,
+            capacity: 16,
+            width: 128,
+            depth: 4,
+            seed: 11,
+            family: HashFamilyKind::Mersenne,
+        },
+    )?;
+
+    let primary_index = names.iter().position(|n| *n == placement.primary).expect("member");
+    let mut reply_lost = 0u64;
+    for b in 0..batches {
+        if b == batches / 2 {
+            println!("killing primary {} after batch {b}", placement.primary);
+            nodes[primary_index].stop();
+        }
+        let ids: Vec<NodeId> = (0..batch_len)
+            .map(|i| {
+                let mut x = (b * batch_len + i).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0x5EED;
+                x ^= x >> 29;
+                NodeId::new(x)
+            })
+            .collect();
+        match client.feed_batch(stream, &ids)? {
+            Delivery::Acked(ack) => assert_eq!(ack.position, (b + 1) * batch_len),
+            Delivery::AppliedReplyLost { position } => {
+                assert_eq!(position, (b + 1) * batch_len);
+                reply_lost += 1;
+            }
+        }
+    }
+
+    let stats = client.retry_stats();
+    println!(
+        "fed {batches} batches ({} elements), every ack exactly-once; \
+         {reply_lost} replies lost to the hand-off",
+        batches * batch_len
+    );
+    println!(
+        "client: failovers={} reconnects={} resyncs={} busy_retries={}",
+        stats.failovers, stats.reconnects, stats.resyncs, stats.busy_retries
+    );
+    let promoted_index = names.iter().position(|n| *n == placement.replicas[0]).expect("member");
+    let promoted = &nodes[promoted_index];
+    let final_stats =
+        uns_service::client::ServiceClient::new(promoted.server().connect_in_process())
+            .and_then(|mut c| c.stats(stream));
+    match final_stats {
+        Ok(s) => println!(
+            "promoted node {}: position={} failovers={}",
+            promoted.name(),
+            s.pipeline.elements,
+            s.replication.failovers
+        ),
+        Err(err) => println!("promoted node stats unavailable: {err}"),
+    }
+    assert!(stats.failovers >= 1, "the client never rotated endpoints");
+    for node in &nodes {
+        node.stop();
+    }
+    Ok(())
+}
