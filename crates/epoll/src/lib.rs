@@ -1,0 +1,347 @@
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+//! Vendored level-triggered `epoll` poller (API-minimal, std-only).
+//!
+//! Every other crate in this workspace carries `#![forbid(unsafe_code)]`,
+//! and the build containers have no registry access — so there is no
+//! `libc`, no `mio`, and no way to ask the OS "which of these 10k sockets
+//! is readable?" from safe std APIs alone. This crate is the one
+//! deliberate exception: a minimal readiness-notification shim in the
+//! style of the other vendored stand-ins (`rand`, `proptest`,
+//! `criterion`), holding the workspace's entire unsafe surface.
+//!
+//! **The unsafe seam, and why it is sound.** All unsafe code lives in
+//! the private `sys` module: three direct Linux syscalls (`epoll_create1`, `epoll_ctl`,
+//! `epoll_pwait`) plus `prlimit64`, issued via inline assembly with
+//! arguments marshalled from plain integers and `#[repr(C)]` structs that
+//! mirror the kernel ABI exactly. No pointer outlives a call, every
+//! buffer passed to the kernel is a live stack/heap allocation owned by
+//! the caller for the duration of the call, and file descriptors are
+//! wrapped in [`std::os::fd::OwnedFd`] immediately so std owns the
+//! close. Compiled only for `linux` on `x86_64`/`aarch64`; on any other
+//! target [`Poller::new`] reports [`std::io::ErrorKind::Unsupported`] and
+//! callers fall back to their blocking paths.
+//!
+//! The API is the small subset the service reactor needs:
+//!
+//! * [`Poller`] — level-triggered `register`/`modify`/`deregister` by
+//!   raw fd with a `u64` token, and [`Poller::wait`] with an optional
+//!   timeout;
+//! * [`Waker`] — cross-thread wakeup built on a nonblocking
+//!   [`std::os::unix::net::UnixStream`] pair (a safe fd source), so
+//!   worker threads can interrupt a blocked `wait`;
+//! * [`raise_nofile_limit`] — best-effort `RLIMIT_NOFILE` bump for the
+//!   10k-connection tests.
+//!
+//! Level-triggered (the epoll default) is the deliberate choice: a ready
+//! fd re-surfaces on every `wait` until drained, so a bounded event
+//! buffer can never lose readiness — at worst it re-reports it.
+
+use std::io;
+use std::time::Duration;
+
+mod sys;
+
+/// Readiness interest to register for an fd.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest {
+    /// Wake when the fd becomes readable (or the peer hangs up).
+    pub read: bool,
+    /// Wake when the fd becomes writable.
+    pub write: bool,
+}
+
+impl Interest {
+    /// Readable only.
+    pub const READ: Interest = Interest { read: true, write: false };
+    /// Writable only.
+    pub const WRITE: Interest = Interest { read: false, write: true };
+    /// Readable and writable.
+    pub const BOTH: Interest = Interest { read: true, write: true };
+}
+
+/// One readiness event returned by [`Poller::wait`].
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// The token the fd was registered with.
+    pub token: u64,
+    /// Reading will not block (data, EOF, hangup, or a pending error —
+    /// the subsequent `read` call reports which).
+    pub readable: bool,
+    /// Writing will not block (or a pending error; the `write` reports it).
+    pub writable: bool,
+}
+
+/// A level-triggered readiness poller over an epoll instance.
+///
+/// Not tied to socket types: anything exposing a raw fd
+/// ([`std::os::fd::AsRawFd`]) can be registered. Registration does not
+/// take ownership — the caller keeps the fd alive while it is registered
+/// (the kernel drops closed fds from the interest set automatically).
+pub struct Poller {
+    inner: sys::Poller,
+}
+
+impl std::fmt::Debug for Poller {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Poller").finish_non_exhaustive()
+    }
+}
+
+/// Whether this build target has a working poller.
+///
+/// `false` means [`Poller::new`] always fails with
+/// [`io::ErrorKind::Unsupported`] and callers should use their blocking
+/// fallback paths.
+#[must_use]
+pub fn supported() -> bool {
+    sys::SUPPORTED
+}
+
+impl Poller {
+    /// Creates a new epoll instance (`EPOLL_CLOEXEC`).
+    ///
+    /// # Errors
+    ///
+    /// [`io::ErrorKind::Unsupported`] on non-Linux or unsupported
+    /// architectures; otherwise the kernel's `epoll_create1` error.
+    pub fn new() -> io::Result<Poller> {
+        Ok(Poller { inner: sys::Poller::new()? })
+    }
+
+    /// Adds `fd` to the interest set under `token`.
+    ///
+    /// # Errors
+    ///
+    /// The kernel's `epoll_ctl` error (e.g. `EEXIST` if already added).
+    pub fn register(
+        &self,
+        fd: &impl std::os::fd::AsRawFd,
+        token: u64,
+        interest: Interest,
+    ) -> io::Result<()> {
+        self.inner.ctl(sys::CtlOp::Add, fd.as_raw_fd(), token, interest)
+    }
+
+    /// Changes the interest/token of an already-registered `fd`.
+    ///
+    /// # Errors
+    ///
+    /// The kernel's `epoll_ctl` error (e.g. `ENOENT` if never added).
+    pub fn modify(
+        &self,
+        fd: &impl std::os::fd::AsRawFd,
+        token: u64,
+        interest: Interest,
+    ) -> io::Result<()> {
+        self.inner.ctl(sys::CtlOp::Mod, fd.as_raw_fd(), token, interest)
+    }
+
+    /// Removes `fd` from the interest set.
+    ///
+    /// # Errors
+    ///
+    /// The kernel's `epoll_ctl` error; already-closed fds are gone from
+    /// the set anyway, so `ENOENT`/`EBADF` here is usually ignorable.
+    pub fn deregister(&self, fd: &impl std::os::fd::AsRawFd) -> io::Result<()> {
+        self.inner.ctl(sys::CtlOp::Del, fd.as_raw_fd(), 0, Interest { read: false, write: false })
+    }
+
+    /// Blocks until at least one registered fd is ready, the timeout
+    /// elapses (`Ok` with `events` empty), or a signal interrupts the
+    /// wait (also `Ok` empty — callers loop anyway). `events` is cleared
+    /// and refilled; at most a bounded batch is returned per call, which
+    /// is lossless because level-triggered readiness re-surfaces on the
+    /// next call.
+    ///
+    /// # Errors
+    ///
+    /// The kernel's `epoll_pwait` error (other than `EINTR`).
+    pub fn wait(&self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<()> {
+        self.inner.wait(events, timeout)
+    }
+}
+
+/// Cross-thread wakeup for a [`Poller::wait`] in progress.
+///
+/// Built on a nonblocking [`std::os::unix::net::UnixStream`] pair: the
+/// read end sits in the poller's interest set under the caller's token;
+/// [`Waker::wake`] writes one byte to make that token ready. Safe to call
+/// from any thread and from multiple threads at once; wakes coalesce (a
+/// full pipe already guarantees readiness). The owner of the poll loop
+/// calls [`Waker::drain`] when the token fires, re-arming the waker.
+pub struct Waker {
+    reader: std::os::unix::net::UnixStream,
+    writer: std::os::unix::net::UnixStream,
+}
+
+impl std::fmt::Debug for Waker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Waker").finish_non_exhaustive()
+    }
+}
+
+impl Waker {
+    /// Creates a waker and registers its read end with `poller` under
+    /// `token`.
+    ///
+    /// # Errors
+    ///
+    /// Socket-pair creation or registration failure.
+    pub fn new(poller: &Poller, token: u64) -> io::Result<Waker> {
+        let (reader, writer) = std::os::unix::net::UnixStream::pair()?;
+        reader.set_nonblocking(true)?;
+        writer.set_nonblocking(true)?;
+        poller.register(&reader, token, Interest::READ)?;
+        Ok(Waker { reader, writer })
+    }
+
+    /// Makes the waker's token ready on its poller. Idempotent while
+    /// un-drained; never blocks.
+    pub fn wake(&self) {
+        use std::io::Write;
+        // A full pipe (WouldBlock) means a wake is already pending —
+        // exactly the postcondition this call wants.
+        let _ = (&self.writer).write(&[1u8]);
+    }
+
+    /// Consumes pending wake bytes so the token goes quiet until the
+    /// next [`Waker::wake`]. Call this when the waker's token fires.
+    pub fn drain(&self) {
+        use std::io::Read;
+        let mut sink = [0u8; 64];
+        while matches!((&self.reader).read(&mut sink), Ok(n) if n > 0) {}
+    }
+}
+
+/// Best-effort raise of `RLIMIT_NOFILE` to at least `want` fds, returning
+/// the resulting soft limit. Tries to lift the hard limit too (allowed
+/// for root / `CAP_SYS_RESOURCE`); otherwise clamps to the existing hard
+/// limit. The scale tests use this to hold >10k sockets in one process.
+///
+/// # Errors
+///
+/// [`io::ErrorKind::Unsupported`] on unsupported targets, or the
+/// kernel's `prlimit64` error when even reading the limit fails.
+pub fn raise_nofile_limit(want: u64) -> io::Result<u64> {
+    sys::raise_nofile_limit(want)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+
+    #[test]
+    fn poller_is_supported_here() {
+        // The workspace only builds on Linux x86_64/aarch64; if this
+        // fires elsewhere the service falls back to blocking accept.
+        assert!(supported(), "no poller on this target");
+    }
+
+    #[test]
+    fn listener_becomes_readable_on_connect() {
+        let poller = Poller::new().unwrap();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        poller.register(&listener, 7, Interest::READ).unwrap();
+
+        let mut events = Vec::new();
+        poller.wait(&mut events, Some(Duration::from_millis(10))).unwrap();
+        assert!(events.is_empty(), "listener ready before any connect: {events:?}");
+
+        let _client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        poller.wait(&mut events, Some(Duration::from_secs(5))).unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].token, 7);
+        assert!(events[0].readable);
+
+        // Level-triggered: un-accepted connection re-surfaces.
+        poller.wait(&mut events, Some(Duration::from_secs(5))).unwrap();
+        assert_eq!(events.len(), 1);
+        let (_conn, _) = listener.accept().unwrap();
+        poller.deregister(&listener).unwrap();
+    }
+
+    #[test]
+    fn stream_readiness_tracks_data_and_interest() {
+        let poller = Poller::new().unwrap();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let mut client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        server.set_nonblocking(true).unwrap();
+        poller.register(&server, 1, Interest::BOTH).unwrap();
+
+        let mut events = Vec::new();
+        poller.wait(&mut events, Some(Duration::from_secs(5))).unwrap();
+        // Fresh connection: writable, not readable.
+        assert!(events.iter().any(|e| e.token == 1 && e.writable));
+        assert!(!events.iter().any(|e| e.token == 1 && e.readable));
+
+        client.write_all(b"ping").unwrap();
+        // Read interest only — the constant writability must go quiet.
+        poller.modify(&server, 1, Interest::READ).unwrap();
+        loop {
+            poller.wait(&mut events, Some(Duration::from_secs(5))).unwrap();
+            if events.iter().any(|e| e.token == 1 && e.readable) {
+                break;
+            }
+        }
+        assert!(!events.iter().any(|e| e.writable));
+        let mut buf = [0u8; 4];
+        (&server).read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"ping");
+
+        // Peer close surfaces as readable (EOF).
+        drop(client);
+        loop {
+            poller.wait(&mut events, Some(Duration::from_secs(5))).unwrap();
+            if events.iter().any(|e| e.token == 1 && e.readable) {
+                break;
+            }
+        }
+        assert_eq!((&server).read(&mut buf).unwrap(), 0);
+    }
+
+    #[test]
+    fn waker_interrupts_a_blocked_wait() {
+        let poller = std::sync::Arc::new(Poller::new().unwrap());
+        let waker = std::sync::Arc::new(Waker::new(&poller, 99).unwrap());
+
+        let w = std::sync::Arc::clone(&waker);
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            w.wake();
+            w.wake(); // coalesces
+        });
+
+        let mut events = Vec::new();
+        poller.wait(&mut events, Some(Duration::from_secs(10))).unwrap();
+        assert!(events.iter().any(|e| e.token == 99 && e.readable));
+        waker.drain();
+        handle.join().unwrap();
+
+        // Drained: the token is quiet again.
+        poller.wait(&mut events, Some(Duration::from_millis(10))).unwrap();
+        assert!(events.is_empty(), "waker still ready after drain: {events:?}");
+    }
+
+    #[test]
+    fn timeout_elapses_with_no_events() {
+        let poller = Poller::new().unwrap();
+        let start = std::time::Instant::now();
+        let mut events = Vec::new();
+        poller.wait(&mut events, Some(Duration::from_millis(25))).unwrap();
+        assert!(events.is_empty());
+        assert!(start.elapsed() >= Duration::from_millis(20));
+    }
+
+    #[test]
+    fn nofile_limit_is_readable_and_monotone() {
+        let current = raise_nofile_limit(0).unwrap();
+        assert!(current > 0);
+        let raised = raise_nofile_limit(current).unwrap();
+        assert!(raised >= current.min(raised));
+    }
+}

@@ -1,0 +1,353 @@
+//! The unsafe seam: raw Linux syscalls via inline assembly.
+//!
+//! Everything `unsafe` in the workspace lives in this module. The
+//! soundness argument, per call site:
+//!
+//! * `syscall6` clobbers exactly the registers the Linux syscall ABI
+//!   says it may (`rcx`/`r11` on x86_64; nothing callee-visible on
+//!   aarch64 beyond the declared operands) and never touches the stack.
+//! * Pointers handed to the kernel (`epoll_event` arrays, `rlimit64`
+//!   structs) point into live stack allocations owned by the calling
+//!   frame for the whole call; lengths are passed alongside and match
+//!   the allocation.
+//! * Struct layouts are `#[repr(C)]` mirrors of the kernel UAPI —
+//!   including the x86_64 quirk that `struct epoll_event` is packed
+//!   there and naturally aligned everywhere else.
+//! * Returned fds are wrapped in [`OwnedFd`] immediately, so std owns
+//!   the close and no fd leaks on panic.
+
+#![allow(clippy::useless_conversion)]
+
+use std::io;
+use std::time::Duration;
+
+use super::{Event, Interest};
+
+#[cfg(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64")))]
+pub(crate) use linux::*;
+
+#[cfg(not(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64"))))]
+pub(crate) use fallback::*;
+
+/// `epoll_ctl` operation selector.
+#[derive(Clone, Copy)]
+pub(crate) enum CtlOp {
+    /// `EPOLL_CTL_ADD`
+    Add,
+    /// `EPOLL_CTL_DEL`
+    Del,
+    /// `EPOLL_CTL_MOD`
+    Mod,
+}
+
+impl CtlOp {
+    fn raw(self) -> usize {
+        match self {
+            CtlOp::Add => 1,
+            CtlOp::Del => 2,
+            CtlOp::Mod => 3,
+        }
+    }
+}
+
+#[cfg(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64")))]
+mod linux {
+    use super::*;
+    use std::os::fd::{AsRawFd, FromRawFd, OwnedFd, RawFd};
+
+    pub(crate) const SUPPORTED: bool = true;
+
+    // Event bits (uapi/linux/eventpoll.h).
+    const EPOLLIN: u32 = 0x001;
+    const EPOLLOUT: u32 = 0x004;
+    const EPOLLERR: u32 = 0x008;
+    const EPOLLHUP: u32 = 0x010;
+    const EPOLLRDHUP: u32 = 0x2000;
+    const EPOLL_CLOEXEC: usize = 0o2000000;
+
+    #[cfg(target_arch = "x86_64")]
+    mod nr {
+        pub const EPOLL_CTL: usize = 233;
+        pub const EPOLL_PWAIT: usize = 281;
+        pub const EPOLL_CREATE1: usize = 291;
+        pub const PRLIMIT64: usize = 302;
+    }
+
+    #[cfg(target_arch = "aarch64")]
+    mod nr {
+        pub const EPOLL_CREATE1: usize = 20;
+        pub const EPOLL_CTL: usize = 21;
+        pub const EPOLL_PWAIT: usize = 22;
+        pub const PRLIMIT64: usize = 261;
+    }
+
+    /// Kernel `struct epoll_event`: packed on x86_64 only (UAPI quirk).
+    #[cfg(target_arch = "x86_64")]
+    #[derive(Clone, Copy)]
+    #[repr(C, packed)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    #[cfg(not(target_arch = "x86_64"))]
+    #[derive(Clone, Copy)]
+    #[repr(C)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    /// Issues a raw syscall. Extra arguments beyond the syscall's arity
+    /// are ignored by the kernel; callers pass 0.
+    ///
+    /// Safety: the caller must uphold the target syscall's contract —
+    /// any pointer argument must be valid for the kernel's declared
+    /// access for the duration of the call.
+    #[cfg(target_arch = "x86_64")]
+    unsafe fn syscall6(
+        n: usize,
+        a1: usize,
+        a2: usize,
+        a3: usize,
+        a4: usize,
+        a5: usize,
+        a6: usize,
+    ) -> isize {
+        let ret: isize;
+        unsafe {
+            core::arch::asm!(
+                "syscall",
+                inlateout("rax") n as isize => ret,
+                in("rdi") a1,
+                in("rsi") a2,
+                in("rdx") a3,
+                in("r10") a4,
+                in("r8") a5,
+                in("r9") a6,
+                lateout("rcx") _,
+                lateout("r11") _,
+                options(nostack),
+            );
+        }
+        ret
+    }
+
+    #[cfg(target_arch = "aarch64")]
+    unsafe fn syscall6(
+        n: usize,
+        a1: usize,
+        a2: usize,
+        a3: usize,
+        a4: usize,
+        a5: usize,
+        a6: usize,
+    ) -> isize {
+        let ret: isize;
+        unsafe {
+            core::arch::asm!(
+                "svc 0",
+                inlateout("x0") a1 as isize => ret,
+                in("x1") a2,
+                in("x2") a3,
+                in("x3") a4,
+                in("x4") a5,
+                in("x5") a6,
+                in("x8") n,
+                options(nostack),
+            );
+        }
+        ret
+    }
+
+    fn check(ret: isize) -> io::Result<usize> {
+        if ret < 0 {
+            Err(io::Error::from_raw_os_error(-ret as i32))
+        } else {
+            Ok(ret as usize)
+        }
+    }
+
+    fn interest_bits(interest: Interest) -> u32 {
+        let mut bits = 0;
+        if interest.read {
+            bits |= EPOLLIN | EPOLLRDHUP;
+        }
+        if interest.write {
+            bits |= EPOLLOUT;
+        }
+        bits
+    }
+
+    pub(crate) struct Poller {
+        fd: OwnedFd,
+    }
+
+    impl Poller {
+        pub(crate) fn new() -> io::Result<Poller> {
+            // Safety: no pointers; a returned fd is ours to own.
+            let raw = check(unsafe { syscall6(nr::EPOLL_CREATE1, EPOLL_CLOEXEC, 0, 0, 0, 0, 0) })?;
+            // Safety: `raw` is a freshly created, unowned epoll fd.
+            Ok(Poller { fd: unsafe { OwnedFd::from_raw_fd(raw as RawFd) } })
+        }
+
+        pub(crate) fn ctl(
+            &self,
+            op: CtlOp,
+            fd: RawFd,
+            token: u64,
+            interest: Interest,
+        ) -> io::Result<()> {
+            let mut ev = EpollEvent { events: interest_bits(interest), data: token };
+            let ev_ptr = if matches!(op, CtlOp::Del) {
+                // DEL ignores the event (may be NULL since Linux 2.6.9).
+                std::ptr::null_mut()
+            } else {
+                &mut ev as *mut EpollEvent
+            };
+            // Safety: `ev_ptr` is null or points at `ev`, live for the call.
+            check(unsafe {
+                syscall6(
+                    nr::EPOLL_CTL,
+                    self.fd.as_raw_fd() as usize,
+                    op.raw(),
+                    fd as usize,
+                    ev_ptr as usize,
+                    0,
+                    0,
+                )
+            })
+            .map(|_| ())
+        }
+
+        pub(crate) fn wait(
+            &self,
+            events: &mut Vec<Event>,
+            timeout: Option<Duration>,
+        ) -> io::Result<()> {
+            events.clear();
+            // Bounded batch; level-triggered readiness re-surfaces next call.
+            let mut buf = [EpollEvent { events: 0, data: 0 }; 256];
+            let timeout_ms: isize = match timeout {
+                None => -1,
+                Some(d) => {
+                    let ms =
+                        isize::try_from(d.as_millis()).unwrap_or(isize::MAX).min(i32::MAX as isize);
+                    // Round sub-millisecond timeouts up, not down to "poll".
+                    if ms == 0 && !d.is_zero() {
+                        1
+                    } else {
+                        ms
+                    }
+                }
+            };
+            // Safety: `buf` is a live stack array of `buf.len()` kernel-layout
+            // events; the kernel writes at most that many. Null sigmask.
+            let got = unsafe {
+                syscall6(
+                    nr::EPOLL_PWAIT,
+                    self.fd.as_raw_fd() as usize,
+                    buf.as_mut_ptr() as usize,
+                    buf.len(),
+                    timeout_ms as usize,
+                    0,
+                    8, // sigsetsize — ignored with a null sigmask
+                )
+            };
+            let n = match check(got) {
+                Ok(n) => n,
+                // A signal is a spurious wakeup, not an error: callers loop.
+                Err(err) if err.raw_os_error() == Some(4) => 0,
+                Err(err) => return Err(err),
+            };
+            for ev in buf.iter().take(n) {
+                let bits = ev.events;
+                events.push(Event {
+                    token: ev.data,
+                    readable: bits & (EPOLLIN | EPOLLRDHUP | EPOLLHUP | EPOLLERR) != 0,
+                    writable: bits & (EPOLLOUT | EPOLLERR) != 0,
+                });
+            }
+            Ok(())
+        }
+    }
+
+    #[repr(C)]
+    struct Rlimit64 {
+        cur: u64,
+        max: u64,
+    }
+
+    const RLIMIT_NOFILE: usize = 7;
+
+    fn prlimit_nofile(new: Option<&Rlimit64>, old: Option<&mut Rlimit64>) -> io::Result<()> {
+        let new_ptr = new.map_or(std::ptr::null(), |r| r as *const Rlimit64);
+        let old_ptr = old.map_or(std::ptr::null_mut(), |r| r as *mut Rlimit64);
+        // Safety: both pointers are null or borrow live stack structs
+        // with the kernel's `rlimit64` layout, held across the call.
+        check(unsafe {
+            syscall6(nr::PRLIMIT64, 0, RLIMIT_NOFILE, new_ptr as usize, old_ptr as usize, 0, 0)
+        })
+        .map(|_| ())
+    }
+
+    pub(crate) fn raise_nofile_limit(want: u64) -> io::Result<u64> {
+        let mut old = Rlimit64 { cur: 0, max: 0 };
+        prlimit_nofile(None, Some(&mut old))?;
+        if want <= old.cur {
+            return Ok(old.cur);
+        }
+        // First choice: lift soft and (if privileged) hard together.
+        let lifted = Rlimit64 { cur: want, max: old.max.max(want) };
+        if prlimit_nofile(Some(&lifted), None).is_ok() {
+            return Ok(lifted.cur);
+        }
+        // Unprivileged: soft may still move up to the existing hard cap.
+        let clamped = Rlimit64 { cur: want.min(old.max), max: old.max };
+        match prlimit_nofile(Some(&clamped), None) {
+            Ok(()) => Ok(clamped.cur),
+            Err(_) => Ok(old.cur),
+        }
+    }
+}
+
+#[cfg(not(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64"))))]
+mod fallback {
+    use super::*;
+
+    pub(crate) const SUPPORTED: bool = false;
+
+    fn unsupported() -> io::Error {
+        io::Error::new(io::ErrorKind::Unsupported, "epoll poller: unsupported target")
+    }
+
+    pub(crate) struct Poller {}
+
+    impl Poller {
+        pub(crate) fn new() -> io::Result<Poller> {
+            Err(unsupported())
+        }
+
+        pub(crate) fn ctl(
+            &self,
+            _op: CtlOp,
+            _fd: i32,
+            _token: u64,
+            _interest: Interest,
+        ) -> io::Result<()> {
+            Err(unsupported())
+        }
+
+        pub(crate) fn wait(
+            &self,
+            _events: &mut Vec<Event>,
+            _timeout: Option<Duration>,
+        ) -> io::Result<()> {
+            Err(unsupported())
+        }
+    }
+
+    pub(crate) fn raise_nofile_limit(_want: u64) -> io::Result<u64> {
+        Err(unsupported())
+    }
+}

@@ -6,7 +6,11 @@
 //! [`FailoverConfig::miss_threshold`] consecutive misses the peer is
 //! marked dead in the shared [`Membership`] view and the `on_dead`
 //! callback fires **exactly once** per death (the mark is
-//! compare-and-set), which is where promotion hangs.
+//! compare-and-set), which is where promotion hangs. Dead peers keep
+//! being probed: a successful probe marks the peer live again, so a
+//! restarted node re-enters placement and starts receiving shipments —
+//! the other half of the restart re-join path (the restarted node itself
+//! demotes its recovered streams to replica holds on startup).
 //!
 //! The probe cadence is jittered from a seed so a whole mesh restarted
 //! together does not probe in lockstep — and so a test re-run sees the
@@ -77,12 +81,15 @@ impl FailureDetector {
                 let mut rng = config.seed;
                 while !stop.load(Ordering::Relaxed) {
                     for peer in membership.nodes() {
-                        if peer.name == node || membership.is_dead(&peer.name) {
+                        if peer.name == node {
                             continue;
                         }
                         match TcpStream::connect_timeout(&peer.addr, config.probe_timeout) {
                             Ok(_) => {
                                 misses.insert(peer.name.clone(), 0);
+                                // A dead peer answering again has
+                                // restarted: back into placement it goes.
+                                membership.mark_live(&peer.name);
                             }
                             Err(_) => {
                                 let count = misses.entry(peer.name.clone()).or_insert(0);

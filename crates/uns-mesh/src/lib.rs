@@ -105,6 +105,22 @@ pub fn client_endpoints(
         .collect()
 }
 
+/// Whether `peer` currently serves `stream` as primary: a `Stats` probe
+/// answered `Ok`. A dead peer (connect error), a replica (`NotPrimary`),
+/// and a peer without the stream (`UnknownStream`) all answer no.
+fn peer_serves(membership: &Membership, config: &MeshConfig, peer: &str, stream: &str) -> bool {
+    let Some(addr) = membership.addr_of(peer) else { return false };
+    let Ok(tcp) = std::net::TcpStream::connect_timeout(&addr, config.connect_timeout) else {
+        return false;
+    };
+    tcp.set_nodelay(true).ok();
+    let Ok(mut client) = uns_service::client::ServiceClient::new(tcp) else { return false };
+    if client.set_op_timeout(config.op_timeout).is_err() {
+        return false;
+    }
+    client.stats(stream).is_ok()
+}
+
 /// One node of the mesh: a durable [`Server`] with the replica applier
 /// and replication sink installed, serving the wire protocol on a TCP
 /// listener, plus (once [`MeshNode::start_failover`] is called) a
@@ -154,6 +170,32 @@ impl MeshNode {
             config.fault_plan.clone(),
         ));
         server.set_replication_sink(Some(Arc::clone(&replicator) as Arc<dyn ReplicationSink>));
+        // Re-join demotion (the restart bugfix): durable recovery just
+        // brought up *every* stream in this node's backend as primary —
+        // including streams this node only ever held as a replica, and
+        // streams whose primaryship was adopted elsewhere while it was
+        // down. Serving those would put two primaries on the wire. Before
+        // the listener opens, each recovered stream is demoted to a
+        // replica hold unless this node is the placement primary over the
+        // full membership *and* no peer is currently serving it; clients
+        // get `NotPrimary` here and find the real primary by rotation,
+        // and the next shipment heals this copy (generation mismatch ⇒
+        // snapshot re-attach).
+        let everyone: Vec<String> = membership.nodes().iter().map(|n| n.name.clone()).collect();
+        for stream in server.stream_names() {
+            let ranking = rank(&stream, &everyone);
+            let placed_here = ranking.first().is_some_and(|primary| primary == name);
+            let served_elsewhere = ranking
+                .iter()
+                .filter(|peer| peer.as_str() != name)
+                .any(|peer| peer_serves(&membership, config, peer, &stream));
+            if placed_here && !served_elsewhere {
+                continue;
+            }
+            if server.demote_stream(&stream).is_ok() {
+                let _ = applier.hold(&stream);
+            }
+        }
         let serve_server = Arc::clone(&server);
         let serve_thread = std::thread::Builder::new()
             .name(format!("uns-mesh-{name}"))

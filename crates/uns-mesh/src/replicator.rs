@@ -137,6 +137,31 @@ impl ReplicaApplier {
         held
     }
 
+    /// Holds `stream` as a replica from its durable state on this node's
+    /// backend (the restart re-join path): the server-side `NotPrimary`
+    /// routing check starts bouncing client ops immediately, and future
+    /// shipments are accepted again. A previous [`ReplicaApplier::release`]
+    /// of the stream is undone. Returns whether durable state existed to
+    /// hold; a stream this node never stored cannot be held.
+    ///
+    /// # Errors
+    ///
+    /// Durable-state decode/open failures from the backend.
+    pub fn hold(&self, stream: &str) -> Result<bool, ServiceError> {
+        let mut state = self.state.lock().expect("applier lock poisoned");
+        state.released.retain(|s| s != stream);
+        if state.streams.contains_key(stream) {
+            return Ok(true);
+        }
+        match self.open_existing(stream)? {
+            Some(entry) => {
+                state.streams.insert(stream.to_string(), entry);
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    }
+
     /// Names of the streams currently held as replicas.
     pub fn held_streams(&self) -> Vec<String> {
         let state = self.state.lock().expect("applier lock poisoned");

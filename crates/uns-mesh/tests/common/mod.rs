@@ -67,6 +67,25 @@ impl Mesh {
             .expect("placement names a mesh member")
     }
 
+    /// Restarts node `index` on its original address over its original
+    /// backend — what a process restart is — replacing it in `nodes`.
+    /// The caller killed it earlier with `stop()`; the failure detector
+    /// is not started (call `start_failover` when the test wants one).
+    pub fn restart(&mut self, index: usize, config: &MeshConfig) -> Arc<MeshNode> {
+        let infos: Vec<NodeInfo> = self.membership.nodes().to_vec();
+        let listener = TcpListener::bind(infos[index].addr).expect("rebind the node's address");
+        let node = MeshNode::start(
+            &infos[index].name,
+            listener,
+            self.backends[index].clone(),
+            Arc::new(Membership::new(infos.clone())),
+            config,
+        )
+        .expect("mesh node restart");
+        self.nodes[index] = Arc::clone(&node);
+        node
+    }
+
     /// Stops every node still running (stop is idempotent).
     pub fn stop_all(&self) {
         for node in &self.nodes {

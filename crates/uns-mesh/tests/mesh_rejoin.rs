@@ -1,0 +1,175 @@
+//! Restart re-join: a killed node that comes back up must **demote**
+//! every stream it recovers to a replica hold before serving anything —
+//! answering `NotPrimary` on the wire — and then heal back into the
+//! replica set through ordinary shipments.
+//!
+//! This pins the PR 9 finding: durable recovery brings up every stream in
+//! the backend as primary, so without the startup demotion a restarted
+//! node serves streams it only ever held as a *replica* (and streams
+//! whose primaryship was adopted elsewhere while it was down) as a second
+//! primary — two nodes accepting writes for one stream.
+
+mod common;
+
+use common::{batch_ids, mesh_client, stream_config, Mesh};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+use uns_mesh::{place, FailoverConfig, MeshConfig};
+use uns_metrics::TraceKind;
+use uns_service::client::ServiceClient;
+use uns_service::error::ServiceError;
+use uns_service::protocol::EstimatorKind;
+use uns_service::resilient::{Delivery, ResilientClient, RetryPolicy};
+use uns_service::server::{Server, ServerConfig};
+use uns_service::transport::Transport;
+
+const BATCH_LEN: u64 = 64;
+
+fn rejoin_policy() -> RetryPolicy {
+    RetryPolicy {
+        base_backoff: Duration::from_millis(2),
+        max_backoff: Duration::from_millis(100),
+        retry_budget: 400,
+        op_timeout: Some(Duration::from_millis(750)),
+        op_deadline: None,
+        jitter_seed: 17,
+    }
+}
+
+/// Feeds batch `b` and asserts the exactly-once position.
+fn feed_one<T, F>(client: &mut ResilientClient<T, F>, stream: &str, b: u64)
+where
+    T: Transport,
+    F: FnMut() -> Result<T, ServiceError>,
+{
+    let ids = batch_ids(b, BATCH_LEN);
+    match client.feed_batch(stream, &ids).expect("feed survives the restart cycle") {
+        Delivery::Acked(ack) => {
+            assert_eq!(ack.position, (b + 1) * BATCH_LEN, "exactly-once across the hand-offs");
+        }
+        Delivery::AppliedReplyLost { position } => {
+            assert_eq!(position, (b + 1) * BATCH_LEN, "exactly-once across the hand-offs");
+        }
+    }
+}
+
+#[test]
+fn restarted_node_rejoins_as_replica_and_heals() {
+    // One mesh at a time (see mesh_failover.rs for why).
+    static SERIAL: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let stream = "rejoin";
+    let config = MeshConfig {
+        failover: FailoverConfig {
+            interval: Duration::from_millis(15),
+            probe_timeout: Duration::from_millis(100),
+            miss_threshold: 3,
+            seed: 0xABBA,
+        },
+        ..MeshConfig::default()
+    };
+    let mut mesh = Mesh::start(3, &config);
+    for node in &mesh.nodes {
+        node.start_failover(config.failover);
+    }
+    let names: Vec<String> = mesh.membership.nodes().iter().map(|n| n.name.clone()).collect();
+    let placement = place(stream, &names, 1).expect("three live nodes");
+    let primary = mesh.index_of(&placement.primary);
+    // A second stream for which the doomed node is only a *replica* — the
+    // literal shape of the finding: its durable copy must not come back
+    // as a primary either.
+    let replica_stream = (0..)
+        .map(|i| format!("rejoin-replica-{i}"))
+        .find(|name| {
+            place(name, &names, 1)
+                .is_some_and(|p| p.primary != names[primary] && p.replicas[0] == names[primary])
+        })
+        .expect("some name places the doomed node as replica");
+
+    let mut client = mesh_client(&mesh, stream, 1, rejoin_policy());
+    client.create_stream(stream, &stream_config(EstimatorKind::CountMin)).expect("create");
+    let mut side = mesh_client(&mesh, &replica_stream, 1, rejoin_policy());
+    side.create_stream(&replica_stream, &stream_config(EstimatorKind::CountMin))
+        .expect("create side stream");
+    for b in 0..20 {
+        feed_one(&mut client, stream, b);
+    }
+    for b in 0..4 {
+        feed_one(&mut side, &replica_stream, b);
+    }
+
+    // Kill the primary mid-load; the replica promotes and serves on.
+    mesh.nodes[primary].stop();
+    for b in 20..40 {
+        feed_one(&mut client, stream, b);
+    }
+
+    // Restart the killed node on its old address over its old backend.
+    // Without the startup demotion it would recover both streams and
+    // serve them as primary — a second primary for each.
+    let node = mesh.restart(primary, &config);
+    node.start_failover(config.failover);
+
+    // Demoted before serving: both streams are replica holds, announced
+    // in the trace ring, and the wire answers NotPrimary.
+    let held = node.applier().held_streams();
+    assert!(held.contains(&stream.to_string()), "ex-primary stream not held: {held:?}");
+    assert!(held.contains(&replica_stream), "ex-replica stream not held: {held:?}");
+    let events = node.server().metrics().trace().events();
+    assert!(
+        events.iter().any(|e| e.kind == TraceKind::Demote && &*e.stream == stream),
+        "demotion of the ex-primary stream missing from the trace ring"
+    );
+    let addr = mesh.membership.addr_of(&names[primary]).expect("member");
+    let mut direct =
+        ServiceClient::new(TcpStream::connect(addr).expect("connect")).expect("client");
+    for name in [stream, replica_stream.as_str()] {
+        match direct.stats(name) {
+            Err(ServiceError::NotPrimary(_)) => {}
+            other => panic!("restarted node must answer NotPrimary for {name:?}, got {other:?}"),
+        }
+    }
+
+    // The mesh keeps serving exactly-once through the promoted node, and
+    // shipments heal the re-joined replica: its held WAL generation
+    // predates the promotion bump, so the first shipment triggers a full
+    // snapshot re-attach, after which its durable position tracks the
+    // primary's. Feeding keeps shipping until the peer's detector has
+    // revived the restarted node and the catch-up lands.
+    let mut fed = 40u64;
+    for b in 40..60 {
+        feed_one(&mut client, stream, b);
+    }
+    fed += 20;
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let position = node.applier().position(stream);
+        if position.is_some_and(|(generation, next)| generation >= 1 && next == fed) {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "re-joined replica never caught up; durable position {position:?}, primary at {fed}"
+        );
+        feed_one(&mut client, stream, fed);
+        fed += 1;
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    // Final state bit-equal to an uninterrupted single-node run of the
+    // same batches.
+    let mesh_snapshot = client.snapshot(stream).expect("snapshot after re-join");
+    let reference = Server::start(ServerConfig::default());
+    let mut plain = ServiceClient::new(reference.connect_in_process()).expect("client");
+    plain.create_stream(stream, &stream_config(EstimatorKind::CountMin)).expect("create");
+    for b in 0..fed {
+        plain.feed_batch(stream, &batch_ids(b, BATCH_LEN)).expect("feed");
+    }
+    let reference_snapshot = plain.snapshot(stream).expect("snapshot");
+    assert_eq!(
+        mesh_snapshot, reference_snapshot,
+        "stream state diverged across kill, promotion, and re-join"
+    );
+    reference.stop();
+    mesh.stop_all();
+}

@@ -106,6 +106,12 @@ impl Gauge {
         self.0.fetch_sub(1, Ordering::Relaxed);
     }
 
+    /// Adds a signed delta (memory-accounting style gauges).
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
     /// Overwrites the reading.
     #[inline]
     pub fn set(&self, value: i64) {

@@ -54,6 +54,9 @@ pub enum TraceKind {
     /// Fault injection severed a transport for a seeded window (`a` =
     /// window length in transport operations).
     FaultSevered,
+    /// A node demoted itself to replica for a stream it had been serving
+    /// as primary (`a` = the worker that owned it, `b` unused).
+    Demote,
 }
 
 impl TraceKind {
@@ -76,6 +79,7 @@ impl TraceKind {
             TraceKind::ReplicaAttach => "replica_attach",
             TraceKind::Promote => "promote",
             TraceKind::FaultSevered => "fault_severed",
+            TraceKind::Demote => "demote",
         }
     }
 }

@@ -32,6 +32,11 @@ pub enum ServiceError {
     /// before anything was applied. Unambiguous by construction — clients
     /// fail over to another endpoint and retry without a position resync.
     NotPrimary(String),
+    /// The connection exceeded its admission rate: the op was rejected
+    /// before anything was applied. Unlike [`ServiceError::Busy`] (a
+    /// transient full queue, retry immediately) this is the server
+    /// policing one abusive connection — back off before retrying.
+    RateLimited(String),
 }
 
 impl fmt::Display for ServiceError {
@@ -48,6 +53,9 @@ impl fmt::Display for ServiceError {
             ServiceError::Durability(msg) => write!(f, "durability failure: {msg}"),
             ServiceError::NotPrimary(name) => {
                 write!(f, "node is not the primary for stream {name:?}")
+            }
+            ServiceError::RateLimited(msg) => {
+                write!(f, "connection rate-limited: {msg}")
             }
         }
     }
@@ -87,6 +95,7 @@ mod tests {
             ServiceError::InvalidConfig("zero width".into()),
             ServiceError::Durability("wal append failed".into()),
             ServiceError::NotPrimary("s".into()),
+            ServiceError::RateLimited("flooding".into()),
         ] {
             assert!(!err.to_string().is_empty());
         }

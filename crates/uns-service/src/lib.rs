@@ -12,7 +12,10 @@
 //!
 //! Std-only by design: the build containers have no registry access, so
 //! networking is thread-per-connection over [`std::net::TcpStream`], with
-//! an in-process pipe [`transport`] for tests and benchmarks.
+//! an in-process pipe [`transport`] for tests and benchmarks — plus a
+//! readiness-based [`reactor`] (one thread, a vendored `epoll` poller)
+//! for fleets of mostly-idle connections that would be wasteful as
+//! threads.
 //!
 //! # Pieces
 //!
@@ -24,6 +27,11 @@
 //!   knowledge-free sampler (estimator kind and `c`/`k`/`s` chosen at
 //!   stream creation), a worker pool that serializes every stream through
 //!   its owning shard, bounded queues with explicit `Busy` backpressure;
+//! * [`reactor`] — the readiness-based connection layer: one thread owns
+//!   the listener and every connection socket, reassembles frames without
+//!   blocking, and hands complete requests to the same worker pool —
+//!   with a per-connection admission rate limit, a connection cap, and
+//!   per-connection memory accounting;
 //! * [`snapshot`] + [`sampler`] — deterministic byte-level snapshot and
 //!   restore of the complete sampler state (memory `Γ` in slot order,
 //!   estimator cells, floor-engine inputs, RNG state) such that a restored
@@ -82,6 +90,7 @@ pub mod http;
 pub mod loadgen;
 pub mod metrics;
 pub mod protocol;
+pub mod reactor;
 pub mod resilient;
 pub mod sampler;
 pub mod server;
@@ -100,6 +109,7 @@ pub use metrics::{
     FLOOR_WINDOW_BATCHES,
 };
 pub use protocol::{EstimatorKind, HashFamilyKind, ReplicationStats, StreamConfig, StreamStats};
+pub use reactor::{RateLimit, ReactorConfig};
 pub use resilient::{Delivery, ResilientClient, RetryPolicy, RetryStats};
 pub use sampler::ServiceSampler;
 pub use server::{DurabilityConfig, ReplicaHandler, ReplicationSink, Server, ServerConfig};

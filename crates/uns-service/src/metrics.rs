@@ -41,6 +41,20 @@ pub const METRIC_STREAM_REPLICA_LAG: &str = "uns_replica_lag_records";
 pub const METRIC_STREAM_REPLICATION_BYTES: &str = "uns_replication_bytes_total";
 /// Exposition family name for per-stream failover promotions served.
 pub const METRIC_STREAM_FAILOVERS: &str = "uns_failovers_total";
+/// Exposition family name for connections refused because a connection
+/// thread could not be spawned.
+pub const METRIC_SPAWN_FAILURES: &str = "uns_accept_spawn_failures_total";
+/// Exposition family name for the reactor's live connection count.
+pub const METRIC_REACTOR_CONNECTIONS: &str = "uns_reactor_connections";
+/// Exposition family name for bytes currently buffered across all reactor
+/// connections (read reassembly plus pending writes).
+pub const METRIC_REACTOR_BUFFERED_BYTES: &str = "uns_reactor_buffered_bytes";
+/// Exposition family name for connections the reactor has accepted.
+pub const METRIC_REACTOR_ACCEPTED: &str = "uns_reactor_accepted_total";
+/// Exposition family name for connections the reactor refused at the cap.
+pub const METRIC_REACTOR_REJECTED: &str = "uns_reactor_rejected_total";
+/// Exposition family name for requests bounced with `RateLimited`.
+pub const METRIC_REACTOR_RATE_LIMITED: &str = "uns_reactor_rate_limited_total";
 
 /// Batches per floor-trajectory window: the window-min gauge and its
 /// [`TraceKind::FloorSample`] event update once per this many mutating
@@ -69,6 +83,15 @@ const HELP_REPLICA_LAG: &str =
     "Durably applied records the stream's replica has not yet acknowledged.";
 const HELP_REPLICATION_BYTES: &str = "Record bytes shipped to the stream's replicas.";
 const HELP_FAILOVERS: &str = "Failover promotions this stream went through on this node.";
+const HELP_SPAWN_FAILURES: &str =
+    "Connections refused because the connection thread could not be spawned.";
+const HELP_REACTOR_CONNECTIONS: &str = "Connections the reactor currently owns.";
+const HELP_REACTOR_BUFFERED_BYTES: &str =
+    "Bytes buffered across all reactor connections (reassembly + pending writes).";
+const HELP_REACTOR_ACCEPTED: &str = "Connections the reactor has accepted, lifetime.";
+const HELP_REACTOR_REJECTED: &str = "Connections the reactor refused at the connection cap.";
+const HELP_REACTOR_RATE_LIMITED: &str =
+    "Requests rejected with RateLimited by a connection's admission limiter.";
 
 /// Per-server metrics state: the registry, the trace ring, and the handles
 /// global instrumentation sites hold (queue depths, op latency, WAL
@@ -211,6 +234,53 @@ impl ServiceMetrics {
     pub(crate) fn remove_stream(&self, stream: &str) {
         self.registry.remove_labeled("stream", stream);
     }
+
+    /// The accept-side spawn-failure counter. Registered on demand; the
+    /// registry hands back the same atomic for the same name.
+    pub(crate) fn spawn_failures(&self) -> Arc<Counter> {
+        self.registry.counter(METRIC_SPAWN_FAILURES, HELP_SPAWN_FAILURES, &[])
+    }
+
+    /// Registers (or re-acquires) the reactor's connection-layer series.
+    pub(crate) fn reactor(&self) -> ReactorMetrics {
+        ReactorMetrics {
+            connections: self.registry.gauge(
+                METRIC_REACTOR_CONNECTIONS,
+                HELP_REACTOR_CONNECTIONS,
+                &[],
+            ),
+            buffered_bytes: self.registry.gauge(
+                METRIC_REACTOR_BUFFERED_BYTES,
+                HELP_REACTOR_BUFFERED_BYTES,
+                &[],
+            ),
+            accepted: self.registry.counter(METRIC_REACTOR_ACCEPTED, HELP_REACTOR_ACCEPTED, &[]),
+            rejected: self.registry.counter(METRIC_REACTOR_REJECTED, HELP_REACTOR_REJECTED, &[]),
+            rate_limited: self.registry.counter(
+                METRIC_REACTOR_RATE_LIMITED,
+                HELP_REACTOR_RATE_LIMITED,
+                &[],
+            ),
+        }
+    }
+}
+
+/// The reactor's connection-layer series handles — one bundle per
+/// [`crate::Server::serve_reactor`] loop, all registered against the
+/// server's exposition registry.
+#[derive(Clone, Debug)]
+pub(crate) struct ReactorMetrics {
+    /// Live connection count.
+    pub(crate) connections: Arc<Gauge>,
+    /// Bytes buffered across all connections (per-connection memory
+    /// accounting: reassembly buffers plus pending writes).
+    pub(crate) buffered_bytes: Arc<Gauge>,
+    /// Lifetime accepted connections.
+    pub(crate) accepted: Arc<Counter>,
+    /// Connections refused at the connection cap.
+    pub(crate) rejected: Arc<Counter>,
+    /// Requests bounced by a connection's admission limiter.
+    pub(crate) rate_limited: Arc<Counter>,
 }
 
 /// The per-stream replication series handles. The registry hands out the

@@ -491,6 +491,9 @@ pub enum ErrorCode {
     /// The node holds the stream only as a replica — the op was rejected
     /// before anything was applied; fail over to another endpoint.
     NotPrimary,
+    /// The connection exceeded its admission rate — the op was rejected
+    /// before anything was applied; slow down and retry.
+    RateLimited,
     /// Anything else.
     Other,
 }
@@ -505,6 +508,7 @@ impl ErrorCode {
             ErrorCode::Other => 5,
             ErrorCode::Durability => 6,
             ErrorCode::NotPrimary => 7,
+            ErrorCode::RateLimited => 8,
         }
     }
 
@@ -517,6 +521,7 @@ impl ErrorCode {
             5 => Ok(ErrorCode::Other),
             6 => Ok(ErrorCode::Durability),
             7 => Ok(ErrorCode::NotPrimary),
+            8 => Ok(ErrorCode::RateLimited),
             other => Err(ServiceError::Protocol(format!("unknown error code {other}"))),
         }
     }
@@ -761,6 +766,7 @@ impl Response {
                 ErrorCode::BadSnapshot => ServiceError::Snapshot(message),
                 ErrorCode::Durability => ServiceError::Durability(message),
                 ErrorCode::NotPrimary => ServiceError::NotPrimary(message),
+                ErrorCode::RateLimited => ServiceError::RateLimited(message),
                 ErrorCode::Other => ServiceError::Remote(message),
             }),
             ok => Ok(ok),
@@ -1001,6 +1007,15 @@ mod tests {
         assert!(matches!(err.into_result(), Err(ServiceError::Durability(_))));
         let err = Response::Error { code: ErrorCode::NotPrimary, message: "s".into() };
         assert!(matches!(err.into_result(), Err(ServiceError::NotPrimary(_))));
+        let err = Response::Error { code: ErrorCode::RateLimited, message: "s".into() };
+        assert!(matches!(err.into_result(), Err(ServiceError::RateLimited(_))));
+        let mut body = Vec::new();
+        Response::Error { code: ErrorCode::RateLimited, message: "slow down".into() }
+            .encode(&mut body);
+        let decoded = Response::decode(&body).unwrap();
+        assert!(
+            matches!(decoded.into_result(), Err(ServiceError::RateLimited(m)) if m == "slow down")
+        );
     }
 
     #[test]

@@ -135,12 +135,15 @@ impl fmt::Debug for DurabilityConfig {
 /// A stream operation after routing, executed by the owning worker.
 /// Create/Restore carry the stream *name* because a durable server keys
 /// its logs and snapshots by name.
-enum StreamOp {
+pub(crate) enum StreamOp {
     Create(String, StreamConfig),
     Restore(String, Vec<u8>),
     /// Promote a replica-held stream: rebuild it from the durable state
     /// the replication feed laid down, with the generation bumped.
     Adopt(String),
+    /// Drop the stream from its worker (WAL flushed first): the node
+    /// stops serving it as primary; durable state stays on the backend.
+    Demote,
     Ingest(Vec<NodeId>),
     Feed(Vec<NodeId>),
     Sample,
@@ -152,15 +155,35 @@ enum StreamOp {
     Panic,
 }
 
-struct Job {
+/// Where a worker's reply goes. The blocking connection path waits on a
+/// one-shot channel; the reactor path pushes into a completion queue and
+/// wakes the reactor thread. Workers never block on a reply either way.
+pub(crate) enum ReplyTo {
+    /// One-shot channel whose receiver a connection thread blocks on.
+    Channel(SyncSender<Response>),
+    /// Reactor completion: push `(connection, response)` and wake.
+    Reactor(crate::reactor::CompletionSender),
+}
+
+impl ReplyTo {
+    fn send(self, response: Response) {
+        match self {
+            // A gone peer just drops the reply.
+            ReplyTo::Channel(tx) => drop(tx.send(response)),
+            ReplyTo::Reactor(tx) => tx.send(response),
+        }
+    }
+}
+
+pub(crate) struct Job {
     stream: u64,
     op: StreamOp,
-    reply: SyncSender<Response>,
+    reply: ReplyTo,
 }
 
 /// Routing entry of one named stream.
 #[derive(Clone)]
-struct StreamEntry {
+pub(crate) struct StreamEntry {
     worker: usize,
     id: u64,
     /// Requests bounced with Busy for this stream (incremented by
@@ -180,7 +203,7 @@ struct StreamEntry {
     ready: Arc<AtomicBool>,
 }
 
-struct Registry {
+pub(crate) struct Registry {
     streams: Mutex<HashMap<String, StreamEntry>>,
     next_id: AtomicU64,
     next_worker: AtomicU64,
@@ -203,7 +226,7 @@ const POOL_MAX_BUF_IDS: usize = 1 << 14;
 /// Shared recycling pool for identifier-batch buffers (request ids and
 /// Feed-reply outputs). See the module docs: this is what makes the batch
 /// hot path allocation-free in steady state.
-struct BufferPool {
+pub(crate) struct BufferPool {
     bufs: Mutex<Vec<Vec<NodeId>>>,
 }
 
@@ -213,14 +236,14 @@ impl BufferPool {
     }
 
     /// Pops a recycled buffer (empty, capacity retained) or makes a new one.
-    fn take(&self) -> Vec<NodeId> {
+    pub(crate) fn take(&self) -> Vec<NodeId> {
         self.bufs.lock().expect("buffer pool lock poisoned").pop().unwrap_or_default()
     }
 
     /// Returns a buffer to the pool. Buffers that never grew carry no
     /// useful capacity and oversized ones would pin memory
     /// ([`POOL_MAX_BUF_IDS`]); both are dropped instead of retained.
-    fn put(&self, mut buf: Vec<NodeId>) {
+    pub(crate) fn put(&self, mut buf: Vec<NodeId>) {
         buf.clear();
         if buf.capacity() == 0 || buf.capacity() > POOL_MAX_BUF_IDS {
             return;
@@ -289,7 +312,7 @@ type SinkCell = Arc<Mutex<Option<Arc<dyn ReplicationSink>>>>;
 
 /// Shared slot for the replica-side shipment handler, read by every
 /// connection thread.
-type HandlerCell = Arc<Mutex<Option<Arc<dyn ReplicaHandler>>>>;
+pub(crate) type HandlerCell = Arc<Mutex<Option<Arc<dyn ReplicaHandler>>>>;
 
 /// The sampling server: owns the worker pool and accepts connections on
 /// any [`Transport`].
@@ -298,15 +321,21 @@ type HandlerCell = Arc<Mutex<Option<Arc<dyn ReplicaHandler>>>>;
 /// "shutting down" errors on their next request).
 pub struct Server {
     config: ServerConfig,
-    registry: Arc<Registry>,
-    senders: Vec<SyncSender<Job>>,
+    pub(crate) registry: Arc<Registry>,
+    pub(crate) senders: Vec<SyncSender<Job>>,
     workers: Vec<JoinHandle<()>>,
-    shutdown: Arc<AtomicBool>,
-    pool: Arc<BufferPool>,
+    pub(crate) shutdown: Arc<AtomicBool>,
+    pub(crate) pool: Arc<BufferPool>,
     durability: Option<DurabilityConfig>,
     metrics: Arc<ServiceMetrics>,
     replication_sink: SinkCell,
-    replica_handler: HandlerCell,
+    pub(crate) replica_handler: HandlerCell,
+    /// Wakers of accept/reactor loops blocked in a poller wait;
+    /// [`Server::stop`] wakes each one so no loop sits out a timeout.
+    pub(crate) accept_wakers: Arc<Mutex<Vec<Arc<epoll::Waker>>>>,
+    /// Test seam: the next N connection-thread spawns report failure, the
+    /// way fd or thread exhaustion would (see [`Server::handle`]).
+    fail_spawns: Arc<AtomicU64>,
 }
 
 impl Server {
@@ -429,6 +458,8 @@ impl Server {
             metrics,
             replication_sink,
             replica_handler,
+            accept_wakers: Arc::new(Mutex::new(Vec::new())),
+            fail_spawns: Arc::new(AtomicU64::new(0)),
         }
     }
 
@@ -447,6 +478,12 @@ impl Server {
     /// Spawns a connection thread serving `transport` until the peer hangs
     /// up or violates the protocol. On a durable server with a fault plan,
     /// the reply path is routed through the plan's transport faults.
+    ///
+    /// A failed thread spawn (fd or thread exhaustion) costs exactly that
+    /// one connection: the transport is dropped (closing it), the
+    /// `uns_accept_spawn_failures_total` counter bumps, and the server
+    /// keeps accepting — one overloaded moment must not kill the accept
+    /// loop that would let the server recover.
     pub fn handle<T: Transport + 'static>(&self, transport: T) {
         match self.durability.as_ref().and_then(|d| d.fault_plan.as_ref()) {
             Some(plan) => self.spawn_connection(FaultTransport::new(transport, Arc::clone(plan))),
@@ -460,13 +497,34 @@ impl Server {
         let pool = Arc::clone(&self.pool);
         let metrics = Arc::clone(&self.metrics);
         let replica = Arc::clone(&self.replica_handler);
-        std::thread::Builder::new()
-            .name("uns-conn".into())
-            .spawn(move || {
+        let spawned = if self.take_injected_spawn_failure() {
+            Err(std::io::Error::new(std::io::ErrorKind::WouldBlock, "injected spawn failure"))
+        } else {
+            std::thread::Builder::new().name("uns-conn".into()).spawn(move || {
                 let _ =
                     handle_connection(transport, &registry, &senders, &pool, &metrics, &replica);
             })
-            .expect("spawning a connection thread");
+        };
+        if spawned.is_err() {
+            // The transport was dropped with the failed spawn (or with the
+            // unspawned closure), closing the connection. Count it; the
+            // caller keeps accepting.
+            self.metrics.spawn_failures().inc();
+        }
+    }
+
+    /// Consumes one injected spawn failure, if armed (tests only).
+    fn take_injected_spawn_failure(&self) -> bool {
+        self.fail_spawns
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| n.checked_sub(1))
+            .is_ok()
+    }
+
+    /// Arms the spawn-failure seam: the next `n` connection (or admin
+    /// HTTP) thread spawns fail as if the process were out of threads.
+    #[cfg(test)]
+    pub(crate) fn inject_spawn_failures(&self, n: u64) {
+        self.fail_spawns.store(n, Ordering::Relaxed);
     }
 
     /// Opens an in-process connection: the returned transport speaks the
@@ -480,11 +538,16 @@ impl Server {
     /// Accepts TCP connections until [`Server::stop`] is called. Runs on
     /// the calling thread; spawn it if you need to keep going.
     ///
+    /// The idle wait is readiness-based: the loop blocks in the vendored
+    /// poller until the listener is ready or `stop()` wakes it, so an
+    /// idle server is actually idle (no 2 ms accept polling).
+    ///
     /// # Errors
     ///
     /// Propagates listener failures other than `WouldBlock`.
     pub fn serve(&self, listener: TcpListener) -> std::io::Result<()> {
         listener.set_nonblocking(true)?;
+        let mut waiter = AcceptWaiter::new(self, &listener);
         while !self.shutdown.load(Ordering::Relaxed) {
             match listener.accept() {
                 Ok((stream, _peer)) => {
@@ -493,12 +556,31 @@ impl Server {
                     self.handle(stream);
                 }
                 Err(err) if err.kind() == std::io::ErrorKind::WouldBlock => {
-                    std::thread::sleep(std::time::Duration::from_millis(2));
+                    waiter.wait();
                 }
                 Err(err) => return Err(err),
             }
         }
         Ok(())
+    }
+
+    /// Serves TCP connections through the readiness reactor: one thread
+    /// (the calling one) owns the listener and every connection socket,
+    /// reassembles frames without blocking, and hands complete requests
+    /// to the same worker pool [`Server::serve`] uses — same routing,
+    /// same backpressure, bit-identical replies. Returns when
+    /// [`Server::stop`] is called.
+    ///
+    /// # Errors
+    ///
+    /// Propagates listener/poller failures; `Unsupported` on targets
+    /// without the vendored poller (non-Linux).
+    pub fn serve_reactor(
+        &self,
+        listener: TcpListener,
+        config: crate::reactor::ReactorConfig,
+    ) -> std::io::Result<()> {
+        crate::reactor::run(self, listener, config)
     }
 
     /// Serves the plain-HTTP admin surface (`GET /metrics`, `/trace`,
@@ -512,21 +594,31 @@ impl Server {
     /// Propagates listener failures other than `WouldBlock`.
     pub fn serve_metrics_http(&self, listener: TcpListener) -> std::io::Result<()> {
         listener.set_nonblocking(true)?;
+        let mut waiter = AcceptWaiter::new(self, &listener);
         while !self.shutdown.load(Ordering::Relaxed) {
             match listener.accept() {
                 Ok((stream, _peer)) => {
                     stream.set_nonblocking(false).ok();
                     let metrics = Arc::clone(&self.metrics);
-                    std::thread::Builder::new()
-                        .name("uns-http".into())
-                        .spawn(move || {
+                    let spawned = if self.take_injected_spawn_failure() {
+                        Err(std::io::Error::new(
+                            std::io::ErrorKind::WouldBlock,
+                            "injected spawn failure",
+                        ))
+                    } else {
+                        std::thread::Builder::new().name("uns-http".into()).spawn(move || {
                             let mut stream = stream;
                             let _ = crate::http::serve_http_once(&mut stream, &metrics);
                         })
-                        .expect("spawning an http thread");
+                    };
+                    if spawned.is_err() {
+                        // This scrape is lost (socket closed with the
+                        // drop); the admin listener itself survives.
+                        self.metrics.spawn_failures().inc();
+                    }
                 }
                 Err(err) if err.kind() == std::io::ErrorKind::WouldBlock => {
-                    std::thread::sleep(std::time::Duration::from_millis(2));
+                    waiter.wait();
                 }
                 Err(err) => return Err(err),
             }
@@ -534,9 +626,14 @@ impl Server {
         Ok(())
     }
 
-    /// Makes [`Server::serve`] return after its next accept poll.
+    /// Makes every [`Server::serve`] / [`Server::serve_reactor`] /
+    /// [`Server::serve_metrics_http`] loop return: sets the flag, then
+    /// wakes each loop blocked in a poller wait.
     pub fn stop(&self) {
         self.shutdown.store(true, Ordering::Relaxed);
+        for waker in self.accept_wakers.lock().expect("accept waker lock poisoned").iter() {
+            waker.wake();
+        }
     }
 
     /// Installs (or clears) the primary-side replication sink. Workers
@@ -590,6 +687,52 @@ impl Server {
         );
         response.into_result().map(|_| ())
     }
+
+    /// Names of every stream this server currently serves as primary.
+    pub fn stream_names(&self) -> Vec<String> {
+        self.registry.streams.lock().expect("registry lock poisoned").keys().cloned().collect()
+    }
+
+    /// Demotes a stream this node serves: the name leaves the registry
+    /// (no new ops route to it), then the owning worker flushes the
+    /// stream's WAL and drops its in-memory state. Durable files stay on
+    /// the backend — a replica applier can take them over, and
+    /// [`Server::adopt_stream`] reverses the demotion.
+    ///
+    /// This is the re-join half of failover: a restarted node that finds
+    /// another live primary for a stream it used to serve demotes itself
+    /// instead of split-braining the name (see `uns-mesh`).
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::UnknownStream`] when the name is not served here;
+    /// [`ServiceError::Busy`] when its creation is still in flight.
+    pub fn demote_stream(&self, name: &str) -> Result<(), ServiceError> {
+        let entry = {
+            let mut streams = self.registry.streams.lock().expect("registry lock poisoned");
+            match streams.get(name) {
+                Some(entry) if entry.ready.load(Ordering::Acquire) => {
+                    let entry = entry.clone();
+                    streams.remove(name);
+                    entry
+                }
+                Some(_) => return Err(ServiceError::Busy),
+                None => return Err(ServiceError::UnknownStream(name.to_string())),
+            }
+        };
+        // The name is unrouteable now; drain the worker's copy. A full
+        // queue only delays the drop (jobs already queued for this id
+        // still run first), so ride out transient Busy instead of
+        // leaking the worker-held state.
+        let response = loop {
+            match enqueue(&self.senders, &entry, StreamOp::Demote, &self.pool, &self.metrics) {
+                Response::Busy => std::thread::sleep(std::time::Duration::from_millis(1)),
+                other => break other,
+            }
+        };
+        self.metrics.remove_stream(name);
+        response.into_result().map(|_| ())
+    }
 }
 
 impl Drop for Server {
@@ -598,6 +741,55 @@ impl Drop for Server {
         self.senders.clear(); // workers exit once their queue drains
         for worker in self.workers.drain(..) {
             let _ = worker.join();
+        }
+    }
+}
+
+/// Readiness wait for an accept loop: blocks in the vendored poller until
+/// the listener is ready or [`Server::stop`] wakes it, falling back to the
+/// historical 2 ms sleep-poll where the poller is unsupported. The waker
+/// registers with the server so `stop()` reaches a loop mid-wait; `Drop`
+/// unregisters it.
+struct AcceptWaiter {
+    poller: Option<(epoll::Poller, Arc<epoll::Waker>)>,
+    events: Vec<epoll::Event>,
+    wakers: Arc<Mutex<Vec<Arc<epoll::Waker>>>>,
+}
+
+impl AcceptWaiter {
+    fn new(server: &Server, listener: &TcpListener) -> Self {
+        let wakers = Arc::clone(&server.accept_wakers);
+        let poller = epoll::Poller::new().ok().and_then(|poller| {
+            poller.register(listener, 0, epoll::Interest::READ).ok()?;
+            let waker = Arc::new(epoll::Waker::new(&poller, 1).ok()?);
+            wakers.lock().expect("accept waker lock poisoned").push(Arc::clone(&waker));
+            Some((poller, waker))
+        });
+        Self { poller, events: Vec::new(), wakers }
+    }
+
+    /// Blocks until the listener is plausibly ready. Spurious returns are
+    /// fine — the caller retries `accept` and lands back here.
+    fn wait(&mut self) {
+        match &self.poller {
+            Some((poller, waker)) => {
+                // The waker is the real stop signal; the timeout is a
+                // defensive bound, not a polling cadence.
+                let timeout = Some(std::time::Duration::from_secs(5));
+                if poller.wait(&mut self.events, timeout).is_ok() {
+                    waker.drain();
+                }
+            }
+            None => std::thread::sleep(std::time::Duration::from_millis(2)),
+        }
+    }
+}
+
+impl Drop for AcceptWaiter {
+    fn drop(&mut self) {
+        if let Some((_, waker)) = &self.poller {
+            let mut wakers = self.wakers.lock().expect("accept waker lock poisoned");
+            wakers.retain(|registered| !Arc::ptr_eq(registered, waker));
         }
     }
 }
@@ -987,7 +1179,7 @@ fn worker_main(
         if let Some(op_index) = op_index {
             metrics.record_op(op_index, started.elapsed());
         }
-        let _ = job.reply.send(response); // peer gone: drop the reply
+        job.reply.send(response);
     }
     // Drain the durability buffers on the way out: an orderly shutdown
     // should not cost the EveryN/Timer loss window.
@@ -1106,6 +1298,9 @@ fn op_mutates(op: &StreamOp) -> bool {
         | StreamOp::Ingest(_)
         | StreamOp::Feed(_)
         | StreamOp::Sample => true,
+        // Demote only removes state; a panic mid-removal leaves nothing
+        // worth healing (the registry entry is already gone).
+        StreamOp::Demote => false,
         StreamOp::Floor | StreamOp::Snapshot | StreamOp::Stats => false,
         #[cfg(test)]
         StreamOp::Panic => true,
@@ -1118,8 +1313,9 @@ fn op_metric_index(op: &StreamOp) -> Option<usize> {
     let label = match op {
         StreamOp::Create(..) => "create",
         StreamOp::Restore(..) => "restore",
-        // Promotion is driven by the mesh, not the wire — no op label.
-        StreamOp::Adopt(..) => return None,
+        // Promotion and demotion are driven by the mesh, not the wire —
+        // no op label.
+        StreamOp::Adopt(..) | StreamOp::Demote => return None,
         StreamOp::Ingest(_) => "ingest",
         StreamOp::Feed(_) => "feed",
         StreamOp::Sample => "sample",
@@ -1351,6 +1547,20 @@ fn execute_job(
                 },
             }
         }
+        StreamOp::Demote => match streams.remove(&stream) {
+            Some(mut state) => {
+                // Flush the WAL so the durable state is complete to the
+                // policy's promise, then drop: the writer closes, the
+                // on-backend files stay for whoever takes the stream over
+                // (a replica applier, or a later re-adoption).
+                if let Some(durable) = state.durable.as_mut() {
+                    let _ = durable.wal.sync();
+                }
+                state.metrics.event(TraceKind::Demote, worker as u64, 0);
+                Response::Ok
+            }
+            None => unknown_stream(),
+        },
         StreamOp::Ingest(ids) => {
             if let Err(reply) = wal_before_apply(
                 streams,
@@ -1535,7 +1745,7 @@ fn handle_connection<T: Transport>(
 /// frame (e.g. the snapshot of an Exact-estimator stream with tens of
 /// millions of distinct identifiers) into an application error — the peer
 /// gets a reply either way, never a killed connection.
-fn encode_bounded(response: &Response, body: &mut Vec<u8>) {
+pub(crate) fn encode_bounded(response: &Response, body: &mut Vec<u8>) {
     // A snapshot is the one response whose size is unbounded (batches are
     // capped, everything else is fixed-width): reject it *before* copying
     // hundreds of megabytes into the connection's long-lived buffer just
@@ -1556,6 +1766,59 @@ fn encode_bounded(response: &Response, body: &mut Vec<u8>) {
     }
 }
 
+/// One routed request, resolved by [`route_prepare`] on whichever thread
+/// owns the connection — a blocking connection thread or the reactor.
+/// Splitting routing from the wait is what lets the reactor reuse every
+/// routing rule (and so every exactness property) without blocking.
+pub(crate) enum Routed {
+    /// Answer immediately — no worker involved.
+    Immediate(Response),
+    /// Enqueue `op` on `entry`'s owning worker. `fold` marks a Stats
+    /// reply whose connection-side counters the router folds in via
+    /// [`fold_stats`] once the reply arrives.
+    Enqueue { entry: StreamEntry, op: StreamOp, fold: bool },
+    /// Create/restore: a blocking two-phase round-trip (registry
+    /// reservation, worker confirm, rollback on failure) via
+    /// [`blocking_route`].
+    Blocking { replace: bool, op: StreamOp },
+}
+
+/// Folds the stream's connection-side counters (busy rejections, the
+/// replication series) into a worker's Stats reply — the wire Stats and
+/// the exposition read the same registered atomics.
+pub(crate) fn fold_stats(response: Response, entry: &StreamEntry) -> Response {
+    match response {
+        Response::Stats(mut stats) => {
+            stats.busy_rejections = entry.busy.get();
+            stats.replication = ReplicationStats {
+                lag_records: u64::try_from(entry.replication.lag.get()).unwrap_or(0),
+                shipped_bytes: entry.replication.shipped_bytes.get(),
+                failovers: entry.replication.failovers.get(),
+            };
+            Response::Stats(stats)
+        }
+        other => other,
+    }
+}
+
+/// Runs a [`Routed::Blocking`] create/restore through the two-phase
+/// reservation protocol. Blocking by design — creation is rare and its
+/// rollback correctness leans on the synchronous round-trip.
+pub(crate) fn blocking_route(
+    registry: &Registry,
+    senders: &[SyncSender<Job>],
+    pool: &BufferPool,
+    metrics: &ServiceMetrics,
+    replace: bool,
+    op: StreamOp,
+) -> Response {
+    let name = match &op {
+        StreamOp::Create(name, _) | StreamOp::Restore(name, _) => name.clone(),
+        _ => unreachable!("only create/restore route blocking"),
+    };
+    create_or_restore(registry, senders, &name, replace, pool, metrics, move || op)
+}
+
 fn route_request(
     request: &Request<'_>,
     registry: &Registry,
@@ -1564,30 +1827,58 @@ fn route_request(
     metrics: &ServiceMetrics,
     replica: Option<&Arc<dyn ReplicaHandler>>,
 ) -> Response {
+    match route_prepare(request, registry, pool, metrics, replica) {
+        Routed::Immediate(response) => response,
+        Routed::Enqueue { entry, op, fold } => {
+            let response = enqueue(senders, &entry, op, pool, metrics);
+            if fold {
+                fold_stats(response, &entry)
+            } else {
+                response
+            }
+        }
+        Routed::Blocking { replace, op } => {
+            blocking_route(registry, senders, pool, metrics, replace, op)
+        }
+    }
+}
+
+/// Resolves one decoded request into a [`Routed`] decision: immediate
+/// answers are produced here (metrics, validation, replication shipments,
+/// NotPrimary bounces, unknown/pending streams); worker-bound ops come
+/// back with their route resolved and the batch already copied into a
+/// pooled buffer.
+pub(crate) fn route_prepare(
+    request: &Request<'_>,
+    registry: &Registry,
+    pool: &BufferPool,
+    metrics: &ServiceMetrics,
+    replica: Option<&Arc<dyn ReplicaHandler>>,
+) -> Routed {
     // Metrics targets no stream and reads only atomics — answered right
     // here on the connection thread, before the name validation below
     // (its stream name is empty by design), never enqueued to a worker.
     if let Request::Metrics = request {
-        return Response::Metrics(metrics.render());
+        return Routed::Immediate(Response::Metrics(metrics.render()));
     }
     let name = request.stream_name();
     if name.is_empty() || name.len() > MAX_STREAM_NAME_LEN {
-        return Response::Error {
+        return Routed::Immediate(Response::Error {
             code: ErrorCode::InvalidConfig,
             message: format!("stream name must be 1..={MAX_STREAM_NAME_LEN} bytes"),
-        };
+        });
     }
     // Shipments go to the replica handler, never to a worker: replica
     // streams live outside the registry (they must not serve reads
     // mid-catch-up), and the handler owns their WALs.
     if let Request::Replicate { generation, first_seq, snapshot, records, .. } = request {
-        return match replica {
+        return Routed::Immediate(match replica {
             Some(handler) => handler.apply(name, *generation, *first_seq, *snapshot, records),
             None => Response::Error {
                 code: ErrorCode::Other,
                 message: "node accepts no replication shipments".into(),
             },
-        };
+        });
     }
     // Data ops on a replica-held stream bounce *before* routing: the name
     // is absent from the registry by design, and answering UnknownStream
@@ -1596,37 +1887,34 @@ fn route_request(
     // over without a position resync.
     if let Some(handler) = replica {
         if handler.holds(name) {
-            return Response::Error {
+            return Routed::Immediate(Response::Error {
                 code: ErrorCode::NotPrimary,
                 message: format!("stream {name:?} is held as a replica on this node"),
-            };
+            });
         }
     }
     // Batches are capped below the frame limit so the echoed Fed reply
     // provably fits a frame too (see [`MAX_BATCH_IDS`]).
     if let Request::Ingest { ids, .. } | Request::FeedBatch { ids, .. } = request {
         if ids.len() > MAX_BATCH_IDS {
-            return Response::Error {
+            return Routed::Immediate(Response::Error {
                 code: ErrorCode::InvalidConfig,
                 message: format!(
                     "batch of {} identifiers exceeds the {MAX_BATCH_IDS}-identifier cap",
                     ids.len()
                 ),
-            };
+            });
         }
     }
     match request {
         Request::Metrics | Request::Replicate { .. } => unreachable!("answered above"),
         Request::CreateStream { config, .. } => {
-            create_or_restore(registry, senders, name, false, pool, metrics, || {
-                StreamOp::Create(name.to_string(), *config)
-            })
+            Routed::Blocking { replace: false, op: StreamOp::Create(name.to_string(), *config) }
         }
-        Request::Restore { snapshot, .. } => {
-            create_or_restore(registry, senders, name, true, pool, metrics, || {
-                StreamOp::Restore(name.to_string(), snapshot.to_vec())
-            })
-        }
+        Request::Restore { snapshot, .. } => Routed::Blocking {
+            replace: true,
+            op: StreamOp::Restore(name.to_string(), snapshot.to_vec()),
+        },
         // Batch ops: resolve the route BEFORE copying the ids off the
         // frame, so unknown/pending streams cost no copy. The batch buffer
         // comes from the pool — the owning worker returns it once the
@@ -1637,48 +1925,35 @@ fn route_request(
             Ok(entry) => {
                 let mut batch = pool.take();
                 ids.copy_into(&mut batch);
-                enqueue(senders, &entry, StreamOp::Ingest(batch), pool, metrics)
+                Routed::Enqueue { entry, op: StreamOp::Ingest(batch), fold: false }
             }
-            Err(response) => response,
+            Err(response) => Routed::Immediate(response),
         },
         Request::FeedBatch { ids, .. } => match lookup_ready(registry, name) {
             Ok(entry) => {
                 let mut batch = pool.take();
                 ids.copy_into(&mut batch);
-                enqueue(senders, &entry, StreamOp::Feed(batch), pool, metrics)
+                Routed::Enqueue { entry, op: StreamOp::Feed(batch), fold: false }
             }
-            Err(response) => response,
+            Err(response) => Routed::Immediate(response),
         },
-        Request::Sample { .. } => {
-            dispatch(registry, senders, name, StreamOp::Sample, pool, metrics)
-        }
-        Request::FloorEstimate { .. } => {
-            dispatch(registry, senders, name, StreamOp::Floor, pool, metrics)
-        }
-        Request::Snapshot { .. } => {
-            dispatch(registry, senders, name, StreamOp::Snapshot, pool, metrics)
-        }
-        Request::Stats { .. } => {
-            let entry = match lookup_ready(registry, name) {
-                Ok(entry) => entry,
-                Err(response) => return response,
-            };
-            let response = enqueue(senders, &entry, StreamOp::Stats, pool, metrics);
-            match response {
-                Response::Stats(mut stats) => {
-                    stats.busy_rejections = entry.busy.get();
-                    // Folded from the same registered atomics the mesh
-                    // replicator bumps and the exposition renders.
-                    stats.replication = ReplicationStats {
-                        lag_records: u64::try_from(entry.replication.lag.get()).unwrap_or(0),
-                        shipped_bytes: entry.replication.shipped_bytes.get(),
-                        failovers: entry.replication.failovers.get(),
-                    };
-                    Response::Stats(stats)
-                }
-                other => other,
-            }
-        }
+        Request::Sample { .. } => route_lookup(registry, name, StreamOp::Sample),
+        Request::FloorEstimate { .. } => route_lookup(registry, name, StreamOp::Floor),
+        Request::Snapshot { .. } => route_lookup(registry, name, StreamOp::Snapshot),
+        // Stats replies are folded with the stream's connection-side
+        // counters once the worker answers (see [`fold_stats`]).
+        Request::Stats { .. } => match lookup_ready(registry, name) {
+            Ok(entry) => Routed::Enqueue { entry, op: StreamOp::Stats, fold: true },
+            Err(response) => Routed::Immediate(response),
+        },
+    }
+}
+
+/// Routes a no-payload worker op through the ready-entry lookup.
+fn route_lookup(registry: &Registry, name: &str, op: StreamOp) -> Routed {
+    match lookup_ready(registry, name) {
+        Ok(entry) => Routed::Enqueue { entry, op, fold: false },
+        Err(response) => Routed::Immediate(response),
     }
 }
 
@@ -1763,20 +2038,6 @@ fn lookup_ready(registry: &Registry, name: &str) -> Result<StreamEntry, Response
     }
 }
 
-fn dispatch(
-    registry: &Registry,
-    senders: &[SyncSender<Job>],
-    name: &str,
-    op: StreamOp,
-    pool: &BufferPool,
-    metrics: &ServiceMetrics,
-) -> Response {
-    match lookup_ready(registry, name) {
-        Ok(entry) => enqueue(senders, &entry, op, pool, metrics),
-        Err(response) => response,
-    }
-}
-
 /// Recycles the identifier buffer of a job that never reached a worker
 /// (Busy bounce, shutdown race) back into the pool.
 fn recycle_job(pool: &BufferPool, job: Job) {
@@ -1785,8 +2046,9 @@ fn recycle_job(pool: &BufferPool, job: Job) {
     }
 }
 
-/// Non-blocking enqueue on the owning worker: a full queue is an immediate
-/// [`Response::Busy`] — the backpressure contract.
+/// Non-blocking enqueue on the owning worker, then a blocking wait for
+/// the reply: a full queue is an immediate [`Response::Busy`] — the
+/// backpressure contract.
 ///
 /// The reply channel is created per request and its **only** sender moves
 /// into the job: if the job is dropped unanswered anywhere (worker exits
@@ -1801,26 +2063,43 @@ fn enqueue(
     metrics: &ServiceMetrics,
 ) -> Response {
     let (reply_tx, reply_rx) = mpsc::sync_channel::<Response>(1);
-    let job = Job { stream: entry.id, op, reply: reply_tx };
+    match try_enqueue(senders, entry, op, pool, metrics, ReplyTo::Channel(reply_tx)) {
+        Some(response) => response,
+        None => reply_rx.recv().unwrap_or_else(|_| Response::Error {
+            code: ErrorCode::Other,
+            message: "server shutting down".into(),
+        }),
+    }
+}
+
+/// The enqueue itself, shared by the blocking path and the reactor:
+/// `Some(response)` is an immediate bounce (full queue → Busy, shutdown),
+/// `None` means the job is with the worker and `reply` will be answered.
+pub(crate) fn try_enqueue(
+    senders: &[SyncSender<Job>],
+    entry: &StreamEntry,
+    op: StreamOp,
+    pool: &BufferPool,
+    metrics: &ServiceMetrics,
+    reply: ReplyTo,
+) -> Option<Response> {
+    let job = Job { stream: entry.id, op, reply };
     match senders[entry.worker].try_send(job) {
         Ok(()) => {
             // Incremented after the send (the worker decrements on
             // receive), so the depth gauge may transiently read -1 —
             // approximate by design, never drifting.
             metrics.queue_depth[entry.worker].inc();
-            reply_rx.recv().unwrap_or_else(|_| Response::Error {
-                code: ErrorCode::Other,
-                message: "server shutting down".into(),
-            })
+            None
         }
         Err(TrySendError::Full(job)) => {
             recycle_job(pool, job);
             entry.busy.inc();
-            Response::Busy
+            Some(Response::Busy)
         }
         Err(TrySendError::Disconnected(job)) => {
             recycle_job(pool, job);
-            Response::Error { code: ErrorCode::Other, message: "server shutting down".into() }
+            Some(Response::Error { code: ErrorCode::Other, message: "server shutting down".into() })
         }
     }
 }
@@ -2005,7 +2284,7 @@ mod tests {
         };
         let (reply_tx, reply_rx) = mpsc::sync_channel(1);
         server.senders[worker]
-            .send(Job { stream: id, op: StreamOp::Panic, reply: reply_tx })
+            .send(Job { stream: id, op: StreamOp::Panic, reply: ReplyTo::Channel(reply_tx) })
             .unwrap();
         match reply_rx.recv().unwrap() {
             Response::Error { code: ErrorCode::Other, message } => {
@@ -2235,7 +2514,7 @@ mod tests {
         };
         let (reply_tx, reply_rx) = mpsc::sync_channel(1);
         server.senders[worker]
-            .send(Job { stream: id, op: StreamOp::Panic, reply: reply_tx })
+            .send(Job { stream: id, op: StreamOp::Panic, reply: ReplyTo::Channel(reply_tx) })
             .unwrap();
         assert!(matches!(reply_rx.recv().unwrap(), Response::Error { code: ErrorCode::Other, .. }));
         // Runtime view: unknown. The teardown purged the backend too, so
@@ -2309,5 +2588,58 @@ mod tests {
             assert_eq!(fed.outputs.len(), 100);
             server.stop();
         });
+    }
+
+    #[test]
+    fn failed_connection_spawn_costs_one_connection_not_the_server() {
+        let server = Server::start(ServerConfig { workers: 1, queue_depth: 8 });
+        server.inject_spawn_failures(2);
+        // The two failed spawns close their connections (the client sees
+        // EOF on its first op), counted in the metric.
+        for _ in 0..2 {
+            let mut orphan = ServiceClient::new(server.connect_in_process()).unwrap();
+            assert!(orphan.floor_estimate("any").is_err(), "a dropped connection cannot answer");
+        }
+        assert_eq!(server.metrics().spawn_failures().get(), 2);
+        // The seam is exhausted: the very next connection is served.
+        let mut client = ServiceClient::new(server.connect_in_process()).unwrap();
+        client.create_stream("after", &test_config()).unwrap();
+        let text = client.metrics().unwrap();
+        assert!(
+            text.contains("uns_accept_spawn_failures_total 2"),
+            "spawn failures missing from the rendered metrics:\n{text}"
+        );
+    }
+
+    #[test]
+    fn demote_stream_stops_serving_but_keeps_durable_state() {
+        let backend = Arc::new(crate::storage::MemBackend::new());
+        let durability = DurabilityConfig::new(Arc::clone(&backend) as Arc<dyn StorageBackend>);
+        let server =
+            Server::start_durable(ServerConfig { workers: 1, queue_depth: 8 }, durability).unwrap();
+        let mut client = ServiceClient::new(server.connect_in_process()).unwrap();
+        client.create_stream("d", &test_config()).unwrap();
+        let ids: Vec<NodeId> = (0..64u64).map(NodeId::new).collect();
+        client.feed_batch("d", &ids).unwrap();
+        assert_eq!(server.stream_names(), ["d"]);
+
+        server.demote_stream("d").unwrap();
+        assert!(server.stream_names().is_empty());
+        assert!(matches!(client.feed_batch("d", &ids), Err(ServiceError::UnknownStream(_))));
+        assert!(matches!(server.demote_stream("d"), Err(ServiceError::UnknownStream(_))));
+        // The demotion is announced in the trace ring and the per-stream
+        // series leave the registry.
+        assert!(server
+            .metrics()
+            .trace()
+            .events()
+            .iter()
+            .any(|e| e.kind == uns_metrics::TraceKind::Demote && &*e.stream == "d"));
+        assert!(!client.metrics().unwrap().contains("stream=\"d\""));
+        // Durable state survived (WAL flushed before the drop): adoption
+        // recovers the stream and its position continues where it left.
+        server.adopt_stream("d").unwrap();
+        let ack = client.feed_batch("d", &ids).unwrap();
+        assert_eq!(ack.position, 128, "the adopted stream resumed the demoted position");
     }
 }

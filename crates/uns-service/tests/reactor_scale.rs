@@ -1,0 +1,295 @@
+//! Scale acceptance of the readiness reactor: a ten-thousand-connection
+//! idle fleet plus a thousand active connections on **one reactor
+//! thread**, with per-connection memory measured by a counting global
+//! allocator, and an abusive flooding connection converted into coded
+//! `RateLimited` errors without taking the honest connections down with
+//! it.
+//!
+//! The client side speaks the raw wire protocol with reused buffers (no
+//! reply decoding on the measured paths), so the live-byte delta across a
+//! phase is the server's cost, not the harness's. Debug builds run a
+//! reduced fleet so `cargo test` stays fast; the release CI job runs the
+//! full scale. The file-descriptor budget is raised via
+//! `epoll::raise_nofile_limit` (two fds per in-process connection: the
+//! client end and the accepted end) and the fleet clamps to whatever the
+//! container grants.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+use uns_core::NodeId;
+use uns_service::protocol::Request;
+use uns_service::wire::{read_frame, write_frame};
+use uns_service::{
+    EstimatorKind, HashFamilyKind, RateLimit, ReactorConfig, Server, ServerConfig, StreamConfig,
+};
+
+// ---------------------------------------------------------------------------
+// Live-byte counting allocator
+// ---------------------------------------------------------------------------
+
+struct CountingAllocator;
+
+static LIVE_BYTES: AtomicI64 = AtomicI64::new(0);
+
+// SAFETY: delegates every operation to the system allocator unchanged;
+// the live-byte counter is a side effect with no influence on the
+// returned memory.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        LIVE_BYTES.fetch_add(layout.size() as i64, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        LIVE_BYTES.fetch_sub(layout.size() as i64, Ordering::Relaxed);
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        LIVE_BYTES.fetch_add(new_size as i64 - layout.size() as i64, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+fn live_bytes() -> i64 {
+    LIVE_BYTES.load(Ordering::Relaxed)
+}
+
+// ---------------------------------------------------------------------------
+// Raw-wire client helpers (no allocation on the measured paths)
+// ---------------------------------------------------------------------------
+
+/// Reply opcodes (see `protocol.rs`): body is `[version, opcode, ...]`.
+const RESP_OK: u8 = 0x80;
+const RESP_FED: u8 = 0x82;
+const RESP_VALUE: u8 = 0x84;
+const RESP_METRICS: u8 = 0x87;
+const RESP_BUSY: u8 = 0xEE;
+const RESP_ERROR: u8 = 0xEF;
+/// `ErrorCode::RateLimited` wire tag, the third body byte of an error.
+const CODE_RATE_LIMITED: u8 = 8;
+
+/// One round trip with Busy retry; returns the reply opcode.
+fn round_trip(conn: &mut TcpStream, request: &[u8], reply: &mut Vec<u8>) -> u8 {
+    loop {
+        write_frame(conn, request).expect("write frame");
+        assert!(read_frame(conn, reply).expect("read frame"), "server hung up");
+        if reply[1] == RESP_BUSY {
+            continue; // nothing happened; the queue was momentarily full
+        }
+        return reply[1];
+    }
+}
+
+fn connect(addr: std::net::SocketAddr) -> TcpStream {
+    let conn = TcpStream::connect(addr).expect("connect");
+    conn.set_nodelay(true).expect("nodelay");
+    conn
+}
+
+/// Splits `total` into `parts` near-equal chunk sizes.
+fn split(total: usize, parts: usize) -> Vec<usize> {
+    (0..parts).map(|i| total / parts + usize::from(i < total % parts)).collect()
+}
+
+/// Reads the value of an unlabeled gauge/counter from exposition text.
+fn metric_value(text: &str, name: &str) -> f64 {
+    uns_metrics::parse_exposition(text)
+        .expect("well-formed exposition text")
+        .into_iter()
+        .find(|s| s.name == name && s.labels.is_empty())
+        .unwrap_or_else(|| panic!("metric {name} missing"))
+        .value
+}
+
+#[test]
+fn reactor_holds_10k_idle_1k_active_with_bounded_memory_and_flood_isolation() {
+    if !epoll::supported() {
+        eprintln!("skipping: the vendored epoll poller is unsupported on this platform");
+        return;
+    }
+    // Two fds per in-process connection (client end + accepted end), plus
+    // slack for the test binary itself; the fleet clamps to the grant.
+    let limit = epoll::raise_nofile_limit(24_576).unwrap_or(1_024);
+    let (want_idle, want_active) = if cfg!(debug_assertions) { (300, 32) } else { (10_000, 1_000) };
+    let budget = usize::try_from(limit).unwrap_or(usize::MAX).saturating_sub(512) / 2;
+    let (idle_n, active_n) = if budget < want_idle + want_active {
+        let scale = |want: usize| want * budget / (want_idle + want_active);
+        (scale(want_idle), scale(want_active))
+    } else {
+        (want_idle, want_active)
+    };
+    assert!(idle_n >= 64 && active_n >= 8, "fd budget too small to test anything: {limit}");
+    eprintln!("fleet: {idle_n} idle + {active_n} active (fd limit {limit})");
+
+    let server = Server::start(ServerConfig { workers: 2, queue_depth: 64 });
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let reactor_config = ReactorConfig {
+        max_connections: idle_n + active_n + 64,
+        rate_limit: Some(RateLimit { per_sec: 50, burst: 64 }),
+        ..ReactorConfig::default()
+    };
+    std::thread::scope(|scope| {
+        scope.spawn(|| server.serve_reactor(listener, reactor_config).unwrap());
+
+        let mut control = connect(addr);
+        let mut body = Vec::new();
+        let mut reply = Vec::new();
+        let config = StreamConfig {
+            kind: EstimatorKind::CountMin,
+            capacity: 8,
+            width: 64,
+            depth: 4,
+            seed: 5,
+            family: HashFamilyKind::Mersenne,
+        };
+        Request::CreateStream { name: "scale", config }.encode(&mut body);
+        assert_eq!(round_trip(&mut control, &body, &mut reply), RESP_OK);
+
+        let mut probe = Vec::new();
+        Request::FloorEstimate { name: "scale" }.encode(&mut probe);
+
+        // -- Phase A: the idle fleet. Every connection completes one real
+        // request (so its buffers reach steady state) and then just sits
+        // there. The live-byte delta across the phase, divided by the
+        // fleet, bounds the per-connection footprint.
+        let threads = 8;
+        let before_idle = live_bytes();
+        let idle: Mutex<Vec<TcpStream>> = Mutex::new(Vec::new());
+        std::thread::scope(|inner| {
+            let (idle, probe) = (&idle, &probe);
+            for chunk in split(idle_n, threads) {
+                inner.spawn(move || {
+                    let mut mine = Vec::with_capacity(chunk);
+                    let mut reply = Vec::new();
+                    for _ in 0..chunk {
+                        let mut conn = connect(addr);
+                        assert_eq!(round_trip(&mut conn, probe, &mut reply), RESP_VALUE);
+                        mine.push(conn);
+                    }
+                    idle.lock().expect("idle fleet lock").append(&mut mine);
+                });
+            }
+        });
+        let idle = idle.into_inner().expect("idle fleet lock");
+        assert_eq!(idle.len(), idle_n);
+        let per_idle = (live_bytes() - before_idle).max(0) as u64 / idle_n as u64;
+        eprintln!("idle fleet: {per_idle} live bytes per connection");
+        assert!(
+            per_idle <= 32 * 1024,
+            "{per_idle} live bytes per idle connection exceeds the 32 KiB bound"
+        );
+
+        // -- Phase B: the active fleet, each connection pushing batches
+        // concurrently with the idle fleet held open.
+        let ids: Vec<NodeId> = (0..128u64).map(NodeId::new).collect();
+        let mut feed = Vec::new();
+        Request::encode_batch(&mut feed, true, "scale", &ids);
+        let before_active = live_bytes();
+        let active: Mutex<Vec<TcpStream>> = Mutex::new(Vec::new());
+        std::thread::scope(|inner| {
+            let (active, feed) = (&active, &feed);
+            for chunk in split(active_n, threads) {
+                inner.spawn(move || {
+                    let mut mine = Vec::with_capacity(chunk);
+                    let mut reply = Vec::new();
+                    for _ in 0..chunk {
+                        mine.push(connect(addr));
+                    }
+                    for _ in 0..10 {
+                        for conn in &mut mine {
+                            assert_eq!(round_trip(conn, feed, &mut reply), RESP_FED);
+                        }
+                    }
+                    active.lock().expect("active fleet lock").append(&mut mine);
+                });
+            }
+        });
+        let mut active = active.into_inner().expect("active fleet lock");
+        assert_eq!(active.len(), active_n);
+        let per_active = (live_bytes() - before_active).max(0) as u64 / active_n as u64;
+        eprintln!("active fleet: {per_active} live bytes per connection");
+        assert!(
+            per_active <= 64 * 1024,
+            "{per_active} live bytes per active connection exceeds the 64 KiB bound"
+        );
+
+        // The server's own accounting agrees: every connection is held,
+        // and the buffered-bytes gauge stays bounded per connection.
+        let mut metrics_req = Vec::new();
+        Request::Metrics.encode(&mut metrics_req);
+        assert_eq!(round_trip(&mut control, &metrics_req, &mut reply), RESP_METRICS);
+        let text_start = 2 + 4; // version, opcode, u32 length prefix
+        let text = std::str::from_utf8(&reply[text_start..]).expect("utf-8 exposition");
+        let connections = metric_value(text, "uns_reactor_connections");
+        assert_eq!(connections as usize, 1 + idle_n + active_n, "connection gauge drifted");
+        let buffered = metric_value(text, "uns_reactor_buffered_bytes");
+        let per_accounted = buffered as u64 / (1 + idle_n + active_n) as u64;
+        assert!(
+            per_accounted <= 32 * 1024,
+            "{per_accounted} accounted buffer bytes per connection exceeds the 32 KiB bound"
+        );
+
+        // -- Phase C: flood isolation. A baseline honest pass, then the
+        // same pass with one abusive connection flooding full-tilt: the
+        // flood must be answered with coded RateLimited errors, the
+        // honest connections must all succeed, and their wall-clock must
+        // not collapse (generous bound — the box has one vCPU).
+        let honest_n = active.len().min(32);
+        let honest = &mut active[..honest_n];
+        let honest_pass = |honest: &mut [TcpStream], reply: &mut Vec<u8>| -> Duration {
+            let start = Instant::now();
+            for _ in 0..5 {
+                for conn in honest.iter_mut() {
+                    assert_eq!(round_trip(conn, &feed, reply), RESP_FED);
+                }
+            }
+            start.elapsed()
+        };
+        let baseline = honest_pass(honest, &mut reply);
+        let flooding = AtomicBool::new(true);
+        let limited = AtomicU64::new(0);
+        let flooded = std::thread::scope(|inner| {
+            let (flooding, limited, feed) = (&flooding, &limited, &feed);
+            let flood_thread = inner.spawn(move || {
+                let mut conn = connect(addr);
+                let mut reply = Vec::new();
+                while flooding.load(Ordering::Relaxed) {
+                    write_frame(&mut conn, feed).expect("flood write");
+                    assert!(read_frame(&mut conn, &mut reply).expect("flood read"));
+                    if reply[1] == RESP_ERROR && reply[2] == CODE_RATE_LIMITED {
+                        limited.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+            // Let the flood burn through its burst allowance first.
+            std::thread::sleep(Duration::from_millis(100));
+            let flooded = honest_pass(honest, &mut reply);
+            flooding.store(false, Ordering::Relaxed);
+            flood_thread.join().expect("flood thread");
+            flooded
+        });
+        let limited = limited.load(Ordering::Relaxed);
+        eprintln!(
+            "flood isolation: baseline {baseline:?}, flooded {flooded:?}, \
+             {limited} rate-limited replies"
+        );
+        assert!(limited > 0, "the flood was never rate-limited");
+        assert!(
+            flooded <= baseline * 4 + Duration::from_millis(500),
+            "honest throughput collapsed under the flood: {baseline:?} -> {flooded:?}"
+        );
+
+        drop(idle);
+        drop(active);
+        drop(control);
+        server.stop();
+    });
+}

@@ -202,6 +202,81 @@ fn tcp_service_feed_is_bit_equal_to_sequential_feed() {
     });
 }
 
+/// The headline exactness through the readiness reactor: the same
+/// million-element adversarial stream over four concurrent TCP
+/// connections served by **one reactor thread** must be bit-equal to
+/// sequential in-process feeding of the served order. The reactor is a
+/// different front door to the same workers — if it changes a single
+/// bit, this fails.
+#[test]
+fn reactor_service_feed_is_bit_equal_to_sequential_feed() {
+    if !epoll::supported() {
+        eprintln!("skipping: the vendored epoll poller is unsupported on this platform");
+        return;
+    }
+    let len = scale(1_000_000, 60_000);
+    let stream: Vec<NodeId> =
+        IdStream::new(peak_attack_distribution(10_000).unwrap(), 13).take(len).collect();
+    let config = test_config(EstimatorKind::CountMin);
+    let server = Server::start(ServerConfig { workers: 2, queue_depth: 32 });
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    std::thread::scope(|scope| {
+        scope.spawn(|| {
+            server.serve_reactor(listener, uns_service::ReactorConfig::default()).unwrap()
+        });
+        let connect = || {
+            let stream = std::net::TcpStream::connect(addr).unwrap();
+            stream.set_nodelay(true).unwrap();
+            stream
+        };
+        let mut client = ServiceClient::new(connect()).unwrap();
+        client.create_stream("reactor", &config).unwrap();
+        let served = Mutex::new(Vec::new());
+        let quarter = stream.len().div_ceil(4);
+        std::thread::scope(|inner| {
+            for slice in stream.chunks(quarter) {
+                inner.spawn(|| {
+                    let mut client = ServiceClient::new(connect()).unwrap();
+                    for batch in slice.chunks(2048) {
+                        let ack = loop {
+                            match client.feed_batch("reactor", batch) {
+                                Ok(ack) => break ack,
+                                Err(uns_service::ServiceError::Busy) => {}
+                                Err(err) => panic!("feed failed: {err}"),
+                            }
+                        };
+                        assert_eq!(ack.outputs.len(), batch.len());
+                        served.lock().unwrap().push(ServedBatch {
+                            position: ack.position,
+                            ids: batch.to_vec(),
+                            outputs: ack.outputs,
+                        });
+                    }
+                });
+            }
+        });
+        let mut served = served.into_inner().unwrap();
+        served.sort_by_key(|batch| batch.position);
+
+        let mut reference = ServiceSampler::create(&config).unwrap();
+        let mut expected = Vec::new();
+        let mut position = 0u64;
+        for batch in &served {
+            position += batch.ids.len() as u64;
+            assert_eq!(batch.position, position, "positions define a gapless order");
+            expected.clear();
+            reference.feed_batch(&batch.ids, &mut expected);
+            assert_eq!(batch.outputs, expected, "outputs diverged at position {position}");
+        }
+        let service_blob = client.snapshot("reactor").unwrap();
+        let mut reference_blob = Vec::new();
+        reference.snapshot(&mut reference_blob);
+        assert_eq!(service_blob, reference_blob, "snapshot bytes diverged over the reactor");
+        server.stop();
+    });
+}
+
 /// Snapshot mid-stream, restore on a **fresh server** (a restart), feed
 /// the tail to both: the restored service is bit-equal to the one that
 /// never stopped — outputs and full final state — at a million elements

@@ -1,7 +1,7 @@
 //! Load-generate the networked sampling service and report Melem/s.
 //!
 //! ```text
-//! cargo run --release --example service_loadgen [connections] [elements_per_connection] [--metrics-dump]
+//! cargo run --release --example service_loadgen [connections] [elements_per_connection] [--metrics-dump] [--reactor]
 //! ```
 //!
 //! Starts the multi-tenant server on an ephemeral localhost TCP port,
@@ -16,6 +16,10 @@
 //! started too, each run's client-side counters are exported into the
 //! same registry, and the full Prometheus exposition is scraped over real
 //! TCP and printed at end-of-run.
+//!
+//! With `--reactor`, connections are served by the single-threaded
+//! readiness reactor instead of a thread per connection — same wire
+//! protocol, same worker pool, directly comparable numbers.
 //!
 //! `UNS_BENCH_FAST=1` shrinks the run to a smoke test (CI uses this).
 
@@ -43,12 +47,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let fast = std::env::var("UNS_BENCH_FAST").is_ok_and(|v| v == "1");
     let mut positional = Vec::new();
     let mut metrics_dump = false;
+    let mut reactor = false;
     for arg in std::env::args().skip(1) {
         if arg == "--metrics-dump" {
             metrics_dump = true;
+        } else if arg == "--reactor" {
+            reactor = true;
         } else {
             positional.push(arg);
         }
+    }
+    if reactor && !epoll::supported() {
+        return Err("--reactor requires epoll (Linux only)".into());
     }
     let connections: usize =
         positional.first().and_then(|v| v.parse().ok()).unwrap_or(if fast { 2 } else { 4 });
@@ -65,7 +75,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         if metrics_dump { Some(TcpListener::bind("127.0.0.1:0")?) } else { None };
     let metrics_addr = metrics_listener.as_ref().map(|l| l.local_addr()).transpose()?;
     std::thread::scope(|scope| -> Result<(), Box<dyn std::error::Error>> {
-        scope.spawn(|| server.serve(listener));
+        if reactor {
+            scope.spawn(|| {
+                server
+                    .serve_reactor(listener, uns_service::ReactorConfig::default())
+                    .expect("reactor");
+            });
+        } else {
+            scope.spawn(|| server.serve(listener));
+        }
         if let Some(metrics_listener) = metrics_listener {
             scope.spawn(|| server.serve_metrics_http(metrics_listener));
         }
@@ -76,8 +94,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         };
 
         println!(
-            "server on {addr} ({} workers); {connections} connections × {elements} elements\n",
-            server.config().workers
+            "server on {addr} ({} workers, {} transport); {connections} connections × \
+             {elements} elements\n",
+            server.config().workers,
+            if reactor { "reactor" } else { "thread-per-connection" }
         );
         let stream_config = StreamConfig {
             kind: EstimatorKind::CountMin,

@@ -1,0 +1,170 @@
+//! Head-to-head of the three ways a client can reach the service: the
+//! in-process pipe, blocking TCP (thread per connection), and reactor
+//! TCP (one readiness thread for every socket).
+//!
+//! ```text
+//! cargo run --release --example transport_bench
+//! ```
+//!
+//! For each transport the bench reports three numbers:
+//!
+//! - **connect**: median wall-clock to open a connection (including the
+//!   accept-side setup — a spawned thread for blocking TCP, an epoll
+//!   registration for the reactor). The median, because a connect burst
+//!   that outruns the kernel's listen backlog turns a dropped SYN into a
+//!   1-second retransmit stall — real, but one such outlier would swamp
+//!   a mean;
+//! - **first byte**: best-of-eight latency from an established connection
+//!   to the first reply byte of a trivial request;
+//! - **steady state**: feed throughput over four concurrent connections,
+//!   the same workload `service_loadgen` runs.
+//!
+//! The numbers land in README's "Transports" table and BENCH_*.json.
+//! `UNS_BENCH_FAST=1` shrinks the run to a smoke test (CI uses this).
+
+use std::net::{TcpListener, TcpStream};
+use std::time::{Duration, Instant};
+use uns_service::loadgen::{create_and_run, LoadgenConfig, LoadgenRetry, Workload};
+use uns_service::protocol::{EstimatorKind, HashFamilyKind, StreamConfig};
+use uns_service::server::{Server, ServerConfig};
+use uns_service::{ReactorConfig, ServiceClient, ServiceError, Transport};
+
+struct Row {
+    label: &'static str,
+    connect: Duration,
+    connect_p99: Duration,
+    first_byte: Duration,
+    melem_per_s: f64,
+}
+
+fn stream_config() -> StreamConfig {
+    StreamConfig {
+        kind: EstimatorKind::CountMin,
+        capacity: 10,
+        width: 10,
+        depth: 5,
+        seed: 42,
+        family: HashFamilyKind::Mersenne,
+    }
+}
+
+/// Benches one transport against a freshly started server.
+fn bench<T, F>(
+    label: &'static str,
+    fast: bool,
+    server: &Server,
+    connect: F,
+) -> Result<Row, Box<dyn std::error::Error>>
+where
+    T: Transport + 'static,
+    F: Fn() -> Result<T, ServiceError> + Sync,
+{
+    // Connection setup cost: median over a burst of opens. Each
+    // connection is dropped immediately so the burst measures setup (and
+    // teardown bookkeeping on the accept side), not fd hoarding.
+    let opens = if fast { 16 } else { 256 };
+    let mut costs = Vec::with_capacity(opens);
+    for _ in 0..opens {
+        let started = Instant::now();
+        drop(connect()?);
+        costs.push(started.elapsed());
+    }
+    costs.sort();
+    let connect_cost = costs[opens / 2];
+    let connect_p99 = costs[opens * 99 / 100];
+
+    // First-byte latency on an established connection: best of eight
+    // trivial round trips, so scheduler noise doesn't dominate.
+    let mut client = ServiceClient::new(connect()?)?;
+    client.create_stream("probe", &stream_config())?;
+    let mut first_byte = Duration::MAX;
+    for _ in 0..8 {
+        let started = Instant::now();
+        client.floor_estimate("probe")?;
+        first_byte = first_byte.min(started.elapsed());
+    }
+
+    // Steady state: the loadgen uniform workload over four connections.
+    let config = LoadgenConfig {
+        connections: 4,
+        elements_per_connection: if fast { 5_000 } else { 250_000 },
+        batch_len: 4096,
+        workload: Workload::Uniform { domain: 100_000 },
+        seed: 7,
+        feed: true,
+        retry: LoadgenRetry::default(),
+    };
+    let report = create_and_run(&connect, "steady", &stream_config(), &config)?;
+
+    server.stop();
+    Ok(Row {
+        label,
+        connect: connect_cost,
+        connect_p99,
+        first_byte,
+        melem_per_s: report.melem_per_s(),
+    })
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let fast = std::env::var("UNS_BENCH_FAST").is_ok_and(|v| v == "1");
+    let mut rows = Vec::new();
+
+    // In-process pipe: no sockets at all.
+    {
+        let server = Server::start(ServerConfig::default());
+        rows.push(bench("pipe", fast, &server, || Ok(server.connect_in_process()))?);
+    }
+
+    // Blocking TCP: the accept loop spawns a thread per connection.
+    {
+        let server = Server::start(ServerConfig::default());
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let row = std::thread::scope(|scope| {
+            scope.spawn(|| server.serve(listener));
+            bench("tcp (blocking)", fast, &server, || {
+                let conn = TcpStream::connect(addr).map_err(ServiceError::from)?;
+                conn.set_nodelay(true).map_err(ServiceError::from)?;
+                Ok(conn)
+            })
+        })?;
+        rows.push(row);
+    }
+
+    // Reactor TCP: one readiness thread owns every socket.
+    if epoll::supported() {
+        let server = Server::start(ServerConfig::default());
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let row = std::thread::scope(|scope| {
+            scope.spawn(|| {
+                server.serve_reactor(listener, ReactorConfig::default()).expect("reactor")
+            });
+            bench("tcp (reactor)", fast, &server, || {
+                let conn = TcpStream::connect(addr).map_err(ServiceError::from)?;
+                conn.set_nodelay(true).map_err(ServiceError::from)?;
+                Ok(conn)
+            })
+        })?;
+        rows.push(row);
+    } else {
+        eprintln!("skipping reactor: the vendored epoll poller is unsupported here");
+    }
+
+    println!(
+        "{:>16}  {:>12}  {:>13}  {:>12}  {:>14}",
+        "transport", "connect p50", "connect p99", "first byte", "steady state"
+    );
+    for row in &rows {
+        println!(
+            "{:>16}  {:>10.1}µs  {:>11.1}µs  {:>10.1}µs  {:>8.2} Melem/s",
+            row.label,
+            row.connect.as_secs_f64() * 1e6,
+            row.connect_p99.as_secs_f64() * 1e6,
+            row.first_byte.as_secs_f64() * 1e6,
+            row.melem_per_s,
+        );
+    }
+    Ok(())
+}

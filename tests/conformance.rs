@@ -36,9 +36,11 @@
 //! `UNS_CONF_FAST=1` shrinks the matrix for debug CI; the release
 //! `conformance-release` job runs the full scale.
 
+use std::sync::Arc;
 use uns_core::{derive_estimator_seed, NodeId, NodeSampler, PassthroughSampler};
 use uns_service::{
     EstimatorKind, HashFamilyKind, ServerConfig, ServiceClient, ServiceError, StreamConfig,
+    Transport,
 };
 use uns_sim::{measure_uniformity, min_p_clears, Scenario, ScenarioKind, ShardedIngestion};
 
@@ -167,9 +169,37 @@ fn pipeline_outputs(width: usize, ids: &[NodeId], seed: u64) -> Vec<NodeId> {
     out
 }
 
-/// The networked-service path: batched FeedBatch over the in-process pipe.
+/// Connects the service path under test. In-process pipe by default;
+/// `UNS_CONFORMANCE_TRANSPORT=reactor` serves the identical requests
+/// through a TCP connection owned by the readiness reactor instead (the
+/// release CI job pins bit-equality of the conformance outputs over it).
+/// Returns the reactor thread to join after [`uns_service::Server::stop`].
+fn connect_service(
+    server: &Arc<uns_service::Server>,
+) -> (ServiceClient<Box<dyn Transport>>, Option<std::thread::JoinHandle<()>>) {
+    if std::env::var("UNS_CONFORMANCE_TRANSPORT").as_deref() == Ok("reactor") {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("listener addr");
+        let serve = Arc::clone(server);
+        let thread = std::thread::spawn(move || {
+            serve
+                .serve_reactor(listener, uns_service::ReactorConfig::default())
+                .expect("reactor serve");
+        });
+        let tcp = std::net::TcpStream::connect(addr).expect("connect to the reactor");
+        tcp.set_nodelay(true).ok();
+        let transport: Box<dyn Transport> = Box::new(tcp);
+        (ServiceClient::new(transport).expect("client"), Some(thread))
+    } else {
+        let transport: Box<dyn Transport> = Box::new(server.connect_in_process());
+        (ServiceClient::new(transport).expect("client"), None)
+    }
+}
+
+/// The networked-service path: batched FeedBatch over the transport under
+/// test (see [`connect_service`]).
 fn service_outputs(
-    client: &mut ServiceClient<uns_service::PipeTransport>,
+    client: &mut ServiceClient<Box<dyn Transport>>,
     stream_name: &str,
     kind: EstimatorKind,
     width: usize,
@@ -213,8 +243,8 @@ fn cell_seed(scenario: ScenarioKind, kind: EstimatorKind, trial: u64) -> u64 {
 #[test]
 fn conformance_matrix_is_uniform_across_all_paths() {
     let scale = scale();
-    let server = uns_service::Server::start(ServerConfig::default());
-    let mut client = ServiceClient::new(server.connect_in_process()).unwrap();
+    let server = Arc::new(uns_service::Server::start(ServerConfig::default()));
+    let (mut client, reactor) = connect_service(&server);
 
     for scenario in Scenario::matrix(scale.domain, scale.len) {
         for kind in KINDS {
@@ -289,6 +319,11 @@ fn conformance_matrix_is_uniform_across_all_paths() {
                 );
             }
         }
+    }
+    drop(client);
+    server.stop();
+    if let Some(thread) = reactor {
+        thread.join().expect("reactor thread");
     }
 }
 
