@@ -123,11 +123,24 @@ const WAKER: u64 = 1;
 /// First connection token.
 const FIRST_CONN: u64 = 2;
 
-/// How many unparsed request bytes a connection may buffer while a
-/// request is in flight before its reads are paused. Generous enough for
-/// a maximum-size frame header plus change; a flood larger than this
-/// waits in the kernel socket buffer, not in our memory.
+/// How many unparsed request bytes a connection may buffer before its
+/// reads are paused. The cap is unconditional — with or without a
+/// request in flight, a flood larger than this waits in the kernel
+/// socket buffer, not in our memory — with one exception: a partially
+/// read frame is always read to completion (bounded by
+/// [`MAX_FRAME_LEN`]), because no amount of waiting makes a half-frame
+/// parseable.
 const READ_PAUSE_BYTES: usize = 64 * 1024;
+
+/// How long the listener stays deregistered after an accept failure that
+/// retrying cannot clear (fd exhaustion): level-triggered epoll would
+/// otherwise re-report the still-queued connection on every wait and
+/// hot-spin the reactor at 100% CPU.
+const ACCEPT_BACKOFF: Duration = Duration::from_millis(100);
+
+/// Defensive upper bound on one poller wait; the waker is the real
+/// signal for stop() and completions.
+const WAIT_TIMEOUT: Duration = Duration::from_secs(1);
 
 /// Bytes read per `read` call into the reassembly buffer. Small on
 /// purpose: ten thousand idle connections each pin roughly this much.
@@ -153,8 +166,13 @@ struct Conn {
     interest: epoll::Interest,
     /// Flush pending writes, then close (protocol violation path).
     closing: bool,
-    /// Peer hung up; close once nothing is in flight.
+    /// Peer's read side hung up: no more requests will arrive, but a
+    /// half-closing peer is still owed every buffered reply — close only
+    /// once nothing is in flight and the write buffer has drained.
     eof: bool,
+    /// The socket itself failed (write error, unpollable): replies are
+    /// undeliverable, close immediately.
+    broken: bool,
     /// Token-bucket state ([`RateLimit`]).
     tokens: f64,
     last_refill: Instant,
@@ -194,12 +212,29 @@ pub(crate) fn run(server: &Server, listener: TcpListener, config: ReactorConfig)
     let mut done: Vec<(u64, Response)> = Vec::new();
     let mut scratch = Vec::new();
     let mut touched: Vec<u64> = Vec::new();
+    // When set, the listener is deregistered until this instant (accept
+    // backoff after fd exhaustion).
+    let mut accept_resume: Option<Instant> = None;
 
     while !server.shutdown.load(Ordering::Relaxed) {
         // The waker is the real signal for stop() and completions; the
-        // timeout is a defensive bound, not a polling cadence.
-        poller.wait(&mut events, Some(Duration::from_secs(1)))?;
+        // timeout is a defensive bound, not a polling cadence — unless
+        // the listener is parked, in which case it must also cover the
+        // re-arm deadline.
+        let timeout = accept_resume.map_or(WAIT_TIMEOUT, |at| {
+            at.saturating_duration_since(Instant::now()).min(WAIT_TIMEOUT)
+        });
+        poller.wait(&mut events, Some(timeout))?;
         waker.drain();
+
+        if let Some(at) = accept_resume {
+            if Instant::now() >= at {
+                // Level-triggered: connections that queued while parked
+                // make the listener readable on the very next wait.
+                poller.register(&listener, LISTENER, epoll::Interest::READ)?;
+                accept_resume = None;
+            }
+        }
 
         // Completions first: they free connections to resume parsing
         // frames that are already buffered (no readable event will
@@ -229,7 +264,7 @@ pub(crate) fn run(server: &Server, listener: TcpListener, config: ReactorConfig)
         for event in &events {
             match event.token {
                 LISTENER => {
-                    accept_ready(
+                    let backoff = accept_ready(
                         server,
                         &listener,
                         &poller,
@@ -238,6 +273,13 @@ pub(crate) fn run(server: &Server, listener: TcpListener, config: ReactorConfig)
                         &mut conns,
                         &mut next_token,
                     )?;
+                    if backoff {
+                        // Persistent accept failure (fd exhaustion):
+                        // park the listener briefly instead of spinning
+                        // on a readiness we cannot act on.
+                        let _ = poller.deregister(&listener);
+                        accept_resume = Some(Instant::now() + ACCEPT_BACKOFF);
+                    }
                 }
                 WAKER => {}
                 token => {
@@ -266,7 +308,38 @@ pub(crate) fn run(server: &Server, listener: TcpListener, config: ReactorConfig)
         touched.dedup();
         for token in touched.drain(..) {
             let Some(conn) = conns.get_mut(&token) else { continue };
-            flush(conn);
+            // Flush, then re-run the parser while flushing made room
+            // below the write ceiling: a connection throttled on
+            // buffered replies can hold complete frames in userspace
+            // that no readable event will ever re-announce, so the
+            // drain itself must resume it.
+            loop {
+                flush(conn);
+                if conn.closing
+                    || conn.broken
+                    || conn.inflight.is_some()
+                    || pending_writes(conn) >= config.max_buffered_bytes
+                {
+                    break;
+                }
+                let before = conn.read_buf.len() - conn.read_pos;
+                if before < 4 {
+                    break;
+                }
+                advance(
+                    conn,
+                    token,
+                    server,
+                    &config,
+                    &rmetrics,
+                    &completions,
+                    &waker,
+                    &mut scratch,
+                );
+                if conn.read_buf.len() - conn.read_pos == before {
+                    break; // only a partial frame left: nothing consumable
+                }
+            }
             trim(conn);
             account(conn, &rmetrics);
             if conn_finished(conn) {
@@ -300,7 +373,8 @@ impl Drop for WakerGuard<'_> {
 }
 
 /// Drains the listener: admit up to the cap, refuse the rest with a coded
-/// `Busy` frame.
+/// `Busy` frame. Returns `true` when the caller should park the listener
+/// briefly (an accept failure retrying cannot clear, e.g. fd exhaustion).
 fn accept_ready(
     server: &Server,
     listener: &TcpListener,
@@ -309,17 +383,28 @@ fn accept_ready(
     rmetrics: &ReactorMetrics,
     conns: &mut HashMap<u64, Conn>,
     next_token: &mut u64,
-) -> io::Result<()> {
+) -> io::Result<bool> {
     loop {
         let (stream, _peer) = match listener.accept() {
             Ok(accepted) => accepted,
-            Err(err) if err.kind() == io::ErrorKind::WouldBlock => return Ok(()),
+            Err(err) if err.kind() == io::ErrorKind::WouldBlock => return Ok(false),
             Err(err) if err.kind() == io::ErrorKind::Interrupted => continue,
-            // Transient per-connection accept failures (e.g. the peer
-            // reset before we got to it, fd pressure) must not kill the
-            // loop that serves everyone else.
+            // The handshake died before we got to it: skip that one
+            // connection, keep draining the queue for everyone else.
+            Err(err)
+                if matches!(
+                    err.kind(),
+                    io::ErrorKind::ConnectionAborted | io::ErrorKind::ConnectionReset
+                ) =>
+            {
+                continue
+            }
             Err(err) if server.shutdown.load(Ordering::Relaxed) => return Err(err),
-            Err(_) => return Ok(()),
+            // Anything else — EMFILE/ENFILE fd exhaustion being the
+            // realistic case — will not clear by retrying, and the
+            // still-queued connection keeps the level-triggered listener
+            // readable forever: back off instead of hot-spinning.
+            Err(_) => return Ok(true),
         };
         if conns.len() >= config.max_connections {
             refuse(stream, rmetrics);
@@ -348,6 +433,7 @@ fn accept_ready(
                 interest: epoll::Interest::READ,
                 closing: false,
                 eof: false,
+                broken: false,
                 tokens: config.rate_limit.map_or(0.0, |limit| f64::from(limit.burst)),
                 last_refill: Instant::now(),
                 accounted: 0,
@@ -372,15 +458,15 @@ fn refuse(mut stream: TcpStream, rmetrics: &ReactorMetrics) {
 /// Reads everything the socket has (up to the buffered-bytes ceiling)
 /// into the reassembly buffer.
 fn fill_read_buf(conn: &mut Conn, config: &ReactorConfig) {
-    if conn.closing {
+    if conn.closing || conn.eof || conn.broken {
         // A closing connection only flushes; drain-and-discard would
         // just burn cycles on a peer we are done with.
         return;
     }
     loop {
         let unparsed = conn.read_buf.len() - conn.read_pos;
-        if conn.inflight.is_some() && unparsed >= READ_PAUSE_BYTES {
-            return; // rearm() deregisters reads until the job completes
+        if unparsed >= READ_PAUSE_BYTES && !mid_frame(conn) {
+            return; // rearm() deregisters reads until the backlog drains
         }
         if pending_writes(conn) >= config.max_buffered_bytes {
             return; // peer must drain replies before sending more
@@ -404,12 +490,28 @@ fn fill_read_buf(conn: &mut Conn, config: &ReactorConfig) {
                 conn.read_buf.truncate(old_len);
             }
             Err(_) => {
+                // A read *error* (reset, timeout) is a dead socket, not
+                // a graceful half-close: replies are undeliverable.
                 conn.read_buf.truncate(old_len);
-                conn.eof = true;
+                conn.broken = true;
                 return;
             }
         }
     }
+}
+
+/// Whether the connection's unparsed bytes stop short of one complete
+/// frame. Reads may not pause in this state — only more socket bytes can
+/// make the frame parseable — except when the advertised length already
+/// exceeds [`MAX_FRAME_LEN`], where `advance` condemns the connection
+/// from the header alone.
+fn mid_frame(conn: &Conn) -> bool {
+    let unparsed = &conn.read_buf[conn.read_pos..];
+    if unparsed.len() < 4 {
+        return true;
+    }
+    let body_len = u32::from_le_bytes(unparsed[..4].try_into().expect("length checked")) as usize;
+    body_len <= MAX_FRAME_LEN && unparsed.len() < 4 + body_len
 }
 
 /// Parses and routes every complete frame the connection has buffered,
@@ -426,7 +528,7 @@ fn advance(
     scratch: &mut Vec<u8>,
 ) {
     loop {
-        if conn.inflight.is_some() || conn.closing {
+        if conn.inflight.is_some() || conn.closing || conn.broken {
             return;
         }
         if pending_writes(conn) >= config.max_buffered_bytes {
@@ -570,14 +672,14 @@ fn flush(conn: &mut Conn) {
     while conn.write_pos < conn.write_buf.len() {
         match conn.stream.write(&conn.write_buf[conn.write_pos..]) {
             Ok(0) => {
-                conn.eof = true;
+                conn.broken = true;
                 return;
             }
             Ok(n) => conn.write_pos += n,
             Err(err) if err.kind() == io::ErrorKind::WouldBlock => return,
             Err(err) if err.kind() == io::ErrorKind::Interrupted => continue,
             Err(_) => {
-                conn.eof = true;
+                conn.broken = true;
                 return;
             }
         }
@@ -626,14 +728,22 @@ fn account(conn: &mut Conn, rmetrics: &ReactorMetrics) {
     conn.accounted = now;
 }
 
-/// Whether the connection is done: hung up or flushed out after a
-/// protocol violation, with nothing left in flight to complete.
+/// Whether the connection is done: the socket failed outright, or the
+/// peer hung up / was condemned AND every owed reply has been flushed
+/// with nothing left in flight to complete.
 fn conn_finished(conn: &Conn) -> bool {
+    if conn.broken {
+        return true; // replies are undeliverable anyway
+    }
     if conn.inflight.is_some() {
         return false;
     }
+    // Read-side EOF means "no more requests", not "close now": a
+    // half-closing peer (write, shutdown(WR), read replies) is still
+    // owed everything buffered — exactly what the blocking path
+    // delivers by writing each reply before the next read.
     if conn.eof {
-        return true;
+        return pending_writes(conn) == 0;
     }
     conn.closing && pending_writes(conn) == 0
 }
@@ -643,14 +753,17 @@ fn conn_finished(conn: &Conn) -> bool {
 /// while replies are pending.
 fn rearm(poller: &epoll::Poller, conn: &mut Conn, token: u64, config: &ReactorConfig) {
     let unparsed = conn.read_buf.len() - conn.read_pos;
-    let paused = conn.inflight.is_some() && unparsed >= READ_PAUSE_BYTES;
-    let read = !conn.closing && !paused && pending_writes(conn) < config.max_buffered_bytes;
+    let paused = unparsed >= READ_PAUSE_BYTES && !mid_frame(conn);
+    // No reads after EOF either: a hung-up fd stays level-triggered
+    // readable forever and would spin the reactor while replies drain.
+    let read =
+        !conn.closing && !conn.eof && !paused && pending_writes(conn) < config.max_buffered_bytes;
     let want = epoll::Interest { read, write: pending_writes(conn) > 0 };
     if want.read != conn.interest.read || want.write != conn.interest.write {
         if poller.modify(&conn.stream, token, want).is_ok() {
             conn.interest = want;
         } else {
-            conn.eof = true; // unpollable socket: give it up next settle
+            conn.broken = true; // unpollable socket: give it up next settle
         }
     }
 }
@@ -772,6 +885,91 @@ mod tests {
             // the bucket and the same connection works again.
             std::thread::sleep(Duration::from_millis(400));
             client.feed_batch("f", &batch).expect("recovered after backoff");
+        });
+    }
+
+    #[test]
+    fn pipelined_replies_beyond_the_write_ceiling_all_arrive() {
+        // Regression (review finding 1): once buffered replies tripped
+        // max_buffered_bytes, nothing re-ran the parser after the drain —
+        // complete frames sat in read_buf forever (no socket bytes means
+        // no readable event) and the connection hung. Pipeline many
+        // Metrics requests (immediate replies, each larger than the tiny
+        // ceiling here), stop sending, and demand every reply.
+        const REQUESTS: usize = 50;
+        let config = ReactorConfig { max_buffered_bytes: 1024, ..ReactorConfig::default() };
+        with_reactor(config, |addr, _server| {
+            let mut stream = TcpStream::connect(addr).expect("connect");
+            stream.set_read_timeout(Some(Duration::from_secs(10))).expect("timeout");
+            let mut body = Vec::new();
+            Request::Metrics.encode(&mut body);
+            for _ in 0..REQUESTS {
+                crate::wire::write_frame(&mut stream, &body).expect("pipelined request");
+            }
+            let mut frame = Vec::new();
+            for i in 0..REQUESTS {
+                let got = crate::wire::read_frame(&mut stream, &mut frame)
+                    .unwrap_or_else(|err| panic!("reply {i} never arrived: {err}"));
+                assert!(got, "connection closed before reply {i}");
+                assert!(matches!(
+                    Response::decode(&frame).expect("reply decodes"),
+                    Response::Metrics(_)
+                ));
+            }
+        });
+    }
+
+    #[test]
+    fn a_half_closing_client_receives_every_buffered_reply() {
+        // Regression (review finding 2): read-side EOF closed the
+        // connection even with replies still buffered, truncating the
+        // tail for a legal write-all/shutdown(WR)/read-all client. Large
+        // snapshot replies plus a deliberate read delay force the flush
+        // to hit WouldBlock while EOF is already seen.
+        const REQUESTS: usize = 40;
+        with_reactor(ReactorConfig::default(), |addr, _server| {
+            let mut setup =
+                ServiceClient::new(TcpStream::connect(addr).expect("connect")).expect("client");
+            let big = StreamConfig { width: 4096, depth: 8, ..stream_config() };
+            setup.create_stream("half", &big).expect("create");
+            setup.feed_batch("half", &ids(100)).expect("feed");
+
+            let mut stream = TcpStream::connect(addr).expect("connect");
+            stream.set_read_timeout(Some(Duration::from_secs(10))).expect("timeout");
+            let mut body = Vec::new();
+            Request::Snapshot { name: "half" }.encode(&mut body);
+            for _ in 0..REQUESTS {
+                crate::wire::write_frame(&mut stream, &body).expect("pipelined request");
+            }
+            stream.shutdown(std::net::Shutdown::Write).expect("half-close");
+            // Let the reactor see EOF and buffer replies past the kernel
+            // send buffer before we start draining.
+            std::thread::sleep(Duration::from_millis(300));
+            let mut frame = Vec::new();
+            for i in 0..REQUESTS {
+                let got = crate::wire::read_frame(&mut stream, &mut frame)
+                    .unwrap_or_else(|err| panic!("reply {i} truncated after half-close: {err}"));
+                assert!(got, "connection closed before reply {i}");
+                assert!(matches!(
+                    Response::decode(&frame).expect("reply decodes"),
+                    Response::Snapshot(_)
+                ));
+            }
+        });
+    }
+
+    #[test]
+    fn a_frame_larger_than_the_read_pause_cap_still_parses() {
+        // The unparsed-bytes cap is unconditional now; a single frame
+        // bigger than READ_PAUSE_BYTES must still be read to completion
+        // (the mid_frame exception) instead of stalling.
+        with_reactor(ReactorConfig::default(), |addr, _server| {
+            let mut client =
+                ServiceClient::new(TcpStream::connect(addr).expect("connect")).expect("client");
+            client.create_stream("big", &stream_config()).expect("create");
+            let batch = ids(20_000); // 160 KB frame, ~2.5x READ_PAUSE_BYTES
+            let ack = client.feed_batch("big", &batch).expect("oversized frame feeds");
+            assert_eq!(ack.outputs.len(), 20_000);
         });
     }
 
